@@ -1,0 +1,124 @@
+// Command pgbench regenerates the paper's evaluation: Tables 1-3, the §4.3
+// address-space study, and the §3.4 exhaustion bound.
+//
+// Usage:
+//
+//	pgbench                 # everything
+//	pgbench -table 1        # one table (1, 2, or 3)
+//	pgbench -study vaspace  # the §4.3/§3.4 studies
+//	pgbench -probe treeadd  # raw counters for one workload across configs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/workload"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1, 2, or 3); 0 = all")
+	study := flag.String("study", "", `regenerate a study ("vaspace" or "memory")`)
+	probe := flag.String("probe", "", "print raw counters for one workload")
+	list := flag.Bool("list", false, "list the workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workload.All() {
+			fmt.Printf("%-16s %-8s %s\n", w.Name, w.Category, w.Description)
+		}
+		return
+	}
+	if err := run(*table, *study, *probe); err != nil {
+		fmt.Fprintln(os.Stderr, "pgbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table int, study, probe string) error {
+	opts := experiment.Options{}
+	if probe != "" {
+		return runProbe(probe, opts)
+	}
+	if study != "" {
+		switch study {
+		case "vaspace":
+			return printVAStudy(opts)
+		case "memory":
+			return printMemStudy(opts)
+		default:
+			return fmt.Errorf("unknown study %q (want vaspace or memory)", study)
+		}
+	}
+	all := table == 0
+	if all || table == 1 {
+		t1, err := experiment.GenTable1(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t1)
+	}
+	if all || table == 2 {
+		t2, err := experiment.GenTable2(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t2)
+	}
+	if all || table == 3 {
+		t3, err := experiment.GenTable3(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t3)
+	}
+	if all {
+		if err := printVAStudy(opts); err != nil {
+			return err
+		}
+		return printMemStudy(opts)
+	}
+	return nil
+}
+
+func printMemStudy(opts experiment.Options) error {
+	s, err := experiment.GenMemStudy(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(s)
+	return nil
+}
+
+func printVAStudy(opts experiment.Options) error {
+	s, err := experiment.GenVAStudy(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(s)
+	return nil
+}
+
+func runProbe(name string, opts experiment.Options) error {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s (%s): %s\n", w.Name, w.Category, w.Description)
+	for _, c := range experiment.AllConfigs() {
+		m, err := experiment.Run(w, c, opts)
+		if err != nil {
+			return err
+		}
+		status := "ok"
+		if m.Err != nil {
+			status = m.Err.Error()
+		}
+		fmt.Printf("%-10s cycles=%-11d instrs=%-10d mem=%-10d syscalls=%-7d vpages=%-6d peakframes=%-6d %s\n",
+			c, m.Cycles, m.Counters.Instrs, m.Counters.MemAccesses,
+			m.Counters.Syscalls, m.ReservedPages, m.PeakFrames, status)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+// Command pgcc exposes the mini-C compiler pipeline: it parses, checks, and
+// lowers a program, optionally applies the Automatic Pool Allocation
+// transformation, and dumps the result.
+//
+// Usage:
+//
+//	pgcc file.c             # dump the IR
+//	pgcc -pools file.c      # dump the IR after Automatic Pool Allocation
+//	pgcc -pta file.c        # dump the points-to/escape summary
+//	pgcc -workload treeadd  # operate on a bundled workload
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/minic/driver"
+	"repro/internal/minic/ir"
+	"repro/pageguard"
+)
+
+func main() {
+	pools := flag.Bool("pools", false, "apply Automatic Pool Allocation before dumping")
+	pta := flag.Bool("pta", false, "dump the points-to and pool-placement summary")
+	wl := flag.String("workload", "", "compile a bundled workload by name")
+	flag.Parse()
+
+	if err := run(*pools, *pta, *wl, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "pgcc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(pools, pta bool, wl string, args []string) error {
+	var src string
+	switch {
+	case wl != "":
+		s, err := pageguard.WorkloadSource(wl)
+		if err != nil {
+			return err
+		}
+		src = s
+	case len(args) == 1:
+		b, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		src = string(b)
+	default:
+		return errors.New("expected exactly one source file (or -workload)")
+	}
+
+	if pta || pools {
+		prog, res, err := driver.CompileWithPools(src)
+		if err != nil {
+			return err
+		}
+		if pta {
+			for _, line := range res.HomeSummary() {
+				fmt.Println(line)
+			}
+			return nil
+		}
+		dumpProgram(prog)
+		return nil
+	}
+	prog, err := driver.Compile(src)
+	if err != nil {
+		return err
+	}
+	dumpProgram(prog)
+	return nil
+}
+
+func dumpProgram(prog *ir.Program) {
+	if len(prog.GlobalPools) > 0 {
+		fmt.Printf("global pools: %d\n", len(prog.GlobalPools))
+		for i, p := range prog.GlobalPools {
+			fmt.Printf("  pool.global%d = %s (elem %d)\n", i, p.Name, p.ElemSize)
+		}
+	}
+	names := make([]string, 0, len(prog.Funcs))
+	for name := range prog.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Println(prog.Funcs[name].Dump())
+	}
+}

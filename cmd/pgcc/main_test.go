@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDumpWorkloadIR(t *testing.T) {
+	if err := run(false, false, "treeadd", nil); err != nil {
+		t.Fatalf("plain dump: %v", err)
+	}
+	if err := run(true, false, "treeadd", nil); err != nil {
+		t.Fatalf("pools dump: %v", err)
+	}
+	if err := run(false, true, "treeadd", nil); err != nil {
+		t.Fatalf("pta dump: %v", err)
+	}
+}
+
+func TestDumpSourceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.c")
+	src := `
+int *stash;
+void main() { stash = (int*)malloc(8); }
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(true, false, "", []string{path}); err != nil {
+		t.Fatalf("pools dump of file: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run(false, false, "", nil); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if err := run(false, false, "no-such", nil); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if err := run(false, false, "", []string{"/nonexistent.c"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

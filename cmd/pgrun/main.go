@@ -1,0 +1,96 @@
+// Command pgrun compiles and executes a mini-C program on the simulated
+// machine, with or without dangling pointer detection.
+//
+// Usage:
+//
+//	pgrun [-mode detect|native|pa|detect-nopa] file.c
+//	pgrun -workload running-example            # run a bundled workload
+//
+// On a detected dangling pointer use, pgrun prints the full report (alloc
+// site, free site, faulting access) and exits 2.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/workload"
+	"repro/pageguard"
+)
+
+func main() {
+	mode := flag.String("mode", "detect", "run mode: detect, native, pa, detect-nopa")
+	wl := flag.String("workload", "", "run a bundled workload by name instead of a file")
+	stats := flag.Bool("stats", false, "print cycle/syscall/page statistics after the run")
+	flag.Parse()
+
+	code, err := run(*mode, *wl, *stats, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pgrun:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run(modeName, wl string, stats bool, args []string) (int, error) {
+	var m pageguard.Mode
+	switch modeName {
+	case "detect":
+		m = pageguard.ModeDetect
+	case "native":
+		m = pageguard.ModeNative
+	case "pa":
+		m = pageguard.ModePA
+	case "detect-nopa":
+		m = pageguard.ModeDetectNoPA
+	default:
+		return 0, fmt.Errorf("unknown mode %q", modeName)
+	}
+
+	var src string
+	switch {
+	case wl != "":
+		s, err := pageguard.WorkloadSource(wl)
+		if err != nil {
+			names := ""
+			for _, w := range workload.All() {
+				names += " " + w.Name
+			}
+			return 0, fmt.Errorf("%w (available:%s)", err, names)
+		}
+		src = s
+	case len(args) == 1:
+		b, err := os.ReadFile(args[0])
+		if err != nil {
+			return 0, err
+		}
+		src = string(b)
+	default:
+		return 0, errors.New("expected exactly one source file (or -workload)")
+	}
+
+	prog, err := pageguard.Compile(src)
+	if err != nil {
+		return 0, err
+	}
+	res, err := prog.Run(pageguard.NewMachine(), m)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Print(res.Output)
+	if stats {
+		fmt.Fprintf(os.Stderr, "[pgrun] mode=%s cycles=%d syscalls=%d vpages=%d pools=%d\n",
+			m, res.Cycles, res.Syscalls, res.VirtualPages, prog.Pools)
+	}
+	if res.Err != nil {
+		if de, ok := res.Dangling(); ok {
+			fmt.Fprintf(os.Stderr, "[pgrun] DETECTED: %v\n", de)
+			return 2, nil
+		}
+		fmt.Fprintf(os.Stderr, "[pgrun] program error: %v\n", res.Err)
+		return 3, nil
+	}
+	return 0, nil
+}

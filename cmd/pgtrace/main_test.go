@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTrace(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCleanTraceExitsZero(t *testing.T) {
+	path := writeTrace(t, "a 1 64\nw 1 0\nf 1\n")
+	code, err := run(false, []string{path})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestBuggyTraceExitsTwo(t *testing.T) {
+	path := writeTrace(t, "a 1 64\nf 1\nr 1 0\n")
+	code, err := run(false, []string{path})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestDemoTraceDetects(t *testing.T) {
+	path := writeTrace(t, demoTrace)
+	code, err := run(true, []string{path})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := run(false, nil); err == nil {
+		t.Fatal("missing arg accepted")
+	}
+	if _, err := run(false, []string{"/nonexistent"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := writeTrace(t, "zz 1\n")
+	if _, err := run(false, []string{path}); err == nil {
+		t.Fatal("malformed trace accepted")
+	}
+}

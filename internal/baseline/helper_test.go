@@ -1,0 +1,5 @@
+package baseline_test
+
+import "repro/internal/core"
+
+func coreNever() core.ReusePolicy { return core.NeverReuse() }

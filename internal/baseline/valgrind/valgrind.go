@@ -1,0 +1,181 @@
+// Package valgrind models the dynamic-binary-instrumentation memory checker
+// the paper compares against in Table 2 (§4.2): every instruction runs under
+// a software interpreter (the cost model's InterpFactor), every access pays
+// a software validity check (the cost model's CheckCost), and dangling
+// detection is *heuristic* — freed chunks sit in a bounded quarantine, and
+// once evicted and reused, stale accesses go undetected. "These techniques
+// can detect dangling memory errors only as long as the freed memory is not
+// reused for other allocations" (§5.1).
+//
+// Run this runtime on a process whose Meter uses cost.Valgrind().
+package valgrind
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/minic/interp"
+	"repro/internal/minic/ir"
+	"repro/internal/sim/kernel"
+	"repro/internal/sim/vm"
+)
+
+// DefaultQuarantineBytes is the freed-memory quarantine budget, patterned
+// after memcheck's freelist (scaled down to the simulator's workloads).
+const DefaultQuarantineBytes = 1 << 18
+
+// UseError is a heuristically detected use of freed (still quarantined)
+// memory.
+type UseError struct {
+	Addr     vm.Addr
+	UseSite  string
+	FreeSite string
+	Double   bool
+}
+
+// Error implements error.
+func (e *UseError) Error() string {
+	kind := "invalid read/write of freed memory"
+	if e.Double {
+		kind = "double free"
+	}
+	return fmt.Sprintf("valgrind: %s at %s (freed at %s)", kind, e.UseSite, e.FreeSite)
+}
+
+type quarantined struct {
+	addr     vm.Addr
+	size     uint64
+	freeSite string
+}
+
+// Runtime is the instrumentation-based checker.
+type Runtime struct {
+	proc *kernel.Process
+	heap *heap.Heap
+
+	// freedGranules maps 8-byte granules of quarantined chunks to their
+	// free site — the shadow-memory "addressability" bitmap.
+	freedGranules map[uint64]string
+	queue         []quarantined
+	queueBytes    uint64
+	maxQueueBytes uint64
+
+	// sizes remembers chunk sizes (valgrind's malloc interposition
+	// metadata).
+	sizes map[vm.Addr]uint64
+
+	detected uint64
+	missed   uint64
+}
+
+var _ interp.Runtime = (*Runtime)(nil)
+
+// New returns a Valgrind-style runtime on proc with the default quarantine.
+func New(proc *kernel.Process) *Runtime {
+	return &Runtime{
+		proc:          proc,
+		heap:          heap.New(proc),
+		freedGranules: make(map[uint64]string),
+		maxQueueBytes: DefaultQuarantineBytes,
+		sizes:         make(map[vm.Addr]uint64),
+	}
+}
+
+// SetQuarantine overrides the quarantine budget (tests).
+func (r *Runtime) SetQuarantine(bytes uint64) { r.maxQueueBytes = bytes }
+
+// Detected returns the number of freed-memory uses caught.
+func (r *Runtime) Detected() uint64 { return r.detected }
+
+func granule(addr vm.Addr) uint64 { return addr >> 3 }
+
+func (r *Runtime) markFreed(addr vm.Addr, size uint64, site string) {
+	for g := granule(addr); g <= granule(addr+size-1); g++ {
+		r.freedGranules[g] = site
+	}
+}
+
+func (r *Runtime) unmark(addr vm.Addr, size uint64) {
+	for g := granule(addr); g <= granule(addr+size-1); g++ {
+		delete(r.freedGranules, g)
+	}
+}
+
+// Malloc implements interp.Runtime.
+func (r *Runtime) Malloc(size uint64, site string) (vm.Addr, error) {
+	a, err := r.heap.Malloc(size)
+	if err != nil {
+		return 0, err
+	}
+	actual, err := r.heap.SizeOf(a)
+	if err != nil {
+		return 0, err
+	}
+	r.sizes[a] = actual
+	// Memory handed back out is addressable again.
+	r.unmark(a, actual)
+	return a, nil
+}
+
+// Free implements interp.Runtime: quarantine instead of immediate reuse.
+// free(NULL) is a no-op, as in C.
+func (r *Runtime) Free(addr vm.Addr, site string) error {
+	if addr == 0 {
+		return nil
+	}
+	size, ok := r.sizes[addr]
+	if !ok {
+		if fs, freed := r.freedGranules[granule(addr)]; freed {
+			r.detected++
+			return &UseError{Addr: addr, UseSite: site, FreeSite: fs, Double: true}
+		}
+		return fmt.Errorf("valgrind: invalid free of %#x at %s", addr, site)
+	}
+	delete(r.sizes, addr)
+	r.markFreed(addr, size, site)
+	r.queue = append(r.queue, quarantined{addr: addr, size: size, freeSite: site})
+	r.queueBytes += size
+	// Evict the oldest entries past the budget: their memory really
+	// frees, and stale pointers to them go dark.
+	for r.queueBytes > r.maxQueueBytes && len(r.queue) > 0 {
+		old := r.queue[0]
+		r.queue = r.queue[1:]
+		r.queueBytes -= old.size
+		r.unmark(old.addr, old.size)
+		r.missed++
+		if err := r.heap.Free(old.addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PoolInit implements interp.Runtime (valgrind runs untransformed binaries;
+// pool ops degrade to plain malloc/free).
+func (r *Runtime) PoolInit(decl ir.PoolDecl) (uint64, error) { return 1, nil }
+
+// PoolDestroy implements interp.Runtime.
+func (r *Runtime) PoolDestroy(handle uint64) error { return nil }
+
+// PoolAlloc implements interp.Runtime.
+func (r *Runtime) PoolAlloc(handle uint64, size uint64, site string) (vm.Addr, error) {
+	return r.Malloc(size, site)
+}
+
+// PoolFree implements interp.Runtime.
+func (r *Runtime) PoolFree(handle uint64, addr vm.Addr, site string) error {
+	return r.Free(addr, site)
+}
+
+// Explain implements interp.Runtime: hardware faults pass through (valgrind
+// adds no page tricks).
+func (r *Runtime) Explain(fault *vm.Fault, site string) error { return fault }
+
+// CheckAccess implements interp.Runtime: the software validity check.
+func (r *Runtime) CheckAccess(addr vm.Addr, size int, write bool, site string) (vm.Addr, error) {
+	if fs, freed := r.freedGranules[granule(addr)]; freed {
+		r.detected++
+		return 0, &UseError{Addr: addr, UseSite: site, FreeSite: fs}
+	}
+	return addr, nil
+}

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"repro/internal/heap"
+	"repro/internal/pool"
+	"repro/internal/sim/vm"
+)
+
+// HeapAllocator adapts the general-purpose heap to the Allocator contract
+// used in direct (binary-interposition) mode.
+type HeapAllocator struct {
+	H *heap.Heap
+}
+
+var _ Allocator = HeapAllocator{}
+
+// Alloc implements Allocator.
+func (a HeapAllocator) Alloc(size uint64) (vm.Addr, error) { return a.H.Malloc(size) }
+
+// Free implements Allocator.
+func (a HeapAllocator) Free(addr vm.Addr) error { return a.H.Free(addr) }
+
+// SizeOf implements Allocator.
+func (a HeapAllocator) SizeOf(addr vm.Addr) (uint64, error) { return a.H.SizeOf(addr) }
+
+// Interface conformance for the pool allocator, which is used directly.
+var _ Allocator = (*pool.Pool)(nil)

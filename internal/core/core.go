@@ -1,0 +1,401 @@
+// Package core implements the paper's primary contribution: detection of all
+// dangling pointer uses by giving every heap allocation its own shadow
+// virtual page(s) aliased to the allocator's canonical page(s), and relying
+// on the MMU to trap uses after free.
+//
+// Allocation (§3.2): the request is forwarded to the underlying allocator
+// with the size incremented by one word; a fresh block of virtual pages is
+// obtained with mremap(old_size = 0) aliasing the canonical pages; the
+// canonical address is recorded in the extra word at the start of the
+// object; and the caller receives the shadow address at the same page
+// offset. The underlying allocator still believes the object lives at the
+// canonical address, so it needs no changes and reuses physical memory
+// exactly as the original program would.
+//
+// Deallocation: the canonical address is read back through the shadow page
+// (which itself traps on a double free), the object's shadow pages are
+// mprotect'ed to PROT_NONE, and the canonical address is passed to the
+// underlying free. Any later load, store, or free through the stale pointer
+// takes a hardware fault.
+//
+// Virtual-address reuse (§3.3): when allocations come from an Automatic Pool
+// Allocation pool, the shadow page runs are attached to the pool, and
+// pooldestroy releases canonical and shadow pages together to the shared
+// free list. For long-lived pools, §3.4's reuse policies (on-exhaustion,
+// interval, conservative GC) recycle freed objects' shadow pages through a
+// remapper-local free list.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pool"
+	"repro/internal/sim/kernel"
+	"repro/internal/sim/vm"
+)
+
+// remapHeaderSize is the extra word prepended to each allocation to record
+// the canonical address ("we are effectively extending that header to also
+// record the value of Page(a)", §3.2).
+const remapHeaderSize = 8
+
+// Allocator is the underlying allocator contract the remapper wraps: a
+// conventional malloc/free plus the size metadata every real malloc keeps.
+type Allocator interface {
+	Alloc(size uint64) (vm.Addr, error)
+	Free(addr vm.Addr) error
+	SizeOf(addr vm.Addr) (uint64, error)
+}
+
+// ObjectState tracks an allocation through its lifetime.
+type ObjectState uint8
+
+// Object states.
+const (
+	// StateLive: allocated, shadow pages RW.
+	StateLive ObjectState = iota + 1
+	// StateFreed: freed, shadow pages PROT_NONE, traps on use.
+	StateFreed
+	// StateRecycled: shadow pages recycled under a reuse policy or a pool
+	// destroy; detection guarantee no longer applies to this object.
+	StateRecycled
+)
+
+// String implements fmt.Stringer.
+func (s ObjectState) String() string {
+	switch s {
+	case StateLive:
+		return "live"
+	case StateFreed:
+		return "freed"
+	case StateRecycled:
+		return "recycled"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Object is the remapper's record of one allocation, kept for diagnostics.
+type Object struct {
+	// ShadowAddr is the pointer the program holds.
+	ShadowAddr vm.Addr
+	// CanonAddr is the underlying allocator's pointer (start of the
+	// extra header word).
+	CanonAddr vm.Addr
+	// UserSize is the size the program requested.
+	UserSize uint64
+	// ShadowRun is the object's private virtual page block.
+	ShadowRun pool.PageRun
+	// State is the lifecycle state.
+	State ObjectState
+	// Pool is the owning pool, or nil in direct (interposition) mode.
+	Pool *pool.Pool
+	// AllocSite and FreeSite are diagnostic labels (source locations).
+	AllocSite string
+	FreeSite  string
+	// AllocSeq orders allocations for reports.
+	AllocSeq uint64
+	// Guarded marks objects followed by an overflow guard page.
+	Guarded bool
+}
+
+// Stats summarizes remapper activity.
+type Stats struct {
+	Allocs           uint64
+	Frees            uint64
+	DanglingDetected uint64
+	// OverflowsDetected counts guard-page hits (overflow-guard mode).
+	OverflowsDetected uint64
+	ShadowPagesLive   uint64
+	ShadowPagesFreed  uint64
+	// RecycledPages counts shadow pages reused under a §3.4 policy.
+	RecycledPages uint64
+	// GCRuns counts conservative-GC invocations.
+	GCRuns uint64
+}
+
+// Remapper is the per-process shadow-page engine. Not safe for concurrent
+// use.
+type Remapper struct {
+	proc *kernel.Process
+
+	// objects indexes every shadow page to its object for fault
+	// explanation and reuse bookkeeping.
+	objects map[vm.VPN]*Object
+	// byPool tracks objects per pool so pool destroys can retire records.
+	byPool map[*pool.Pool][]*Object
+	// freedNoPool are freed direct-mode objects eligible for recycling.
+	freedNoPool []*Object
+	// freedInPool are freed pool objects (per pool) eligible for
+	// recycling while their pool lives.
+	freedInPool map[*pool.Pool][]*Object
+
+	// recycled is the remapper-local free list of shadow page runs
+	// reclaimed under a reuse policy.
+	recycled []pool.PageRun
+
+	policy   ReusePolicy
+	allocSeq uint64
+	stats    Stats
+
+	// guardPages enables the overflow-guard extension (guard.go).
+	guardPages bool
+	// batchSize > 0 enables batched deallocation protection (batch.go);
+	// pending holds freed objects awaiting their mprotect.
+	batchSize int
+	pending   []*Object
+}
+
+// New returns a Remapper on proc with the given reuse policy (PolicyNever
+// reproduces the paper's base scheme).
+func New(proc *kernel.Process, policy ReusePolicy) *Remapper {
+	return &Remapper{
+		proc:        proc,
+		objects:     make(map[vm.VPN]*Object),
+		byPool:      make(map[*pool.Pool][]*Object),
+		freedInPool: make(map[*pool.Pool][]*Object),
+		policy:      policy,
+	}
+}
+
+// Proc returns the owning process.
+func (r *Remapper) Proc() *kernel.Process { return r.proc }
+
+// Stats returns a copy of the counters.
+func (r *Remapper) Stats() Stats { return r.stats }
+
+// shadowBlock obtains a block of n virtual pages aliased to the canonical
+// pages starting at canonBase. Sources, in order: the remapper's recycled
+// list (populated by a §3.4 reuse policy), the pool runtime's shared free
+// list (pages of destroyed pools — the §3.3 reuse, which keeps the full
+// detection guarantee), and finally a fresh mremap.
+func (r *Remapper) shadowBlock(owner *pool.Pool, canonBase vm.Addr, n uint64) (vm.Addr, error) {
+	for i, run := range r.recycled {
+		if run.Pages < n {
+			continue
+		}
+		addr := run.Addr
+		if run.Pages == n {
+			r.recycled = append(r.recycled[:i], r.recycled[i+1:]...)
+		} else {
+			r.recycled[i] = pool.PageRun{Addr: run.Addr + n*vm.PageSize, Pages: run.Pages - n}
+		}
+		if err := r.proc.RemapFixedAlias(addr, canonBase, n); err != nil {
+			return 0, err
+		}
+		r.stats.RecycledPages += n
+		return addr, nil
+	}
+	if owner != nil {
+		if addr, ok := owner.Runtime().TakeRun(n); ok {
+			if err := r.proc.RemapFixedAlias(addr, canonBase, n); err != nil {
+				return 0, err
+			}
+			return addr, nil
+		}
+	}
+	addr, err := r.proc.MremapAlias(canonBase, n)
+	if err == nil {
+		return addr, nil
+	}
+	// §3.4 first strategy: "start reusing virtual pages when we run out of
+	// virtual addresses". PolicyNever keeps the absolute guarantee and
+	// fails instead.
+	if errors.Is(err, vm.ErrAddressSpaceExhausted) && r.policy.Kind != PolicyNever {
+		if reclaimed := r.reclaimFreed(); reclaimed > 0 {
+			return r.shadowBlock(owner, canonBase, n)
+		}
+	}
+	return 0, err
+}
+
+// Alloc allocates size bytes from al with shadow-page protection. owner is
+// the APA pool al belongs to, or nil when al is the plain heap
+// (binary-interposition mode, which "can be directly applied on the binaries
+// and does not require source code", §1.1). site is a diagnostic label for
+// the allocation site.
+func (r *Remapper) Alloc(al Allocator, owner *pool.Pool, size uint64, site string) (vm.Addr, error) {
+	r.maybeIntervalReclaim()
+
+	canon, err := al.Alloc(size + remapHeaderSize)
+	if err != nil {
+		return 0, err
+	}
+	// The shadow block covers every page the padded object touches.
+	span := vm.PageSpan(canon, size+remapHeaderSize)
+	canonBase := vm.PageBase(canon)
+	shadowBase, err := r.shadowBlock(owner, canonBase, span)
+	if err != nil {
+		return 0, fmt.Errorf("core: shadow block: %w", err)
+	}
+	userPtr := shadowBase + vm.Offset(canon) + remapHeaderSize
+
+	// Record the canonical address in the extra header word, written
+	// through the shadow mapping (both views alias the same frame).
+	if err := r.proc.MMU().WriteWord(userPtr-remapHeaderSize, 8, canon); err != nil {
+		return 0, fmt.Errorf("core: write remap header: %w", err)
+	}
+
+	guarded := false
+	if r.guardPages {
+		if err := r.reserveGuard(shadowBase, span); err == nil {
+			guarded = true
+		}
+	}
+
+	run := pool.PageRun{Addr: shadowBase, Pages: span}
+	r.allocSeq++
+	obj := &Object{
+		ShadowAddr: userPtr,
+		CanonAddr:  canon,
+		UserSize:   size,
+		ShadowRun:  run,
+		State:      StateLive,
+		Pool:       owner,
+		AllocSite:  site,
+		AllocSeq:   r.allocSeq,
+		Guarded:    guarded,
+	}
+	for i := uint64(0); i < span; i++ {
+		r.objects[vm.PageOf(shadowBase)+vm.VPN(i)] = obj
+	}
+	if owner != nil {
+		owner.AttachRun(run)
+		r.byPool[owner] = append(r.byPool[owner], obj)
+	}
+	r.stats.Allocs++
+	r.stats.ShadowPagesLive += span
+	return userPtr, nil
+}
+
+// Free deallocates the object at the shadow address f, protecting its shadow
+// pages so any later use traps. site is a diagnostic label for the free
+// site. A free of an already-freed pointer is itself a dangling pointer use
+// ("use of a pointer is a read, write or free operation", §2.1) and is
+// reported as a *DanglingError.
+func (r *Remapper) Free(al Allocator, f vm.Addr, site string) error {
+	r.maybeIntervalReclaim()
+
+	// Read the canonical address back through the shadow page. On a
+	// double free the page is PROT_NONE and this very read traps — the
+	// detection the paper gets for free from its header placement.
+	canon, err := r.proc.MMU().ReadWord(f-remapHeaderSize, 8)
+	if err != nil {
+		if fault, ok := err.(*vm.Fault); ok {
+			return r.Explain(fault, site)
+		}
+		return err
+	}
+
+	obj := r.objects[vm.PageOf(f)]
+	if obj != nil && obj.State == StateFreed && obj.ShadowAddr == f {
+		// A double free whose mprotect is still queued (batched mode):
+		// the page did not trap, but the bookkeeping knows.
+		r.stats.DanglingDetected++
+		return &DanglingError{
+			Fault: &vm.Fault{
+				Addr:   f - remapHeaderSize,
+				Access: vm.AccessRead,
+				Reason: vm.FaultProtection,
+			},
+			Object:  obj,
+			UseSite: site,
+			Offset:  -remapHeaderSize,
+		}
+	}
+	if obj == nil || obj.State != StateLive || obj.ShadowAddr != f {
+		return fmt.Errorf("core: free of non-heap or misaligned pointer %#x at %s", f, site)
+	}
+	if canon != obj.CanonAddr {
+		// The header word disagrees with the bookkeeping: the program
+		// overwrote the word just before the object (an underflow that
+		// real allocators only notice much later, if ever).
+		return fmt.Errorf(
+			"core: corrupted allocation header at %s: object allocated at %s (header %#x, expected %#x)",
+			site, obj.AllocSite, canon, obj.CanonAddr)
+	}
+
+	// Read the size the underlying allocator recorded and protect every
+	// page the object spans.
+	if _, err := al.SizeOf(canon); err != nil {
+		return fmt.Errorf("core: free %#x: %w", f, err)
+	}
+	if err := al.Free(canon); err != nil {
+		return err
+	}
+
+	obj.State = StateFreed
+	obj.FreeSite = site
+	if r.batchSize > 0 {
+		if err := r.queueProtect(obj); err != nil {
+			return err
+		}
+	} else if err := r.proc.Mprotect(obj.ShadowRun.Addr, obj.ShadowRun.Pages, vm.ProtNone); err != nil {
+		return err
+	}
+	r.stats.Frees++
+	r.stats.ShadowPagesLive -= obj.ShadowRun.Pages
+	r.stats.ShadowPagesFreed += obj.ShadowRun.Pages
+	if obj.Pool != nil {
+		r.freedInPool[obj.Pool] = append(r.freedInPool[obj.Pool], obj)
+	} else {
+		r.freedNoPool = append(r.freedNoPool, obj)
+	}
+	return nil
+}
+
+// Explain converts a hardware fault into a *DanglingError when the faulting
+// address lies in a freed object's shadow pages; otherwise it returns the
+// fault unchanged (a plain wild-pointer segfault). The trap delivery cost is
+// charged either way — this is the run-time system's SIGSEGV handler.
+func (r *Remapper) Explain(fault *vm.Fault, site string) error {
+	r.proc.Meter().ChargeTrap()
+	if err := r.explainGuard(fault, site); err != nil {
+		r.stats.OverflowsDetected++
+		return err
+	}
+	obj := r.objects[vm.PageOf(fault.Addr)]
+	if obj == nil || obj.State != StateFreed {
+		return fault
+	}
+	r.stats.DanglingDetected++
+	return &DanglingError{
+		Fault:   fault,
+		Object:  obj,
+		UseSite: site,
+		Offset:  int64(fault.Addr) - int64(obj.ShadowAddr),
+	}
+}
+
+// ObjectAt returns the remapper's record covering the shadow page of addr,
+// if any (diagnostics and tests).
+func (r *Remapper) ObjectAt(addr vm.Addr) *Object {
+	return r.objects[vm.PageOf(addr)]
+}
+
+// OnPoolDestroy retires the remapper's records for a pool that is about to
+// be destroyed. The pool itself releases canonical and attached shadow pages
+// to the shared free list; afterwards those virtual pages may be recycled,
+// so their object records no longer describe them.
+//
+// Call this immediately before pool.Destroy.
+func (r *Remapper) OnPoolDestroy(p *pool.Pool) {
+	for _, obj := range r.byPool[p] {
+		if obj.State == StateLive {
+			r.stats.ShadowPagesLive -= obj.ShadowRun.Pages
+		}
+		if obj.State == StateFreed {
+			r.stats.ShadowPagesFreed -= obj.ShadowRun.Pages
+		}
+		obj.State = StateRecycled
+		for i := uint64(0); i < obj.ShadowRun.Pages; i++ {
+			vpn := vm.PageOf(obj.ShadowRun.Addr) + vm.VPN(i)
+			if r.objects[vpn] == obj {
+				delete(r.objects, vpn)
+			}
+		}
+	}
+	delete(r.byPool, p)
+	delete(r.freedInPool, p)
+}

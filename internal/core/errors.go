@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim/vm"
+)
+
+// DanglingError reports a detected dangling pointer use: a read, write, or
+// free of an object after it was freed. It carries the full provenance the
+// paper's run-time handler can reconstruct from its bookkeeping.
+type DanglingError struct {
+	// Fault is the hardware fault that fired.
+	Fault *vm.Fault
+	// Object is the freed allocation the access landed in.
+	Object *Object
+	// UseSite labels the faulting operation's source location.
+	UseSite string
+	// Offset is the byte offset of the access relative to the start of
+	// the object (negative offsets hit the header word, e.g. on a double
+	// free).
+	Offset int64
+}
+
+// Error implements error.
+func (e *DanglingError) Error() string {
+	kind := "use"
+	switch {
+	case e.Offset < 0:
+		kind = "double free"
+	case e.Fault.Access == vm.AccessWrite:
+		kind = "write"
+	case e.Fault.Access == vm.AccessRead:
+		kind = "read"
+	}
+	return fmt.Sprintf(
+		"dangling pointer %s at %s: object of %d bytes allocated at %s (seq %d), freed at %s; access at offset %+d",
+		kind, e.UseSite, e.Object.UserSize, e.Object.AllocSite,
+		e.Object.AllocSeq, e.Object.FreeSite, e.Offset)
+}
+
+// IsDouble reports whether the use was a free of an already-freed object.
+func (e *DanglingError) IsDouble() bool { return e.Offset < 0 }

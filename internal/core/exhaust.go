@@ -1,0 +1,39 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/sim/vm"
+)
+
+// ExhaustionTime computes the §3.4 bound: how long a program that consumes
+// fresh virtual pages at the given rate, with no reuse at all, can run
+// before exhausting the user virtual address space.
+//
+// The paper's instance: a 64-bit Linux system (2^47 user bytes), one fresh
+// 4 KB page per microsecond, yields 2^47 / (2^12 * 10^6 * 3600) ≈ 9.5 hours
+// ("at least 9 hours").
+func ExhaustionTime(addrBits uint, pageSize uint64, pagesPerSecond float64) time.Duration {
+	if addrBits == 0 {
+		addrBits = vm.UserAddrBits
+	}
+	if pageSize == 0 {
+		pageSize = vm.PageSize
+	}
+	if pagesPerSecond <= 0 {
+		return time.Duration(1<<63 - 1)
+	}
+	totalPages := float64(uint64(1)<<addrBits) / float64(pageSize)
+	seconds := totalPages / pagesPerSecond
+	maxSec := float64((1<<63 - 1) / time.Second)
+	if seconds >= maxSec {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// PaperExhaustionScenario returns the paper's own example: one 4 KB page per
+// microsecond on a 47-bit address space.
+func PaperExhaustionScenario() time.Duration {
+	return ExhaustionTime(vm.UserAddrBits, vm.PageSize, 1e6)
+}

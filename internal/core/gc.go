@@ -1,0 +1,179 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/pool"
+	"repro/internal/sim/vm"
+)
+
+// pageOfRun returns the i-th shadow VPN of an object's run.
+func pageOfRun(obj *Object, i uint64) vm.VPN {
+	return vm.PageOf(obj.ShadowRun.Addr) + vm.VPN(i)
+}
+
+// gcWordCost is the per-word scan cost charged by the collector.
+const gcWordCost = 2
+
+// CollectGarbage runs the §3.4 conservative collector: it scans the live
+// heap (every live object in every live pool, plus the policy's extra root
+// ranges) for word values that look like pointers into freed objects' shadow
+// pages. Freed shadow runs with no such incoming pointer are recycled; runs
+// that are still referenced are kept protected, so the pointers that
+// actually dangle keep trapping.
+//
+// The paper argues this is much cheaper than GC-for-memory-management: it
+// runs infrequently, and "by knowing which pools need to be collected, the
+// collector can use this information to traverse only a subset of the heap".
+// We exploit the same structure: only pools whose dynamic points-to sets can
+// reach a pool with freed shadow pages need scanning; with the default
+// simulation configuration that is every live pool, which is still only the
+// live data, never the freed data.
+//
+// Returns the number of shadow pages recycled.
+func (r *Remapper) CollectGarbage() uint64 {
+	r.stats.GCRuns++
+
+	// Gather the freed-object set, indexed by shadow VPN.
+	type cand struct {
+		obj    *Object
+		marked bool
+	}
+	byVPN := make(map[vm.VPN]*cand)
+	var cands []*cand
+	add := func(obj *Object) {
+		c := &cand{obj: obj}
+		cands = append(cands, c)
+		for i := uint64(0); i < obj.ShadowRun.Pages; i++ {
+			byVPN[pageOfRun(obj, i)] = c
+		}
+	}
+	for _, obj := range r.freedNoPool {
+		add(obj)
+	}
+	for _, p := range r.freedPoolsSorted() {
+		for _, obj := range r.freedInPool[p] {
+			add(obj)
+		}
+	}
+	if len(cands) == 0 {
+		return 0
+	}
+
+	mark := func(word uint64) {
+		if word >= vm.UserAddrLimit {
+			return
+		}
+		if c, ok := byVPN[vm.PageOf(word)]; ok {
+			c.marked = true
+		}
+	}
+
+	// Scan live objects of live pools. Live objects are the only heap
+	// words the program can still read, so they are the only heap roots.
+	mmu := r.proc.MMU()
+	scanRange := func(start, end vm.Addr) {
+		for a := start &^ 7; a+8 <= end; a += 8 {
+			w, err := mmu.PeekWord(a, 8)
+			if err != nil {
+				continue
+			}
+			r.proc.Meter().ChargeRaw(gcWordCost)
+			mark(w)
+		}
+	}
+	livePools := make([]*pool.Pool, 0, len(r.byPool))
+	for p := range r.byPool {
+		livePools = append(livePools, p)
+	}
+	sort.Slice(livePools, func(i, j int) bool { return livePools[i].ID() < livePools[j].ID() })
+	for _, p := range livePools {
+		objs := r.byPool[p]
+		if p.Destroyed() {
+			continue
+		}
+		for _, obj := range objs {
+			if obj.State == StateLive {
+				scanRange(obj.ShadowAddr, obj.ShadowAddr+obj.UserSize)
+			}
+		}
+	}
+	for _, obj := range r.liveNoPoolObjects() {
+		scanRange(obj.ShadowAddr, obj.ShadowAddr+obj.UserSize)
+	}
+	// The stack and globals segments are always roots: a dangling pointer
+	// held in a local variable or a global must keep its shadow pages
+	// protected.
+	scanRange(r.proc.StackBase(), r.proc.StackLimit())
+	gBase, gNext := r.proc.GlobalsRange()
+	scanRange(gBase, gNext)
+	if r.policy.Roots != nil {
+		for _, root := range r.policy.Roots() {
+			scanRange(root[0], root[1])
+		}
+	}
+
+	// Recycle unmarked freed runs.
+	var pages uint64
+	keepNoPool := r.freedNoPool[:0]
+	for _, obj := range r.freedNoPool {
+		if byVPN[vm.PageOf(obj.ShadowRun.Addr)].marked {
+			keepNoPool = append(keepNoPool, obj)
+			continue
+		}
+		pages += r.recycleObject(obj)
+	}
+	r.freedNoPool = keepNoPool
+	for _, p := range r.freedPoolsSorted() {
+		objs := r.freedInPool[p]
+		keep := objs[:0]
+		for _, obj := range objs {
+			if byVPN[vm.PageOf(obj.ShadowRun.Addr)].marked {
+				keep = append(keep, obj)
+				continue
+			}
+			pages += r.recycleObject(obj)
+		}
+		r.freedInPool[p] = keep
+	}
+	return pages
+}
+
+// recycleObject moves one freed object's shadow run to the recycled list.
+func (r *Remapper) recycleObject(obj *Object) uint64 {
+	obj.State = StateRecycled
+	for i := uint64(0); i < obj.ShadowRun.Pages; i++ {
+		vpn := pageOfRun(obj, i)
+		if r.objects[vpn] == obj {
+			delete(r.objects, vpn)
+		}
+	}
+	if obj.Pool != nil {
+		obj.Pool.DetachRun(obj.ShadowRun)
+	}
+	r.recycled = append(r.recycled, obj.ShadowRun)
+	r.stats.ShadowPagesFreed -= obj.ShadowRun.Pages
+	return obj.ShadowRun.Pages
+}
+
+// liveNoPoolObjects returns live direct-mode objects (not owned by a pool).
+func (r *Remapper) liveNoPoolObjects() []*Object {
+	seen := make(map[*Object]struct{})
+	var out []*Object
+	for _, obj := range r.objects {
+		if obj.Pool == nil && obj.State == StateLive {
+			if _, ok := seen[obj]; !ok {
+				seen[obj] = struct{}{}
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// RecycledRuns returns the remapper-local free list (test and stats hook).
+func (r *Remapper) RecycledRuns() []pool.PageRun {
+	out := make([]pool.PageRun, len(r.recycled))
+	copy(out, r.recycled)
+	return out
+}

@@ -1,0 +1,240 @@
+// Package experiment is the measurement harness: it runs each workload
+// under each of the paper's build configurations and renders Tables 1-3,
+// the §4.3 address-space study, and the §3.4 exhaustion calculation.
+//
+// Executions are fully deterministic (fixed seeds, cycle-model "time"), so
+// a single run per cell replaces the paper's median-of-five.
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/baseline/capability"
+	"repro/internal/baseline/efence"
+	"repro/internal/baseline/valgrind"
+	"repro/internal/core"
+	"repro/internal/minic/driver"
+	"repro/internal/minic/interp"
+	"repro/internal/minic/ir"
+	"repro/internal/runtimes"
+	"repro/internal/sim/cost"
+	"repro/internal/sim/kernel"
+	"repro/internal/workload"
+)
+
+// ClockHz converts cycles to the "seconds" the tables print. The absolute
+// value is presentational; every reported quantity is a ratio.
+const ClockHz = 3.0e9
+
+// Config is one build/runtime configuration from the paper.
+type Config int
+
+// Configurations.
+const (
+	// Native is GCC -O3 with the system allocator (Table 1 "native").
+	Native Config = iota + 1
+	// LLVMBase is the LLVM C back-end baseline (Table 1 "LLVM (base)"),
+	// the denominator of Ratio 1.
+	LLVMBase
+	// PA is LLVM + Automatic Pool Allocation, no detection.
+	PA
+	// PADummy is PA plus a dummy syscall per allocation and
+	// deallocation (isolates syscall cost from TLB cost).
+	PADummy
+	// Ours is PA + shadow pages: the paper's approach.
+	Ours
+	// OursNoPA is shadow pages over plain malloc (binary interposition
+	// mode, §1.1): full detection, no virtual-address reuse.
+	OursNoPA
+	// Valgrind is the DBI baseline of Table 2.
+	Valgrind
+	// EFence is the Electric Fence baseline of §5.3.
+	EFence
+	// Capability is the SafeC/FisherPatil/Xu baseline of §5.2.
+	Capability
+)
+
+var configNames = map[Config]string{
+	Native: "native", LLVMBase: "llvm-base", PA: "pa", PADummy: "pa+dummy",
+	Ours: "ours", OursNoPA: "ours-nopa", Valgrind: "valgrind",
+	EFence: "efence", Capability: "capability",
+}
+
+// String implements fmt.Stringer.
+func (c Config) String() string {
+	if s, ok := configNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("config(%d)", int(c))
+}
+
+// AllConfigs returns every configuration.
+func AllConfigs() []Config {
+	return []Config{Native, LLVMBase, PA, PADummy, Ours, OursNoPA, Valgrind, EFence, Capability}
+}
+
+// usesPools reports whether the configuration runs APA-transformed code.
+func (c Config) usesPools() bool {
+	switch c {
+	case PA, PADummy, Ours:
+		return true
+	}
+	return false
+}
+
+// model returns the configuration's cycle model.
+func (c Config) model() cost.Model {
+	switch c {
+	case Native:
+		return cost.Native()
+	case Valgrind:
+		return cost.Valgrind()
+	case Capability:
+		return cost.Capability()
+	default:
+		return cost.LLVMBase()
+	}
+}
+
+// runtimeFor builds the configuration's runtime on proc.
+func (c Config) runtimeFor(proc *kernel.Process) interp.Runtime {
+	switch c {
+	case Native, LLVMBase, PA:
+		return runtimes.NewNative(proc)
+	case PADummy:
+		return runtimes.NewPADummy(proc)
+	case Ours, OursNoPA:
+		return runtimes.NewShadow(proc, core.NeverReuse())
+	case Valgrind:
+		return valgrind.New(proc)
+	case EFence:
+		return efence.New(proc)
+	case Capability:
+		return capability.New(proc)
+	}
+	return nil
+}
+
+// Measurement is the result of one (workload, configuration) cell.
+type Measurement struct {
+	Workload string
+	Config   Config
+	// Cycles is total simulated cycles across all connections/runs.
+	Cycles uint64
+	// Counters aggregates the meter across processes.
+	Counters cost.Snapshot
+	// ReservedPages is total virtual pages consumed (per connection for
+	// servers: see PerConnPages).
+	ReservedPages uint64
+	// PerConnPages lists per-connection virtual page consumption for
+	// servers (the §4.3 study).
+	PerConnPages []uint64
+	// PeakFrames is the machine-wide peak physical frame usage.
+	PeakFrames uint64
+	// CapabilityMetadataBytes is the capability baseline's metadata
+	// footprint (zero for other configurations).
+	CapabilityMetadataBytes uint64
+	// Output is the program output (first connection for servers).
+	Output string
+	// Err is a terminating program error (nil for clean workloads).
+	Err error
+}
+
+// Seconds converts the measurement to table seconds.
+func (m Measurement) Seconds() float64 { return float64(m.Cycles) / ClockHz }
+
+// Options tunes a run.
+type Options struct {
+	// Kernel overrides the machine configuration (zero value = default).
+	Kernel *kernel.Config
+	// StepLimit bounds interpreter steps per process.
+	StepLimit uint64
+}
+
+// Run measures one workload under one configuration.
+func Run(w workload.Workload, c Config, opts Options) (Measurement, error) {
+	m := Measurement{Workload: w.Name, Config: c}
+
+	var prog *ir.Program
+	var err error
+	if c.usesPools() {
+		prog, _, err = driver.CompileWithPools(w.Source)
+	} else {
+		prog, err = driver.Compile(w.Source)
+	}
+	if err != nil {
+		return m, fmt.Errorf("experiment: %s/%s: %w", w.Name, c, err)
+	}
+
+	cfg := kernel.DefaultConfig()
+	if opts.Kernel != nil {
+		cfg = *opts.Kernel
+	}
+	cfg.Model = c.model()
+	sys := kernel.NewSystem(cfg)
+
+	conns := w.Connections
+	if conns == 0 {
+		conns = 1
+	}
+	for i := 0; i < conns; i++ {
+		var capRT *capability.Runtime
+		mkRT := func(p *kernel.Process) interp.Runtime {
+			rt := c.runtimeFor(p)
+			if cr, ok := rt.(*capability.Runtime); ok {
+				capRT = cr
+			}
+			return rt
+		}
+		res, err := driver.Run(prog, sys, cfg, mkRT, interp.Config{StepLimit: opts.StepLimit})
+		if err != nil {
+			return m, fmt.Errorf("experiment: %s/%s: %w", w.Name, c, err)
+		}
+		snap := res.Proc.Meter().Snapshot()
+		m.Cycles += snap.Cycles
+		m.Counters.Cycles += snap.Cycles
+		m.Counters.Instrs += snap.Instrs
+		m.Counters.MemAccesses += snap.MemAccesses
+		m.Counters.Syscalls += snap.Syscalls
+		m.Counters.Traps += snap.Traps
+		if capRT != nil {
+			m.CapabilityMetadataBytes += capRT.MetadataBytes()
+		}
+		pages := res.Proc.Space().ReservedPages()
+		m.ReservedPages += pages
+		m.PerConnPages = append(m.PerConnPages, pages)
+		if i == 0 {
+			m.Output = res.Machine.Output()
+		}
+		if res.Err != nil && m.Err == nil {
+			m.Err = res.Err
+		}
+		// Fork-per-connection: the process exits, releasing frames.
+		if err := res.Proc.Exit(); err != nil {
+			return m, fmt.Errorf("experiment: %s/%s: exit: %w", w.Name, c, err)
+		}
+	}
+	m.PeakFrames = sys.PhysMemory().PeakInUse()
+	return m, nil
+}
+
+// Sweep measures one workload under several configurations.
+func Sweep(w workload.Workload, cfgs []Config, opts Options) (map[Config]Measurement, error) {
+	out := make(map[Config]Measurement, len(cfgs))
+	for _, c := range cfgs {
+		m, err := Run(w, c, opts)
+		if err != nil {
+			return nil, err
+		}
+		out[c] = m
+	}
+	return out, nil
+}
+
+// Ratio returns a/b as a float ratio of cycles.
+func Ratio(a, b Measurement) float64 {
+	if b.Cycles == 0 {
+		return 0
+	}
+	return float64(a.Cycles) / float64(b.Cycles)
+}

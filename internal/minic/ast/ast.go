@@ -1,0 +1,321 @@
+// Package ast defines the abstract syntax tree of mini-C produced by the
+// parser and annotated by the type checker.
+package ast
+
+import (
+	"repro/internal/minic/token"
+	"repro/internal/minic/types"
+)
+
+// Node is any AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	Structs []*StructDecl
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// StructDecl declares a struct type.
+type StructDecl struct {
+	Name     string
+	Fields   []FieldDecl
+	Position token.Pos
+	// Type is the resolved struct type (set by the checker).
+	Type *types.Type
+}
+
+// Pos implements Node.
+func (d *StructDecl) Pos() token.Pos { return d.Position }
+
+// FieldDecl is one struct member.
+type FieldDecl struct {
+	Name string
+	Type *types.Type
+}
+
+// VarDecl declares a global or local variable.
+type VarDecl struct {
+	Name     string
+	Type     *types.Type
+	Init     Expr // optional
+	Position token.Pos
+}
+
+// Pos implements Node.
+func (d *VarDecl) Pos() token.Pos { return d.Position }
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type *types.Type
+}
+
+// FuncDecl defines a function.
+type FuncDecl struct {
+	Name     string
+	Ret      *types.Type
+	Params   []Param
+	Body     *BlockStmt
+	Position token.Pos
+}
+
+// Pos implements Node.
+func (d *FuncDecl) Pos() token.Pos { return d.Position }
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// BlockStmt is { ... }.
+type BlockStmt struct {
+	Stmts    []Stmt
+	Position token.Pos
+}
+
+// DeclStmt is a local variable declaration.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	X Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond     Expr
+	Then     Stmt
+	Else     Stmt // optional
+	Position token.Pos
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond     Expr
+	Body     Stmt
+	Position token.Pos
+}
+
+// ForStmt is a C for loop; any of Init/Cond/Post may be nil.
+type ForStmt struct {
+	Init     Stmt
+	Cond     Expr
+	Post     Stmt
+	Body     Stmt
+	Position token.Pos
+}
+
+// ReturnStmt returns from the current function; X may be nil.
+type ReturnStmt struct {
+	X        Expr
+	Position token.Pos
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Position token.Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Position token.Pos }
+
+// Pos implementations.
+func (s *BlockStmt) Pos() token.Pos    { return s.Position }
+func (s *DeclStmt) Pos() token.Pos     { return s.Decl.Position }
+func (s *ExprStmt) Pos() token.Pos     { return s.X.Pos() }
+func (s *IfStmt) Pos() token.Pos       { return s.Position }
+func (s *WhileStmt) Pos() token.Pos    { return s.Position }
+func (s *ForStmt) Pos() token.Pos      { return s.Position }
+func (s *ReturnStmt) Pos() token.Pos   { return s.Position }
+func (s *BreakStmt) Pos() token.Pos    { return s.Position }
+func (s *ContinueStmt) Pos() token.Pos { return s.Position }
+
+func (*BlockStmt) stmt()    {}
+func (*DeclStmt) stmt()     {}
+func (*ExprStmt) stmt()     {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+
+// Expr is an expression node. Type is set by the checker.
+type Expr interface {
+	Node
+	// Type returns the checked type (nil before checking).
+	Type() *types.Type
+	// SetType records the checked type.
+	SetType(*types.Type)
+}
+
+// exprBase carries the checked type for all expression nodes.
+type exprBase struct {
+	typ *types.Type
+}
+
+// Type implements Expr.
+func (b *exprBase) Type() *types.Type { return b.typ }
+
+// SetType implements Expr.
+func (b *exprBase) SetType(t *types.Type) { b.typ = t }
+
+// IntLit is an integer (or char) literal.
+type IntLit struct {
+	exprBase
+	Val      int64
+	Position token.Pos
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	exprBase
+	Val      float64
+	Position token.Pos
+}
+
+// StrLit is a string literal (static char array, evaluates to char*).
+type StrLit struct {
+	exprBase
+	Val      string
+	Position token.Pos
+}
+
+// NullLit is the NULL pointer constant.
+type NullLit struct {
+	exprBase
+	Position token.Pos
+}
+
+// Ident references a variable.
+type Ident struct {
+	exprBase
+	Name     string
+	Position token.Pos
+	// Global is set by the checker when the name resolves to a global.
+	Global bool
+}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp int
+
+// Unary operators.
+const (
+	Neg    UnaryOp = iota + 1 // -x
+	Not                       // !x
+	BitNot                    // ~x
+	Deref                     // *p
+	AddrOf                    // &lv
+)
+
+// UnaryExpr applies a unary operator.
+type UnaryExpr struct {
+	exprBase
+	Op       UnaryOp
+	X        Expr
+	Position token.Pos
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators.
+const (
+	Add BinOp = iota + 1
+	Sub
+	Mul
+	Div
+	Rem
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Lt
+	Gt
+	Le
+	Ge
+	Eq
+	Ne
+	LAnd // && short-circuit
+	LOr  // || short-circuit
+)
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	exprBase
+	Op       BinOp
+	X, Y     Expr
+	Position token.Pos
+}
+
+// AssignExpr is lv = rhs (Op == 0) or lv op= rhs.
+type AssignExpr struct {
+	exprBase
+	Op       BinOp // 0 for plain =
+	LHS      Expr
+	RHS      Expr
+	Position token.Pos
+}
+
+// CallExpr calls a named function or builtin.
+type CallExpr struct {
+	exprBase
+	Name     string
+	Args     []Expr
+	Position token.Pos
+}
+
+// IndexExpr is a[i].
+type IndexExpr struct {
+	exprBase
+	X        Expr
+	Index    Expr
+	Position token.Pos
+}
+
+// MemberExpr is x.f (Arrow false) or p->f (Arrow true).
+type MemberExpr struct {
+	exprBase
+	X        Expr
+	Name     string
+	Arrow    bool
+	Position token.Pos
+	// Field is resolved by the checker.
+	Field types.Field
+}
+
+// CastExpr is (T)x.
+type CastExpr struct {
+	exprBase
+	To       *types.Type
+	X        Expr
+	Position token.Pos
+}
+
+// SizeofExpr is sizeof(T).
+type SizeofExpr struct {
+	exprBase
+	Of       *types.Type
+	Position token.Pos
+}
+
+// Pos implementations.
+func (e *IntLit) Pos() token.Pos     { return e.Position }
+func (e *FloatLit) Pos() token.Pos   { return e.Position }
+func (e *StrLit) Pos() token.Pos     { return e.Position }
+func (e *NullLit) Pos() token.Pos    { return e.Position }
+func (e *Ident) Pos() token.Pos      { return e.Position }
+func (e *UnaryExpr) Pos() token.Pos  { return e.Position }
+func (e *BinaryExpr) Pos() token.Pos { return e.Position }
+func (e *AssignExpr) Pos() token.Pos { return e.Position }
+func (e *CallExpr) Pos() token.Pos   { return e.Position }
+func (e *IndexExpr) Pos() token.Pos  { return e.Position }
+func (e *MemberExpr) Pos() token.Pos { return e.Position }
+func (e *CastExpr) Pos() token.Pos   { return e.Position }
+func (e *SizeofExpr) Pos() token.Pos { return e.Position }

@@ -1,0 +1,327 @@
+// Package check type-checks mini-C programs: it lays out struct types,
+// resolves names, annotates every expression with its type, and materializes
+// implicit conversions as explicit casts so that IR generation is purely
+// mechanical.
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/minic/ast"
+	"repro/internal/minic/token"
+	"repro/internal/minic/types"
+)
+
+// Error is a semantic error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Builtins are the runtime functions every mini-C program can call. malloc
+// and free are the allocation interface the whole reproduction pivots on;
+// the rest are I/O and deterministic-random helpers for workloads.
+var Builtins = map[string]types.FuncSig{
+	"malloc":      {Name: "malloc", Ret: types.PointerTo(types.Char), Params: []*types.Type{types.Int}},
+	"free":        {Name: "free", Ret: types.Void, Params: []*types.Type{types.PointerTo(types.Char)}},
+	"print_int":   {Name: "print_int", Ret: types.Void, Params: []*types.Type{types.Int}},
+	"print_char":  {Name: "print_char", Ret: types.Void, Params: []*types.Type{types.Int}},
+	"print_float": {Name: "print_float", Ret: types.Void, Params: []*types.Type{types.Float}},
+	"print_str":   {Name: "print_str", Ret: types.Void, Params: []*types.Type{types.PointerTo(types.Char)}},
+	"rand":        {Name: "rand", Ret: types.Int, Params: nil},
+	"srand":       {Name: "srand", Ret: types.Void, Params: []*types.Type{types.Int}},
+	"sqrt":        {Name: "sqrt", Ret: types.Float, Params: []*types.Type{types.Float}},
+}
+
+// Info is the checker's output: the program plus symbol information the
+// later phases need.
+type Info struct {
+	Prog *ast.Program
+	// Funcs maps function names to their declarations.
+	Funcs map[string]*ast.FuncDecl
+	// Globals maps global names to their declarations.
+	Globals map[string]*ast.VarDecl
+	// Strings lists every string literal for data-segment layout.
+	Strings []*ast.StrLit
+}
+
+// Check type-checks prog in place.
+func Check(prog *ast.Program) (*Info, error) {
+	c := &checker{
+		info: &Info{
+			Prog:    prog,
+			Funcs:   make(map[string]*ast.FuncDecl),
+			Globals: make(map[string]*ast.VarDecl),
+		},
+	}
+	if err := c.program(prog); err != nil {
+		return nil, err
+	}
+	return c.info, nil
+}
+
+type checker struct {
+	info *Info
+	// scopes is the local-variable scope stack.
+	scopes []map[string]*types.Type
+	// fn is the function being checked.
+	fn *ast.FuncDecl
+	// loopDepth tracks break/continue validity.
+	loopDepth int
+}
+
+func errf(pos token.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (c *checker) program(prog *ast.Program) error {
+	// Struct bodies first (order-independent via iteration to fixpoint;
+	// mini-C structs may reference later structs through pointers only,
+	// so one pass over value-dependencies in declaration order plus a
+	// retry loop suffices).
+	pending := append([]*ast.StructDecl(nil), prog.Structs...)
+	for len(pending) > 0 {
+		progress := false
+		var next []*ast.StructDecl
+		for _, d := range pending {
+			ready := true
+			for _, f := range d.Fields {
+				if base := valueBase(f.Type); base.Kind == types.KindStruct && !base.Resolved() {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, d)
+				continue
+			}
+			fields := make([]types.Field, len(d.Fields))
+			seen := make(map[string]bool, len(d.Fields))
+			for i, f := range d.Fields {
+				if seen[f.Name] {
+					return errf(d.Pos(), "duplicate field %q in struct %s", f.Name, d.Name)
+				}
+				seen[f.Name] = true
+				fields[i] = types.Field{Name: f.Name, Type: f.Type}
+			}
+			if err := d.Type.SetFields(fields); err != nil {
+				return errf(d.Pos(), "%v", err)
+			}
+			progress = true
+		}
+		if !progress {
+			return errf(pending[0].Pos(), "recursive struct value cycle involving %s", pending[0].Name)
+		}
+		pending = next
+	}
+
+	for _, g := range prog.Globals {
+		if _, dup := c.info.Globals[g.Name]; dup {
+			return errf(g.Pos(), "duplicate global %q", g.Name)
+		}
+		if err := c.checkVarType(g); err != nil {
+			return err
+		}
+		if g.Init != nil {
+			return errf(g.Pos(), "global %q: initializers are not supported on globals (zero-initialized)", g.Name)
+		}
+		c.info.Globals[g.Name] = g
+	}
+
+	for _, fn := range prog.Funcs {
+		if _, dup := c.info.Funcs[fn.Name]; dup {
+			return errf(fn.Pos(), "duplicate function %q", fn.Name)
+		}
+		if _, isBuiltin := Builtins[fn.Name]; isBuiltin {
+			return errf(fn.Pos(), "function %q shadows a builtin", fn.Name)
+		}
+		c.info.Funcs[fn.Name] = fn
+	}
+	if _, ok := c.info.Funcs["main"]; !ok {
+		return errf(token.Pos{Line: 1, Col: 1}, "no main function")
+	}
+
+	for _, fn := range prog.Funcs {
+		if err := c.function(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// valueBase strips arrays (value containment) but not pointers.
+func valueBase(t *types.Type) *types.Type {
+	for t.Kind == types.KindArray {
+		t = t.Elem
+	}
+	return t
+}
+
+func (c *checker) checkVarType(d *ast.VarDecl) error {
+	base := valueBase(d.Type)
+	if base.Kind == types.KindVoid {
+		return errf(d.Pos(), "variable %q has void type", d.Name)
+	}
+	if base.Kind == types.KindStruct && !base.Resolved() {
+		return errf(d.Pos(), "variable %q has undefined struct type %s", d.Name, base)
+	}
+	return nil
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, make(map[string]*types.Type)) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(pos token.Pos, name string, t *types.Type) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		return errf(pos, "redeclaration of %q", name)
+	}
+	top[name] = t
+	return nil
+}
+
+// lookup resolves a name to (type, isGlobal).
+func (c *checker) lookup(name string) (*types.Type, bool, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if t, ok := c.scopes[i][name]; ok {
+			return t, false, true
+		}
+	}
+	if g, ok := c.info.Globals[name]; ok {
+		return g.Type, true, true
+	}
+	return nil, false, false
+}
+
+func (c *checker) function(fn *ast.FuncDecl) error {
+	c.fn = fn
+	c.pushScope()
+	defer c.popScope()
+	for _, p := range fn.Params {
+		if !p.Type.IsScalar() {
+			return errf(fn.Pos(), "parameter %q of %s: only scalar parameters are supported", p.Name, fn.Name)
+		}
+		if err := c.declare(fn.Pos(), p.Name, p.Type); err != nil {
+			return err
+		}
+	}
+	return c.stmt(fn.Body)
+}
+
+func (c *checker) stmt(s ast.Stmt) error {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.pushScope()
+		defer c.popScope()
+		for _, inner := range s.Stmts {
+			if err := c.stmt(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ast.DeclStmt:
+		d := s.Decl
+		if err := c.checkVarType(d); err != nil {
+			return err
+		}
+		if err := c.declare(d.Pos(), d.Name, d.Type); err != nil {
+			return err
+		}
+		if d.Init != nil {
+			if err := c.expr(d.Init); err != nil {
+				return err
+			}
+			conv, err := c.assignable(d.Init, d.Type)
+			if err != nil {
+				return errf(d.Pos(), "cannot initialize %q (%s) with %s: %v",
+					d.Name, d.Type, d.Init.Type(), err)
+			}
+			d.Init = conv
+		}
+		return nil
+	case *ast.ExprStmt:
+		return c.expr(s.X)
+	case *ast.IfStmt:
+		if err := c.condition(s.Cond); err != nil {
+			return err
+		}
+		if err := c.stmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.stmt(s.Else)
+		}
+		return nil
+	case *ast.WhileStmt:
+		if err := c.condition(s.Cond); err != nil {
+			return err
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.stmt(s.Body)
+	case *ast.ForStmt:
+		c.pushScope()
+		defer c.popScope()
+		if s.Init != nil {
+			if err := c.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := c.condition(s.Cond); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := c.stmt(s.Post); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.stmt(s.Body)
+	case *ast.ReturnStmt:
+		if s.X == nil {
+			if c.fn.Ret.Kind != types.KindVoid {
+				return errf(s.Pos(), "%s: return without value", c.fn.Name)
+			}
+			return nil
+		}
+		if c.fn.Ret.Kind == types.KindVoid {
+			return errf(s.Pos(), "%s: void function returns a value", c.fn.Name)
+		}
+		if err := c.expr(s.X); err != nil {
+			return err
+		}
+		conv, err := c.assignable(s.X, c.fn.Ret)
+		if err != nil {
+			return errf(s.Pos(), "%s: cannot return %s as %s", c.fn.Name, s.X.Type(), c.fn.Ret)
+		}
+		s.X = conv
+		return nil
+	case *ast.BreakStmt:
+		if c.loopDepth == 0 {
+			return errf(s.Pos(), "break outside loop")
+		}
+		return nil
+	case *ast.ContinueStmt:
+		if c.loopDepth == 0 {
+			return errf(s.Pos(), "continue outside loop")
+		}
+		return nil
+	}
+	return fmt.Errorf("check: unknown statement %T", s)
+}
+
+func (c *checker) condition(e ast.Expr) error {
+	if err := c.expr(e); err != nil {
+		return err
+	}
+	if !e.Type().IsScalar() {
+		return errf(e.Pos(), "condition has non-scalar type %s", e.Type())
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minic/ast"
+	"repro/internal/minic/parser"
+	"repro/internal/minic/types"
+)
+
+func mustCheck(t *testing.T, src string) *Info {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return info
+}
+
+func checkErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err == nil {
+		_, err = Check(prog)
+	}
+	if err == nil {
+		t.Fatalf("expected error containing %q, got none", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not contain %q", err, wantSub)
+	}
+}
+
+func TestRunningExampleChecks(t *testing.T) {
+	// The paper's Figure 1 program, expressed in mini-C.
+	src := `
+struct s { int val; struct s *next; };
+
+void create_10_node_list(struct s *p) {
+  int i;
+  struct s *q = p;
+  for (i = 0; i < 9; i = i + 1) {
+    q->next = (struct s*)malloc(sizeof(struct s));
+    q = q->next;
+  }
+  q->next = NULL;
+}
+
+void initialize(struct s *p) {
+  while (p != NULL) { p->val = 1; p = p->next; }
+}
+
+void free_all_but_head(struct s *p) {
+  struct s *q = p->next;
+  while (q != NULL) {
+    struct s *n = q->next;
+    free(q);
+    q = n;
+  }
+}
+
+void g(struct s *p) {
+  p->next = (struct s*)malloc(sizeof(struct s));
+  create_10_node_list(p);
+  initialize(p);
+  free_all_but_head(p);
+}
+
+void main() {
+  struct s head;
+  g(&head);
+  head.next->val = 5;
+}
+`
+	info := mustCheck(t, src)
+	if len(info.Funcs) != 5 {
+		t.Fatalf("got %d functions", len(info.Funcs))
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	src := `
+struct mixed { char c; int x; char buf[3]; struct mixed *p; };
+void main() { int a = sizeof(struct mixed); }
+`
+	info := mustCheck(t, src)
+	var st *types.Type
+	for _, s := range info.Prog.Structs {
+		if s.Name == "mixed" {
+			st = s.Type
+		}
+	}
+	if st == nil {
+		t.Fatal("struct mixed not found")
+	}
+	// c at 0, x at 8 (aligned), buf at 16..18, p at 24, size 32.
+	cases := map[string]uint64{"c": 0, "x": 8, "buf": 16, "p": 24}
+	for name, want := range cases {
+		f, ok := st.Field(name)
+		if !ok {
+			t.Fatalf("field %q missing", name)
+		}
+		if f.Offset != want {
+			t.Errorf("offset of %q = %d, want %d", name, f.Offset, want)
+		}
+	}
+	if st.Size() != 32 {
+		t.Errorf("sizeof(struct mixed) = %d, want 32", st.Size())
+	}
+}
+
+func TestSelfReferentialStructOK(t *testing.T) {
+	mustCheck(t, `
+struct node { int v; struct node *next; };
+void main() { struct node n; n.v = 1; }
+`)
+}
+
+func TestMutuallyRecursiveStructsViaPointers(t *testing.T) {
+	mustCheck(t, `
+struct a { struct b *pb; };
+struct b { struct a *pa; };
+void main() { struct a x; x.pb = NULL; }
+`)
+}
+
+func TestRecursiveValueStructRejected(t *testing.T) {
+	checkErr(t, `
+struct a { struct a inner; };
+void main() {}
+`, "recursive struct")
+}
+
+func TestUndefinedVariable(t *testing.T) {
+	checkErr(t, `void main() { x = 1; }`, "undefined")
+}
+
+func TestUndefinedFunction(t *testing.T) {
+	checkErr(t, `void main() { foo(); }`, "undefined function")
+}
+
+func TestNoMain(t *testing.T) {
+	checkErr(t, `int f() { return 1; }`, "no main")
+}
+
+func TestArityMismatch(t *testing.T) {
+	checkErr(t, `
+int add(int a, int b) { return a + b; }
+void main() { add(1); }
+`, "expects 2 arguments")
+}
+
+func TestDerefNonPointer(t *testing.T) {
+	checkErr(t, `void main() { int x; *x = 1; }`, "dereference")
+}
+
+func TestAssignToNonLvalue(t *testing.T) {
+	checkErr(t, `void main() { 1 = 2; }`, "non-lvalue")
+}
+
+func TestBreakOutsideLoop(t *testing.T) {
+	checkErr(t, `void main() { break; }`, "outside loop")
+}
+
+func TestPointerIntCastsAllowed(t *testing.T) {
+	// §5.2: "we allow arbitrary casts including casts from pointers to
+	// integers and back".
+	mustCheck(t, `
+void main() {
+  char *p = malloc(16);
+  int x = (int)p;
+  char *q = (char*)x;
+  free(q);
+}
+`)
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	mustCheck(t, `
+void main() {
+  int *a = (int*)malloc(10 * sizeof(int));
+  int *end = a + 10;
+  int n = end - a;
+  a[n - 1] = 7;
+  free(a);
+}
+`)
+}
+
+func TestImplicitIntToFloat(t *testing.T) {
+	mustCheck(t, `
+void main() {
+  float f = 1;
+  f = f + 2;
+  int i = (int)f;
+}
+`)
+}
+
+func TestFloatModRejected(t *testing.T) {
+	checkErr(t, `void main() { float f = 1.0; f = f % 2.0; }`, "integer op")
+}
+
+func TestCompoundAssignDesugar(t *testing.T) {
+	info := mustCheck(t, `void main() { int x = 1; x += 2; x *= 3; }`)
+	_ = info
+}
+
+func TestStringLiteralCollected(t *testing.T) {
+	info := mustCheck(t, `void main() { print_str("hello"); print_str("world"); }`)
+	if len(info.Strings) != 2 {
+		t.Fatalf("collected %d strings, want 2", len(info.Strings))
+	}
+}
+
+func TestGlobalsResolved(t *testing.T) {
+	info := mustCheck(t, `
+int counter;
+struct s { int v; };
+struct s *head;
+void main() { counter = counter + 1; head = NULL; }
+`)
+	if len(info.Globals) != 2 {
+		t.Fatalf("got %d globals", len(info.Globals))
+	}
+}
+
+func TestVoidVariableRejected(t *testing.T) {
+	checkErr(t, `void main() { void x; }`, "void type")
+}
+
+func TestLogicalOpsShortCircuitTypes(t *testing.T) {
+	info := mustCheck(t, `
+void main() {
+  char *p = NULL;
+  int ok = p != NULL && p[0] == 'a';
+  int other = !ok || 1;
+}
+`)
+	fn := info.Funcs["main"]
+	decl := fn.Body.Stmts[1].(*ast.DeclStmt)
+	if decl.Decl.Init.Type() != types.Int {
+		t.Fatalf("&& type = %s, want int", decl.Decl.Init.Type())
+	}
+}
+
+func TestFreeAcceptsAnyPointer(t *testing.T) {
+	mustCheck(t, `
+struct s { int v; };
+void main() {
+  struct s *p = (struct s*)malloc(sizeof(struct s));
+  free(p);
+}
+`)
+}
+
+func TestDuplicateFunction(t *testing.T) {
+	checkErr(t, `
+void f() {}
+void f() {}
+void main() {}
+`, "duplicate function")
+}
+
+func TestDuplicateLocal(t *testing.T) {
+	checkErr(t, `void main() { int x; int x; }`, "redeclaration")
+}
+
+func TestShadowingInInnerScopeOK(t *testing.T) {
+	mustCheck(t, `void main() { int x = 1; { int x = 2; x = 3; } x = 4; }`)
+}

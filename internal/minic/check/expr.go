@@ -1,0 +1,452 @@
+package check
+
+import (
+	"repro/internal/minic/ast"
+	"repro/internal/minic/types"
+)
+
+// decay converts array-typed expressions to pointers to their first element
+// (C's array-to-pointer decay) and returns the effective type.
+func decay(e ast.Expr) *types.Type {
+	t := e.Type()
+	if t.Kind == types.KindArray {
+		return types.PointerTo(t.Elem)
+	}
+	return t
+}
+
+// castTo wraps e in an explicit cast to t unless it already has that type.
+func castTo(e ast.Expr, t *types.Type) ast.Expr {
+	if types.Equal(decay(e), t) && e.Type().Kind != types.KindArray {
+		return e
+	}
+	cst := &ast.CastExpr{To: t, X: e, Position: e.Pos()}
+	cst.SetType(t)
+	return cst
+}
+
+// assignable checks whether e can be assigned to type t, returning e with
+// any implicit conversion materialized.
+func (c *checker) assignable(e ast.Expr, t *types.Type) (ast.Expr, error) {
+	from := decay(e)
+	switch {
+	case types.Equal(from, t):
+		return castTo(e, t), nil
+	// Integer widths convert freely.
+	case from.IsInteger() && t.IsInteger():
+		return castTo(e, t), nil
+	// int -> float implicitly (C's usual conversion).
+	case from.IsInteger() && t.Kind == types.KindFloat:
+		return castTo(e, t), nil
+	// NULL (int 0 from NullLit) and char* convert to any pointer; any
+	// pointer converts to char* (the malloc/free interface).
+	case t.Kind == types.KindPointer && isNull(e):
+		return castTo(e, t), nil
+	case t.Kind == types.KindPointer && from.Kind == types.KindPointer &&
+		(from.Elem.Kind == types.KindChar || from.Elem.Kind == types.KindVoid ||
+			t.Elem.Kind == types.KindChar || t.Elem.Kind == types.KindVoid):
+		return castTo(e, t), nil
+	}
+	return nil, errf(e.Pos(), "cannot convert %s to %s implicitly", from, t)
+}
+
+func isNull(e ast.Expr) bool {
+	if _, ok := e.(*ast.NullLit); ok {
+		return true
+	}
+	if lit, ok := e.(*ast.IntLit); ok {
+		return lit.Val == 0
+	}
+	return false
+}
+
+// isLvalue reports whether e designates a storage location.
+func isLvalue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.IndexExpr, *ast.MemberExpr:
+		return true
+	case *ast.UnaryExpr:
+		return e.Op == ast.Deref
+	}
+	return false
+}
+
+func (c *checker) expr(e ast.Expr) error {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		e.SetType(types.Int)
+		return nil
+	case *ast.FloatLit:
+		e.SetType(types.Float)
+		return nil
+	case *ast.StrLit:
+		e.SetType(types.PointerTo(types.Char))
+		c.info.Strings = append(c.info.Strings, e)
+		return nil
+	case *ast.NullLit:
+		e.SetType(types.PointerTo(types.Void))
+		return nil
+	case *ast.Ident:
+		t, global, ok := c.lookup(e.Name)
+		if !ok {
+			return errf(e.Pos(), "undefined: %q", e.Name)
+		}
+		e.Global = global
+		e.SetType(t)
+		return nil
+	case *ast.UnaryExpr:
+		return c.unary(e)
+	case *ast.BinaryExpr:
+		return c.binary(e)
+	case *ast.AssignExpr:
+		return c.assign(e)
+	case *ast.CallExpr:
+		return c.call(e)
+	case *ast.IndexExpr:
+		return c.index(e)
+	case *ast.MemberExpr:
+		return c.member(e)
+	case *ast.CastExpr:
+		return c.cast(e)
+	case *ast.SizeofExpr:
+		base := valueBase(e.Of)
+		if base.Kind == types.KindStruct && !base.Resolved() {
+			return errf(e.Pos(), "sizeof undefined struct %s", base)
+		}
+		e.SetType(types.Int)
+		return nil
+	}
+	return errf(e.Pos(), "check: unknown expression %T", e)
+}
+
+func (c *checker) unary(e *ast.UnaryExpr) error {
+	if err := c.expr(e.X); err != nil {
+		return err
+	}
+	xt := decay(e.X)
+	switch e.Op {
+	case ast.Neg:
+		if xt.Kind == types.KindFloat {
+			e.SetType(types.Float)
+			return nil
+		}
+		if xt.IsInteger() {
+			e.X = castTo(e.X, types.Int)
+			e.SetType(types.Int)
+			return nil
+		}
+		return errf(e.Pos(), "cannot negate %s", xt)
+	case ast.Not:
+		if !xt.IsScalar() {
+			return errf(e.Pos(), "cannot apply ! to %s", xt)
+		}
+		e.SetType(types.Int)
+		return nil
+	case ast.BitNot:
+		if !xt.IsInteger() {
+			return errf(e.Pos(), "cannot apply ~ to %s", xt)
+		}
+		e.X = castTo(e.X, types.Int)
+		e.SetType(types.Int)
+		return nil
+	case ast.Deref:
+		if xt.Kind != types.KindPointer {
+			return errf(e.Pos(), "cannot dereference %s", xt)
+		}
+		if xt.Elem.Kind == types.KindVoid {
+			return errf(e.Pos(), "cannot dereference void*")
+		}
+		e.SetType(xt.Elem)
+		return nil
+	case ast.AddrOf:
+		if !isLvalue(e.X) {
+			return errf(e.Pos(), "cannot take address of non-lvalue")
+		}
+		e.SetType(types.PointerTo(e.X.Type()))
+		return nil
+	}
+	return errf(e.Pos(), "check: unknown unary op %d", e.Op)
+}
+
+func (c *checker) binary(e *ast.BinaryExpr) error {
+	if err := c.expr(e.X); err != nil {
+		return err
+	}
+	if err := c.expr(e.Y); err != nil {
+		return err
+	}
+	xt, yt := decay(e.X), decay(e.Y)
+
+	switch e.Op {
+	case ast.LAnd, ast.LOr:
+		if !xt.IsScalar() || !yt.IsScalar() {
+			return errf(e.Pos(), "logical op on %s and %s", xt, yt)
+		}
+		e.SetType(types.Int)
+		return nil
+	case ast.Eq, ast.Ne, ast.Lt, ast.Gt, ast.Le, ast.Ge:
+		switch {
+		case xt.Kind == types.KindFloat || yt.Kind == types.KindFloat:
+			if !c.numericPair(e) {
+				return errf(e.Pos(), "comparison of %s and %s", xt, yt)
+			}
+		case xt.Kind == types.KindPointer || yt.Kind == types.KindPointer:
+			if !(xt.Kind == types.KindPointer || isNull(e.X)) ||
+				!(yt.Kind == types.KindPointer || isNull(e.Y)) {
+				return errf(e.Pos(), "comparison of %s and %s", xt, yt)
+			}
+		case xt.IsInteger() && yt.IsInteger():
+			e.X = castTo(e.X, types.Int)
+			e.Y = castTo(e.Y, types.Int)
+		default:
+			return errf(e.Pos(), "comparison of %s and %s", xt, yt)
+		}
+		e.SetType(types.Int)
+		return nil
+	case ast.Add, ast.Sub:
+		// Pointer arithmetic.
+		if xt.Kind == types.KindPointer && yt.IsInteger() {
+			e.Y = castTo(e.Y, types.Int)
+			e.SetType(xt)
+			return nil
+		}
+		if e.Op == ast.Add && xt.IsInteger() && yt.Kind == types.KindPointer {
+			e.X = castTo(e.X, types.Int)
+			e.SetType(yt)
+			return nil
+		}
+		if e.Op == ast.Sub && xt.Kind == types.KindPointer && yt.Kind == types.KindPointer {
+			if !types.Equal(xt.Elem, yt.Elem) {
+				return errf(e.Pos(), "subtraction of incompatible pointers %s and %s", xt, yt)
+			}
+			e.SetType(types.Int)
+			return nil
+		}
+		fallthrough
+	case ast.Mul, ast.Div:
+		if !c.numericPair(e) {
+			return errf(e.Pos(), "arithmetic on %s and %s", xt, yt)
+		}
+		return nil
+	case ast.Rem, ast.And, ast.Or, ast.Xor, ast.Shl, ast.Shr:
+		if !xt.IsInteger() || !yt.IsInteger() {
+			return errf(e.Pos(), "integer op on %s and %s", xt, yt)
+		}
+		e.X = castTo(e.X, types.Int)
+		e.Y = castTo(e.Y, types.Int)
+		e.SetType(types.Int)
+		return nil
+	}
+	return errf(e.Pos(), "check: unknown binary op %d", e.Op)
+}
+
+// numericPair applies the usual arithmetic conversions to e's operands and
+// sets e's type. Returns false when either operand is non-numeric.
+func (c *checker) numericPair(e *ast.BinaryExpr) bool {
+	xt, yt := decay(e.X), decay(e.Y)
+	isNum := func(t *types.Type) bool { return t.IsInteger() || t.Kind == types.KindFloat }
+	if !isNum(xt) || !isNum(yt) {
+		return false
+	}
+	if xt.Kind == types.KindFloat || yt.Kind == types.KindFloat {
+		e.X = castTo(e.X, types.Float)
+		e.Y = castTo(e.Y, types.Float)
+		switch e.Op {
+		case ast.Eq, ast.Ne, ast.Lt, ast.Gt, ast.Le, ast.Ge:
+			e.SetType(types.Int)
+		default:
+			e.SetType(types.Float)
+		}
+		return true
+	}
+	e.X = castTo(e.X, types.Int)
+	e.Y = castTo(e.Y, types.Int)
+	e.SetType(types.Int)
+	return true
+}
+
+func (c *checker) assign(e *ast.AssignExpr) error {
+	if err := c.expr(e.LHS); err != nil {
+		return err
+	}
+	if !isLvalue(e.LHS) {
+		return errf(e.Pos(), "assignment to non-lvalue")
+	}
+	lt := e.LHS.Type()
+	if lt.Kind == types.KindArray || lt.Kind == types.KindStruct {
+		return errf(e.Pos(), "assignment to aggregate type %s is not supported", lt)
+	}
+	if e.Op != 0 {
+		// Desugar lv op= rhs into lv = lv op rhs. The IR generator
+		// evaluates the LHS address once per side, which is fine for
+		// mini-C's side-effect-free lvalues.
+		bin := &ast.BinaryExpr{Op: e.Op, X: cloneLvalue(e.LHS), Y: e.RHS, Position: e.Pos()}
+		e.Op = 0
+		e.RHS = bin
+	}
+	if err := c.expr(e.RHS); err != nil {
+		return err
+	}
+	conv, err := c.assignable(e.RHS, lt)
+	if err != nil {
+		return err
+	}
+	e.RHS = conv
+	e.SetType(lt)
+	return nil
+}
+
+// cloneLvalue duplicates an lvalue expression tree (needed to desugar op=).
+func cloneLvalue(e ast.Expr) ast.Expr {
+	switch e := e.(type) {
+	case *ast.Ident:
+		cp := *e
+		return &cp
+	case *ast.IndexExpr:
+		cp := *e
+		cp.X = cloneLvalue(e.X)
+		cp.Index = cloneLvalue(e.Index)
+		return &cp
+	case *ast.MemberExpr:
+		cp := *e
+		cp.X = cloneLvalue(e.X)
+		return &cp
+	case *ast.UnaryExpr:
+		cp := *e
+		cp.X = cloneLvalue(e.X)
+		return &cp
+	case *ast.BinaryExpr:
+		cp := *e
+		cp.X = cloneLvalue(e.X)
+		cp.Y = cloneLvalue(e.Y)
+		return &cp
+	case *ast.CastExpr:
+		cp := *e
+		cp.X = cloneLvalue(e.X)
+		return &cp
+	case *ast.IntLit:
+		cp := *e
+		return &cp
+	case *ast.CallExpr:
+		cp := *e
+		cp.Args = make([]ast.Expr, len(e.Args))
+		for i, a := range e.Args {
+			cp.Args[i] = cloneLvalue(a)
+		}
+		return &cp
+	default:
+		return e
+	}
+}
+
+func (c *checker) call(e *ast.CallExpr) error {
+	var sig types.FuncSig
+	if b, ok := Builtins[e.Name]; ok {
+		sig = b
+	} else if fn, ok := c.info.Funcs[e.Name]; ok {
+		sig = types.FuncSig{Name: fn.Name, Ret: fn.Ret}
+		for _, p := range fn.Params {
+			sig.Params = append(sig.Params, p.Type)
+		}
+	} else {
+		return errf(e.Pos(), "call of undefined function %q", e.Name)
+	}
+	if len(e.Args) != len(sig.Params) {
+		return errf(e.Pos(), "%s expects %d arguments, got %d", e.Name, len(sig.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		if err := c.expr(a); err != nil {
+			return err
+		}
+		conv, err := c.assignable(a, sig.Params[i])
+		if err != nil {
+			// free() accepts any pointer without a cast, like C's
+			// void*.
+			at := decay(a)
+			if e.Name == "free" && at.Kind == types.KindPointer {
+				conv = castTo(a, sig.Params[i])
+			} else {
+				return errf(a.Pos(), "argument %d of %s: cannot convert %s to %s",
+					i+1, e.Name, at, sig.Params[i])
+			}
+		}
+		e.Args[i] = conv
+	}
+	e.SetType(sig.Ret)
+	return nil
+}
+
+func (c *checker) index(e *ast.IndexExpr) error {
+	if err := c.expr(e.X); err != nil {
+		return err
+	}
+	if err := c.expr(e.Index); err != nil {
+		return err
+	}
+	xt := decay(e.X)
+	if xt.Kind != types.KindPointer {
+		return errf(e.Pos(), "cannot index %s", e.X.Type())
+	}
+	if !decay(e.Index).IsInteger() {
+		return errf(e.Pos(), "array index must be integer, got %s", e.Index.Type())
+	}
+	e.Index = castTo(e.Index, types.Int)
+	e.SetType(xt.Elem)
+	return nil
+}
+
+func (c *checker) member(e *ast.MemberExpr) error {
+	if err := c.expr(e.X); err != nil {
+		return err
+	}
+	var st *types.Type
+	if e.Arrow {
+		xt := decay(e.X)
+		if xt.Kind != types.KindPointer || xt.Elem.Kind != types.KindStruct {
+			return errf(e.Pos(), "-> on non-struct-pointer %s", e.X.Type())
+		}
+		st = xt.Elem
+	} else {
+		if e.X.Type().Kind != types.KindStruct {
+			return errf(e.Pos(), ". on non-struct %s", e.X.Type())
+		}
+		st = e.X.Type()
+	}
+	f, ok := st.Field(e.Name)
+	if !ok {
+		return errf(e.Pos(), "%s has no field %q", st, e.Name)
+	}
+	e.Field = f
+	e.SetType(f.Type)
+	return nil
+}
+
+func (c *checker) cast(e *ast.CastExpr) error {
+	if err := c.expr(e.X); err != nil {
+		return err
+	}
+	from := decay(e.X)
+	to := e.To
+	ok := false
+	switch {
+	case types.Equal(from, to):
+		ok = true
+	case (from.IsInteger() || from.Kind == types.KindFloat) &&
+		(to.IsInteger() || to.Kind == types.KindFloat):
+		ok = true
+	// Arbitrary pointer casts, including pointer<->integer: the paper's
+	// §5.2 contrasts its scheme with capability systems precisely on
+	// allowing these.
+	case from.Kind == types.KindPointer && (to.Kind == types.KindPointer || to.IsInteger()):
+		ok = true
+	case from.IsInteger() && to.Kind == types.KindPointer:
+		ok = true
+	}
+	if !ok {
+		return errf(e.Pos(), "invalid cast from %s to %s", from, to)
+	}
+	e.SetType(to)
+	return nil
+}

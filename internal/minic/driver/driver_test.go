@@ -1,0 +1,373 @@
+package driver
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/minic/interp"
+	"repro/internal/sim/kernel"
+	"repro/internal/sim/vm"
+)
+
+func runNative(t *testing.T, src string) *RunResult {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cfg := kernel.DefaultConfig()
+	sys := kernel.NewSystem(cfg)
+	res, err := Run(prog, sys, cfg, func(p *kernel.Process) interp.Runtime {
+		return newNativeRT(p)
+	}, interp.Config{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func runShadow(t *testing.T, src string, withPools bool) *RunResult {
+	t.Helper()
+	var prog = mustCompile(t, src, withPools)
+	cfg := kernel.DefaultConfig()
+	sys := kernel.NewSystem(cfg)
+	res, err := Run(prog, sys, cfg, func(p *kernel.Process) interp.Runtime {
+		return newShadowRT(p)
+	}, interp.Config{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func expectOutput(t *testing.T, res *RunResult, want string) {
+	t.Helper()
+	if res.Err != nil {
+		t.Fatalf("program failed: %v\noutput so far:\n%s", res.Err, res.Machine.Output())
+	}
+	if got := res.Machine.Output(); got != want {
+		t.Fatalf("output = %q, want %q", got, want)
+	}
+}
+
+func TestHelloArithmetic(t *testing.T) {
+	res := runNative(t, `
+void main() {
+  int a = 6;
+  int b = 7;
+  print_int(a * b);
+  print_int(a - b);
+  print_int(100 / 7);
+  print_int(100 % 7);
+}
+`)
+	expectOutput(t, res, "42\n-1\n14\n2\n")
+}
+
+func TestControlFlow(t *testing.T) {
+	res := runNative(t, `
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+void main() {
+  int i;
+  for (i = 0; i < 10; i = i + 1) {
+    if (i % 2 == 0) continue;
+    if (i > 7) break;
+    print_int(fib(i));
+  }
+}
+`)
+	expectOutput(t, res, "1\n2\n5\n13\n")
+}
+
+func TestWhileAndLogicalOps(t *testing.T) {
+	res := runNative(t, `
+void main() {
+  int i = 0;
+  int hits = 0;
+  while (i < 20) {
+    if (i > 3 && i < 8 || i == 15) hits = hits + 1;
+    i = i + 1;
+  }
+  print_int(hits);
+  print_int(!hits);
+  print_int(!0);
+}
+`)
+	expectOutput(t, res, "5\n0\n1\n")
+}
+
+func TestShortCircuitNoSideEffect(t *testing.T) {
+	// The right operand must not evaluate when the left decides: p is
+	// NULL, so p[0] would fault if && did not short-circuit.
+	res := runNative(t, `
+void main() {
+  char *p = NULL;
+  if (p != NULL && p[0] == 'x') {
+    print_int(1);
+  } else {
+    print_int(0);
+  }
+}
+`)
+	expectOutput(t, res, "0\n")
+}
+
+func TestPointersAndHeap(t *testing.T) {
+	res := runNative(t, `
+struct point { int x; int y; };
+void main() {
+  struct point *p = (struct point*)malloc(sizeof(struct point));
+  p->x = 3;
+  p->y = 4;
+  print_int(p->x * p->x + p->y * p->y);
+  free(p);
+}
+`)
+	expectOutput(t, res, "25\n")
+}
+
+func TestArraysAndStrings(t *testing.T) {
+	res := runNative(t, `
+void main() {
+  int a[5];
+  int i;
+  for (i = 0; i < 5; i = i + 1) a[i] = i * i;
+  int sum = 0;
+  for (i = 0; i < 5; i = i + 1) sum = sum + a[i];
+  print_int(sum);
+  print_str("done");
+}
+`)
+	expectOutput(t, res, "30\ndone\n")
+}
+
+func TestCharBuffersAndPointerArith(t *testing.T) {
+	res := runNative(t, `
+void main() {
+  char *buf = malloc(8);
+  char *p = buf;
+  *p = 'h'; p = p + 1;
+  *p = 'i'; p = p + 1;
+  *p = 0;
+  print_str(buf);
+  print_int(p - buf);
+  free(buf);
+}
+`)
+	expectOutput(t, res, "hi\n2\n")
+}
+
+func TestFloats(t *testing.T) {
+	res := runNative(t, `
+void main() {
+  float x = 2.0;
+  float y = sqrt(x);
+  if (y > 1.41 && y < 1.42) print_int(1); else print_int(0);
+  float z = 3;
+  print_float(z / 2);
+}
+`)
+	expectOutput(t, res, "1\n1.5\n")
+}
+
+func TestGlobalsAndLinkedList(t *testing.T) {
+	res := runNative(t, `
+struct node { int v; struct node *next; };
+struct node *head;
+int total;
+
+void push(int v) {
+  struct node *n = (struct node*)malloc(sizeof(struct node));
+  n->v = v;
+  n->next = head;
+  head = n;
+}
+
+void main() {
+  int i;
+  for (i = 1; i <= 5; i = i + 1) push(i);
+  struct node *p = head;
+  while (p != NULL) { total = total + p->v; p = p->next; }
+  print_int(total);
+}
+`)
+	expectOutput(t, res, "15\n")
+}
+
+func TestStructArraysAndNesting(t *testing.T) {
+	res := runNative(t, `
+struct inner { int a; int b; };
+struct outer { struct inner arr[3]; int n; };
+void main() {
+  struct outer o;
+  int i;
+  for (i = 0; i < 3; i = i + 1) {
+    o.arr[i].a = i;
+    o.arr[i].b = i * 10;
+  }
+  o.n = 3;
+  int sum = 0;
+  for (i = 0; i < o.n; i = i + 1) sum = sum + o.arr[i].a + o.arr[i].b;
+  print_int(sum);
+}
+`)
+	expectOutput(t, res, "33\n")
+}
+
+func TestRandDeterministic(t *testing.T) {
+	src := `
+void main() {
+  srand(42);
+  int i;
+  int sum = 0;
+  for (i = 0; i < 10; i = i + 1) sum = sum + rand() % 100;
+  print_int(sum);
+}
+`
+	a := runNative(t, src)
+	b := runNative(t, src)
+	if a.Machine.Output() != b.Machine.Output() {
+		t.Fatalf("rand not deterministic: %q vs %q", a.Machine.Output(), b.Machine.Output())
+	}
+}
+
+func TestDivisionByZeroTrapped(t *testing.T) {
+	res := runNative(t, `
+void main() {
+  int zero = 0;
+  print_int(5 / zero);
+}
+`)
+	var ee *interp.ExitError
+	if !errors.As(res.Err, &ee) {
+		t.Fatalf("expected ExitError, got %v", res.Err)
+	}
+	if !strings.Contains(ee.Msg, "division by zero") {
+		t.Fatalf("wrong message: %v", ee)
+	}
+}
+
+func TestNullDerefFaults(t *testing.T) {
+	res := runNative(t, `
+void main() {
+  int *p = NULL;
+  *p = 1;
+}
+`)
+	var fault *vm.Fault
+	if !errors.As(res.Err, &fault) {
+		t.Fatalf("expected fault, got %v", res.Err)
+	}
+	if fault.Reason != vm.FaultUnmapped {
+		t.Fatalf("fault reason = %v", fault.Reason)
+	}
+}
+
+func TestUseAfterFreeUndetectedNatively(t *testing.T) {
+	// Without the detector, a use-after-free silently reads stale (or
+	// reused) memory — the paper's motivating failure mode.
+	res := runNative(t, `
+void main() {
+  int *p = (int*)malloc(8);
+  *p = 41;
+  free(p);
+  print_int(*p + 1);
+}
+`)
+	if res.Err != nil {
+		t.Fatalf("native run should not detect UAF, got %v", res.Err)
+	}
+}
+
+func TestUseAfterFreeDetectedUnderShadow(t *testing.T) {
+	res := runShadow(t, `
+void main() {
+  int *p = (int*)malloc(8);
+  *p = 41;
+  free(p);
+  print_int(*p + 1);
+}
+`, false)
+	var de *core.DanglingError
+	if !errors.As(res.Err, &de) {
+		t.Fatalf("expected DanglingError, got %v", res.Err)
+	}
+	if de.Fault.Access != vm.AccessRead {
+		t.Fatalf("access = %v", de.Fault.Access)
+	}
+}
+
+func TestDoubleFreeDetectedUnderShadow(t *testing.T) {
+	res := runShadow(t, `
+void main() {
+  char *p = malloc(16);
+  free(p);
+  free(p);
+}
+`, false)
+	var de *core.DanglingError
+	if !errors.As(res.Err, &de) {
+		t.Fatalf("expected DanglingError, got %v", res.Err)
+	}
+	if !de.IsDouble() {
+		t.Fatalf("expected double free, got offset %d", de.Offset)
+	}
+}
+
+func TestCleanProgramPassesUnderShadow(t *testing.T) {
+	res := runShadow(t, `
+struct node { int v; struct node *next; };
+void main() {
+  struct node *head = NULL;
+  int i;
+  for (i = 0; i < 50; i = i + 1) {
+    struct node *n = (struct node*)malloc(sizeof(struct node));
+    n->v = i;
+    n->next = head;
+    head = n;
+  }
+  int sum = 0;
+  while (head != NULL) {
+    struct node *next = head->next;
+    sum = sum + head->v;
+    free(head);
+    head = next;
+  }
+  print_int(sum);
+}
+`, false)
+	expectOutput(t, res, "1225\n")
+}
+
+func TestFreeNullIsNoOp(t *testing.T) {
+	// free(NULL) is a no-op in C; every configuration must accept it.
+	src := `
+void main() {
+  char *p = NULL;
+  free(p);
+  free(NULL);
+  int *q = (int*)malloc(8);
+  free(q);
+  free(NULL);
+  print_int(1);
+}
+`
+	for _, withPools := range []bool{false, true} {
+		native := runConfig(t, src, withPools, newNativeRT)
+		if native.Err != nil {
+			t.Fatalf("native(pools=%v): %v", withPools, native.Err)
+		}
+		shadow := runConfig(t, src, withPools, newShadowRT)
+		if shadow.Err != nil {
+			t.Fatalf("shadow(pools=%v): %v", withPools, shadow.Err)
+		}
+		if shadow.Machine.Output() != "1\n" {
+			t.Fatalf("output = %q", shadow.Machine.Output())
+		}
+	}
+}

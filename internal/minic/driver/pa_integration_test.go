@@ -1,0 +1,294 @@
+package driver
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/minic/interp"
+	"repro/internal/runtimes"
+	"repro/internal/sim/kernel"
+)
+
+// programs whose output must be invariant under the APA transformation and
+// under every runtime configuration.
+var equivalencePrograms = map[string]string{
+	"list-sum": `
+struct node { int v; struct node *next; };
+struct node *build(int n) {
+  struct node *head = NULL;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    struct node *e = (struct node*)malloc(sizeof(struct node));
+    e->v = i;
+    e->next = head;
+    head = e;
+  }
+  return head;
+}
+void main() {
+  struct node *l = build(100);
+  int sum = 0;
+  while (l != NULL) {
+    struct node *n = l->next;
+    sum = sum + l->v;
+    free(l);
+    l = n;
+  }
+  print_int(sum);
+}
+`,
+	"tree": `
+struct t { int v; struct t *l; struct t *r; };
+struct t *build(int d) {
+  struct t *n = (struct t*)malloc(sizeof(struct t));
+  n->v = d;
+  if (d <= 1) { n->l = NULL; n->r = NULL; return n; }
+  n->l = build(d - 1);
+  n->r = build(d - 1);
+  return n;
+}
+int sum(struct t *n) {
+  if (n == NULL) return 0;
+  return n->v + sum(n->l) + sum(n->r);
+}
+void burn(struct t *n) {
+  if (n == NULL) return;
+  burn(n->l);
+  burn(n->r);
+  free(n);
+}
+void main() {
+  struct t *root = build(8);
+  print_int(sum(root));
+  burn(root);
+}
+`,
+	"global-table": `
+struct ent { int key; int val; struct ent *next; };
+struct ent *table;
+void put(int k, int v) {
+  struct ent *e = (struct ent*)malloc(sizeof(struct ent));
+  e->key = k;
+  e->val = v;
+  e->next = table;
+  table = e;
+}
+int get(int k) {
+  struct ent *e = table;
+  while (e != NULL) {
+    if (e->key == k) return e->val;
+    e = e->next;
+  }
+  return -1;
+}
+void main() {
+  int i;
+  for (i = 0; i < 64; i = i + 1) put(i, i * i);
+  print_int(get(7));
+  print_int(get(63));
+  print_int(get(100));
+}
+`,
+	"phases": `
+int phase(int n) {
+  int *buf = (int*)malloc(n * sizeof(int));
+  int i;
+  for (i = 0; i < n; i = i + 1) buf[i] = i * 3;
+  int sum = 0;
+  for (i = 0; i < n; i = i + 1) sum = sum + buf[i];
+  free(buf);
+  return sum;
+}
+void main() {
+  int total = 0;
+  int i;
+  for (i = 1; i <= 20; i = i + 1) total = total + phase(i * 10);
+  print_int(total);
+}
+`,
+}
+
+func runConfig(t *testing.T, src string, withPools bool,
+	makeRT func(*kernel.Process) interp.Runtime) *RunResult {
+	t.Helper()
+	prog := mustCompile(t, src, withPools)
+	cfg := kernel.DefaultConfig()
+	sys := kernel.NewSystem(cfg)
+	res, err := Run(prog, sys, cfg, makeRT, interp.Config{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestOutputInvariantAcrossConfigurations(t *testing.T) {
+	for name, src := range equivalencePrograms {
+		t.Run(name, func(t *testing.T) {
+			native := runConfig(t, src, false, newNativeRT)
+			if native.Err != nil {
+				t.Fatalf("native: %v", native.Err)
+			}
+			want := native.Machine.Output()
+
+			pa := runConfig(t, src, true, newNativeRT)
+			if pa.Err != nil {
+				t.Fatalf("PA: %v", pa.Err)
+			}
+			if got := pa.Machine.Output(); got != want {
+				t.Fatalf("PA output %q != native %q", got, want)
+			}
+
+			dummy := runConfig(t, src, true, func(p *kernel.Process) interp.Runtime {
+				return runtimes.NewPADummy(p)
+			})
+			if dummy.Err != nil {
+				t.Fatalf("PA+dummy: %v", dummy.Err)
+			}
+			if got := dummy.Machine.Output(); got != want {
+				t.Fatalf("PA+dummy output %q != native %q", got, want)
+			}
+
+			shadow := runConfig(t, src, true, newShadowRT)
+			if shadow.Err != nil {
+				t.Fatalf("shadow: %v", shadow.Err)
+			}
+			if got := shadow.Machine.Output(); got != want {
+				t.Fatalf("shadow output %q != native %q", got, want)
+			}
+
+			shadowNoPA := runConfig(t, src, false, newShadowRT)
+			if shadowNoPA.Err != nil {
+				t.Fatalf("shadow-no-PA: %v", shadowNoPA.Err)
+			}
+			if got := shadowNoPA.Machine.Output(); got != want {
+				t.Fatalf("shadow-no-PA output %q != native %q", got, want)
+			}
+		})
+	}
+}
+
+const runningExampleWithBug = `
+struct s { int val; struct s *next; };
+
+void create_10_node_list(struct s *p) {
+  int i;
+  struct s *q = p;
+  for (i = 0; i < 9; i = i + 1) {
+    q->next = (struct s*)malloc(sizeof(struct s));
+    q = q->next;
+  }
+  q->next = NULL;
+}
+
+void initialize(struct s *p) {
+  struct s *q = p;
+  while (q != NULL) { q->val = 1; q = q->next; }
+}
+
+void free_all_but_head(struct s *p) {
+  struct s *q = p->next;
+  while (q != NULL) {
+    struct s *n = q->next;
+    free(q);
+    q = n;
+  }
+}
+
+void g(struct s *p) {
+  p->next = (struct s*)malloc(sizeof(struct s));
+  create_10_node_list(p);
+  initialize(p);
+  free_all_but_head(p);
+}
+
+void main() {
+  struct s *p = (struct s*)malloc(sizeof(struct s));
+  g(p);
+  p->next->val = 7;
+}
+`
+
+func TestRunningExampleDanglingDetectedUnderPA(t *testing.T) {
+	// Figure 1/2: p->next dangles after free_all_but_head; the shadow
+	// configuration must trap the p->next->val store and name the free
+	// site.
+	res := runConfig(t, runningExampleWithBug, true, newShadowRT)
+	var de *core.DanglingError
+	if !errors.As(res.Err, &de) {
+		t.Fatalf("expected DanglingError, got %v", res.Err)
+	}
+	if de.Object.FreeSite == "" {
+		t.Fatal("missing free-site provenance")
+	}
+	// ... while native and plain PA silently corrupt memory.
+	if native := runConfig(t, runningExampleWithBug, false, newNativeRT); native.Err != nil {
+		t.Fatalf("native should not detect: %v", native.Err)
+	}
+	if pa := runConfig(t, runningExampleWithBug, true, newNativeRT); pa.Err != nil {
+		t.Fatalf("plain PA should not detect: %v", pa.Err)
+	}
+}
+
+const repeatedPhases = `
+struct s { int val; struct s *next; };
+
+void phase() {
+  struct s *head = (struct s*)malloc(sizeof(struct s));
+  struct s *q = head;
+  int i;
+  for (i = 0; i < 30; i = i + 1) {
+    q->next = (struct s*)malloc(sizeof(struct s));
+    q = q->next;
+    q->val = i;
+  }
+  q->next = NULL;
+  while (head != NULL) {
+    struct s *n = head->next;
+    free(head);
+    head = n;
+  }
+}
+
+void main() {
+  int i;
+  for (i = 0; i < 40; i = i + 1) phase();
+}
+`
+
+func TestInsight2VirtualAddressReuse(t *testing.T) {
+	// Without pools, every allocation burns a fresh shadow page forever.
+	noPA := runConfig(t, repeatedPhases, false, newShadowRT)
+	if noPA.Err != nil {
+		t.Fatalf("no-PA run failed: %v", noPA.Err)
+	}
+	noPAPages := noPA.Proc.Space().ReservedPages()
+
+	// With pools, phase()'s pool dies at each return and its virtual
+	// pages are recycled.
+	withPA := runConfig(t, repeatedPhases, true, newShadowRT)
+	if withPA.Err != nil {
+		t.Fatalf("PA run failed: %v", withPA.Err)
+	}
+	withPAPages := withPA.Proc.Space().ReservedPages()
+
+	if withPAPages*4 > noPAPages {
+		t.Fatalf("APA reuse ineffective: %d pages with PA vs %d without",
+			withPAPages, noPAPages)
+	}
+}
+
+func TestPhysicalParityAcrossConfigs(t *testing.T) {
+	// Peak physical memory under the shadow configuration stays within a
+	// small constant of the native run (Insight 1's claim), unlike an
+	// Electric Fence style allocator.
+	src := equivalencePrograms["list-sum"]
+	native := runConfig(t, src, false, newNativeRT)
+	shadow := runConfig(t, src, true, newShadowRT)
+	nFrames := native.Proc.System().PhysMemory().PeakInUse()
+	sFrames := shadow.Proc.System().PhysMemory().PeakInUse()
+	if sFrames > nFrames*2+16 {
+		t.Fatalf("shadow peak %d frames vs native %d — physical neutrality broken",
+			sFrames, nFrames)
+	}
+}

@@ -1,0 +1,79 @@
+// Package escape implements the escape analysis Automatic Pool Allocation
+// uses to place pools: "a traditional escape analysis (reachability analysis
+// from function arguments, globals and return values)" — the paper's §2.2.
+//
+// A heap class escapes a function when it is reachable in the points-to
+// graph from that function's parameters or return value, or from any global
+// variable. A pool for a class can only be created (and destroyed) in a
+// function the class does not escape.
+package escape
+
+import (
+	"repro/internal/minic/ir"
+	"repro/internal/minic/pta"
+)
+
+// Analysis answers escape queries for one program.
+type Analysis struct {
+	graph *pta.Graph
+	prog  *ir.Program
+
+	// globalReach is the set of classes reachable from global variables.
+	globalReach map[*pta.Node]bool
+}
+
+// New prepares escape queries over an analyzed program.
+func New(prog *ir.Program, graph *pta.Graph) *Analysis {
+	a := &Analysis{
+		graph:       graph,
+		prog:        prog,
+		globalReach: make(map[*pta.Node]bool),
+	}
+	for _, root := range graph.GlobalRoots() {
+		// The global's storage itself and everything reachable from
+		// its contents.
+		a.globalReach[root.Find()] = true
+		for _, n := range root.Reachable() {
+			a.globalReach[n] = true
+		}
+	}
+	return a
+}
+
+// GlobalEscape reports whether the class is reachable from global variables
+// (such classes get program-lifetime pools — the paper's "global pools").
+func (a *Analysis) GlobalEscape(h *pta.Node) bool {
+	return a.globalReach[h.Find()]
+}
+
+// Escapes reports whether class h escapes function fn: reachable from fn's
+// incoming parameters, its return value, or globals.
+func (a *Analysis) Escapes(fnName string, h *pta.Node) bool {
+	h = h.Find()
+	if a.globalReach[h] {
+		return true
+	}
+	fn, ok := a.prog.Funcs[fnName]
+	if !ok {
+		return false
+	}
+	reach := func(root *pta.Node) bool {
+		if root.Find() == h {
+			return true
+		}
+		for _, n := range root.Reachable() {
+			if n == h {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range fn.Params {
+		// The parameter's *value* may point at h; the parameter node
+		// itself is a value, so we check its pointee chain.
+		if reach(a.graph.ParamNode(fnName, i)) {
+			return true
+		}
+	}
+	return reach(a.graph.RetNode(fnName))
+}

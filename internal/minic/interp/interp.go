@@ -1,0 +1,514 @@
+// Package interp executes mini-C IR on the simulated machine.
+//
+// Every load and store goes through the process MMU (charging memory, TLB,
+// and cache costs); every instruction charges the meter; allocation
+// operations are delegated to a pluggable Runtime so the same program can
+// run under each of the paper's configurations: the native allocator, pool
+// allocation, pool allocation with dummy syscalls, the shadow-page scheme,
+// and the comparison baselines.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/minic/ir"
+	"repro/internal/sim/kernel"
+	"repro/internal/sim/vm"
+)
+
+// Runtime is the allocation interface a configuration plugs in.
+type Runtime interface {
+	// Malloc services a pre-APA malloc.
+	Malloc(size uint64, site string) (vm.Addr, error)
+	// Free services a pre-APA free.
+	Free(addr vm.Addr, site string) error
+	// PoolInit creates a pool and returns its handle.
+	PoolInit(decl ir.PoolDecl) (uint64, error)
+	// PoolDestroy destroys a pool.
+	PoolDestroy(handle uint64) error
+	// PoolAlloc allocates from a pool.
+	PoolAlloc(handle uint64, size uint64, site string) (vm.Addr, error)
+	// PoolFree frees into a pool.
+	PoolFree(handle uint64, addr vm.Addr, site string) error
+	// Explain converts a hardware fault into a diagnosis (e.g. a
+	// *core.DanglingError) or returns it unchanged.
+	Explain(fault *vm.Fault, site string) error
+	// CheckAccess runs before every program load and store. Hardware
+	// schemes return the address unchanged at zero cost; software
+	// schemes (the Valgrind and capability baselines) validate — and may
+	// translate — the address (capability tags live in a pointer's high
+	// bits) or report a software-detected error. The cycle cost of the
+	// check is part of the cost model (Model.CheckCost), not charged
+	// here.
+	CheckAccess(addr vm.Addr, size int, write bool, site string) (vm.Addr, error)
+}
+
+// ExitError reports abnormal program termination other than a memory fault.
+type ExitError struct {
+	Site string
+	Msg  string
+}
+
+// Error implements error.
+func (e *ExitError) Error() string { return fmt.Sprintf("%s: %s", e.Site, e.Msg) }
+
+// Config tunes the machine.
+type Config struct {
+	// StepLimit bounds executed instructions (0 = default 2^31).
+	StepLimit uint64
+	// RandSeed seeds the deterministic rand() intrinsic.
+	RandSeed uint64
+}
+
+// Machine executes one program on one process. Not safe for concurrent use.
+type Machine struct {
+	prog *ir.Program
+	proc *kernel.Process
+	rt   Runtime
+	cfg  Config
+
+	globals  map[string]vm.Addr
+	strAddrs []vm.Addr
+
+	globalPools []uint64
+
+	out      strings.Builder
+	rngState uint64
+	steps    uint64
+}
+
+// New prepares a machine: it loads globals and string literals into the
+// process data segment (uncharged loader work).
+func New(prog *ir.Program, proc *kernel.Process, rt Runtime, cfg Config) (*Machine, error) {
+	if cfg.StepLimit == 0 {
+		cfg.StepLimit = 1 << 31
+	}
+	m := &Machine{
+		prog:     prog,
+		proc:     proc,
+		rt:       rt,
+		cfg:      cfg,
+		globals:  make(map[string]vm.Addr, len(prog.Globals)),
+		rngState: cfg.RandSeed*2862933555777941757 + 3037000493,
+	}
+	for _, g := range prog.Globals {
+		a, err := proc.AllocGlobal(g.Size)
+		if err != nil {
+			return nil, fmt.Errorf("interp: global %s: %w", g.Name, err)
+		}
+		m.globals[g.Name] = a
+	}
+	for _, s := range prog.Strings {
+		a, err := proc.AllocGlobal(uint64(len(s)) + 1)
+		if err != nil {
+			return nil, fmt.Errorf("interp: string data: %w", err)
+		}
+		if err := proc.MMU().PokeBytes(a, append([]byte(s), 0)); err != nil {
+			return nil, fmt.Errorf("interp: string data: %w", err)
+		}
+		m.strAddrs = append(m.strAddrs, a)
+	}
+	return m, nil
+}
+
+// Output returns everything the program printed.
+func (m *Machine) Output() string { return m.out.String() }
+
+// Steps returns the number of IR instructions executed.
+func (m *Machine) Steps() uint64 { return m.steps }
+
+// Run executes main (creating and destroying global pools around it).
+func (m *Machine) Run() error {
+	mainFn, ok := m.prog.Funcs["main"]
+	if !ok {
+		return errors.New("interp: no main")
+	}
+	for _, decl := range m.prog.GlobalPools {
+		h, err := m.rt.PoolInit(decl)
+		if err != nil {
+			return fmt.Errorf("interp: global pool %s: %w", decl.Name, err)
+		}
+		m.globalPools = append(m.globalPools, h)
+	}
+	_, err := m.call(mainFn, nil, nil, m.proc.StackBase())
+	if err != nil {
+		return err
+	}
+	// Destroy in reverse creation order, like static destructors.
+	for i := len(m.globalPools) - 1; i >= 0; i-- {
+		if err := m.rt.PoolDestroy(m.globalPools[i]); err != nil {
+			return fmt.Errorf("interp: destroy global pool: %w", err)
+		}
+	}
+	return nil
+}
+
+// resolvePool maps a PoolRef to a runtime handle given the current frame's
+// pool context.
+func (m *Machine) resolvePool(ref ir.PoolRef, locals, params []uint64) (uint64, error) {
+	switch ref.Kind {
+	case ir.PoolLocal:
+		if ref.Index >= len(locals) {
+			return 0, fmt.Errorf("interp: bad local pool index %d", ref.Index)
+		}
+		return locals[ref.Index], nil
+	case ir.PoolParam:
+		if ref.Index >= len(params) {
+			return 0, fmt.Errorf("interp: bad pool param index %d", ref.Index)
+		}
+		return params[ref.Index], nil
+	case ir.PoolGlobal:
+		if ref.Index >= len(m.globalPools) {
+			return 0, fmt.Errorf("interp: bad global pool index %d", ref.Index)
+		}
+		return m.globalPools[ref.Index], nil
+	}
+	return 0, fmt.Errorf("interp: bad pool ref kind %d", ref.Kind)
+}
+
+// call executes fn with the given arguments and pool arguments, using sp as
+// the frame base.
+func (m *Machine) call(fn *ir.Func, args []uint64, poolArgs []uint64, sp vm.Addr) (uint64, error) {
+	if sp+fn.FrameSize > m.proc.StackLimit() {
+		return 0, &ExitError{Site: fn.Name, Msg: "stack overflow"}
+	}
+	if len(args) != len(fn.Params) {
+		return 0, &ExitError{Site: fn.Name, Msg: fmt.Sprintf("argument count %d != %d", len(args), len(fn.Params))}
+	}
+	regs := make([]uint64, fn.NumRegs)
+
+	// Create this function's pools (the APA poolinit at entry).
+	var poolLocals []uint64
+	for _, decl := range fn.PoolLocals {
+		h, err := m.rt.PoolInit(decl)
+		if err != nil {
+			return 0, err
+		}
+		poolLocals = append(poolLocals, h)
+	}
+	// destroyPools is the APA pooldestroy at function exit.
+	destroyPools := func() error {
+		for i := len(poolLocals) - 1; i >= 0; i-- {
+			if err := m.rt.PoolDestroy(poolLocals[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Spill parameters into their frame slots.
+	for i, p := range fn.Params {
+		if err := m.store(sp+p.Offset, p.Size, args[i], fn.Name); err != nil {
+			return 0, err
+		}
+	}
+
+	bi, ii := 0, 0
+	for {
+		if m.steps >= m.cfg.StepLimit {
+			return 0, &ExitError{Site: fn.Name, Msg: "step limit exceeded"}
+		}
+		m.steps++
+		m.proc.Meter().ChargeInstr(1)
+
+		block := fn.Blocks[bi]
+		if ii >= len(block.Instrs) {
+			return 0, &ExitError{Site: fn.Name, Msg: fmt.Sprintf("fell off block b%d", bi)}
+		}
+		in := block.Instrs[ii]
+		ii++
+
+		switch in := in.(type) {
+		case *ir.Const:
+			regs[in.Dst] = in.Val
+		case *ir.Copy:
+			regs[in.Dst] = regs[in.Src]
+		case *ir.Bin:
+			v, err := evalBin(in, regs[in.A], regs[in.B], fn.Name)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = v
+		case *ir.Un:
+			regs[in.Dst] = evalUn(in, regs[in.A])
+		case *ir.Cvt:
+			if in.Kind == ir.IntToFloat {
+				regs[in.Dst] = math.Float64bits(float64(int64(regs[in.A])))
+			} else {
+				regs[in.Dst] = uint64(int64(math.Float64frombits(regs[in.A])))
+			}
+		case *ir.Load:
+			v, err := m.load(regs[in.Addr], in.Size, in.Site)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = v
+		case *ir.Store:
+			if err := m.store(regs[in.Addr], in.Size, regs[in.Src], in.Site); err != nil {
+				return 0, err
+			}
+		case *ir.FrameAddr:
+			regs[in.Dst] = sp + in.Off
+		case *ir.GlobalAddr:
+			a, ok := m.globals[in.Name]
+			if !ok {
+				return 0, &ExitError{Site: fn.Name, Msg: "unknown global " + in.Name}
+			}
+			regs[in.Dst] = a
+		case *ir.StrAddr:
+			regs[in.Dst] = m.strAddrs[in.Index]
+		case *ir.Malloc:
+			a, err := m.rt.Malloc(regs[in.Size], in.Site)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = a
+		case *ir.Free:
+			if err := m.rt.Free(regs[in.Ptr], in.Site); err != nil {
+				return 0, err
+			}
+		case *ir.PoolAlloc:
+			h, err := m.resolvePool(in.Pool, poolLocals, poolArgs)
+			if err != nil {
+				return 0, err
+			}
+			a, err := m.rt.PoolAlloc(h, regs[in.Size], in.Site)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = a
+		case *ir.PoolFree:
+			h, err := m.resolvePool(in.Pool, poolLocals, poolArgs)
+			if err != nil {
+				return 0, err
+			}
+			if err := m.rt.PoolFree(h, regs[in.Ptr], in.Site); err != nil {
+				return 0, err
+			}
+		case *ir.Intrinsic:
+			if err := m.intrinsic(in, regs); err != nil {
+				return 0, err
+			}
+		case *ir.Call:
+			callee, ok := m.prog.Funcs[in.Callee]
+			if !ok {
+				return 0, &ExitError{Site: fn.Name, Msg: "unknown function " + in.Callee}
+			}
+			callArgs := make([]uint64, len(in.Args))
+			for i, r := range in.Args {
+				callArgs[i] = regs[r]
+			}
+			callPools := make([]uint64, len(in.PoolArgs))
+			for i, ref := range in.PoolArgs {
+				h, err := m.resolvePool(ref, poolLocals, poolArgs)
+				if err != nil {
+					return 0, err
+				}
+				callPools[i] = h
+			}
+			// A call costs a few cycles of linkage work.
+			m.proc.Meter().ChargeInstr(2)
+			v, err := m.call(callee, callArgs, callPools, sp+fn.FrameSize)
+			if err != nil {
+				return 0, err
+			}
+			if in.Dst != ir.None {
+				regs[in.Dst] = v
+			}
+		case *ir.Br:
+			bi, ii = in.Target, 0
+		case *ir.CondBr:
+			if regs[in.Cond] != 0 {
+				bi, ii = in.True, 0
+			} else {
+				bi, ii = in.False, 0
+			}
+		case *ir.Ret:
+			var v uint64
+			if in.Val != ir.None {
+				v = regs[in.Val]
+			}
+			if err := destroyPools(); err != nil {
+				return 0, err
+			}
+			return v, nil
+		default:
+			return 0, &ExitError{Site: fn.Name, Msg: fmt.Sprintf("unknown instruction %T", in)}
+		}
+	}
+}
+
+// load routes a program read through the runtime's software check, the MMU,
+// and the runtime's fault explainer.
+func (m *Machine) load(addr vm.Addr, size int, site string) (uint64, error) {
+	addr, err := m.rt.CheckAccess(addr, size, false, site)
+	if err != nil {
+		return 0, err
+	}
+	v, err := m.proc.MMU().ReadWord(addr, size)
+	if err != nil {
+		var fault *vm.Fault
+		if errors.As(err, &fault) {
+			return 0, m.rt.Explain(fault, site)
+		}
+		return 0, err
+	}
+	return v, nil
+}
+
+// store routes a program write the same way load routes reads.
+func (m *Machine) store(addr vm.Addr, size int, val uint64, site string) error {
+	addr, err := m.rt.CheckAccess(addr, size, true, site)
+	if err != nil {
+		return err
+	}
+	err = m.proc.MMU().WriteWord(addr, size, val)
+	if err != nil {
+		var fault *vm.Fault
+		if errors.As(err, &fault) {
+			return m.rt.Explain(fault, site)
+		}
+		return err
+	}
+	return nil
+}
+
+func evalBin(in *ir.Bin, a, b uint64, site string) (uint64, error) {
+	if in.Float {
+		x, y := math.Float64frombits(a), math.Float64frombits(b)
+		switch in.Op {
+		case ir.Add:
+			return math.Float64bits(x + y), nil
+		case ir.Sub:
+			return math.Float64bits(x - y), nil
+		case ir.Mul:
+			return math.Float64bits(x * y), nil
+		case ir.Div:
+			return math.Float64bits(x / y), nil
+		case ir.CmpEq:
+			return b2i(x == y), nil
+		case ir.CmpNe:
+			return b2i(x != y), nil
+		case ir.CmpLt:
+			return b2i(x < y), nil
+		case ir.CmpLe:
+			return b2i(x <= y), nil
+		case ir.CmpGt:
+			return b2i(x > y), nil
+		case ir.CmpGe:
+			return b2i(x >= y), nil
+		}
+		return 0, &ExitError{Site: site, Msg: "bad float op " + in.Op.String()}
+	}
+	switch in.Op {
+	case ir.Add:
+		return a + b, nil
+	case ir.Sub:
+		return a - b, nil
+	case ir.Mul:
+		return a * b, nil
+	case ir.Div:
+		if b == 0 {
+			return 0, &ExitError{Site: site, Msg: "division by zero"}
+		}
+		return uint64(int64(a) / int64(b)), nil
+	case ir.Rem:
+		if b == 0 {
+			return 0, &ExitError{Site: site, Msg: "division by zero"}
+		}
+		return uint64(int64(a) % int64(b)), nil
+	case ir.And:
+		return a & b, nil
+	case ir.Or:
+		return a | b, nil
+	case ir.Xor:
+		return a ^ b, nil
+	case ir.Shl:
+		return a << (b & 63), nil
+	case ir.Shr:
+		return uint64(int64(a) >> (b & 63)), nil
+	case ir.CmpEq:
+		return b2i(a == b), nil
+	case ir.CmpNe:
+		return b2i(a != b), nil
+	case ir.CmpLt:
+		return b2i(int64(a) < int64(b)), nil
+	case ir.CmpLe:
+		return b2i(int64(a) <= int64(b)), nil
+	case ir.CmpGt:
+		return b2i(int64(a) > int64(b)), nil
+	case ir.CmpGe:
+		return b2i(int64(a) >= int64(b)), nil
+	}
+	return 0, &ExitError{Site: site, Msg: "bad int op " + in.Op.String()}
+}
+
+func evalUn(in *ir.Un, a uint64) uint64 {
+	if in.Float && in.Op == ir.Neg {
+		return math.Float64bits(-math.Float64frombits(a))
+	}
+	switch in.Op {
+	case ir.Neg:
+		return uint64(-int64(a))
+	case ir.Not:
+		return b2i(a == 0)
+	case ir.BitNot:
+		return ^a
+	}
+	return 0
+}
+
+func b2i(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (m *Machine) intrinsic(in *ir.Intrinsic, regs []uint64) error {
+	switch in.Name {
+	case "print_int":
+		fmt.Fprintf(&m.out, "%d\n", int64(regs[in.Args[0]]))
+	case "print_char":
+		m.out.WriteByte(byte(regs[in.Args[0]]))
+	case "print_float":
+		fmt.Fprintf(&m.out, "%g\n", math.Float64frombits(regs[in.Args[0]]))
+	case "print_str":
+		s, err := m.readCString(regs[in.Args[0]])
+		if err != nil {
+			return err
+		}
+		m.out.WriteString(s)
+		m.out.WriteByte('\n')
+	case "rand":
+		m.rngState = m.rngState*6364136223846793005 + 1442695040888963407
+		regs[in.Dst] = (m.rngState >> 33) & 0x7FFFFFFF
+	case "srand":
+		m.rngState = regs[in.Args[0]]*2862933555777941757 + 3037000493
+	case "sqrt":
+		regs[in.Dst] = math.Float64bits(math.Sqrt(math.Float64frombits(regs[in.Args[0]])))
+	default:
+		return fmt.Errorf("interp: unknown intrinsic %s", in.Name)
+	}
+	return nil
+}
+
+// readCString reads a NUL-terminated string through the MMU (charged, so
+// printing is not free — matching printf walking the string).
+func (m *Machine) readCString(addr vm.Addr) (string, error) {
+	var sb strings.Builder
+	for i := 0; i < 1<<16; i++ {
+		v, err := m.load(addr+uint64(i), 1, "print_str")
+		if err != nil {
+			return "", err
+		}
+		if v == 0 {
+			return sb.String(), nil
+		}
+		sb.WriteByte(byte(v))
+	}
+	return "", errors.New("interp: unterminated string")
+}

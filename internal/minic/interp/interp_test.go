@@ -1,0 +1,266 @@
+package interp_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/minic/driver"
+	"repro/internal/minic/interp"
+	"repro/internal/runtimes"
+	"repro/internal/sim/kernel"
+)
+
+// run compiles and executes a program natively with the given interpreter
+// config.
+func run(t *testing.T, src string, icfg interp.Config) (*driver.RunResult, error) {
+	t.Helper()
+	prog, err := driver.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cfg := kernel.DefaultConfig()
+	sys := kernel.NewSystem(cfg)
+	return driver.Run(prog, sys, cfg, func(p *kernel.Process) interp.Runtime {
+		return runtimes.NewNative(p)
+	}, icfg)
+}
+
+func output(t *testing.T, src string) string {
+	t.Helper()
+	res, err := run(t, src, interp.Config{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatalf("program error: %v", res.Err)
+	}
+	return res.Machine.Output()
+}
+
+func TestSignedArithmetic(t *testing.T) {
+	got := output(t, `
+void main() {
+  print_int(-7 / 2);
+  print_int(-7 % 2);
+  print_int(7 / -2);
+  print_int(-2147483647 * 2);
+}
+`)
+	want := "-3\n-1\n-3\n-4294967294\n"
+	if got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	got := output(t, `
+void main() {
+  print_int(1 << 10);
+  print_int(1024 >> 3);
+  print_int(-16 >> 2); // arithmetic shift
+}
+`)
+	if got != "1024\n128\n-4\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestBitwiseOps(t *testing.T) {
+	got := output(t, `
+void main() {
+  print_int(12 & 10);
+  print_int(12 | 10);
+  print_int(12 ^ 10);
+  print_int(~0);
+}
+`)
+	if got != "8\n14\n6\n-1\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCharTruncation(t *testing.T) {
+	got := output(t, `
+void main() {
+  char c = (char)300; // 300 & 0xFF = 44
+  print_int(c);
+  char buf[2];
+  buf[0] = (char)511; // stored as one byte
+  print_int(buf[0]);
+}
+`)
+	if got != "44\n255\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFloatIntConversions(t *testing.T) {
+	got := output(t, `
+void main() {
+  float f = 7;
+  print_float(f / 2);
+  int i = (int)(f / 2);
+  print_int(i);
+  float g = 2.5;
+  print_int((int)(g * 4.0));
+}
+`)
+	if got != "3.5\n3\n10\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPrintIntrinsics(t *testing.T) {
+	got := output(t, `
+void main() {
+  print_str("line one");
+  print_char('A');
+  print_char(10);
+  print_float(1.25);
+}
+`)
+	if got != "line one\nA\n1.25\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestStackOverflowDetected(t *testing.T) {
+	res, err := run(t, `
+int infinite(int n) {
+  return infinite(n + 1);
+}
+void main() { print_int(infinite(0)); }
+`, interp.Config{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var ee *interp.ExitError
+	if !errors.As(res.Err, &ee) || !strings.Contains(ee.Msg, "stack overflow") {
+		t.Fatalf("expected stack overflow, got %v", res.Err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	res, err := run(t, `
+void main() {
+  int i = 0;
+  while (1) { i = i + 1; }
+}
+`, interp.Config{StepLimit: 10000})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var ee *interp.ExitError
+	if !errors.As(res.Err, &ee) || !strings.Contains(ee.Msg, "step limit") {
+		t.Fatalf("expected step limit, got %v", res.Err)
+	}
+	if res.Machine.Steps() < 10000 {
+		t.Fatalf("steps = %d", res.Machine.Steps())
+	}
+}
+
+func TestDeepButBoundedRecursionOK(t *testing.T) {
+	got := output(t, `
+int sum(int n) {
+  if (n == 0) return 0;
+  return n + sum(n - 1);
+}
+void main() { print_int(sum(200)); }
+`)
+	if got != "20100\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestGlobalZeroInitialization(t *testing.T) {
+	got := output(t, `
+int counter;
+int table[8];
+void main() {
+  print_int(counter);
+  print_int(table[7]);
+}
+`)
+	if got != "0\n0\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestAddressOfLocal(t *testing.T) {
+	got := output(t, `
+void bump(int *p) { *p = *p + 1; }
+void main() {
+  int x = 41;
+  bump(&x);
+  print_int(x);
+}
+`)
+	if got != "42\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSrandChangesSequence(t *testing.T) {
+	a := output(t, `void main() { srand(1); print_int(rand() % 1000); }`)
+	b := output(t, `void main() { srand(2); print_int(rand() % 1000); }`)
+	if a == b {
+		t.Fatalf("different seeds gave identical first draws: %q", a)
+	}
+}
+
+func TestRandNonNegative(t *testing.T) {
+	got := output(t, `
+void main() {
+  srand(9);
+  int i;
+  int bad = 0;
+  for (i = 0; i < 1000; i = i + 1) {
+    if (rand() < 0) bad = bad + 1;
+  }
+  print_int(bad);
+}
+`)
+	if got != "0\n" {
+		t.Fatalf("rand produced negatives: %q", got)
+	}
+}
+
+func TestCompoundAssignOnMemory(t *testing.T) {
+	got := output(t, `
+void main() {
+  int a[3];
+  a[0] = 10;
+  a[0] += 5;
+  a[0] *= 2;
+  a[0] -= 7;
+  a[0] /= 2;
+  print_int(a[0]);
+}
+`)
+	if got != "11\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSqrtIntrinsic(t *testing.T) {
+	got := output(t, `
+void main() {
+  print_float(sqrt(144.0));
+  print_float(sqrt(2.0));
+}
+`)
+	if !strings.HasPrefix(got, "12\n1.41421") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestOutputAndStepsAccessors(t *testing.T) {
+	res, err := run(t, `void main() { print_int(1); }`, interp.Config{})
+	if err != nil || res.Err != nil {
+		t.Fatalf("run: %v %v", err, res.Err)
+	}
+	if res.Machine.Steps() == 0 {
+		t.Fatal("Steps not counted")
+	}
+}

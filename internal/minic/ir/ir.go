@@ -1,0 +1,433 @@
+// Package ir defines the intermediate representation mini-C compiles to: a
+// register machine over basic blocks, the moral equivalent of the LLVM IR
+// the paper's pipeline works on.
+//
+// The representation is deliberately explicit about the two operations the
+// whole reproduction studies — Malloc/Free before the Automatic Pool
+// Allocation transformation, PoolAlloc/PoolFree (with pool descriptor
+// operands) after it.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reg is a virtual register index. None (-1) means "no register".
+type Reg int
+
+// None marks an absent register (void call results, void returns).
+const None Reg = -1
+
+// Program is a compiled translation unit.
+type Program struct {
+	Funcs map[string]*Func
+	// Globals are zero-initialized data-segment variables.
+	Globals []GlobalVar
+	// Strings are the string literal contents, indexed by StrAddr.
+	Strings []string
+	// GlobalPools are pools homed at program scope (created before main,
+	// destroyed after), added by the APA transformation for heap nodes
+	// reachable from globals.
+	GlobalPools []PoolDecl
+}
+
+// GlobalVar is one global variable.
+type GlobalVar struct {
+	Name string
+	Size uint64
+}
+
+// PoolDecl declares a pool created by the APA transformation.
+type PoolDecl struct {
+	// Name identifies the pool in diagnostics (e.g. "main.pool0").
+	Name string
+	// ElemSize is the dominant allocation size hint (0 = unknown).
+	ElemSize uint64
+}
+
+// Func is one function.
+type Func struct {
+	Name   string
+	Params []Param
+	// Blocks[0] is the entry block.
+	Blocks []*Block
+	// NumRegs is the virtual register count.
+	NumRegs int
+	// FrameSize is the total byte size of the function's stack frame
+	// (parameter slots + locals), 8-aligned.
+	FrameSize uint64
+	// PoolLocals are pools created at entry and destroyed at every
+	// return of this function (APA).
+	PoolLocals []PoolDecl
+	// PoolParams are pool descriptors passed in by callers (APA), by
+	// name. At call sites, Call.PoolArgs supplies them positionally.
+	PoolParams []string
+}
+
+// Param is a function parameter; its incoming value is spilled to the frame
+// slot at Offset on entry so that it is addressable.
+type Param struct {
+	Name   string
+	Size   int // 1 or 8
+	Offset uint64
+}
+
+// Block is a basic block; the last instruction is always a terminator.
+type Block struct {
+	Name   string
+	Instrs []Instr
+}
+
+// Instr is one IR instruction.
+type Instr interface {
+	fmt.Stringer
+	instr()
+}
+
+// BinKind enumerates binary ALU operations.
+type BinKind int
+
+// Binary operations. Comparison ops yield 0/1 ints regardless of operand
+// class.
+const (
+	Add BinKind = iota + 1
+	Sub
+	Mul
+	Div
+	Rem
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	CmpEq
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+var binNames = map[BinKind]string{
+	Add: "add", Sub: "sub", Mul: "mul", Div: "div", Rem: "rem",
+	And: "and", Or: "or", Xor: "xor", Shl: "shl", Shr: "shr",
+	CmpEq: "cmpeq", CmpNe: "cmpne", CmpLt: "cmplt", CmpLe: "cmple",
+	CmpGt: "cmpgt", CmpGe: "cmpge",
+}
+
+// String implements fmt.Stringer.
+func (k BinKind) String() string { return binNames[k] }
+
+// UnKind enumerates unary operations.
+type UnKind int
+
+// Unary operations.
+const (
+	Neg UnKind = iota + 1
+	Not        // logical: x == 0
+	BitNot
+)
+
+var unNames = map[UnKind]string{Neg: "neg", Not: "not", BitNot: "bitnot"}
+
+// String implements fmt.Stringer.
+func (k UnKind) String() string { return unNames[k] }
+
+// CvtKind enumerates numeric conversions.
+type CvtKind int
+
+// Conversions. Truncations to char happen at store time via size; the only
+// representation changes are int<->float.
+const (
+	IntToFloat CvtKind = iota + 1
+	FloatToInt
+)
+
+// PoolRefKind says where a pool descriptor lives at run time.
+type PoolRefKind int
+
+// Pool reference kinds.
+const (
+	// PoolLocal indexes the current function's PoolLocals.
+	PoolLocal PoolRefKind = iota + 1
+	// PoolParam indexes the current function's PoolParams.
+	PoolParam
+	// PoolGlobal indexes Program.GlobalPools.
+	PoolGlobal
+)
+
+// PoolRef names a pool descriptor operand.
+type PoolRef struct {
+	Kind  PoolRefKind
+	Index int
+}
+
+// String implements fmt.Stringer.
+func (p PoolRef) String() string {
+	switch p.Kind {
+	case PoolLocal:
+		return fmt.Sprintf("pool.local%d", p.Index)
+	case PoolParam:
+		return fmt.Sprintf("pool.param%d", p.Index)
+	case PoolGlobal:
+		return fmt.Sprintf("pool.global%d", p.Index)
+	}
+	return "pool.?"
+}
+
+// Const loads an immediate (raw 64-bit pattern; floats are stored as bits).
+type Const struct {
+	Dst Reg
+	Val uint64
+}
+
+// Bin applies a binary operation. Float selects float semantics.
+type Bin struct {
+	Op    BinKind
+	Dst   Reg
+	A, B  Reg
+	Float bool
+}
+
+// Un applies a unary operation.
+type Un struct {
+	Op    UnKind
+	Dst   Reg
+	A     Reg
+	Float bool
+}
+
+// Cvt converts between int and float representations.
+type Cvt struct {
+	Kind CvtKind
+	Dst  Reg
+	A    Reg
+}
+
+// Copy moves a register (used to merge values across control flow, since the
+// IR is not in SSA form).
+type Copy struct {
+	Dst Reg
+	Src Reg
+}
+
+// Load reads Size bytes at [Addr] into Dst (zero-extended).
+type Load struct {
+	Dst  Reg
+	Addr Reg
+	Size int
+	Site string
+}
+
+// Store writes the low Size bytes of Src to [Addr].
+type Store struct {
+	Addr Reg
+	Src  Reg
+	Size int
+	Site string
+}
+
+// FrameAddr yields the address of the frame slot at Off.
+type FrameAddr struct {
+	Dst Reg
+	Off uint64
+}
+
+// GlobalAddr yields the address of a global variable.
+type GlobalAddr struct {
+	Dst  Reg
+	Name string
+}
+
+// StrAddr yields the address of string literal Index.
+type StrAddr struct {
+	Dst   Reg
+	Index int
+}
+
+// Call invokes a user function. PoolArgs supply the callee's PoolParams.
+type Call struct {
+	Dst      Reg // None for void
+	Callee   string
+	Args     []Reg
+	PoolArgs []PoolRef
+}
+
+// Malloc is the pre-APA allocation operation.
+type Malloc struct {
+	Dst  Reg
+	Size Reg
+	Site string
+}
+
+// Free is the pre-APA deallocation operation.
+type Free struct {
+	Ptr  Reg
+	Site string
+}
+
+// PoolAlloc is Malloc after APA: allocation out of a specific pool.
+type PoolAlloc struct {
+	Dst  Reg
+	Pool PoolRef
+	Size Reg
+	Site string
+}
+
+// PoolFree is Free after APA.
+type PoolFree struct {
+	Pool PoolRef
+	Ptr  Reg
+	Site string
+}
+
+// Intrinsic calls a runtime builtin (print_*, rand, srand, sqrt).
+type Intrinsic struct {
+	Name string
+	Dst  Reg // None if void
+	Args []Reg
+}
+
+// Br jumps unconditionally to block Target.
+type Br struct {
+	Target int
+}
+
+// CondBr jumps to True when Cond != 0, else to False.
+type CondBr struct {
+	Cond  Reg
+	True  int
+	False int
+}
+
+// Ret returns from the function; Val is None for void.
+type Ret struct {
+	Val Reg
+}
+
+func (*Const) instr()      {}
+func (*Bin) instr()        {}
+func (*Un) instr()         {}
+func (*Cvt) instr()        {}
+func (*Copy) instr()       {}
+func (*Load) instr()       {}
+func (*Store) instr()      {}
+func (*FrameAddr) instr()  {}
+func (*GlobalAddr) instr() {}
+func (*StrAddr) instr()    {}
+func (*Call) instr()       {}
+func (*Malloc) instr()     {}
+func (*Free) instr()       {}
+func (*PoolAlloc) instr()  {}
+func (*PoolFree) instr()   {}
+func (*Intrinsic) instr()  {}
+func (*Br) instr()         {}
+func (*CondBr) instr()     {}
+func (*Ret) instr()        {}
+
+func regs(rs ...Reg) string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = fmt.Sprintf("r%d", r)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// String implementations render a readable disassembly.
+func (i *Const) String() string { return fmt.Sprintf("r%d = const %#x", i.Dst, i.Val) }
+func (i *Bin) String() string {
+	f := ""
+	if i.Float {
+		f = "f"
+	}
+	return fmt.Sprintf("r%d = %s%s r%d, r%d", i.Dst, f, i.Op, i.A, i.B)
+}
+func (i *Un) String() string {
+	f := ""
+	if i.Float {
+		f = "f"
+	}
+	return fmt.Sprintf("r%d = %s%s r%d", i.Dst, f, i.Op, i.A)
+}
+func (i *Cvt) String() string {
+	name := "itof"
+	if i.Kind == FloatToInt {
+		name = "ftoi"
+	}
+	return fmt.Sprintf("r%d = %s r%d", i.Dst, name, i.A)
+}
+func (i *Copy) String() string  { return fmt.Sprintf("r%d = r%d", i.Dst, i.Src) }
+func (i *Load) String() string  { return fmt.Sprintf("r%d = load%d [r%d]", i.Dst, i.Size, i.Addr) }
+func (i *Store) String() string { return fmt.Sprintf("store%d [r%d] = r%d", i.Size, i.Addr, i.Src) }
+func (i *FrameAddr) String() string {
+	return fmt.Sprintf("r%d = frameaddr +%d", i.Dst, i.Off)
+}
+func (i *GlobalAddr) String() string { return fmt.Sprintf("r%d = globaladdr %s", i.Dst, i.Name) }
+func (i *StrAddr) String() string    { return fmt.Sprintf("r%d = straddr #%d", i.Dst, i.Index) }
+func (i *Call) String() string {
+	s := fmt.Sprintf("call %s(%s)", i.Callee, regs(i.Args...))
+	if len(i.PoolArgs) > 0 {
+		pools := make([]string, len(i.PoolArgs))
+		for j, p := range i.PoolArgs {
+			pools[j] = p.String()
+		}
+		s += " pools(" + strings.Join(pools, ", ") + ")"
+	}
+	if i.Dst != None {
+		s = fmt.Sprintf("r%d = %s", i.Dst, s)
+	}
+	return s
+}
+func (i *Malloc) String() string { return fmt.Sprintf("r%d = malloc r%d", i.Dst, i.Size) }
+func (i *Free) String() string   { return fmt.Sprintf("free r%d", i.Ptr) }
+func (i *PoolAlloc) String() string {
+	return fmt.Sprintf("r%d = poolalloc %s, r%d", i.Dst, i.Pool, i.Size)
+}
+func (i *PoolFree) String() string { return fmt.Sprintf("poolfree %s, r%d", i.Pool, i.Ptr) }
+func (i *Intrinsic) String() string {
+	s := fmt.Sprintf("%s(%s)", i.Name, regs(i.Args...))
+	if i.Dst != None {
+		s = fmt.Sprintf("r%d = %s", i.Dst, s)
+	}
+	return s
+}
+func (i *Br) String() string { return fmt.Sprintf("br b%d", i.Target) }
+func (i *CondBr) String() string {
+	return fmt.Sprintf("condbr r%d, b%d, b%d", i.Cond, i.True, i.False)
+}
+func (i *Ret) String() string {
+	if i.Val == None {
+		return "ret"
+	}
+	return fmt.Sprintf("ret r%d", i.Val)
+}
+
+// IsTerminator reports whether an instruction ends a basic block.
+func IsTerminator(in Instr) bool {
+	switch in.(type) {
+	case *Br, *CondBr, *Ret:
+		return true
+	}
+	return false
+}
+
+// Dump renders a function's disassembly.
+func (f *Func) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s frame=%d", f.Name, f.FrameSize)
+	if len(f.PoolLocals) > 0 {
+		fmt.Fprintf(&sb, " pools=%d", len(f.PoolLocals))
+	}
+	if len(f.PoolParams) > 0 {
+		fmt.Fprintf(&sb, " poolparams=%v", f.PoolParams)
+	}
+	sb.WriteByte('\n')
+	for bi, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d: ; %s\n", bi, b.Name)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,101 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInstrStrings(t *testing.T) {
+	tests := []struct {
+		in   Instr
+		want string
+	}{
+		{&Const{Dst: 1, Val: 0x2A}, "r1 = const 0x2a"},
+		{&Copy{Dst: 2, Src: 1}, "r2 = r1"},
+		{&Bin{Op: Add, Dst: 3, A: 1, B: 2}, "r3 = add r1, r2"},
+		{&Bin{Op: Mul, Dst: 3, A: 1, B: 2, Float: true}, "r3 = fmul r1, r2"},
+		{&Un{Op: Neg, Dst: 4, A: 3}, "r4 = neg r3"},
+		{&Cvt{Kind: IntToFloat, Dst: 5, A: 4}, "r5 = itof r4"},
+		{&Cvt{Kind: FloatToInt, Dst: 5, A: 4}, "r5 = ftoi r4"},
+		{&Load{Dst: 6, Addr: 5, Size: 8}, "r6 = load8 [r5]"},
+		{&Store{Addr: 5, Src: 6, Size: 1}, "store1 [r5] = r6"},
+		{&FrameAddr{Dst: 7, Off: 16}, "r7 = frameaddr +16"},
+		{&GlobalAddr{Dst: 8, Name: "g"}, "r8 = globaladdr g"},
+		{&StrAddr{Dst: 9, Index: 2}, "r9 = straddr #2"},
+		{&Malloc{Dst: 10, Size: 9}, "r10 = malloc r9"},
+		{&Free{Ptr: 10}, "free r10"},
+		{&PoolAlloc{Dst: 11, Pool: PoolRef{Kind: PoolLocal, Index: 0}, Size: 9},
+			"r11 = poolalloc pool.local0, r9"},
+		{&PoolFree{Pool: PoolRef{Kind: PoolParam, Index: 1}, Ptr: 11},
+			"poolfree pool.param1, r11"},
+		{&Intrinsic{Name: "print_int", Dst: None, Args: []Reg{1}}, "print_int(r1)"},
+		{&Intrinsic{Name: "rand", Dst: 12}, "r12 = rand()"},
+		{&Br{Target: 3}, "br b3"},
+		{&CondBr{Cond: 1, True: 2, False: 3}, "condbr r1, b2, b3"},
+		{&Ret{Val: None}, "ret"},
+		{&Ret{Val: 4}, "ret r4"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("%T.String() = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestCallString(t *testing.T) {
+	call := &Call{Dst: 5, Callee: "f", Args: []Reg{1, 2},
+		PoolArgs: []PoolRef{{Kind: PoolGlobal, Index: 0}}}
+	got := call.String()
+	if !strings.Contains(got, "r5 = call f(r1, r2)") || !strings.Contains(got, "pool.global0") {
+		t.Fatalf("Call.String = %q", got)
+	}
+	void := &Call{Dst: None, Callee: "g"}
+	if void.String() != "call g()" {
+		t.Fatalf("void call = %q", void.String())
+	}
+}
+
+func TestIsTerminator(t *testing.T) {
+	if !IsTerminator(&Br{}) || !IsTerminator(&CondBr{}) || !IsTerminator(&Ret{}) {
+		t.Fatal("terminators not recognized")
+	}
+	if IsTerminator(&Const{}) || IsTerminator(&Call{}) {
+		t.Fatal("non-terminators misclassified")
+	}
+}
+
+func TestFuncDump(t *testing.T) {
+	fn := &Func{
+		Name:      "demo",
+		FrameSize: 16,
+		Blocks: []*Block{
+			{Name: "entry", Instrs: []Instr{
+				&Const{Dst: 0, Val: 1},
+				&Ret{Val: 0},
+			}},
+		},
+		NumRegs:    1,
+		PoolLocals: []PoolDecl{{Name: "demo.pool", ElemSize: 16}},
+		PoolParams: []string{"caller.pool"},
+	}
+	dump := fn.Dump()
+	for _, want := range []string{"func demo", "frame=16", "pools=1",
+		"poolparams=[caller.pool]", "b0: ; entry", "ret r0"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("Dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestPoolRefStrings(t *testing.T) {
+	tests := map[string]PoolRef{
+		"pool.local2":  {Kind: PoolLocal, Index: 2},
+		"pool.param0":  {Kind: PoolParam, Index: 0},
+		"pool.global1": {Kind: PoolGlobal, Index: 1},
+	}
+	for want, ref := range tests {
+		if got := ref.String(); got != want {
+			t.Errorf("PoolRef = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,690 @@
+// Package irgen lowers checked mini-C ASTs to IR.
+//
+// The lowering is conventional: locals and parameters live in addressable
+// frame slots, expressions evaluate into virtual registers, && and || become
+// control flow, and pointer arithmetic is scaled by element size. malloc and
+// free lower to the dedicated Malloc/Free instructions that the Automatic
+// Pool Allocation pass later rewrites.
+package irgen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/minic/ast"
+	"repro/internal/minic/check"
+	"repro/internal/minic/ir"
+	"repro/internal/minic/types"
+)
+
+// Generate lowers a checked program to IR.
+func Generate(info *check.Info) (*ir.Program, error) {
+	prog := &ir.Program{Funcs: make(map[string]*ir.Func)}
+	strIndex := make(map[*ast.StrLit]int, len(info.Strings))
+	for i, s := range info.Strings {
+		strIndex[s] = i
+		prog.Strings = append(prog.Strings, s.Val)
+	}
+	for _, g := range info.Prog.Globals {
+		prog.Globals = append(prog.Globals, ir.GlobalVar{Name: g.Name, Size: g.Type.Size()})
+	}
+	for _, fn := range info.Prog.Funcs {
+		g := &generator{
+			info:     info,
+			strIndex: strIndex,
+			fn:       &ir.Func{Name: fn.Name},
+		}
+		if err := g.genFunc(fn); err != nil {
+			return nil, err
+		}
+		prog.Funcs[fn.Name] = g.fn
+	}
+	return prog, nil
+}
+
+type local struct {
+	off uint64
+	typ *types.Type
+}
+
+type loopCtx struct {
+	breakTo    int
+	continueTo int
+}
+
+type generator struct {
+	info     *check.Info
+	strIndex map[*ast.StrLit]int
+
+	fn     *ir.Func
+	cur    int // current block index
+	scopes []map[string]local
+	frame  uint64
+	loops  []loopCtx
+}
+
+func (g *generator) errf(format string, args ...any) error {
+	return fmt.Errorf("irgen: %s: %s", g.fn.Name, fmt.Sprintf(format, args...))
+}
+
+func (g *generator) newReg() ir.Reg {
+	r := ir.Reg(g.fn.NumRegs)
+	g.fn.NumRegs++
+	return r
+}
+
+func (g *generator) newBlock(name string) int {
+	g.fn.Blocks = append(g.fn.Blocks, &ir.Block{Name: name})
+	return len(g.fn.Blocks) - 1
+}
+
+func (g *generator) emit(in ir.Instr) {
+	b := g.fn.Blocks[g.cur]
+	// Never emit past a terminator (dead code after return/break).
+	if n := len(b.Instrs); n > 0 && ir.IsTerminator(b.Instrs[n-1]) {
+		return
+	}
+	b.Instrs = append(b.Instrs, in)
+}
+
+// terminated reports whether the current block already ends in a terminator.
+func (g *generator) terminated() bool {
+	b := g.fn.Blocks[g.cur]
+	n := len(b.Instrs)
+	return n > 0 && ir.IsTerminator(b.Instrs[n-1])
+}
+
+func (g *generator) allocFrame(size, align uint64) uint64 {
+	g.frame = (g.frame + align - 1) &^ (align - 1)
+	off := g.frame
+	g.frame += size
+	return off
+}
+
+func (g *generator) pushScope() { g.scopes = append(g.scopes, make(map[string]local)) }
+func (g *generator) popScope()  { g.scopes = g.scopes[:len(g.scopes)-1] }
+
+func (g *generator) declareLocal(name string, t *types.Type) local {
+	align := t.Align()
+	if align < 8 {
+		align = 8 // keep every slot naturally aligned for 8-byte accesses
+	}
+	l := local{off: g.allocFrame(t.Size(), align), typ: t}
+	g.scopes[len(g.scopes)-1][name] = l
+	return l
+}
+
+func (g *generator) lookupLocal(name string) (local, bool) {
+	for i := len(g.scopes) - 1; i >= 0; i-- {
+		if l, ok := g.scopes[i][name]; ok {
+			return l, true
+		}
+	}
+	return local{}, false
+}
+
+// sizeOfAccess is the load/store width for a scalar type.
+func sizeOfAccess(t *types.Type) int {
+	if t.Kind == types.KindChar {
+		return 1
+	}
+	return 8
+}
+
+func (g *generator) site(e ast.Node) string {
+	return fmt.Sprintf("%s:%d", g.fn.Name, e.Pos().Line)
+}
+
+func (g *generator) genFunc(fn *ast.FuncDecl) error {
+	g.cur = g.newBlock("entry")
+	g.pushScope()
+	defer g.popScope()
+
+	// Spill parameters to addressable frame slots.
+	for _, p := range fn.Params {
+		l := g.declareLocal(p.Name, p.Type)
+		g.fn.Params = append(g.fn.Params, ir.Param{
+			Name:   p.Name,
+			Size:   sizeOfAccess(p.Type),
+			Offset: l.off,
+		})
+	}
+
+	if err := g.genStmt(fn.Body); err != nil {
+		return err
+	}
+	if !g.terminated() {
+		if fn.Ret.Kind != types.KindVoid && fn.Name != "main" {
+			// Falling off a value-returning function returns 0, as
+			// C (pre-C99 informally) tolerates; keep programs
+			// honest but runnable.
+			r := g.newReg()
+			g.emit(&ir.Const{Dst: r, Val: 0})
+			g.emit(&ir.Ret{Val: r})
+		} else {
+			g.emit(&ir.Ret{Val: ir.None})
+		}
+	}
+	g.fn.FrameSize = (g.frame + 7) &^ 7
+	return nil
+}
+
+func (g *generator) genStmt(s ast.Stmt) error {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		g.pushScope()
+		defer g.popScope()
+		for _, inner := range s.Stmts {
+			if err := g.genStmt(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ast.DeclStmt:
+		d := s.Decl
+		l := g.declareLocal(d.Name, d.Type)
+		if d.Init != nil {
+			val, err := g.genExpr(d.Init)
+			if err != nil {
+				return err
+			}
+			addr := g.newReg()
+			g.emit(&ir.FrameAddr{Dst: addr, Off: l.off})
+			g.emit(&ir.Store{Addr: addr, Src: val, Size: sizeOfAccess(d.Type), Site: g.site(d)})
+		}
+		return nil
+	case *ast.ExprStmt:
+		_, err := g.genExpr(s.X)
+		return err
+	case *ast.IfStmt:
+		return g.genIf(s)
+	case *ast.WhileStmt:
+		return g.genWhile(s)
+	case *ast.ForStmt:
+		return g.genFor(s)
+	case *ast.ReturnStmt:
+		if s.X == nil {
+			g.emit(&ir.Ret{Val: ir.None})
+			return nil
+		}
+		v, err := g.genExpr(s.X)
+		if err != nil {
+			return err
+		}
+		g.emit(&ir.Ret{Val: v})
+		return nil
+	case *ast.BreakStmt:
+		if len(g.loops) == 0 {
+			return g.errf("break outside loop")
+		}
+		g.emit(&ir.Br{Target: g.loops[len(g.loops)-1].breakTo})
+		return nil
+	case *ast.ContinueStmt:
+		if len(g.loops) == 0 {
+			return g.errf("continue outside loop")
+		}
+		g.emit(&ir.Br{Target: g.loops[len(g.loops)-1].continueTo})
+		return nil
+	}
+	return g.errf("unknown statement %T", s)
+}
+
+func (g *generator) genIf(s *ast.IfStmt) error {
+	cond, err := g.genExpr(s.Cond)
+	if err != nil {
+		return err
+	}
+	thenB := g.newBlock("if.then")
+	endB := g.newBlock("if.end")
+	elseB := endB
+	if s.Else != nil {
+		elseB = g.newBlock("if.else")
+	}
+	g.emit(&ir.CondBr{Cond: cond, True: thenB, False: elseB})
+
+	g.cur = thenB
+	if err := g.genStmt(s.Then); err != nil {
+		return err
+	}
+	g.emit(&ir.Br{Target: endB})
+
+	if s.Else != nil {
+		g.cur = elseB
+		if err := g.genStmt(s.Else); err != nil {
+			return err
+		}
+		g.emit(&ir.Br{Target: endB})
+	}
+	g.cur = endB
+	return nil
+}
+
+func (g *generator) genWhile(s *ast.WhileStmt) error {
+	condB := g.newBlock("while.cond")
+	bodyB := g.newBlock("while.body")
+	endB := g.newBlock("while.end")
+	g.emit(&ir.Br{Target: condB})
+
+	g.cur = condB
+	cond, err := g.genExpr(s.Cond)
+	if err != nil {
+		return err
+	}
+	g.emit(&ir.CondBr{Cond: cond, True: bodyB, False: endB})
+
+	g.cur = bodyB
+	g.loops = append(g.loops, loopCtx{breakTo: endB, continueTo: condB})
+	if err := g.genStmt(s.Body); err != nil {
+		return err
+	}
+	g.loops = g.loops[:len(g.loops)-1]
+	g.emit(&ir.Br{Target: condB})
+
+	g.cur = endB
+	return nil
+}
+
+func (g *generator) genFor(s *ast.ForStmt) error {
+	g.pushScope()
+	defer g.popScope()
+	if s.Init != nil {
+		if err := g.genStmt(s.Init); err != nil {
+			return err
+		}
+	}
+	condB := g.newBlock("for.cond")
+	bodyB := g.newBlock("for.body")
+	postB := g.newBlock("for.post")
+	endB := g.newBlock("for.end")
+	g.emit(&ir.Br{Target: condB})
+
+	g.cur = condB
+	if s.Cond != nil {
+		cond, err := g.genExpr(s.Cond)
+		if err != nil {
+			return err
+		}
+		g.emit(&ir.CondBr{Cond: cond, True: bodyB, False: endB})
+	} else {
+		g.emit(&ir.Br{Target: bodyB})
+	}
+
+	g.cur = bodyB
+	g.loops = append(g.loops, loopCtx{breakTo: endB, continueTo: postB})
+	if err := g.genStmt(s.Body); err != nil {
+		return err
+	}
+	g.loops = g.loops[:len(g.loops)-1]
+	g.emit(&ir.Br{Target: postB})
+
+	g.cur = postB
+	if s.Post != nil {
+		if err := g.genStmt(s.Post); err != nil {
+			return err
+		}
+	}
+	g.emit(&ir.Br{Target: condB})
+
+	g.cur = endB
+	return nil
+}
+
+// isAggregate reports whether a type is not register-sized.
+func isAggregate(t *types.Type) bool {
+	return t.Kind == types.KindArray || t.Kind == types.KindStruct
+}
+
+// genExpr evaluates e into a register. Aggregate-typed expressions evaluate
+// to their address (array decay; structs are only used via member access).
+func (g *generator) genExpr(e ast.Expr) (ir.Reg, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		r := g.newReg()
+		g.emit(&ir.Const{Dst: r, Val: uint64(e.Val)})
+		return r, nil
+	case *ast.FloatLit:
+		r := g.newReg()
+		g.emit(&ir.Const{Dst: r, Val: math.Float64bits(e.Val)})
+		return r, nil
+	case *ast.StrLit:
+		r := g.newReg()
+		g.emit(&ir.StrAddr{Dst: r, Index: g.strIndex[e]})
+		return r, nil
+	case *ast.NullLit:
+		r := g.newReg()
+		g.emit(&ir.Const{Dst: r, Val: 0})
+		return r, nil
+	case *ast.Ident:
+		addr, err := g.genAddr(e)
+		if err != nil {
+			return 0, err
+		}
+		if isAggregate(e.Type()) {
+			return addr, nil
+		}
+		r := g.newReg()
+		g.emit(&ir.Load{Dst: r, Addr: addr, Size: sizeOfAccess(e.Type()), Site: g.site(e)})
+		return r, nil
+	case *ast.UnaryExpr:
+		return g.genUnary(e)
+	case *ast.BinaryExpr:
+		return g.genBinary(e)
+	case *ast.AssignExpr:
+		addr, err := g.genAddr(e.LHS)
+		if err != nil {
+			return 0, err
+		}
+		val, err := g.genExpr(e.RHS)
+		if err != nil {
+			return 0, err
+		}
+		g.emit(&ir.Store{Addr: addr, Src: val, Size: sizeOfAccess(e.LHS.Type()), Site: g.site(e)})
+		return val, nil
+	case *ast.CallExpr:
+		return g.genCall(e)
+	case *ast.IndexExpr:
+		addr, err := g.genAddr(e)
+		if err != nil {
+			return 0, err
+		}
+		if isAggregate(e.Type()) {
+			return addr, nil
+		}
+		r := g.newReg()
+		g.emit(&ir.Load{Dst: r, Addr: addr, Size: sizeOfAccess(e.Type()), Site: g.site(e)})
+		return r, nil
+	case *ast.MemberExpr:
+		addr, err := g.genAddr(e)
+		if err != nil {
+			return 0, err
+		}
+		if isAggregate(e.Type()) {
+			return addr, nil
+		}
+		r := g.newReg()
+		g.emit(&ir.Load{Dst: r, Addr: addr, Size: sizeOfAccess(e.Type()), Site: g.site(e)})
+		return r, nil
+	case *ast.CastExpr:
+		return g.genCast(e)
+	case *ast.SizeofExpr:
+		r := g.newReg()
+		g.emit(&ir.Const{Dst: r, Val: e.Of.Size()})
+		return r, nil
+	}
+	return 0, g.errf("unknown expression %T", e)
+}
+
+func (g *generator) genUnary(e *ast.UnaryExpr) (ir.Reg, error) {
+	switch e.Op {
+	case ast.AddrOf:
+		return g.genAddr(e.X)
+	case ast.Deref:
+		addr, err := g.genExpr(e.X)
+		if err != nil {
+			return 0, err
+		}
+		if isAggregate(e.Type()) {
+			return addr, nil
+		}
+		r := g.newReg()
+		g.emit(&ir.Load{Dst: r, Addr: addr, Size: sizeOfAccess(e.Type()), Site: g.site(e)})
+		return r, nil
+	}
+	x, err := g.genExpr(e.X)
+	if err != nil {
+		return 0, err
+	}
+	r := g.newReg()
+	switch e.Op {
+	case ast.Neg:
+		g.emit(&ir.Un{Op: ir.Neg, Dst: r, A: x, Float: e.Type().Kind == types.KindFloat})
+	case ast.Not:
+		g.emit(&ir.Un{Op: ir.Not, Dst: r, A: x})
+	case ast.BitNot:
+		g.emit(&ir.Un{Op: ir.BitNot, Dst: r, A: x})
+	default:
+		return 0, g.errf("unknown unary op %d", e.Op)
+	}
+	return r, nil
+}
+
+var binKinds = map[ast.BinOp]ir.BinKind{
+	ast.Add: ir.Add, ast.Sub: ir.Sub, ast.Mul: ir.Mul, ast.Div: ir.Div,
+	ast.Rem: ir.Rem, ast.And: ir.And, ast.Or: ir.Or, ast.Xor: ir.Xor,
+	ast.Shl: ir.Shl, ast.Shr: ir.Shr, ast.Eq: ir.CmpEq, ast.Ne: ir.CmpNe,
+	ast.Lt: ir.CmpLt, ast.Gt: ir.CmpGt, ast.Le: ir.CmpLe, ast.Ge: ir.CmpGe,
+}
+
+func (g *generator) genBinary(e *ast.BinaryExpr) (ir.Reg, error) {
+	if e.Op == ast.LAnd || e.Op == ast.LOr {
+		return g.genShortCircuit(e)
+	}
+	x, err := g.genExpr(e.X)
+	if err != nil {
+		return 0, err
+	}
+
+	xt := e.X.Type()
+	if xt.Kind == types.KindArray {
+		xt = types.PointerTo(xt.Elem)
+	}
+	yt := e.Y.Type()
+	if yt.Kind == types.KindArray {
+		yt = types.PointerTo(yt.Elem)
+	}
+
+	y, err := g.genExpr(e.Y)
+	if err != nil {
+		return 0, err
+	}
+
+	// Pointer arithmetic scaling.
+	if (e.Op == ast.Add || e.Op == ast.Sub) && xt.IsPointer() && yt.IsInteger() {
+		scaled := g.scale(y, xt.Elem.Size())
+		r := g.newReg()
+		g.emit(&ir.Bin{Op: binKinds[e.Op], Dst: r, A: x, B: scaled})
+		return r, nil
+	}
+	if e.Op == ast.Add && xt.IsInteger() && yt.IsPointer() {
+		scaled := g.scale(x, yt.Elem.Size())
+		r := g.newReg()
+		g.emit(&ir.Bin{Op: ir.Add, Dst: r, A: scaled, B: y})
+		return r, nil
+	}
+	if e.Op == ast.Sub && xt.IsPointer() && yt.IsPointer() {
+		diff := g.newReg()
+		g.emit(&ir.Bin{Op: ir.Sub, Dst: diff, A: x, B: y})
+		size := xt.Elem.Size()
+		if size <= 1 {
+			return diff, nil
+		}
+		c := g.newReg()
+		g.emit(&ir.Const{Dst: c, Val: size})
+		r := g.newReg()
+		g.emit(&ir.Bin{Op: ir.Div, Dst: r, A: diff, B: c})
+		return r, nil
+	}
+
+	isFloat := xt.Kind == types.KindFloat || yt.Kind == types.KindFloat
+	r := g.newReg()
+	g.emit(&ir.Bin{Op: binKinds[e.Op], Dst: r, A: x, B: y, Float: isFloat})
+	return r, nil
+}
+
+// scale multiplies an index register by an element size, folding size 1.
+func (g *generator) scale(idx ir.Reg, size uint64) ir.Reg {
+	if size == 1 {
+		return idx
+	}
+	c := g.newReg()
+	g.emit(&ir.Const{Dst: c, Val: size})
+	r := g.newReg()
+	g.emit(&ir.Bin{Op: ir.Mul, Dst: r, A: idx, B: c})
+	return r
+}
+
+func (g *generator) genShortCircuit(e *ast.BinaryExpr) (ir.Reg, error) {
+	dst := g.newReg()
+	x, err := g.genExpr(e.X)
+	if err != nil {
+		return 0, err
+	}
+	xBool := g.newReg()
+	zero := g.newReg()
+	g.emit(&ir.Const{Dst: zero, Val: 0})
+	g.emit(&ir.Bin{Op: ir.CmpNe, Dst: xBool, A: x, B: zero})
+
+	rhsB := g.newBlock("sc.rhs")
+	endB := g.newBlock("sc.end")
+	shortB := g.newBlock("sc.short")
+
+	if e.Op == ast.LAnd {
+		g.emit(&ir.CondBr{Cond: xBool, True: rhsB, False: shortB})
+	} else {
+		g.emit(&ir.CondBr{Cond: xBool, True: shortB, False: rhsB})
+	}
+
+	// Short-circuit path: result is 0 for &&, 1 for ||.
+	g.cur = shortB
+	val := uint64(0)
+	if e.Op == ast.LOr {
+		val = 1
+	}
+	g.emit(&ir.Const{Dst: dst, Val: val})
+	g.emit(&ir.Br{Target: endB})
+
+	// Full path: result is bool(Y).
+	g.cur = rhsB
+	y, err := g.genExpr(e.Y)
+	if err != nil {
+		return 0, err
+	}
+	zero2 := g.newReg()
+	g.emit(&ir.Const{Dst: zero2, Val: 0})
+	g.emit(&ir.Bin{Op: ir.CmpNe, Dst: dst, A: y, B: zero2})
+	g.emit(&ir.Br{Target: endB})
+
+	g.cur = endB
+	return dst, nil
+}
+
+func (g *generator) genCall(e *ast.CallExpr) (ir.Reg, error) {
+	args := make([]ir.Reg, len(e.Args))
+	for i, a := range e.Args {
+		r, err := g.genExpr(a)
+		if err != nil {
+			return 0, err
+		}
+		args[i] = r
+	}
+	switch e.Name {
+	case "malloc":
+		r := g.newReg()
+		g.emit(&ir.Malloc{Dst: r, Size: args[0], Site: g.site(e)})
+		return r, nil
+	case "free":
+		g.emit(&ir.Free{Ptr: args[0], Site: g.site(e)})
+		return ir.None, nil
+	}
+	if _, builtin := check.Builtins[e.Name]; builtin {
+		dst := ir.None
+		if e.Type().Kind != types.KindVoid {
+			dst = g.newReg()
+		}
+		g.emit(&ir.Intrinsic{Name: e.Name, Dst: dst, Args: args})
+		return dst, nil
+	}
+	dst := ir.None
+	if e.Type().Kind != types.KindVoid {
+		dst = g.newReg()
+	}
+	g.emit(&ir.Call{Dst: dst, Callee: e.Name, Args: args})
+	return dst, nil
+}
+
+func (g *generator) genCast(e *ast.CastExpr) (ir.Reg, error) {
+	x, err := g.genExpr(e.X)
+	if err != nil {
+		return 0, err
+	}
+	from := e.X.Type()
+	if from.Kind == types.KindArray {
+		from = types.PointerTo(from.Elem)
+	}
+	to := e.To
+	switch {
+	case from.IsInteger() && to.Kind == types.KindFloat:
+		r := g.newReg()
+		g.emit(&ir.Cvt{Kind: ir.IntToFloat, Dst: r, A: x})
+		return r, nil
+	case from.Kind == types.KindFloat && to.IsInteger():
+		r := g.newReg()
+		g.emit(&ir.Cvt{Kind: ir.FloatToInt, Dst: r, A: x})
+		return r, nil
+	case to.Kind == types.KindChar && from.Kind == types.KindInt:
+		// Truncate to a byte so char comparisons behave.
+		c := g.newReg()
+		g.emit(&ir.Const{Dst: c, Val: 0xFF})
+		r := g.newReg()
+		g.emit(&ir.Bin{Op: ir.And, Dst: r, A: x, B: c})
+		return r, nil
+	default:
+		// Pointer casts, pointer<->int, char->int: bit-identical.
+		return x, nil
+	}
+}
+
+// genAddr evaluates the address of an lvalue.
+func (g *generator) genAddr(e ast.Expr) (ir.Reg, error) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		r := g.newReg()
+		if l, ok := g.lookupLocal(e.Name); ok {
+			g.emit(&ir.FrameAddr{Dst: r, Off: l.off})
+			return r, nil
+		}
+		if e.Global {
+			g.emit(&ir.GlobalAddr{Dst: r, Name: e.Name})
+			return r, nil
+		}
+		return 0, g.errf("unresolved identifier %q", e.Name)
+	case *ast.UnaryExpr:
+		if e.Op != ast.Deref {
+			return 0, g.errf("address of non-lvalue unary expr")
+		}
+		return g.genExpr(e.X)
+	case *ast.IndexExpr:
+		base, err := g.genExpr(e.X) // pointer value or decayed array addr
+		if err != nil {
+			return 0, err
+		}
+		idx, err := g.genExpr(e.Index)
+		if err != nil {
+			return 0, err
+		}
+		scaled := g.scale(idx, e.Type().Size())
+		r := g.newReg()
+		g.emit(&ir.Bin{Op: ir.Add, Dst: r, A: base, B: scaled})
+		return r, nil
+	case *ast.MemberExpr:
+		var base ir.Reg
+		var err error
+		if e.Arrow {
+			base, err = g.genExpr(e.X)
+		} else {
+			base, err = g.genAddr(e.X)
+		}
+		if err != nil {
+			return 0, err
+		}
+		if e.Field.Offset == 0 {
+			return base, nil
+		}
+		c := g.newReg()
+		g.emit(&ir.Const{Dst: c, Val: e.Field.Offset})
+		r := g.newReg()
+		g.emit(&ir.Bin{Op: ir.Add, Dst: r, A: base, B: c})
+		return r, nil
+	}
+	return 0, g.errf("cannot take address of %T", e)
+}

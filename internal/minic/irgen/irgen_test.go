@@ -1,0 +1,229 @@
+package irgen_test
+
+import (
+	"testing"
+
+	"repro/internal/minic/check"
+	"repro/internal/minic/ir"
+	"repro/internal/minic/irgen"
+	"repro/internal/minic/parser"
+)
+
+func gen(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	astProg, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := check.Check(astProg)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	prog, err := irgen.Generate(info)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return prog
+}
+
+// wellFormed checks structural IR invariants for a function.
+func wellFormed(t *testing.T, fn *ir.Func) {
+	t.Helper()
+	if len(fn.Blocks) == 0 {
+		t.Fatalf("%s: no blocks", fn.Name)
+	}
+	for bi, b := range fn.Blocks {
+		if len(b.Instrs) == 0 {
+			t.Fatalf("%s b%d: empty block", fn.Name, bi)
+		}
+		last := b.Instrs[len(b.Instrs)-1]
+		if !ir.IsTerminator(last) {
+			t.Fatalf("%s b%d: not terminated (%s)", fn.Name, bi, last)
+		}
+		for ii, in := range b.Instrs {
+			if ii < len(b.Instrs)-1 && ir.IsTerminator(in) {
+				t.Fatalf("%s b%d:%d: terminator mid-block", fn.Name, bi, ii)
+			}
+			switch in := in.(type) {
+			case *ir.Br:
+				if in.Target < 0 || in.Target >= len(fn.Blocks) {
+					t.Fatalf("%s: br to b%d of %d", fn.Name, in.Target, len(fn.Blocks))
+				}
+			case *ir.CondBr:
+				if in.True >= len(fn.Blocks) || in.False >= len(fn.Blocks) {
+					t.Fatalf("%s: condbr out of range", fn.Name)
+				}
+			}
+		}
+	}
+	if fn.FrameSize%8 != 0 {
+		t.Fatalf("%s: unaligned frame %d", fn.Name, fn.FrameSize)
+	}
+}
+
+func TestWellFormedness(t *testing.T) {
+	prog := gen(t, `
+struct s { int v; struct s *next; char tag; };
+int g;
+
+int helper(int a, char c) {
+  if (a > 0) return a;
+  while (c) { c = c - 1; if (c == 3) break; else continue; }
+  return -a;
+}
+
+void main() {
+  struct s *p = (struct s*)malloc(sizeof(struct s));
+  p->v = helper(5, 'x');
+  p->tag = 'y';
+  int arr[4];
+  int i;
+  for (i = 0; i < 4; i = i + 1) arr[i] = i && g || p->v;
+  g = arr[2];
+  free(p);
+}
+`)
+	for _, fn := range prog.Funcs {
+		wellFormed(t, fn)
+	}
+}
+
+func TestCharAccessesAreByteSized(t *testing.T) {
+	prog := gen(t, `
+void main() {
+  char buf[4];
+  buf[1] = 'a';
+  char c = buf[1];
+  int widened = c;
+}
+`)
+	var sizes []int
+	for _, b := range prog.Funcs["main"].Blocks {
+		for _, in := range b.Instrs {
+			switch in := in.(type) {
+			case *ir.Store:
+				sizes = append(sizes, in.Size)
+			case *ir.Load:
+				sizes = append(sizes, in.Size)
+			}
+		}
+	}
+	has1 := false
+	for _, s := range sizes {
+		if s == 1 {
+			has1 = true
+		}
+	}
+	if !has1 {
+		t.Fatalf("no byte-sized accesses for char code: %v", sizes)
+	}
+}
+
+func TestPointerArithmeticScaled(t *testing.T) {
+	prog := gen(t, `
+void main() {
+  int *p = (int*)malloc(80);
+  int *q = p + 3;
+  free(p);
+}
+`)
+	// The scaling by sizeof(int)=8 must appear as a constant 8 feeding a
+	// multiply.
+	foundScale := false
+	consts := map[ir.Reg]uint64{}
+	for _, b := range prog.Funcs["main"].Blocks {
+		for _, in := range b.Instrs {
+			switch in := in.(type) {
+			case *ir.Const:
+				consts[in.Dst] = in.Val
+			case *ir.Bin:
+				if in.Op == ir.Mul && (consts[in.A] == 8 || consts[in.B] == 8) {
+					foundScale = true
+				}
+			}
+		}
+	}
+	if !foundScale {
+		t.Fatal("pointer arithmetic not scaled by element size")
+	}
+}
+
+func TestStringLiteralsRegistered(t *testing.T) {
+	prog := gen(t, `void main() { print_str("a"); print_str("bb"); }`)
+	if len(prog.Strings) != 2 || prog.Strings[0] != "a" || prog.Strings[1] != "bb" {
+		t.Fatalf("Strings = %q", prog.Strings)
+	}
+	count := 0
+	for _, b := range prog.Funcs["main"].Blocks {
+		for _, in := range b.Instrs {
+			if _, ok := in.(*ir.StrAddr); ok {
+				count++
+			}
+		}
+	}
+	if count != 2 {
+		t.Fatalf("StrAddr count = %d", count)
+	}
+}
+
+func TestGlobalsRegistered(t *testing.T) {
+	prog := gen(t, `
+int a;
+char buf[100];
+void main() { a = buf[0]; }
+`)
+	if len(prog.Globals) != 2 {
+		t.Fatalf("globals = %v", prog.Globals)
+	}
+	if prog.Globals[1].Size != 100 {
+		t.Fatalf("buf size = %d", prog.Globals[1].Size)
+	}
+}
+
+func TestParamsSpilledToFrame(t *testing.T) {
+	prog := gen(t, `
+int f(int a, char c, float x) { return a; }
+void main() { f(1, 'b', 2.0); }
+`)
+	f := prog.Funcs["f"]
+	if len(f.Params) != 3 {
+		t.Fatalf("params = %d", len(f.Params))
+	}
+	if f.Params[0].Size != 8 || f.Params[1].Size != 1 || f.Params[2].Size != 8 {
+		t.Fatalf("param sizes = %+v", f.Params)
+	}
+	// Offsets distinct and within the frame.
+	seen := map[uint64]bool{}
+	for _, p := range f.Params {
+		if seen[p.Offset] {
+			t.Fatalf("duplicate param offset %d", p.Offset)
+		}
+		seen[p.Offset] = true
+		if p.Offset >= f.FrameSize {
+			t.Fatalf("param offset %d outside frame %d", p.Offset, f.FrameSize)
+		}
+	}
+}
+
+func TestDeadCodeAfterReturnDropped(t *testing.T) {
+	prog := gen(t, `
+int f() {
+  return 1;
+  return 2;
+}
+void main() { f(); }
+`)
+	wellFormed(t, prog.Funcs["f"])
+}
+
+func TestVoidFunctionImplicitReturn(t *testing.T) {
+	prog := gen(t, `
+void f() { int x = 1; }
+void main() { f(); }
+`)
+	f := prog.Funcs["f"]
+	last := f.Blocks[len(f.Blocks)-1].Instrs
+	if ret, ok := last[len(last)-1].(*ir.Ret); !ok || ret.Val != ir.None {
+		t.Fatalf("missing implicit void return: %v", last[len(last)-1])
+	}
+}

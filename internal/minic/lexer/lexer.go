@@ -1,0 +1,313 @@
+// Package lexer tokenizes mini-C source.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/minic/token"
+)
+
+// Error is a lexical error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans mini-C source into tokens.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// New returns a Lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans the whole input, returning the token stream terminated by
+// an EOF token.
+func Tokenize(src string) ([]token.Token, error) {
+	lx := New(src)
+	var out []token.Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) errf(pos token.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// skipSpace consumes whitespace and comments.
+func (l *Lexer) skipSpace() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			pos := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.off >= len(l.src) {
+					return l.errf(pos, "unterminated block comment")
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isAlnum(c byte) bool { return isAlpha(c) || isDigit(c) }
+func isHex(c byte) bool   { return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') }
+
+// Next returns the next token.
+func (l *Lexer) Next() (token.Token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token.Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isAlpha(c):
+		return l.ident(pos), nil
+	case isDigit(c):
+		return l.number(pos)
+	case c == '\'':
+		return l.charLit(pos)
+	case c == '"':
+		return l.stringLit(pos)
+	}
+	return l.operator(pos)
+}
+
+func (l *Lexer) ident(pos token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && isAlnum(l.peek()) {
+		l.advance()
+	}
+	text := l.src[start:l.off]
+	if kw, ok := token.Keywords[text]; ok {
+		return token.Token{Kind: kw, Text: text, Pos: pos}
+	}
+	return token.Token{Kind: token.Ident, Text: text, Pos: pos}
+}
+
+func (l *Lexer) number(pos token.Pos) (token.Token, error) {
+	start := l.off
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.off < len(l.src) && isHex(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		v, err := strconv.ParseUint(text[2:], 16, 64)
+		if err != nil {
+			return token.Token{}, l.errf(pos, "bad hex literal %q", text)
+		}
+		return token.Token{Kind: token.IntLit, Text: text, IntVal: int64(v), Pos: pos}, nil
+	}
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	isFloat := false
+	if l.off < len(l.src) && l.peek() == '.' && isDigit(l.peek2()) {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.off < len(l.src) && (l.peek() == 'e' || l.peek() == 'E') {
+		save := l.off
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			isFloat = true
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			l.off = save
+		}
+	}
+	text := l.src[start:l.off]
+	if isFloat {
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token.Token{}, l.errf(pos, "bad float literal %q", text)
+		}
+		return token.Token{Kind: token.FloatLit, Text: text, FloatVal: v, Pos: pos}, nil
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return token.Token{}, l.errf(pos, "bad int literal %q", text)
+	}
+	return token.Token{Kind: token.IntLit, Text: text, IntVal: v, Pos: pos}, nil
+}
+
+func (l *Lexer) escape(pos token.Pos) (byte, error) {
+	l.advance() // backslash
+	if l.off >= len(l.src) {
+		return 0, l.errf(pos, "unterminated escape")
+	}
+	c := l.advance()
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\', '\'', '"':
+		return c, nil
+	default:
+		return 0, l.errf(pos, "unknown escape \\%c", c)
+	}
+}
+
+func (l *Lexer) charLit(pos token.Pos) (token.Token, error) {
+	l.advance() // opening quote
+	if l.off >= len(l.src) {
+		return token.Token{}, l.errf(pos, "unterminated char literal")
+	}
+	var v byte
+	if l.peek() == '\\' {
+		b, err := l.escape(pos)
+		if err != nil {
+			return token.Token{}, err
+		}
+		v = b
+	} else {
+		v = l.advance()
+	}
+	if l.off >= len(l.src) || l.peek() != '\'' {
+		return token.Token{}, l.errf(pos, "unterminated char literal")
+	}
+	l.advance()
+	return token.Token{Kind: token.CharLit, Text: string(v), IntVal: int64(v), Pos: pos}, nil
+}
+
+func (l *Lexer) stringLit(pos token.Pos) (token.Token, error) {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			return token.Token{}, l.errf(pos, "unterminated string literal")
+		}
+		if l.peek() == '"' {
+			l.advance()
+			break
+		}
+		if l.peek() == '\\' {
+			b, err := l.escape(pos)
+			if err != nil {
+				return token.Token{}, err
+			}
+			sb.WriteByte(b)
+			continue
+		}
+		sb.WriteByte(l.advance())
+	}
+	s := sb.String()
+	return token.Token{Kind: token.StringLit, Text: s, StrVal: s, Pos: pos}, nil
+}
+
+// twoCharOps maps two-byte operator spellings.
+var twoCharOps = map[string]token.Kind{
+	"->": token.Arrow, "<<": token.Shl, ">>": token.Shr,
+	"<=": token.Le, ">=": token.Ge, "==": token.EqEq, "!=": token.NotEq,
+	"&&": token.AmpAmp, "||": token.PipePipe,
+	"+=": token.PlusEq, "-=": token.MinusEq, "*=": token.StarEq, "/=": token.SlashEq,
+}
+
+var oneCharOps = map[byte]token.Kind{
+	'(': token.LParen, ')': token.RParen, '{': token.LBrace, '}': token.RBrace,
+	'[': token.LBracket, ']': token.RBracket, ';': token.Semi, ',': token.Comma,
+	'.': token.Dot, '=': token.Assign, '+': token.Plus, '-': token.Minus,
+	'*': token.Star, '/': token.Slash, '%': token.Percent, '&': token.Amp,
+	'|': token.Pipe, '^': token.Caret, '~': token.Tilde, '!': token.Bang,
+	'<': token.Lt, '>': token.Gt,
+}
+
+func (l *Lexer) operator(pos token.Pos) (token.Token, error) {
+	if l.off+1 < len(l.src) {
+		two := l.src[l.off : l.off+2]
+		if k, ok := twoCharOps[two]; ok {
+			l.advance()
+			l.advance()
+			return token.Token{Kind: k, Text: two, Pos: pos}, nil
+		}
+	}
+	c := l.peek()
+	if k, ok := oneCharOps[c]; ok {
+		l.advance()
+		return token.Token{Kind: k, Text: string(c), Pos: pos}, nil
+	}
+	return token.Token{}, l.errf(pos, "unexpected character %q", string(c))
+}

@@ -1,0 +1,214 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/minic/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	out := make([]token.Kind, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.Kind
+	}
+	return out
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	got := kinds(t, "int x; struct s; return while for NULL double")
+	want := []token.Kind{
+		token.KwInt, token.Ident, token.Semi,
+		token.KwStruct, token.Ident, token.Semi,
+		token.KwReturn, token.KwWhile, token.KwFor, token.KwNull,
+		token.KwFloat, // double aliases float
+		token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIntLiterals(t *testing.T) {
+	toks, err := Tokenize("0 42 123456789 0x1F 0XABC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 42, 123456789, 0x1F, 0xABC}
+	for i, w := range want {
+		if toks[i].Kind != token.IntLit || toks[i].IntVal != w {
+			t.Fatalf("literal %d = %+v, want %d", i, toks[i], w)
+		}
+	}
+}
+
+func TestFloatLiterals(t *testing.T) {
+	toks, err := Tokenize("1.5 0.25 2e3 1.5e-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 0.25, 2000, 0.015}
+	for i, w := range want {
+		if toks[i].Kind != token.FloatLit || toks[i].FloatVal != w {
+			t.Fatalf("literal %d = %+v, want %g", i, toks[i], w)
+		}
+	}
+}
+
+func TestIntFollowedByDotIdent(t *testing.T) {
+	// "1.x" must lex as IntLit Dot Ident (member access on array elem),
+	// not a malformed float.
+	got := kinds(t, "a[1].f")
+	want := []token.Kind{token.Ident, token.LBracket, token.IntLit,
+		token.RBracket, token.Dot, token.Ident, token.EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCharLiterals(t *testing.T) {
+	toks, err := Tokenize(`'a' '\n' '\0' '\\' '\''`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{'a', '\n', 0, '\\', '\''}
+	for i, w := range want {
+		if toks[i].Kind != token.CharLit || toks[i].IntVal != w {
+			t.Fatalf("char %d = %+v, want %d", i, toks[i], w)
+		}
+	}
+}
+
+func TestStringLiteral(t *testing.T) {
+	toks, err := Tokenize(`"hello\n\"quoted\""`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != token.StringLit || toks[0].StrVal != "hello\n\"quoted\"" {
+		t.Fatalf("string = %+v", toks[0])
+	}
+}
+
+func TestOperators(t *testing.T) {
+	got := kinds(t, "-> <= >= == != && || << >> += -= *= /= + - * / % & | ^ ~ ! < > = . ,")
+	want := []token.Kind{
+		token.Arrow, token.Le, token.Ge, token.EqEq, token.NotEq,
+		token.AmpAmp, token.PipePipe, token.Shl, token.Shr,
+		token.PlusEq, token.MinusEq, token.StarEq, token.SlashEq,
+		token.Plus, token.Minus, token.Star, token.Slash, token.Percent,
+		token.Amp, token.Pipe, token.Caret, token.Tilde, token.Bang,
+		token.Lt, token.Gt, token.Assign, token.Dot, token.Comma, token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := kinds(t, `
+int a; // line comment with * and /
+/* block
+   comment */ int b;
+`)
+	want := []token.Kind{token.KwInt, token.Ident, token.Semi,
+		token.KwInt, token.Ident, token.Semi, token.EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("int\n  x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Fatalf("int at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Fatalf("x at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{
+		"@",
+		`"unterminated`,
+		"'a",
+		"/* unterminated",
+		`'\q'`,
+	}
+	for _, src := range bad {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q): expected error", src)
+		}
+	}
+}
+
+// Property: lexing never panics and always terminates with EOF on success.
+func TestLexerTotality(t *testing.T) {
+	f := func(src string) bool {
+		toks, err := Tokenize(src)
+		if err != nil {
+			return true // errors are fine; crashes are not
+		}
+		return len(toks) > 0 && toks[len(toks)-1].Kind == token.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for identifier-and-space strings, the number of tokens equals
+// the number of words plus EOF.
+func TestLexerWordCount(t *testing.T) {
+	f := func(words []string) bool {
+		var clean []string
+		for _, w := range words {
+			ok := len(w) > 0
+			for i := 0; i < len(w); i++ {
+				c := w[i]
+				if !(c == '_' || (c >= 'a' && c <= 'z')) {
+					ok = false
+				}
+			}
+			if ok {
+				clean = append(clean, w)
+			}
+		}
+		toks, err := Tokenize(strings.Join(clean, " "))
+		if err != nil {
+			return false
+		}
+		n := 0
+		for _, tk := range toks {
+			if tk.Kind != token.EOF {
+				n++
+			}
+		}
+		return n == len(clean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

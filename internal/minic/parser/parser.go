@@ -1,0 +1,711 @@
+// Package parser builds mini-C ASTs with a recursive-descent parser using
+// precedence climbing for expressions.
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/minic/ast"
+	"repro/internal/minic/lexer"
+	"repro/internal/minic/token"
+	"repro/internal/minic/types"
+)
+
+// Error is a parse error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Parse parses a translation unit.
+func Parse(src string) (*ast.Program, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, structs: make(map[string]*types.Type)}
+	return p.parseProgram()
+}
+
+type parser struct {
+	toks []token.Token
+	pos  int
+	// structs holds struct type shells created on first reference; the
+	// checker fills in bodies.
+	structs map[string]*types.Type
+}
+
+func (p *parser) cur() token.Token { return p.toks[p.pos] }
+
+func (p *parser) peek() token.Token { return p.peekN(1) }
+
+// peekN looks n tokens ahead, saturating at EOF.
+func (p *parser) peekN(n int) token.Token {
+	if p.pos+n < len(p.toks) {
+		return p.toks[p.pos+n]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k token.Kind) (token.Token, error) {
+	if !p.at(k) {
+		return token.Token{}, p.errf("expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// structType returns the (possibly shell) struct type for name.
+func (p *parser) structType(name string) *types.Type {
+	if t, ok := p.structs[name]; ok {
+		return t
+	}
+	t := types.NewStruct(name)
+	p.structs[name] = t
+	return t
+}
+
+// atTypeStart reports whether the current token begins a type.
+func (p *parser) atTypeStart() bool {
+	switch p.cur().Kind {
+	case token.KwInt, token.KwChar, token.KwFloat, token.KwVoid, token.KwStruct:
+		return true
+	}
+	return false
+}
+
+// parseType parses a base type followed by pointer stars.
+func (p *parser) parseType() (*types.Type, error) {
+	var base *types.Type
+	switch p.cur().Kind {
+	case token.KwInt:
+		p.next()
+		base = types.Int
+	case token.KwChar:
+		p.next()
+		base = types.Char
+	case token.KwFloat:
+		p.next()
+		base = types.Float
+	case token.KwVoid:
+		p.next()
+		base = types.Void
+	case token.KwStruct:
+		p.next()
+		name, err := p.expect(token.Ident)
+		if err != nil {
+			return nil, err
+		}
+		base = p.structType(name.Text)
+	default:
+		return nil, p.errf("expected type, found %s", p.cur())
+	}
+	for p.accept(token.Star) {
+		base = types.PointerTo(base)
+	}
+	return base, nil
+}
+
+func (p *parser) parseProgram() (*ast.Program, error) {
+	prog := &ast.Program{}
+	for !p.at(token.EOF) {
+		// struct S { ... };  (definition) vs a global of struct type.
+		if p.at(token.KwStruct) && p.peek().Kind == token.Ident &&
+			p.peekN(2).Kind == token.LBrace {
+			d, err := p.parseStructDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Structs = append(prog.Structs, d)
+			continue
+		}
+		pos := p.cur().Pos
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(token.Ident)
+		if err != nil {
+			return nil, err
+		}
+		if p.at(token.LParen) {
+			fn, err := p.parseFuncRest(typ, name.Text, pos)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		g, err := p.parseVarRest(typ, name.Text, pos)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+		prog.Globals = append(prog.Globals, g)
+	}
+	return prog, nil
+}
+
+func (p *parser) parseStructDecl() (*ast.StructDecl, error) {
+	pos := p.cur().Pos
+	p.next() // struct
+	name, err := p.expect(token.Ident)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	d := &ast.StructDecl{Name: name.Text, Position: pos, Type: p.structType(name.Text)}
+	for !p.accept(token.RBrace) {
+		ft, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fname, err := p.expect(token.Ident)
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(token.LBracket) {
+			n, err := p.expect(token.IntLit)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RBracket); err != nil {
+				return nil, err
+			}
+			ft = types.ArrayOf(ft, uint64(n.IntVal))
+		}
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+		d.Fields = append(d.Fields, ast.FieldDecl{Name: fname.Text, Type: ft})
+	}
+	if _, err := p.expect(token.Semi); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// parseVarRest parses the remainder of a variable declaration after
+// `type name`: optional array suffix and initializer.
+func (p *parser) parseVarRest(typ *types.Type, name string, pos token.Pos) (*ast.VarDecl, error) {
+	if p.accept(token.LBracket) {
+		n, err := p.expect(token.IntLit)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RBracket); err != nil {
+			return nil, err
+		}
+		typ = types.ArrayOf(typ, uint64(n.IntVal))
+	}
+	d := &ast.VarDecl{Name: name, Type: typ, Position: pos}
+	if p.accept(token.Assign) {
+		init, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	return d, nil
+}
+
+func (p *parser) parseFuncRest(ret *types.Type, name string, pos token.Pos) (*ast.FuncDecl, error) {
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	fn := &ast.FuncDecl{Name: name, Ret: ret, Position: pos}
+	if !p.accept(token.RParen) {
+		// void parameter list: f(void).
+		if p.at(token.KwVoid) && p.peek().Kind == token.RParen {
+			p.next()
+			p.next()
+		} else {
+			for {
+				pt, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				pname, err := p.expect(token.Ident)
+				if err != nil {
+					return nil, err
+				}
+				fn.Params = append(fn.Params, ast.Param{Name: pname.Text, Type: pt})
+				if !p.accept(token.Comma) {
+					break
+				}
+			}
+			if _, err := p.expect(token.RParen); err != nil {
+				return nil, err
+			}
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) parseBlock() (*ast.BlockStmt, error) {
+	pos := p.cur().Pos
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	b := &ast.BlockStmt{Position: pos}
+	for !p.accept(token.RBrace) {
+		if p.at(token.EOF) {
+			return nil, p.errf("unexpected EOF in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) parseStmt() (ast.Stmt, error) {
+	switch p.cur().Kind {
+	case token.LBrace:
+		return p.parseBlock()
+	case token.KwIf:
+		return p.parseIf()
+	case token.KwWhile:
+		return p.parseWhile()
+	case token.KwFor:
+		return p.parseFor()
+	case token.KwReturn:
+		pos := p.next().Pos
+		s := &ast.ReturnStmt{Position: pos}
+		if !p.at(token.Semi) {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.X = x
+		}
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case token.KwBreak:
+		pos := p.next().Pos
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+		return &ast.BreakStmt{Position: pos}, nil
+	case token.KwContinue:
+		pos := p.next().Pos
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+		return &ast.ContinueStmt{Position: pos}, nil
+	case token.Semi:
+		pos := p.next().Pos
+		return &ast.BlockStmt{Position: pos}, nil // empty statement
+	}
+	if p.atTypeStart() {
+		d, err := p.parseLocalDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.Semi); err != nil {
+		return nil, err
+	}
+	return &ast.ExprStmt{X: x}, nil
+}
+
+func (p *parser) parseLocalDecl() (ast.Stmt, error) {
+	pos := p.cur().Pos
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(token.Ident)
+	if err != nil {
+		return nil, err
+	}
+	d, err := p.parseVarRest(typ, name.Text, pos)
+	if err != nil {
+		return nil, err
+	}
+	return &ast.DeclStmt{Decl: d}, nil
+}
+
+func (p *parser) parseIf() (ast.Stmt, error) {
+	pos := p.next().Pos // if
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &ast.IfStmt{Cond: cond, Then: then, Position: pos}
+	if p.accept(token.KwElse) {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = els
+	}
+	return s, nil
+}
+
+func (p *parser) parseWhile() (ast.Stmt, error) {
+	pos := p.next().Pos // while
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.WhileStmt{Cond: cond, Body: body, Position: pos}, nil
+}
+
+func (p *parser) parseFor() (ast.Stmt, error) {
+	pos := p.next().Pos // for
+	if _, err := p.expect(token.LParen); err != nil {
+		return nil, err
+	}
+	s := &ast.ForStmt{Position: pos}
+	if !p.at(token.Semi) {
+		if p.atTypeStart() {
+			d, err := p.parseLocalDecl()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = d
+		} else {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = &ast.ExprStmt{X: x}
+		}
+	}
+	if _, err := p.expect(token.Semi); err != nil {
+		return nil, err
+	}
+	if !p.at(token.Semi) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(token.Semi); err != nil {
+		return nil, err
+	}
+	if !p.at(token.RParen) {
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = &ast.ExprStmt{X: x}
+	}
+	if _, err := p.expect(token.RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// parseExpr parses a full expression (assignment level).
+func (p *parser) parseExpr() (ast.Expr, error) { return p.parseAssign() }
+
+var compoundOps = map[token.Kind]ast.BinOp{
+	token.PlusEq:  ast.Add,
+	token.MinusEq: ast.Sub,
+	token.StarEq:  ast.Mul,
+	token.SlashEq: ast.Div,
+}
+
+func (p *parser) parseAssign() (ast.Expr, error) {
+	lhs, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.at(token.Assign) {
+		pos := p.next().Pos
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.AssignExpr{LHS: lhs, RHS: rhs, Position: pos}, nil
+	}
+	if op, ok := compoundOps[p.cur().Kind]; ok {
+		pos := p.next().Pos
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.AssignExpr{Op: op, LHS: lhs, RHS: rhs, Position: pos}, nil
+	}
+	return lhs, nil
+}
+
+// binPrec maps binary operator tokens to (precedence, ast op). Higher binds
+// tighter.
+var binPrec = map[token.Kind]struct {
+	prec int
+	op   ast.BinOp
+}{
+	token.PipePipe: {1, ast.LOr},
+	token.AmpAmp:   {2, ast.LAnd},
+	token.Pipe:     {3, ast.Or},
+	token.Caret:    {4, ast.Xor},
+	token.Amp:      {5, ast.And},
+	token.EqEq:     {6, ast.Eq},
+	token.NotEq:    {6, ast.Ne},
+	token.Lt:       {7, ast.Lt},
+	token.Gt:       {7, ast.Gt},
+	token.Le:       {7, ast.Le},
+	token.Ge:       {7, ast.Ge},
+	token.Shl:      {8, ast.Shl},
+	token.Shr:      {8, ast.Shr},
+	token.Plus:     {9, ast.Add},
+	token.Minus:    {9, ast.Sub},
+	token.Star:     {10, ast.Mul},
+	token.Slash:    {10, ast.Div},
+	token.Percent:  {10, ast.Rem},
+}
+
+func (p *parser) parseBinary(minPrec int) (ast.Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		info, ok := binPrec[p.cur().Kind]
+		if !ok || info.prec < minPrec {
+			return lhs, nil
+		}
+		pos := p.next().Pos
+		rhs, err := p.parseBinary(info.prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &ast.BinaryExpr{Op: info.op, X: lhs, Y: rhs, Position: pos}
+	}
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case token.Minus:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: ast.Neg, X: x, Position: pos}, nil
+	case token.Bang:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: ast.Not, X: x, Position: pos}, nil
+	case token.Tilde:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: ast.BitNot, X: x, Position: pos}, nil
+	case token.Star:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: ast.Deref, X: x, Position: pos}, nil
+	case token.Amp:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: ast.AddrOf, X: x, Position: pos}, nil
+	case token.KwSizeof:
+		p.next()
+		if _, err := p.expect(token.LParen); err != nil {
+			return nil, err
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		return &ast.SizeofExpr{Of: t, Position: pos}, nil
+	case token.LParen:
+		// Cast: "(" type ")" unary.
+		if next := p.peek().Kind; next == token.KwInt || next == token.KwChar ||
+			next == token.KwFloat || next == token.KwVoid || next == token.KwStruct {
+			p.next() // (
+			t, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RParen); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.CastExpr{To: t, X: x, Position: pos}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (ast.Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case token.LBracket:
+			pos := p.next().Pos
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RBracket); err != nil {
+				return nil, err
+			}
+			x = &ast.IndexExpr{X: x, Index: idx, Position: pos}
+		case token.Dot:
+			pos := p.next().Pos
+			name, err := p.expect(token.Ident)
+			if err != nil {
+				return nil, err
+			}
+			x = &ast.MemberExpr{X: x, Name: name.Text, Position: pos}
+		case token.Arrow:
+			pos := p.next().Pos
+			name, err := p.expect(token.Ident)
+			if err != nil {
+				return nil, err
+			}
+			x = &ast.MemberExpr{X: x, Name: name.Text, Arrow: true, Position: pos}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case token.IntLit, token.CharLit:
+		p.next()
+		return &ast.IntLit{Val: t.IntVal, Position: t.Pos}, nil
+	case token.FloatLit:
+		p.next()
+		return &ast.FloatLit{Val: t.FloatVal, Position: t.Pos}, nil
+	case token.StringLit:
+		p.next()
+		return &ast.StrLit{Val: t.StrVal, Position: t.Pos}, nil
+	case token.KwNull:
+		p.next()
+		return &ast.NullLit{Position: t.Pos}, nil
+	case token.Ident:
+		p.next()
+		if p.at(token.LParen) {
+			p.next()
+			call := &ast.CallExpr{Name: t.Text, Position: t.Pos}
+			if !p.accept(token.RParen) {
+				for {
+					arg, err := p.parseAssign()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.accept(token.Comma) {
+						break
+					}
+				}
+				if _, err := p.expect(token.RParen); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		return &ast.Ident{Name: t.Text, Position: t.Pos}, nil
+	case token.LParen:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errf("unexpected %s in expression", t)
+}

@@ -1,0 +1,248 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/minic/ast"
+	"repro/internal/minic/types"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return prog
+}
+
+func parseErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatalf("expected parse error containing %q", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not contain %q", err, wantSub)
+	}
+}
+
+func TestParseTopLevel(t *testing.T) {
+	prog := mustParse(t, `
+struct s { int v; struct s *next; };
+int g;
+char buf[10];
+int add(int a, int b) { return a + b; }
+void main() {}
+`)
+	if len(prog.Structs) != 1 || prog.Structs[0].Name != "s" {
+		t.Fatalf("structs = %+v", prog.Structs)
+	}
+	if len(prog.Globals) != 2 {
+		t.Fatalf("globals = %d", len(prog.Globals))
+	}
+	if prog.Globals[1].Type.Kind != types.KindArray || prog.Globals[1].Type.Len != 10 {
+		t.Fatalf("buf type = %v", prog.Globals[1].Type)
+	}
+	if len(prog.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(prog.Funcs))
+	}
+	add := prog.Funcs[0]
+	if add.Name != "add" || len(add.Params) != 2 || add.Ret != types.Int {
+		t.Fatalf("add = %+v", add)
+	}
+}
+
+func TestParsePointerTypes(t *testing.T) {
+	prog := mustParse(t, `
+struct s { int v; };
+void main() {
+  struct s **pp;
+  char *c;
+  int ***deep;
+}
+`)
+	body := prog.Funcs[0].Body
+	pp := body.Stmts[0].(*ast.DeclStmt).Decl
+	if pp.Type.String() != "struct s**" {
+		t.Fatalf("pp type = %v", pp.Type)
+	}
+	deep := body.Stmts[2].(*ast.DeclStmt).Decl
+	if deep.Type.String() != "int***" {
+		t.Fatalf("deep type = %v", deep.Type)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	prog := mustParse(t, `void main() { int x = 1 + 2 * 3; }`)
+	decl := prog.Funcs[0].Body.Stmts[0].(*ast.DeclStmt).Decl
+	add, ok := decl.Init.(*ast.BinaryExpr)
+	if !ok || add.Op != ast.Add {
+		t.Fatalf("top = %T", decl.Init)
+	}
+	mul, ok := add.Y.(*ast.BinaryExpr)
+	if !ok || mul.Op != ast.Mul {
+		t.Fatalf("rhs = %T", add.Y)
+	}
+}
+
+func TestPrecedenceComparisonVsShift(t *testing.T) {
+	// 1 << 2 < 3 parses as (1 << 2) < 3 in mini-C's table (shift binds
+	// tighter than comparison).
+	prog := mustParse(t, `void main() { int x = 1 << 2 < 3; }`)
+	decl := prog.Funcs[0].Body.Stmts[0].(*ast.DeclStmt).Decl
+	cmp, ok := decl.Init.(*ast.BinaryExpr)
+	if !ok || cmp.Op != ast.Lt {
+		t.Fatalf("top = %+v", decl.Init)
+	}
+	if shl, ok := cmp.X.(*ast.BinaryExpr); !ok || shl.Op != ast.Shl {
+		t.Fatalf("lhs = %T", cmp.X)
+	}
+}
+
+func TestRightAssociativeAssignment(t *testing.T) {
+	prog := mustParse(t, `void main() { int a; int b; a = b = 3; }`)
+	stmt := prog.Funcs[0].Body.Stmts[2].(*ast.ExprStmt)
+	outer, ok := stmt.X.(*ast.AssignExpr)
+	if !ok {
+		t.Fatalf("stmt = %T", stmt.X)
+	}
+	if _, ok := outer.RHS.(*ast.AssignExpr); !ok {
+		t.Fatalf("rhs = %T, want nested assignment", outer.RHS)
+	}
+}
+
+func TestCastVsParen(t *testing.T) {
+	prog := mustParse(t, `
+struct s { int v; };
+void main() {
+  int a = (1 + 2) * 3;
+  struct s *p = (struct s*)0;
+  int b = (int)p;
+}
+`)
+	body := prog.Funcs[0].Body
+	if _, ok := body.Stmts[0].(*ast.DeclStmt).Decl.Init.(*ast.BinaryExpr); !ok {
+		t.Fatal("(1+2)*3 misparsed as cast")
+	}
+	if _, ok := body.Stmts[1].(*ast.DeclStmt).Decl.Init.(*ast.CastExpr); !ok {
+		t.Fatal("(struct s*)0 not a cast")
+	}
+	if _, ok := body.Stmts[2].(*ast.DeclStmt).Decl.Init.(*ast.CastExpr); !ok {
+		t.Fatal("(int)p not a cast")
+	}
+}
+
+func TestPostfixChains(t *testing.T) {
+	prog := mustParse(t, `
+struct s { int v; struct s *next; };
+void main() {
+  struct s *p;
+  int x = p->next->next->v;
+  int y = (*p).v;
+}
+`)
+	body := prog.Funcs[0].Body
+	chain := body.Stmts[1].(*ast.DeclStmt).Decl.Init
+	m1, ok := chain.(*ast.MemberExpr)
+	if !ok || m1.Name != "v" || !m1.Arrow {
+		t.Fatalf("chain = %+v", chain)
+	}
+	m2, ok := m1.X.(*ast.MemberExpr)
+	if !ok || m2.Name != "next" {
+		t.Fatalf("chain inner = %+v", m1.X)
+	}
+	dot := body.Stmts[2].(*ast.DeclStmt).Decl.Init.(*ast.MemberExpr)
+	if dot.Arrow {
+		t.Fatal("(*p).v parsed as arrow")
+	}
+}
+
+func TestControlFlowForms(t *testing.T) {
+	mustParse(t, `
+void main() {
+  int i;
+  for (;;) { break; }
+  for (i = 0; ; i = i + 1) { if (i > 3) break; else continue; }
+  for (int j = 0; j < 3; j = j + 1) {}
+  while (1) { break; }
+  if (1) {} else if (2) {} else {}
+  ;
+}
+`)
+}
+
+func TestFuncVoidParamList(t *testing.T) {
+	prog := mustParse(t, `int f(void) { return 1; } void main() {}`)
+	if len(prog.Funcs[0].Params) != 0 {
+		t.Fatalf("f(void) params = %d", len(prog.Funcs[0].Params))
+	}
+}
+
+func TestSizeofAndUnaries(t *testing.T) {
+	mustParse(t, `
+struct s { int v; };
+void main() {
+  int a = sizeof(struct s) + sizeof(int);
+  int b = -a + ~a + !a;
+  int *p = &a;
+  int c = *p;
+}
+`)
+}
+
+func TestParseErrors(t *testing.T) {
+	parseErr(t, `void main() { int x = ; }`, "unexpected")
+	parseErr(t, `void main() { if 1 {} }`, "expected (")
+	parseErr(t, `void main() {`, "unexpected EOF")
+	parseErr(t, `struct s { int v };`, "expected ;")
+	parseErr(t, `void main() { x = 1 }`, "expected ;")
+	parseErr(t, `int 5() {}`, "expected identifier")
+}
+
+func TestStructDefVsStructGlobal(t *testing.T) {
+	prog := mustParse(t, `
+struct s { int v; };
+struct s instance;
+struct s *pointer;
+void main() {}
+`)
+	if len(prog.Structs) != 1 || len(prog.Globals) != 2 {
+		t.Fatalf("structs=%d globals=%d", len(prog.Structs), len(prog.Globals))
+	}
+}
+
+// Property: the parser never panics on arbitrary input.
+func TestParserTotality(t *testing.T) {
+	f := func(src string) bool {
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the parser never panics on random token-shaped input built from
+// real lexemes (more likely to get deep into the grammar than raw strings).
+func TestParserTotalityTokenSoup(t *testing.T) {
+	lexemes := []string{
+		"int", "char", "struct", "s", "x", "(", ")", "{", "}", "[", "]",
+		";", ",", "*", "&", "=", "+", "-", "if", "else", "while", "for",
+		"return", "1", "2.5", `"str"`, "'c'", "->", ".", "sizeof", "NULL",
+	}
+	f := func(picks []uint8) bool {
+		var sb strings.Builder
+		for _, p := range picks {
+			sb.WriteString(lexemes[int(p)%len(lexemes)])
+			sb.WriteByte(' ')
+		}
+		_, _ = Parse(sb.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

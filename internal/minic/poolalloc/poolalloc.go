@@ -1,0 +1,512 @@
+// Package poolalloc implements the Automatic Pool Allocation transformation
+// (Lattner & Adve, PLDI'05) over mini-C IR, as the paper's §2.2 describes:
+//
+//   - run the unification-based points-to analysis;
+//   - for every heap class, pick a "home": the lowest call-graph ancestor of
+//     all its uses that the class does not escape (per the escape analysis);
+//     classes reachable from globals get program-lifetime global pools;
+//   - create the pool at the home's entry and destroy it at its exits
+//     (expressed here as the function's PoolLocals, which the interpreter
+//     creates/destroys around the body);
+//   - rewrite malloc/free to poolalloc/poolfree with the right descriptor;
+//   - thread pool descriptors through calls as extra arguments.
+package poolalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/minic/escape"
+	"repro/internal/minic/ir"
+	"repro/internal/minic/pta"
+)
+
+// Result reports what the transformation did, for tests and reports.
+type Result struct {
+	Graph *pta.Graph
+	// Home maps each heap class to its home function name, or "" for a
+	// global pool.
+	Home map[*pta.Node]string
+	// GlobalPools lists classes given program-lifetime pools.
+	GlobalPools []*pta.Node
+	// PoolCount is the total number of distinct pools created statically.
+	PoolCount int
+}
+
+// Transform applies APA to prog in place.
+func Transform(prog *ir.Program) (*Result, error) {
+	graph, err := pta.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	esc := escape.New(prog, graph)
+
+	t := &transformer{
+		prog:  prog,
+		graph: graph,
+		esc:   esc,
+		users: make(map[*pta.Node]map[string]bool),
+		home:  make(map[*pta.Node]string),
+	}
+	t.buildCallGraph()
+	t.collectUsers()
+	t.computeHomes()
+	t.computeNeeded()
+	if err := t.rewrite(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Graph: graph,
+		Home:  t.home,
+	}
+	res.GlobalPools = append(res.GlobalPools, t.globalPools...)
+	res.PoolCount = len(t.globalPools)
+	for _, fn := range prog.Funcs {
+		res.PoolCount += len(fn.PoolLocals)
+	}
+	return res, nil
+}
+
+// HomeSummary renders the pool placement decisions for diagnostics, one
+// line per heap class, ordered by class id.
+func (r *Result) HomeSummary() []string {
+	type entry struct {
+		id   int
+		line string
+	}
+	var entries []entry
+	for h, home := range r.Home {
+		h = h.Find()
+		where := home
+		if where == "" {
+			where = "<global>"
+		}
+		sites := append([]string(nil), h.SiteLabels...)
+		sort.Strings(sites)
+		entries = append(entries, entry{
+			id: h.ID,
+			line: fmt.Sprintf("heap class %d: home=%s sites=%v elem=%d",
+				h.ID, where, sites, elemSize(h)),
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.line
+	}
+	return out
+}
+
+type transformer struct {
+	prog  *ir.Program
+	graph *pta.Graph
+	esc   *escape.Analysis
+
+	callees map[string][]string
+	callers map[string][]string
+	// reach is the set of functions reachable from main.
+	reach map[string]bool
+	// idom is the immediate dominator in the call graph rooted at main.
+	idom map[string]string
+	// rpo is a reverse-postorder of the reachable call graph.
+	rpo []string
+
+	// users maps each heap class to the functions that directly allocate
+	// or free it.
+	users map[*pta.Node]map[string]bool
+	// home maps each class to its home function ("" = global pool).
+	home map[*pta.Node]string
+	// globalPools is the ordered list of global-pool classes.
+	globalPools []*pta.Node
+	// needed maps each function to the ordered classes it must receive
+	// as pool parameters.
+	needed map[string][]*pta.Node
+	// homed maps each function to the ordered classes homed there.
+	homed map[string][]*pta.Node
+}
+
+func (t *transformer) buildCallGraph() {
+	t.callees = make(map[string][]string)
+	t.callers = make(map[string][]string)
+	for name, fn := range t.prog.Funcs {
+		seen := make(map[string]bool)
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				call, ok := in.(*ir.Call)
+				if !ok || seen[call.Callee] {
+					continue
+				}
+				seen[call.Callee] = true
+				t.callees[name] = append(t.callees[name], call.Callee)
+				t.callers[call.Callee] = append(t.callers[call.Callee], name)
+			}
+		}
+		sort.Strings(t.callees[name])
+	}
+
+	// Reachability and reverse postorder from main.
+	t.reach = make(map[string]bool)
+	var post []string
+	var dfs func(string)
+	visiting := make(map[string]bool)
+	dfs = func(f string) {
+		if t.reach[f] || visiting[f] {
+			return
+		}
+		visiting[f] = true
+		for _, c := range t.callees[f] {
+			dfs(c)
+		}
+		visiting[f] = false
+		t.reach[f] = true
+		post = append(post, f)
+	}
+	dfs("main")
+	t.rpo = make([]string, len(post))
+	for i, f := range post {
+		t.rpo[len(post)-1-i] = f
+	}
+
+	t.computeDominators()
+}
+
+// computeDominators runs the standard iterative dominator algorithm over the
+// call graph (Cooper-Harvey-Kennedy style, on function names).
+func (t *transformer) computeDominators() {
+	order := make(map[string]int, len(t.rpo))
+	for i, f := range t.rpo {
+		order[f] = i
+	}
+	t.idom = map[string]string{"main": "main"}
+	changed := true
+	for changed {
+		changed = false
+		for _, f := range t.rpo {
+			if f == "main" {
+				continue
+			}
+			var newIdom string
+			for _, p := range t.callers[f] {
+				if !t.reach[p] {
+					continue
+				}
+				if _, ok := t.idom[p]; !ok {
+					continue
+				}
+				if newIdom == "" {
+					newIdom = p
+				} else {
+					newIdom = t.intersect(p, newIdom, order)
+				}
+			}
+			if newIdom == "" {
+				continue
+			}
+			if t.idom[f] != newIdom {
+				t.idom[f] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+func (t *transformer) intersect(a, b string, order map[string]int) string {
+	for a != b {
+		for order[a] > order[b] {
+			a = t.idom[a]
+		}
+		for order[b] > order[a] {
+			b = t.idom[b]
+		}
+	}
+	return a
+}
+
+// lca returns the lowest common dominator-tree ancestor of fns.
+func (t *transformer) lca(fns []string) string {
+	if len(fns) == 0 {
+		return "main"
+	}
+	cur := fns[0]
+	depth := func(f string) int {
+		d := 0
+		for f != "main" {
+			f = t.idom[f]
+			d++
+			if d > len(t.prog.Funcs)+1 {
+				return d // safety against broken trees
+			}
+		}
+		return d
+	}
+	for _, f := range fns[1:] {
+		a, b := cur, f
+		da, db := depth(a), depth(b)
+		for da > db {
+			a = t.idom[a]
+			da--
+		}
+		for db > da {
+			b = t.idom[b]
+			db--
+		}
+		for a != b {
+			a, b = t.idom[a], t.idom[b]
+		}
+		cur = a
+	}
+	return cur
+}
+
+func (t *transformer) collectUsers() {
+	add := func(n *pta.Node, fn string) {
+		if n == nil {
+			return
+		}
+		n = n.Find()
+		if !n.Heap {
+			return
+		}
+		if t.users[n] == nil {
+			t.users[n] = make(map[string]bool)
+		}
+		t.users[n][fn] = true
+	}
+	for name, fn := range t.prog.Funcs {
+		if !t.reach[name] {
+			continue
+		}
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				switch in := in.(type) {
+				case *ir.Malloc:
+					add(t.graph.SiteNode(in), name)
+				case *ir.Free:
+					add(t.graph.FreeNode(in), name)
+				}
+			}
+		}
+	}
+}
+
+func (t *transformer) computeHomes() {
+	nodes := make([]*pta.Node, 0, len(t.users))
+	for n := range t.users {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+
+	for _, h := range nodes {
+		if t.esc.GlobalEscape(h) {
+			t.home[h] = ""
+			t.globalPools = append(t.globalPools, h)
+			continue
+		}
+		fns := make([]string, 0, len(t.users[h]))
+		for f := range t.users[h] {
+			fns = append(fns, f)
+		}
+		sort.Strings(fns)
+		cand := t.lca(fns)
+		for cand != "main" && t.esc.Escapes(cand, h) {
+			cand = t.idom[cand]
+		}
+		if t.esc.Escapes(cand, h) {
+			// Escapes even main (e.g. stored into a global the
+			// analysis missed as a root — defensive): global pool.
+			t.home[h] = ""
+			t.globalPools = append(t.globalPools, h)
+			continue
+		}
+		t.home[h] = cand
+	}
+}
+
+// computeNeeded propagates pool-descriptor requirements up the call graph:
+// a function needs a descriptor for every class it uses or its callees need,
+// minus the classes homed at itself and the global pools.
+func (t *transformer) computeNeeded() {
+	t.needed = make(map[string][]*pta.Node)
+	t.homed = make(map[string][]*pta.Node)
+	for h, home := range t.home {
+		if home != "" {
+			t.homed[home] = append(t.homed[home], h)
+		}
+	}
+	for _, hs := range t.homed {
+		sort.Slice(hs, func(i, j int) bool { return hs[i].ID < hs[j].ID })
+	}
+
+	need := make(map[string]map[*pta.Node]bool)
+	for _, f := range t.rpo {
+		need[f] = make(map[*pta.Node]bool)
+	}
+	for h, fns := range t.users {
+		if t.home[h] == "" {
+			continue // global pools need no threading
+		}
+		for f := range fns {
+			need[f][h] = true
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, f := range t.rpo {
+			for _, c := range t.callees[f] {
+				homedAtC := make(map[*pta.Node]bool)
+				for _, h := range t.homed[c] {
+					homedAtC[h] = true
+				}
+				for h := range need[c] {
+					if homedAtC[h] {
+						continue
+					}
+					if !need[f][h] {
+						need[f][h] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, f := range t.rpo {
+		var hs []*pta.Node
+		homedHere := make(map[*pta.Node]bool)
+		for _, h := range t.homed[f] {
+			homedHere[h] = true
+		}
+		for h := range need[f] {
+			if !homedHere[h] {
+				hs = append(hs, h)
+			}
+		}
+		sort.Slice(hs, func(i, j int) bool { return hs[i].ID < hs[j].ID })
+		t.needed[f] = hs
+	}
+}
+
+// elemSize picks the pool element-size hint for a class: the unique constant
+// allocation size, or 0.
+func elemSize(h *pta.Node) uint64 {
+	h = h.Find()
+	if len(h.ElemSizes) == 0 {
+		return 0
+	}
+	first := h.ElemSizes[0]
+	for _, s := range h.ElemSizes[1:] {
+		if s != first {
+			return 0
+		}
+	}
+	return first
+}
+
+// poolName labels a pool for diagnostics.
+func poolName(h *pta.Node, home string) string {
+	where := home
+	if where == "" {
+		where = "global"
+	}
+	label := "?"
+	if len(h.SiteLabels) > 0 {
+		labels := append([]string(nil), h.SiteLabels...)
+		sort.Strings(labels)
+		label = labels[0]
+	}
+	return fmt.Sprintf("%s.pool[%s]", where, label)
+}
+
+func (t *transformer) rewrite() error {
+	// Assign global pool indexes.
+	globalIdx := make(map[*pta.Node]int)
+	for i, h := range t.globalPools {
+		globalIdx[h] = i
+		t.prog.GlobalPools = append(t.prog.GlobalPools, ir.PoolDecl{
+			Name:     poolName(h, ""),
+			ElemSize: elemSize(h),
+		})
+	}
+
+	// Per-function local and param indexes.
+	localIdx := make(map[string]map[*pta.Node]int)
+	paramIdx := make(map[string]map[*pta.Node]int)
+	for _, f := range t.rpo {
+		fn := t.prog.Funcs[f]
+		localIdx[f] = make(map[*pta.Node]int)
+		for i, h := range t.homed[f] {
+			localIdx[f][h] = i
+			fn.PoolLocals = append(fn.PoolLocals, ir.PoolDecl{
+				Name:     poolName(h, f),
+				ElemSize: elemSize(h),
+			})
+		}
+		paramIdx[f] = make(map[*pta.Node]int)
+		for i, h := range t.needed[f] {
+			paramIdx[f][h] = i
+			fn.PoolParams = append(fn.PoolParams, poolName(h, t.home[h]))
+		}
+	}
+
+	refIn := func(f string, h *pta.Node) (ir.PoolRef, error) {
+		if t.home[h] == "" {
+			return ir.PoolRef{Kind: ir.PoolGlobal, Index: globalIdx[h]}, nil
+		}
+		if i, ok := localIdx[f][h]; ok {
+			return ir.PoolRef{Kind: ir.PoolLocal, Index: i}, nil
+		}
+		if i, ok := paramIdx[f][h]; ok {
+			return ir.PoolRef{Kind: ir.PoolParam, Index: i}, nil
+		}
+		return ir.PoolRef{}, fmt.Errorf("poolalloc: %s has no descriptor for class %d (home %q)",
+			f, h.ID, t.home[h])
+	}
+
+	for _, f := range t.rpo {
+		fn := t.prog.Funcs[f]
+		for _, b := range fn.Blocks {
+			for i, in := range b.Instrs {
+				switch in := in.(type) {
+				case *ir.Malloc:
+					h := t.graph.SiteNode(in)
+					if h == nil {
+						continue
+					}
+					ref, err := refIn(f, h.Find())
+					if err != nil {
+						return err
+					}
+					b.Instrs[i] = &ir.PoolAlloc{
+						Dst: in.Dst, Pool: ref, Size: in.Size, Site: in.Site,
+					}
+				case *ir.Free:
+					h := t.graph.FreeNode(in)
+					if h == nil || !h.Find().Heap {
+						// Freeing a pointer no allocation
+						// flows into: leave the plain
+						// free; the runtime will flag it.
+						continue
+					}
+					ref, err := refIn(f, h.Find())
+					if err != nil {
+						return err
+					}
+					b.Instrs[i] = &ir.PoolFree{
+						Pool: ref, Ptr: in.Ptr, Site: in.Site,
+					}
+				case *ir.Call:
+					callee := in.Callee
+					for _, h := range t.needed[callee] {
+						ref, err := refIn(f, h)
+						if err != nil {
+							return err
+						}
+						in.PoolArgs = append(in.PoolArgs, ref)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

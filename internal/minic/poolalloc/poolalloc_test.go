@@ -1,0 +1,420 @@
+package poolalloc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minic/check"
+	"repro/internal/minic/ir"
+	"repro/internal/minic/irgen"
+	"repro/internal/minic/parser"
+)
+
+func transform(t *testing.T, src string) (*ir.Program, *Result) {
+	t.Helper()
+	astProg, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := check.Check(astProg)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	prog, err := irgen.Generate(info)
+	if err != nil {
+		t.Fatalf("irgen: %v", err)
+	}
+	res, err := Transform(prog)
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	return prog, res
+}
+
+// countInstrs tallies instruction kinds in a function.
+func countInstrs(fn *ir.Func) (mallocs, frees, poolAllocs, poolFrees int) {
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			switch in.(type) {
+			case *ir.Malloc:
+				mallocs++
+			case *ir.Free:
+				frees++
+			case *ir.PoolAlloc:
+				poolAllocs++
+			case *ir.PoolFree:
+				poolFrees++
+			}
+		}
+	}
+	return
+}
+
+const runningExample = `
+struct s { int val; struct s *next; };
+
+void create_10_node_list(struct s *p) {
+  int i;
+  struct s *q = p;
+  for (i = 0; i < 9; i = i + 1) {
+    q->next = (struct s*)malloc(sizeof(struct s));
+    q = q->next;
+  }
+  q->next = NULL;
+}
+
+void initialize(struct s *p) {
+  while (p != NULL) { p->val = 1; p = p->next; }
+}
+
+void free_all_but_head(struct s *p) {
+  struct s *q = p->next;
+  while (q != NULL) {
+    struct s *n = q->next;
+    free(q);
+    q = n;
+  }
+}
+
+void g(struct s *p) {
+  p->next = (struct s*)malloc(sizeof(struct s));
+  create_10_node_list(p);
+  initialize(p);
+  free_all_but_head(p);
+}
+
+void f() {
+  struct s *p = (struct s*)malloc(sizeof(struct s));
+  g(p);
+  free(p);
+}
+
+void main() {
+  int i;
+  for (i = 0; i < 3; i = i + 1) f();
+}
+`
+
+func TestRunningExamplePoolPlacement(t *testing.T) {
+	// The paper's Figure 2: the list does not escape f, so the pool is
+	// created in f and passed down to g (and its helpers).
+	prog, res := transform(t, runningExample)
+
+	f := prog.Funcs["f"]
+	if len(f.PoolLocals) != 1 {
+		t.Fatalf("f has %d pool locals, want 1 (pool homed at f): %+v", len(f.PoolLocals), f.PoolLocals)
+	}
+	if len(f.PoolParams) != 0 {
+		t.Fatalf("f should not take pool params, got %v", f.PoolParams)
+	}
+	g := prog.Funcs["g"]
+	if len(g.PoolParams) != 1 {
+		t.Fatalf("g has %d pool params, want 1: %v", len(g.PoolParams), g.PoolParams)
+	}
+	if len(g.PoolLocals) != 0 {
+		t.Fatalf("g should not create pools, got %+v", g.PoolLocals)
+	}
+	for _, helper := range []string{"create_10_node_list", "free_all_but_head"} {
+		fn := prog.Funcs[helper]
+		if len(fn.PoolParams) != 1 {
+			t.Fatalf("%s has %d pool params, want 1", helper, len(fn.PoolParams))
+		}
+	}
+	// initialize only reads; it needs no pool descriptor.
+	if init := prog.Funcs["initialize"]; len(init.PoolParams) != 0 {
+		t.Fatalf("initialize should not need pool params, got %v", init.PoolParams)
+	}
+	if len(prog.GlobalPools) != 0 {
+		t.Fatalf("no global pools expected, got %v", prog.GlobalPools)
+	}
+	if res.PoolCount != 1 {
+		t.Fatalf("PoolCount = %d, want 1", res.PoolCount)
+	}
+}
+
+func TestRunningExampleRewrites(t *testing.T) {
+	prog, _ := transform(t, runningExample)
+	for _, name := range []string{"f", "g", "create_10_node_list", "free_all_but_head"} {
+		fn := prog.Funcs[name]
+		mallocs, frees, pa, pf := countInstrs(fn)
+		if mallocs != 0 || frees != 0 {
+			t.Fatalf("%s still has %d mallocs / %d frees after APA", name, mallocs, frees)
+		}
+		if name == "g" && pa != 1 {
+			t.Fatalf("g has %d poolallocs, want 1", pa)
+		}
+		if name == "free_all_but_head" && pf != 1 {
+			t.Fatalf("free_all_but_head has %d poolfrees, want 1", pf)
+		}
+	}
+	// Calls from f to g must pass the pool.
+	fFn := prog.Funcs["f"]
+	found := false
+	for _, b := range fFn.Blocks {
+		for _, in := range b.Instrs {
+			if call, ok := in.(*ir.Call); ok && call.Callee == "g" {
+				if len(call.PoolArgs) != 1 {
+					t.Fatalf("call f->g has %d pool args, want 1", len(call.PoolArgs))
+				}
+				if call.PoolArgs[0].Kind != ir.PoolLocal {
+					t.Fatalf("call f->g pool arg kind = %v, want local", call.PoolArgs[0].Kind)
+				}
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("call f->g not found")
+	}
+}
+
+func TestLocalNonEscapingPool(t *testing.T) {
+	// Allocation and free entirely within one function: pool homed there.
+	prog, _ := transform(t, `
+void work() {
+  int *a = (int*)malloc(80);
+  int i;
+  for (i = 0; i < 10; i = i + 1) a[i] = i;
+  free(a);
+}
+void main() { work(); }
+`)
+	work := prog.Funcs["work"]
+	if len(work.PoolLocals) != 1 {
+		t.Fatalf("work has %d pool locals, want 1", len(work.PoolLocals))
+	}
+	if len(prog.Funcs["main"].PoolLocals) != 0 {
+		t.Fatal("main should have no pools")
+	}
+}
+
+func TestGlobalReachableGetsGlobalPool(t *testing.T) {
+	prog, res := transform(t, `
+struct node { int v; struct node *next; };
+struct node *head;
+void push(int v) {
+  struct node *n = (struct node*)malloc(sizeof(struct node));
+  n->v = v;
+  n->next = head;
+  head = n;
+}
+void main() { push(1); push(2); }
+`)
+	if len(prog.GlobalPools) != 1 {
+		t.Fatalf("global pools = %v, want 1", prog.GlobalPools)
+	}
+	if len(res.GlobalPools) != 1 {
+		t.Fatalf("result global pools = %d", len(res.GlobalPools))
+	}
+	// push allocates out of the global pool: PoolGlobal ref, no params.
+	push := prog.Funcs["push"]
+	if len(push.PoolParams) != 0 {
+		t.Fatalf("push should use the global pool, not a param: %v", push.PoolParams)
+	}
+	for _, b := range push.Blocks {
+		for _, in := range b.Instrs {
+			if pa, ok := in.(*ir.PoolAlloc); ok {
+				if pa.Pool.Kind != ir.PoolGlobal {
+					t.Fatalf("push allocates from %v, want global pool", pa.Pool)
+				}
+			}
+		}
+	}
+}
+
+func TestEscapeViaReturnHomesInCaller(t *testing.T) {
+	prog, _ := transform(t, `
+int *make() { return (int*)malloc(8); }
+void main() {
+  int *p = make();
+  *p = 1;
+  free(p);
+}
+`)
+	mk := prog.Funcs["make"]
+	if len(mk.PoolLocals) != 0 {
+		t.Fatal("make must not home the pool (escapes via return)")
+	}
+	if len(mk.PoolParams) != 1 {
+		t.Fatalf("make should take the pool as a param, got %v", mk.PoolParams)
+	}
+	main := prog.Funcs["main"]
+	if len(main.PoolLocals) != 1 {
+		t.Fatalf("main should home the pool, got %+v", main.PoolLocals)
+	}
+}
+
+func TestTwoIndependentPools(t *testing.T) {
+	// Two disjoint structures get distinct pools (the segregation that
+	// gives APA its locality benefits).
+	prog, res := transform(t, `
+struct a { int x; struct a *next; };
+struct b { float y; struct b *next; };
+void main() {
+  struct a *pa = (struct a*)malloc(sizeof(struct a));
+  struct b *pb = (struct b*)malloc(sizeof(struct b));
+  pa->next = NULL;
+  pb->next = NULL;
+  free(pa);
+  free(pb);
+}
+`)
+	main := prog.Funcs["main"]
+	if len(main.PoolLocals) != 2 {
+		t.Fatalf("main has %d pools, want 2 (one per structure)", len(main.PoolLocals))
+	}
+	if res.PoolCount != 2 {
+		t.Fatalf("PoolCount = %d, want 2", res.PoolCount)
+	}
+}
+
+func TestListNodesUnifyIntoOnePool(t *testing.T) {
+	// Nodes flowing through the same variable unify: a list built in a
+	// loop is one points-to class and therefore one pool, even though it
+	// has many malloc executions from one site reached via a moving
+	// cursor.
+	prog, _ := transform(t, `
+struct node { int v; struct node *next; };
+void main() {
+  struct node *head = (struct node*)malloc(sizeof(struct node));
+  struct node *q = head;
+  int i;
+  for (i = 0; i < 10; i = i + 1) {
+    q->next = (struct node*)malloc(sizeof(struct node));
+    q = q->next;
+  }
+  q->next = NULL;
+  while (head != NULL) {
+    struct node *n = head->next;
+    free(head);
+    head = n;
+  }
+}
+`)
+	main := prog.Funcs["main"]
+	if len(main.PoolLocals) != 1 {
+		t.Fatalf("main has %d pools, want 1 (list nodes unify)", len(main.PoolLocals))
+	}
+}
+
+func TestDisjointObjectsKeepDistinctPools(t *testing.T) {
+	// Two objects of the same type that never flow through a common
+	// variable or field stay in separate classes — Steensgaard merges
+	// only what actually mixes. Storing one into the other creates a
+	// points-to *edge*, not a merge.
+	prog, _ := transform(t, `
+struct node { int v; struct node *next; };
+void main() {
+  struct node *a = (struct node*)malloc(sizeof(struct node));
+  struct node *b = (struct node*)malloc(sizeof(struct node));
+  a->next = b;
+  free(a->next);
+  free(a);
+}
+`)
+	main := prog.Funcs["main"]
+	if len(main.PoolLocals) != 2 {
+		t.Fatalf("main has %d pools, want 2 (distinct classes)", len(main.PoolLocals))
+	}
+}
+
+func TestElemSizeHint(t *testing.T) {
+	prog, _ := transform(t, `
+struct s { int a; int b; };
+void main() {
+  struct s *p = (struct s*)malloc(sizeof(struct s));
+  free(p);
+}
+`)
+	main := prog.Funcs["main"]
+	if len(main.PoolLocals) != 1 {
+		t.Fatalf("want 1 pool, got %d", len(main.PoolLocals))
+	}
+	if main.PoolLocals[0].ElemSize != 16 {
+		t.Fatalf("elem size hint = %d, want 16", main.PoolLocals[0].ElemSize)
+	}
+}
+
+func TestRecursiveFunctionPool(t *testing.T) {
+	// Recursion: the tree builder passes its own pool recursively.
+	prog, _ := transform(t, `
+struct t { int v; struct t *l; struct t *r; };
+struct t *build(int d) {
+  if (d == 0) return NULL;
+  struct t *n = (struct t*)malloc(sizeof(struct t));
+  n->v = d;
+  n->l = build(d - 1);
+  n->r = build(d - 1);
+  return n;
+}
+void tally(struct t *n) {
+  if (n == NULL) return;
+  tally(n->l);
+  tally(n->r);
+}
+void main() {
+  struct t *root = build(4);
+  tally(root);
+}
+`)
+	build := prog.Funcs["build"]
+	if len(build.PoolParams) != 1 {
+		t.Fatalf("build should receive the pool: %v", build.PoolParams)
+	}
+	if len(prog.Funcs["main"].PoolLocals) != 1 {
+		t.Fatal("main should home the tree pool")
+	}
+	// The recursive call must forward the pool param.
+	for _, b := range build.Blocks {
+		for _, in := range b.Instrs {
+			if call, ok := in.(*ir.Call); ok && call.Callee == "build" {
+				if len(call.PoolArgs) != 1 || call.PoolArgs[0].Kind != ir.PoolParam {
+					t.Fatalf("recursive call pool args = %v", call.PoolArgs)
+				}
+			}
+		}
+	}
+}
+
+func TestDeadFunctionLeftUntransformed(t *testing.T) {
+	// A function unreachable from main keeps its raw malloc/free: the
+	// transformation only places pools along the live call graph (and
+	// the runtime still services raw malloc if such code ever runs).
+	prog, _ := transform(t, `
+void unused() {
+  char *p = malloc(8);
+  free(p);
+}
+void main() {
+  char *q = malloc(8);
+  free(q);
+}
+`)
+	m, fr, pa, pf := countInstrs(prog.Funcs["unused"])
+	if m != 1 || fr != 1 || pa != 0 || pf != 0 {
+		t.Fatalf("unused function rewritten: m=%d f=%d pa=%d pf=%d", m, fr, pa, pf)
+	}
+	m, fr, pa, pf = countInstrs(prog.Funcs["main"])
+	if m != 0 || fr != 0 || pa != 1 || pf != 1 {
+		t.Fatalf("main not rewritten: m=%d f=%d pa=%d pf=%d", m, fr, pa, pf)
+	}
+}
+
+func TestHomeSummaryRendering(t *testing.T) {
+	_, res := transform(t, `
+int *stash;
+void main() {
+  stash = (int*)malloc(8);
+  int *local = (int*)malloc(16);
+  free(local);
+}
+`)
+	lines := res.HomeSummary()
+	if len(lines) != 2 {
+		t.Fatalf("summary lines = %v", lines)
+	}
+	joined := lines[0] + "\n" + lines[1]
+	if !strings.Contains(joined, "<global>") || !strings.Contains(joined, "home=main") {
+		t.Fatalf("summary missing homes:\n%s", joined)
+	}
+}

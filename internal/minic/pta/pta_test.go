@@ -1,0 +1,223 @@
+package pta_test
+
+import (
+	"testing"
+
+	"repro/internal/minic/check"
+	"repro/internal/minic/ir"
+	"repro/internal/minic/irgen"
+	"repro/internal/minic/parser"
+	"repro/internal/minic/pta"
+)
+
+func analyze(t *testing.T, src string) (*ir.Program, *pta.Graph) {
+	t.Helper()
+	astProg, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := check.Check(astProg)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	prog, err := irgen.Generate(info)
+	if err != nil {
+		t.Fatalf("irgen: %v", err)
+	}
+	g, err := pta.Analyze(prog)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return prog, g
+}
+
+// mallocs collects malloc instructions per function.
+func mallocs(prog *ir.Program, fn string) []*ir.Malloc {
+	var out []*ir.Malloc
+	for _, b := range prog.Funcs[fn].Blocks {
+		for _, in := range b.Instrs {
+			if m, ok := in.(*ir.Malloc); ok {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+func frees(prog *ir.Program, fn string) []*ir.Free {
+	var out []*ir.Free
+	for _, b := range prog.Funcs[fn].Blocks {
+		for _, in := range b.Instrs {
+			if f, ok := in.(*ir.Free); ok {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+func TestMallocSitesGetHeapNodes(t *testing.T) {
+	prog, g := analyze(t, `
+void main() {
+  int *a = (int*)malloc(8);
+  float *b = (float*)malloc(16);
+  free(a);
+  free(b);
+}
+`)
+	ms := mallocs(prog, "main")
+	if len(ms) != 2 {
+		t.Fatalf("mallocs = %d", len(ms))
+	}
+	na := g.SiteNode(ms[0])
+	nb := g.SiteNode(ms[1])
+	if na == nil || nb == nil {
+		t.Fatal("missing heap nodes")
+	}
+	if !na.Heap || !nb.Heap {
+		t.Fatal("nodes not marked heap")
+	}
+	if na == nb {
+		t.Fatal("independent allocations unified")
+	}
+	if len(g.HeapNodes()) != 2 {
+		t.Fatalf("HeapNodes = %d", len(g.HeapNodes()))
+	}
+}
+
+func TestFreeResolvesToAllocationNode(t *testing.T) {
+	prog, g := analyze(t, `
+void main() {
+  int *a = (int*)malloc(8);
+  int *alias = a;
+  free(alias);
+}
+`)
+	m := mallocs(prog, "main")[0]
+	f := frees(prog, "main")[0]
+	if g.FreeNode(f) != g.SiteNode(m) {
+		t.Fatal("free's node differs from its allocation's node")
+	}
+}
+
+func TestFlowThroughStructField(t *testing.T) {
+	prog, g := analyze(t, `
+struct box { int *payload; };
+void main() {
+  struct box b;
+  b.payload = (int*)malloc(8);
+  int *out = b.payload;
+  free(out);
+}
+`)
+	m := mallocs(prog, "main")[0]
+	f := frees(prog, "main")[0]
+	if g.FreeNode(f) != g.SiteNode(m) {
+		t.Fatal("field-mediated flow lost")
+	}
+}
+
+func TestFlowThroughCallAndReturn(t *testing.T) {
+	prog, g := analyze(t, `
+int *make() { return (int*)malloc(8); }
+void take(int *p) { free(p); }
+void main() {
+  int *x = make();
+  take(x);
+}
+`)
+	m := mallocs(prog, "make")[0]
+	f := frees(prog, "take")[0]
+	if g.FreeNode(f) != g.SiteNode(m) {
+		t.Fatal("interprocedural flow lost")
+	}
+}
+
+func TestLoopUnifiesListNodes(t *testing.T) {
+	prog, g := analyze(t, `
+struct n { int v; struct n *next; };
+void main() {
+  struct n *head = (struct n*)malloc(sizeof(struct n));
+  struct n *q = head;
+  int i;
+  for (i = 0; i < 5; i = i + 1) {
+    q->next = (struct n*)malloc(sizeof(struct n));
+    q = q->next;
+  }
+}
+`)
+	ms := mallocs(prog, "main")
+	if len(ms) != 2 {
+		t.Fatalf("mallocs = %d", len(ms))
+	}
+	if g.SiteNode(ms[0]) != g.SiteNode(ms[1]) {
+		t.Fatal("list head and tail sites should unify via the cursor")
+	}
+}
+
+func TestGlobalRootsReachStoredHeap(t *testing.T) {
+	prog, g := analyze(t, `
+int *cache;
+void main() {
+  cache = (int*)malloc(8);
+}
+`)
+	m := mallocs(prog, "main")[0]
+	h := g.SiteNode(m)
+	roots := g.GlobalRoots()
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d", len(roots))
+	}
+	found := false
+	for _, n := range roots[0].Reachable() {
+		if n == h {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("heap node not reachable from the global that stores it")
+	}
+}
+
+func TestPointerArithPreservesNode(t *testing.T) {
+	prog, g := analyze(t, `
+void main() {
+  int *base = (int*)malloc(80);
+  int *mid = base + 5;
+  free(mid - 5);
+}
+`)
+	m := mallocs(prog, "main")[0]
+	f := frees(prog, "main")[0]
+	if g.FreeNode(f) != g.SiteNode(m) {
+		t.Fatal("pointer arithmetic lost the node")
+	}
+}
+
+func TestCastsPreserveNode(t *testing.T) {
+	prog, g := analyze(t, `
+void main() {
+  char *raw = malloc(32);
+  int x = (int)raw;
+  char *back = (char*)x;
+  free(back);
+}
+`)
+	m := mallocs(prog, "main")[0]
+	f := frees(prog, "main")[0]
+	if g.FreeNode(f) != g.SiteNode(m) {
+		t.Fatal("pointer/int casts lost the node (the paper's §5.2 compatibility case)")
+	}
+}
+
+func TestRejectsPoolAllocatedProgram(t *testing.T) {
+	prog, _ := analyze(t, `void main() { free(malloc(8)); }`)
+	// Simulate a second transformation attempt: inject a PoolAlloc.
+	fn := prog.Funcs["main"]
+	fn.Blocks[0].Instrs = append([]ir.Instr{
+		&ir.PoolAlloc{Dst: 0, Pool: ir.PoolRef{Kind: ir.PoolLocal}, Size: 0},
+	}, fn.Blocks[0].Instrs...)
+	if _, err := pta.Analyze(prog); err == nil {
+		t.Fatal("expected rejection of already-transformed program")
+	}
+}

@@ -1,0 +1,142 @@
+// Package token defines the lexical tokens of mini-C, the C subset the
+// workload programs are written in.
+//
+// Mini-C stands in for the C front end of the paper's LLVM-based pipeline:
+// rich enough to express the evaluation programs (linked structures, pointer
+// arithmetic, casts — including pointer/integer casts, which the paper's
+// scheme allows and capability-based schemes forbid), small enough to be
+// fully implemented and tested here.
+package token
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota + 1
+	Ident
+	IntLit
+	FloatLit
+	CharLit
+	StringLit
+
+	// Keywords.
+	KwInt
+	KwChar
+	KwFloat
+	KwVoid
+	KwStruct
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwSizeof
+	KwNull
+
+	// Punctuation and operators.
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	Semi     // ;
+	Comma    // ,
+	Dot      // .
+	Arrow    // ->
+	Assign   // =
+	Plus     // +
+	Minus    // -
+	Star     // *
+	Slash    // /
+	Percent  // %
+	Amp      // &
+	Pipe     // |
+	Caret    // ^
+	Tilde    // ~
+	Bang     // !
+	Shl      // <<
+	Shr      // >>
+	Lt       // <
+	Gt       // >
+	Le       // <=
+	Ge       // >=
+	EqEq     // ==
+	NotEq    // !=
+	AmpAmp   // &&
+	PipePipe // ||
+	PlusEq   // +=
+	MinusEq  // -=
+	StarEq   // *=
+	SlashEq  // /=
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", IntLit: "int literal",
+	FloatLit: "float literal", CharLit: "char literal", StringLit: "string literal",
+	KwInt: "int", KwChar: "char", KwFloat: "float", KwVoid: "void",
+	KwStruct: "struct", KwIf: "if", KwElse: "else", KwWhile: "while",
+	KwFor: "for", KwReturn: "return", KwBreak: "break", KwContinue: "continue",
+	KwSizeof: "sizeof", KwNull: "NULL",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Semi: ";", Comma: ",", Dot: ".",
+	Arrow: "->", Assign: "=", Plus: "+", Minus: "-", Star: "*",
+	Slash: "/", Percent: "%", Amp: "&", Pipe: "|", Caret: "^",
+	Tilde: "~", Bang: "!", Shl: "<<", Shr: ">>", Lt: "<", Gt: ">",
+	Le: "<=", Ge: ">=", EqEq: "==", NotEq: "!=", AmpAmp: "&&",
+	PipePipe: "||", PlusEq: "+=", MinusEq: "-=", StarEq: "*=", SlashEq: "/=",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to kinds.
+var Keywords = map[string]Kind{
+	"int": KwInt, "char": KwChar, "float": KwFloat, "double": KwFloat,
+	"void": KwVoid, "struct": KwStruct, "if": KwIf, "else": KwElse,
+	"while": KwWhile, "for": KwFor, "return": KwReturn, "break": KwBreak,
+	"continue": KwContinue, "sizeof": KwSizeof, "NULL": KwNull,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String implements fmt.Stringer.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	// Text is the raw spelling (identifiers, literals).
+	Text string
+	// IntVal is the decoded value for IntLit and CharLit.
+	IntVal int64
+	// FloatVal is the decoded value for FloatLit.
+	FloatVal float64
+	// StrVal is the decoded value for StringLit.
+	StrVal string
+	Pos    Pos
+}
+
+// String implements fmt.Stringer.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, IntLit, FloatLit, CharLit, StringLit:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,214 @@
+// Package types defines mini-C's semantic types and struct layout rules.
+//
+// The layout matches a 64-bit LP64-style target: char is 1 byte; int and
+// float (double) are 8 bytes; pointers are 8 bytes; aggregates are padded to
+// the alignment of their widest member. Word-sized ints keep the IR and
+// interpreter simple without changing anything the paper measures.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates types.
+type Kind int
+
+// Type kinds.
+const (
+	KindVoid Kind = iota + 1
+	KindChar
+	KindInt
+	KindFloat
+	KindPointer
+	KindArray
+	KindStruct
+)
+
+// Type is a mini-C type. Types are immutable after checking except that
+// struct bodies are filled in during resolution.
+type Type struct {
+	Kind Kind
+	// Elem is the pointee (pointer) or element (array) type.
+	Elem *Type
+	// Len is the array length.
+	Len uint64
+	// StructName names a struct type; Fields is its resolved layout.
+	StructName string
+	Fields     []Field
+	laidOut    bool
+	size       uint64
+	align      uint64
+}
+
+// Field is one struct member with its resolved byte offset.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset uint64
+}
+
+// Singleton basic types.
+var (
+	Void  = &Type{Kind: KindVoid}
+	Char  = &Type{Kind: KindChar}
+	Int   = &Type{Kind: KindInt}
+	Float = &Type{Kind: KindFloat}
+)
+
+// PointerTo returns the type elem*.
+func PointerTo(elem *Type) *Type { return &Type{Kind: KindPointer, Elem: elem} }
+
+// ArrayOf returns the type elem[n].
+func ArrayOf(elem *Type, n uint64) *Type {
+	return &Type{Kind: KindArray, Elem: elem, Len: n}
+}
+
+// NewStruct returns an unresolved struct type shell for name.
+func NewStruct(name string) *Type { return &Type{Kind: KindStruct, StructName: name} }
+
+// SetFields lays out the struct body.
+func (t *Type) SetFields(fields []Field) error {
+	if t.Kind != KindStruct {
+		return fmt.Errorf("types: SetFields on %s", t)
+	}
+	var off, maxAlign uint64
+	maxAlign = 1
+	for i := range fields {
+		ft := fields[i].Type
+		a := ft.Align()
+		if a > maxAlign {
+			maxAlign = a
+		}
+		off = (off + a - 1) &^ (a - 1)
+		fields[i].Offset = off
+		off += ft.Size()
+	}
+	off = (off + maxAlign - 1) &^ (maxAlign - 1)
+	if off == 0 {
+		off = maxAlign // empty structs still occupy storage
+	}
+	t.Fields = fields
+	t.size = off
+	t.align = maxAlign
+	t.laidOut = true
+	return nil
+}
+
+// Resolved reports whether a struct's body has been laid out.
+func (t *Type) Resolved() bool { return t.Kind != KindStruct || t.laidOut }
+
+// Size returns the size of the type in bytes.
+func (t *Type) Size() uint64 {
+	switch t.Kind {
+	case KindVoid:
+		return 0
+	case KindChar:
+		return 1
+	case KindInt, KindFloat, KindPointer:
+		return 8
+	case KindArray:
+		return t.Elem.Size() * t.Len
+	case KindStruct:
+		return t.size
+	}
+	return 0
+}
+
+// Align returns the alignment of the type in bytes.
+func (t *Type) Align() uint64 {
+	switch t.Kind {
+	case KindChar:
+		return 1
+	case KindInt, KindFloat, KindPointer:
+		return 8
+	case KindArray:
+		return t.Elem.Align()
+	case KindStruct:
+		if t.align == 0 {
+			return 8
+		}
+		return t.align
+	}
+	return 1
+}
+
+// Field returns the named field and true, or false when absent.
+func (t *Type) Field(name string) (Field, bool) {
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// IsInteger reports whether the type is char or int.
+func (t *Type) IsInteger() bool { return t.Kind == KindChar || t.Kind == KindInt }
+
+// IsScalar reports whether the type fits in one register (integer, float,
+// or pointer).
+func (t *Type) IsScalar() bool {
+	return t.IsInteger() || t.Kind == KindFloat || t.Kind == KindPointer
+}
+
+// IsPointer reports whether the type is a pointer.
+func (t *Type) IsPointer() bool { return t.Kind == KindPointer }
+
+// Equal reports structural type equality (structs by name).
+func Equal(a, b *Type) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KindPointer:
+		return Equal(a.Elem, b.Elem)
+	case KindArray:
+		return a.Len == b.Len && Equal(a.Elem, b.Elem)
+	case KindStruct:
+		return a.StructName == b.StructName
+	default:
+		return true
+	}
+}
+
+// String implements fmt.Stringer with C-like spelling.
+func (t *Type) String() string {
+	switch t.Kind {
+	case KindVoid:
+		return "void"
+	case KindChar:
+		return "char"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindPointer:
+		return t.Elem.String() + "*"
+	case KindArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case KindStruct:
+		return "struct " + t.StructName
+	}
+	return "?"
+}
+
+// FuncSig is a function signature (not a first-class Type; mini-C has no
+// function pointers).
+type FuncSig struct {
+	Name   string
+	Ret    *Type
+	Params []*Type
+}
+
+// String implements fmt.Stringer.
+func (s FuncSig) String() string {
+	parts := make([]string, len(s.Params))
+	for i, p := range s.Params {
+		parts[i] = p.String()
+	}
+	return fmt.Sprintf("%s %s(%s)", s.Ret, s.Name, strings.Join(parts, ", "))
+}

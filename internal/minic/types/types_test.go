@@ -1,0 +1,201 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicSizes(t *testing.T) {
+	tests := []struct {
+		t     *Type
+		size  uint64
+		align uint64
+	}{
+		{Void, 0, 1},
+		{Char, 1, 1},
+		{Int, 8, 8},
+		{Float, 8, 8},
+		{PointerTo(Int), 8, 8},
+		{PointerTo(PointerTo(Char)), 8, 8},
+		{ArrayOf(Char, 10), 10, 1},
+		{ArrayOf(Int, 4), 32, 8},
+	}
+	for _, tt := range tests {
+		if got := tt.t.Size(); got != tt.size {
+			t.Errorf("%v.Size() = %d, want %d", tt.t, got, tt.size)
+		}
+		if got := tt.t.Align(); got != tt.align {
+			t.Errorf("%v.Align() = %d, want %d", tt.t, got, tt.align)
+		}
+	}
+}
+
+func TestStructLayoutPadding(t *testing.T) {
+	st := NewStruct("s")
+	err := st.SetFields([]Field{
+		{Name: "a", Type: Char},
+		{Name: "b", Type: Int},
+		{Name: "c", Type: Char},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := st.Field("a")
+	b, _ := st.Field("b")
+	c, _ := st.Field("c")
+	if a.Offset != 0 || b.Offset != 8 || c.Offset != 16 {
+		t.Fatalf("offsets = %d, %d, %d", a.Offset, b.Offset, c.Offset)
+	}
+	if st.Size() != 24 { // tail padding to alignment 8
+		t.Fatalf("size = %d, want 24", st.Size())
+	}
+	if st.Align() != 8 {
+		t.Fatalf("align = %d", st.Align())
+	}
+}
+
+func TestCharOnlyStruct(t *testing.T) {
+	st := NewStruct("bytes")
+	if err := st.SetFields([]Field{
+		{Name: "a", Type: Char},
+		{Name: "b", Type: ArrayOf(Char, 3)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 4 || st.Align() != 1 {
+		t.Fatalf("size=%d align=%d, want 4/1", st.Size(), st.Align())
+	}
+}
+
+func TestEmptyStructOccupiesStorage(t *testing.T) {
+	st := NewStruct("empty")
+	if err := st.SetFields(nil); err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Fatal("empty struct must have nonzero size")
+	}
+}
+
+func TestNestedStructLayout(t *testing.T) {
+	inner := NewStruct("inner")
+	if err := inner.SetFields([]Field{
+		{Name: "x", Type: Char},
+		{Name: "y", Type: Int},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	outer := NewStruct("outer")
+	if err := outer.SetFields([]Field{
+		{Name: "c", Type: Char},
+		{Name: "in", Type: inner},
+		{Name: "tail", Type: Char},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	in, _ := outer.Field("in")
+	if in.Offset != 8 { // aligned to inner's alignment 8
+		t.Fatalf("in.Offset = %d", in.Offset)
+	}
+	if outer.Size() != 32 {
+		t.Fatalf("outer size = %d", outer.Size())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	s1 := NewStruct("s")
+	s2 := NewStruct("s")
+	other := NewStruct("other")
+	tests := []struct {
+		a, b *Type
+		want bool
+	}{
+		{Int, Int, true},
+		{Int, Char, false},
+		{PointerTo(Int), PointerTo(Int), true},
+		{PointerTo(Int), PointerTo(Char), false},
+		{ArrayOf(Int, 3), ArrayOf(Int, 3), true},
+		{ArrayOf(Int, 3), ArrayOf(Int, 4), false},
+		{s1, s2, true}, // structs compare by name
+		{s1, other, false},
+		{nil, Int, false},
+		{nil, nil, true},
+	}
+	for _, tt := range tests {
+		if got := Equal(tt.a, tt.b); got != tt.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestPredicatesAndStrings(t *testing.T) {
+	if !Int.IsInteger() || !Char.IsInteger() || Float.IsInteger() {
+		t.Fatal("IsInteger broken")
+	}
+	if !PointerTo(Int).IsPointer() || Int.IsPointer() {
+		t.Fatal("IsPointer broken")
+	}
+	if !Float.IsScalar() || ArrayOf(Int, 2).IsScalar() {
+		t.Fatal("IsScalar broken")
+	}
+	if got := PointerTo(NewStruct("s")).String(); got != "struct s*" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := ArrayOf(Char, 7).String(); got != "char[7]" {
+		t.Fatalf("String = %q", got)
+	}
+	sig := FuncSig{Name: "f", Ret: Void, Params: []*Type{Int, PointerTo(Char)}}
+	if got := sig.String(); got != "void f(int, char*)" {
+		t.Fatalf("FuncSig.String = %q", got)
+	}
+}
+
+func TestSetFieldsOnNonStruct(t *testing.T) {
+	if err := Int.SetFields(nil); err == nil {
+		t.Fatal("SetFields on int should fail")
+	}
+}
+
+// Property: field offsets are aligned, non-overlapping, and within the
+// struct, for arbitrary field type sequences.
+func TestStructLayoutProperty(t *testing.T) {
+	mk := func(code uint8) *Type {
+		switch code % 4 {
+		case 0:
+			return Char
+		case 1:
+			return Int
+		case 2:
+			return Float
+		default:
+			return ArrayOf(Char, uint64(code%7)+1)
+		}
+	}
+	f := func(codes []uint8) bool {
+		if len(codes) > 20 {
+			codes = codes[:20]
+		}
+		st := NewStruct("p")
+		fields := make([]Field, len(codes))
+		for i, c := range codes {
+			fields[i] = Field{Name: string(rune('a' + i)), Type: mk(c)}
+		}
+		if err := st.SetFields(fields); err != nil {
+			return false
+		}
+		var prevEnd uint64
+		for _, fl := range st.Fields {
+			if fl.Offset%fl.Type.Align() != 0 {
+				return false // misaligned
+			}
+			if fl.Offset < prevEnd {
+				return false // overlap
+			}
+			prevEnd = fl.Offset + fl.Type.Size()
+		}
+		return prevEnd <= st.Size() && st.Size()%st.Align() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

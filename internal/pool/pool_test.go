@@ -1,0 +1,276 @@
+package pool
+
+import (
+	"testing"
+
+	"repro/internal/sim/kernel"
+	"repro/internal/sim/vm"
+)
+
+func newRuntime(t *testing.T) (*Runtime, *kernel.Process) {
+	t.Helper()
+	cfg := kernel.DefaultConfig()
+	sys := kernel.NewSystem(cfg)
+	p, err := kernel.NewProcess(sys, cfg)
+	if err != nil {
+		t.Fatalf("NewProcess: %v", err)
+	}
+	return NewRuntime(p), p
+}
+
+func TestPoolAllocFree(t *testing.T) {
+	rt, proc := newRuntime(t)
+	p := rt.Init("PP", 16)
+	a, err := p.Alloc(16)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if err := proc.MMU().WriteWord(a, 8, 11); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	v, err := proc.MMU().ReadWord(a, 8)
+	if err != nil || v != 11 {
+		t.Fatalf("read: %v %d", err, v)
+	}
+	if err := p.Free(a); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	b, err := p.Alloc(16)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if b != a {
+		t.Fatalf("pool did not reuse freed chunk: %#x then %#x", a, b)
+	}
+}
+
+func TestPoolDoubleFree(t *testing.T) {
+	rt, _ := newRuntime(t)
+	p := rt.Init("PP", 16)
+	a, err := p.Alloc(16)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if err := p.Free(a); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if err := p.Free(a); err == nil {
+		t.Fatal("pool-level double free not detected")
+	}
+}
+
+func TestPoolDestroyReleasesToSharedList(t *testing.T) {
+	rt, _ := newRuntime(t)
+	p := rt.Init("PP", 16)
+	for i := 0; i < 100; i++ {
+		if _, err := p.Alloc(64); err != nil {
+			t.Fatalf("Alloc: %v", err)
+		}
+	}
+	pages := p.Pages()
+	if pages == 0 {
+		t.Fatal("pool should own pages")
+	}
+	if err := p.Destroy(); err != nil {
+		t.Fatalf("Destroy: %v", err)
+	}
+	if got := rt.FreePages(); got != pages {
+		t.Fatalf("free list has %d pages, want %d", got, pages)
+	}
+}
+
+func TestDestroyedPoolRejectsOps(t *testing.T) {
+	rt, _ := newRuntime(t)
+	p := rt.Init("PP", 16)
+	a, err := p.Alloc(16)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if err := p.Destroy(); err != nil {
+		t.Fatalf("Destroy: %v", err)
+	}
+	if _, err := p.Alloc(16); err == nil {
+		t.Fatal("alloc after destroy should fail")
+	}
+	if err := p.Free(a); err == nil {
+		t.Fatal("free after destroy should fail")
+	}
+	if err := p.Destroy(); err == nil {
+		t.Fatal("double destroy should fail")
+	}
+}
+
+func TestPoolPagesReusedAcrossPools(t *testing.T) {
+	// Insight 2: after a pooldestroy, a later pool's slabs come from the
+	// shared free list rather than fresh mmap.
+	rt, proc := newRuntime(t)
+	p1 := rt.Init("P1", 32)
+	var addrs []vm.Addr
+	for i := 0; i < 200; i++ {
+		a, err := p1.Alloc(32)
+		if err != nil {
+			t.Fatalf("Alloc: %v", err)
+		}
+		addrs = append(addrs, a)
+	}
+	reservedBefore := proc.Space().ReservedPages()
+	if err := p1.Destroy(); err != nil {
+		t.Fatalf("Destroy: %v", err)
+	}
+
+	p2 := rt.Init("P2", 32)
+	for i := 0; i < 200; i++ {
+		if _, err := p2.Alloc(32); err != nil {
+			t.Fatalf("Alloc: %v", err)
+		}
+	}
+	reservedAfter := proc.Space().ReservedPages()
+	if reservedAfter != reservedBefore {
+		t.Fatalf("second pool consumed %d fresh pages; want full reuse",
+			reservedAfter-reservedBefore)
+	}
+	if rt.ReusedPages() == 0 {
+		t.Fatal("no pages recycled from shared free list")
+	}
+	_ = addrs
+}
+
+func TestRecycledPagesAreUsable(t *testing.T) {
+	rt, proc := newRuntime(t)
+	p1 := rt.Init("P1", 64)
+	a, err := p1.Alloc(64)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if err := proc.MMU().WriteWord(a, 8, 0xAA); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := p1.Destroy(); err != nil {
+		t.Fatalf("Destroy: %v", err)
+	}
+
+	p2 := rt.Init("P2", 64)
+	b, err := p2.Alloc(64)
+	if err != nil {
+		t.Fatalf("Alloc from recycled pages: %v", err)
+	}
+	if err := proc.MMU().WriteWord(b, 8, 0xBB); err != nil {
+		t.Fatalf("write to recycled page: %v", err)
+	}
+	v, err := proc.MMU().ReadWord(b, 8)
+	if err != nil || v != 0xBB {
+		t.Fatalf("recycled page readback: %v %#x", err, v)
+	}
+}
+
+func TestAttachRunReleasedAtDestroy(t *testing.T) {
+	rt, proc := newRuntime(t)
+	p := rt.Init("PP", 16)
+	if _, err := p.Alloc(16); err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	shadow, err := proc.Mmap(2 * vm.PageSize)
+	if err != nil {
+		t.Fatalf("Mmap: %v", err)
+	}
+	p.AttachRun(PageRun{Addr: shadow, Pages: 2})
+	own := p.Pages()
+	if err := p.Destroy(); err != nil {
+		t.Fatalf("Destroy: %v", err)
+	}
+	if got := rt.FreePages(); got != own {
+		t.Fatalf("free list has %d pages, want %d (canonical+attached)", got, own)
+	}
+}
+
+func TestDetachRun(t *testing.T) {
+	rt, _ := newRuntime(t)
+	p := rt.Init("PP", 16)
+	r := PageRun{Addr: 0x10000, Pages: 1}
+	p.AttachRun(r)
+	if !p.DetachRun(r) {
+		t.Fatal("DetachRun of attached run failed")
+	}
+	if p.DetachRun(r) {
+		t.Fatal("DetachRun of detached run succeeded")
+	}
+}
+
+func TestLargeObjectInPool(t *testing.T) {
+	rt, proc := newRuntime(t)
+	p := rt.Init("PP", 0)
+	a, err := p.Alloc(5 * vm.PageSize)
+	if err != nil {
+		t.Fatalf("large Alloc: %v", err)
+	}
+	end := a + 5*vm.PageSize - 8
+	if err := proc.MMU().WriteWord(end, 8, 3); err != nil {
+		t.Fatalf("write end of large object: %v", err)
+	}
+	size, err := p.SizeOf(a)
+	if err != nil {
+		t.Fatalf("SizeOf: %v", err)
+	}
+	if size < 5*vm.PageSize {
+		t.Fatalf("SizeOf = %d, want >= %d", size, 5*vm.PageSize)
+	}
+}
+
+func TestDynamicPoolPointsTo(t *testing.T) {
+	rt, _ := newRuntime(t)
+	p := rt.Init("P1", 16)
+	q := rt.Init("P2", 16)
+	p.RecordPointsTo(q)
+	p.RecordPointsTo(q) // idempotent
+	p.RecordPointsTo(p) // self-edges ignored
+	p.RecordPointsTo(nil)
+	edges := p.PointsTo()
+	if len(edges) != 1 || edges[0] != q {
+		t.Fatalf("PointsTo = %v, want [P2]", edges)
+	}
+}
+
+func TestLivePools(t *testing.T) {
+	rt, _ := newRuntime(t)
+	p := rt.Init("P1", 16)
+	q := rt.Init("P2", 16)
+	if got := len(rt.LivePools()); got != 2 {
+		t.Fatalf("LivePools = %d, want 2", got)
+	}
+	if err := p.Destroy(); err != nil {
+		t.Fatalf("Destroy: %v", err)
+	}
+	live := rt.LivePools()
+	if len(live) != 1 || live[0] != q {
+		t.Fatalf("LivePools after destroy = %v", live)
+	}
+}
+
+func TestPoolPhysicalNeutralSteadyState(t *testing.T) {
+	// Steady-state churn within a pool must not grow memory: poolfree
+	// feeds the pool's own free lists.
+	rt, proc := newRuntime(t)
+	p := rt.Init("PP", 48)
+	for i := 0; i < 10; i++ {
+		a, err := p.Alloc(48)
+		if err != nil {
+			t.Fatalf("Alloc: %v", err)
+		}
+		if err := p.Free(a); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+	}
+	frames := proc.System().PhysMemory().InUse()
+	for i := 0; i < 5000; i++ {
+		a, err := p.Alloc(48)
+		if err != nil {
+			t.Fatalf("Alloc: %v", err)
+		}
+		if err := p.Free(a); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+	}
+	if got := proc.System().PhysMemory().InUse(); got != frames {
+		t.Fatalf("steady-state pool churn grew memory: %d -> %d frames", frames, got)
+	}
+}

@@ -1,0 +1,122 @@
+package cost
+
+import "testing"
+
+func TestMeterCharges(t *testing.T) {
+	m := Default()
+	mt := NewMeter(m)
+
+	mt.ChargeInstr(10)
+	want := m.Instr * 10
+	if mt.Cycles() != want {
+		t.Fatalf("after 10 instrs: cycles = %d, want %d", mt.Cycles(), want)
+	}
+	if mt.Instrs() != 10 {
+		t.Fatalf("Instrs = %d, want 10", mt.Instrs())
+	}
+
+	mt.ChargeMem(TLBHit, false)
+	want += m.Mem
+	if mt.Cycles() != want {
+		t.Fatalf("after hit access: cycles = %d, want %d", mt.Cycles(), want)
+	}
+
+	mt.ChargeMem(TLBMissAll, true)
+	want += m.Mem + m.TLBMiss + m.CacheMiss
+	if mt.Cycles() != want {
+		t.Fatalf("after full miss access: cycles = %d, want %d", mt.Cycles(), want)
+	}
+
+	mt.ChargeMem(TLBL2Hit, false)
+	want += m.Mem + m.TLBL1Miss
+	if mt.Cycles() != want {
+		t.Fatalf("after L2-hit access: cycles = %d, want %d", mt.Cycles(), want)
+	}
+	if mt.MemAccesses() != 3 {
+		t.Fatalf("MemAccesses = %d, want 3", mt.MemAccesses())
+	}
+
+	mt.ChargeSyscall(3)
+	want += m.Syscall + 3*m.SyscallPage
+	if mt.Cycles() != want {
+		t.Fatalf("after syscall: cycles = %d, want %d", mt.Cycles(), want)
+	}
+	if mt.Syscalls() != 1 {
+		t.Fatalf("Syscalls = %d, want 1", mt.Syscalls())
+	}
+
+	mt.ChargeTrap()
+	want += m.Trap
+	if mt.Cycles() != want || mt.Traps() != 1 {
+		t.Fatalf("after trap: cycles = %d traps = %d", mt.Cycles(), mt.Traps())
+	}
+}
+
+func TestNativeCheaperThanLLVMBase(t *testing.T) {
+	native := NewMeter(Native())
+	llvm := NewMeter(LLVMBase())
+	native.ChargeInstr(1000)
+	llvm.ChargeInstr(1000)
+	if native.Cycles() >= llvm.Cycles() {
+		t.Fatalf("native (%d) should be cheaper than llvm base (%d)",
+			native.Cycles(), llvm.Cycles())
+	}
+}
+
+func TestValgrindAmplification(t *testing.T) {
+	base := NewMeter(LLVMBase())
+	vg := NewMeter(Valgrind())
+	base.ChargeInstr(1000)
+	vg.ChargeInstr(1000)
+	ratio := float64(vg.Cycles()) / float64(base.Cycles())
+	if ratio < 5 {
+		t.Fatalf("valgrind amplification = %.1fx, want >= 5x", ratio)
+	}
+	// Memory accesses also carry a software check.
+	base.ChargeMem(TLBHit, false)
+	vg.ChargeMem(TLBHit, false)
+	if vg.Model().CheckCost == 0 {
+		t.Fatal("valgrind model should have a per-access check cost")
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	mt := NewMeter(Default())
+	mt.ChargeInstr(5)
+	before := mt.Snapshot()
+	mt.ChargeInstr(7)
+	mt.ChargeSyscall(0)
+	delta := mt.Snapshot().Sub(before)
+	if delta.Instrs != 7 {
+		t.Fatalf("delta.Instrs = %d, want 7", delta.Instrs)
+	}
+	if delta.Syscalls != 1 {
+		t.Fatalf("delta.Syscalls = %d, want 1", delta.Syscalls)
+	}
+	if delta.Cycles == 0 {
+		t.Fatal("delta.Cycles should be nonzero")
+	}
+}
+
+func TestWithHelpers(t *testing.T) {
+	m := Default().WithSyscall(99).WithTLBMiss(7)
+	if m.Syscall != 99 || m.TLBMiss != 7 {
+		t.Fatalf("With helpers: got syscall=%d tlbmiss=%d", m.Syscall, m.TLBMiss)
+	}
+	// Original must be unchanged (value semantics).
+	if Default().Syscall == 99 {
+		t.Fatal("Default was mutated")
+	}
+}
+
+func TestChargeRawAndAllocatorOp(t *testing.T) {
+	mt := NewMeter(Default())
+	mt.ChargeRaw(123)
+	if mt.Cycles() != 123 {
+		t.Fatalf("ChargeRaw: cycles = %d, want 123", mt.Cycles())
+	}
+	mt.ChargeAllocatorOp()
+	if mt.Cycles() != 123+Default().AllocatorOp {
+		t.Fatalf("ChargeAllocatorOp: cycles = %d", mt.Cycles())
+	}
+}

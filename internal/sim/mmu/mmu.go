@@ -1,0 +1,304 @@
+// Package mmu combines the page table, a two-level TLB, and a small
+// physically indexed data cache into the memory access path every simulated
+// load and store takes.
+//
+// The MMU performs the run-time check the paper's scheme relies on ("the
+// memory management unit in most modern processors performs a run-time check
+// on every memory access", §3.1): a protection violation surfaces as a
+// *vm.Fault, which the run-time layers above translate into a dangling
+// pointer report.
+//
+// The TLB hierarchy (a small L1 backed by a larger L2, as on the Xeon the
+// paper measured) is where the shadow-page scheme's second overhead source
+// shows up: one object per virtual page inflates the page working set. The
+// data cache is physically indexed, which is why the scheme preserves cache
+// behaviour (multiple objects stay contiguous within one physical page)
+// while Electric Fence destroys it (every object on its own physical page).
+package mmu
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/sim/cost"
+	"repro/internal/sim/phys"
+	"repro/internal/sim/tlb"
+	"repro/internal/sim/vm"
+)
+
+// CacheConfig describes the set-associative physically indexed data cache.
+type CacheConfig struct {
+	// Lines is the total number of cache lines. Must be a multiple of
+	// Ways.
+	Lines int
+	// LineSize is the line size in bytes (a power of two).
+	LineSize int
+	// Ways is the associativity. Physical frame assignment varies run to
+	// run with allocation history; associativity keeps conflict misses a
+	// property of the program rather than of frame-placement luck (a
+	// direct-mapped model makes measurements swing by ±15% on layout).
+	Ways int
+}
+
+// DefaultCacheConfig approximates the Xeon's L1 data cache (32 KB, 64-byte
+// lines, 8-way).
+func DefaultCacheConfig() CacheConfig {
+	return CacheConfig{Lines: 512, LineSize: 64, Ways: 8}
+}
+
+// Config describes the MMU's TLB hierarchy and data cache.
+type Config struct {
+	TLB1  tlb.Config
+	TLB2  tlb.Config
+	Cache CacheConfig
+}
+
+// DefaultConfig approximates the paper's 2006-era Xeon: 64-entry 4-way L1
+// TLB, 512-entry 4-way L2 TLB, 32 KB 8-way data cache.
+func DefaultConfig() Config {
+	return Config{
+		TLB1:  tlb.Config{Entries: 64, Ways: 4},
+		TLB2:  tlb.Config{Entries: 512, Ways: 4},
+		Cache: DefaultCacheConfig(),
+	}
+}
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	lru   uint64
+}
+
+// MMU is the per-process memory access path. Not safe for concurrent use.
+type MMU struct {
+	space *vm.Space
+	mem   *phys.Memory
+	tlb1  *tlb.TLB
+	tlb2  *tlb.TLB
+	meter *cost.Meter
+
+	sets       [][]cacheLine
+	lineShift  uint
+	nsets      uint64
+	cacheClock uint64
+
+	cacheHits   uint64
+	cacheMisses uint64
+}
+
+// New returns an MMU over the given space and physical memory, charging the
+// meter for each access.
+func New(space *vm.Space, mem *phys.Memory, meter *cost.Meter, cfg Config) *MMU {
+	cc := cfg.Cache
+	if cc.Lines <= 0 || cc.LineSize <= 0 || cc.LineSize&(cc.LineSize-1) != 0 ||
+		cc.Ways <= 0 || cc.Lines%cc.Ways != 0 {
+		cc = DefaultCacheConfig()
+	}
+	shift := uint(0)
+	for 1<<shift < cc.LineSize {
+		shift++
+	}
+	nsets := cc.Lines / cc.Ways
+	sets := make([][]cacheLine, nsets)
+	for i := range sets {
+		sets[i] = make([]cacheLine, cc.Ways)
+	}
+	def := DefaultConfig()
+	if cfg.TLB1.Entries == 0 {
+		cfg.TLB1 = def.TLB1
+	}
+	if cfg.TLB2.Entries == 0 {
+		cfg.TLB2 = def.TLB2
+	}
+	return &MMU{
+		space:     space,
+		mem:       mem,
+		tlb1:      tlb.New(cfg.TLB1),
+		tlb2:      tlb.New(cfg.TLB2),
+		meter:     meter,
+		sets:      sets,
+		lineShift: shift,
+		nsets:     uint64(nsets),
+	}
+}
+
+// Space returns the address space this MMU translates for.
+func (m *MMU) Space() *vm.Space { return m.space }
+
+// TLB1 returns the first-level TLB (stats).
+func (m *MMU) TLB1() *tlb.TLB { return m.tlb1 }
+
+// TLB2 returns the second-level TLB (stats).
+func (m *MMU) TLB2() *tlb.TLB { return m.tlb2 }
+
+// FlushPage invalidates both TLB levels' entries for a page (shootdown).
+func (m *MMU) FlushPage(v vm.VPN) {
+	m.tlb1.FlushPage(v)
+	m.tlb2.FlushPage(v)
+}
+
+// FlushAll invalidates both TLB levels.
+func (m *MMU) FlushAll() {
+	m.tlb1.FlushAll()
+	m.tlb2.FlushAll()
+}
+
+// CacheHits returns the data-cache hit count.
+func (m *MMU) CacheHits() uint64 { return m.cacheHits }
+
+// CacheMisses returns the data-cache miss count.
+func (m *MMU) CacheMisses() uint64 { return m.cacheMisses }
+
+// cacheAccess simulates a physically indexed set-associative LRU lookup of
+// the physical address and returns true on a hit.
+func (m *MMU) cacheAccess(paddr uint64) bool {
+	m.cacheClock++
+	lineAddr := paddr >> m.lineShift
+	set := m.sets[lineAddr%m.nsets]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].lru = m.cacheClock
+			m.cacheHits++
+			return true
+		}
+	}
+	m.cacheMisses++
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = cacheLine{tag: lineAddr, valid: true, lru: m.cacheClock}
+	return false
+}
+
+// tlbAccess walks the TLB hierarchy for vpn.
+func (m *MMU) tlbAccess(vpn vm.VPN) cost.TLBOutcome {
+	if m.tlb1.Access(vpn) {
+		return cost.TLBHit
+	}
+	if m.tlb2.Access(vpn) {
+		return cost.TLBL2Hit
+	}
+	return cost.TLBMissAll
+}
+
+// access translates one page-confined access and charges the meter.
+func (m *MMU) access(addr vm.Addr, kind vm.AccessKind) (phys.FrameID, error) {
+	vpn := vm.PageOf(addr)
+	outcome := m.tlbAccess(vpn)
+	frame, fault := m.space.Translate(addr, kind)
+	if fault != nil {
+		return 0, fault
+	}
+	paddr := uint64(frame)<<vm.PageShift | vm.Offset(addr)
+	cacheHit := m.cacheAccess(paddr)
+	m.meter.ChargeMem(outcome, !cacheHit)
+	return frame, nil
+}
+
+// ReadBytes reads len(buf) bytes starting at addr, crossing page boundaries
+// as needed. One charge is made per page touched (the MMU checks once per
+// page; per-page is the granularity the detection guarantee needs).
+func (m *MMU) ReadBytes(addr vm.Addr, buf []byte) error {
+	for len(buf) > 0 {
+		frame, err := m.access(addr, vm.AccessRead)
+		if err != nil {
+			return err
+		}
+		off := vm.Offset(addr)
+		n := copy(buf, m.mem.Frame(frame)[off:])
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// WriteBytes writes buf starting at addr, crossing page boundaries as needed.
+func (m *MMU) WriteBytes(addr vm.Addr, buf []byte) error {
+	for len(buf) > 0 {
+		frame, err := m.access(addr, vm.AccessWrite)
+		if err != nil {
+			return err
+		}
+		off := vm.Offset(addr)
+		n := copy(m.mem.Frame(frame)[off:], buf)
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// ReadWord reads a size-byte little-endian unsigned value (size 1, 2, 4, 8).
+func (m *MMU) ReadWord(addr vm.Addr, size int) (uint64, error) {
+	var buf [8]byte
+	if size != 1 && size != 2 && size != 4 && size != 8 {
+		return 0, fmt.Errorf("mmu: bad word size %d", size)
+	}
+	if err := m.ReadBytes(addr, buf[:size]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+// WriteWord writes a size-byte little-endian unsigned value (size 1, 2, 4, 8).
+func (m *MMU) WriteWord(addr vm.Addr, size int, val uint64) error {
+	var buf [8]byte
+	if size != 1 && size != 2 && size != 4 && size != 8 {
+		return fmt.Errorf("mmu: bad word size %d", size)
+	}
+	binary.LittleEndian.PutUint64(buf[:], val)
+	return m.WriteBytes(addr, buf[:size])
+}
+
+// PeekBytes reads memory without charging cycles, TLB, or cache state, and
+// ignoring protection (but not mappings). It is the debugger/GC view of
+// memory: the conservative collector of §3.4 scans pool pages this way, and
+// tests use it to assert on memory contents without perturbing stats.
+func (m *MMU) PeekBytes(addr vm.Addr, buf []byte) error {
+	for len(buf) > 0 {
+		frame, _, ok := m.space.Lookup(vm.PageOf(addr))
+		if !ok {
+			return &vm.Fault{Addr: addr, Access: vm.AccessRead, Reason: vm.FaultUnmapped}
+		}
+		off := vm.Offset(addr)
+		n := copy(buf, m.mem.Frame(frame)[off:])
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// PokeBytes writes memory without charging cycles or consulting protection
+// (but mappings must exist). It is the loader's view of memory: program
+// text/data setup before the measured run starts.
+func (m *MMU) PokeBytes(addr vm.Addr, buf []byte) error {
+	for len(buf) > 0 {
+		frame, _, ok := m.space.Lookup(vm.PageOf(addr))
+		if !ok {
+			return &vm.Fault{Addr: addr, Access: vm.AccessWrite, Reason: vm.FaultUnmapped}
+		}
+		off := vm.Offset(addr)
+		n := copy(m.mem.Frame(frame)[off:], buf)
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// PeekWord reads a size-byte word the way PeekBytes does.
+func (m *MMU) PeekWord(addr vm.Addr, size int) (uint64, error) {
+	var buf [8]byte
+	if size != 1 && size != 2 && size != 4 && size != 8 {
+		return 0, fmt.Errorf("mmu: bad word size %d", size)
+	}
+	if err := m.PeekBytes(addr, buf[:size]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}

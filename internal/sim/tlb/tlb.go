@@ -1,0 +1,118 @@
+// Package tlb simulates a set-associative translation lookaside buffer.
+//
+// TLB pressure is one of the two overhead sources the paper identifies for
+// the shadow-page scheme ("since each allocation has a new virtual page, our
+// approach has more TLB misses than the original program", §1) and the
+// subject of its proposed architectural mitigation. The simulation only needs
+// hit/miss behaviour, not translation itself — the MMU consults the page
+// table regardless and uses the TLB purely for cycle accounting.
+package tlb
+
+import "repro/internal/sim/vm"
+
+// Config describes TLB geometry.
+type Config struct {
+	// Entries is the total entry count. Must be a multiple of Ways.
+	Entries int
+	// Ways is the associativity.
+	Ways int
+}
+
+// DefaultConfig approximates a 2006-era data TLB (64 entries, 4-way), the
+// class of hardware the paper measured on.
+func DefaultConfig() Config {
+	return Config{Entries: 64, Ways: 4}
+}
+
+type entry struct {
+	vpn   vm.VPN
+	valid bool
+	// lru is a per-set sequence number; higher is more recent.
+	lru uint64
+}
+
+// TLB is a set-associative TLB with LRU replacement. Not safe for concurrent
+// use.
+type TLB struct {
+	sets   [][]entry
+	nsets  uint64
+	clock  uint64
+	hits   uint64
+	misses uint64
+}
+
+// New returns a TLB with the given geometry. A zero or invalid config falls
+// back to DefaultConfig.
+func New(cfg Config) *TLB {
+	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
+		cfg = DefaultConfig()
+	}
+	nsets := cfg.Entries / cfg.Ways
+	sets := make([][]entry, nsets)
+	for i := range sets {
+		sets[i] = make([]entry, cfg.Ways)
+	}
+	return &TLB{sets: sets, nsets: uint64(nsets)}
+}
+
+// Access looks up vpn, returning true on a hit. On a miss the translation is
+// filled in, evicting the set's LRU entry.
+func (t *TLB) Access(vpn vm.VPN) bool {
+	t.clock++
+	set := t.sets[uint64(vpn)%t.nsets]
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].lru = t.clock
+			t.hits++
+			return true
+		}
+	}
+	t.misses++
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = entry{vpn: vpn, valid: true, lru: t.clock}
+	return false
+}
+
+// FlushPage invalidates any entry for vpn (the shootdown performed by
+// mprotect/munmap on that page).
+func (t *TLB) FlushPage(vpn vm.VPN) {
+	set := t.sets[uint64(vpn)%t.nsets]
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].valid = false
+		}
+	}
+}
+
+// FlushAll invalidates every entry (full context-switch flush).
+func (t *TLB) FlushAll() {
+	for _, set := range t.sets {
+		for i := range set {
+			set[i].valid = false
+		}
+	}
+}
+
+// Hits returns the hit count.
+func (t *TLB) Hits() uint64 { return t.hits }
+
+// Misses returns the miss count.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// MissRate returns misses / accesses, or 0 for no accesses.
+func (t *TLB) MissRate() float64 {
+	total := t.hits + t.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.misses) / float64(total)
+}

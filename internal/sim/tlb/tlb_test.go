@@ -1,0 +1,106 @@
+package tlb
+
+import (
+	"testing"
+
+	"repro/internal/sim/vm"
+)
+
+func TestHitAfterMiss(t *testing.T) {
+	tl := New(Config{Entries: 8, Ways: 2})
+	if tl.Access(5) {
+		t.Fatal("first access should miss")
+	}
+	if !tl.Access(5) {
+		t.Fatal("second access should hit")
+	}
+	if tl.Hits() != 1 || tl.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", tl.Hits(), tl.Misses())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2 sets x 2 ways. VPNs 0,2,4 all land in set 0.
+	tl := New(Config{Entries: 4, Ways: 2})
+	tl.Access(0)
+	tl.Access(2)
+	tl.Access(0) // make 2 the LRU
+	tl.Access(4) // evicts 2
+	if !tl.Access(0) {
+		t.Fatal("0 should still be resident")
+	}
+	if tl.Access(2) {
+		t.Fatal("2 should have been evicted")
+	}
+}
+
+func TestFlushPage(t *testing.T) {
+	tl := New(DefaultConfig())
+	tl.Access(7)
+	tl.FlushPage(7)
+	if tl.Access(7) {
+		t.Fatal("access after flush should miss")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	tl := New(DefaultConfig())
+	for v := vm.VPN(0); v < 10; v++ {
+		tl.Access(v)
+	}
+	tl.FlushAll()
+	for v := vm.VPN(0); v < 10; v++ {
+		if tl.Access(v) {
+			t.Fatalf("vpn %d hit after FlushAll", v)
+		}
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	tl := New(DefaultConfig())
+	if tl.MissRate() != 0 {
+		t.Fatal("empty TLB should report 0 miss rate")
+	}
+	tl.Access(1) // miss
+	tl.Access(1) // hit
+	tl.Access(1) // hit
+	tl.Access(2) // miss
+	if got := tl.MissRate(); got != 0.5 {
+		t.Fatalf("MissRate = %v, want 0.5", got)
+	}
+}
+
+func TestInvalidConfigFallsBack(t *testing.T) {
+	tl := New(Config{Entries: 7, Ways: 3}) // not divisible
+	// Should behave like a default TLB, not panic.
+	tl.Access(1)
+	if !tl.Access(1) {
+		t.Fatal("fallback TLB broken")
+	}
+}
+
+func TestWorkingSetLargerThanTLBThrashes(t *testing.T) {
+	// The effect the paper attributes enscript's residual overhead to:
+	// when every object lives on its own page, the page working set
+	// exceeds TLB reach and the miss rate climbs.
+	cfg := Config{Entries: 16, Ways: 4}
+
+	small := New(cfg)
+	for round := 0; round < 100; round++ {
+		for v := vm.VPN(0); v < 8; v++ { // fits in 16 entries
+			small.Access(v)
+		}
+	}
+	large := New(cfg)
+	for round := 0; round < 100; round++ {
+		for v := vm.VPN(0); v < 64; v++ { // 4x TLB capacity
+			large.Access(v)
+		}
+	}
+	if small.MissRate() >= 0.1 {
+		t.Fatalf("small working set should mostly hit, miss rate %v", small.MissRate())
+	}
+	if large.MissRate() <= 0.9 {
+		t.Fatalf("oversized working set should mostly miss, miss rate %v", large.MissRate())
+	}
+}

@@ -1,0 +1,266 @@
+// Package vm simulates a per-process virtual address space: a page table
+// mapping virtual page numbers to physical frames with per-page protection
+// bits, plus a bump allocator for fresh virtual page ranges.
+//
+// Two properties the paper depends on are implemented exactly:
+//
+//   - Aliasing: any number of virtual pages may map to the same physical
+//     frame, each with its own protection bits. This is what lets the shadow
+//     page of a freed object be PROT_NONE while the canonical page (and
+//     therefore the physical memory) stays in use (Insight 1).
+//   - A 47-bit user address space, matching the paper's §3.4 exhaustion
+//     calculation (2^47 bytes / (2^12 bytes/µs) ≈ 9.5 hours).
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/sim/phys"
+)
+
+// Prot is a page protection bit set.
+type Prot uint8
+
+// Protection bits. ProtNone (no bits) makes any access fault, which is how
+// freed objects' shadow pages are poisoned.
+const (
+	ProtNone Prot = 0
+	ProtRead Prot = 1 << iota
+	ProtWrite
+)
+
+// ProtRW is the common read+write protection for freshly mapped pages.
+const ProtRW = ProtRead | ProtWrite
+
+// String renders the protection like "rw", "r-", or "--".
+func (p Prot) String() string {
+	b := []byte{'-', '-'}
+	if p&ProtRead != 0 {
+		b[0] = 'r'
+	}
+	if p&ProtWrite != 0 {
+		b[1] = 'w'
+	}
+	return string(b)
+}
+
+// Addr is a simulated virtual address.
+type Addr = uint64
+
+// Page geometry, re-exported from phys for convenience.
+const (
+	PageSize  = phys.PageSize
+	PageShift = phys.PageShift
+)
+
+// UserAddrBits is the width of the simulated user virtual address space.
+// The paper assumes a maximum of 2^47 bytes for a user program on 64-bit
+// Linux.
+const UserAddrBits = 47
+
+// UserAddrLimit is the first address beyond the user address space.
+const UserAddrLimit Addr = 1 << UserAddrBits
+
+// VPN is a virtual page number (Addr >> PageShift).
+type VPN uint64
+
+// PageOf returns the VPN containing addr.
+func PageOf(addr Addr) VPN { return VPN(addr >> PageShift) }
+
+// PageBase returns the first address of the page containing addr.
+func PageBase(addr Addr) Addr { return addr &^ (PageSize - 1) }
+
+// Offset returns the offset of addr within its page.
+func Offset(addr Addr) uint64 { return addr & (PageSize - 1) }
+
+// PageSpan returns the number of pages covered by [addr, addr+size).
+func PageSpan(addr Addr, size uint64) uint64 {
+	if size == 0 {
+		return 0
+	}
+	first := uint64(PageOf(addr))
+	last := uint64(PageOf(addr + size - 1))
+	return last - first + 1
+}
+
+// AccessKind distinguishes the operation that caused a fault.
+type AccessKind uint8
+
+// Access kinds.
+const (
+	AccessRead AccessKind = iota + 1
+	AccessWrite
+)
+
+// String implements fmt.Stringer.
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("access(%d)", uint8(k))
+	}
+}
+
+// FaultReason classifies a fault.
+type FaultReason uint8
+
+// Fault reasons. FaultProtection is the MMU check the whole detection scheme
+// rides on: the page is mapped but its protection bits forbid the access.
+const (
+	FaultUnmapped FaultReason = iota + 1
+	FaultProtection
+)
+
+// String implements fmt.Stringer.
+func (r FaultReason) String() string {
+	switch r {
+	case FaultUnmapped:
+		return "unmapped"
+	case FaultProtection:
+		return "protection"
+	default:
+		return fmt.Sprintf("reason(%d)", uint8(r))
+	}
+}
+
+// Fault is a simulated hardware memory fault (the SIGSEGV equivalent).
+type Fault struct {
+	Addr   Addr
+	Access AccessKind
+	Reason FaultReason
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("fault: %s of %#x (%s)", f.Access, f.Addr, f.Reason)
+}
+
+// pte is one page-table entry.
+type pte struct {
+	frame phys.FrameID
+	prot  Prot
+}
+
+// Space is one process's virtual address space. It owns no physical memory;
+// frames are allocated and freed by the kernel layer, which also decides
+// frame lifetimes under aliasing. Not safe for concurrent use.
+type Space struct {
+	pages map[VPN]pte
+	// next is the bump pointer for fresh virtual page allocation. Starting
+	// above zero keeps address 0 (NULL) permanently unmapped.
+	next VPN
+	// peakMapped tracks the high-water mark of live page-table entries,
+	// one of the §3.4 costs (page-table entries tied up by non-reusable
+	// virtual pages).
+	peakMapped uint64
+	// everMapped counts distinct fresh VPNs handed out by ReservePages,
+	// i.e. total virtual address space consumed.
+	everMapped uint64
+}
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space {
+	return &Space{
+		pages: make(map[VPN]pte),
+		next:  16, // leave the first 64 KB unmapped (NULL guard)
+	}
+}
+
+// ErrAddressSpaceExhausted is reported when ReservePages passes the 47-bit
+// limit — the failure mode the paper's Insight 2 exists to avoid.
+var ErrAddressSpaceExhausted = fmt.Errorf("vm: virtual address space exhausted (2^%d bytes)", UserAddrBits)
+
+// ReservePages hands out n fresh, never-before-used consecutive virtual
+// pages and returns the first VPN. The pages are not mapped yet.
+func (s *Space) ReservePages(n uint64) (VPN, error) {
+	if n == 0 {
+		return 0, fmt.Errorf("vm: reserve of zero pages")
+	}
+	if uint64(s.next)+n > UserAddrLimit>>PageShift {
+		return 0, ErrAddressSpaceExhausted
+	}
+	v := s.next
+	s.next += VPN(n)
+	s.everMapped += n
+	return v, nil
+}
+
+// Map installs a mapping from vpn to frame with protection prot, replacing
+// any existing entry.
+func (s *Space) Map(vpn VPN, frame phys.FrameID, prot Prot) {
+	if _, ok := s.pages[vpn]; !ok {
+		if m := uint64(len(s.pages)) + 1; m > s.peakMapped {
+			s.peakMapped = m
+		}
+	}
+	s.pages[vpn] = pte{frame: frame, prot: prot}
+}
+
+// Unmap removes the mapping for vpn. Unmapping an unmapped page is an error
+// (the kernel layer never does it).
+func (s *Space) Unmap(vpn VPN) error {
+	if _, ok := s.pages[vpn]; !ok {
+		return fmt.Errorf("vm: unmap of unmapped page %#x", uint64(vpn)<<PageShift)
+	}
+	delete(s.pages, vpn)
+	return nil
+}
+
+// Protect sets the protection bits of vpn.
+func (s *Space) Protect(vpn VPN, prot Prot) error {
+	e, ok := s.pages[vpn]
+	if !ok {
+		return fmt.Errorf("vm: protect of unmapped page %#x", uint64(vpn)<<PageShift)
+	}
+	e.prot = prot
+	s.pages[vpn] = e
+	return nil
+}
+
+// Lookup returns the frame and protection of vpn.
+func (s *Space) Lookup(vpn VPN) (phys.FrameID, Prot, bool) {
+	e, ok := s.pages[vpn]
+	return e.frame, e.prot, ok
+}
+
+// Translate checks an access of the given kind to addr and returns the frame
+// backing it. On failure it returns a *Fault.
+func (s *Space) Translate(addr Addr, kind AccessKind) (phys.FrameID, *Fault) {
+	e, ok := s.pages[PageOf(addr)]
+	if !ok {
+		return 0, &Fault{Addr: addr, Access: kind, Reason: FaultUnmapped}
+	}
+	need := ProtRead
+	if kind == AccessWrite {
+		need = ProtWrite
+	}
+	if e.prot&need == 0 {
+		return 0, &Fault{Addr: addr, Access: kind, Reason: FaultProtection}
+	}
+	return e.frame, nil
+}
+
+// ForEach calls fn for every live page-table entry. Iteration order is
+// unspecified. Used by the kernel's teardown and the conservative-GC study.
+func (s *Space) ForEach(fn func(VPN, phys.FrameID, Prot)) {
+	for v, e := range s.pages {
+		fn(v, e.frame, e.prot)
+	}
+}
+
+// MappedPages returns the number of live page-table entries.
+func (s *Space) MappedPages() uint64 { return uint64(len(s.pages)) }
+
+// PeakMappedPages returns the high-water mark of live page-table entries.
+func (s *Space) PeakMappedPages() uint64 { return s.peakMapped }
+
+// ReservedPages returns the total number of fresh virtual pages ever handed
+// out — the paper's "virtual address space usage".
+func (s *Space) ReservedPages() uint64 { return s.everMapped }
+
+// NextFreshPage returns the VPN the next ReservePages call would hand out.
+// Exposed for the exhaustion study.
+func (s *Space) NextFreshPage() VPN { return s.next }

@@ -1,0 +1,239 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim/phys"
+)
+
+func TestPageArithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		addr Addr
+		vpn  VPN
+		base Addr
+		off  uint64
+	}{
+		{"zero", 0, 0, 0, 0},
+		{"mid page", 100, 0, 0, 100},
+		{"page boundary", 4096, 1, 4096, 0},
+		{"second page mid", 8200, 2, 8192, 8},
+		{"large", 0x7fff_ffff_f123, 0x7_ffff_ffff, 0x7fff_ffff_f000, 0x123},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := PageOf(tt.addr); got != tt.vpn {
+				t.Errorf("PageOf(%#x) = %#x, want %#x", tt.addr, got, tt.vpn)
+			}
+			if got := PageBase(tt.addr); got != tt.base {
+				t.Errorf("PageBase(%#x) = %#x, want %#x", tt.addr, got, tt.base)
+			}
+			if got := Offset(tt.addr); got != tt.off {
+				t.Errorf("Offset(%#x) = %#x, want %#x", tt.addr, got, tt.off)
+			}
+		})
+	}
+}
+
+func TestPageSpan(t *testing.T) {
+	tests := []struct {
+		name string
+		addr Addr
+		size uint64
+		want uint64
+	}{
+		{"zero size", 0, 0, 0},
+		{"one byte", 10, 1, 1},
+		{"whole page", 4096, 4096, 1},
+		{"crosses boundary", 4090, 16, 2},
+		{"exactly two pages", 4096, 8192, 2},
+		{"ends at boundary", 0, 4096, 1},
+		{"one byte past boundary", 0, 4097, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := PageSpan(tt.addr, tt.size); got != tt.want {
+				t.Errorf("PageSpan(%#x, %d) = %d, want %d", tt.addr, tt.size, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTranslateUnmapped(t *testing.T) {
+	s := NewSpace()
+	_, fault := s.Translate(0x1000, AccessRead)
+	if fault == nil {
+		t.Fatal("expected fault on unmapped page")
+	}
+	if fault.Reason != FaultUnmapped {
+		t.Fatalf("Reason = %v, want unmapped", fault.Reason)
+	}
+}
+
+func TestTranslateProtection(t *testing.T) {
+	s := NewSpace()
+	s.Map(5, 7, ProtRead)
+	addr := Addr(5 * PageSize)
+
+	if _, fault := s.Translate(addr, AccessRead); fault != nil {
+		t.Fatalf("read of read-only page faulted: %v", fault)
+	}
+	_, fault := s.Translate(addr, AccessWrite)
+	if fault == nil {
+		t.Fatal("write of read-only page did not fault")
+	}
+	if fault.Reason != FaultProtection {
+		t.Fatalf("Reason = %v, want protection", fault.Reason)
+	}
+
+	if err := s.Protect(5, ProtNone); err != nil {
+		t.Fatalf("Protect: %v", err)
+	}
+	if _, fault := s.Translate(addr, AccessRead); fault == nil || fault.Reason != FaultProtection {
+		t.Fatalf("read of PROT_NONE page: fault = %v, want protection fault", fault)
+	}
+
+	if err := s.Protect(5, ProtRW); err != nil {
+		t.Fatalf("Protect: %v", err)
+	}
+	frame, fault := s.Translate(addr, AccessWrite)
+	if fault != nil {
+		t.Fatalf("write after re-protect faulted: %v", fault)
+	}
+	if frame != 7 {
+		t.Fatalf("frame = %d, want 7", frame)
+	}
+}
+
+func TestAliasingIndependentProtections(t *testing.T) {
+	// The core of Insight 1: two virtual pages map the same frame with
+	// different protections.
+	s := NewSpace()
+	const frame = phys.FrameID(3)
+	s.Map(10, frame, ProtRW)
+	s.Map(20, frame, ProtNone)
+
+	if _, fault := s.Translate(10*PageSize, AccessWrite); fault != nil {
+		t.Fatalf("canonical page should be writable: %v", fault)
+	}
+	if _, fault := s.Translate(20*PageSize, AccessRead); fault == nil {
+		t.Fatal("shadow page should fault")
+	}
+	f1, _, _ := s.Lookup(10)
+	f2, _, _ := s.Lookup(20)
+	if f1 != f2 {
+		t.Fatalf("aliases disagree on frame: %d vs %d", f1, f2)
+	}
+}
+
+func TestReservePagesFresh(t *testing.T) {
+	s := NewSpace()
+	a, err := s.ReservePages(3)
+	if err != nil {
+		t.Fatalf("ReservePages: %v", err)
+	}
+	b, err := s.ReservePages(1)
+	if err != nil {
+		t.Fatalf("ReservePages: %v", err)
+	}
+	if b < a+3 {
+		t.Fatalf("second reservation %#x overlaps first %#x+3", b, a)
+	}
+	if s.ReservedPages() != 4 {
+		t.Fatalf("ReservedPages = %d, want 4", s.ReservedPages())
+	}
+}
+
+func TestReserveZeroPages(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.ReservePages(0); err == nil {
+		t.Fatal("expected error for zero-page reservation")
+	}
+}
+
+func TestAddressSpaceExhaustion(t *testing.T) {
+	s := NewSpace()
+	// Reserve nearly the whole 47-bit space in one call, then overflow.
+	almostAll := (UserAddrLimit >> PageShift) - uint64(s.NextFreshPage()) - 10
+	if _, err := s.ReservePages(almostAll); err != nil {
+		t.Fatalf("large reservation failed: %v", err)
+	}
+	if _, err := s.ReservePages(100); !errors.Is(err, ErrAddressSpaceExhausted) {
+		t.Fatalf("expected exhaustion, got %v", err)
+	}
+	// A small reservation that still fits should succeed.
+	if _, err := s.ReservePages(5); err != nil {
+		t.Fatalf("small reservation should fit: %v", err)
+	}
+}
+
+func TestUnmapAndPeak(t *testing.T) {
+	s := NewSpace()
+	s.Map(1, 0, ProtRW)
+	s.Map(2, 1, ProtRW)
+	if err := s.Unmap(1); err != nil {
+		t.Fatalf("Unmap: %v", err)
+	}
+	if err := s.Unmap(1); err == nil {
+		t.Fatal("double unmap not detected")
+	}
+	if s.MappedPages() != 1 {
+		t.Fatalf("MappedPages = %d, want 1", s.MappedPages())
+	}
+	if s.PeakMappedPages() != 2 {
+		t.Fatalf("PeakMappedPages = %d, want 2", s.PeakMappedPages())
+	}
+}
+
+func TestProtectUnmapped(t *testing.T) {
+	s := NewSpace()
+	if err := s.Protect(99, ProtNone); err == nil {
+		t.Fatal("protect of unmapped page not detected")
+	}
+}
+
+func TestProtString(t *testing.T) {
+	tests := []struct {
+		p    Prot
+		want string
+	}{
+		{ProtNone, "--"},
+		{ProtRead, "r-"},
+		{ProtWrite, "-w"},
+		{ProtRW, "rw"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("Prot(%d).String() = %q, want %q", tt.p, got, tt.want)
+		}
+	}
+}
+
+// Property: PageBase + Offset always reconstructs the address, and PageOf is
+// consistent with PageBase.
+func TestPageDecompositionProperty(t *testing.T) {
+	f := func(addr uint64) bool {
+		addr %= UserAddrLimit
+		return PageBase(addr)+Offset(addr) == addr &&
+			uint64(PageOf(addr))<<PageShift == PageBase(addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PageSpan is always between ceil(size/PageSize) and that plus one.
+func TestPageSpanProperty(t *testing.T) {
+	f := func(addr, size uint64) bool {
+		addr %= UserAddrLimit / 2
+		size = size%(1<<20) + 1
+		span := PageSpan(addr, size)
+		minPages := (size + PageSize - 1) / PageSize
+		return span >= minPages && span <= minPages+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package workload
+
+// RunningExampleSrc is the paper's Figure 1 program: f builds a list via g,
+// g frees all but the head, and f then dereferences p->next — a dangling
+// pointer the shadow configuration traps (and, after the Figure 2 pool
+// transformation, whose pool pages are recycled once f returns).
+const RunningExampleSrc = `
+// Figure 1: the running example, dangling p->next->val.
+struct s { int val; struct s *next; };
+
+void create_10_node_list(struct s *p) {
+  int i;
+  struct s *q = p;
+  for (i = 0; i < 9; i = i + 1) {
+    q->next = (struct s*)malloc(sizeof(struct s));
+    q = q->next;
+  }
+  q->next = NULL;
+}
+
+void initialize(struct s *p) {
+  struct s *q = p;
+  while (q != NULL) { q->val = 1; q = q->next; }
+}
+
+void free_all_but_head(struct s *p) {
+  struct s *q = p->next;
+  while (q != NULL) {
+    struct s *n = q->next;
+    free(q);
+    q = n;
+  }
+}
+
+void g(struct s *p) {
+  p->next = (struct s*)malloc(sizeof(struct s));
+  create_10_node_list(p);
+  initialize(p);
+  free_all_but_head(p);
+}
+
+void main() {
+  struct s *p = (struct s*)malloc(sizeof(struct s));
+  g(p);
+  p->next->val = 5; // p->next is dangling
+  print_int(p->next->val);
+}
+`

@@ -1,0 +1,607 @@
+package workload
+
+// The nine Olden benchmarks of Table 3 — "allocation intensive ... a worst
+// case scenario for our approach". Six are allocation-dominated (bisort,
+// em3d, health, mst, perimeter, treeadd: the paper measures 3.2x-11.2x
+// slowdowns); three do enough computation per allocation to stay cheap (bh,
+// power, tsp: under 25%).
+//
+// Problem sizes are scaled to the simulator; the alloc:work proportion — the
+// quantity the slowdown is a function of — follows each original.
+
+// TreeaddSrc builds a binary tree (one allocation per node) and sums it:
+// almost pure allocation.
+const TreeaddSrc = `
+// treeadd: recursive tree build + sum.
+struct tree { int val; struct tree *left; struct tree *right; };
+
+struct tree *build(int depth) {
+  struct tree *t = (struct tree*)malloc(sizeof(struct tree));
+  t->val = 1;
+  if (depth <= 1) {
+    t->left = NULL;
+    t->right = NULL;
+    return t;
+  }
+  t->left = build(depth - 1);
+  t->right = build(depth - 1);
+  return t;
+}
+
+int treeadd(struct tree *t) {
+  if (t == NULL) return 0;
+  return t->val + treeadd(t->left) + treeadd(t->right);
+}
+
+void main() {
+  struct tree *root = build(12);
+  print_int(treeadd(root));
+}
+`
+
+// BisortSrc builds a random binary tree and performs bitonic merges with
+// value swaps — Olden's bisort, allocation-heavy with light per-node work.
+const BisortSrc = `
+// bisort: bitonic sort over a fresh tree.
+struct node { int v; struct node *l; struct node *r; };
+int seed;
+
+int nextv() {
+  seed = seed * 1103515245 + 12345;
+  int v = seed;
+  if (v < 0) v = -v;
+  return v % 100000;
+}
+
+struct node *build(int depth) {
+  if (depth == 0) return NULL;
+  struct node *n = (struct node*)malloc(sizeof(struct node));
+  n->v = nextv();
+  n->l = build(depth - 1);
+  n->r = build(depth - 1);
+  return n;
+}
+
+// swapval exchanges subtree minima, the bitonic merge step.
+void merge(struct node *n, int dir) {
+  if (n == NULL) return;
+  if (n->l != NULL && n->r != NULL) {
+    int lv = n->l->v;
+    int rv = n->r->v;
+    if (dir == 1 && lv > rv) { n->l->v = rv; n->r->v = lv; }
+    if (dir == 0 && lv < rv) { n->l->v = rv; n->r->v = lv; }
+  }
+  merge(n->l, dir);
+  merge(n->r, dir);
+}
+
+int checksum(struct node *n) {
+  if (n == NULL) return 0;
+  return n->v % 97 + checksum(n->l) + checksum(n->r);
+}
+
+void main() {
+  seed = 7;
+  struct node *root = build(12);
+  int pass;
+  for (pass = 0; pass < 2; pass = pass + 1) {
+    merge(root, pass % 2);
+  }
+  print_int(checksum(root));
+}
+`
+
+// Em3dSrc builds a bipartite E/H node graph with per-edge cells and
+// propagates values — Olden's em3d.
+const Em3dSrc = `
+// em3d: electromagnetic propagation on a bipartite graph.
+struct gnode { float value; struct edge *edges; struct gnode *next; };
+struct edge { struct gnode *to; float coeff; struct edge *next; };
+int seed;
+
+int nextv() {
+  seed = seed * 1103515245 + 12345;
+  int v = seed;
+  if (v < 0) v = -v;
+  return v;
+}
+
+struct gnode *build_side(int n) {
+  struct gnode *head = NULL;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    struct gnode *g = (struct gnode*)malloc(sizeof(struct gnode));
+    g->value = nextv() % 1000;
+    g->edges = NULL;
+    g->next = head;
+    head = g;
+  }
+  return head;
+}
+
+struct gnode *pick(struct gnode *side, int k) {
+  struct gnode *g = side;
+  int i;
+  int steps = k % 6;
+  for (i = 0; i < steps; i = i + 1) {
+    if (g->next == NULL) return side;
+    g = g->next;
+  }
+  return g;
+}
+
+void connect(struct gnode *from, struct gnode *toside, int n) {
+  struct gnode *g = from;
+  while (g != NULL) {
+    int d;
+    for (d = 0; d < 4; d = d + 1) {
+      struct edge *e = (struct edge*)malloc(sizeof(struct edge));
+      e->to = pick(toside, nextv() % n);
+      e->coeff = (nextv() % 100) / 100.0;
+      e->next = g->edges;
+      g->edges = e;
+    }
+    g = g->next;
+  }
+}
+
+void relax(struct gnode *side) {
+  struct gnode *g = side;
+  while (g != NULL) {
+    float sum = 0.0;
+    struct edge *e = g->edges;
+    while (e != NULL) {
+      sum = sum + e->coeff * e->to->value;
+      e = e->next;
+    }
+    g->value = g->value - sum / 2.0;
+    g = g->next;
+  }
+}
+
+void main() {
+  seed = 3;
+  int n = 280;
+  struct gnode *enodes = build_side(n);
+  struct gnode *hnodes = build_side(n);
+  connect(enodes, hnodes, n);
+  connect(hnodes, enodes, n);
+  int iter;
+  for (iter = 0; iter < 2; iter = iter + 1) {
+    relax(enodes);
+    relax(hnodes);
+  }
+  int check = 0;
+  struct gnode *g = enodes;
+  while (g != NULL) { check = check + (int)g->value % 10; g = g->next; }
+  print_int(check);
+}
+`
+
+// HealthSrc is Olden's Columbian health-care simulation: a hospital tree
+// where every timestep admits (allocates) and discharges (frees) patients —
+// continuous churn, the worst case for per-allocation syscalls.
+const HealthSrc = `
+// health: hospital simulation with continuous patient churn.
+struct patient { int id; int time; int hosps; struct patient *next; };
+struct village {
+  int id;
+  struct patient *waiting;
+  struct village *child0;
+  struct village *child1;
+  struct village *child2;
+  struct village *child3;
+};
+int seed;
+int treated;
+
+int nextv() {
+  seed = seed * 1103515245 + 12345;
+  int v = seed;
+  if (v < 0) v = -v;
+  return v;
+}
+
+struct village *build(int level, int id) {
+  struct village *v = (struct village*)malloc(sizeof(struct village));
+  v->id = id;
+  v->waiting = NULL;
+  if (level == 0) {
+    v->child0 = NULL; v->child1 = NULL; v->child2 = NULL; v->child3 = NULL;
+    return v;
+  }
+  v->child0 = build(level - 1, id * 4 + 1);
+  v->child1 = build(level - 1, id * 4 + 2);
+  v->child2 = build(level - 1, id * 4 + 3);
+  v->child3 = build(level - 1, id * 4 + 4);
+  return v;
+}
+
+void step(struct village *v, int t) {
+  if (v == NULL) return;
+  // Admit patients at a high rate (the original simulates thousands of
+  // villages; churn is the point).
+  if (nextv() % 3 != 0) {
+    struct patient *p = (struct patient*)malloc(sizeof(struct patient));
+    p->id = nextv();
+    p->time = t;
+    p->hosps = 0;
+    p->next = v->waiting;
+    v->waiting = p;
+  }
+  // Treat the waiting list; discharge (free) the recovered.
+  struct patient *prev = NULL;
+  struct patient *p = v->waiting;
+  while (p != NULL) {
+    struct patient *next = p->next;
+    p->hosps = p->hosps + 1;
+    if (p->hosps >= 2 + p->id % 3) {
+      if (prev == NULL) v->waiting = next; else prev->next = next;
+      treated = treated + 1;
+      free(p);
+    } else {
+      prev = p;
+    }
+    p = next;
+  }
+  step(v->child0, t);
+  step(v->child1, t);
+  step(v->child2, t);
+  step(v->child3, t);
+}
+
+void main() {
+  seed = 13;
+  struct village *top = build(3, 0);
+  int t;
+  for (t = 0; t < 30; t = t + 1) step(top, t);
+  print_int(treated);
+}
+`
+
+// MstSrc is Olden's minimum spanning tree: per-vertex hash-table adjacency
+// (an allocation per hash entry), then Prim's algorithm.
+const MstSrc = `
+// mst: hash-table graph + Prim's algorithm.
+struct hashent { int key; int weight; struct hashent *next; };
+struct vertex { int id; int mindist; int inTree; struct hashent *adj[8]; };
+int seed;
+
+int nextv() {
+  seed = seed * 1103515245 + 12345;
+  int v = seed;
+  if (v < 0) v = -v;
+  return v;
+}
+
+void addedge(struct vertex *vs, int n, int from, int to, int w) {
+  struct vertex *v = vs + from;
+  int b = to % 8;
+  struct hashent *e = (struct hashent*)malloc(sizeof(struct hashent));
+  e->key = to;
+  e->weight = w;
+  e->next = v->adj[b];
+  v->adj[b] = e;
+}
+
+int lookup(struct vertex *vs, int from, int to) {
+  struct hashent *e = (vs + from)->adj[to % 8];
+  while (e != NULL) {
+    if (e->key == to) return e->weight;
+    e = e->next;
+  }
+  return 1000000;
+}
+
+void main() {
+  seed = 5;
+  int n = 64;
+  struct vertex *vs = (struct vertex*)malloc(n * sizeof(struct vertex));
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    (vs + i)->id = i;
+    (vs + i)->mindist = 1000000;
+    (vs + i)->inTree = 0;
+    int b;
+    for (b = 0; b < 8; b = b + 1) (vs + i)->adj[b] = NULL;
+  }
+  // Each vertex gets 4 edges (hash entries are the allocation load).
+  for (i = 0; i < n; i = i + 1) {
+    int d;
+    for (d = 1; d <= 28; d = d + 1) {
+      int to = (i + d * 7) % n;
+      int w = 1 + nextv() % 64;
+      addedge(vs, n, i, to, w);
+      addedge(vs, n, to, i, w);
+    }
+  }
+
+  // Prim from vertex 0.
+  (vs + 0)->mindist = 0;
+  int total = 0;
+  int round;
+  for (round = 0; round < n; round = round + 1) {
+    int best = -1;
+    for (i = 0; i < n; i = i + 1) {
+      if ((vs + i)->inTree == 0) {
+        if (best < 0 || (vs + i)->mindist < (vs + best)->mindist) best = i;
+      }
+    }
+    (vs + best)->inTree = 1;
+    if ((vs + best)->mindist < 1000000) total = total + (vs + best)->mindist;
+    for (i = 0; i < n; i = i + 1) {
+      if ((vs + i)->inTree == 0) {
+        int w = lookup(vs, best, i);
+        if (w < (vs + i)->mindist) (vs + i)->mindist = w;
+      }
+    }
+  }
+  print_int(total);
+}
+`
+
+// PerimeterSrc is Olden's perimeter: build a quadtree for a random image
+// region, then compute its perimeter — the tree build dominates.
+const PerimeterSrc = `
+// perimeter: quadtree build + perimeter walk.
+struct quad {
+  int color; // 0 white, 1 black, 2 grey
+  int level;
+  struct quad *nw; struct quad *ne; struct quad *sw; struct quad *se;
+};
+int seed;
+
+int nextv() {
+  seed = seed * 1103515245 + 12345;
+  int v = seed;
+  if (v < 0) v = -v;
+  return v;
+}
+
+struct quad *build(int level) {
+  struct quad *q = (struct quad*)malloc(sizeof(struct quad));
+  q->level = level;
+  if (level == 0) {
+    q->color = nextv() % 2;
+    q->nw = NULL; q->ne = NULL; q->sw = NULL; q->se = NULL;
+    return q;
+  }
+  // Interior nodes are grey unless all children agree.
+  q->nw = build(level - 1);
+  q->ne = build(level - 1);
+  q->sw = build(level - 1);
+  q->se = build(level - 1);
+  if (q->nw->color == q->ne->color && q->ne->color == q->sw->color
+      && q->sw->color == q->se->color && q->nw->color != 2) {
+    q->color = q->nw->color;
+  } else {
+    q->color = 2;
+  }
+  return q;
+}
+
+int contribution(struct quad *q) {
+  if (q == NULL) return 0;
+  if (q->color == 1) {
+    // Side length 2^level; count exposed edges heuristically.
+    int side = 1 << q->level;
+    return 4 * side;
+  }
+  if (q->color == 0) return 0;
+  return contribution(q->nw) + contribution(q->ne)
+       + contribution(q->sw) + contribution(q->se);
+}
+
+void main() {
+  seed = 21;
+  struct quad *root = build(5);
+  int p = 0;
+  int pass;
+  for (pass = 0; pass < 2; pass = pass + 1) {
+    p = p + contribution(root);
+  }
+  print_int(p);
+}
+`
+
+// BHSrc is Olden's Barnes-Hut: an octree (modeled as a 4-ary tree) is
+// rebuilt each timestep, but the O(n^2-ish) force computation dominates —
+// one of the three cheap-under-detection Olden programs.
+const BHSrc = `
+// bh: Barnes-Hut n-body. Compute-dominated.
+struct body { float x; float y; float mass; float fx; float fy; };
+int seed;
+
+int nextv() {
+  seed = seed * 1103515245 + 12345;
+  int v = seed;
+  if (v < 0) v = -v;
+  return v;
+}
+
+void main() {
+  seed = 11;
+  int n = 28;
+  struct body *bodies = (struct body*)malloc(n * sizeof(struct body));
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    (bodies + i)->x = nextv() % 1000;
+    (bodies + i)->y = nextv() % 1000;
+    (bodies + i)->mass = 1 + nextv() % 9;
+  }
+
+  int step;
+  for (step = 0; step < 10; step = step + 1) {
+    // Tree build phase: allocate the cells of this step's tree.
+    struct body *cells = (struct body*)malloc(n * sizeof(struct body));
+    int c;
+    for (c = 0; c < n; c = c + 1) {
+      (cells + c)->x = ((bodies + c)->x + (bodies + (c + 1) % n)->x) / 2.0;
+      (cells + c)->y = ((bodies + c)->y + (bodies + (c + 1) % n)->y) / 2.0;
+      (cells + c)->mass = (bodies + c)->mass + (bodies + (c + 1) % n)->mass;
+    }
+
+    // Force phase: pairwise interactions with per-pair float work.
+    for (i = 0; i < n; i = i + 1) {
+      float fx = 0.0;
+      float fy = 0.0;
+      float xi = (bodies + i)->x;
+      float yi = (bodies + i)->y;
+      int j;
+      for (j = 0; j < n; j = j + 1) {
+        if (j != i) {
+          float dx = (bodies + j)->x - xi;
+          float dy = (bodies + j)->y - yi;
+          float d2 = dx * dx + dy * dy + 0.5;
+          float inv = 1.0 / d2;
+          float inv3 = inv * inv * inv;
+          float s = (bodies + j)->mass * sqrt(inv3);
+          fx = fx + dx * s;
+          fy = fy + dy * s;
+        }
+      }
+      (bodies + i)->fx = fx;
+      (bodies + i)->fy = fy;
+    }
+    // Advance.
+    for (i = 0; i < n; i = i + 1) {
+      (bodies + i)->x = (bodies + i)->x + (bodies + i)->fx * 0.01;
+      (bodies + i)->y = (bodies + i)->y + (bodies + i)->fy * 0.01;
+    }
+    free(cells);
+  }
+
+  int check = 0;
+  for (i = 0; i < n; i = i + 1) check = check + (int)(bodies + i)->x % 7;
+  print_int(check);
+}
+`
+
+// PowerSrc is Olden's power-system optimization: a small feeder tree walked
+// many times with heavy per-node floating-point work — compute-dominated.
+const PowerSrc = `
+// power: power pricing over a feeder tree. Compute-dominated.
+struct branch { float current; float voltage; struct branch *next; };
+struct lateral { struct branch *branches; struct lateral *next; };
+
+struct lateral *build(int nlat, int nbr) {
+  struct lateral *lats = NULL;
+  int i;
+  for (i = 0; i < nlat; i = i + 1) {
+    struct lateral *l = (struct lateral*)malloc(sizeof(struct lateral));
+    l->branches = NULL;
+    int j;
+    for (j = 0; j < nbr; j = j + 1) {
+      struct branch *b = (struct branch*)malloc(sizeof(struct branch));
+      b->current = 1.0 + j;
+      b->voltage = 100.0;
+      b->next = l->branches;
+      l->branches = b;
+    }
+    l->next = lats;
+    lats = l;
+  }
+  return lats;
+}
+
+float optimize(struct lateral *lats, float price) {
+  float demand = 0.0;
+  struct lateral *l = lats;
+  while (l != NULL) {
+    struct branch *b = l->branches;
+    while (b != NULL) {
+      // Newton step on the branch's demand given the price.
+      float d = b->current;
+      int it;
+      for (it = 0; it < 12; it = it + 1) {
+        float grad = 1.0 / (d + 0.1) - price;
+        float hess = -1.0 / ((d + 0.1) * (d + 0.1));
+        d = d - grad / hess;
+        if (d < 0.01) d = 0.01;
+      }
+      b->current = d;
+      b->voltage = 100.0 - d * price;
+      demand = demand + d;
+      b = b->next;
+    }
+    l = l->next;
+  }
+  return demand;
+}
+
+void main() {
+  struct lateral *lats = build(6, 6);
+  float price = 0.5;
+  int iter;
+  float demand = 0.0;
+  for (iter = 0; iter < 24; iter = iter + 1) {
+    demand = optimize(lats, price);
+    // Adjust the price toward target demand.
+    if (demand > 60.0) price = price * 1.05;
+    else price = price * 0.97;
+  }
+  print_int((int)demand);
+  print_int((int)(price * 1000.0));
+}
+`
+
+// TspSrc is Olden's traveling-salesman: build a tree of cities, then merge
+// closest-point subtours — float-compute heavy relative to allocation.
+const TspSrc = `
+// tsp: closest-point tour construction. Compute-dominated.
+struct city { float x; float y; int visited; };
+int seed;
+
+int nextv() {
+  seed = seed * 1103515245 + 12345;
+  int v = seed;
+  if (v < 0) v = -v;
+  return v;
+}
+
+void main() {
+  seed = 17;
+  int n = 40;
+  struct city *cities = (struct city*)malloc(n * sizeof(struct city));
+  int *tour = (int*)malloc(n * sizeof(int));
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    (cities + i)->x = nextv() % 10000;
+    (cities + i)->y = nextv() % 10000;
+    (cities + i)->visited = 0;
+  }
+
+  // Greedy nearest-neighbour tour, repeated from several starts.
+  float best = 0.0;
+  int start;
+  for (start = 0; start < 8; start = start + 1) {
+    for (i = 0; i < n; i = i + 1) (cities + i)->visited = 0;
+    int cur = start % n;
+    (cities + cur)->visited = 1;
+    tour[0] = cur;
+    float total = 0.0;
+    int step;
+    for (step = 1; step < n; step = step + 1) {
+      float bestd = 1000000000.0;
+      int bestj = -1;
+      int j;
+      for (j = 0; j < n; j = j + 1) {
+        if ((cities + j)->visited == 0) {
+          float dx = (cities + j)->x - (cities + cur)->x;
+          float dy = (cities + j)->y - (cities + cur)->y;
+          float d = dx * dx + dy * dy;
+          if (d < bestd) { bestd = d; bestj = j; }
+        }
+      }
+      total = total + sqrt(bestd);
+      cur = bestj;
+      (cities + cur)->visited = 1;
+      tour[step] = cur;
+    }
+    if (best == 0.0 || total < best) best = total;
+  }
+  print_int((int)best);
+  free(tour);
+  free(cities);
+}
+`

@@ -1,0 +1,306 @@
+package workload
+
+// The five daemons of Table 1 (bottom half) and the §4.3 address-space
+// study. Each source is ONE connection's work; the harness forks a fresh
+// process per connection against the shared machine, matching the paper's
+// observation that all five servers fork a process per connection (tftpd:
+// per command).
+//
+// The §4.3 allocation profiles are modeled directly:
+//
+//   - ghttpd performs exactly one dynamic allocation per connection;
+//   - ftpd performs 5-6 allocations per command out of global pools, plus
+//     fb_realpath's create/use/destroy local pool;
+//   - telnetd performs 45 small allocations up front, then none while the
+//     "shell" runs.
+
+// GhttpdSrc is a connection of a minimal web server: read the request,
+// parse the request line, look the path up in the vhost table, and stream
+// the file.
+const GhttpdSrc = `
+// ghttpd: one allocation per connection (the request/response buffer).
+int seed;
+int filetable[32];
+
+int nextch() {
+  seed = seed * 1103515245 + 12345;
+  int v = seed;
+  if (v < 0) v = -v;
+  return v;
+}
+
+void main() {
+  seed = 2024;
+  int i;
+  for (i = 0; i < 32; i = i + 1) filetable[i] = nextch() % 8192;
+
+  // The single allocation: the connection buffer.
+  char *buf = malloc(4096);
+
+  // "Read" the request.
+  int reqlen = 180;
+  for (i = 0; i < reqlen; i = i + 1) buf[i] = (char)(65 + nextch() % 26);
+
+  // Parse the request line (method, path, version).
+  int sp = 0;
+  int hash = 0;
+  for (i = 0; i < reqlen; i = i + 1) {
+    if (buf[i] == 'G') sp = sp + 1;
+    hash = hash * 31 + buf[i];
+  }
+  if (hash < 0) hash = -hash;
+
+  // Route to a file and stream it in 512-byte chunks.
+  int file = hash % 32;
+  int length = filetable[file] + 4096;
+  int sent = 0;
+  while (sent < length) {
+    int chunk = 512;
+    if (length - sent < 512) chunk = length - sent;
+    // Fill the buffer from the "file" and push it to the socket.
+    int b;
+    for (b = 0; b < chunk; b = b + 1) {
+      buf[512 + b % 512] = (char)((sent + b) % 251);
+    }
+    sent = sent + chunk;
+  }
+  print_int(sent);
+  free(buf);
+}
+`
+
+// FtpdSrc is one FTP session: login, then a few commands. Command state
+// lives in session-global structures (global pools under APA); fb_realpath
+// allocates, canonicalizes, and frees inside its own function — the §4.3
+// example of pool allocation enabling address-space reuse.
+const FtpdSrc = `
+// ftpd: 5-6 global-pool allocations per command + fb_realpath local pool.
+struct cmd { char *verb; char *arg; char *reply; struct cmd *next; };
+struct cmd *history;
+int seed;
+
+int nextch() {
+  seed = seed * 1103515245 + 12345;
+  int v = seed;
+  if (v < 0) v = -v;
+  return v;
+}
+
+// fb_realpath resolves symlinks: it creates a pool (under APA), allocates
+// scratch paths, computes, frees, and returns — all its pages are reusable
+// after return.
+int fb_realpath(int pathhash) {
+  char *resolved = malloc(256);
+  char *component = malloc(64);
+  int i;
+  int links = 0;
+  for (i = 0; i < 256; i = i + 1) {
+    resolved[i] = (char)(47 + (pathhash + i) % 64);
+    if (resolved[i] == 47) links = links + 1;
+  }
+  for (i = 0; i < 64; i = i + 1) component[i] = resolved[i * 4];
+  int h = 0;
+  for (i = 0; i < 64; i = i + 1) h = h * 31 + component[i];
+  free(component);
+  free(resolved);
+  if (h < 0) h = -h;
+  return h + links;
+}
+
+// do_command allocates the per-command records (these hang off the global
+// history list, so APA places them in global pools).
+int do_command(int n) {
+  struct cmd *c = (struct cmd*)malloc(sizeof(struct cmd));
+  c->verb = malloc(16);
+  c->arg = malloc(128);
+  c->reply = malloc(256);
+  char *scratch = malloc(64);
+
+  int i;
+  for (i = 0; i < 16; i = i + 1) c->verb[i] = (char)(65 + (n + i) % 26);
+  for (i = 0; i < 128; i = i + 1) c->arg[i] = (char)(97 + nextch() % 26);
+  for (i = 0; i < 64; i = i + 1) scratch[i] = c->arg[i * 2];
+
+  int path = fb_realpath(n * 31 + c->arg[0]);
+
+  for (i = 0; i < 256; i = i + 1) c->reply[i] = (char)(32 + (path + i) % 90);
+  c->next = history;
+  history = c;
+  free(scratch);
+  return path % 1000;
+}
+
+void main() {
+  seed = 555;
+  int total = 0;
+  int cmd;
+  // Login + LIST + CWD + RETR.
+  for (cmd = 0; cmd < 4; cmd = cmd + 1) {
+    total = total + do_command(cmd);
+  }
+  // RETR: stream a file in 8-byte words.
+  char *xfer = malloc(1024);
+  int sent = 0;
+  int block;
+  for (block = 0; block < 96; block = block + 1) {
+    int b;
+    for (b = 0; b < 1024; b = b + 1) {
+      xfer[b] = (char)((block + b) % 253);
+    }
+    sent = sent + 1024;
+  }
+  free(xfer);
+  print_int(total + sent);
+}
+`
+
+// FingerdSrc is one finger request: build the passwd image, parse the
+// target user, search, and format the plan.
+const FingerdSrc = `
+// fingerd: user lookup; a couple of allocations per request.
+int seed;
+
+int nextch() {
+  seed = seed * 1103515245 + 12345;
+  int v = seed;
+  if (v < 0) v = -v;
+  return v;
+}
+
+void main() {
+  seed = 31337;
+  // Read the passwd "file" into one buffer: 48 users x 96 bytes.
+  int users = 48;
+  int rec = 96;
+  char *passwd = malloc(users * rec);
+  int i;
+  for (i = 0; i < users * rec; i = i + 1) {
+    passwd[i] = (char)(97 + nextch() % 26);
+  }
+
+  // Read the request (the username).
+  char *request = malloc(64);
+  for (i = 0; i < 8; i = i + 1) request[i] = passwd[17 * rec + i];
+  request[8] = 0;
+
+  // Linear search for the user.
+  int found = -1;
+  int u;
+  for (u = 0; u < users; u = u + 1) {
+    int match = 1;
+    for (i = 0; i < 8; i = i + 1) {
+      if (passwd[u * rec + i] != request[i]) match = 0;
+    }
+    if (match == 1 && found < 0) found = u;
+  }
+
+  // Format the reply (plan, last login, shell).
+  char *reply = malloc(1024);
+  int o = 0;
+  for (i = 0; i < 1024; i = i + 1) {
+    reply[i] = passwd[((found + 1) * rec + i * 7) % (users * rec)];
+    o = o + reply[i];
+  }
+  print_int(found);
+  print_int(o % 10000);
+  free(reply);
+  free(request);
+  free(passwd);
+}
+`
+
+// TftpdSrc is one TFTP get command (tftpd forks per command, §4.3): parse
+// the filename, then send the file in 512-byte blocks with per-block
+// checksumming.
+const TftpdSrc = `
+// tftpd: block-at-a-time transfer; a few allocations per command.
+int seed;
+
+int nextch() {
+  seed = seed * 1103515245 + 12345;
+  int v = seed;
+  if (v < 0) v = -v;
+  return v;
+}
+
+void main() {
+  seed = 808;
+  char *request = malloc(128);
+  int i;
+  for (i = 0; i < 128; i = i + 1) request[i] = (char)(97 + nextch() % 26);
+
+  int filehash = 0;
+  for (i = 0; i < 32; i = i + 1) filehash = filehash * 31 + request[i];
+  if (filehash < 0) filehash = -filehash;
+
+  char *file = malloc(20480);
+  for (i = 0; i < 20480; i = i + 1) file[i] = (char)((filehash + i) % 249);
+
+  char *block = malloc(512);
+  int acked = 0;
+  int off = 0;
+  while (off < 20480) {
+    int b;
+    int sum = 0;
+    for (b = 0; b < 512; b = b + 1) {
+      block[b] = file[off + b];
+      sum = sum + block[b];
+    }
+    acked = acked + 1;
+    off = off + 512;
+  }
+  print_int(acked);
+  free(block);
+  free(file);
+  free(request);
+}
+`
+
+// TelnetdSrc is one telnet session: 45 small allocations during option
+// negotiation and terminal setup, then a long shell phase with none (§4.3:
+// "45 small allocations ... It does not do any more (de)allocations and
+// just waits for the session to end").
+const TelnetdSrc = `
+// telnetd: 45 allocations up front, zero during the shell phase.
+struct opt { int kind; int state; char *buf; struct opt *next; };
+struct opt *opts;
+int seed;
+
+int nextch() {
+  seed = seed * 1103515245 + 12345;
+  int v = seed;
+  if (v < 0) v = -v;
+  return v;
+}
+
+void main() {
+  seed = 23;
+  // Option negotiation: 15 option records, each with two buffers = 45
+  // allocations total.
+  int i;
+  for (i = 0; i < 15; i = i + 1) {
+    struct opt *o = (struct opt*)malloc(sizeof(struct opt));
+    o->kind = i;
+    o->state = nextch() % 3;
+    o->buf = malloc(32);
+    char *ack = malloc(16);
+    int j;
+    for (j = 0; j < 32; j = j + 1) o->buf[j] = (char)(j + i);
+    for (j = 0; j < 16; j = j + 1) ack[j] = o->buf[j * 2];
+    o->next = opts;
+    opts = o;
+    free(ack);
+  }
+
+  // Shell phase: echo processing over the session's keystrokes, no
+  // allocation at all.
+  int processed = 0;
+  int chars = 60000;
+  int state = 7;
+  for (i = 0; i < chars; i = i + 1) {
+    state = (state * 31 + i) % 4093;
+    if (state % 17 != 0) processed = processed + 1;
+  }
+  print_int(processed);
+}
+`

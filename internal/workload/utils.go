@@ -1,0 +1,285 @@
+package workload
+
+// The four Unix utilities of Table 1 (top half) and Table 2. Each models the
+// original's allocation profile:
+//
+//   - enscript: per-line buffer churn (the paper's worst utility at ~15%,
+//     split ≈6% syscalls / ≈9% TLB; it OOMs under Electric Fence);
+//   - jwhois: a handful of allocations around one query;
+//   - patch: whole-file buffers, almost no per-hunk allocation;
+//   - gzip: fixed buffers allocated once, then pure computation.
+
+// EnscriptSrc converts "text" (generated deterministically) to a
+// PostScript-like output: for every input line it allocates a line buffer
+// and an output chunk, walks each character through a kerning table, writes
+// escaped output, and frees both buffers. High allocation rate against
+// moderate per-line compute.
+const EnscriptSrc = `
+// enscript: text to PostScript. Allocation-heavy utility workload.
+int kern[256];
+int seed;
+
+int nextch() {
+  seed = seed * 1103515245 + 12345;
+  int v = seed;
+  if (v < 0) v = -v;
+  if (v % 14 == 0) return ' '; // word boundaries
+  return 33 + v % 89;
+}
+
+void init_fonts() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) {
+    kern[i] = (i * 7) % 13 - 6;
+  }
+}
+
+// width computes the advance of ch after prev by scanning the ligature
+// candidates, enscript's inner loop.
+int width(int prev, int ch) {
+  int w = 10 + kern[ch % 256];
+  int k;
+  for (k = 0; k < 24; k = k + 1) {
+    int lig = (prev * 31 + ch + k) % 256;
+    if (kern[lig] > 5) w = w + 1;
+    if (kern[lig] < -5) w = w - 1;
+  }
+  return w;
+}
+
+int do_line(int len) {
+  char *line = malloc(len + 1);
+  char *out = malloc(2 * len + 16);
+  int i;
+  for (i = 0; i < len; i = i + 1) line[i] = (char)nextch();
+  line[len] = 0;
+
+  int prev = 0;
+  int total = 0;
+  int o = 0;
+  int w = 0;
+  for (i = 0; i < len; i = i + 1) {
+    int ch = line[i];
+    total = total + width(prev, ch);
+    if (ch == ' ') {
+      // Word boundary: enscript builds a token per word.
+      char *word = malloc(w + 1);
+      int k;
+      for (k = 0; k < w; k = k + 1) word[k] = line[i - w + k];
+      word[w] = 0;
+      total = total + word[0];
+      free(word);
+      w = 0;
+    } else {
+      w = w + 1;
+    }
+    if (ch == '(' || ch == ')' || ch == 92) {
+      out[o] = 92; o = o + 1;
+    }
+    out[o] = (char)ch;
+    o = o + 1;
+    prev = ch;
+  }
+  out[o] = 0;
+  free(line);
+  free(out);
+  return total;
+}
+
+void main() {
+  init_fonts();
+  seed = 12345;
+  int line;
+  int checksum = 0;
+  for (line = 0; line < 170; line = line + 1) {
+    checksum = checksum + do_line(60 + line % 17);
+  }
+  print_int(checksum);
+}
+`
+
+// JwhoisSrc models a whois lookup: parse a generated config into one
+// buffer, pick a server, issue a "query", and scan the 4 KB response three
+// times (redirect detection, key extraction, display). Very few
+// allocations.
+const JwhoisSrc = `
+// jwhois: whois client. Allocation-light utility workload.
+int seed;
+
+int nextch() {
+  seed = seed * 1103515245 + 12345;
+  int v = seed;
+  if (v < 0) v = -v;
+  return 97 + v % 26;
+}
+
+char *gen(int n) {
+  char *buf = malloc(n + 1);
+  int i;
+  for (i = 0; i < n; i = i + 1) buf[i] = (char)nextch();
+  buf[n] = 0;
+  return buf;
+}
+
+// scan counts pattern-ish matches, jwhois's response processing.
+int scan(char *buf, int n, int key) {
+  int i;
+  int hits = 0;
+  for (i = 0; i + 2 < n; i = i + 1) {
+    int h = buf[i] * 31 + buf[i + 1] * 7 + buf[i + 2];
+    if (h % 97 == key) hits = hits + 1;
+  }
+  return hits;
+}
+
+void main() {
+  seed = 777;
+  char *config = gen(2048);
+  int server = scan(config, 2048, 13) % 4;
+
+  char *query = gen(64);
+  char *response = gen(4096);
+
+  int redirects = scan(response, 4096, 17);
+  int keys = scan(response, 4096, 29);
+  int shown = scan(response, 4096, 41);
+
+  print_int(server + redirects + keys + shown);
+  free(response);
+  free(query);
+  free(config);
+}
+`
+
+// PatchSrc models patch(1): load a file image into one buffer with a line
+// index, locate and apply 24 hunks by context matching, and emit the result.
+// Allocation happens at file granularity, not hunk granularity.
+const PatchSrc = `
+// patch: apply a diff. File-granularity allocation.
+int seed;
+
+int nextch() {
+  seed = seed * 1103515245 + 12345;
+  int v = seed;
+  if (v < 0) v = -v;
+  return 32 + v % 90;
+}
+
+void main() {
+  seed = 4242;
+  int lines = 320;
+  int width = 64;
+  int size = lines * width;
+
+  char *file = malloc(size);
+  int *index = (int*)malloc(lines * sizeof(int));
+  int i;
+  for (i = 0; i < size; i = i + 1) file[i] = (char)nextch();
+  for (i = 0; i < lines; i = i + 1) index[i] = i * width;
+
+  char *out = malloc(size);
+  int applied = 0;
+  int hunk;
+  for (hunk = 0; hunk < 24; hunk = hunk + 1) {
+    // Locate the hunk by scanning for the best context match.
+    int target = (hunk * 37) % lines;
+    int bestline = 0;
+    int bestscore = -1;
+    int ln;
+    for (ln = 0; ln < lines; ln = ln + 1) {
+      int score = 0;
+      int c;
+      for (c = 0; c < 12; c = c + 1) {
+        if (file[index[ln] + c] == file[index[target] + c]) score = score + 1;
+      }
+      if (score > bestscore) { bestscore = score; bestline = ln; }
+    }
+    // Apply: rewrite the matched line in place.
+    int c;
+    for (c = 0; c < width; c = c + 1) {
+      file[index[bestline] + c] = (char)(file[index[bestline] + c] ^ 1);
+    }
+    applied = applied + 1;
+  }
+
+  // Emit the patched file.
+  int checksum = 0;
+  for (i = 0; i < size; i = i + 1) {
+    out[i] = file[i];
+    checksum = checksum + out[i];
+  }
+  print_int(applied);
+  print_int(checksum % 100000);
+  free(out);
+  free(index);
+  free(file);
+}
+`
+
+// GzipSrc models deflate's inner loop: fixed input/window/hash buffers
+// allocated once, then hash-chain match searching over the whole input.
+// Essentially zero allocation rate — the configuration where the paper sees
+// PA sometimes *speed programs up* via locality.
+const GzipSrc = `
+// gzip: LZ77 compression over fixed buffers. Compute-bound.
+int seed;
+
+int nextch() {
+  seed = seed * 1103515245 + 12345;
+  int v = seed;
+  if (v < 0) v = -v;
+  // Skewed distribution so matches exist.
+  return 97 + v % 8;
+}
+
+void main() {
+  seed = 99;
+  int n = 24576;
+  char *input = malloc(n);
+  int *head = (int*)malloc(4096 * sizeof(int));
+  int *prev = (int*)malloc(n * sizeof(int));
+  char *out = malloc(n);
+
+  int i;
+  for (i = 0; i < n; i = i + 1) input[i] = (char)nextch();
+  for (i = 0; i < 4096; i = i + 1) head[i] = -1;
+
+  int pos = 0;
+  int emitted = 0;
+  int matched = 0;
+  while (pos + 3 < n) {
+    int h = (input[pos] * 331 + input[pos + 1] * 31 + input[pos + 2]) % 4096;
+    if (h < 0) h = h + 4096;
+    int cand = head[h];
+    int bestlen = 0;
+    int chain = 0;
+    while (cand >= 0 && chain < 8) {
+      int len = 0;
+      while (pos + len < n && len < 32 && input[cand + len] == input[pos + len]) {
+        len = len + 1;
+      }
+      if (len > bestlen) bestlen = len;
+      cand = prev[cand];
+      chain = chain + 1;
+    }
+    prev[pos] = head[h];
+    head[h] = pos;
+    if (bestlen >= 4) {
+      matched = matched + bestlen;
+      out[emitted] = (char)bestlen;
+      emitted = emitted + 1;
+      pos = pos + bestlen;
+    } else {
+      out[emitted] = input[pos];
+      emitted = emitted + 1;
+      pos = pos + 1;
+    }
+  }
+  print_int(emitted);
+  print_int(matched);
+  free(out);
+  free(prev);
+  free(head);
+  free(input);
+}
+`

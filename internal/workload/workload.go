@@ -1,0 +1,143 @@
+// Package workload defines the evaluation programs from the paper's §4,
+// rewritten in mini-C: four Unix utilities, five daemons (fork-per-
+// connection), the nine Olden benchmarks, and the running example of
+// Figures 1/2.
+//
+// The rewrites are models, not ports: each reproduces the original's
+// *allocation and access profile* — allocation frequency, object sizes,
+// live-set shape, pool lifetimes, and the fork-per-connection structure —
+// which is what the paper's overheads are a function of. Problem sizes are
+// scaled so a run takes well under a second on the simulator while keeping
+// the cost ratios (which are scale-invariant, being dominated by the
+// alloc:work proportion) in the paper's regime.
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Category groups workloads the way the paper's tables do.
+type Category int
+
+// Categories.
+const (
+	// Utility is a batch Unix utility (Table 1 top half, Table 2).
+	Utility Category = iota + 1
+	// Server is a fork-per-connection daemon (Table 1 bottom half,
+	// §4.3).
+	Server
+	// Olden is an allocation-intensive benchmark (Table 3).
+	Olden
+	// Example is the paper's running example (Figures 1/2).
+	Example
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case Utility:
+		return "utility"
+	case Server:
+		return "server"
+	case Olden:
+		return "olden"
+	case Example:
+		return "example"
+	default:
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+}
+
+// Workload is one evaluation program.
+type Workload struct {
+	Name        string
+	Category    Category
+	Description string
+	// Source is the mini-C program. For servers it is the work of ONE
+	// connection; the harness forks a fresh process per connection.
+	Source string
+	// Connections is how many connections the harness simulates for a
+	// server workload (0 for batch programs).
+	Connections int
+}
+
+// All returns every workload, ordered as in the paper's tables.
+func All() []Workload {
+	return []Workload{
+		// Table 1, utilities.
+		{Name: "enscript", Category: Utility, Source: EnscriptSrc,
+			Description: "text-to-PostScript conversion; the most allocation-heavy utility (per-line buffers)"},
+		{Name: "jwhois", Category: Utility, Source: JwhoisSrc,
+			Description: "whois client: config parse, one query, response formatting"},
+		{Name: "patch", Category: Utility, Source: PatchSrc,
+			Description: "apply a unified diff to a line-array file image"},
+		{Name: "gzip", Category: Utility, Source: GzipSrc,
+			Description: "LZ77-style compression over fixed buffers; allocation-light, compute-heavy"},
+		// Table 1, servers.
+		{Name: "ghttpd", Category: Server, Source: GhttpdSrc, Connections: 24,
+			Description: "tiny web server: one allocation per connection (§4.3: zero VA wastage)"},
+		{Name: "ftpd", Category: Server, Source: FtpdSrc, Connections: 12,
+			Description: "FTP session: 5-6 global-pool allocations per command plus fb_realpath's local pool (§4.3)"},
+		{Name: "fingerd", Category: Server, Source: FingerdSrc, Connections: 24,
+			Description: "finger daemon: user lookup and plan formatting"},
+		{Name: "tftpd", Category: Server, Source: TftpdSrc, Connections: 16,
+			Description: "TFTP get: block-at-a-time file transfer, fork per command"},
+		{Name: "telnetd", Category: Server, Source: TelnetdSrc, Connections: 8,
+			Description: "telnet session: 45 small allocations, then a long shell phase with none (§4.3)"},
+		// Table 3, Olden.
+		{Name: "bh", Category: Olden, Source: BHSrc,
+			Description: "Barnes-Hut n-body force computation (compute-dominated)"},
+		{Name: "bisort", Category: Olden, Source: BisortSrc,
+			Description: "bitonic sort over a freshly built binary tree"},
+		{Name: "em3d", Category: Olden, Source: Em3dSrc,
+			Description: "electromagnetic wave propagation on a bipartite graph"},
+		{Name: "health", Category: Olden, Source: HealthSrc,
+			Description: "hospital simulation with continuous patient alloc/free churn"},
+		{Name: "mst", Category: Olden, Source: MstSrc,
+			Description: "minimum spanning tree over per-vertex hash-table adjacency"},
+		{Name: "perimeter", Category: Olden, Source: PerimeterSrc,
+			Description: "perimeter of a region in a freshly built quadtree"},
+		{Name: "power", Category: Olden, Source: PowerSrc,
+			Description: "power-system pricing over a small feeder tree (compute-dominated)"},
+		{Name: "treeadd", Category: Olden, Source: TreeaddSrc,
+			Description: "sum over a freshly allocated binary tree (allocation-dominated)"},
+		{Name: "tsp", Category: Olden, Source: TspSrc,
+			Description: "closest-point heuristic TSP tour (compute-dominated)"},
+		// Figures 1/2.
+		{Name: "running-example", Category: Example, Source: RunningExampleSrc,
+			Description: "the paper's Figure 1 program: p->next->val dangles after free_all_but_head"},
+	}
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// Names returns all workload names, sorted.
+func Names() []string {
+	ws := All()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByCategory returns workloads in a category, in table order.
+func ByCategory(c Category) []Workload {
+	var out []Workload
+	for _, w := range All() {
+		if w.Category == c {
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package pageguard_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/pageguard"
+)
+
+func TestOverflowGuardsThroughPublicAPI(t *testing.T) {
+	m := pageguard.NewMachine(pageguard.WithOverflowGuards())
+	p, err := m.NewProcess()
+	if err != nil {
+		t.Fatalf("NewProcess: %v", err)
+	}
+	ptr, err := p.Malloc(100, "buf")
+	if err != nil {
+		t.Fatalf("Malloc: %v", err)
+	}
+
+	// In-bounds writes are fine.
+	if err := p.Write(ptr, 0, make([]byte, 100)); err != nil {
+		t.Fatalf("in-bounds write: %v", err)
+	}
+
+	// A long sequential overflow runs off the page into the guard.
+	err = p.Write(ptr, 0, make([]byte, 2*pageguard.PageSize))
+	var oe *pageguard.OverflowError
+	if !errors.As(err, &oe) {
+		t.Fatalf("expected OverflowError, got %v", err)
+	}
+	if oe.Object.AllocSite != "buf" {
+		t.Fatalf("provenance: %+v", oe.Object)
+	}
+
+	// Dangling detection still works alongside guards.
+	if err := p.Free(ptr, ""); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	var de *pageguard.DanglingError
+	if _, err := p.ReadWord(ptr, 0, 8); !errors.As(err, &de) {
+		t.Fatalf("dangling detection broken with guards: %v", err)
+	}
+}
+
+func TestGuardsOffByDefault(t *testing.T) {
+	m := pageguard.NewMachine()
+	p, err := m.NewProcess()
+	if err != nil {
+		t.Fatalf("NewProcess: %v", err)
+	}
+	ptr, err := p.Malloc(16, "")
+	if err != nil {
+		t.Fatalf("Malloc: %v", err)
+	}
+	err = p.Write(ptr, 0, make([]byte, 2*pageguard.PageSize))
+	var oe *pageguard.OverflowError
+	if errors.As(err, &oe) {
+		t.Fatal("guards should be off by default")
+	}
+}

@@ -1,0 +1,272 @@
+// Package pageguard is the public API of the PageGuard library: a
+// reproduction of "Efficiently Detecting All Dangling Pointer Uses in
+// Production Servers" (Dhurjati & Adve, DSN 2006).
+//
+// PageGuard detects every use of a pointer to freed heap memory — reads,
+// writes, and double frees — by giving each allocation its own shadow
+// virtual page(s) aliased to the allocator's physical memory, and letting
+// the (simulated) MMU trap accesses after free. Automatic Pool Allocation
+// recycles the virtual address space of short-lived data structures, making
+// the scheme viable for long-running servers.
+//
+// Two ways to use it:
+//
+//   - Direct mode (the paper's "directly on the binaries" §1.1): create a
+//     Machine and a Process, then Malloc/Free/Read/Write through the
+//     detector. No compiler involvement, no virtual-address reuse.
+//   - Compiler mode: compile a mini-C program with Compile (which applies
+//     the Automatic Pool Allocation transformation) and Run it under any
+//     Mode; dangling uses surface as *DanglingError with full allocation and
+//     free provenance.
+//
+// The paper's evaluation (Tables 1-3, the §4.3 address-space study, the
+// §3.4 exhaustion bound) is reproduced by the experiment wrappers in
+// experiments.go and the benchmarks in the repository root.
+package pageguard
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/sim/kernel"
+	"repro/internal/sim/vm"
+)
+
+// PageSize is the simulated virtual-memory page size.
+const PageSize = vm.PageSize
+
+// DanglingError is the detector's report of a dangling pointer use. It
+// carries the faulting access, the object's allocation and free sites, and
+// the offset of the access within the object.
+type DanglingError = core.DanglingError
+
+// OverflowError is the report of a sequential buffer overflow caught by an
+// overflow guard page (see WithOverflowGuards).
+type OverflowError = core.OverflowError
+
+// ReusePolicy selects a §3.4 strategy for recycling the shadow pages of
+// long-lived allocations.
+type ReusePolicy = core.ReusePolicy
+
+// Reuse policy constructors.
+var (
+	// NeverReuse is the paper's measured configuration: the absolute
+	// detection guarantee; only whole-pool reuse (which is compiler-safe)
+	// recycles address space.
+	NeverReuse = core.NeverReuse
+)
+
+// Policy kinds for building a custom ReusePolicy.
+const (
+	PolicyNever        = core.PolicyNever
+	PolicyOnExhaustion = core.PolicyOnExhaustion
+	PolicyInterval     = core.PolicyInterval
+	PolicyGC           = core.PolicyGC
+)
+
+// Option configures a Machine.
+type Option func(*machineConfig)
+
+type machineConfig struct {
+	kernel kernel.Config
+	policy core.ReusePolicy
+	guards bool
+}
+
+// WithMaxFrames bounds simulated physical memory in 4 KB frames (0 =
+// unlimited). Useful to reproduce out-of-memory behaviour.
+func WithMaxFrames(frames uint64) Option {
+	return func(c *machineConfig) { c.kernel.MaxFrames = frames }
+}
+
+// WithReusePolicy selects the shadow-page reuse policy for processes created
+// on this machine.
+func WithReusePolicy(p ReusePolicy) Option {
+	return func(c *machineConfig) { c.policy = p }
+}
+
+// WithOverflowGuards reserves a never-mapped guard page after every
+// allocation's shadow block, so sequential overflows that run off the
+// object's last page are reported as *OverflowError (a PageHeap-style
+// debugging extension; costs address space, never physical memory).
+func WithOverflowGuards() Option {
+	return func(c *machineConfig) { c.guards = true }
+}
+
+// WithStackPages sets the per-process stack size in pages.
+func WithStackPages(pages uint64) Option {
+	return func(c *machineConfig) { c.kernel.StackPages = pages }
+}
+
+// Machine is a simulated computer: physical memory shared by any number of
+// processes. Not safe for concurrent use.
+type Machine struct {
+	cfg machineConfig
+	sys *kernel.System
+}
+
+// NewMachine boots a machine.
+func NewMachine(opts ...Option) *Machine {
+	cfg := machineConfig{kernel: kernel.DefaultConfig(), policy: core.NeverReuse()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Machine{cfg: cfg, sys: kernel.NewSystem(cfg.kernel)}
+}
+
+// PhysFramesInUse returns the machine's live physical frame count.
+func (m *Machine) PhysFramesInUse() uint64 { return m.sys.PhysMemory().InUse() }
+
+// PhysFramesPeak returns the machine's peak physical frame count.
+func (m *Machine) PhysFramesPeak() uint64 { return m.sys.PhysMemory().PeakInUse() }
+
+// Ptr is a protected pointer handed out by Process.Malloc: the shadow-page
+// address of the object.
+type Ptr = vm.Addr
+
+// Process is one protected process in direct (interposition) mode: a
+// malloc/free interface whose every allocation is shadow-page protected.
+type Process struct {
+	proc  *kernel.Process
+	heap  *heap.Heap
+	remap *core.Remapper
+}
+
+// NewProcess creates a protected process on the machine.
+func (m *Machine) NewProcess() (*Process, error) {
+	proc, err := kernel.NewProcess(m.sys, m.cfg.kernel)
+	if err != nil {
+		return nil, err
+	}
+	remap := core.New(proc, m.cfg.policy)
+	if m.cfg.guards {
+		remap.EnableOverflowGuards()
+	}
+	return &Process{
+		proc:  proc,
+		heap:  heap.New(proc),
+		remap: remap,
+	}, nil
+}
+
+// Malloc allocates size bytes under shadow-page protection. site labels the
+// allocation in diagnostics (pass "" for none).
+func (p *Process) Malloc(size uint64, site string) (Ptr, error) {
+	if site == "" {
+		site = "malloc"
+	}
+	return p.remap.Alloc(core.HeapAllocator{H: p.heap}, nil, size, site)
+}
+
+// Free releases an allocation; the object's pages become trapping. A double
+// free returns a *DanglingError.
+func (p *Process) Free(ptr Ptr, site string) error {
+	if site == "" {
+		site = "free"
+	}
+	return p.remap.Free(core.HeapAllocator{H: p.heap}, ptr, site)
+}
+
+// explain routes MMU faults through the detector.
+func (p *Process) explain(err error, site string) error {
+	if fault, ok := err.(*vm.Fault); ok {
+		return p.remap.Explain(fault, site)
+	}
+	return err
+}
+
+// Write stores buf at ptr+off; a write through a stale pointer returns a
+// *DanglingError.
+func (p *Process) Write(ptr Ptr, off uint64, buf []byte) error {
+	if err := p.proc.MMU().WriteBytes(ptr+off, buf); err != nil {
+		return p.explain(err, "write")
+	}
+	return nil
+}
+
+// Read loads len(buf) bytes from ptr+off; a read through a stale pointer
+// returns a *DanglingError.
+func (p *Process) Read(ptr Ptr, off uint64, buf []byte) error {
+	if err := p.proc.MMU().ReadBytes(ptr+off, buf); err != nil {
+		return p.explain(err, "read")
+	}
+	return nil
+}
+
+// WriteWord stores a little-endian word of the given size (1, 2, 4, or 8).
+func (p *Process) WriteWord(ptr Ptr, off uint64, size int, v uint64) error {
+	if err := p.proc.MMU().WriteWord(ptr+off, size, v); err != nil {
+		return p.explain(err, "write")
+	}
+	return nil
+}
+
+// ReadWord loads a little-endian word of the given size (1, 2, 4, or 8).
+func (p *Process) ReadWord(ptr Ptr, off uint64, size int) (uint64, error) {
+	v, err := p.proc.MMU().ReadWord(ptr+off, size)
+	if err != nil {
+		return 0, p.explain(err, "read")
+	}
+	return v, nil
+}
+
+// Stats summarizes the detector's activity in this process.
+type Stats struct {
+	// Allocs and Frees count protected operations.
+	Allocs, Frees uint64
+	// DanglingDetected counts trapped dangling uses.
+	DanglingDetected uint64
+	// Cycles is the simulated cycle count (the cost model's "time").
+	Cycles uint64
+	// Syscalls counts mremap/mprotect/mmap calls.
+	Syscalls uint64
+	// VirtualPages is the total virtual address space consumed, in pages.
+	VirtualPages uint64
+}
+
+// Stats returns the process's counters.
+func (p *Process) Stats() Stats {
+	rs := p.remap.Stats()
+	return Stats{
+		Allocs:           rs.Allocs,
+		Frees:            rs.Frees,
+		DanglingDetected: rs.DanglingDetected,
+		Cycles:           p.proc.Meter().Cycles(),
+		Syscalls:         p.proc.Meter().Syscalls(),
+		VirtualPages:     p.proc.Space().ReservedPages(),
+	}
+}
+
+// EnableBatchedFrees defers the mprotect of freed objects and issues one
+// batched protection call per batchSize frees (the paper's §6 OS-enhancement
+// study). Detection of uses of the last < batchSize freed objects is
+// delayed until the next flush; call FlushProtection to close the window.
+func (p *Process) EnableBatchedFrees(batchSize int) {
+	p.remap.EnableBatchedProtect(batchSize)
+}
+
+// FlushProtection protects all pending freed objects now.
+func (p *Process) FlushProtection() error { return p.remap.Flush() }
+
+// CollectGarbage runs the §3.4 conservative collector, recycling shadow
+// pages of freed objects that no live memory references. Returns the number
+// of pages recycled.
+func (p *Process) CollectGarbage() uint64 { return p.remap.CollectGarbage() }
+
+// Exit tears the process down, returning its physical memory to the machine.
+func (p *Process) Exit() error { return p.proc.Exit() }
+
+// ExhaustionTime computes §3.4's bound: how long a program consuming fresh
+// virtual pages at the given rate runs before exhausting a 47-bit address
+// space. The paper's scenario (one 4 KB page per microsecond) yields ≈9.5 h.
+var ExhaustionTime = core.ExhaustionTime
+
+// PaperExhaustionScenario returns the paper's own example bound.
+var PaperExhaustionScenario = core.PaperExhaustionScenario
+
+// String renders stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("allocs=%d frees=%d dangling=%d cycles=%d syscalls=%d vpages=%d",
+		s.Allocs, s.Frees, s.DanglingDetected, s.Cycles, s.Syscalls, s.VirtualPages)
+}

@@ -1,0 +1,281 @@
+package pageguard_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/pageguard"
+)
+
+func TestDirectModeDetectsUseAfterFree(t *testing.T) {
+	m := pageguard.NewMachine()
+	p, err := m.NewProcess()
+	if err != nil {
+		t.Fatalf("NewProcess: %v", err)
+	}
+	ptr, err := p.Malloc(64, "app.c:10")
+	if err != nil {
+		t.Fatalf("Malloc: %v", err)
+	}
+	if err := p.WriteWord(ptr, 0, 8, 42); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	v, err := p.ReadWord(ptr, 0, 8)
+	if err != nil || v != 42 {
+		t.Fatalf("ReadWord = %d, %v", v, err)
+	}
+	if err := p.Free(ptr, "app.c:20"); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+
+	_, err = p.ReadWord(ptr, 0, 8)
+	var de *pageguard.DanglingError
+	if !errors.As(err, &de) {
+		t.Fatalf("expected DanglingError, got %v", err)
+	}
+	if de.Object.AllocSite != "app.c:10" || de.Object.FreeSite != "app.c:20" {
+		t.Fatalf("provenance: %+v", de.Object)
+	}
+	st := p.Stats()
+	if st.DanglingDetected != 1 {
+		t.Fatalf("stats: %v", st)
+	}
+}
+
+func TestDirectModeDoubleFree(t *testing.T) {
+	m := pageguard.NewMachine()
+	p, err := m.NewProcess()
+	if err != nil {
+		t.Fatalf("NewProcess: %v", err)
+	}
+	ptr, err := p.Malloc(16, "")
+	if err != nil {
+		t.Fatalf("Malloc: %v", err)
+	}
+	if err := p.Free(ptr, ""); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	err = p.Free(ptr, "")
+	var de *pageguard.DanglingError
+	if !errors.As(err, &de) || !de.IsDouble() {
+		t.Fatalf("expected double-free DanglingError, got %v", err)
+	}
+}
+
+func TestDirectModeBytes(t *testing.T) {
+	m := pageguard.NewMachine()
+	p, err := m.NewProcess()
+	if err != nil {
+		t.Fatalf("NewProcess: %v", err)
+	}
+	ptr, err := p.Malloc(100, "")
+	if err != nil {
+		t.Fatalf("Malloc: %v", err)
+	}
+	msg := []byte("hello, shadow pages")
+	if err := p.Write(ptr, 7, msg); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if err := p.Read(ptr, 7, got); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("round trip = %q", got)
+	}
+}
+
+func TestMachineFrameAccounting(t *testing.T) {
+	m := pageguard.NewMachine()
+	p, err := m.NewProcess()
+	if err != nil {
+		t.Fatalf("NewProcess: %v", err)
+	}
+	before := m.PhysFramesInUse()
+	ptrs := make([]pageguard.Ptr, 0, 50)
+	for i := 0; i < 50; i++ {
+		ptr, err := p.Malloc(64, "")
+		if err != nil {
+			t.Fatalf("Malloc: %v", err)
+		}
+		ptrs = append(ptrs, ptr)
+	}
+	grew := m.PhysFramesInUse() - before
+	// 50 x 72B objects cost one 16-page heap arena chunk; the 50 shadow
+	// pages must not add any frames beyond that.
+	if grew > 16 {
+		t.Fatalf("physical frames grew by %d; shadow pages must not consume frames", grew)
+	}
+	for _, ptr := range ptrs {
+		if err := p.Free(ptr, ""); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+	}
+	if err := p.Exit(); err != nil {
+		t.Fatalf("Exit: %v", err)
+	}
+	if m.PhysFramesInUse() != 0 {
+		t.Fatalf("Exit leaked %d frames", m.PhysFramesInUse())
+	}
+}
+
+func TestCompileAndRunModes(t *testing.T) {
+	prog, err := pageguard.Compile(`
+struct node { int v; struct node *next; };
+void main() {
+  struct node *head = NULL;
+  int i;
+  for (i = 0; i < 20; i = i + 1) {
+    struct node *n = (struct node*)malloc(sizeof(struct node));
+    n->v = i;
+    n->next = head;
+    head = n;
+  }
+  int sum = 0;
+  while (head != NULL) {
+    struct node *nx = head->next;
+    sum = sum + head->v;
+    free(head);
+    head = nx;
+  }
+  print_int(sum);
+}
+`)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if prog.Pools == 0 {
+		t.Fatal("APA created no pools")
+	}
+	m := pageguard.NewMachine()
+	for _, mode := range []pageguard.Mode{
+		pageguard.ModeNative, pageguard.ModePA,
+		pageguard.ModeDetect, pageguard.ModeDetectNoPA,
+	} {
+		res, err := prog.Run(m, mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Err != nil {
+			t.Fatalf("%v: program error: %v", mode, res.Err)
+		}
+		if !strings.Contains(res.Output, "190") {
+			t.Fatalf("%v: output = %q", mode, res.Output)
+		}
+	}
+}
+
+func TestCompiledDanglingDetection(t *testing.T) {
+	prog, err := pageguard.Compile(`
+void main() {
+  int *p = (int*)malloc(8);
+  free(p);
+  *p = 1;
+}
+`)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	m := pageguard.NewMachine()
+
+	res, err := prog.Run(m, pageguard.ModeDetect)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	de, ok := res.Dangling()
+	if !ok {
+		t.Fatalf("expected dangling report, got %v", res.Err)
+	}
+	if de.Object.UserSize != 8 {
+		t.Fatalf("object size = %d", de.Object.UserSize)
+	}
+
+	// Native mode silently corrupts.
+	res, err = prog.Run(m, pageguard.ModeNative)
+	if err != nil {
+		t.Fatalf("Run native: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatalf("native mode should not detect: %v", res.Err)
+	}
+}
+
+func TestPAModeReducesVirtualPages(t *testing.T) {
+	prog, err := pageguard.Compile(`
+void phase() {
+  int i;
+  for (i = 0; i < 50; i = i + 1) {
+    char *p = malloc(32);
+    p[0] = 'x';
+    free(p);
+  }
+}
+void main() {
+  int i;
+  for (i = 0; i < 20; i = i + 1) phase();
+}
+`)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	m := pageguard.NewMachine()
+	withPA, err := prog.Run(m, pageguard.ModeDetect)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	withoutPA, err := prog.Run(m, pageguard.ModeDetectNoPA)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Both figures include the fixed ~320-page stack+globals mapping;
+	// the heap-driven part shrinks by an order of magnitude under APA
+	// (1000 allocations -> 1000 one-shot shadow pages without pools).
+	if withPA.VirtualPages*3 > withoutPA.VirtualPages {
+		t.Fatalf("APA VA reuse ineffective: %d vs %d pages",
+			withPA.VirtualPages, withoutPA.VirtualPages)
+	}
+}
+
+func TestExhaustionBound(t *testing.T) {
+	d := pageguard.PaperExhaustionScenario()
+	if d.Hours() < 9 || d.Hours() > 10 {
+		t.Fatalf("exhaustion bound = %v", d)
+	}
+}
+
+func TestWorkloadRegistry(t *testing.T) {
+	if len(pageguard.Workloads()) < 18 {
+		t.Fatalf("expected the full workload suite, got %d", len(pageguard.Workloads()))
+	}
+	src, err := pageguard.WorkloadSource("treeadd")
+	if err != nil || !strings.Contains(src, "treeadd") {
+		t.Fatalf("WorkloadSource: %v", err)
+	}
+	if _, err := pageguard.WorkloadSource("nope"); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+}
+
+func TestGCPolicyThroughPublicAPI(t *testing.T) {
+	m := pageguard.NewMachine(pageguard.WithReusePolicy(pageguard.ReusePolicy{
+		Kind:     pageguard.PolicyGC,
+		Interval: 1 << 30,
+	}))
+	p, err := m.NewProcess()
+	if err != nil {
+		t.Fatalf("NewProcess: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		ptr, err := p.Malloc(16, "")
+		if err != nil {
+			t.Fatalf("Malloc: %v", err)
+		}
+		if err := p.Free(ptr, ""); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+	}
+	if got := p.CollectGarbage(); got == 0 {
+		t.Fatal("collector reclaimed nothing")
+	}
+}

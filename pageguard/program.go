@@ -1,0 +1,123 @@
+package pageguard
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/minic/driver"
+	"repro/internal/minic/interp"
+	"repro/internal/minic/ir"
+	"repro/internal/runtimes"
+	"repro/internal/sim/kernel"
+)
+
+// Mode selects a run configuration for compiled programs.
+type Mode int
+
+// Modes.
+const (
+	// ModeNative runs with the plain allocator: no detection, the
+	// baseline the paper compares against.
+	ModeNative Mode = iota + 1
+	// ModePA runs with Automatic Pool Allocation only: segregated pools,
+	// no detection.
+	ModePA
+	// ModeDetect is the paper's approach: pool allocation plus
+	// shadow-page detection of every dangling pointer use.
+	ModeDetect
+	// ModeDetectNoPA is detection without pool allocation (binary
+	// interposition): full detection, no virtual-address reuse.
+	ModeDetectNoPA
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeNative:
+		return "native"
+	case ModePA:
+		return "pa"
+	case ModeDetect:
+		return "detect"
+	case ModeDetectNoPA:
+		return "detect-nopa"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Program is a compiled mini-C program.
+type Program struct {
+	plain  *ir.Program
+	pooled *ir.Program
+	// Pools is the number of static pools the APA transformation
+	// created (local + global).
+	Pools int
+}
+
+// Compile parses, type-checks, and lowers a mini-C program, and applies the
+// Automatic Pool Allocation transformation for the pool-based modes.
+func Compile(src string) (*Program, error) {
+	plain, err := driver.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	pooled, res, err := driver.CompileWithPools(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{plain: plain, pooled: pooled, Pools: res.PoolCount}, nil
+}
+
+// Result is one program execution's outcome.
+type Result struct {
+	// Output is everything the program printed.
+	Output string
+	// Err is the terminating error: nil for a clean exit, a
+	// *DanglingError for a detected dangling pointer use.
+	Err error
+	// Cycles is the simulated execution time.
+	Cycles uint64
+	// Syscalls counts system calls made.
+	Syscalls uint64
+	// VirtualPages is the virtual address space consumed, in pages.
+	VirtualPages uint64
+}
+
+// Run executes the program on the machine under the given mode, in a fresh
+// process.
+func (pr *Program) Run(m *Machine, mode Mode) (*Result, error) {
+	prog := pr.plain
+	if mode == ModePA || mode == ModeDetect {
+		prog = pr.pooled
+	}
+	makeRT := func(p *kernel.Process) interp.Runtime {
+		switch mode {
+		case ModeDetect, ModeDetectNoPA:
+			return runtimes.NewShadow(p, m.cfg.policy)
+		default:
+			return runtimes.NewNative(p)
+		}
+	}
+	res, err := driver.Run(prog, m.sys, m.cfg.kernel, makeRT, interp.Config{})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Output:       res.Machine.Output(),
+		Err:          res.Err,
+		Cycles:       res.Proc.Meter().Cycles(),
+		Syscalls:     res.Proc.Meter().Syscalls(),
+		VirtualPages: res.Proc.Space().ReservedPages(),
+	}
+	if err := res.Proc.Exit(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Dangling extracts the *DanglingError from a result, if any.
+func (r *Result) Dangling() (*core.DanglingError, bool) {
+	de, ok := r.Err.(*core.DanglingError)
+	return de, ok
+}

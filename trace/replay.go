@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/pageguard"
+)
+
+// Report summarizes a replay.
+type Report struct {
+	// Events is the number of events executed (including the faulting
+	// one, if any).
+	Events int
+	// Allocs, Frees, Reads, Writes count successful operations.
+	Allocs, Frees, Reads, Writes int
+	// Detections collects every dangling/overflow report, in order.
+	// Replay continues past detections (a monitoring deployment logs and
+	// keeps serving), mirroring how the run-time handler could resume.
+	Detections []Detection
+	// Stats is the process's final detector statistics.
+	Stats pageguard.Stats
+}
+
+// Detection is one detected memory error during replay.
+type Detection struct {
+	// Line is the trace line of the faulting event.
+	Line int
+	// Err is the underlying *DanglingError or *OverflowError.
+	Err error
+}
+
+// ReplayError reports a trace-semantics error (not a memory error): an
+// event referencing an id the trace never allocated.
+type ReplayError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *ReplayError) Error() string { return fmt.Sprintf("trace line %d: %s", e.Line, e.Msg) }
+
+// Replay executes events on a fresh process of m and reports what the
+// detector saw.
+func Replay(m *pageguard.Machine, events []Event) (*Report, error) {
+	proc, err := m.NewProcess()
+	if err != nil {
+		return nil, err
+	}
+	// ptrs maps trace ids to their current (or last) pointer; freed ids
+	// stay mapped so stale accesses replay faithfully.
+	ptrs := make(map[uint64]pageguard.Ptr)
+	rep := &Report{}
+
+	note := func(ev Event, err error) error {
+		if err == nil {
+			return nil
+		}
+		var de *pageguard.DanglingError
+		var oe *pageguard.OverflowError
+		if errors.As(err, &de) || errors.As(err, &oe) {
+			rep.Detections = append(rep.Detections, Detection{Line: ev.Line, Err: err})
+			return nil
+		}
+		return fmt.Errorf("trace line %d: %w", ev.Line, err)
+	}
+
+	for _, ev := range events {
+		rep.Events++
+		site := fmt.Sprintf("trace:%d", ev.Line)
+		switch ev.Kind {
+		case EvAlloc:
+			ptr, err := proc.Malloc(ev.Size, site)
+			if err != nil {
+				return rep, fmt.Errorf("trace line %d: %w", ev.Line, err)
+			}
+			ptrs[ev.ID] = ptr
+			rep.Allocs++
+		case EvFree:
+			ptr, ok := ptrs[ev.ID]
+			if !ok {
+				return rep, &ReplayError{ev.Line, fmt.Sprintf("free of unknown id %d", ev.ID)}
+			}
+			if err := note(ev, proc.Free(ptr, site)); err != nil {
+				return rep, err
+			}
+			rep.Frees++
+		case EvWrite:
+			ptr, ok := ptrs[ev.ID]
+			if !ok {
+				return rep, &ReplayError{ev.Line, fmt.Sprintf("write to unknown id %d", ev.ID)}
+			}
+			if err := note(ev, proc.WriteWord(ptr, ev.Off, 8, uint64(ev.Line))); err != nil {
+				return rep, err
+			}
+			rep.Writes++
+		case EvRead:
+			ptr, ok := ptrs[ev.ID]
+			if !ok {
+				return rep, &ReplayError{ev.Line, fmt.Sprintf("read of unknown id %d", ev.ID)}
+			}
+			if _, err := proc.ReadWord(ptr, ev.Off, 8); err != nil {
+				if err := note(ev, err); err != nil {
+					return rep, err
+				}
+			}
+			rep.Reads++
+		}
+	}
+	rep.Stats = proc.Stats()
+	return rep, nil
+}

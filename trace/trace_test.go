@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/pageguard"
+)
+
+func TestParseAndFormatRoundTrip(t *testing.T) {
+	src := `
+# a comment
+a 1 64
+w 1 0
+r 1 0
+
+a 2 128
+f 1
+r 1 8
+f 2
+`
+	events, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(events) != 7 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Kind != EvAlloc || events[0].ID != 1 || events[0].Size != 64 {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+
+	var buf bytes.Buffer
+	if err := Format(&buf, events); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	again, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if len(again) != len(events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(again), len(events))
+	}
+	for i := range events {
+		a, b := events[i], again[i]
+		if a.Kind != b.Kind || a.ID != b.ID || a.Size != b.Size || a.Off != b.Off {
+			t.Fatalf("event %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"x 1 2",
+		"a 1",
+		"a one 2",
+		"f",
+		"r 1",
+		"w 1 two",
+	}
+	for _, src := range bad {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestReplayCleanTrace(t *testing.T) {
+	events, err := Parse(strings.NewReader(`
+a 1 64
+w 1 0
+w 1 56
+r 1 0
+f 1
+a 2 32
+r 2 8
+f 2
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(pageguard.NewMachine(), events)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(rep.Detections) != 0 {
+		t.Fatalf("clean trace produced detections: %v", rep.Detections)
+	}
+	if rep.Allocs != 2 || rep.Frees != 2 || rep.Writes != 2 || rep.Reads != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Stats.Allocs != 2 {
+		t.Fatalf("stats = %v", rep.Stats)
+	}
+}
+
+func TestReplayDetectsUAFAndDoubleFree(t *testing.T) {
+	events, err := Parse(strings.NewReader(`
+a 1 64
+f 1
+r 1 0
+f 1
+a 1 64
+w 1 0
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(pageguard.NewMachine(), events)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(rep.Detections) != 2 {
+		t.Fatalf("detections = %v", rep.Detections)
+	}
+	// The stale read on line 4, the double free on line 5.
+	if rep.Detections[0].Line != 4 || rep.Detections[1].Line != 5 {
+		t.Fatalf("detection lines = %d, %d", rep.Detections[0].Line, rep.Detections[1].Line)
+	}
+	// The id was reused for a fresh allocation afterwards, which must
+	// work.
+	if rep.Allocs != 2 || rep.Writes != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestReplayUnknownID(t *testing.T) {
+	events, err := Parse(strings.NewReader("r 9 0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Replay(pageguard.NewMachine(), events)
+	var re *ReplayError
+	if err == nil || !strings.Contains(err.Error(), "unknown id") {
+		t.Fatalf("expected ReplayError, got %v", err)
+	}
+	_ = re
+}
+
+// TestReplayRandomTracesDetectExactlyInjectedBugs generates random traces
+// with a known set of injected stale accesses and checks the detector
+// reports exactly those lines.
+func TestReplayRandomTracesDetectExactlyInjectedBugs(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		var events []Event
+		line := 0
+		emit := func(ev Event) {
+			line++
+			ev.Line = line
+			events = append(events, ev)
+		}
+
+		type obj struct {
+			id   uint64
+			size uint64
+			live bool
+		}
+		var objs []*obj
+		wantLines := map[int]bool{}
+		nextID := uint64(1)
+
+		for i := 0; i < 200; i++ {
+			switch r.Intn(5) {
+			case 0, 1: // alloc
+				o := &obj{id: nextID, size: uint64(8 + 8*r.Intn(16)), live: true}
+				nextID++
+				objs = append(objs, o)
+				emit(Event{Kind: EvAlloc, ID: o.id, Size: o.size})
+			case 2: // free a live object
+				for _, o := range objs {
+					if o.live {
+						o.live = false
+						emit(Event{Kind: EvFree, ID: o.id})
+						break
+					}
+				}
+			case 3: // legal access
+				for _, o := range objs {
+					if o.live {
+						off := uint64(r.Intn(int(o.size/8))) * 8
+						emit(Event{Kind: EvRead, ID: o.id, Off: off})
+						break
+					}
+				}
+			case 4: // injected stale access (sometimes)
+				for _, o := range objs {
+					if !o.live {
+						emit(Event{Kind: EvWrite, ID: o.id, Off: 0})
+						wantLines[line] = true
+						break
+					}
+				}
+			}
+		}
+
+		rep, err := Replay(pageguard.NewMachine(), events)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		gotLines := map[int]bool{}
+		for _, d := range rep.Detections {
+			gotLines[d.Line] = true
+		}
+		for l := range wantLines {
+			if !gotLines[l] {
+				t.Errorf("seed %d: injected stale access at line %d not detected", seed, l)
+			}
+		}
+		for l := range gotLines {
+			if !wantLines[l] {
+				t.Errorf("seed %d: false positive at line %d", seed, l)
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Command pglint runs the static dangling-pointer analysis
+// (internal/minic/safety) over a mini-C program and prints ranked
+// diagnostics: DEFINITE-UAF findings first, then POSSIBLE-UAF, each with
+// allocation/free/use site provenance, followed by the elision summary
+// (which malloc sites are proven safe to leave unprotected at run time).
+//
+// Usage:
+//
+//	pglint file.c                 # lint a source file
+//	pglint -workload treeadd      # lint a bundled workload
+//	pglint -safe file.c           # also list PROVEN-SAFE uses
+//
+// The exit status is 1 when any DEFINITE-UAF finding exists (or on error),
+// 0 otherwise, so the command slots into CI pipelines.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/minic/driver"
+	"repro/internal/minic/safety"
+	"repro/pageguard"
+)
+
+func main() {
+	wl := flag.String("workload", "", "lint a bundled workload by name")
+	safe := flag.Bool("safe", false, "also list PROVEN-SAFE uses")
+	list := flag.Bool("list", false, "list bundled workload names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, w := range pageguard.Workloads() {
+			fmt.Println(w.Name)
+		}
+		return
+	}
+
+	definite, err := run(*wl, *safe, flag.Args(), os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pglint:", err)
+		os.Exit(1)
+	}
+	if definite > 0 {
+		os.Exit(1)
+	}
+}
+
+func run(wl string, safe bool, args []string, w io.Writer) (int, error) {
+	var src string
+	switch {
+	case wl != "":
+		s, err := pageguard.WorkloadSource(wl)
+		if err != nil {
+			return 0, err
+		}
+		src = s
+	case len(args) == 1:
+		b, err := os.ReadFile(args[0])
+		if err != nil {
+			return 0, err
+		}
+		src = string(b)
+	default:
+		return 0, errors.New("expected exactly one source file (or -workload)")
+	}
+	return lint(src, safe, w)
+}
+
+// lint compiles src, runs the safety analysis, and prints the report.
+// It returns the number of DEFINITE-UAF findings.
+func lint(src string, safe bool, w io.Writer) (int, error) {
+	prog, err := driver.Compile(src)
+	if err != nil {
+		return 0, err
+	}
+	rep, err := safety.Analyze(prog)
+	if err != nil {
+		return 0, err
+	}
+
+	// Ranked: DEFINITE first, then POSSIBLE, then (with -safe) PROVEN.
+	// Within a verdict the report is already sorted by (file, line, kind).
+	order := []safety.Verdict{safety.DefiniteUAF, safety.PossibleUAF}
+	if safe {
+		order = append(order, safety.ProvenSafe)
+	}
+	for _, v := range order {
+		for _, f := range rep.ByVerdict(v) {
+			printFinding(w, f)
+		}
+	}
+
+	definite := len(rep.ByVerdict(safety.DefiniteUAF))
+	possible := len(rep.ByVerdict(safety.PossibleUAF))
+	proven := len(rep.ByVerdict(safety.ProvenSafe))
+	fmt.Fprintf(w, "%d definite, %d possible, %d proven-safe of %d classified uses\n",
+		definite, possible, proven, len(rep.Findings))
+
+	elidable := 0
+	for _, c := range rep.Classes {
+		if c.Elidable {
+			elidable++
+		}
+	}
+	fmt.Fprintf(w, "elision: %d of %d heap classes elidable", elidable, len(rep.Classes))
+	if sites := rep.ElidableSites(); len(sites) > 0 {
+		fmt.Fprintf(w, " (malloc sites:")
+		for _, s := range sites {
+			fmt.Fprintf(w, " %s", s)
+		}
+		fmt.Fprintf(w, ")")
+	}
+	fmt.Fprintln(w)
+	return definite, nil
+}
+
+func printFinding(w io.Writer, f safety.Finding) {
+	fmt.Fprintf(w, "%s: %s: %s of heap class %d\n", f.Site, f.Verdict, f.Kind, f.ClassID)
+	if len(f.AllocSites) > 0 {
+		fmt.Fprintf(w, "    allocated at:")
+		for _, s := range f.AllocSites {
+			fmt.Fprintf(w, " %s", s)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(f.FreeSites) > 0 {
+		fmt.Fprintf(w, "    freed at:")
+		for _, s := range f.FreeSites {
+			fmt.Fprintf(w, " %s", s)
+		}
+		fmt.Fprintln(w)
+	}
+}

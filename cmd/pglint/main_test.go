@@ -1,0 +1,126 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestRunningExampleFlagsDefinite: the acceptance bar — Figure 1's dangling
+// p->next->val must be flagged DEFINITE-UAF at compile time, in main, with
+// provenance, and the exit path must be the failing one (definite > 0).
+func TestRunningExampleFlagsDefinite(t *testing.T) {
+	var out strings.Builder
+	definite, err := lint(workload.RunningExampleSrc, false, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if definite == 0 {
+		t.Fatal("running example produced no DEFINITE-UAF findings")
+	}
+	text := out.String()
+	if !strings.Contains(text, "DEFINITE-UAF") {
+		t.Errorf("output missing DEFINITE-UAF:\n%s", text)
+	}
+	if !strings.Contains(text, "main:") {
+		t.Errorf("output does not locate the dangling use in main:\n%s", text)
+	}
+	if !strings.Contains(text, "freed at: free_all_but_head:") {
+		t.Errorf("output missing free-site provenance:\n%s", text)
+	}
+}
+
+// TestDefiniteRankedFirst: DEFINITE findings print before POSSIBLE ones.
+func TestDefiniteRankedFirst(t *testing.T) {
+	var out strings.Builder
+	if _, err := lint(workload.RunningExampleSrc, false, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	firstDef := strings.Index(text, "DEFINITE-UAF")
+	firstPos := strings.Index(text, "POSSIBLE-UAF")
+	if firstDef < 0 || firstPos < 0 {
+		t.Fatalf("expected both tiers in output:\n%s", text)
+	}
+	if firstDef > firstPos {
+		t.Error("POSSIBLE finding printed before a DEFINITE one")
+	}
+}
+
+func TestCleanProgramExitsZeroAndReportsElision(t *testing.T) {
+	src := `
+struct s { int val; };
+void main() {
+  struct s *p = (struct s*)malloc(sizeof(struct s));
+  p->val = 1;
+  print_int(p->val);
+}
+`
+	var out strings.Builder
+	definite, err := lint(src, false, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if definite != 0 {
+		t.Fatalf("clean program flagged %d DEFINITE findings:\n%s", definite, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "1 of 1 heap classes elidable") {
+		t.Errorf("elision summary missing or wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "malloc sites: main:4") {
+		t.Errorf("elidable site list missing:\n%s", text)
+	}
+	if strings.Contains(text, "PROVEN-SAFE") {
+		t.Errorf("PROVEN-SAFE uses listed without -safe:\n%s", text)
+	}
+}
+
+func TestSafeFlagListsProvenUses(t *testing.T) {
+	src := `
+struct s { int val; };
+void main() {
+  struct s *p = (struct s*)malloc(sizeof(struct s));
+  p->val = 1;
+  print_int(p->val);
+}
+`
+	var out strings.Builder
+	if _, err := lint(src, true, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "PROVEN-SAFE") {
+		t.Errorf("-safe did not list proven uses:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var out strings.Builder
+	if _, err := run("", false, nil, &out); err == nil {
+		t.Error("no input accepted")
+	}
+	if _, err := run("no-such-workload", false, nil, &out); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+// TestAllWorkloadsLint: every bundled workload must compile and analyze;
+// only the running example may carry DEFINITE findings.
+func TestAllWorkloadsLint(t *testing.T) {
+	for _, wl := range workload.All() {
+		var out strings.Builder
+		definite, err := run(wl.Name, false, nil, &out)
+		if err != nil {
+			t.Errorf("%s: %v", wl.Name, err)
+			continue
+		}
+		if wl.Name == "running-example" {
+			if definite == 0 {
+				t.Errorf("%s: expected DEFINITE findings", wl.Name)
+			}
+		} else if definite != 0 {
+			t.Errorf("%s: unexpected DEFINITE findings:\n%s", wl.Name, out.String())
+		}
+	}
+}

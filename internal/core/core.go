@@ -113,6 +113,14 @@ type Stats struct {
 	RecycledPages uint64
 	// GCRuns counts conservative-GC invocations.
 	GCRuns uint64
+	// ElidedAllocs counts allocations that skipped shadow-page protection
+	// because the static safety analysis proved their class is never
+	// freed before any use.
+	ElidedAllocs uint64
+	// ElisionMisses counts frees that targeted an elided object — each
+	// one is a static-analysis proof being wrong, so a sound analysis
+	// keeps this at zero.
+	ElisionMisses uint64
 }
 
 // Remapper is the per-process shadow-page engine. Not safe for concurrent
@@ -135,6 +143,13 @@ type Remapper struct {
 	// reclaimed under a reuse policy.
 	recycled []pool.PageRun
 
+	// elided records allocations handed out at their canonical address
+	// (no shadow pages, no remap header) on the strength of a static
+	// proof; elidedByPool lets pool destroys retire those records before
+	// the addresses can be recycled.
+	elided       map[vm.Addr]bool
+	elidedByPool map[*pool.Pool][]vm.Addr
+
 	policy   ReusePolicy
 	allocSeq uint64
 	stats    Stats
@@ -151,11 +166,13 @@ type Remapper struct {
 // reproduces the paper's base scheme).
 func New(proc *kernel.Process, policy ReusePolicy) *Remapper {
 	return &Remapper{
-		proc:        proc,
-		objects:     make(map[vm.VPN]*Object),
-		byPool:      make(map[*pool.Pool][]*Object),
-		freedInPool: make(map[*pool.Pool][]*Object),
-		policy:      policy,
+		proc:         proc,
+		objects:      make(map[vm.VPN]*Object),
+		byPool:       make(map[*pool.Pool][]*Object),
+		freedInPool:  make(map[*pool.Pool][]*Object),
+		elided:       make(map[vm.Addr]bool),
+		elidedByPool: make(map[*pool.Pool][]vm.Addr),
+		policy:       policy,
 	}
 }
 
@@ -269,6 +286,25 @@ func (r *Remapper) Alloc(al Allocator, owner *pool.Pool, size uint64, site strin
 	return userPtr, nil
 }
 
+// AllocElided allocates size bytes WITHOUT shadow-page protection: the
+// canonical pointer is returned to the program, no remap header is prepended,
+// and free-time mprotect never happens for the object. Only allocations the
+// static safety analysis proved never-freed-before-use may take this path;
+// the remapper records the address so a free that contradicts the proof is
+// counted in Stats.ElisionMisses instead of corrupting the header protocol.
+func (r *Remapper) AllocElided(al Allocator, owner *pool.Pool, size uint64, site string) (vm.Addr, error) {
+	canon, err := al.Alloc(size)
+	if err != nil {
+		return 0, err
+	}
+	r.elided[canon] = true
+	if owner != nil {
+		r.elidedByPool[owner] = append(r.elidedByPool[owner], canon)
+	}
+	r.stats.ElidedAllocs++
+	return canon, nil
+}
+
 // Free deallocates the object at the shadow address f, protecting its shadow
 // pages so any later use traps. site is a diagnostic label for the free
 // site. A free of an already-freed pointer is itself a dangling pointer use
@@ -276,6 +312,15 @@ func (r *Remapper) Alloc(al Allocator, owner *pool.Pool, size uint64, site strin
 // reported as a *DanglingError.
 func (r *Remapper) Free(al Allocator, f vm.Addr, site string) error {
 	r.maybeIntervalReclaim()
+
+	// An elided object being freed means the static never-freed proof was
+	// wrong. Count the miss and forward the plain free — the address IS
+	// the canonical address, so the header protocol does not apply.
+	if r.elided[f] {
+		r.stats.ElisionMisses++
+		delete(r.elided, f)
+		return al.Free(f)
+	}
 
 	// Read the canonical address back through the shadow page. On a
 	// double free the page is PROT_NONE and this very read traps — the
@@ -398,4 +443,12 @@ func (r *Remapper) OnPoolDestroy(p *pool.Pool) {
 	}
 	delete(r.byPool, p)
 	delete(r.freedInPool, p)
+	// Retire elided-address records too: after the destroy those canonical
+	// pages return to the shared free list and may be recycled, and a
+	// later legitimate free at a recycled address must not count as a
+	// miss.
+	for _, addr := range r.elidedByPool[p] {
+		delete(r.elided, addr)
+	}
+	delete(r.elidedByPool, p)
 }

@@ -52,12 +52,16 @@ const (
 	EFence
 	// Capability is the SafeC/FisherPatil/Xu baseline of §5.2.
 	Capability
+	// OursStatic is Ours plus the static safety analysis
+	// (internal/minic/safety): allocations proven never freed before use
+	// skip shadow-page aliasing and free-time mprotect entirely.
+	OursStatic
 )
 
 var configNames = map[Config]string{
 	Native: "native", LLVMBase: "llvm-base", PA: "pa", PADummy: "pa+dummy",
 	Ours: "ours", OursNoPA: "ours-nopa", Valgrind: "valgrind",
-	EFence: "efence", Capability: "capability",
+	EFence: "efence", Capability: "capability", OursStatic: "ours+static",
 }
 
 // String implements fmt.Stringer.
@@ -70,13 +74,13 @@ func (c Config) String() string {
 
 // AllConfigs returns every configuration.
 func AllConfigs() []Config {
-	return []Config{Native, LLVMBase, PA, PADummy, Ours, OursNoPA, Valgrind, EFence, Capability}
+	return []Config{Native, LLVMBase, PA, PADummy, Ours, OursNoPA, Valgrind, EFence, Capability, OursStatic}
 }
 
 // usesPools reports whether the configuration runs APA-transformed code.
 func (c Config) usesPools() bool {
 	switch c {
-	case PA, PADummy, Ours:
+	case PA, PADummy, Ours, OursStatic:
 		return true
 	}
 	return false
@@ -103,7 +107,7 @@ func (c Config) runtimeFor(proc *kernel.Process) interp.Runtime {
 		return runtimes.NewNative(proc)
 	case PADummy:
 		return runtimes.NewPADummy(proc)
-	case Ours, OursNoPA:
+	case Ours, OursNoPA, OursStatic:
 		return runtimes.NewShadow(proc, core.NeverReuse())
 	case Valgrind:
 		return valgrind.New(proc)
@@ -134,6 +138,15 @@ type Measurement struct {
 	// CapabilityMetadataBytes is the capability baseline's metadata
 	// footprint (zero for other configurations).
 	CapabilityMetadataBytes uint64
+	// ElidedAllocs counts allocations that skipped shadow-page aliasing
+	// because the static analysis proved them safe (OursStatic only).
+	ElidedAllocs uint64
+	// ElisionMisses counts frees of statically elided objects — always
+	// zero when the static analysis is sound.
+	ElisionMisses uint64
+	// DanglingDetected counts dangling-pointer uses the shadow-page
+	// runtime caught (Ours/OursNoPA/OursStatic).
+	DanglingDetected uint64
 	// Output is the program output (first connection for servers).
 	Output string
 	// Err is a terminating program error (nil for clean workloads).
@@ -157,9 +170,12 @@ func Run(w workload.Workload, c Config, opts Options) (Measurement, error) {
 
 	var prog *ir.Program
 	var err error
-	if c.usesPools() {
+	switch {
+	case c == OursStatic:
+		prog, _, _, err = driver.CompileStatic(w.Source)
+	case c.usesPools():
 		prog, _, err = driver.CompileWithPools(w.Source)
-	} else {
+	default:
 		prog, err = driver.Compile(w.Source)
 	}
 	if err != nil {
@@ -179,10 +195,14 @@ func Run(w workload.Workload, c Config, opts Options) (Measurement, error) {
 	}
 	for i := 0; i < conns; i++ {
 		var capRT *capability.Runtime
+		var shadowRT *runtimes.Shadow
 		mkRT := func(p *kernel.Process) interp.Runtime {
 			rt := c.runtimeFor(p)
 			if cr, ok := rt.(*capability.Runtime); ok {
 				capRT = cr
+			}
+			if sr, ok := rt.(*runtimes.Shadow); ok {
+				shadowRT = sr
 			}
 			return rt
 		}
@@ -199,6 +219,12 @@ func Run(w workload.Workload, c Config, opts Options) (Measurement, error) {
 		m.Counters.Traps += snap.Traps
 		if capRT != nil {
 			m.CapabilityMetadataBytes += capRT.MetadataBytes()
+		}
+		if shadowRT != nil {
+			st := shadowRT.Remapper().Stats()
+			m.ElidedAllocs += st.ElidedAllocs
+			m.ElisionMisses += st.ElisionMisses
+			m.DanglingDetected += st.DanglingDetected
 		}
 		pages := res.Proc.Space().ReservedPages()
 		m.ReservedPages += pages

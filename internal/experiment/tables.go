@@ -15,9 +15,11 @@ type Table1Row struct {
 	Name     string
 	Category workload.Category
 	// Seconds per configuration.
-	Native, LLVMBase, PA, PADummy, Ours float64
+	Native, LLVMBase, PA, PADummy, Ours, OursStatic float64
 	// Ratio1 is Ours/LLVMBase; Ratio2 is Ours/Native.
 	Ratio1, Ratio2 float64
+	// ElidedAllocs counts shadow-page setups skipped under ours+static.
+	ElidedAllocs uint64
 	// SyscallShare is (PADummy-PA)/Ours: the fraction attributable to
 	// syscalls (the paper's instrument for splitting enscript's 15%).
 	SyscallShare float64
@@ -33,20 +35,22 @@ func GenTable1(opts Options) (*Table1, error) {
 	var t Table1
 	ws := append(workload.ByCategory(workload.Utility), workload.ByCategory(workload.Server)...)
 	for _, w := range ws {
-		ms, err := Sweep(w, []Config{Native, LLVMBase, PA, PADummy, Ours}, opts)
+		ms, err := Sweep(w, []Config{Native, LLVMBase, PA, PADummy, Ours, OursStatic}, opts)
 		if err != nil {
 			return nil, err
 		}
 		row := Table1Row{
-			Name:     w.Name,
-			Category: w.Category,
-			Native:   ms[Native].Seconds(),
-			LLVMBase: ms[LLVMBase].Seconds(),
-			PA:       ms[PA].Seconds(),
-			PADummy:  ms[PADummy].Seconds(),
-			Ours:     ms[Ours].Seconds(),
-			Ratio1:   Ratio(ms[Ours], ms[LLVMBase]),
-			Ratio2:   Ratio(ms[Ours], ms[Native]),
+			Name:         w.Name,
+			Category:     w.Category,
+			Native:       ms[Native].Seconds(),
+			LLVMBase:     ms[LLVMBase].Seconds(),
+			PA:           ms[PA].Seconds(),
+			PADummy:      ms[PADummy].Seconds(),
+			Ours:         ms[Ours].Seconds(),
+			OursStatic:   ms[OursStatic].Seconds(),
+			Ratio1:       Ratio(ms[Ours], ms[LLVMBase]),
+			Ratio2:       Ratio(ms[Ours], ms[Native]),
+			ElidedAllocs: ms[OursStatic].ElidedAllocs,
 		}
 		if ms[Ours].Cycles > 0 {
 			row.SyscallShare = (row.PADummy - row.PA) / row.Ours
@@ -60,16 +64,16 @@ func GenTable1(opts Options) (*Table1, error) {
 func (t *Table1) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 1. Runtime overheads of our approach.\n")
-	fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s %10s %8s %8s\n",
-		"Benchmark", "native(s)", "llvm(s)", "PA(s)", "PA+dummy", "ours(s)", "Ratio1", "Ratio2")
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s %10s %10s %8s %8s %7s\n",
+		"Benchmark", "native(s)", "llvm(s)", "PA(s)", "PA+dummy", "ours(s)", "ours+st(s)", "Ratio1", "Ratio2", "elided")
 	cat := workload.Category(0)
 	for _, r := range t.Rows {
 		if r.Category != cat {
 			cat = r.Category
 			fmt.Fprintf(&b, "-- %s --\n", strings.ToUpper(cat.String()))
 		}
-		fmt.Fprintf(&b, "%-12s %10.5f %10.5f %10.5f %10.5f %10.5f %8.2f %8.2f\n",
-			r.Name, r.Native, r.LLVMBase, r.PA, r.PADummy, r.Ours, r.Ratio1, r.Ratio2)
+		fmt.Fprintf(&b, "%-12s %10.5f %10.5f %10.5f %10.5f %10.5f %10.5f %8.2f %8.2f %7d\n",
+			r.Name, r.Native, r.LLVMBase, r.PA, r.PADummy, r.Ours, r.OursStatic, r.Ratio1, r.Ratio2, r.ElidedAllocs)
 	}
 	return b.String()
 }
@@ -122,10 +126,12 @@ func (t *Table2) String() string {
 
 // Table3Row is one line of the paper's Table 3 (Olden).
 type Table3Row struct {
-	Name                            string
-	Native, LLVMBase, PADummy, Ours float64
+	Name                                        string
+	Native, LLVMBase, PADummy, Ours, OursStatic float64
 	// Ratio3 is Ours/LLVMBase.
 	Ratio3 float64
+	// ElidedAllocs counts shadow-page setups skipped under ours+static.
+	ElidedAllocs uint64
 }
 
 // Table3 reproduces "Table 3. Overheads for allocation intensive Olden
@@ -138,17 +144,19 @@ type Table3 struct {
 func GenTable3(opts Options) (*Table3, error) {
 	var t Table3
 	for _, w := range workload.ByCategory(workload.Olden) {
-		ms, err := Sweep(w, []Config{Native, LLVMBase, PADummy, Ours}, opts)
+		ms, err := Sweep(w, []Config{Native, LLVMBase, PADummy, Ours, OursStatic}, opts)
 		if err != nil {
 			return nil, err
 		}
 		t.Rows = append(t.Rows, Table3Row{
-			Name:     w.Name,
-			Native:   ms[Native].Seconds(),
-			LLVMBase: ms[LLVMBase].Seconds(),
-			PADummy:  ms[PADummy].Seconds(),
-			Ours:     ms[Ours].Seconds(),
-			Ratio3:   Ratio(ms[Ours], ms[LLVMBase]),
+			Name:         w.Name,
+			Native:       ms[Native].Seconds(),
+			LLVMBase:     ms[LLVMBase].Seconds(),
+			PADummy:      ms[PADummy].Seconds(),
+			Ours:         ms[Ours].Seconds(),
+			OursStatic:   ms[OursStatic].Seconds(),
+			Ratio3:       Ratio(ms[Ours], ms[LLVMBase]),
+			ElidedAllocs: ms[OursStatic].ElidedAllocs,
 		})
 	}
 	return &t, nil
@@ -158,11 +166,11 @@ func GenTable3(opts Options) (*Table3, error) {
 func (t *Table3) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 3. Overheads for allocation intensive Olden benchmarks.\n")
-	fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s %8s\n",
-		"Benchmark", "native(s)", "llvm(s)", "PA+dummy", "ours(s)", "Ratio3")
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s %10s %8s %7s\n",
+		"Benchmark", "native(s)", "llvm(s)", "PA+dummy", "ours(s)", "ours+st(s)", "Ratio3", "elided")
 	for _, r := range t.Rows {
-		fmt.Fprintf(&b, "%-12s %10.5f %10.5f %10.5f %10.5f %8.2f\n",
-			r.Name, r.Native, r.LLVMBase, r.PADummy, r.Ours, r.Ratio3)
+		fmt.Fprintf(&b, "%-12s %10.5f %10.5f %10.5f %10.5f %10.5f %8.2f %7d\n",
+			r.Name, r.Native, r.LLVMBase, r.PADummy, r.Ours, r.OursStatic, r.Ratio3, r.ElidedAllocs)
 	}
 	return b.String()
 }

@@ -1,0 +1,411 @@
+// Package dfa provides the intra-procedural analysis infrastructure the
+// static dangling-use pass (internal/minic/safety) is built on: control-flow
+// graphs over mini-C IR functions, dominator trees, and a reusable
+// forward/backward gen-kill dataflow framework over bitsets.
+//
+// The IR already comes in basic-block form with explicit Br/CondBr/Ret
+// terminators, so CFG construction is just edge extraction; everything else
+// (reverse postorder, the Cooper-Harvey-Kennedy dominator algorithm, the
+// iterative worklist solver) is textbook and deliberately generic so later
+// passes (liveness, availability, very-busy expressions) can reuse it.
+package dfa
+
+import (
+	"fmt"
+
+	"repro/internal/minic/ir"
+)
+
+// CFG is the control-flow graph of one function. Block indexes are the
+// function's ir.Func.Blocks indexes; block 0 is the entry.
+type CFG struct {
+	Fn *ir.Func
+	// Succs[b] and Preds[b] are the successor/predecessor block indexes,
+	// in terminator order (CondBr: true then false).
+	Succs [][]int
+	Preds [][]int
+	// Exits are the blocks ending in Ret.
+	Exits []int
+
+	rpo     []int
+	rpoNum  []int // rpoNum[block] = position in rpo, -1 if unreachable
+	reached []bool
+}
+
+// BuildCFG extracts the control-flow graph of fn.
+func BuildCFG(fn *ir.Func) (*CFG, error) {
+	n := len(fn.Blocks)
+	c := &CFG{
+		Fn:    fn,
+		Succs: make([][]int, n),
+		Preds: make([][]int, n),
+	}
+	for bi, b := range fn.Blocks {
+		if len(b.Instrs) == 0 {
+			return nil, fmt.Errorf("dfa: %s: empty block b%d", fn.Name, bi)
+		}
+		term := b.Instrs[len(b.Instrs)-1]
+		switch t := term.(type) {
+		case *ir.Br:
+			c.addEdge(bi, t.Target)
+		case *ir.CondBr:
+			c.addEdge(bi, t.True)
+			if t.False != t.True {
+				c.addEdge(bi, t.False)
+			}
+		case *ir.Ret:
+			c.Exits = append(c.Exits, bi)
+		default:
+			return nil, fmt.Errorf("dfa: %s: block b%d ends in %T, not a terminator", fn.Name, bi, term)
+		}
+	}
+	c.computeRPO()
+	return c, nil
+}
+
+func (c *CFG) addEdge(from, to int) {
+	if to < 0 || to >= len(c.Fn.Blocks) {
+		return
+	}
+	c.Succs[from] = append(c.Succs[from], to)
+	c.Preds[to] = append(c.Preds[to], from)
+}
+
+// computeRPO records a reverse postorder over the blocks reachable from the
+// entry (the iteration order that makes forward problems converge fastest).
+func (c *CFG) computeRPO() {
+	n := len(c.Fn.Blocks)
+	c.reached = make([]bool, n)
+	c.rpoNum = make([]int, n)
+	for i := range c.rpoNum {
+		c.rpoNum[i] = -1
+	}
+	var post []int
+	var dfs func(int)
+	dfs = func(b int) {
+		c.reached[b] = true
+		for _, s := range c.Succs[b] {
+			if !c.reached[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if n > 0 {
+		dfs(0)
+	}
+	c.rpo = make([]int, len(post))
+	for i, b := range post {
+		c.rpo[len(post)-1-i] = b
+		c.rpoNum[b] = len(post) - 1 - i
+	}
+}
+
+// RPO returns the reachable blocks in reverse postorder (entry first).
+func (c *CFG) RPO() []int { return c.rpo }
+
+// Reachable reports whether block b is reachable from the entry.
+func (c *CFG) Reachable(b int) bool { return c.reached[b] }
+
+// DomTree is the dominator tree of a CFG. Unreachable blocks have Idom -1.
+type DomTree struct {
+	// Idom[b] is b's immediate dominator (entry's is itself).
+	Idom []int
+
+	cfg *CFG
+}
+
+// Dominators computes the dominator tree with the Cooper-Harvey-Kennedy
+// iterative algorithm over the reverse postorder.
+func (c *CFG) Dominators() *DomTree {
+	n := len(c.Fn.Blocks)
+	d := &DomTree{Idom: make([]int, n), cfg: c}
+	for i := range d.Idom {
+		d.Idom[i] = -1
+	}
+	if n == 0 {
+		return d
+	}
+	d.Idom[0] = 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range c.rpo {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range c.Preds[b] {
+				if d.Idom[p] == -1 {
+					continue // unprocessed or unreachable
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && d.Idom[b] != newIdom {
+				d.Idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+func (d *DomTree) intersect(a, b int) int {
+	num := d.cfg.rpoNum
+	for a != b {
+		for num[a] > num[b] {
+			a = d.Idom[a]
+		}
+		for num[b] > num[a] {
+			b = d.Idom[b]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether block a dominates block b (reflexively).
+// Unreachable blocks dominate nothing and are dominated by nothing.
+func (d *DomTree) Dominates(a, b int) bool {
+	if d.Idom[a] == -1 || d.Idom[b] == -1 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if b == 0 {
+			return false
+		}
+		b = d.Idom[b]
+	}
+}
+
+// Direction selects which way facts propagate.
+type Direction int
+
+// Dataflow directions.
+const (
+	Forward Direction = iota + 1
+	Backward
+)
+
+// Join selects the confluence operator at control-flow merges.
+type Join int
+
+// Join operators: Union for may-problems, Intersect for must-problems.
+const (
+	Union Join = iota + 1
+	Intersect
+)
+
+// Problem is one gen-kill dataflow problem over a fixed universe of facts.
+// Transfer functions are per-block: OUT = Gen ∪ (IN − Kill) for forward
+// problems (mirrored for backward). For Intersect problems the solver
+// initializes interior sets to the full universe (top) so the meet is sound.
+type Problem struct {
+	Dir  Direction
+	Join Join
+	// NumFacts is the universe size; fact indexes are [0, NumFacts).
+	NumFacts int
+	// Boundary is the fact set at the entry (Forward) or at every exit
+	// (Backward); nil means the empty set.
+	Boundary BitSet
+	// Gen and Kill are per-block fact sets; nil entries mean empty.
+	Gen, Kill []BitSet
+}
+
+// Result holds the fixpoint solution: In[b] and Out[b] are the fact sets at
+// block entry and exit, in execution order regardless of problem direction.
+type Result struct {
+	In, Out []BitSet
+}
+
+// Solve runs the iterative worklist algorithm to a fixpoint.
+func Solve(c *CFG, p Problem) *Result {
+	n := len(c.Fn.Blocks)
+	res := &Result{In: make([]BitSet, n), Out: make([]BitSet, n)}
+
+	top := func() BitSet {
+		s := NewBitSet(p.NumFacts)
+		if p.Join == Intersect {
+			s.Fill()
+		}
+		return s
+	}
+	boundary := func() BitSet {
+		s := NewBitSet(p.NumFacts)
+		if p.Boundary != nil {
+			s.CopyFrom(p.Boundary)
+		}
+		return s
+	}
+	for b := 0; b < n; b++ {
+		res.In[b] = top()
+		res.Out[b] = top()
+	}
+
+	// inEdges(b) are the blocks whose solution feeds b; apply(b) recomputes
+	// b's sets and reports change. The same loop serves both directions.
+	var order []int
+	var feed func(b int) []int
+	var isBoundary func(b int) bool
+	if p.Dir == Forward {
+		order = c.rpo
+		feed = func(b int) []int { return c.Preds[b] }
+		isBoundary = func(b int) bool { return b == 0 }
+	} else {
+		order = make([]int, len(c.rpo))
+		for i, b := range c.rpo {
+			order[len(c.rpo)-1-i] = b
+		}
+		feed = func(b int) []int { return c.Succs[b] }
+		exit := make(map[int]bool, len(c.Exits))
+		for _, e := range c.Exits {
+			exit[e] = true
+		}
+		isBoundary = func(b int) bool { return exit[b] }
+	}
+
+	gen := func(b int) BitSet {
+		if p.Gen == nil || p.Gen[b] == nil {
+			return nil
+		}
+		return p.Gen[b]
+	}
+	kill := func(b int) BitSet {
+		if p.Kill == nil || p.Kill[b] == nil {
+			return nil
+		}
+		return p.Kill[b]
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			// Meet over feeding edges into the "before" set.
+			var before, after BitSet
+			if p.Dir == Forward {
+				before, after = res.In[b], res.Out[b]
+			} else {
+				before, after = res.Out[b], res.In[b]
+			}
+			// The boundary set behaves like one more feeding edge,
+			// joined with the problem's own operator (so a loop back
+			// into the entry meets against "nothing yet" correctly
+			// in both may- and must-problems).
+			feeds := feed(b)
+			if isBoundary(b) || len(feeds) > 0 {
+				meet := top()
+				first := true
+				if isBoundary(b) {
+					meet.CopyFrom(boundary())
+					first = false
+				}
+				for _, f := range feeds {
+					var src BitSet
+					if p.Dir == Forward {
+						src = res.Out[f]
+					} else {
+						src = res.In[f]
+					}
+					if first {
+						meet.CopyFrom(src)
+						first = false
+					} else {
+						meet.join(src, p.Join)
+					}
+				}
+				before.CopyFrom(meet)
+			}
+			// Transfer: after = gen ∪ (before − kill).
+			next := NewBitSet(p.NumFacts)
+			next.CopyFrom(before)
+			if k := kill(b); k != nil {
+				next.AndNot(k)
+			}
+			if g := gen(b); g != nil {
+				next.Or(g)
+			}
+			if !after.Equal(next) {
+				after.CopyFrom(next)
+				changed = true
+			}
+		}
+	}
+	return res
+}
+
+// BitSet is a fixed-size bitset.
+type BitSet []uint64
+
+// NewBitSet returns an empty set over a universe of n facts.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Has reports membership of fact i.
+func (s BitSet) Has(i int) bool { return s[i/64]&(1<<uint(i%64)) != 0 }
+
+// Set adds fact i.
+func (s BitSet) Set(i int) { s[i/64] |= 1 << uint(i%64) }
+
+// Clear removes fact i.
+func (s BitSet) Clear(i int) { s[i/64] &^= 1 << uint(i%64) }
+
+// Fill adds every fact (the Intersect-problem top element; trailing bits
+// beyond the universe are harmless because every operand shares them).
+func (s BitSet) Fill() {
+	for i := range s {
+		s[i] = ^uint64(0)
+	}
+}
+
+// CopyFrom overwrites s with o.
+func (s BitSet) CopyFrom(o BitSet) { copy(s, o) }
+
+// Or unions o into s.
+func (s BitSet) Or(o BitSet) {
+	for i := range s {
+		s[i] |= o[i]
+	}
+}
+
+// And intersects o into s.
+func (s BitSet) And(o BitSet) {
+	for i := range s {
+		s[i] &= o[i]
+	}
+}
+
+// AndNot removes o's members from s.
+func (s BitSet) AndNot(o BitSet) {
+	for i := range s {
+		s[i] &^= o[i]
+	}
+}
+
+// Equal reports set equality.
+func (s BitSet) Equal(o BitSet) bool {
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (s BitSet) Clone() BitSet {
+	c := make(BitSet, len(s))
+	copy(c, s)
+	return c
+}
+
+func (s BitSet) join(o BitSet, j Join) {
+	if j == Union {
+		s.Or(o)
+	} else {
+		s.And(o)
+	}
+}

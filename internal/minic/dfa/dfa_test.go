@@ -1,0 +1,294 @@
+package dfa
+
+import (
+	"testing"
+
+	"repro/internal/minic/ir"
+)
+
+// mkFunc assembles a function from blocks of instructions.
+func mkFunc(blocks ...[]ir.Instr) *ir.Func {
+	fn := &ir.Func{Name: "f"}
+	for i, instrs := range blocks {
+		fn.Blocks = append(fn.Blocks, &ir.Block{Name: "b", Instrs: instrs})
+		_ = i
+	}
+	return fn
+}
+
+func cst(dst ir.Reg) ir.Instr { return &ir.Const{Dst: dst, Val: 1} }
+func br(t int) ir.Instr       { return &ir.Br{Target: t} }
+func cbr(tr, fa int) ir.Instr { return &ir.CondBr{Cond: 0, True: tr, False: fa} }
+func ret() ir.Instr           { return &ir.Ret{Val: ir.None} }
+
+// diamond: b0 -> {b1, b2} -> b3(ret)
+func diamond() *ir.Func {
+	return mkFunc(
+		[]ir.Instr{cst(0), cbr(1, 2)},
+		[]ir.Instr{br(3)},
+		[]ir.Instr{br(3)},
+		[]ir.Instr{ret()},
+	)
+}
+
+// loop: b0 -> b1(head) -> {b2(body) -> b1, b3(ret)}
+func loop() *ir.Func {
+	return mkFunc(
+		[]ir.Instr{br(1)},
+		[]ir.Instr{cst(0), cbr(2, 3)},
+		[]ir.Instr{br(1)},
+		[]ir.Instr{ret()},
+	)
+}
+
+func TestCFGDiamond(t *testing.T) {
+	c, err := BuildCFG(diamond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSuccs := [][]int{{1, 2}, {3}, {3}, nil}
+	for b, want := range wantSuccs {
+		if got := c.Succs[b]; len(got) != len(want) {
+			t.Fatalf("b%d succs = %v, want %v", b, got, want)
+		}
+	}
+	if len(c.Preds[3]) != 2 {
+		t.Errorf("b3 preds = %v, want two", c.Preds[3])
+	}
+	if len(c.Exits) != 1 || c.Exits[0] != 3 {
+		t.Errorf("exits = %v, want [3]", c.Exits)
+	}
+	rpo := c.RPO()
+	if len(rpo) != 4 || rpo[0] != 0 || rpo[len(rpo)-1] != 3 {
+		t.Errorf("rpo = %v, want entry first, exit last", rpo)
+	}
+}
+
+func TestCFGUnreachableBlock(t *testing.T) {
+	fn := mkFunc(
+		[]ir.Instr{br(2)},
+		[]ir.Instr{ret()}, // unreachable
+		[]ir.Instr{ret()},
+	)
+	c, err := BuildCFG(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Reachable(1) {
+		t.Error("b1 should be unreachable")
+	}
+	if !c.Reachable(2) {
+		t.Error("b2 should be reachable")
+	}
+	d := c.Dominators()
+	if d.Idom[1] != -1 {
+		t.Errorf("unreachable block has idom %d, want -1", d.Idom[1])
+	}
+	if d.Dominates(1, 2) || d.Dominates(2, 1) {
+		t.Error("unreachable blocks neither dominate nor are dominated")
+	}
+}
+
+func TestCFGRejectsMalformedBlocks(t *testing.T) {
+	if _, err := BuildCFG(mkFunc(nil)); err == nil {
+		t.Error("empty block accepted")
+	}
+	if _, err := BuildCFG(mkFunc([]ir.Instr{cst(0)})); err == nil {
+		t.Error("block without terminator accepted")
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	c, err := BuildCFG(diamond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Dominators()
+	wantIdom := []int{0, 0, 0, 0}
+	for b, want := range wantIdom {
+		if d.Idom[b] != want {
+			t.Errorf("idom(b%d) = %d, want %d", b, d.Idom[b], want)
+		}
+	}
+	if !d.Dominates(0, 3) {
+		t.Error("entry must dominate the exit")
+	}
+	if d.Dominates(1, 3) || d.Dominates(2, 3) {
+		t.Error("neither diamond arm dominates the join")
+	}
+	for b := 0; b < 4; b++ {
+		if !d.Dominates(b, b) {
+			t.Errorf("dominance must be reflexive (b%d)", b)
+		}
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	c, err := BuildCFG(loop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Dominators()
+	wantIdom := []int{0, 0, 1, 1}
+	for b, want := range wantIdom {
+		if d.Idom[b] != want {
+			t.Errorf("idom(b%d) = %d, want %d", b, d.Idom[b], want)
+		}
+	}
+	if !d.Dominates(1, 2) || !d.Dominates(1, 3) {
+		t.Error("loop head must dominate body and exit")
+	}
+	if d.Dominates(2, 3) {
+		t.Error("loop body must not dominate the loop exit")
+	}
+}
+
+// TestForwardUnionVsIntersect: one diamond arm gens fact 0. A may-problem
+// sees it at the join; a must-problem does not.
+func TestForwardUnionVsIntersect(t *testing.T) {
+	c, err := BuildCFG(diamond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := make([]BitSet, 4)
+	gen[1] = NewBitSet(1)
+	gen[1].Set(0)
+
+	may := Solve(c, Problem{Dir: Forward, Join: Union, NumFacts: 1, Gen: gen})
+	if !may.In[3].Has(0) {
+		t.Error("union join must carry the fact to the join block")
+	}
+	must := Solve(c, Problem{Dir: Forward, Join: Intersect, NumFacts: 1, Gen: gen})
+	if must.In[3].Has(0) {
+		t.Error("intersect join must drop a one-armed fact")
+	}
+
+	// With both arms genning, the must-problem keeps it.
+	gen[2] = NewBitSet(1)
+	gen[2].Set(0)
+	must = Solve(c, Problem{Dir: Forward, Join: Intersect, NumFacts: 1, Gen: gen})
+	if !must.In[3].Has(0) {
+		t.Error("intersect join must keep a both-armed fact")
+	}
+}
+
+// TestForwardKill: a kill on the path removes the fact downstream.
+func TestForwardKill(t *testing.T) {
+	// b0 gens fact 0; b1 kills it; b3 join.
+	c, err := BuildCFG(diamond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := make([]BitSet, 4)
+	gen[0] = NewBitSet(1)
+	gen[0].Set(0)
+	kill := make([]BitSet, 4)
+	kill[1] = NewBitSet(1)
+	kill[1].Set(0)
+
+	may := Solve(c, Problem{Dir: Forward, Join: Union, NumFacts: 1, Gen: gen, Kill: kill})
+	if !may.In[3].Has(0) {
+		t.Error("fact survives on the untouched arm (may)")
+	}
+	must := Solve(c, Problem{Dir: Forward, Join: Intersect, NumFacts: 1, Gen: gen, Kill: kill})
+	if must.In[3].Has(0) {
+		t.Error("fact killed on one arm cannot must-hold at the join")
+	}
+}
+
+// TestLoopConvergence: a fact genned in a loop body may-holds at the head
+// (via the back edge) but must not must-hold there.
+func TestLoopConvergence(t *testing.T) {
+	c, err := BuildCFG(loop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := make([]BitSet, 4)
+	gen[2] = NewBitSet(1)
+	gen[2].Set(0)
+
+	may := Solve(c, Problem{Dir: Forward, Join: Union, NumFacts: 1, Gen: gen})
+	if !may.In[1].Has(0) {
+		t.Error("back edge must carry the fact to the loop head (may)")
+	}
+	if !may.In[3].Has(0) {
+		t.Error("fact must may-reach the loop exit")
+	}
+	must := Solve(c, Problem{Dir: Forward, Join: Intersect, NumFacts: 1, Gen: gen})
+	if must.In[1].Has(0) {
+		t.Error("zero-trip path keeps the fact out of the must set at the head")
+	}
+	if must.In[3].Has(0) {
+		t.Error("zero-trip path keeps the fact out of the must set at the exit")
+	}
+}
+
+// TestBackwardLiveness: classic liveness shape — a fact "used" (genned
+// backward) in one arm is live before the branch.
+func TestBackwardLiveness(t *testing.T) {
+	c, err := BuildCFG(diamond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := make([]BitSet, 4)
+	gen[2] = NewBitSet(1)
+	gen[2].Set(0)
+
+	live := Solve(c, Problem{Dir: Backward, Join: Union, NumFacts: 1, Gen: gen})
+	if !live.Out[0].Has(0) {
+		t.Error("use in one arm must be live out of the entry")
+	}
+	if live.In[3].Has(0) {
+		t.Error("nothing is live at the exit block entry")
+	}
+	if !live.In[2].Has(0) {
+		t.Error("the using block's in-set must carry the fact")
+	}
+}
+
+// TestBackwardBoundary: the boundary set feeds exit blocks.
+func TestBackwardBoundary(t *testing.T) {
+	c, err := BuildCFG(diamond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundary := NewBitSet(1)
+	boundary.Set(0)
+	r := Solve(c, Problem{Dir: Backward, Join: Union, NumFacts: 1, Boundary: boundary})
+	if !r.Out[3].Has(0) {
+		t.Error("boundary must seed the exit block's out-set")
+	}
+	if !r.In[0].Has(0) {
+		t.Error("boundary fact propagates to the entry with no kills")
+	}
+}
+
+func TestBitSetOps(t *testing.T) {
+	a := NewBitSet(130)
+	b := NewBitSet(130)
+	a.Set(0)
+	a.Set(129)
+	b.Set(129)
+	if !a.Has(129) || a.Has(64) {
+		t.Fatal("membership broken")
+	}
+	c := a.Clone()
+	c.And(b)
+	if c.Has(0) || !c.Has(129) {
+		t.Error("And broken")
+	}
+	c = a.Clone()
+	c.AndNot(b)
+	if !c.Has(0) || c.Has(129) {
+		t.Error("AndNot broken")
+	}
+	c = NewBitSet(130)
+	c.Or(a)
+	if !c.Equal(a) {
+		t.Error("Or/Equal broken")
+	}
+	c.Clear(0)
+	if c.Has(0) {
+		t.Error("Clear broken")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/minic/irgen"
 	"repro/internal/minic/parser"
 	"repro/internal/minic/poolalloc"
+	"repro/internal/minic/safety"
 	"repro/internal/sim/kernel"
 )
 
@@ -46,6 +47,27 @@ func CompileWithPools(src string) (*ir.Program, *poolalloc.Result, error) {
 		return nil, nil, fmt.Errorf("poolalloc: %w", err)
 	}
 	return prog, res, nil
+}
+
+// CompileStatic is CompileWithPools plus the static safety analysis: the
+// "ours+static" compilation. The safety pass runs on the pre-APA IR, marks
+// proven-elidable malloc sites, and the pool transformation carries the flag
+// onto the rewritten PoolAlloc instructions.
+func CompileStatic(src string) (*ir.Program, *poolalloc.Result, *safety.Report, error) {
+	prog, err := Compile(src)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rep, err := safety.Analyze(prog)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rep.MarkElidable()
+	res, err := poolalloc.Transform(prog)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("poolalloc: %w", err)
+	}
+	return prog, res, rep, nil
 }
 
 // RunResult carries a finished execution's artifacts.

@@ -285,6 +285,138 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 	}
 }
 
+// runFuzzStatic compiles through the static safety pipeline (analysis, the
+// Elidable marking, then APA) and runs under the shadow runtime, returning
+// the output together with the remapper's counters.
+func runFuzzStatic(src string) (string, core.Stats, error) {
+	prog, _, _, err := CompileStatic(src)
+	if err != nil {
+		return "", core.Stats{}, fmt.Errorf("compile static: %w", err)
+	}
+	var shadow *runtimes.Shadow
+	mkRT := func(p *kernel.Process) interp.Runtime {
+		shadow = runtimes.NewShadow(p, core.NeverReuse())
+		return shadow
+	}
+	cfg := kernel.DefaultConfig()
+	sys := kernel.NewSystem(cfg)
+	res, err := Run(prog, sys, cfg, mkRT, interp.Config{StepLimit: 1 << 24})
+	if err != nil {
+		return "", core.Stats{}, err
+	}
+	stats := shadow.Remapper().Stats()
+	if res.Err != nil {
+		return "", stats, fmt.Errorf("program error: %w", res.Err)
+	}
+	return res.Machine.Output(), stats, nil
+}
+
+// TestDifferentialStaticElision runs each random program through the static
+// pipeline twice: once as generated (every buffer freed — nothing may be
+// elided, and the elision-miss counter must stay zero) and once with the
+// frees stripped (every buffer leaks — the analysis should now prove the
+// buffers never-freed and elide their shadow pages). Output must match the
+// native run in all cases.
+func TestDifferentialStaticElision(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			g := &progGen{r: rand.New(rand.NewSource(int64(2000 + seed)))}
+			src := g.generate()
+
+			native, err := runFuzzConfig(src, false, func(p *kernel.Process) interp.Runtime {
+				return runtimes.NewNative(p)
+			})
+			if err != nil {
+				t.Fatalf("native: %v\nprogram:\n%s", err, src)
+			}
+			out, stats, err := runFuzzStatic(src)
+			if err != nil {
+				t.Fatalf("static: %v\nprogram:\n%s", err, src)
+			}
+			if out != native {
+				t.Fatalf("static output diverged\nnative: %q\nstatic: %q\nprogram:\n%s", native, out, src)
+			}
+			if stats.ElisionMisses != 0 {
+				t.Fatalf("%d elision misses on a fully-freed program\nprogram:\n%s", stats.ElisionMisses, src)
+			}
+			if stats.ElidedAllocs != 0 {
+				t.Fatalf("elided %d allocations of freed buffers\nprogram:\n%s", stats.ElidedAllocs, src)
+			}
+
+			if len(g.bufs) == 0 {
+				return
+			}
+			// Leaky variant: drop every free; the classes become
+			// never-freed and allocation dominates each use, so the
+			// analysis should elide them all.
+			leaky := src
+			for _, b := range g.bufs {
+				leaky = strings.Replace(leaky, fmt.Sprintf("  free(%s);\n", b.name), "", 1)
+			}
+			nativeLeaky, err := runFuzzConfig(leaky, false, func(p *kernel.Process) interp.Runtime {
+				return runtimes.NewNative(p)
+			})
+			if err != nil {
+				t.Fatalf("native leaky: %v\nprogram:\n%s", err, leaky)
+			}
+			outLeaky, statsLeaky, err := runFuzzStatic(leaky)
+			if err != nil {
+				t.Fatalf("static leaky: %v\nprogram:\n%s", err, leaky)
+			}
+			if outLeaky != nativeLeaky {
+				t.Fatalf("leaky static output diverged\nnative: %q\nstatic: %q\nprogram:\n%s",
+					nativeLeaky, outLeaky, leaky)
+			}
+			if statsLeaky.ElidedAllocs == 0 {
+				t.Fatalf("no allocations elided in the leaky variant\nprogram:\n%s", leaky)
+			}
+			if statsLeaky.ElisionMisses != 0 {
+				t.Fatalf("%d elision misses in the leaky variant\nprogram:\n%s",
+					statsLeaky.ElisionMisses, leaky)
+			}
+		})
+	}
+}
+
+// TestDifferentialStaticUseAfterFreeStillCaught injects a stale read into a
+// random program, then checks the static pipeline's runtime still traps it:
+// eliding proven-safe allocations must never weaken detection of the rest.
+func TestDifferentialStaticUseAfterFreeStillCaught(t *testing.T) {
+	seeds := 15
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			g := &progGen{r: rand.New(rand.NewSource(int64(3000 + seed)))}
+			src := g.generate()
+			if len(g.bufs) == 0 {
+				t.Skip("no buffers generated")
+			}
+			victim := g.bufs[g.r.Intn(len(g.bufs))]
+			bug := fmt.Sprintf("  print_int(%s[0]);\n}\n", victim.name)
+			src = strings.Replace(src, "  print_int(seedv);\n}\n", bug, 1)
+
+			_, stats, err := runFuzzStatic(src)
+			if err == nil {
+				t.Fatalf("static pipeline missed the injected UAF\nprogram:\n%s", src)
+			}
+			if !strings.Contains(err.Error(), "dangling") {
+				t.Fatalf("unexpected error kind: %v\nprogram:\n%s", err, src)
+			}
+			if stats.ElisionMisses != 0 {
+				t.Fatalf("%d elision misses\nprogram:\n%s", stats.ElisionMisses, src)
+			}
+		})
+	}
+}
+
 // TestDifferentialUseAfterFreeAlwaysCaught plants a use-after-free at a
 // random point after the frees and checks the detector always reports it
 // while native mode stays silent.

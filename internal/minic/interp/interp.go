@@ -46,6 +46,18 @@ type Runtime interface {
 	CheckAccess(addr vm.Addr, size int, write bool, site string) (vm.Addr, error)
 }
 
+// ElisionRuntime is the optional interface a Runtime implements to honor the
+// static safety analysis's Elidable flag: allocations proven never freed
+// before use skip protection entirely. Runtimes that do not implement it
+// (the native and baseline configurations) service elidable allocations
+// through the ordinary Malloc/PoolAlloc path.
+type ElisionRuntime interface {
+	// MallocElided services a pre-APA malloc proven elidable.
+	MallocElided(size uint64, site string) (vm.Addr, error)
+	// PoolAllocElided services a pool allocation proven elidable.
+	PoolAllocElided(handle uint64, size uint64, site string) (vm.Addr, error)
+}
+
 // ExitError reports abnormal program termination other than a memory fault.
 type ExitError struct {
 	Site string
@@ -261,7 +273,13 @@ func (m *Machine) call(fn *ir.Func, args []uint64, poolArgs []uint64, sp vm.Addr
 		case *ir.StrAddr:
 			regs[in.Dst] = m.strAddrs[in.Index]
 		case *ir.Malloc:
-			a, err := m.rt.Malloc(regs[in.Size], in.Site)
+			var a vm.Addr
+			var err error
+			if er, ok := m.rt.(ElisionRuntime); ok && in.Elidable {
+				a, err = er.MallocElided(regs[in.Size], in.Site)
+			} else {
+				a, err = m.rt.Malloc(regs[in.Size], in.Site)
+			}
 			if err != nil {
 				return 0, err
 			}
@@ -275,7 +293,12 @@ func (m *Machine) call(fn *ir.Func, args []uint64, poolArgs []uint64, sp vm.Addr
 			if err != nil {
 				return 0, err
 			}
-			a, err := m.rt.PoolAlloc(h, regs[in.Size], in.Site)
+			var a vm.Addr
+			if er, ok := m.rt.(ElisionRuntime); ok && in.Elidable {
+				a, err = er.PoolAllocElided(h, regs[in.Size], in.Site)
+			} else {
+				a, err = m.rt.PoolAlloc(h, regs[in.Size], in.Site)
+			}
 			if err != nil {
 				return 0, err
 			}

@@ -259,6 +259,10 @@ type Malloc struct {
 	Dst  Reg
 	Size Reg
 	Site string
+	// Elidable is set by the static safety analysis when the allocation
+	// is proven to never need shadow-page protection (its points-to
+	// class is never freed before any use).
+	Elidable bool
 }
 
 // Free is the pre-APA deallocation operation.
@@ -273,6 +277,8 @@ type PoolAlloc struct {
 	Pool PoolRef
 	Size Reg
 	Site string
+	// Elidable is carried over from the Malloc this instruction rewrote.
+	Elidable bool
 }
 
 // PoolFree is Free after APA.

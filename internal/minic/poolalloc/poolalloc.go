@@ -479,6 +479,7 @@ func (t *transformer) rewrite() error {
 					}
 					b.Instrs[i] = &ir.PoolAlloc{
 						Dst: in.Dst, Pool: ref, Size: in.Size, Site: in.Site,
+						Elidable: in.Elidable,
 					}
 				case *ir.Free:
 					h := t.graph.FreeNode(in)

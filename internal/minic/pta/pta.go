@@ -136,7 +136,7 @@ func (g *Graph) union(a, b *Node) *Node {
 	a.Heap = a.Heap || b.Heap
 	a.GlobalVar = a.GlobalVar || b.GlobalVar
 	a.Sites = append(a.Sites, b.Sites...)
-	a.SiteLabels = append(a.SiteLabels, b.SiteLabels...)
+	a.SiteLabels = mergeLabels(a.SiteLabels, b.SiteLabels)
 	a.ElemSizes = append(a.ElemSizes, b.ElemSizes...)
 	if a.ID > b.ID {
 		a.ID = b.ID // keep the smallest id as the class id for determinism
@@ -152,6 +152,36 @@ func (g *Graph) union(a, b *Node) *Node {
 		a.pts = merged
 	}
 	return a
+}
+
+// mergeLabels combines two site-label lists, deduplicating and sorting so
+// unioned classes never accumulate duplicate "func:line" entries and every
+// diagnostic that prints them is deterministic.
+func mergeLabels(a, b []string) []string {
+	if len(b) == 0 && isSortedUnique(a) {
+		return a
+	}
+	seen := make(map[string]bool, len(a)+len(b))
+	out := make([]string, 0, len(a)+len(b))
+	for _, lists := range [2][]string{a, b} {
+		for _, l := range lists {
+			if !seen[l] {
+				seen[l] = true
+				out = append(out, l)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func isSortedUnique(a []string) bool {
+	for i := 1; i < len(a); i++ {
+		if a[i] <= a[i-1] {
+			return false
+		}
+	}
+	return true
 }
 
 // pointee returns (creating on demand) the class n points to.
@@ -240,6 +270,47 @@ func (g *Graph) FreeNode(f *ir.Free) *Node {
 		return n.Find()
 	}
 	return nil
+}
+
+// RegPointsTo returns the class the values of register r in function fn may
+// point to, or nil when the register holds no pointers (or was never seen).
+// This is the query the static safety analysis asks for every load/store
+// address.
+func (g *Graph) RegPointsTo(fn string, r ir.Reg) *Node {
+	n, ok := g.regs[regKey{fn, r}]
+	if !ok {
+		return nil
+	}
+	return n.PointsTo()
+}
+
+// SlotNode returns the storage class of the frame slot at offset off in fn,
+// or nil when the slot was never seen.
+func (g *Graph) SlotNode(fn string, off uint64) *Node {
+	if n, ok := g.slots[slotKey{fn, off}]; ok {
+		return n.Find()
+	}
+	return nil
+}
+
+// SlotPointsTo returns the class the frame slot at offset off in fn points
+// to, or nil when the slot was never seen or holds no tracked pointers.
+func (g *Graph) SlotPointsTo(fn string, off uint64) *Node {
+	n, ok := g.slots[slotKey{fn, off}]
+	if !ok {
+		return nil
+	}
+	return n.PointsTo()
+}
+
+// GlobalPointsTo returns the class a global variable's value points to, or
+// nil when the global was never seen or holds no tracked pointers.
+func (g *Graph) GlobalPointsTo(name string) *Node {
+	n, ok := g.global[name]
+	if !ok {
+		return nil
+	}
+	return n.PointsTo()
 }
 
 // HeapNodes returns the distinct heap classes, ordered by ID.

@@ -221,3 +221,81 @@ func TestRejectsPoolAllocatedProgram(t *testing.T) {
 		t.Fatal("expected rejection of already-transformed program")
 	}
 }
+
+// TestSiteLabelsDedupAfterUnification: repeated unification of overlapping
+// classes must leave each "func:line" label exactly once, sorted — the
+// safety report's provenance lists depend on it.
+func TestSiteLabelsDedupAfterUnification(t *testing.T) {
+	prog, g := analyze(t, `
+void main() {
+  int *a = (int*)malloc(8);
+  int *b = (int*)malloc(8);
+  int *c = (int*)malloc(8);
+  if (1) a = b;
+  if (1) b = c;
+  if (1) c = a;
+  if (1) a = c;
+  print_int(*a);
+}
+`)
+	ms := mallocs(prog, "main")
+	if len(ms) != 3 {
+		t.Fatalf("mallocs = %d", len(ms))
+	}
+	n := g.SiteNode(ms[0])
+	for _, m := range ms[1:] {
+		if g.SiteNode(m) != n {
+			t.Fatal("aliased allocations should unify into one class")
+		}
+	}
+	labels := n.SiteLabels
+	if len(labels) != 3 {
+		t.Fatalf("SiteLabels = %v, want 3 distinct sites", labels)
+	}
+	seen := map[string]bool{}
+	for i, l := range labels {
+		if seen[l] {
+			t.Fatalf("duplicate label %q in %v", l, labels)
+		}
+		seen[l] = true
+		if i > 0 && labels[i-1] >= l {
+			t.Fatalf("labels not sorted: %v", labels)
+		}
+	}
+	for _, want := range []string{"main:3", "main:4", "main:5"} {
+		if !seen[want] {
+			t.Fatalf("missing label %s in %v", want, labels)
+		}
+	}
+}
+
+// TestSiteLabelsSameSiteMergesOnce: a single site unified with itself (the
+// loop-cursor pattern) carries its label once, not once per merge.
+func TestSiteLabelsSameSiteMergesOnce(t *testing.T) {
+	prog, g := analyze(t, `
+struct n { int v; struct n *next; };
+void main() {
+  struct n *head = (struct n*)malloc(sizeof(struct n));
+  struct n *q = head;
+  int i;
+  for (i = 0; i < 5; i = i + 1) {
+    q->next = (struct n*)malloc(sizeof(struct n));
+    q = q->next;
+  }
+}
+`)
+	ms := mallocs(prog, "main")
+	n := g.SiteNode(ms[0])
+	counts := map[string]int{}
+	for _, l := range n.SiteLabels {
+		counts[l]++
+	}
+	for l, c := range counts {
+		if c != 1 {
+			t.Fatalf("label %s appears %d times: %v", l, c, n.SiteLabels)
+		}
+	}
+	if len(counts) != 2 {
+		t.Fatalf("SiteLabels = %v, want the two malloc sites", n.SiteLabels)
+	}
+}

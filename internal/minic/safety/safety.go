@@ -1,0 +1,1028 @@
+// Package safety implements the static dangling-pointer analysis that sits
+// between the compiler front end and the shadow-page runtime: a
+// flow-sensitive analysis over the Steensgaard points-to classes
+// (internal/minic/pta), solved on the CFG/dataflow infrastructure in
+// internal/minic/dfa.
+//
+// Every dereference and free is classified into one of three tiers:
+//
+//   - DEFINITE-UAF: the pointer being dereferenced (or freed) is tracked at
+//     the granularity of the frame slot or global it was loaded from, and on
+//     every intraprocedural path that storage location certainly holds a
+//     freed pointer — it was directly freed, or its value was handed to a
+//     callee that (transitively) frees objects of its class. High-confidence
+//     report tier; a `free(p); use(p)` and the Figure 1 `g(p); p->next->val`
+//     both land here, while freeing a *different* object of the same class
+//     does not.
+//   - POSSIBLE-UAF: some free of the object's points-to class may have
+//     executed when the use runs (on some path, in some caller, or in a
+//     loop). Cannot be proven safe at class granularity.
+//   - PROVEN-SAFE: no free of the class can possibly have executed when the
+//     use runs. This is the *sound* tier: a PROVEN-SAFE use can never touch
+//     freed memory, because every function other than main is assumed to
+//     run with every reachable free already executed (the may-analysis entry
+//     boundary), so the proof holds in every calling context.
+//
+// On top of the per-use verdicts the pass computes *elidable* malloc sites:
+// an allocation may skip shadow-page protection entirely (the canonical
+// pointer is returned to the program) when no free of its class is reachable
+// anywhere in the program — such objects are released only when their pool
+// is destroyed, and Automatic Pool Allocation's escape-driven pool placement
+// already guarantees no pointer into a pool outlives the pool. As a
+// belt-and-braces condition (and because class granularity merges allocation
+// sites) every use of the class inside an allocating function must also be
+// dominated by one of that function's allocations. The runtime double-checks
+// the proof with an elision-miss counter: a free that ever targets an elided
+// object would be the analysis being wrong, and is counted, not hidden.
+package safety
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/minic/dfa"
+	"repro/internal/minic/escape"
+	"repro/internal/minic/ir"
+	"repro/internal/minic/pta"
+)
+
+// Verdict is the classification tier of one use.
+type Verdict int
+
+// Verdicts, ordered from best to worst.
+const (
+	ProvenSafe Verdict = iota + 1
+	PossibleUAF
+	DefiniteUAF
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case ProvenSafe:
+		return "PROVEN-SAFE"
+	case PossibleUAF:
+		return "POSSIBLE-UAF"
+	case DefiniteUAF:
+		return "DEFINITE-UAF"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// UseKind says what operation the finding is about. UseFree covers double
+// frees ("use of a pointer is a read, write or free operation", §2.1).
+type UseKind int
+
+// Use kinds, in report order.
+const (
+	UseRead UseKind = iota + 1
+	UseWrite
+	UseFree
+)
+
+// String implements fmt.Stringer.
+func (k UseKind) String() string {
+	switch k {
+	case UseRead:
+		return "read"
+	case UseWrite:
+		return "write"
+	case UseFree:
+		return "free"
+	default:
+		return fmt.Sprintf("use(%d)", int(k))
+	}
+}
+
+// Finding is one classified use of a heap class.
+type Finding struct {
+	// Func and Line locate the use; Site is the "func:line" label.
+	Func string
+	Line int
+	Site string
+	Kind UseKind
+	// Verdict is the classification tier.
+	Verdict Verdict
+	// ClassID identifies the points-to class (pta.Node.ID).
+	ClassID int
+	// AllocSites and FreeSites are the class's allocation and free
+	// provenance, deduplicated and sorted.
+	AllocSites []string
+	FreeSites  []string
+}
+
+// ClassInfo summarizes one heap points-to class.
+type ClassInfo struct {
+	ID         int
+	AllocSites []string
+	FreeSites  []string
+	// GlobalEscape reports reachability from globals (diagnostic only).
+	GlobalEscape bool
+	// Elidable is the proof that protection can be skipped for the class.
+	Elidable bool
+	// ElideBlocked says why not, when Elidable is false.
+	ElideBlocked string
+}
+
+// Report is the analysis result for one program.
+type Report struct {
+	// Findings are every classified use, sorted by (func, line, kind,
+	// class) so output is deterministic across runs.
+	Findings []Finding
+	// Classes are the heap classes, ordered by ID.
+	Classes []ClassInfo
+
+	prog     *ir.Program
+	elidable map[*pta.Node]bool
+	// mallocsByClass lists the reachable malloc instructions per class.
+	mallocsByClass map[*pta.Node][]*ir.Malloc
+}
+
+// analysis carries the per-program state.
+type analysis struct {
+	prog  *ir.Program
+	graph *pta.Graph
+	esc   *escape.Analysis
+
+	// reach is the set of functions reachable from main (every function
+	// when there is no main, so library fragments still lint).
+	reach map[string]bool
+	order []string // deterministic function order
+
+	// classes is the dense fact universe: reachable heap classes.
+	classes []*pta.Node
+	index   map[*pta.Node]int
+
+	// allocSites/freeSites collect provenance per class.
+	allocSites map[*pta.Node]map[string]bool
+	freeSites  map[*pta.Node]map[string]bool
+	mallocs    map[*pta.Node][]*ir.Malloc
+
+	// freeSumm is the per-function transitive closure of freed classes
+	// over the call graph.
+	freeSumm map[string]dfa.BitSet
+	callees  map[string][]string
+
+	// freedAnywhere is the set of classes with at least one reachable
+	// free: the sound entry assumption for every function but main.
+	freedAnywhere dfa.BitSet
+}
+
+// Analyze runs the full static analysis over a pre-APA program (plain
+// Malloc/Free instructions; run it before poolalloc.Transform).
+func Analyze(prog *ir.Program) (*Report, error) {
+	graph, err := pta.Analyze(prog)
+	if err != nil {
+		return nil, fmt.Errorf("safety: %w", err)
+	}
+	a := &analysis{
+		prog:       prog,
+		graph:      graph,
+		esc:        escape.New(prog, graph),
+		index:      make(map[*pta.Node]int),
+		allocSites: make(map[*pta.Node]map[string]bool),
+		freeSites:  make(map[*pta.Node]map[string]bool),
+		mallocs:    make(map[*pta.Node][]*ir.Malloc),
+	}
+	a.computeReach()
+	if err := a.collectClasses(); err != nil {
+		return nil, err
+	}
+	a.computeSummaries()
+
+	rep := &Report{
+		prog:           prog,
+		elidable:       make(map[*pta.Node]bool),
+		mallocsByClass: a.mallocs,
+	}
+	for _, fname := range a.order {
+		if err := a.analyzeFunc(fname, rep); err != nil {
+			return nil, err
+		}
+	}
+	a.computeElision(rep)
+	sortFindings(rep.Findings)
+	return rep, nil
+}
+
+// computeReach marks functions reachable from main (all, if no main).
+func (a *analysis) computeReach() {
+	a.reach = make(map[string]bool)
+	a.callees = make(map[string][]string)
+	for name, fn := range a.prog.Funcs {
+		seen := make(map[string]bool)
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if c, ok := in.(*ir.Call); ok && !seen[c.Callee] {
+					seen[c.Callee] = true
+					a.callees[name] = append(a.callees[name], c.Callee)
+				}
+			}
+		}
+		sort.Strings(a.callees[name])
+	}
+	if _, ok := a.prog.Funcs["main"]; ok {
+		var dfs func(string)
+		dfs = func(f string) {
+			if a.reach[f] {
+				return
+			}
+			a.reach[f] = true
+			for _, c := range a.callees[f] {
+				if _, exists := a.prog.Funcs[c]; exists {
+					dfs(c)
+				}
+			}
+		}
+		dfs("main")
+	} else {
+		for name := range a.prog.Funcs {
+			a.reach[name] = true
+		}
+	}
+	for name := range a.prog.Funcs {
+		if a.reach[name] {
+			a.order = append(a.order, name)
+		}
+	}
+	sort.Strings(a.order)
+}
+
+// collectClasses enumerates the heap classes touched by reachable code and
+// their allocation/free provenance.
+func (a *analysis) collectClasses() error {
+	addClass := func(n *pta.Node) *pta.Node {
+		n = n.Find()
+		if _, ok := a.index[n]; !ok {
+			a.index[n] = -1 // placeholder; dense index assigned below
+			a.classes = append(a.classes, n)
+		}
+		return n
+	}
+	for _, fname := range a.order {
+		fn := a.prog.Funcs[fname]
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				switch in := in.(type) {
+				case *ir.Malloc:
+					h := a.graph.SiteNode(in)
+					if h == nil {
+						continue
+					}
+					h = addClass(h)
+					addSite(a.allocSites, h, in.Site)
+					a.mallocs[h] = append(a.mallocs[h], in)
+				case *ir.Free:
+					h := a.graph.FreeNode(in)
+					if h == nil || !h.Find().Heap {
+						continue
+					}
+					h = addClass(h)
+					addSite(a.freeSites, h, in.Site)
+				case *ir.PoolAlloc, *ir.PoolFree:
+					return fmt.Errorf("safety: program already pool-allocated; analyze before the APA transformation")
+				}
+			}
+		}
+	}
+	// Dense, deterministic fact indexes ordered by class ID.
+	sort.Slice(a.classes, func(i, j int) bool { return a.classes[i].ID < a.classes[j].ID })
+	for i, c := range a.classes {
+		a.index[c] = i
+	}
+	a.freedAnywhere = dfa.NewBitSet(len(a.classes))
+	for c := range a.freeSites {
+		a.freedAnywhere.Set(a.index[c])
+	}
+	return nil
+}
+
+func addSite(m map[*pta.Node]map[string]bool, c *pta.Node, site string) {
+	if m[c] == nil {
+		m[c] = make(map[string]bool)
+	}
+	m[c][site] = true
+}
+
+// classIdx maps a (possibly nil) pta node to its dense fact index, or -1.
+func (a *analysis) classIdx(n *pta.Node) int {
+	if n == nil {
+		return -1
+	}
+	n = n.Find()
+	if !n.Heap {
+		return -1
+	}
+	i, ok := a.index[n]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// computeSummaries closes the per-function freed class sets over the call
+// graph (iterating to a fixpoint handles recursion).
+func (a *analysis) computeSummaries() {
+	n := len(a.classes)
+	a.freeSumm = make(map[string]dfa.BitSet)
+	for _, fname := range a.order {
+		frees := dfa.NewBitSet(n)
+		for _, b := range a.prog.Funcs[fname].Blocks {
+			for _, in := range b.Instrs {
+				if f, ok := in.(*ir.Free); ok {
+					if i := a.classIdx(a.graph.FreeNode(f)); i >= 0 {
+						frees.Set(i)
+					}
+				}
+			}
+		}
+		a.freeSumm[fname] = frees
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fname := range a.order {
+			for _, c := range a.callees[fname] {
+				if !a.reach[c] {
+					continue
+				}
+				if or(a.freeSumm[fname], a.freeSumm[c]) {
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// or unions src into dst, reporting whether dst changed.
+func or(dst, src dfa.BitSet) bool {
+	changed := false
+	for i := range dst {
+		if next := dst[i] | src[i]; next != dst[i] {
+			dst[i] = next
+			changed = true
+		}
+	}
+	return changed
+}
+
+// stepMay applies one instruction's effect on the class-level may-freed set.
+func (a *analysis) stepMay(in ir.Instr, may dfa.BitSet) {
+	switch in := in.(type) {
+	case *ir.Free:
+		if i := a.classIdx(a.graph.FreeNode(in)); i >= 0 {
+			may.Set(i)
+		}
+	case *ir.Call:
+		if summ, ok := a.freeSumm[in.Callee]; ok {
+			may.Or(summ)
+		}
+	}
+}
+
+// loc is one pointer storage location the definite analysis tracks: a frame
+// slot of the current function (global == "") or a program global.
+type loc struct {
+	global string
+	off    uint64
+}
+
+// funcState carries the per-function machinery of the definite analysis.
+type funcState struct {
+	a     *analysis
+	fname string
+	fn    *ir.Func
+	cfg   *dfa.CFG
+
+	locs     []loc
+	locIndex map[loc]int
+	// locClass[l] is the dense class index the location's value points
+	// into, or -1.
+	locClass []int
+	// locNode[l] is the location's own storage class (for store aliasing).
+	locNode []*pta.Node
+	// writable[l] marks locations a callee could overwrite: globals, and
+	// frame slots whose address escapes the usual load/store pattern.
+	writable []bool
+}
+
+func (a *analysis) newFuncState(fname string, fn *ir.Func, cfg *dfa.CFG) *funcState {
+	fs := &funcState{a: a, fname: fname, fn: fn, cfg: cfg, locIndex: make(map[loc]int)}
+	add := func(l loc) {
+		if _, ok := fs.locIndex[l]; ok {
+			return
+		}
+		fs.locIndex[l] = len(fs.locs)
+		fs.locs = append(fs.locs, l)
+	}
+	frameRegs := make(map[ir.Reg]uint64)
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if fa, ok := in.(*ir.FrameAddr); ok {
+				add(loc{off: fa.Off})
+				frameRegs[fa.Dst] = fa.Off
+			}
+		}
+	}
+	for _, g := range a.prog.Globals {
+		add(loc{global: g.Name})
+	}
+
+	// A slot is "address-taken" when a register holding its address is
+	// used anywhere other than directly as a load/store address — passed
+	// to a call, stored, returned, or fed into arithmetic. Such slots can
+	// be rewritten behind the analysis's back, so they are callee-writable
+	// and unknown stores may hit them.
+	addrTaken := make(map[uint64]bool)
+	taken := func(r ir.Reg) {
+		if off, ok := frameRegs[r]; ok {
+			addrTaken[off] = true
+		}
+	}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			switch in := in.(type) {
+			case *ir.Bin:
+				taken(in.A)
+				taken(in.B)
+			case *ir.Un:
+				taken(in.A)
+			case *ir.Cvt:
+				taken(in.A)
+			case *ir.Copy:
+				taken(in.Src)
+			case *ir.Store:
+				taken(in.Src)
+			case *ir.Call:
+				for _, r := range in.Args {
+					taken(r)
+				}
+			case *ir.Intrinsic:
+				for _, r := range in.Args {
+					taken(r)
+				}
+			case *ir.Free:
+				taken(in.Ptr)
+			case *ir.Malloc:
+				taken(in.Size)
+			case *ir.Ret:
+				if in.Val != ir.None {
+					taken(in.Val)
+				}
+			case *ir.CondBr:
+				taken(in.Cond)
+			}
+		}
+	}
+
+	fs.locClass = make([]int, len(fs.locs))
+	fs.locNode = make([]*pta.Node, len(fs.locs))
+	fs.writable = make([]bool, len(fs.locs))
+	for i, l := range fs.locs {
+		if l.global != "" {
+			fs.locClass[i] = a.classIdx(a.graph.GlobalPointsTo(l.global))
+			fs.locNode[i] = a.graph.GlobalNode(l.global).Find()
+			fs.writable[i] = true
+		} else {
+			fs.locClass[i] = a.classIdx(a.graph.SlotPointsTo(fname, l.off))
+			fs.locNode[i] = a.graph.SlotNode(fname, l.off)
+			fs.writable[i] = addrTaken[l.off]
+		}
+	}
+	return fs
+}
+
+// symState is the abstract machine state the definite analysis executes
+// blocks under: the dataflow facts (dang) plus intra-block register
+// knowledge, reset at block entry.
+type symState struct {
+	// dang[l] means location l certainly holds a dangling pointer.
+	dang dfa.BitSet
+	// dangReg marks registers holding certainly-dangling pointer values
+	// (or values read through them — garbage is garbage).
+	dangReg map[ir.Reg]bool
+	// addrOf maps a register to the location whose address it holds.
+	addrOf map[ir.Reg]int
+	// srcLoc maps a register to the location its value was loaded from
+	// (and which still holds that value).
+	srcLoc map[ir.Reg]int
+}
+
+func (fs *funcState) newState(dang dfa.BitSet) *symState {
+	return &symState{
+		dang:    dang,
+		dangReg: make(map[ir.Reg]bool),
+		addrOf:  make(map[ir.Reg]int),
+		srcLoc:  make(map[ir.Reg]int),
+	}
+}
+
+func (st *symState) clearReg(r ir.Reg) {
+	delete(st.dangReg, r)
+	delete(st.addrOf, r)
+	delete(st.srcLoc, r)
+}
+
+// dropSrcLoc forgets that any register's value came from location l (after
+// l is overwritten, freeing such a register no longer dangles l).
+func (st *symState) dropSrcLoc(l int) {
+	for r, sl := range st.srcLoc {
+		if sl == l {
+			delete(st.srcLoc, r)
+		}
+	}
+}
+
+// record is the replay callback: one classified use. classIdx is -1 for
+// addresses outside the tracked heap classes (no finding is emitted).
+type record func(kind UseKind, site string, classIdx int, definite bool)
+
+// exec applies one instruction to the symbolic state, invoking rec (when
+// non-nil) for every heap use it encounters.
+func (fs *funcState) exec(in ir.Instr, st *symState, rec record) {
+	switch in := in.(type) {
+	case *ir.Const, *ir.StrAddr:
+		st.clearReg(dstOf(in))
+	case *ir.FrameAddr:
+		st.clearReg(in.Dst)
+		st.addrOf[in.Dst] = fs.locIndex[loc{off: in.Off}]
+	case *ir.GlobalAddr:
+		st.clearReg(in.Dst)
+		if li, ok := fs.locIndex[loc{global: in.Name}]; ok {
+			st.addrOf[in.Dst] = li
+		}
+	case *ir.Bin:
+		// Pointer arithmetic keeps danglingness (field offsets into a
+		// freed object are just as dangling).
+		d := st.dangReg[in.A] || st.dangReg[in.B]
+		st.clearReg(in.Dst)
+		if d {
+			st.dangReg[in.Dst] = true
+		}
+	case *ir.Un:
+		d := st.dangReg[in.A]
+		st.clearReg(in.Dst)
+		if d {
+			st.dangReg[in.Dst] = true
+		}
+	case *ir.Cvt:
+		d := st.dangReg[in.A]
+		st.clearReg(in.Dst)
+		if d {
+			st.dangReg[in.Dst] = true
+		}
+	case *ir.Copy:
+		d := st.dangReg[in.Src]
+		ao, hasAO := st.addrOf[in.Src]
+		sl, hasSL := st.srcLoc[in.Src]
+		st.clearReg(in.Dst)
+		if d {
+			st.dangReg[in.Dst] = true
+		}
+		if hasAO {
+			st.addrOf[in.Dst] = ao
+		}
+		if hasSL {
+			st.srcLoc[in.Dst] = sl
+		}
+	case *ir.Load:
+		def := st.dangReg[in.Addr]
+		if rec != nil {
+			rec(UseRead, in.Site, fs.a.classIdx(fs.a.graph.RegPointsTo(fs.fname, in.Addr)), def)
+		}
+		li, fromLoc := st.addrOf[in.Addr]
+		st.clearReg(in.Dst)
+		if fromLoc {
+			st.srcLoc[in.Dst] = li
+			if st.dang.Has(li) {
+				st.dangReg[in.Dst] = true
+			}
+		} else if def {
+			// A value read through a dangling pointer is garbage;
+			// anything dereferenced through it is definitely wrong.
+			st.dangReg[in.Dst] = true
+		}
+	case *ir.Store:
+		def := st.dangReg[in.Addr]
+		if rec != nil {
+			rec(UseWrite, in.Site, fs.a.classIdx(fs.a.graph.RegPointsTo(fs.fname, in.Addr)), def)
+		}
+		if li, ok := st.addrOf[in.Addr]; ok {
+			if st.dangReg[in.Src] {
+				st.dang.Set(li)
+			} else {
+				st.dang.Clear(li)
+			}
+			st.dropSrcLoc(li)
+			break
+		}
+		// A store through an unknown pointer: conservatively forget
+		// facts about any location its points-to class could cover
+		// (heap stores alias no frame slot or global, so the common
+		// case forgets nothing).
+		tgt := fs.a.graph.RegPointsTo(fs.fname, in.Addr)
+		for li, n := range fs.locNode {
+			if tgt == nil || (n != nil && n == tgt.Find()) {
+				st.dang.Clear(li)
+				st.dropSrcLoc(li)
+			}
+		}
+	case *ir.Malloc:
+		st.clearReg(in.Dst)
+	case *ir.Free:
+		def := st.dangReg[in.Ptr]
+		if rec != nil {
+			rec(UseFree, in.Site, fs.a.classIdx(fs.a.graph.FreeNode(in)), def)
+		}
+		if li, ok := st.srcLoc[in.Ptr]; ok {
+			st.dang.Set(li)
+		}
+		st.dangReg[in.Ptr] = true
+	case *ir.Call:
+		// A location whose current value was handed to a callee that
+		// (transitively) frees objects of that value's class certainly
+		// dangles afterwards — the Figure 1 pattern g(p).
+		if summ, ok := fs.a.freeSumm[in.Callee]; ok {
+			for _, arg := range in.Args {
+				if li, ok := st.srcLoc[arg]; ok {
+					if ci := fs.locClass[li]; ci >= 0 && summ.Has(ci) {
+						st.dang.Set(li)
+					}
+				}
+			}
+		}
+		// The callee may overwrite globals and escaped slots, so their
+		// facts (and value provenance) die here.
+		for li, w := range fs.writable {
+			if w {
+				st.dang.Clear(li)
+				st.dropSrcLoc(li)
+			}
+		}
+		if in.Dst != ir.None {
+			st.clearReg(in.Dst)
+		}
+	case *ir.Intrinsic:
+		if in.Dst != ir.None {
+			st.clearReg(in.Dst)
+		}
+	}
+}
+
+// dstOf returns the destination register of a Const or StrAddr.
+func dstOf(in ir.Instr) ir.Reg {
+	switch in := in.(type) {
+	case *ir.Const:
+		return in.Dst
+	case *ir.StrAddr:
+		return in.Dst
+	}
+	return ir.None
+}
+
+// solveDang runs the must-dangling location analysis to a fixpoint: entry
+// facts are empty, interior blocks start at top, joins intersect, and each
+// block's transfer is the symbolic execution in exec. Returns the per-block
+// entry fact sets.
+func (fs *funcState) solveDang() []dfa.BitSet {
+	nb := len(fs.fn.Blocks)
+	nl := len(fs.locs)
+	in := make([]dfa.BitSet, nb)
+	out := make([]dfa.BitSet, nb)
+	for b := 0; b < nb; b++ {
+		in[b] = dfa.NewBitSet(nl)
+		out[b] = dfa.NewBitSet(nl)
+		if b != 0 {
+			in[b].Fill()
+			out[b].Fill()
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range fs.cfg.RPO() {
+			if b != 0 {
+				first := true
+				for _, p := range fs.cfg.Preds[b] {
+					if !fs.cfg.Reachable(p) {
+						continue
+					}
+					if first {
+						in[b].CopyFrom(out[p])
+						first = false
+					} else {
+						in[b].And(out[p])
+					}
+				}
+			}
+			st := fs.newState(in[b].Clone())
+			for _, instr := range fs.fn.Blocks[b].Instrs {
+				fs.exec(instr, st, nil)
+			}
+			if !out[b].Equal(st.dang) {
+				out[b].CopyFrom(st.dang)
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// analyzeFunc classifies every heap use in one function: the location-level
+// definite analysis supplies the DEFINITE tier, the class-level may-freed
+// analysis separates POSSIBLE from PROVEN-SAFE.
+func (a *analysis) analyzeFunc(fname string, rep *Report) error {
+	fn := a.prog.Funcs[fname]
+	cfg, err := dfa.BuildCFG(fn)
+	if err != nil {
+		return fmt.Errorf("safety: %s: %w", fname, err)
+	}
+	fs := a.newFuncState(fname, fn, cfg)
+	dangIn := fs.solveDang()
+
+	n := len(a.classes)
+	mayGen := make([]dfa.BitSet, len(fn.Blocks))
+	for bi, b := range fn.Blocks {
+		g := dfa.NewBitSet(n)
+		for _, in := range b.Instrs {
+			a.stepMay(in, g)
+		}
+		mayGen[bi] = g
+	}
+	mayBoundary := dfa.NewBitSet(n)
+	if fname != "main" {
+		// Sound entry assumption: by the time any function other than
+		// main runs, every class freed anywhere may already be freed.
+		mayBoundary.CopyFrom(a.freedAnywhere)
+	}
+	may := dfa.Solve(cfg, dfa.Problem{
+		Dir: dfa.Forward, Join: dfa.Union, NumFacts: n,
+		Boundary: mayBoundary, Gen: mayGen,
+	})
+
+	// Replay each reachable block, classifying uses against the
+	// pre-instruction state.
+	type findingKey struct {
+		site    string
+		kind    UseKind
+		verdict Verdict
+		class   int
+	}
+	seen := make(map[findingKey]bool)
+	for bi, b := range fn.Blocks {
+		if !cfg.Reachable(bi) {
+			continue
+		}
+		st := fs.newState(dangIn[bi].Clone())
+		curMay := may.In[bi].Clone()
+		rec := func(kind UseKind, site string, classIdx int, definite bool) {
+			if classIdx < 0 {
+				return
+			}
+			c := a.classes[classIdx]
+			verdict := ProvenSafe
+			switch {
+			case definite:
+				verdict = DefiniteUAF
+			case curMay.Has(classIdx):
+				verdict = PossibleUAF
+			}
+			k := findingKey{site: site, kind: kind, verdict: verdict, class: c.ID}
+			if seen[k] {
+				return
+			}
+			seen[k] = true
+			rep.Findings = append(rep.Findings, Finding{
+				Func: funcOfSite(site), Line: lineOfSite(site), Site: site,
+				Kind: kind, Verdict: verdict, ClassID: c.ID,
+				AllocSites: sortedSites(a.allocSites[c]),
+				FreeSites:  sortedSites(a.freeSites[c]),
+			})
+		}
+		for _, in := range b.Instrs {
+			fs.exec(in, st, rec)
+			a.stepMay(in, curMay)
+		}
+	}
+	return nil
+}
+
+// computeElision decides, per class, whether its allocations can skip
+// shadow-page protection, and fills Report.Classes.
+func (a *analysis) computeElision(rep *Report) {
+	doms := make(map[string]*domInfo)
+	for _, c := range a.classes {
+		info := ClassInfo{
+			ID:           c.ID,
+			AllocSites:   sortedSites(a.allocSites[c]),
+			FreeSites:    sortedSites(a.freeSites[c]),
+			GlobalEscape: a.esc.GlobalEscape(c),
+		}
+		switch {
+		case len(a.mallocs[c]) == 0:
+			info.ElideBlocked = "no reachable allocation site"
+		case len(info.FreeSites) > 0:
+			info.ElideBlocked = fmt.Sprintf("freed at %s", strings.Join(info.FreeSites, ", "))
+		case !a.usesDominatedByAllocs(c, doms):
+			info.ElideBlocked = "a use is not dominated by an allocation of the class"
+		default:
+			info.Elidable = true
+			rep.elidable[c] = true
+		}
+		rep.Classes = append(rep.Classes, info)
+	}
+	sort.Slice(rep.Classes, func(i, j int) bool { return rep.Classes[i].ID < rep.Classes[j].ID })
+}
+
+// domInfo caches per-function dominator trees and instruction positions.
+type domInfo struct {
+	cfg *dfa.CFG
+	dom *dfa.DomTree
+	// pos[instr] = (block, index) for every instruction.
+	pos map[ir.Instr][2]int
+}
+
+func (a *analysis) domFor(fname string, cache map[string]*domInfo) *domInfo {
+	if d, ok := cache[fname]; ok {
+		return d
+	}
+	fn := a.prog.Funcs[fname]
+	cfg, err := dfa.BuildCFG(fn)
+	if err != nil {
+		cache[fname] = nil
+		return nil
+	}
+	d := &domInfo{cfg: cfg, dom: cfg.Dominators(), pos: make(map[ir.Instr][2]int)}
+	for bi, b := range fn.Blocks {
+		for ii, in := range b.Instrs {
+			d.pos[in] = [2]int{bi, ii}
+		}
+	}
+	cache[fname] = d
+	return d
+}
+
+// usesDominatedByAllocs checks the belt-and-braces elision condition: in
+// every reachable function that allocates class c, each use of c must be
+// dominated by one of that function's allocations of c.
+func (a *analysis) usesDominatedByAllocs(c *pta.Node, cache map[string]*domInfo) bool {
+	// Group the class's mallocs by function.
+	byFunc := make(map[string][]*ir.Malloc)
+	for _, fname := range a.order {
+		fn := a.prog.Funcs[fname]
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if m, ok := in.(*ir.Malloc); ok && a.graph.SiteNode(m) == c {
+					byFunc[fname] = append(byFunc[fname], m)
+				}
+			}
+		}
+	}
+	for fname, ms := range byFunc {
+		d := a.domFor(fname, cache)
+		if d == nil {
+			return false
+		}
+		fn := a.prog.Funcs[fname]
+		for bi, b := range fn.Blocks {
+			if !d.cfg.Reachable(bi) {
+				continue
+			}
+			for ii, in := range b.Instrs {
+				var addr ir.Reg
+				switch in := in.(type) {
+				case *ir.Load:
+					addr = in.Addr
+				case *ir.Store:
+					addr = in.Addr
+				default:
+					continue
+				}
+				n := a.graph.RegPointsTo(fname, addr)
+				if n == nil || n.Find() != c {
+					continue
+				}
+				if !dominatedByAny(d, ms, bi, ii) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// dominatedByAny reports whether instruction (bu, iu) is dominated by at
+// least one of the malloc instructions.
+func dominatedByAny(d *domInfo, ms []*ir.Malloc, bu, iu int) bool {
+	for _, m := range ms {
+		p, ok := d.pos[m]
+		if !ok {
+			continue
+		}
+		bm, im := p[0], p[1]
+		if bm == bu {
+			if im < iu {
+				return true
+			}
+			continue
+		}
+		if d.dom.Dominates(bm, bu) {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkElidable sets the Elidable flag on every reachable malloc instruction
+// of a proven class, returning how many sites were marked. Call it before
+// poolalloc.Transform so the flag survives the PoolAlloc rewrite.
+func (r *Report) MarkElidable() int {
+	marked := 0
+	for c, ok := range r.elidable {
+		if !ok {
+			continue
+		}
+		for _, m := range r.mallocsByClass[c] {
+			if !m.Elidable {
+				m.Elidable = true
+				marked++
+			}
+		}
+	}
+	return marked
+}
+
+// ElidableSites returns the malloc site labels proven elidable, sorted.
+func (r *Report) ElidableSites() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for c, ok := range r.elidable {
+		if !ok {
+			continue
+		}
+		for _, m := range r.mallocsByClass[c] {
+			if !seen[m.Site] {
+				seen[m.Site] = true
+				out = append(out, m.Site)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByVerdict returns the findings with the given verdict, in report order.
+func (r *Report) ByVerdict(v Verdict) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Verdict == v {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// sortFindings orders findings by (file/func, line, kind, class): the
+// deterministic diagnostic order every consumer relies on.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.ClassID < b.ClassID
+	})
+}
+
+func sortedSites(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// funcOfSite and lineOfSite split a "func:line" site label.
+func funcOfSite(site string) string {
+	if i := strings.LastIndex(site, ":"); i >= 0 {
+		return site[:i]
+	}
+	return site
+}
+
+func lineOfSite(site string) int {
+	if i := strings.LastIndex(site, ":"); i >= 0 {
+		if n, err := strconv.Atoi(site[i+1:]); err == nil {
+			return n
+		}
+	}
+	return 0
+}

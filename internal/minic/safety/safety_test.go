@@ -1,0 +1,498 @@
+package safety_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/minic/check"
+	"repro/internal/minic/ir"
+	"repro/internal/minic/irgen"
+	"repro/internal/minic/parser"
+	"repro/internal/minic/poolalloc"
+	"repro/internal/minic/safety"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	astProg, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := check.Check(astProg)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	prog, err := irgen.Generate(info)
+	if err != nil {
+		t.Fatalf("irgen: %v", err)
+	}
+	return prog
+}
+
+func analyze(t *testing.T, src string) *safety.Report {
+	t.Helper()
+	rep, err := safety.Analyze(compile(t, src))
+	if err != nil {
+		t.Fatalf("safety.Analyze: %v", err)
+	}
+	return rep
+}
+
+// figure1 is the paper's running example: g builds a list and frees all but
+// the head, then main dereferences p->next — a dangling use.
+const figure1 = `
+struct s { int val; struct s *next; };
+
+void create_10_node_list(struct s *p) {
+  int i;
+  struct s *q = p;
+  for (i = 0; i < 9; i = i + 1) {
+    q->next = (struct s*)malloc(sizeof(struct s));
+    q = q->next;
+  }
+  q->next = NULL;
+}
+
+void initialize(struct s *p) {
+  struct s *q = p;
+  while (q != NULL) { q->val = 1; q = q->next; }
+}
+
+void free_all_but_head(struct s *p) {
+  struct s *q = p->next;
+  while (q != NULL) {
+    struct s *n = q->next;
+    free(q);
+    q = n;
+  }
+}
+
+void g(struct s *p) {
+  p->next = (struct s*)malloc(sizeof(struct s));
+  create_10_node_list(p);
+  initialize(p);
+  free_all_but_head(p);
+}
+
+void main() {
+  struct s *p = (struct s*)malloc(sizeof(struct s));
+  g(p);
+  p->next->val = 5;
+  print_int(p->next->val);
+}
+`
+
+func TestFigure1MainUseIsDefinite(t *testing.T) {
+	rep := analyze(t, figure1)
+
+	var mainFindings []safety.Finding
+	for _, f := range rep.Findings {
+		if f.Func == "main" && f.Line >= 38 { // after the call to g
+			mainFindings = append(mainFindings, f)
+		}
+	}
+	if len(mainFindings) == 0 {
+		t.Fatal("no findings for main's post-call dereferences")
+	}
+	for _, f := range mainFindings {
+		if f.Verdict != safety.DefiniteUAF {
+			t.Errorf("%s %s: verdict %v, want DEFINITE-UAF", f.Site, f.Kind, f.Verdict)
+		}
+		if len(f.FreeSites) == 0 {
+			t.Errorf("%s: DEFINITE finding must carry free-site provenance", f.Site)
+		}
+		if len(f.AllocSites) == 0 {
+			t.Errorf("%s: finding must carry alloc-site provenance", f.Site)
+		}
+	}
+}
+
+func TestFigure1LoopFreeIsPossible(t *testing.T) {
+	rep := analyze(t, figure1)
+
+	// The free and dereferences inside free_all_but_head's loop are only
+	// POSSIBLE: the zero-trip path keeps them out of the must set, and
+	// the class is freed elsewhere, so they cannot be proven safe.
+	var got []safety.Finding
+	for _, f := range rep.Findings {
+		if f.Func == "free_all_but_head" {
+			got = append(got, f)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("no findings in free_all_but_head")
+	}
+	sawFree := false
+	for _, f := range got {
+		if f.Verdict == safety.ProvenSafe {
+			t.Errorf("%s %s: PROVEN-SAFE for a freed class", f.Site, f.Kind)
+		}
+		if f.Kind == safety.UseFree {
+			sawFree = true
+			if f.Verdict != safety.PossibleUAF {
+				t.Errorf("loop free at %s: verdict %v, want POSSIBLE-UAF", f.Site, f.Verdict)
+			}
+		}
+	}
+	if !sawFree {
+		t.Error("the free instruction itself was not classified")
+	}
+}
+
+func TestFigure1NothingElidable(t *testing.T) {
+	rep := analyze(t, figure1)
+	for _, c := range rep.Classes {
+		if c.Elidable {
+			t.Errorf("class %d (allocs %v) elidable despite frees %v", c.ID, c.AllocSites, c.FreeSites)
+		}
+	}
+	if sites := rep.ElidableSites(); len(sites) != 0 {
+		t.Errorf("ElidableSites = %v, want none", sites)
+	}
+}
+
+func TestNeverFreedIsProvenSafeAndElidable(t *testing.T) {
+	prog := compile(t, `
+struct s { int val; struct s *next; };
+void main() {
+  struct s *p = (struct s*)malloc(sizeof(struct s));
+  p->val = 3;
+  p->next = NULL;
+  print_int(p->val);
+}
+`)
+	rep, err := safety.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("expected findings for the dereferences")
+	}
+	for _, f := range rep.Findings {
+		if f.Verdict != safety.ProvenSafe {
+			t.Errorf("%s %s: verdict %v, want PROVEN-SAFE", f.Site, f.Kind, f.Verdict)
+		}
+	}
+	elidable := 0
+	for _, c := range rep.Classes {
+		if c.Elidable {
+			elidable++
+		} else {
+			t.Errorf("class %d not elidable: %s", c.ID, c.ElideBlocked)
+		}
+	}
+	if elidable == 0 {
+		t.Fatal("no elidable class for a never-freed allocation")
+	}
+	if n := rep.MarkElidable(); n == 0 {
+		t.Error("MarkElidable marked nothing")
+	}
+	marked := 0
+	for _, b := range prog.Funcs["main"].Blocks {
+		for _, in := range b.Instrs {
+			if m, ok := in.(*ir.Malloc); ok && m.Elidable {
+				marked++
+			}
+		}
+	}
+	if marked == 0 {
+		t.Error("no malloc instruction carries the Elidable flag")
+	}
+	if sites := rep.ElidableSites(); len(sites) == 0 {
+		t.Error("ElidableSites empty")
+	}
+}
+
+func TestStraightLineFreeThenUse(t *testing.T) {
+	rep := analyze(t, `
+struct s { int val; };
+void main() {
+  struct s *p = (struct s*)malloc(sizeof(struct s));
+  p->val = 1;
+  free(p);
+  print_int(p->val);
+}
+`)
+	byLine := map[int]safety.Verdict{}
+	for _, f := range rep.Findings {
+		if f.Func == "main" {
+			byLine[f.Line] = f.Verdict
+		}
+	}
+	if v := byLine[5]; v != safety.ProvenSafe {
+		t.Errorf("pre-free write: %v, want PROVEN-SAFE", v)
+	}
+	if v := byLine[6]; v != safety.ProvenSafe {
+		t.Errorf("first free: %v, want PROVEN-SAFE", v)
+	}
+	if v := byLine[7]; v != safety.DefiniteUAF {
+		t.Errorf("post-free read: %v, want DEFINITE-UAF", v)
+	}
+}
+
+func TestBranchyFreeIsPossible(t *testing.T) {
+	rep := analyze(t, `
+struct s { int val; };
+void main() {
+  struct s *p = (struct s*)malloc(sizeof(struct s));
+  if (p->val > 0) {
+    free(p);
+  }
+  print_int(p->val);
+}
+`)
+	var last safety.Finding
+	found := false
+	for _, f := range rep.Findings {
+		if f.Func == "main" && f.Line == 8 {
+			last, found = f, true
+		}
+	}
+	if !found {
+		t.Fatal("post-branch read not classified")
+	}
+	if last.Verdict != safety.PossibleUAF {
+		t.Errorf("one-armed free then use: %v, want POSSIBLE-UAF", last.Verdict)
+	}
+}
+
+func TestDoubleFreeIsDefinite(t *testing.T) {
+	rep := analyze(t, `
+struct s { int val; };
+void main() {
+  struct s *p = (struct s*)malloc(sizeof(struct s));
+  free(p);
+  free(p);
+}
+`)
+	var frees []safety.Finding
+	for _, f := range rep.Findings {
+		if f.Kind == safety.UseFree {
+			frees = append(frees, f)
+		}
+	}
+	if len(frees) != 2 {
+		t.Fatalf("got %d free findings, want 2", len(frees))
+	}
+	if frees[0].Verdict != safety.ProvenSafe {
+		t.Errorf("first free: %v, want PROVEN-SAFE", frees[0].Verdict)
+	}
+	if frees[1].Verdict != safety.DefiniteUAF {
+		t.Errorf("double free: %v, want DEFINITE-UAF", frees[1].Verdict)
+	}
+}
+
+// Satellite: recursion. A recursive function that frees its argument on the
+// base case must push every use of the class to POSSIBLE, never PROVEN-SAFE,
+// and block elision.
+func TestRecursiveFreeDegradesToPossible(t *testing.T) {
+	rep := analyze(t, `
+struct s { int val; struct s *next; };
+
+void drop(struct s *p) {
+  if (p == NULL) { return; }
+  drop(p->next);
+  free(p);
+}
+
+void main() {
+  struct s *p = (struct s*)malloc(sizeof(struct s));
+  p->next = NULL;
+  p->val = 1;
+  drop(p);
+}
+`)
+	assertNoProvenSafeOutsideDominatedAllocs(t, rep, "drop")
+	for _, c := range rep.Classes {
+		if c.Elidable {
+			t.Errorf("class %d elidable despite recursive free", c.ID)
+		}
+	}
+}
+
+// Satellite: pointers returned through struct fields. The pointer escapes
+// through box.inner; once any free of the class exists, uses in the helper
+// must degrade to POSSIBLE.
+func TestStructFieldReturnDegradesToPossible(t *testing.T) {
+	rep := analyze(t, `
+struct inner { int val; };
+struct box { struct inner *ptr; };
+
+void fill(struct box *b) {
+  b->ptr = (struct inner*)malloc(sizeof(struct inner));
+  b->ptr->val = 7;
+}
+
+void main() {
+  struct box *b = (struct box*)malloc(sizeof(struct box));
+  fill(b);
+  print_int(b->ptr->val);
+  free(b->ptr);
+  free(b);
+}
+`)
+	assertNoProvenSafeOutsideDominatedAllocs(t, rep, "fill")
+	for _, c := range rep.Classes {
+		if c.Elidable {
+			t.Errorf("class %d elidable despite frees %v", c.ID, c.FreeSites)
+		}
+	}
+}
+
+// Satellite: globals aliased to locals. A local stored into a global can be
+// freed through the global by any callee; uses away from the allocation must
+// be POSSIBLE, never PROVEN-SAFE.
+func TestGlobalAliasDegradesToPossible(t *testing.T) {
+	rep := analyze(t, `
+struct s { int val; };
+struct s *cache;
+
+void evict() {
+  free(cache);
+}
+
+void touch(struct s *p) {
+  print_int(p->val);
+}
+
+void main() {
+  struct s *p = (struct s*)malloc(sizeof(struct s));
+  cache = p;
+  p->val = 2;
+  evict();
+  touch(p);
+}
+`)
+	// Every use inside touch (called after evict) and the evict free read
+	// a freed-somewhere class: nothing there may be PROVEN-SAFE.
+	for _, f := range rep.Findings {
+		if f.Func == "touch" && f.Verdict == safety.ProvenSafe {
+			t.Errorf("%s %s in touch: PROVEN-SAFE for a global-aliased freed class", f.Site, f.Kind)
+		}
+	}
+	// main's use after the evict() call is definitely dangling.
+	for _, f := range rep.Findings {
+		if f.Func == "main" && f.Line == 17 && f.Verdict != safety.DefiniteUAF {
+			t.Errorf("use after evict(): %v, want DEFINITE-UAF", f.Verdict)
+		}
+	}
+	for _, c := range rep.Classes {
+		if c.Elidable {
+			t.Errorf("class %d elidable despite global-reachable free", c.ID)
+		}
+	}
+}
+
+// assertNoProvenSafeOutsideDominatedAllocs fails on any PROVEN-SAFE finding
+// in fn, a function whose class is freed somewhere in the program.
+func assertNoProvenSafeOutsideDominatedAllocs(t *testing.T, rep *safety.Report, fn string) {
+	t.Helper()
+	n := 0
+	for _, f := range rep.Findings {
+		if f.Func != fn {
+			continue
+		}
+		n++
+		if f.Verdict == safety.ProvenSafe {
+			t.Errorf("%s %s in %s: PROVEN-SAFE, want POSSIBLE (class is freed)", f.Site, f.Kind, fn)
+		}
+	}
+	if n == 0 {
+		t.Fatalf("no findings in %s", fn)
+	}
+}
+
+func TestFindingsSortedAndDeterministic(t *testing.T) {
+	rep1 := analyze(t, figure1)
+	rep2 := analyze(t, figure1)
+	if !reflect.DeepEqual(rep1.Findings, rep2.Findings) {
+		t.Fatal("findings differ across identical runs")
+	}
+	for i := 1; i < len(rep1.Findings); i++ {
+		a, b := rep1.Findings[i-1], rep1.Findings[i]
+		if a.Func > b.Func || (a.Func == b.Func && a.Line > b.Line) {
+			t.Fatalf("findings out of (func, line) order: %v before %v", a, b)
+		}
+	}
+	for _, f := range rep1.Findings {
+		if strings.Count(f.Site, ":") == 0 {
+			t.Errorf("site %q missing func:line shape", f.Site)
+		}
+		for i := 1; i < len(f.FreeSites); i++ {
+			if f.FreeSites[i-1] > f.FreeSites[i] {
+				t.Errorf("free sites unsorted: %v", f.FreeSites)
+			}
+		}
+		for i := 1; i < len(f.AllocSites); i++ {
+			if f.AllocSites[i-1] > f.AllocSites[i] {
+				t.Errorf("alloc sites unsorted: %v", f.AllocSites)
+			}
+		}
+	}
+}
+
+func TestUnreferencedFunctionsIgnored(t *testing.T) {
+	// dead() frees the class, but is unreachable from main, so the class
+	// stays never-freed and elidable.
+	rep := analyze(t, `
+struct s { int val; };
+void dead(struct s *p) { free(p); }
+void main() {
+  struct s *p = (struct s*)malloc(sizeof(struct s));
+  p->val = 1;
+  print_int(p->val);
+}
+`)
+	for _, f := range rep.Findings {
+		if f.Func == "dead" {
+			t.Errorf("finding in unreachable function: %+v", f)
+		}
+		if f.Verdict != safety.ProvenSafe {
+			t.Errorf("%s: %v, want PROVEN-SAFE (free is unreachable)", f.Site, f.Verdict)
+		}
+	}
+	elidable := false
+	for _, c := range rep.Classes {
+		if c.Elidable {
+			elidable = true
+		}
+	}
+	if !elidable {
+		t.Error("class with only unreachable frees should be elidable")
+	}
+}
+
+func TestRejectsPoolAllocatedPrograms(t *testing.T) {
+	prog := compile(t, figure1)
+	if _, err := poolalloc.Transform(prog); err != nil {
+		t.Fatalf("poolalloc: %v", err)
+	}
+	if _, err := safety.Analyze(prog); err == nil {
+		t.Fatal("Analyze accepted a pool-allocated program")
+	}
+}
+
+func TestVerdictAndKindStrings(t *testing.T) {
+	if safety.DefiniteUAF.String() != "DEFINITE-UAF" ||
+		safety.PossibleUAF.String() != "POSSIBLE-UAF" ||
+		safety.ProvenSafe.String() != "PROVEN-SAFE" {
+		t.Error("verdict strings wrong")
+	}
+	if safety.UseRead.String() != "read" || safety.UseWrite.String() != "write" || safety.UseFree.String() != "free" {
+		t.Error("kind strings wrong")
+	}
+}
+
+func TestByVerdict(t *testing.T) {
+	rep := analyze(t, figure1)
+	def := rep.ByVerdict(safety.DefiniteUAF)
+	if len(def) == 0 {
+		t.Fatal("figure1 must have DEFINITE findings")
+	}
+	for _, f := range def {
+		if f.Verdict != safety.DefiniteUAF {
+			t.Errorf("ByVerdict returned %v", f.Verdict)
+		}
+	}
+}

@@ -154,7 +154,10 @@ type Shadow struct {
 	nextID  uint64
 }
 
-var _ interp.Runtime = (*Shadow)(nil)
+var (
+	_ interp.Runtime        = (*Shadow)(nil)
+	_ interp.ElisionRuntime = (*Shadow)(nil)
+)
 
 // NewShadow returns the full detection runtime with the given reuse policy.
 func NewShadow(proc *kernel.Process, policy core.ReusePolicy) *Shadow {
@@ -224,6 +227,23 @@ func (s *Shadow) PoolAlloc(handle uint64, size uint64, site string) (vm.Addr, er
 		return 0, err
 	}
 	return s.remap.Alloc(p, p, size, site)
+}
+
+// MallocElided implements interp.ElisionRuntime: a statically proven
+// allocation skips shadow pages and the remap header entirely.
+func (s *Shadow) MallocElided(size uint64, site string) (vm.Addr, error) {
+	return s.remap.AllocElided(core.HeapAllocator{H: s.heap}, nil, size, site)
+}
+
+// PoolAllocElided implements interp.ElisionRuntime: a proven pool allocation
+// comes straight from the pool at its canonical address — no mremap alias,
+// no free-time mprotect.
+func (s *Shadow) PoolAllocElided(handle uint64, size uint64, site string) (vm.Addr, error) {
+	p, err := s.poolOf(handle)
+	if err != nil {
+		return 0, err
+	}
+	return s.remap.AllocElided(p, p, size, site)
 }
 
 // PoolFree implements interp.Runtime. free(NULL) is a no-op, as in C.

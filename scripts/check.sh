@@ -1,0 +1,61 @@
+#!/bin/sh
+# check.sh — the repo's full verification gate:
+#   formatting, vet, build, tests, and a pglint pass over every bundled
+#   workload (the running example must fail the lint; everything else must
+#   pass it cleanly).
+#
+# Usage: scripts/check.sh   (from the repo root)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== pglint over every workload =="
+pglint=$(mktemp -t pglint.XXXXXX)
+trap 'rm -f "$pglint"' EXIT
+go build -o "$pglint" ./cmd/pglint
+
+fail=0
+for w in $("$pglint" -list); do
+    if "$pglint" -workload "$w" >/dev/null 2>&1; then
+        status=0
+    else
+        status=$?
+    fi
+    case "$w" in
+    running-example)
+        if [ "$status" -eq 0 ]; then
+            echo "pglint: $w: expected DEFINITE-UAF findings, lint passed" >&2
+            fail=1
+        else
+            echo "pglint: $w: flagged (expected)"
+        fi
+        ;;
+    *)
+        if [ "$status" -ne 0 ]; then
+            echo "pglint: $w: unexpected findings (exit $status)" >&2
+            "$pglint" -workload "$w" >&2 || true
+            fail=1
+        else
+            echo "pglint: $w: clean"
+        fi
+        ;;
+    esac
+done
+exit $fail

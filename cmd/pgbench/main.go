@@ -1,12 +1,16 @@
 // Command pgbench regenerates the paper's evaluation: Tables 1-3, the §4.3
-// address-space study, and the §3.4 exhaustion bound.
+// address-space study, the §3.4 exhaustion bound, and the production-
+// hardening studies (chaos soak, trap containment).
 //
 // Usage:
 //
-//	pgbench                 # everything
-//	pgbench -table 1        # one table (1, 2, or 3)
-//	pgbench -study vaspace  # the §4.3/§3.4 studies
-//	pgbench -probe treeadd  # raw counters for one workload across configs
+//	pgbench                     # everything
+//	pgbench -table 1            # one table (1, 2, or 3)
+//	pgbench -study vaspace      # the §4.3/§3.4 studies
+//	pgbench -study chaos        # soak every workload under fault schedules
+//	pgbench -study containment  # one trapped connection, servers keep serving
+//	pgbench -probe treeadd      # raw counters for one workload across configs
+//	pgbench -faults SPEC ...    # inject a kernel fault schedule into runs
 package main
 
 import (
@@ -20,8 +24,9 @@ import (
 
 func main() {
 	table := flag.Int("table", 0, "regenerate one table (1, 2, or 3); 0 = all")
-	study := flag.String("study", "", `regenerate a study ("vaspace" or "memory")`)
+	study := flag.String("study", "", `regenerate a study ("vaspace", "memory", "chaos", or "containment")`)
 	probe := flag.String("probe", "", "print raw counters for one workload")
+	faults := flag.String("faults", "", "kernel fault schedule for -probe/-table runs")
 	list := flag.Bool("list", false, "list the workloads and exit")
 	flag.Parse()
 
@@ -31,14 +36,14 @@ func main() {
 		}
 		return
 	}
-	if err := run(*table, *study, *probe); err != nil {
+	if err := run(*table, *study, *probe, *faults); err != nil {
 		fmt.Fprintln(os.Stderr, "pgbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, study, probe string) error {
-	opts := experiment.Options{}
+func run(table int, study, probe, faults string) error {
+	opts := experiment.Options{Faults: faults}
 	if probe != "" {
 		return runProbe(probe, opts)
 	}
@@ -48,8 +53,12 @@ func run(table int, study, probe string) error {
 			return printVAStudy(opts)
 		case "memory":
 			return printMemStudy(opts)
+		case "chaos":
+			return printChaosStudy(opts)
+		case "containment":
+			return printContainmentStudy(opts)
 		default:
-			return fmt.Errorf("unknown study %q (want vaspace or memory)", study)
+			return fmt.Errorf("unknown study %q (want vaspace, memory, chaos, or containment)", study)
 		}
 	}
 	all := table == 0
@@ -78,7 +87,13 @@ func run(table int, study, probe string) error {
 		if err := printVAStudy(opts); err != nil {
 			return err
 		}
-		return printMemStudy(opts)
+		if err := printMemStudy(opts); err != nil {
+			return err
+		}
+		if err := printChaosStudy(opts); err != nil {
+			return err
+		}
+		return printContainmentStudy(opts)
 	}
 	return nil
 }
@@ -94,6 +109,27 @@ func printMemStudy(opts experiment.Options) error {
 
 func printVAStudy(opts experiment.Options) error {
 	s, err := experiment.GenVAStudy(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(s)
+	return nil
+}
+
+func printChaosStudy(opts experiment.Options) error {
+	// The soak supplies its own schedule matrix; a -faults override would
+	// defeat the inert-schedule parity check.
+	opts.Faults = ""
+	s, err := experiment.GenChaosStudy(opts, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(s)
+	return nil
+}
+
+func printContainmentStudy(opts experiment.Options) error {
+	s, err := experiment.GenContainmentStudy(opts)
 	if err != nil {
 		return err
 	}
@@ -119,6 +155,11 @@ func runProbe(name string, opts experiment.Options) error {
 		fmt.Printf("%-10s cycles=%-11d instrs=%-10d mem=%-10d syscalls=%-7d vpages=%-6d peakframes=%-6d %s\n",
 			c, m.Cycles, m.Counters.Instrs, m.Counters.MemAccesses,
 			m.Counters.Syscalls, m.ReservedPages, m.PeakFrames, status)
+		if m.InjectedFaults > 0 {
+			fmt.Printf("%-10s faults=%-7d retries=%-7d degraded=%-6d degraded-frees=%-6d unprotected=%-6d\n",
+				"", m.InjectedFaults, m.TransientRetries, m.DegradedAllocs,
+				m.DegradedFrees, m.UnprotectedFrees)
+		}
 	}
 	return nil
 }

@@ -6,16 +6,16 @@ func TestProbe(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweeps every configuration")
 	}
-	if err := run(0, "", "jwhois"); err != nil {
+	if err := run(0, "", "jwhois", ""); err != nil {
 		t.Fatalf("probe: %v", err)
 	}
-	if err := run(0, "", "no-such-workload"); err == nil {
+	if err := run(0, "", "no-such-workload", ""); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 }
 
 func TestUnknownStudy(t *testing.T) {
-	if err := run(0, "bogus", ""); err == nil {
+	if err := run(0, "bogus", "", ""); err == nil {
 		t.Fatal("unknown study accepted")
 	}
 }
@@ -24,7 +24,7 @@ func TestSingleTable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full table sweep")
 	}
-	if err := run(2, "", ""); err != nil {
+	if err := run(2, "", "", ""); err != nil {
 		t.Fatalf("table 2: %v", err)
 	}
 }

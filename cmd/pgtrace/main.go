@@ -8,7 +8,16 @@
 //	pgtrace trace.txt            # replay a trace file
 //	pgtrace -                    # replay from stdin
 //	pgtrace -guards trace.txt    # with overflow guard pages
+//	pgtrace -faults SPEC t.txt   # replay under a kernel fault schedule
+//	pgtrace -record out.txt t.txt # write the fault-annotated trace
 //	pgtrace -demo                # print a small demonstration trace
+//
+// A trace written by a fault-injection run carries its schedule in a
+// '!faults' header and 'x <call> <errno>' records; replaying such a trace
+// re-injects the same schedule and verifies every fault recurs at the same
+// position — the reproducibility check. -faults overrides the header;
+// -record writes the replay back out with the schedule header and fault
+// annotations, producing a self-verifying trace.
 //
 // Exit status: 0 clean, 2 when memory errors were detected.
 package main
@@ -42,6 +51,8 @@ f 2
 
 func main() {
 	guards := flag.Bool("guards", false, "enable overflow guard pages")
+	faults := flag.String("faults", "", "kernel fault schedule (overrides the trace's !faults header)")
+	record := flag.String("record", "", "write the fault-annotated trace to this file")
 	demo := flag.Bool("demo", false, "print a demonstration trace and exit")
 	flag.Parse()
 
@@ -49,7 +60,7 @@ func main() {
 		fmt.Print(demoTrace)
 		return
 	}
-	code, err := run(*guards, flag.Args())
+	code, err := run(*guards, *faults, *record, flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pgtrace:", err)
 		os.Exit(1)
@@ -57,7 +68,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(guards bool, args []string) (int, error) {
+func run(guards bool, faults, record string, args []string) (int, error) {
 	if len(args) != 1 {
 		return 0, errors.New("expected exactly one trace file (or \"-\" for stdin)")
 	}
@@ -72,16 +83,23 @@ func run(guards bool, args []string) (int, error) {
 		defer f.Close()
 		in = f
 	}
-	events, err := trace.Parse(in)
+	tf, err := trace.ParseFile(in)
 	if err != nil {
 		return 0, err
+	}
+	spec := tf.FaultSpec
+	if faults != "" {
+		spec = faults
 	}
 
 	var opts []pageguard.Option
 	if guards {
 		opts = append(opts, pageguard.WithOverflowGuards())
 	}
-	rep, err := trace.Replay(pageguard.NewMachine(opts...), events)
+	if spec != "" {
+		opts = append(opts, pageguard.WithFaultSchedule(spec))
+	}
+	rep, err := trace.Replay(pageguard.NewMachine(opts...), tf.Events)
 	if err != nil {
 		return 0, err
 	}
@@ -89,8 +107,27 @@ func run(guards bool, args []string) (int, error) {
 	fmt.Printf("replayed %d events: %d allocs, %d frees, %d reads, %d writes\n",
 		rep.Events, rep.Allocs, rep.Frees, rep.Reads, rep.Writes)
 	fmt.Printf("detector: %s\n", rep.Stats)
+	for _, f := range rep.InjectedFaults {
+		fmt.Printf("injected: %s\n", f)
+	}
 	for _, d := range rep.Detections {
 		fmt.Printf("DETECTED (trace line %d): %v\n", d.Line, d.Err)
+	}
+
+	if record != "" {
+		out, err := os.Create(record)
+		if err != nil {
+			return 0, err
+		}
+		ann := &trace.File{FaultSpec: spec, Events: rep.Annotated}
+		if err := ann.Format(out); err != nil {
+			out.Close()
+			return 0, err
+		}
+		if err := out.Close(); err != nil {
+			return 0, err
+		}
+		fmt.Printf("recorded %d events to %s\n", len(rep.Annotated), record)
 	}
 	if len(rep.Detections) > 0 {
 		return 2, nil

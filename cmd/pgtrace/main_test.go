@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -17,7 +18,7 @@ func writeTrace(t *testing.T, content string) string {
 
 func TestCleanTraceExitsZero(t *testing.T) {
 	path := writeTrace(t, "a 1 64\nw 1 0\nf 1\n")
-	code, err := run(false, []string{path})
+	code, err := run(false, "", "", []string{path})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -28,7 +29,7 @@ func TestCleanTraceExitsZero(t *testing.T) {
 
 func TestBuggyTraceExitsTwo(t *testing.T) {
 	path := writeTrace(t, "a 1 64\nf 1\nr 1 0\n")
-	code, err := run(false, []string{path})
+	code, err := run(false, "", "", []string{path})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -39,7 +40,7 @@ func TestBuggyTraceExitsTwo(t *testing.T) {
 
 func TestDemoTraceDetects(t *testing.T) {
 	path := writeTrace(t, demoTrace)
-	code, err := run(true, []string{path})
+	code, err := run(true, "", "", []string{path})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -49,14 +50,49 @@ func TestDemoTraceDetects(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, err := run(false, nil); err == nil {
+	if _, err := run(false, "", "", nil); err == nil {
 		t.Fatal("missing arg accepted")
 	}
-	if _, err := run(false, []string{"/nonexistent"}); err == nil {
+	if _, err := run(false, "", "", []string{"/nonexistent"}); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	path := writeTrace(t, "zz 1\n")
-	if _, err := run(false, []string{path}); err == nil {
+	if _, err := run(false, "", "", []string{path}); err == nil {
 		t.Fatal("malformed trace accepted")
+	}
+}
+
+func TestFaultedRecordAndReplay(t *testing.T) {
+	path := writeTrace(t, demoTrace)
+	out := filepath.Join(t.TempDir(), "annotated.txt")
+	const spec = "seed=7;mprotect:after=0,times=2"
+	code, err := run(false, spec, out, []string{path})
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 (demo trace has bugs)", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "!faults " + spec; !strings.Contains(string(data), want) {
+		t.Fatalf("recorded trace missing %q:\n%s", want, data)
+	}
+	if !strings.Contains(string(data), "x mprotect") {
+		t.Fatalf("recorded trace missing fault events:\n%s", data)
+	}
+	// The recorded trace replays and self-verifies from its own header.
+	code, err = run(false, "", "", []string{out})
+	if err != nil {
+		t.Fatalf("verified replay: %v", err)
+	}
+	if code != 2 {
+		t.Fatalf("verified replay exit = %d, want 2", code)
+	}
+	// Without the schedule the 'x' records cannot be satisfied.
+	if _, err := run(false, "seed=1;mremap:times=1", "", []string{out}); err == nil {
+		t.Fatal("replay with wrong schedule accepted the recorded trace")
 	}
 }

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"errors"
+
+	"repro/internal/sim/kernel"
 	"repro/internal/sim/vm"
 )
 
@@ -38,6 +41,7 @@ func (r *Remapper) Flush() error {
 		return nil
 	}
 	runs := make([][2]uint64, 0, len(r.pending))
+	objs := make([]*Object, 0, len(r.pending))
 	for _, obj := range r.pending {
 		// Objects recycled since queueing (pool destroy, reuse
 		// policy) must not be re-protected: their pages may already
@@ -46,12 +50,30 @@ func (r *Remapper) Flush() error {
 			continue
 		}
 		runs = append(runs, [2]uint64{obj.ShadowRun.Addr, obj.ShadowRun.Pages})
+		objs = append(objs, obj)
 	}
 	r.pending = r.pending[:0]
 	if len(runs) == 0 {
 		return nil
 	}
-	return r.proc.MprotectRuns(runs, vm.ProtNone)
+	err := r.retryTransient(func() error {
+		return r.proc.MprotectRuns(runs, vm.ProtNone)
+	})
+	if err == nil {
+		return nil
+	}
+	// A persistent injected failure degrades the whole batch to
+	// unprotected frees — the canonical frees already happened, so
+	// availability wins and detection narrows. Real errors propagate.
+	var se *kernel.SyscallError
+	if !errors.As(err, &se) {
+		return err
+	}
+	for _, obj := range objs {
+		r.stats.ShadowPagesFreed -= obj.ShadowRun.Pages
+		r.dropUnprotected(obj)
+	}
+	return nil
 }
 
 // queueProtect defers protection of a freed object, flushing when the batch

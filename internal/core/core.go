@@ -121,6 +121,18 @@ type Stats struct {
 	// one is a static-analysis proof being wrong, so a sound analysis
 	// keeps this at zero.
 	ElisionMisses uint64
+	// TransientRetries counts syscall re-attempts after transient injected
+	// failures (degrade.go's retry ladder).
+	TransientRetries uint64
+	// DegradedAllocs counts allocations that fell back to the unprotected
+	// canonical address because shadow-page setup failed persistently.
+	DegradedAllocs uint64
+	// DegradedFrees counts frees of degraded allocations (forwarded
+	// straight to the underlying allocator).
+	DegradedFrees uint64
+	// UnprotectedFrees counts freed objects whose PROT_NONE mprotect
+	// failed persistently, leaving their shadow pages unprotected.
+	UnprotectedFrees uint64
 }
 
 // Remapper is the per-process shadow-page engine. Not safe for concurrent
@@ -150,6 +162,14 @@ type Remapper struct {
 	elided       map[vm.Addr]bool
 	elidedByPool map[*pool.Pool][]vm.Addr
 
+	// degraded records allocations handed out at their canonical address
+	// because shadow-page setup failed persistently (degrade.go);
+	// degradedByPool lets pool destroys retire those records.
+	degraded       map[vm.Addr]bool
+	degradedByPool map[*pool.Pool][]vm.Addr
+	// retry bounds the transient-failure retry ladder.
+	retry RetryConfig
+
 	policy   ReusePolicy
 	allocSeq uint64
 	stats    Stats
@@ -166,13 +186,16 @@ type Remapper struct {
 // reproduces the paper's base scheme).
 func New(proc *kernel.Process, policy ReusePolicy) *Remapper {
 	return &Remapper{
-		proc:         proc,
-		objects:      make(map[vm.VPN]*Object),
-		byPool:       make(map[*pool.Pool][]*Object),
-		freedInPool:  make(map[*pool.Pool][]*Object),
-		elided:       make(map[vm.Addr]bool),
-		elidedByPool: make(map[*pool.Pool][]vm.Addr),
-		policy:       policy,
+		proc:           proc,
+		objects:        make(map[vm.VPN]*Object),
+		byPool:         make(map[*pool.Pool][]*Object),
+		freedInPool:    make(map[*pool.Pool][]*Object),
+		elided:         make(map[vm.Addr]bool),
+		elidedByPool:   make(map[*pool.Pool][]vm.Addr),
+		degraded:       make(map[vm.Addr]bool),
+		degradedByPool: make(map[*pool.Pool][]vm.Addr),
+		retry:          DefaultRetryConfig(),
+		policy:         policy,
 	}
 }
 
@@ -193,33 +216,49 @@ func (r *Remapper) shadowBlock(owner *pool.Pool, canonBase vm.Addr, n uint64) (v
 			continue
 		}
 		addr := run.Addr
+		// Remap before taking the run off the list: on persistent failure
+		// the run stays on the free list rather than leaking.
+		if err := r.retryTransient(func() error {
+			return r.proc.RemapFixedAlias(addr, canonBase, n)
+		}); err != nil {
+			return 0, err
+		}
 		if run.Pages == n {
 			r.recycled = append(r.recycled[:i], r.recycled[i+1:]...)
 		} else {
 			r.recycled[i] = pool.PageRun{Addr: run.Addr + n*vm.PageSize, Pages: run.Pages - n}
-		}
-		if err := r.proc.RemapFixedAlias(addr, canonBase, n); err != nil {
-			return 0, err
 		}
 		r.stats.RecycledPages += n
 		return addr, nil
 	}
 	if owner != nil {
 		if addr, ok := owner.Runtime().TakeRun(n); ok {
-			if err := r.proc.RemapFixedAlias(addr, canonBase, n); err != nil {
+			if err := r.retryTransient(func() error {
+				return r.proc.RemapFixedAlias(addr, canonBase, n)
+			}); err != nil {
 				return 0, err
 			}
 			return addr, nil
 		}
 	}
-	addr, err := r.proc.MremapAlias(canonBase, n)
+	addr, err := vm.Addr(0), error(nil)
+	err = r.retryTransient(func() error {
+		var e error
+		addr, e = r.proc.MremapAlias(canonBase, n)
+		return e
+	})
 	if err == nil {
 		return addr, nil
 	}
 	// §3.4 first strategy: "start reusing virtual pages when we run out of
-	// virtual addresses". PolicyNever keeps the absolute guarantee and
-	// fails instead.
-	if errors.Is(err, vm.ErrAddressSpaceExhausted) && r.policy.Kind != PolicyNever {
+	// virtual addresses". An injected VA budget models the same pressure,
+	// so a persistent (non-transient) syscall failure triggers the same
+	// reclamation. PolicyNever keeps the absolute guarantee and fails
+	// instead.
+	var se *kernel.SyscallError
+	exhausted := errors.Is(err, vm.ErrAddressSpaceExhausted) ||
+		(errors.As(err, &se) && !se.Transient)
+	if exhausted && r.policy.Kind != PolicyNever {
 		if reclaimed := r.reclaimFreed(); reclaimed > 0 {
 			return r.shadowBlock(owner, canonBase, n)
 		}
@@ -235,8 +274,14 @@ func (r *Remapper) shadowBlock(owner *pool.Pool, canonBase vm.Addr, n uint64) (v
 func (r *Remapper) Alloc(al Allocator, owner *pool.Pool, size uint64, site string) (vm.Addr, error) {
 	r.maybeIntervalReclaim()
 
-	canon, err := al.Alloc(size + remapHeaderSize)
-	if err != nil {
+	var canon vm.Addr
+	if err := r.retryTransient(func() error {
+		var e error
+		canon, e = al.Alloc(size + remapHeaderSize)
+		return e
+	}); err != nil {
+		// No canonical memory means nothing to hand out — degradation
+		// cannot help; this is the same failure native malloc would see.
 		return 0, err
 	}
 	// The shadow block covers every page the padded object touches.
@@ -244,6 +289,15 @@ func (r *Remapper) Alloc(al Allocator, owner *pool.Pool, size uint64, site strin
 	canonBase := vm.PageBase(canon)
 	shadowBase, err := r.shadowBlock(owner, canonBase, span)
 	if err != nil {
+		// Shadow-page setup failed persistently but the canonical block is
+		// good: degrade this allocation to the unprotected canonical
+		// address rather than failing the request (the header word goes
+		// unused). Non-injected failures (true VA exhaustion under
+		// PolicyNever, allocator faults) still propagate.
+		var se *kernel.SyscallError
+		if errors.As(err, &se) {
+			return r.degradeAlloc(owner, canon), nil
+		}
 		return 0, fmt.Errorf("core: shadow block: %w", err)
 	}
 	userPtr := shadowBase + vm.Offset(canon) + remapHeaderSize
@@ -313,6 +367,14 @@ func (r *Remapper) AllocElided(al Allocator, owner *pool.Pool, size uint64, site
 func (r *Remapper) Free(al Allocator, f vm.Addr, site string) error {
 	r.maybeIntervalReclaim()
 
+	// A degraded allocation was handed out at its canonical address with
+	// no shadow pages or remap header: forward the free untouched.
+	if r.degraded[f] {
+		r.stats.DegradedFrees++
+		delete(r.degraded, f)
+		return al.Free(f)
+	}
+
 	// An elided object being freed means the static never-freed proof was
 	// wrong. Count the miss and forward the plain free — the address IS
 	// the canonical address, so the header protocol does not apply.
@@ -372,13 +434,6 @@ func (r *Remapper) Free(al Allocator, f vm.Addr, site string) error {
 
 	obj.State = StateFreed
 	obj.FreeSite = site
-	if r.batchSize > 0 {
-		if err := r.queueProtect(obj); err != nil {
-			return err
-		}
-	} else if err := r.proc.Mprotect(obj.ShadowRun.Addr, obj.ShadowRun.Pages, vm.ProtNone); err != nil {
-		return err
-	}
 	r.stats.Frees++
 	r.stats.ShadowPagesLive -= obj.ShadowRun.Pages
 	r.stats.ShadowPagesFreed += obj.ShadowRun.Pages
@@ -386,6 +441,23 @@ func (r *Remapper) Free(al Allocator, f vm.Addr, site string) error {
 		r.freedInPool[obj.Pool] = append(r.freedInPool[obj.Pool], obj)
 	} else {
 		r.freedNoPool = append(r.freedNoPool, obj)
+	}
+	if r.batchSize > 0 {
+		return r.queueProtect(obj)
+	}
+	if err := r.retryTransient(func() error {
+		return r.proc.Mprotect(obj.ShadowRun.Addr, obj.ShadowRun.Pages, vm.ProtNone)
+	}); err != nil {
+		// The free itself succeeded; only the PROT_NONE protection failed.
+		// A persistent injected failure degrades to an unprotected free
+		// (the object leaves tracking, detection narrows); anything else
+		// is a real kernel-state error and propagates.
+		var se *kernel.SyscallError
+		if !errors.As(err, &se) {
+			return err
+		}
+		r.stats.ShadowPagesFreed -= obj.ShadowRun.Pages
+		r.dropUnprotected(obj)
 	}
 	return nil
 }
@@ -451,4 +523,9 @@ func (r *Remapper) OnPoolDestroy(p *pool.Pool) {
 		delete(r.elided, addr)
 	}
 	delete(r.elidedByPool, p)
+	// Degraded-allocation records are canonical pool addresses too.
+	for _, addr := range r.degradedByPool[p] {
+		delete(r.degraded, addr)
+	}
+	delete(r.degradedByPool, p)
 }

@@ -86,6 +86,12 @@ func (r *Remapper) maybeIntervalReclaim() {
 func (r *Remapper) reclaimFreed() uint64 {
 	var pages uint64
 	recycle := func(obj *Object) {
+		// Objects already retired (unprotected-free degradation, pool
+		// destroy) must not be recycled again: their pages are not
+		// PROT_NONE and their counters were already settled.
+		if obj.State != StateFreed {
+			return
+		}
 		obj.State = StateRecycled
 		for i := uint64(0); i < obj.ShadowRun.Pages; i++ {
 			vpn := pageOfRun(obj, i)

@@ -1,0 +1,153 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// The chaos soak: every bundled workload runs under a matrix of kernel
+// fault schedules, and the study errors unless (a) no run panics or fails
+// with anything but a detected dangling use, (b) the inert schedule is
+// bit-identical to plain `ours` (the injection layer is free when silent),
+// and (c) degradation counters appear exactly when faults were injected.
+//
+// Schedules deliberately target only the shadow-page machinery's syscalls
+// (mremap aliasing, mprotect protection): those are the calls this scheme
+// ADDS to a production server, so they are the ones whose failure must
+// degrade protection rather than availability.
+
+// ChaosSchedule is one named fault schedule of the soak matrix.
+type ChaosSchedule struct {
+	Name string
+	// Spec is a kernel.ParseSchedule string ("" = no injection).
+	Spec string
+}
+
+// ChaosSchedules returns the soak matrix: an inert control plus the three
+// fault modes (count-based, probabilistic, budget-based), all seeded.
+func ChaosSchedules() []ChaosSchedule {
+	return []ChaosSchedule{
+		// Rules that can never fire: must be bit-identical to no schedule.
+		{Name: "inert", Spec: "seed=99;mremap:after=1000000000,times=1"},
+		// Deterministic burst: the 7th-9th mremaps and 5th-6th mprotects
+		// of every process fail transiently.
+		{Name: "count", Spec: "seed=11;mremap:after=6,times=3;mprotect:after=4,times=2"},
+		// Sustained random pressure, reproducible from the seed.
+		{Name: "prob", Spec: "seed=1337;mremap:prob=0.03;mprotect:prob=0.02"},
+		// Hard VA ceiling on fresh shadow reservations: 448 pages is tight
+		// enough that allocation-heavy workloads must degrade (the fixed
+		// process mappings alone are 320 pages).
+		{Name: "budget", Spec: "seed=5;mremap:vabudget=448"},
+	}
+}
+
+// ChaosCell is one (workload, schedule) soak result.
+type ChaosCell struct {
+	Workload string
+	Schedule string
+	M        Measurement
+}
+
+// ChaosStudy is the rendered soak.
+type ChaosStudy struct {
+	Cells []ChaosCell
+}
+
+// GenChaosStudy soaks the named workloads (nil = every bundled workload)
+// under the full schedule matrix, enforcing the soak invariants. Runs use
+// the `ours` configuration with per-connection health audits.
+func GenChaosStudy(opts Options, names []string) (*ChaosStudy, error) {
+	var ws []workload.Workload
+	if names == nil {
+		ws = workload.All()
+	} else {
+		for _, n := range names {
+			w, err := workload.ByName(n)
+			if err != nil {
+				return nil, err
+			}
+			ws = append(ws, w)
+		}
+	}
+	study := &ChaosStudy{}
+	for _, w := range ws {
+		plainOpts := opts
+		plainOpts.Faults = ""
+		baseline, err := Run(w, Ours, plainOpts)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: %s baseline: %w", w.Name, err)
+		}
+		for _, sched := range ChaosSchedules() {
+			o := opts
+			o.Faults = sched.Spec
+			o.Audit = true
+			m, err := Run(w, Ours, o)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: %s/%s: %w", w.Name, sched.Name, err)
+			}
+			if err := checkChaosCell(w.Name, sched.Name, baseline, m); err != nil {
+				return nil, err
+			}
+			study.Cells = append(study.Cells, ChaosCell{Workload: w.Name, Schedule: sched.Name, M: m})
+		}
+	}
+	return study, nil
+}
+
+// checkChaosCell enforces the soak invariants on one cell.
+func checkChaosCell(wname, sname string, baseline, m Measurement) error {
+	// Availability: the only acceptable terminating error is a detected
+	// dangling use (the running-example workload has a real one).
+	if m.Err != nil {
+		var de *core.DanglingError
+		if !errors.As(m.Err, &de) {
+			return fmt.Errorf("chaos: %s/%s failed: %w", wname, sname, m.Err)
+		}
+	}
+	// A schedule that injected nothing must be invisible — detection
+	// parity and bit-identical measurement.
+	if m.InjectedFaults == 0 {
+		if m.DegradedAllocs != 0 || m.DegradedFrees != 0 || m.UnprotectedFrees != 0 || m.TransientRetries != 0 {
+			return fmt.Errorf("chaos: %s/%s degraded with zero injected faults: %+v", wname, sname, m)
+		}
+		if m.Cycles != baseline.Cycles || m.Output != baseline.Output ||
+			m.Counters != baseline.Counters || m.ReservedPages != baseline.ReservedPages ||
+			m.DanglingDetected != baseline.DanglingDetected {
+			return fmt.Errorf(
+				"chaos: %s/%s fault-free run diverges from plain ours: cycles %d vs %d, pages %d vs %d, detected %d vs %d",
+				wname, sname, m.Cycles, baseline.Cycles, m.ReservedPages, baseline.ReservedPages,
+				m.DanglingDetected, baseline.DanglingDetected)
+		}
+	}
+	// Degradation only ever narrows coverage; it cannot invent detections
+	// a clean run would not have.
+	if m.DanglingDetected > baseline.DanglingDetected {
+		return fmt.Errorf("chaos: %s/%s detected %d dangling uses, clean run %d",
+			wname, sname, m.DanglingDetected, baseline.DanglingDetected)
+	}
+	// Degraded frees pair with degraded allocs.
+	if m.DegradedFrees > m.DegradedAllocs {
+		return fmt.Errorf("chaos: %s/%s freed %d degraded objects but only %d were degraded",
+			wname, sname, m.DegradedFrees, m.DegradedAllocs)
+	}
+	return nil
+}
+
+// String renders the soak as a table.
+func (s *ChaosStudy) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos soak: `ours` under injected syscall-fault schedules\n")
+	fmt.Fprintf(&b, "%-16s %-8s %7s %8s %9s %9s %7s %9s\n",
+		"workload", "faults", "inject", "retries", "degraded", "unprotec", "detect", "contained")
+	for _, c := range s.Cells {
+		m := c.M
+		fmt.Fprintf(&b, "%-16s %-8s %7d %8d %9d %9d %7d %9d\n",
+			c.Workload, c.Schedule, m.InjectedFaults, m.TransientRetries,
+			m.DegradedAllocs, m.UnprotectedFrees, m.DanglingDetected, m.ContainedConns)
+	}
+	return b.String()
+}

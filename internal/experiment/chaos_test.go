@@ -1,0 +1,111 @@
+package experiment
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestContainmentStudy is the acceptance experiment: ghttpd and ftpd absorb
+// a planted use-after-free in one connection, in both server modes, and
+// serve every other scripted request.
+func TestContainmentStudy(t *testing.T) {
+	study, err := GenContainmentStudy(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4 (2 servers x 2 modes)", len(study.Cells))
+	}
+	for _, c := range study.Cells {
+		r := c.Report
+		if r.Served != r.Connections-1 || r.Contained != 1 {
+			t.Errorf("%s/%v: served %d/%d, contained %d", r.Workload, r.Mode,
+				r.Served, r.Connections-1, r.Contained)
+		}
+		if !strings.Contains(r.Diagnostic, "dangling pointer") {
+			t.Errorf("%s/%v diagnostic = %q", r.Workload, r.Mode, r.Diagnostic)
+		}
+		// The buggy connection's error is at the recorded index.
+		out := r.Outcomes[r.BuggyConn]
+		var de *core.DanglingError
+		if !errors.As(out.Err, &de) {
+			t.Errorf("%s/%v conn %d err = %v, want DanglingError", r.Workload, r.Mode, r.BuggyConn, out.Err)
+		}
+	}
+	if s := study.String(); !strings.Contains(s, "ghttpd") || !strings.Contains(s, "in-process") {
+		t.Errorf("study table missing rows:\n%s", s)
+	}
+}
+
+// TestBuggyServerSource: the planted bug compiles and the anchors exist;
+// unknown or batch workloads are rejected.
+func TestBuggyServerSource(t *testing.T) {
+	for _, name := range []string{"ghttpd", "ftpd"} {
+		w, err := workload.BuggyServerSource(name)
+		if err != nil {
+			t.Fatalf("BuggyServerSource(%s): %v", name, err)
+		}
+		if w.Source == "" || w.Name != name+"-buggy" {
+			t.Errorf("bad buggy workload: %+v", w.Name)
+		}
+	}
+	if _, err := workload.BuggyServerSource("gzip"); err == nil {
+		t.Error("BuggyServerSource(gzip) should fail")
+	}
+}
+
+// TestChaosStudySubset soaks a representative subset (a server, an
+// allocation-heavy utility, the real-bug example) — the full matrix runs in
+// scripts/check.sh via pgbench.
+func TestChaosStudySubset(t *testing.T) {
+	study, err := GenChaosStudy(Options{}, []string{"ghttpd", "enscript", "running-example"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := 3 * len(ChaosSchedules())
+	if len(study.Cells) != wantCells {
+		t.Fatalf("cells = %d, want %d", len(study.Cells), wantCells)
+	}
+	// The matrix must actually exercise injection: at least one non-inert
+	// cell injected faults and at least one degraded an allocation.
+	var injected, degraded, retried uint64
+	for _, c := range study.Cells {
+		injected += c.M.InjectedFaults
+		degraded += c.M.DegradedAllocs
+		retried += c.M.TransientRetries
+	}
+	if injected == 0 {
+		t.Error("soak matrix injected zero faults")
+	}
+	if retried == 0 {
+		t.Error("soak matrix never exercised the retry ladder")
+	}
+	if degraded == 0 {
+		t.Error("soak matrix never exercised degradation")
+	}
+	if s := study.String(); !strings.Contains(s, "budget") {
+		t.Errorf("table missing schedule rows:\n%s", s)
+	}
+}
+
+// TestChaosDetectionSurvivesFaults: the running example's real dangling use
+// keeps being detected under the count schedule (faults hit other objects'
+// syscalls, detection parity for the bug itself).
+func TestChaosDetectionSurvivesFaults(t *testing.T) {
+	w, err := workload.ByName("running-example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(w, Ours, Options{Faults: "seed=11;mprotect:after=4,times=2", Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var de *core.DanglingError
+	if !errors.As(m.Err, &de) {
+		t.Fatalf("running-example under faults: err = %v, want DanglingError", m.Err)
+	}
+}

@@ -7,6 +7,7 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/baseline/capability"
@@ -147,6 +148,26 @@ type Measurement struct {
 	// DanglingDetected counts dangling-pointer uses the shadow-page
 	// runtime caught (Ours/OursNoPA/OursStatic).
 	DanglingDetected uint64
+	// DegradedAllocs counts allocations that fell back to unprotected
+	// canonical addresses after persistent syscall failure (fault
+	// injection runs).
+	DegradedAllocs uint64
+	// DegradedFrees counts frees of degraded allocations.
+	DegradedFrees uint64
+	// UnprotectedFrees counts frees whose PROT_NONE protection failed
+	// persistently.
+	UnprotectedFrees uint64
+	// TransientRetries counts syscall re-attempts after transient faults.
+	TransientRetries uint64
+	// InjectedFaults counts syscall failures the fault schedule injected
+	// across all connections.
+	InjectedFaults uint64
+	// ContainedConns counts connections terminated by a detected dangling
+	// use while the remaining connections kept running.
+	ContainedConns uint64
+	// Diagnostics preserves the dangling-use reports, one per contained
+	// connection.
+	Diagnostics []string
 	// Output is the program output (first connection for servers).
 	Output string
 	// Err is a terminating program error (nil for clean workloads).
@@ -162,6 +183,13 @@ type Options struct {
 	Kernel *kernel.Config
 	// StepLimit bounds interpreter steps per process.
 	StepLimit uint64
+	// Faults is a kernel fault-injection schedule (kernel.ParseSchedule
+	// format); empty disables injection.
+	Faults string
+	// Audit runs the remapper health check after every connection,
+	// failing the run on any bookkeeping invariant violation (chaos and
+	// containment studies).
+	Audit bool
 }
 
 // Run measures one workload under one configuration.
@@ -187,6 +215,13 @@ func Run(w workload.Workload, c Config, opts Options) (Measurement, error) {
 		cfg = *opts.Kernel
 	}
 	cfg.Model = c.model()
+	if opts.Faults != "" {
+		sched, err := kernel.ParseSchedule(opts.Faults)
+		if err != nil {
+			return m, fmt.Errorf("experiment: %s/%s: %w", w.Name, c, err)
+		}
+		cfg.Faults = &sched
+	}
 	sys := kernel.NewSystem(cfg)
 
 	conns := w.Connections
@@ -225,15 +260,35 @@ func Run(w workload.Workload, c Config, opts Options) (Measurement, error) {
 			m.ElidedAllocs += st.ElidedAllocs
 			m.ElisionMisses += st.ElisionMisses
 			m.DanglingDetected += st.DanglingDetected
+			m.DegradedAllocs += st.DegradedAllocs
+			m.DegradedFrees += st.DegradedFrees
+			m.UnprotectedFrees += st.UnprotectedFrees
+			m.TransientRetries += st.TransientRetries
+			if opts.Audit {
+				if err := shadowRT.Remapper().HealthCheck(); err != nil {
+					return m, fmt.Errorf("experiment: %s/%s conn %d: %w", w.Name, c, i, err)
+				}
+			}
 		}
+		m.InjectedFaults += uint64(len(res.Proc.InjectedFaults()))
 		pages := res.Proc.Space().ReservedPages()
 		m.ReservedPages += pages
 		m.PerConnPages = append(m.PerConnPages, pages)
 		if i == 0 {
 			m.Output = res.Machine.Output()
 		}
-		if res.Err != nil && m.Err == nil {
-			m.Err = res.Err
+		if res.Err != nil {
+			var de *core.DanglingError
+			if errors.As(res.Err, &de) {
+				// Fork-per-connection containment: this connection dies
+				// with its diagnostic; the loop — like the parent server —
+				// keeps accepting the rest.
+				m.ContainedConns++
+				m.Diagnostics = append(m.Diagnostics, de.Error())
+			}
+			if m.Err == nil {
+				m.Err = res.Err
+			}
 		}
 		// Fork-per-connection: the process exits, releasing frames.
 		if err := res.Proc.Exit(); err != nil {

@@ -87,7 +87,18 @@ func Run(prog *ir.Program, sys *kernel.System, cfg kernel.Config,
 	if err != nil {
 		return nil, err
 	}
-	m, err := interp.New(prog, proc, makeRT(proc), icfg)
+	return RunOn(prog, proc, makeRT(proc), icfg)
+}
+
+// RunOn executes a compiled program on an existing process with an existing
+// runtime: the in-process (threaded) server mode, where many connections
+// share one address space and one shadow-page engine. Each call builds a
+// fresh machine (fresh globals, stack, and output buffer) but reuses the
+// process, so state one connection leaves behind — including a detected
+// dangling use — is visible to, yet must not terminate, the next.
+func RunOn(prog *ir.Program, proc *kernel.Process, rt interp.Runtime,
+	icfg interp.Config) (*RunResult, error) {
+	m, err := interp.New(prog, proc, rt, icfg)
 	if err != nil {
 		return nil, err
 	}

@@ -457,3 +457,138 @@ func TestDifferentialUseAfterFreeAlwaysCaught(t *testing.T) {
 		})
 	}
 }
+
+// genFaultSpec builds a random kernel fault schedule over the shadow-page
+// machinery's syscalls (mremap aliasing, mprotect protection, batched
+// mprotect runs). Raw mmap is never targeted: those failures would be plain
+// allocator OOM, not the degradation ladder under test.
+func genFaultSpec(r *rand.Rand) string {
+	calls := []string{"mremap", "mprotect", "mprotect-runs"}
+	var rules []string
+	for i := 0; i < 1+r.Intn(2); i++ {
+		call := calls[r.Intn(len(calls))]
+		switch r.Intn(3) {
+		case 0: // count burst
+			rules = append(rules, fmt.Sprintf("%s:after=%d,times=%d", call, r.Intn(8), 1+r.Intn(4)))
+		case 1: // sustained probabilistic pressure
+			rules = append(rules, fmt.Sprintf("%s:prob=0.%02d", call, 1+r.Intn(30)))
+		default: // VA ceiling (only fresh-VA calls are gated) or EAGAIN burst
+			if call == "mremap" {
+				rules = append(rules, fmt.Sprintf("%s:vabudget=%d", call, 330+r.Intn(200)))
+			} else {
+				rules = append(rules, fmt.Sprintf("%s:times=%d,errno=EAGAIN", call, 1+r.Intn(3)))
+			}
+		}
+	}
+	return fmt.Sprintf("seed=%d;%s", r.Intn(1<<30), strings.Join(rules, ";"))
+}
+
+// runFuzzChaos runs a pool-compiled program under the shadow runtime with a
+// fault schedule injected, returning output, the remapper's counters, the
+// number of injected faults, and the program's terminating error (nil for a
+// clean finish).
+func runFuzzChaos(src, spec string) (string, core.Stats, int, error) {
+	prog, _, err := CompileWithPools(src)
+	if err != nil {
+		return "", core.Stats{}, 0, fmt.Errorf("compile: %w", err)
+	}
+	sched, err := kernel.ParseSchedule(spec)
+	if err != nil {
+		return "", core.Stats{}, 0, fmt.Errorf("schedule %q: %w", spec, err)
+	}
+	cfg := kernel.DefaultConfig()
+	cfg.Faults = &sched
+	sys := kernel.NewSystem(cfg)
+	var shadow *runtimes.Shadow
+	res, err := Run(prog, sys, cfg, func(p *kernel.Process) interp.Runtime {
+		shadow = runtimes.NewShadow(p, core.NeverReuse())
+		return shadow
+	}, interp.Config{StepLimit: 1 << 24})
+	if err != nil {
+		return "", core.Stats{}, 0, err
+	}
+	stats := shadow.Remapper().Stats()
+	faults := len(res.Proc.InjectedFaults())
+	if hc := shadow.Remapper().HealthCheck(); hc != nil {
+		return "", stats, faults, fmt.Errorf("health check: %w", hc)
+	}
+	return res.Machine.Output(), stats, faults, res.Err
+}
+
+// TestDifferentialChaosRandomPrograms pairs random memory-safe programs with
+// random fault schedules: every run must complete without error (injected
+// faults degrade protection, never availability) and print exactly the
+// native output.
+func TestDifferentialChaosRandomPrograms(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(4000 + seed)))
+			g := &progGen{r: r}
+			src := g.generate()
+			spec := genFaultSpec(r)
+
+			native, err := runFuzzConfig(src, false, func(p *kernel.Process) interp.Runtime {
+				return runtimes.NewNative(p)
+			})
+			if err != nil {
+				t.Fatalf("native: %v\nprogram:\n%s", err, src)
+			}
+			out, stats, faults, runErr := runFuzzChaos(src, spec)
+			if runErr != nil {
+				t.Fatalf("chaos run failed under %q: %v\nprogram:\n%s", spec, runErr, src)
+			}
+			if out != native {
+				t.Fatalf("chaos output diverged under %q\nnative: %q\nchaos: %q\nprogram:\n%s",
+					spec, native, out, src)
+			}
+			// Degradation counters only ever move together with injection.
+			if faults == 0 &&
+				(stats.DegradedAllocs != 0 || stats.TransientRetries != 0 || stats.UnprotectedFrees != 0) {
+				t.Fatalf("degraded with zero injected faults under %q: %+v", spec, stats)
+			}
+		})
+	}
+}
+
+// TestDifferentialChaosUseAfterFree plants a stale read and runs it under
+// random fault schedules: either the detector still traps it, or the victim
+// object demonstrably lost protection to injected faults (degraded alloc or
+// unprotected free) — a missed detection without a recorded degradation is
+// a soundness bug.
+func TestDifferentialChaosUseAfterFree(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(5000 + seed)))
+			g := &progGen{r: r}
+			src := g.generate()
+			if len(g.bufs) == 0 {
+				t.Skip("no buffers generated")
+			}
+			victim := g.bufs[g.r.Intn(len(g.bufs))]
+			bug := fmt.Sprintf("  print_int(%s[0]);\n}\n", victim.name)
+			src = strings.Replace(src, "  print_int(seedv);\n}\n", bug, 1)
+			spec := genFaultSpec(r)
+
+			_, stats, _, runErr := runFuzzChaos(src, spec)
+			if runErr == nil {
+				if stats.DegradedAllocs == 0 && stats.UnprotectedFrees == 0 {
+					t.Fatalf("missed UAF under %q with no degradation recorded\nprogram:\n%s", spec, src)
+				}
+				return
+			}
+			if !strings.Contains(runErr.Error(), "dangling") {
+				t.Fatalf("unexpected error under %q: %v\nprogram:\n%s", spec, runErr, src)
+			}
+		})
+	}
+}

@@ -1,0 +1,452 @@
+// Syscall fault injection: a deterministic, schedulable layer that makes the
+// memory-management syscalls fail the way a loaded production kernel does —
+// transient ENOMEM/EAGAIN under memory pressure, and hard failures once a
+// virtual-address or physical-frame budget is exceeded.
+//
+// The injector exists so the layers above (the shadow-page remapper, the
+// servers, the chaos harness) can prove their recover-and-continue behaviour
+// under a reproducible failure sequence: every decision is a pure function
+// of the schedule seed and the per-process syscall stream, so a faulted run
+// replays bit-for-bit from its schedule string.
+package kernel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SyscallKind names a fallible memory-management syscall for rule matching.
+type SyscallKind uint8
+
+// Fallible syscall kinds. MmapFixed is classified as mmap and
+// RemapFixedAlias as mremap: each is the same kernel entry point with
+// MAP_FIXED semantics.
+const (
+	// SysAny matches every fallible syscall (the "*" rule).
+	SysAny SyscallKind = iota
+	// SysMmap is mmap / mmap(MAP_FIXED).
+	SysMmap
+	// SysMremap is the mremap(old_size = 0) aliasing call and its
+	// fixed-address recycling variant.
+	SysMremap
+	// SysMprotect is the single-run mprotect.
+	SysMprotect
+	// SysMprotectRuns is the batched multi-run protection call.
+	SysMprotectRuns
+)
+
+// String implements fmt.Stringer.
+func (k SyscallKind) String() string {
+	switch k {
+	case SysAny:
+		return "*"
+	case SysMmap:
+		return "mmap"
+	case SysMremap:
+		return "mremap"
+	case SysMprotect:
+		return "mprotect"
+	case SysMprotectRuns:
+		return "mprotect-runs"
+	default:
+		return fmt.Sprintf("syscall(%d)", uint8(k))
+	}
+}
+
+// ParseSyscallKind is the inverse of SyscallKind.String.
+func ParseSyscallKind(s string) (SyscallKind, error) {
+	switch s {
+	case "*":
+		return SysAny, nil
+	case "mmap":
+		return SysMmap, nil
+	case "mremap":
+		return SysMremap, nil
+	case "mprotect":
+		return SysMprotect, nil
+	case "mprotect-runs":
+		return SysMprotectRuns, nil
+	}
+	return 0, fmt.Errorf("kernel: unknown syscall kind %q", s)
+}
+
+// Errno is the simulated failure code of an injected fault.
+type Errno uint8
+
+// Injectable errnos: the two failures Linux documents for the memory
+// syscalls under resource pressure.
+const (
+	ENOMEM Errno = iota + 1
+	EAGAIN
+)
+
+// String implements fmt.Stringer.
+func (e Errno) String() string {
+	switch e {
+	case ENOMEM:
+		return "ENOMEM"
+	case EAGAIN:
+		return "EAGAIN"
+	default:
+		return fmt.Sprintf("errno(%d)", uint8(e))
+	}
+}
+
+// ParseErrno is the inverse of Errno.String.
+func ParseErrno(s string) (Errno, error) {
+	switch s {
+	case "ENOMEM":
+		return ENOMEM, nil
+	case "EAGAIN":
+		return EAGAIN, nil
+	}
+	return 0, fmt.Errorf("kernel: unknown errno %q", s)
+}
+
+// SyscallError is an injected (or budget-driven) syscall failure.
+type SyscallError struct {
+	Call  SyscallKind
+	Errno Errno
+	// Transient reports whether retrying the call may succeed: count- and
+	// probability-injected failures model momentary kernel pressure, while
+	// budget failures persist until resources are released.
+	Transient bool
+}
+
+// Error implements error.
+func (e *SyscallError) Error() string {
+	kind := "budget"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("kernel: %s failed: %s (injected, %s)", e.Call, e.Errno, kind)
+}
+
+// Temporary reports whether a retry may succeed (net.Error convention).
+func (e *SyscallError) Temporary() bool { return e.Transient }
+
+// FaultRule injects failures into syscalls matching Call. Exactly one of
+// three modes applies, chosen by which fields are set:
+//
+//   - count-based (After/Every/Times): skip the first After matching calls,
+//     then fail every Every-th call (Every = 0 means every call), at most
+//     Times failures (Times = 0 means unlimited). Transient.
+//   - probabilistic (Prob > 0): fail each matching call with probability
+//     Prob, drawn from the schedule's seeded generator; Times still bounds
+//     the total. Transient.
+//   - budget-based (VABudgetPages or FrameBudget > 0): fail calls that would
+//     push the process past VABudgetPages reserved virtual pages (only calls
+//     that reserve fresh address space count) or the machine past
+//     FrameBudget frames in use. Persistent until resources are released.
+type FaultRule struct {
+	Call  SyscallKind
+	Errno Errno // zero value means ENOMEM
+
+	After uint64
+	Every uint64
+	Times uint64
+
+	Prob float64
+
+	VABudgetPages uint64
+	FrameBudget   uint64
+}
+
+// errno returns the rule's failure code, defaulting to ENOMEM.
+func (r FaultRule) errno() Errno {
+	if r.Errno == 0 {
+		return ENOMEM
+	}
+	return r.Errno
+}
+
+// isBudget reports whether the rule is budget-based.
+func (r FaultRule) isBudget() bool { return r.VABudgetPages > 0 || r.FrameBudget > 0 }
+
+// Schedule is a complete, serializable fault-injection plan: a seed for the
+// probabilistic rules plus an ordered rule list. The textual form round-trips
+// through ParseSchedule/String, so a trace header can carry the schedule and
+// reproduce a faulted run exactly.
+//
+// Grammar (semicolon-separated, no spaces):
+//
+//	seed=<n>;<kind>:<param>,<param>;...
+//	kind  = mmap | mremap | mprotect | mprotect-runs | *
+//	param = errno=ENOMEM|EAGAIN | after=<n> | every=<n> | times=<n>
+//	      | prob=<float> | vabudget=<pages> | framebudget=<frames>
+//
+// Example: "seed=42;mremap:prob=0.02;mprotect:after=10,times=3,errno=EAGAIN"
+type Schedule struct {
+	Seed  uint64
+	Rules []FaultRule
+}
+
+// ParseSchedule parses the textual schedule format.
+func ParseSchedule(spec string) (Schedule, error) {
+	var s Schedule
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(part, "seed="); ok {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return s, fmt.Errorf("kernel: bad schedule seed %q: %v", v, err)
+			}
+			s.Seed = n
+			continue
+		}
+		kindStr, params, ok := strings.Cut(part, ":")
+		if !ok {
+			return s, fmt.Errorf("kernel: bad schedule rule %q (want kind:params)", part)
+		}
+		kind, err := ParseSyscallKind(kindStr)
+		if err != nil {
+			return s, err
+		}
+		rule := FaultRule{Call: kind}
+		for _, p := range strings.Split(params, ",") {
+			key, val, ok := strings.Cut(p, "=")
+			if !ok {
+				return s, fmt.Errorf("kernel: bad schedule param %q in rule %q", p, part)
+			}
+			switch key {
+			case "errno":
+				if rule.Errno, err = ParseErrno(val); err != nil {
+					return s, err
+				}
+			case "prob":
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil || f < 0 || f > 1 {
+					return s, fmt.Errorf("kernel: bad probability %q in rule %q", val, part)
+				}
+				rule.Prob = f
+			case "after", "every", "times", "vabudget", "framebudget":
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil {
+					return s, fmt.Errorf("kernel: bad count %q in rule %q", val, part)
+				}
+				switch key {
+				case "after":
+					rule.After = n
+				case "every":
+					rule.Every = n
+				case "times":
+					rule.Times = n
+				case "vabudget":
+					rule.VABudgetPages = n
+				case "framebudget":
+					rule.FrameBudget = n
+				}
+			default:
+				return s, fmt.Errorf("kernel: unknown schedule param %q in rule %q", key, part)
+			}
+		}
+		if rule.Prob > 0 && rule.isBudget() {
+			return s, fmt.Errorf("kernel: rule %q mixes probabilistic and budget modes", part)
+		}
+		s.Rules = append(s.Rules, rule)
+	}
+	return s, nil
+}
+
+// String renders the schedule in the ParseSchedule format.
+func (s Schedule) String() string {
+	parts := []string{fmt.Sprintf("seed=%d", s.Seed)}
+	for _, r := range s.Rules {
+		var ps []string
+		if r.Errno != 0 && r.Errno != ENOMEM {
+			ps = append(ps, "errno="+r.Errno.String())
+		}
+		if r.After > 0 {
+			ps = append(ps, fmt.Sprintf("after=%d", r.After))
+		}
+		if r.Every > 0 {
+			ps = append(ps, fmt.Sprintf("every=%d", r.Every))
+		}
+		if r.Times > 0 {
+			ps = append(ps, fmt.Sprintf("times=%d", r.Times))
+		}
+		if r.Prob > 0 {
+			ps = append(ps, "prob="+strconv.FormatFloat(r.Prob, 'g', -1, 64))
+		}
+		if r.VABudgetPages > 0 {
+			ps = append(ps, fmt.Sprintf("vabudget=%d", r.VABudgetPages))
+		}
+		if r.FrameBudget > 0 {
+			ps = append(ps, fmt.Sprintf("framebudget=%d", r.FrameBudget))
+		}
+		if len(ps) == 0 {
+			// A rule with no parameters fails every matching call.
+			ps = append(ps, "every=1")
+		}
+		parts = append(parts, r.Call.String()+":"+strings.Join(ps, ","))
+	}
+	return strings.Join(parts, ";")
+}
+
+// FaultEvent records one injected failure, in per-process order.
+type FaultEvent struct {
+	// Seq is the index of the failed attempt within this process's
+	// fallible-syscall stream (counting every consultation, successful or
+	// not), so replays can confirm position as well as content.
+	Seq   uint64
+	Call  SyscallKind
+	Errno Errno
+	// Transient mirrors SyscallError.Transient.
+	Transient bool
+}
+
+// String renders the event in the trace format's "call errno" form.
+func (e FaultEvent) String() string { return e.Call.String() + " " + e.Errno.String() }
+
+// SyscallInfo describes one attempted syscall for rule evaluation.
+type SyscallInfo struct {
+	Call  SyscallKind
+	Pages uint64
+	// FreshVA marks calls that reserve fresh virtual address space
+	// (mmap, aliasing mremap) — the ones a VA budget gates.
+	FreshVA bool
+	// NewFrames marks calls that allocate physical frames — the ones a
+	// frame budget gates.
+	NewFrames bool
+	// ReservedPages is the process's current reserved-VA total.
+	ReservedPages uint64
+	// FramesInUse is the machine's current physical frame usage.
+	FramesInUse uint64
+}
+
+// ruleState is a FaultRule plus its per-process matching counters.
+type ruleState struct {
+	rule  FaultRule
+	seen  uint64
+	fired uint64
+}
+
+// Injector decides, deterministically, which syscall attempts fail. One
+// injector serves one process; its randomness is derived purely from the
+// schedule seed and the process index, never from global state.
+type Injector struct {
+	rules  []ruleState
+	rng    uint64
+	seq    uint64
+	events []FaultEvent
+}
+
+// splitmix64 advances a SplitMix64 state and returns the next output; the
+// standard seeding-quality mixer, chosen for reproducibility across
+// platforms (pure integer ops).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// NewInjector builds the injector for the procIndex-th process under this
+// schedule. Returns nil when the schedule has no rules, so a fault-free
+// schedule is indistinguishable from no schedule at all.
+func (s *Schedule) NewInjector(procIndex uint64) *Injector {
+	if s == nil || len(s.Rules) == 0 {
+		return nil
+	}
+	in := &Injector{rng: s.Seed ^ (procIndex+1)*0xA24BAED4963EE407}
+	for _, r := range s.Rules {
+		in.rules = append(in.rules, ruleState{rule: r})
+	}
+	return in
+}
+
+// Check consults the rules for one syscall attempt, returning the failure to
+// inject or nil. Each probabilistic rule advances the generator exactly once
+// per matching attempt whether or not it fires, so one rule's outcome never
+// perturbs another's sequence.
+func (in *Injector) Check(info SyscallInfo) *SyscallError {
+	seq := in.seq
+	in.seq++
+	var hit *SyscallError
+	for i := range in.rules {
+		rs := &in.rules[i]
+		r := rs.rule
+		if r.Call != SysAny && r.Call != info.Call {
+			continue
+		}
+		rs.seen++
+		var fire, transient bool
+		switch {
+		case r.isBudget():
+			if r.VABudgetPages > 0 && info.FreshVA &&
+				info.ReservedPages+info.Pages > r.VABudgetPages {
+				fire = true
+			}
+			if r.FrameBudget > 0 && info.NewFrames &&
+				info.FramesInUse+info.Pages > r.FrameBudget {
+				fire = true
+			}
+		case r.Prob > 0:
+			u := float64(splitmix64(&in.rng)>>11) / (1 << 53)
+			fire = u < r.Prob
+			transient = true
+		default:
+			n := rs.seen
+			if n > r.After {
+				k := n - r.After - 1
+				fire = r.Every <= 1 || k%r.Every == 0
+			}
+			transient = true
+		}
+		if fire && r.Times > 0 && rs.fired >= r.Times {
+			fire = false
+		}
+		if fire && hit == nil {
+			rs.fired++
+			hit = &SyscallError{Call: info.Call, Errno: r.errno(), Transient: transient}
+		}
+	}
+	if hit != nil {
+		in.events = append(in.events, FaultEvent{
+			Seq: seq, Call: hit.Call, Errno: hit.Errno, Transient: hit.Transient,
+		})
+	}
+	return hit
+}
+
+// Events returns the faults injected so far, in order.
+func (in *Injector) Events() []FaultEvent { return in.events }
+
+// InjectedFaults returns the process's fault log (empty without a schedule).
+func (p *Process) InjectedFaults() []FaultEvent {
+	if p.inject == nil {
+		return nil
+	}
+	return p.inject.Events()
+}
+
+// checkInject consults the process's fault injector for one syscall attempt.
+// An injected failure still charges the entry cost of the kernel crossing —
+// a failed syscall is not free — but none of the per-page work.
+func (p *Process) checkInject(call SyscallKind, pages uint64, freshVA, newFrames bool) error {
+	if p.inject == nil {
+		return nil
+	}
+	se := p.inject.Check(SyscallInfo{
+		Call:          call,
+		Pages:         pages,
+		FreshVA:       freshVA,
+		NewFrames:     newFrames,
+		ReservedPages: p.space.ReservedPages(),
+		FramesInUse:   p.sys.mem.InUse(),
+	})
+	if se == nil {
+		return nil
+	}
+	p.meter.ChargeSyscall(0)
+	return se
+}

@@ -23,6 +23,9 @@ import (
 // against a single System.
 type System struct {
 	mem *phys.Memory
+	// procSeq numbers processes in creation order so each gets a distinct,
+	// deterministic fault-injection stream under one schedule seed.
+	procSeq uint64
 }
 
 // Config configures a simulated machine and process.
@@ -40,6 +43,9 @@ type Config struct {
 	// GlobalPages is the size of the globals/data segment mapping
 	// (default 64 pages).
 	GlobalPages uint64
+	// Faults optionally injects deterministic syscall failures into the
+	// fallible memory syscalls (nil = every syscall succeeds).
+	Faults *Schedule
 }
 
 // DefaultConfig returns the reference machine.
@@ -73,6 +79,9 @@ type Process struct {
 	// returned to the machine only when its last mapping goes away.
 	frameRefs map[phys.FrameID]int
 
+	// inject is the per-process fault injector (nil = no injection).
+	inject *Injector
+
 	stackBase   vm.Addr
 	stackLimit  vm.Addr
 	globalBase  vm.Addr
@@ -98,7 +107,9 @@ func NewProcess(sys *System, cfg Config) (*Process, error) {
 		mmu:       m,
 		meter:     meter,
 		frameRefs: make(map[phys.FrameID]int),
+		inject:    cfg.Faults.NewInjector(sys.procSeq),
 	}
+	sys.procSeq++
 
 	// Program setup (loader work): not charged to the meter, as the paper
 	// measures steady-state execution.
@@ -189,6 +200,9 @@ func (p *Process) Mmap(length uint64) (vm.Addr, error) {
 	if n == 0 {
 		return 0, fmt.Errorf("kernel: mmap of zero length")
 	}
+	if err := p.checkInject(SysMmap, n, true, true); err != nil {
+		return 0, err
+	}
 	return p.mapFresh(n, true)
 }
 
@@ -199,6 +213,9 @@ func (p *Process) Mmap(length uint64) (vm.Addr, error) {
 func (p *Process) MmapFixed(addr vm.Addr, n uint64) error {
 	if vm.Offset(addr) != 0 || n == 0 {
 		return fmt.Errorf("kernel: bad fixed mapping %#x/%d pages", addr, n)
+	}
+	if err := p.checkInject(SysMmap, n, false, true); err != nil {
+		return err
 	}
 	vpn := vm.PageOf(addr)
 	for i := uint64(0); i < n; i++ {
@@ -262,6 +279,9 @@ func (p *Process) Mprotect(addr vm.Addr, n uint64, prot vm.Prot) error {
 	if vm.Offset(addr) != 0 || n == 0 {
 		return fmt.Errorf("kernel: bad mprotect %#x/%d pages", addr, n)
 	}
+	if err := p.checkInject(SysMprotect, n, false, false); err != nil {
+		return err
+	}
 	vpn := vm.PageOf(addr)
 	for i := uint64(0); i < n; i++ {
 		v := vpn + vm.VPN(i)
@@ -286,6 +306,13 @@ func (p *Process) MprotectRuns(runs [][2]uint64, prot vm.Prot) error {
 		if vm.Offset(addr) != 0 || n == 0 {
 			return fmt.Errorf("kernel: bad mprotect run %#x/%d pages", addr, n)
 		}
+		pages += n
+	}
+	if err := p.checkInject(SysMprotectRuns, pages, false, false); err != nil {
+		return err
+	}
+	for _, r := range runs {
+		addr, n := r[0], r[1]
 		vpn := vm.PageOf(addr)
 		for i := uint64(0); i < n; i++ {
 			v := vpn + vm.VPN(i)
@@ -294,7 +321,6 @@ func (p *Process) MprotectRuns(runs [][2]uint64, prot vm.Prot) error {
 			}
 			p.mmu.FlushPage(v)
 		}
-		pages += n
 	}
 	p.meter.ChargeSyscall(pages)
 	return nil
@@ -307,6 +333,9 @@ func (p *Process) MprotectRuns(runs [][2]uint64, prot vm.Prot) error {
 func (p *Process) MremapAlias(oldAddr vm.Addr, n uint64) (vm.Addr, error) {
 	if vm.Offset(oldAddr) != 0 || n == 0 {
 		return 0, fmt.Errorf("kernel: bad mremap %#x/%d pages", oldAddr, n)
+	}
+	if err := p.checkInject(SysMremap, n, true, false); err != nil {
+		return 0, err
 	}
 	oldVPN := vm.PageOf(oldAddr)
 	newVPN, err := p.space.ReservePages(n)
@@ -331,6 +360,9 @@ func (p *Process) MremapAlias(oldAddr vm.Addr, n uint64) (vm.Addr, error) {
 func (p *Process) RemapFixedAlias(addr, srcAddr vm.Addr, n uint64) error {
 	if vm.Offset(addr) != 0 || vm.Offset(srcAddr) != 0 || n == 0 {
 		return fmt.Errorf("kernel: bad fixed alias %#x<-%#x/%d", addr, srcAddr, n)
+	}
+	if err := p.checkInject(SysMremap, n, false, false); err != nil {
+		return err
 	}
 	dst := vm.PageOf(addr)
 	src := vm.PageOf(srcAddr)

@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BuggyServerSource returns the named server workload's source with a
+// use-after-free planted in its connection handler: the containment
+// experiment's stand-in for the latent bug a production server absorbs
+// mid-run. The injected use sits immediately after the handler's final
+// free, so the buggy connection behaves identically up to the detection
+// point and every other connection is untouched.
+func BuggyServerSource(name string) (Workload, error) {
+	w, err := ByName(name)
+	if err != nil {
+		return Workload{}, err
+	}
+	var anchor, bug string
+	switch name {
+	case "ghttpd":
+		// Dangling WRITE: scribble on the response buffer after free.
+		anchor = "free(buf);"
+		bug = "free(buf);\n  buf[0] = (char)88;"
+	case "ftpd":
+		// Dangling READ: report transfer stats from the freed buffer.
+		anchor = "free(xfer);"
+		bug = "free(xfer);\n  print_int(xfer[0]);"
+	default:
+		return Workload{}, fmt.Errorf("workload: no buggy variant of %q", name)
+	}
+	if !strings.Contains(w.Source, anchor) {
+		return Workload{}, fmt.Errorf("workload: %s source lost anchor %q", name, anchor)
+	}
+	w.Name = name + "-buggy"
+	w.Description = w.Description + " (planted use-after-free)"
+	w.Source = strings.Replace(w.Source, anchor, bug, 1)
+	return w, nil
+}

@@ -69,9 +69,10 @@ const (
 type Option func(*machineConfig)
 
 type machineConfig struct {
-	kernel kernel.Config
-	policy core.ReusePolicy
-	guards bool
+	kernel   kernel.Config
+	policy   core.ReusePolicy
+	guards   bool
+	schedErr error
 }
 
 // WithMaxFrames bounds simulated physical memory in 4 KB frames (0 =
@@ -97,6 +98,30 @@ func WithOverflowGuards() Option {
 // WithStackPages sets the per-process stack size in pages.
 func WithStackPages(pages uint64) Option {
 	return func(c *machineConfig) { c.kernel.StackPages = pages }
+}
+
+// FaultEvent is one injected syscall failure, in per-process order.
+type FaultEvent = kernel.FaultEvent
+
+// WithFaultSchedule injects deterministic syscall failures per the
+// kernel.ParseSchedule format (e.g. "seed=7;mremap:prob=0.02"): the
+// production-hardening test mode. Every process created on the machine draws
+// its own reproducible fault stream from the schedule seed. An empty spec
+// disables injection; a malformed spec surfaces as an error from the next
+// NewProcess call.
+func WithFaultSchedule(spec string) Option {
+	return func(c *machineConfig) {
+		if spec == "" {
+			c.kernel.Faults = nil
+			return
+		}
+		sched, err := kernel.ParseSchedule(spec)
+		if err != nil {
+			c.schedErr = err
+			return
+		}
+		c.kernel.Faults = &sched
+	}
 }
 
 // Machine is a simulated computer: physical memory shared by any number of
@@ -135,6 +160,9 @@ type Process struct {
 
 // NewProcess creates a protected process on the machine.
 func (m *Machine) NewProcess() (*Process, error) {
+	if m.cfg.schedErr != nil {
+		return nil, m.cfg.schedErr
+	}
 	proc, err := kernel.NewProcess(m.sys, m.cfg.kernel)
 	if err != nil {
 		return nil, err
@@ -223,6 +251,19 @@ type Stats struct {
 	Syscalls uint64
 	// VirtualPages is the total virtual address space consumed, in pages.
 	VirtualPages uint64
+	// InjectedFaults counts syscall failures the fault schedule injected
+	// (zero without WithFaultSchedule).
+	InjectedFaults uint64
+	// TransientRetries counts syscall re-attempts after transient faults.
+	TransientRetries uint64
+	// DegradedAllocs counts allocations degraded to unprotected canonical
+	// addresses after persistent fault injection.
+	DegradedAllocs uint64
+	// DegradedFrees counts frees of degraded allocations.
+	DegradedFrees uint64
+	// UnprotectedFrees counts frees whose protection syscall failed
+	// persistently.
+	UnprotectedFrees uint64
 }
 
 // Stats returns the process's counters.
@@ -235,8 +276,22 @@ func (p *Process) Stats() Stats {
 		Cycles:           p.proc.Meter().Cycles(),
 		Syscalls:         p.proc.Meter().Syscalls(),
 		VirtualPages:     p.proc.Space().ReservedPages(),
+		InjectedFaults:   uint64(len(p.proc.InjectedFaults())),
+		TransientRetries: rs.TransientRetries,
+		DegradedAllocs:   rs.DegradedAllocs,
+		DegradedFrees:    rs.DegradedFrees,
+		UnprotectedFrees: rs.UnprotectedFrees,
 	}
 }
+
+// InjectedFaults returns the process's injected-fault log, in order (empty
+// without WithFaultSchedule). Replay tooling serializes these alongside the
+// schedule so a faulted run reproduces bit-for-bit.
+func (p *Process) InjectedFaults() []FaultEvent { return p.proc.InjectedFaults() }
+
+// HealthCheck audits the detector's internal invariants, returning the
+// first violation (nil when healthy). Intended after fault-injection runs.
+func (p *Process) HealthCheck() error { return p.remap.HealthCheck() }
 
 // EnableBatchedFrees defers the mprotect of freed objects and issues one
 // batched protection call per batchSize frees (the paper's §6 OS-enhancement
@@ -265,8 +320,14 @@ var ExhaustionTime = core.ExhaustionTime
 // PaperExhaustionScenario returns the paper's own example bound.
 var PaperExhaustionScenario = core.PaperExhaustionScenario
 
-// String renders stats compactly.
+// String renders stats compactly. Fault-injection counters appear only when
+// nonzero, so fault-free output is unchanged from the base scheme.
 func (s Stats) String() string {
-	return fmt.Sprintf("allocs=%d frees=%d dangling=%d cycles=%d syscalls=%d vpages=%d",
+	out := fmt.Sprintf("allocs=%d frees=%d dangling=%d cycles=%d syscalls=%d vpages=%d",
 		s.Allocs, s.Frees, s.DanglingDetected, s.Cycles, s.Syscalls, s.VirtualPages)
+	if s.InjectedFaults > 0 {
+		out += fmt.Sprintf(" faults=%d retries=%d degraded=%d degraded-frees=%d unprotected=%d",
+			s.InjectedFaults, s.TransientRetries, s.DegradedAllocs, s.DegradedFrees, s.UnprotectedFrees)
+	}
+	return out
 }

@@ -1,8 +1,10 @@
 #!/bin/sh
 # check.sh — the repo's full verification gate:
-#   formatting, vet, build, tests, and a pglint pass over every bundled
+#   formatting, vet, build, tests, a pglint pass over every bundled
 #   workload (the running example must fail the lint; everything else must
-#   pass it cleanly).
+#   pass it cleanly), and the production-hardening soaks: the chaos matrix
+#   (every workload under fixed-seed fault schedules) and the trap
+#   containment experiment.
 #
 # Usage: scripts/check.sh   (from the repo root)
 set -eu
@@ -26,9 +28,20 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== pglint over every workload =="
+echo "== chaos soak (fixed-seed fault schedules) =="
+pgbench=$(mktemp -t pgbench.XXXXXX)
 pglint=$(mktemp -t pglint.XXXXXX)
-trap 'rm -f "$pglint"' EXIT
+trap 'rm -f "$pgbench" "$pglint"' EXIT
+go build -o "$pgbench" ./cmd/pgbench
+# GenChaosStudy enforces the soak invariants internally (zero panics,
+# fault-free parity, monotone degradation); a violation is a non-zero exit.
+"$pgbench" -study chaos >/dev/null
+echo "chaos soak: all workloads x all schedules clean"
+
+echo "== trap containment =="
+"$pgbench" -study containment
+
+echo "== pglint over every workload =="
 go build -o "$pglint" ./cmd/pglint
 
 fail=0

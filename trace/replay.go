@@ -18,6 +18,13 @@ type Report struct {
 	// Replay continues past detections (a monitoring deployment logs and
 	// keeps serving), mirroring how the run-time handler could resume.
 	Detections []Detection
+	// InjectedFaults is the injector's log for the replay (empty without a
+	// fault schedule on the machine).
+	InjectedFaults []pageguard.FaultEvent
+	// Annotated is the event stream with 'x' fault records interleaved
+	// after the operations that absorbed them — writing it (with the
+	// schedule in the header) produces a self-verifying trace of this run.
+	Annotated []Event
 	// Stats is the process's final detector statistics.
 	Stats pageguard.Stats
 }
@@ -42,6 +49,13 @@ func (e *ReplayError) Error() string { return fmt.Sprintf("trace line %d: %s", e
 
 // Replay executes events on a fresh process of m and reports what the
 // detector saw.
+//
+// When the trace carries 'x' fault records (a trace written by a
+// fault-injection run), the machine must be built with the trace's fault
+// schedule (pageguard.WithFaultSchedule): replay then verifies that every
+// recorded fault recurs at the same position with the same syscall and
+// errno, and that no unrecorded fault appears — the bit-for-bit
+// reproducibility check.
 func Replay(m *pageguard.Machine, events []Event) (*Report, error) {
 	proc, err := m.NewProcess()
 	if err != nil {
@@ -51,6 +65,24 @@ func Replay(m *pageguard.Machine, events []Event) (*Report, error) {
 	// stay mapped so stale accesses replay faithfully.
 	ptrs := make(map[uint64]pageguard.Ptr)
 	rep := &Report{}
+
+	verify := false
+	for _, ev := range events {
+		if ev.Kind == EvFault {
+			verify = true
+			break
+		}
+	}
+	verified := 0  // 'x' records checked against the live fault log
+	annotated := 0 // live faults already copied into rep.Annotated
+	drainFaults := func() {
+		for _, f := range proc.InjectedFaults()[annotated:] {
+			rep.Annotated = append(rep.Annotated, Event{
+				Kind: EvFault, Call: f.Call.String(), Errno: f.Errno.String(),
+			})
+			annotated++
+		}
+	}
 
 	note := func(ev Event, err error) error {
 		if err == nil {
@@ -66,7 +98,29 @@ func Replay(m *pageguard.Machine, events []Event) (*Report, error) {
 	}
 
 	for _, ev := range events {
+		if ev.Kind == EvFault {
+			faults := proc.InjectedFaults()
+			if verified >= len(faults) {
+				return rep, &ReplayError{ev.Line, fmt.Sprintf(
+					"trace records injected fault %q that did not occur on replay (is the machine missing the trace's fault schedule?)",
+					ev.Call+" "+ev.Errno)}
+			}
+			f := faults[verified]
+			if f.Call.String() != ev.Call || f.Errno.String() != ev.Errno {
+				return rep, &ReplayError{ev.Line, fmt.Sprintf(
+					"injected fault diverges: trace records %s %s, replay injected %s %s",
+					ev.Call, ev.Errno, f.Call, f.Errno)}
+			}
+			verified++
+			continue
+		}
+		if verify && verified != len(proc.InjectedFaults()) {
+			return rep, &ReplayError{ev.Line, fmt.Sprintf(
+				"replay injected %d faults before this event but the trace records %d",
+				len(proc.InjectedFaults()), verified)}
+		}
 		rep.Events++
+		rep.Annotated = append(rep.Annotated, ev)
 		site := fmt.Sprintf("trace:%d", ev.Line)
 		switch ev.Kind {
 		case EvAlloc:
@@ -106,7 +160,13 @@ func Replay(m *pageguard.Machine, events []Event) (*Report, error) {
 			}
 			rep.Reads++
 		}
+		drainFaults()
 	}
+	if faults := proc.InjectedFaults(); verify && verified != len(faults) {
+		return rep, &ReplayError{0, fmt.Sprintf(
+			"replay injected %d faults but the trace records %d", len(faults), verified)}
+	}
+	rep.InjectedFaults = proc.InjectedFaults()
 	rep.Stats = proc.Stats()
 	return rep, nil
 }

@@ -13,6 +13,16 @@
 //	f <id>            free object <id>
 //	w <id> <off>      write 8 bytes at byte offset <off> of object <id>
 //	r <id> <off>      read 8 bytes at byte offset <off> of object <id>
+//	x <call> <errno>  an injected syscall fault absorbed by the previous
+//	                  event (recorded by fault-injection runs; verified,
+//	                  not executed, on replay)
+//
+// A trace may carry one '!faults <spec>' directive (kernel.ParseSchedule
+// format) before any event: the fault-injection schedule of the run that
+// produced it. Replaying the trace on a machine with that schedule
+// reproduces the faulted run bit-for-bit, and the 'x' events double-check
+// that every injected fault recurs at the same position with the same call
+// and errno.
 //
 // Object ids are arbitrary non-negative integers chosen by the trace; ids
 // may be reused after a free (real allocators reuse addresses). Accesses to
@@ -26,6 +36,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"repro/internal/sim/kernel"
 )
 
 // EventKind discriminates trace events.
@@ -37,6 +49,10 @@ const (
 	EvFree  EventKind = 'f'
 	EvWrite EventKind = 'w'
 	EvRead  EventKind = 'r'
+	// EvFault records an injected syscall fault absorbed by the preceding
+	// event. On replay it is verified against the live injector log
+	// rather than executed.
+	EvFault EventKind = 'x'
 )
 
 // Event is one trace record.
@@ -48,8 +64,21 @@ type Event struct {
 	Size uint64
 	// Off is the access offset (EvRead/EvWrite only).
 	Off uint64
+	// Call and Errno name an injected fault's syscall and failure code
+	// (EvFault only; kernel.SyscallKind/kernel.Errno string forms).
+	Call  string
+	Errno string
 	// Line is the 1-based source line for diagnostics.
 	Line int
+}
+
+// File is a complete trace: an optional fault-injection schedule plus the
+// event stream.
+type File struct {
+	// FaultSpec is the kernel.ParseSchedule string of the producing run
+	// ("" when the run was fault-free).
+	FaultSpec string
+	Events    []Event
 }
 
 // ParseError reports a malformed trace line.
@@ -61,9 +90,20 @@ type ParseError struct {
 // Error implements error.
 func (e *ParseError) Error() string { return fmt.Sprintf("trace line %d: %s", e.Line, e.Msg) }
 
-// Parse reads a trace.
+// Parse reads a trace's events, discarding any fault-schedule directive
+// (use ParseFile to keep it).
 func Parse(r io.Reader) ([]Event, error) {
-	var out []Event
+	f, err := ParseFile(r)
+	if err != nil {
+		return nil, err
+	}
+	return f.Events, nil
+}
+
+// ParseFile reads a complete trace, including the optional '!faults'
+// directive.
+func ParseFile(r io.Reader) (*File, error) {
+	out := &File{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	line := 0
@@ -73,9 +113,37 @@ func Parse(r io.Reader) ([]Event, error) {
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
+		if spec, ok := strings.CutPrefix(text, "!faults"); ok {
+			if len(out.Events) > 0 {
+				return nil, &ParseError{line, "!faults directive must precede all events"}
+			}
+			out.FaultSpec = strings.TrimSpace(spec)
+			if _, err := kernel.ParseSchedule(out.FaultSpec); err != nil {
+				return nil, &ParseError{line, "bad fault schedule: " + err.Error()}
+			}
+			continue
+		}
+		if strings.HasPrefix(text, "!") {
+			return nil, &ParseError{line, fmt.Sprintf("unknown directive %q", text)}
+		}
 		fields := strings.Fields(text)
 		ev := Event{Line: line}
 		switch fields[0] {
+		case "x":
+			if len(fields) != 3 {
+				return nil, &ParseError{line, "want: x <call> <errno>"}
+			}
+			if _, err := kernel.ParseSyscallKind(fields[1]); err != nil {
+				return nil, &ParseError{line, err.Error()}
+			}
+			if _, err := kernel.ParseErrno(fields[2]); err != nil {
+				return nil, &ParseError{line, err.Error()}
+			}
+			ev.Kind = EvFault
+			ev.Call = fields[1]
+			ev.Errno = fields[2]
+			out.Events = append(out.Events, ev)
+			continue
 		case "a":
 			if len(fields) != 3 {
 				return nil, &ParseError{line, "want: a <id> <size>"}
@@ -113,7 +181,7 @@ func Parse(r io.Reader) ([]Event, error) {
 				ev.Off = n
 			}
 		}
-		out = append(out, ev)
+		out.Events = append(out.Events, ev)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -135,6 +203,8 @@ func Format(w io.Writer, events []Event) error {
 			_, err = fmt.Fprintf(bw, "w %d %d\n", ev.ID, ev.Off)
 		case EvRead:
 			_, err = fmt.Fprintf(bw, "r %d %d\n", ev.ID, ev.Off)
+		case EvFault:
+			_, err = fmt.Fprintf(bw, "x %s %s\n", ev.Call, ev.Errno)
 		default:
 			err = fmt.Errorf("trace: unknown event kind %q", ev.Kind)
 		}
@@ -143,4 +213,14 @@ func Format(w io.Writer, events []Event) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// Format renders the complete trace, schedule directive included.
+func (f *File) Format(w io.Writer) error {
+	if f.FaultSpec != "" {
+		if _, err := fmt.Fprintf(w, "!faults %s\n", f.FaultSpec); err != nil {
+			return err
+		}
+	}
+	return Format(w, f.Events)
 }

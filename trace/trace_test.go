@@ -216,3 +216,113 @@ func TestReplayRandomTracesDetectExactlyInjectedBugs(t *testing.T) {
 		}
 	}
 }
+
+func TestParseFileFaultDirective(t *testing.T) {
+	src := `
+!faults seed=7;mprotect:after=0,times=2
+a 1 64
+f 1
+x mprotect EAGAIN
+x mprotect EAGAIN
+`
+	f, err := ParseFile(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	if f.FaultSpec != "seed=7;mprotect:after=0,times=2" {
+		t.Fatalf("FaultSpec = %q", f.FaultSpec)
+	}
+	if len(f.Events) != 4 || f.Events[2].Kind != EvFault || f.Events[2].Call != "mprotect" {
+		t.Fatalf("events = %+v", f.Events)
+	}
+
+	var buf bytes.Buffer
+	if err := f.Format(&buf); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	again, err := ParseFile(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if again.FaultSpec != f.FaultSpec || len(again.Events) != len(f.Events) {
+		t.Fatalf("round trip: %+v", again)
+	}
+
+	bad := []string{
+		"a 1 64\n!faults seed=1;mremap:prob=0.5", // directive after events
+		"!faults seed=1;bogus:prob=0.5",          // unparseable schedule
+		"!wibble",                                // unknown directive
+		"x wibble ENOMEM",                        // unknown syscall
+		"x mremap EWOULDBLOCK",                   // unknown errno
+	}
+	for _, src := range bad {
+		if _, err := ParseFile(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseFile(%q): expected error", src)
+		}
+	}
+}
+
+// TestReplayFaultedRoundTrip is the satellite acceptance check: a faulted
+// run's annotated trace, replayed with the same schedule, reproduces the
+// run bit-for-bit — every recorded fault recurs at the same position.
+func TestReplayFaultedRoundTrip(t *testing.T) {
+	const spec = "seed=7;mprotect:after=0,times=2"
+	events, err := Parse(strings.NewReader(`
+a 1 64
+w 1 0
+f 1
+a 2 32
+f 2
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := pageguard.NewMachine(pageguard.WithFaultSchedule(spec))
+	rep, err := Replay(m, events)
+	if err != nil {
+		t.Fatalf("faulted replay: %v", err)
+	}
+	if len(rep.InjectedFaults) != 2 {
+		t.Fatalf("injected = %v, want 2 faults", rep.InjectedFaults)
+	}
+	// The faults were absorbed by the first free: a w f x x a f.
+	kinds := ""
+	for _, ev := range rep.Annotated {
+		kinds += string(ev.Kind)
+	}
+	if kinds != "awfxxaf" {
+		t.Fatalf("annotated = %q, want awfxxaf", kinds)
+	}
+
+	// Write the annotated trace and replay it with the same schedule: the
+	// verification pass must accept it.
+	var buf bytes.Buffer
+	ann := &File{FaultSpec: spec, Events: rep.Annotated}
+	if err := ann.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := ParseFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := pageguard.NewMachine(pageguard.WithFaultSchedule(f2.FaultSpec))
+	rep2, err := Replay(m2, f2.Events)
+	if err != nil {
+		t.Fatalf("verified replay: %v", err)
+	}
+	if rep2.Stats != rep.Stats {
+		t.Fatalf("replay stats diverge:\n%v\nvs\n%v", rep2.Stats, rep.Stats)
+	}
+
+	// Without the schedule the recorded faults cannot recur: the
+	// verification pass must reject the trace.
+	if _, err := Replay(pageguard.NewMachine(), f2.Events); err == nil {
+		t.Fatal("replay without fault schedule accepted a faulted trace")
+	}
+	// A different schedule diverges.
+	m3 := pageguard.NewMachine(pageguard.WithFaultSchedule("seed=7;mremap:after=0,times=1"))
+	if _, err := Replay(m3, f2.Events); err == nil {
+		t.Fatal("replay with wrong schedule accepted the trace")
+	}
+}

@@ -11,6 +11,9 @@
 //	pgbench -study containment  # one trapped connection, servers keep serving
 //	pgbench -probe treeadd      # raw counters for one workload across configs
 //	pgbench -faults SPEC ...    # inject a kernel fault schedule into runs
+//	pgbench -metrics out.json   # export metric snapshots + cycle attribution
+//	pgbench -bench out.json     # machine-readable per-workload results
+//	pgbench -check-bench f.json # validate a -bench output file
 package main
 
 import (
@@ -27,6 +30,9 @@ func main() {
 	study := flag.String("study", "", `regenerate a study ("vaspace", "memory", "chaos", or "containment")`)
 	probe := flag.String("probe", "", "print raw counters for one workload")
 	faults := flag.String("faults", "", "kernel fault schedule for -probe/-table runs")
+	metrics := flag.String("metrics", "", "write metric snapshots + cycle attribution (JSON and .prom) to this path")
+	bench := flag.String("bench", "", "write machine-readable per-workload results (JSON) to this path")
+	checkBenchPath := flag.String("check-bench", "", "validate a -bench output file and exit")
 	list := flag.Bool("list", false, "list the workloads and exit")
 	flag.Parse()
 
@@ -36,14 +42,23 @@ func main() {
 		}
 		return
 	}
-	if err := run(*table, *study, *probe, *faults); err != nil {
+	if err := run(*table, *study, *probe, *faults, *metrics, *bench, *checkBenchPath); err != nil {
 		fmt.Fprintln(os.Stderr, "pgbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, study, probe, faults string) error {
+func run(table int, study, probe, faults, metrics, bench, checkBenchPath string) error {
 	opts := experiment.Options{Faults: faults}
+	if checkBenchPath != "" {
+		return checkBench(checkBenchPath)
+	}
+	if metrics != "" {
+		return runMetrics(metrics, opts)
+	}
+	if bench != "" {
+		return runBench(bench, opts)
+	}
 	if probe != "" {
 		return runProbe(probe, opts)
 	}

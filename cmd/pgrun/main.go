@@ -83,9 +83,16 @@ func run(modeName, wl string, stats bool, args []string) (int, error) {
 	if stats {
 		fmt.Fprintf(os.Stderr, "[pgrun] mode=%s cycles=%d syscalls=%d vpages=%d pools=%d\n",
 			m, res.Cycles, res.Syscalls, res.VirtualPages, prog.Pools)
+		if res.Profile != nil && res.Profile.TotalCycles() > 0 {
+			fmt.Fprintf(os.Stderr, "[pgrun] cycle attribution (top sites):\n%s",
+				res.Profile.TopTable(5))
+		}
 	}
 	if res.Err != nil {
 		if de, ok := res.Dangling(); ok {
+			if res.Report != nil {
+				fmt.Fprint(os.Stderr, res.Report.String())
+			}
 			fmt.Fprintf(os.Stderr, "[pgrun] DETECTED: %v\n", de)
 			return 2, nil
 		}

@@ -10,6 +10,7 @@
 //	pgtrace -guards trace.txt    # with overflow guard pages
 //	pgtrace -faults SPEC t.txt   # replay under a kernel fault schedule
 //	pgtrace -record out.txt t.txt # write the fault-annotated trace
+//	pgtrace -report trace.txt    # full forensic reports + cycle attribution
 //	pgtrace -demo                # print a small demonstration trace
 //
 // A trace written by a fault-injection run carries its schedule in a
@@ -53,6 +54,7 @@ func main() {
 	guards := flag.Bool("guards", false, "enable overflow guard pages")
 	faults := flag.String("faults", "", "kernel fault schedule (overrides the trace's !faults header)")
 	record := flag.String("record", "", "write the fault-annotated trace to this file")
+	report := flag.Bool("report", false, "print full forensic trap reports and the cycle-attribution profile")
 	demo := flag.Bool("demo", false, "print a demonstration trace and exit")
 	flag.Parse()
 
@@ -60,7 +62,7 @@ func main() {
 		fmt.Print(demoTrace)
 		return
 	}
-	code, err := run(*guards, *faults, *record, flag.Args())
+	code, err := run(*guards, *report, *faults, *record, flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pgtrace:", err)
 		os.Exit(1)
@@ -68,7 +70,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(guards bool, faults, record string, args []string) (int, error) {
+func run(guards, report bool, faults, record string, args []string) (int, error) {
 	if len(args) != 1 {
 		return 0, errors.New("expected exactly one trace file (or \"-\" for stdin)")
 	}
@@ -112,6 +114,16 @@ func run(guards bool, faults, record string, args []string) (int, error) {
 	}
 	for _, d := range rep.Detections {
 		fmt.Printf("DETECTED (trace line %d): %v\n", d.Line, d.Err)
+	}
+	if report {
+		for _, d := range rep.Detections {
+			if d.Report != nil {
+				fmt.Print(d.Report.String())
+			}
+		}
+		if rep.Profile != nil && rep.Profile.TotalCycles() > 0 {
+			fmt.Printf("cycle attribution (top sites):\n%s", rep.Profile.TopTable(10))
+		}
 	}
 
 	if record != "" {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -16,9 +17,29 @@ func writeTrace(t *testing.T, content string) string {
 	return path
 }
 
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// everything it printed.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
 func TestCleanTraceExitsZero(t *testing.T) {
 	path := writeTrace(t, "a 1 64\nw 1 0\nf 1\n")
-	code, err := run(false, "", "", []string{path})
+	code, err := run(false, false, "", "", []string{path})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -29,7 +50,7 @@ func TestCleanTraceExitsZero(t *testing.T) {
 
 func TestBuggyTraceExitsTwo(t *testing.T) {
 	path := writeTrace(t, "a 1 64\nf 1\nr 1 0\n")
-	code, err := run(false, "", "", []string{path})
+	code, err := run(false, false, "", "", []string{path})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -40,7 +61,7 @@ func TestBuggyTraceExitsTwo(t *testing.T) {
 
 func TestDemoTraceDetects(t *testing.T) {
 	path := writeTrace(t, demoTrace)
-	code, err := run(true, "", "", []string{path})
+	code, err := run(true, false, "", "", []string{path})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -49,15 +70,48 @@ func TestDemoTraceDetects(t *testing.T) {
 	}
 }
 
+// TestReportModePrintsForensics replays the demo trace with -report and
+// checks the forensic output carries the trace's event provenance: the
+// trap report names the trace lines that allocated, freed, and used the
+// object, and the attribution profile is keyed by trace lines.
+func TestReportModePrintsForensics(t *testing.T) {
+	path := writeTrace(t, demoTrace)
+	var code int
+	out := captureStdout(t, func() {
+		var err error
+		code, err = run(false, true, "", "", []string{path})
+		if err != nil {
+			t.Errorf("run: %v", err)
+		}
+	})
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	// The demo's use-after-free: id 2 is allocated on line 9, freed on
+	// line 11, and read on line 12; the double free follows on line 14.
+	for _, want := range []string{
+		"==PageGuard== dangling pointer read at trace:12",
+		"allocated: at trace:9 (trace line 9)",
+		"freed:     at trace:11 (trace line 11)",
+		"==PageGuard== dangling pointer double-free at trace:14",
+		"cycle attribution (top sites):",
+		"trace:9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-report output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if _, err := run(false, "", "", nil); err == nil {
+	if _, err := run(false, false, "", "", nil); err == nil {
 		t.Fatal("missing arg accepted")
 	}
-	if _, err := run(false, "", "", []string{"/nonexistent"}); err == nil {
+	if _, err := run(false, false, "", "", []string{"/nonexistent"}); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	path := writeTrace(t, "zz 1\n")
-	if _, err := run(false, "", "", []string{path}); err == nil {
+	if _, err := run(false, false, "", "", []string{path}); err == nil {
 		t.Fatal("malformed trace accepted")
 	}
 }
@@ -66,7 +120,7 @@ func TestFaultedRecordAndReplay(t *testing.T) {
 	path := writeTrace(t, demoTrace)
 	out := filepath.Join(t.TempDir(), "annotated.txt")
 	const spec = "seed=7;mprotect:after=0,times=2"
-	code, err := run(false, spec, out, []string{path})
+	code, err := run(false, false, spec, out, []string{path})
 	if err != nil {
 		t.Fatalf("record: %v", err)
 	}
@@ -84,7 +138,7 @@ func TestFaultedRecordAndReplay(t *testing.T) {
 		t.Fatalf("recorded trace missing fault events:\n%s", data)
 	}
 	// The recorded trace replays and self-verifies from its own header.
-	code, err = run(false, "", "", []string{out})
+	code, err = run(false, false, "", "", []string{out})
 	if err != nil {
 		t.Fatalf("verified replay: %v", err)
 	}
@@ -92,7 +146,7 @@ func TestFaultedRecordAndReplay(t *testing.T) {
 		t.Fatalf("verified replay exit = %d, want 2", code)
 	}
 	// Without the schedule the 'x' records cannot be satisfied.
-	if _, err := run(false, "seed=1;mremap:times=1", "", []string{out}); err == nil {
+	if _, err := run(false, false, "seed=1;mremap:times=1", "", []string{out}); err == nil {
 		t.Fatal("replay with wrong schedule accepted the recorded trace")
 	}
 }

@@ -94,6 +94,10 @@ type Object struct {
 	// AllocSite and FreeSite are diagnostic labels (source locations).
 	AllocSite string
 	FreeSite  string
+	// FreeCycles is the process meter reading when the object was freed;
+	// trap forensics subtracts it from the trap-time reading to report how
+	// long the pointer dangled.
+	FreeCycles uint64
 	// AllocSeq orders allocations for reports.
 	AllocSeq uint64
 	// Guarded marks objects followed by an overflow guard page.
@@ -272,6 +276,9 @@ func (r *Remapper) shadowBlock(owner *pool.Pool, canonBase vm.Addr, n uint64) (v
 // and does not require source code", §1.1). site is a diagnostic label for
 // the allocation site.
 func (r *Remapper) Alloc(al Allocator, owner *pool.Pool, size uint64, site string) (vm.Addr, error) {
+	// Scope kernel charges (the allocator's mmaps, the shadow mremap) to
+	// the allocation site for cycle attribution.
+	defer r.proc.SetSite(r.proc.SetSite(site))
 	r.maybeIntervalReclaim()
 
 	var canon vm.Addr
@@ -337,6 +344,7 @@ func (r *Remapper) Alloc(al Allocator, owner *pool.Pool, size uint64, site strin
 	}
 	r.stats.Allocs++
 	r.stats.ShadowPagesLive += span
+	r.proc.Profile().CountAlloc(site)
 	return userPtr, nil
 }
 
@@ -347,6 +355,7 @@ func (r *Remapper) Alloc(al Allocator, owner *pool.Pool, size uint64, site strin
 // the remapper records the address so a free that contradicts the proof is
 // counted in Stats.ElisionMisses instead of corrupting the header protocol.
 func (r *Remapper) AllocElided(al Allocator, owner *pool.Pool, size uint64, site string) (vm.Addr, error) {
+	defer r.proc.SetSite(r.proc.SetSite(site))
 	canon, err := al.Alloc(size)
 	if err != nil {
 		return 0, err
@@ -356,6 +365,7 @@ func (r *Remapper) AllocElided(al Allocator, owner *pool.Pool, size uint64, site
 		r.elidedByPool[owner] = append(r.elidedByPool[owner], canon)
 	}
 	r.stats.ElidedAllocs++
+	r.proc.Profile().CountAlloc(site)
 	return canon, nil
 }
 
@@ -365,6 +375,10 @@ func (r *Remapper) AllocElided(al Allocator, owner *pool.Pool, size uint64, site
 // ("use of a pointer is a read, write or free operation", §2.1) and is
 // reported as a *DanglingError.
 func (r *Remapper) Free(al Allocator, f vm.Addr, site string) error {
+	// Charges default to the free site; once the object is identified the
+	// scope narrows to its allocation site so the per-site profile breaks
+	// each site's cost into its alloc-side and free-side syscalls.
+	defer r.proc.SetSite(r.proc.SetSite(site))
 	r.maybeIntervalReclaim()
 
 	// A degraded allocation was handed out at its canonical address with
@@ -400,15 +414,17 @@ func (r *Remapper) Free(al Allocator, f vm.Addr, site string) error {
 		// A double free whose mprotect is still queued (batched mode):
 		// the page did not trap, but the bookkeeping knows.
 		r.stats.DanglingDetected++
+		fault := &vm.Fault{
+			Addr:   f - remapHeaderSize,
+			Access: vm.AccessRead,
+			Reason: vm.FaultProtection,
+		}
 		return &DanglingError{
-			Fault: &vm.Fault{
-				Addr:   f - remapHeaderSize,
-				Access: vm.AccessRead,
-				Reason: vm.FaultProtection,
-			},
+			Fault:   fault,
 			Object:  obj,
 			UseSite: site,
 			Offset:  -remapHeaderSize,
+			Report:  r.buildReport(obj, fault, site, -remapHeaderSize),
 		}
 	}
 	if obj == nil || obj.State != StateLive || obj.ShadowAddr != f {
@@ -434,6 +450,9 @@ func (r *Remapper) Free(al Allocator, f vm.Addr, site string) error {
 
 	obj.State = StateFreed
 	obj.FreeSite = site
+	obj.FreeCycles = r.proc.Meter().Cycles()
+	r.proc.SetSite(obj.AllocSite)
+	r.proc.Profile().CountFree(obj.AllocSite)
 	r.stats.Frees++
 	r.stats.ShadowPagesLive -= obj.ShadowRun.Pages
 	r.stats.ShadowPagesFreed += obj.ShadowRun.Pages
@@ -467,21 +486,28 @@ func (r *Remapper) Free(al Allocator, f vm.Addr, site string) error {
 // fault unchanged (a plain wild-pointer segfault). The trap delivery cost is
 // charged either way — this is the run-time system's SIGSEGV handler.
 func (r *Remapper) Explain(fault *vm.Fault, site string) error {
-	r.proc.Meter().ChargeTrap()
+	// Attribute the trap delivery to the allocation site of the object the
+	// access landed in, when one is known.
+	obj := r.objects[vm.PageOf(fault.Addr)]
+	if obj != nil {
+		defer r.proc.SetSite(r.proc.SetSite(obj.AllocSite))
+	}
+	r.proc.ChargeTrap()
 	if err := r.explainGuard(fault, site); err != nil {
 		r.stats.OverflowsDetected++
 		return err
 	}
-	obj := r.objects[vm.PageOf(fault.Addr)]
 	if obj == nil || obj.State != StateFreed {
 		return fault
 	}
 	r.stats.DanglingDetected++
+	offset := int64(fault.Addr) - int64(obj.ShadowAddr)
 	return &DanglingError{
 		Fault:   fault,
 		Object:  obj,
 		UseSite: site,
-		Offset:  int64(fault.Addr) - int64(obj.ShadowAddr),
+		Offset:  offset,
+		Report:  r.buildReport(obj, fault, site, offset),
 	}
 }
 

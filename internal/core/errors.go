@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim/vm"
 )
 
@@ -20,6 +21,9 @@ type DanglingError struct {
 	// the object (negative offsets hit the header word, e.g. on a double
 	// free).
 	Offset int64
+	// Report is the full forensic record of the trap, renderable as text
+	// or JSON (obs.TrapReport).
+	Report *obs.TrapReport
 }
 
 // Error implements error.

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"repro/internal/obs"
+	"repro/internal/sim/vm"
+)
+
+// Observability for the remapper layer: assembly of the forensic TrapReport
+// a detected dangling use carries, and registration of the remapper's
+// counters into an obs.Registry.
+
+// buildReport assembles the TrapReport for a detected dangling use of obj.
+// It reads the meter after the trap charge, so TrapCycles includes the
+// delivery cost of the trap being reported, exactly as a real handler
+// sampling a cycle counter would see it.
+func (r *Remapper) buildReport(obj *Object, fault *vm.Fault, useSite string, offset int64) *obs.TrapReport {
+	kind := obs.TrapRead
+	switch {
+	case offset < 0:
+		kind = obs.TrapDoubleFree
+	case fault.Access == vm.AccessWrite:
+		kind = obs.TrapWrite
+	}
+	now := r.proc.Meter().Cycles()
+	var since uint64
+	if now > obj.FreeCycles {
+		since = now - obj.FreeCycles
+	}
+	rep := &obs.TrapReport{
+		Kind:       kind,
+		UseSite:    useSite,
+		AllocSite:  obj.AllocSite,
+		FreeSite:   obj.FreeSite,
+		ObjectSeq:  obj.AllocSeq,
+		ObjectSize: obj.UserSize,
+		State:      obj.State.String(),
+		Offset:     offset,
+		PageOffset: uint64(fault.Addr) % vm.PageSize,
+		FaultAddr:  uint64(fault.Addr),
+		ShadowAddr: uint64(obj.ShadowAddr),
+		// The canonical view of the faulting byte: the allocator's
+		// pointer is the header word, the user object starts one header
+		// past it.
+		CanonAddr:       uint64(obj.CanonAddr) + remapHeaderSize + uint64(offset),
+		FreeCycles:      obj.FreeCycles,
+		TrapCycles:      now,
+		CyclesSinceFree: since,
+	}
+	if obj.Pool != nil {
+		rep.Pool = obj.Pool.Name()
+		rep.PoolID = obj.Pool.ID()
+	}
+	return rep
+}
+
+// RegisterMetrics registers the remapper's counters on reg. All series are
+// function-backed reads of the live Stats, so registration is done once up
+// front and snapshots observe current values.
+func (r *Remapper) RegisterMetrics(reg *obs.Registry) {
+	s := &r.stats
+	reg.CounterFunc("pg_allocs_total", "shadow-protected allocations",
+		func() uint64 { return s.Allocs })
+	reg.CounterFunc("pg_frees_total", "shadow-protected frees",
+		func() uint64 { return s.Frees })
+	reg.CounterFunc("pg_dangling_detected_total", "dangling pointer uses detected",
+		func() uint64 { return s.DanglingDetected })
+	reg.CounterFunc("pg_overflows_detected_total", "guard-page overflow hits",
+		func() uint64 { return s.OverflowsDetected })
+	reg.GaugeFunc("pg_shadow_pages_live", "shadow pages of live objects",
+		func() float64 { return float64(s.ShadowPagesLive) })
+	reg.GaugeFunc("pg_shadow_pages_freed", "protected shadow pages of freed objects",
+		func() float64 { return float64(s.ShadowPagesFreed) })
+	reg.CounterFunc("pg_recycled_pages_total", "shadow pages recycled under a reuse policy",
+		func() uint64 { return s.RecycledPages })
+	reg.CounterFunc("pg_gc_runs_total", "conservative-GC reclamation runs",
+		func() uint64 { return s.GCRuns })
+	reg.CounterFunc("pg_elided_allocs_total", "allocations elided by static proof",
+		func() uint64 { return s.ElidedAllocs })
+	reg.CounterFunc("pg_elision_misses_total", "frees contradicting an elision proof",
+		func() uint64 { return s.ElisionMisses })
+	reg.CounterFunc("pg_transient_retries_total", "syscall retries after transient failures",
+		func() uint64 { return s.TransientRetries })
+	reg.CounterFunc("pg_degraded_allocs_total", "allocations degraded to unprotected",
+		func() uint64 { return s.DegradedAllocs })
+	reg.CounterFunc("pg_degraded_frees_total", "frees of degraded allocations",
+		func() uint64 { return s.DegradedFrees })
+	reg.CounterFunc("pg_unprotected_frees_total", "frees left unprotected after mprotect failure",
+		func() uint64 { return s.UnprotectedFrees })
+	reg.GaugeFunc("pg_pending_protect", "freed objects awaiting batched protection",
+		func() float64 { return float64(len(r.pending)) })
+}

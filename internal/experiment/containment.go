@@ -9,6 +9,7 @@ import (
 	"repro/internal/minic/driver"
 	"repro/internal/minic/interp"
 	"repro/internal/minic/ir"
+	"repro/internal/obs"
 	"repro/internal/runtimes"
 	"repro/internal/sim/kernel"
 	"repro/internal/workload"
@@ -70,7 +71,10 @@ type ContainmentReport struct {
 	// Diagnostic is the preserved dangling-use report of the buggy
 	// connection.
 	Diagnostic string
-	Outcomes   []ConnOutcome
+	// Report is the full forensic trap report of the buggy connection
+	// (alloc/free/use sites, pool, offsets, dangle duration).
+	Report   *obs.TrapReport
+	Outcomes []ConnOutcome
 }
 
 // RunContainment serves the named server workload's scripted connections
@@ -171,6 +175,9 @@ func RunContainment(name string, mode ContainmentMode, opts Options) (*Containme
 			if rep.Diagnostic == "" {
 				rep.Diagnostic = de.Error()
 			}
+			if rep.Report == nil {
+				rep.Report = de.Report
+			}
 		case out.Err == nil && out.Output == expected:
 			rep.Served++
 		}
@@ -243,10 +250,65 @@ func GenContainmentStudy(opts Options) (*ContainmentStudy, error) {
 			if !strings.Contains(rep.Diagnostic, "dangling") {
 				return nil, fmt.Errorf("containment: %s/%v diagnostic lost: %q", name, mode, rep.Diagnostic)
 			}
+			if err := checkTrapReport(name, mode, rep.Report); err != nil {
+				return nil, err
+			}
 			study.Cells = append(study.Cells, ContainmentCell{Report: rep})
 		}
 	}
 	return study, nil
+}
+
+// checkTrapReport verifies the forensic report of a planted UAF: the sites
+// must name the handler function (both servers plant the bug in main), the
+// kind must match the planted access (ghttpd scribbles, ftpd reads), the
+// free must precede the use, and the report must survive a JSON round trip.
+func checkTrapReport(name string, mode ContainmentMode, rep *obs.TrapReport) error {
+	if rep == nil {
+		return fmt.Errorf("containment: %s/%v trap report lost", name, mode)
+	}
+	wantKind := obs.TrapWrite
+	if name == "ftpd" {
+		wantKind = obs.TrapRead
+	}
+	if rep.Kind != wantKind {
+		return fmt.Errorf("containment: %s/%v trap kind %q, want %q", name, mode, rep.Kind, wantKind)
+	}
+	for what, site := range map[string]string{
+		"alloc": rep.AllocSite, "free": rep.FreeSite, "use": rep.UseSite,
+	} {
+		if !strings.HasPrefix(site, "main:") {
+			return fmt.Errorf("containment: %s/%v %s site %q does not name the handler",
+				name, mode, what, site)
+		}
+	}
+	if rep.AllocSite == rep.FreeSite || rep.FreeSite == rep.UseSite {
+		return fmt.Errorf("containment: %s/%v sites not distinct: alloc=%q free=%q use=%q",
+			name, mode, rep.AllocSite, rep.FreeSite, rep.UseSite)
+	}
+	if rep.Offset != 0 || rep.State != "freed" {
+		return fmt.Errorf("containment: %s/%v offset=%d state=%q, want 0/freed",
+			name, mode, rep.Offset, rep.State)
+	}
+	if rep.Pool == "" {
+		return fmt.Errorf("containment: %s/%v report names no pool", name, mode)
+	}
+	if rep.TrapCycles <= rep.FreeCycles || rep.CyclesSinceFree == 0 {
+		return fmt.Errorf("containment: %s/%v dangle duration broken: free=%d trap=%d",
+			name, mode, rep.FreeCycles, rep.TrapCycles)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		return fmt.Errorf("containment: %s/%v report JSON: %w", name, mode, err)
+	}
+	back, err := obs.ParseTrapReport(data)
+	if err != nil {
+		return fmt.Errorf("containment: %s/%v report re-parse: %w", name, mode, err)
+	}
+	if back.String() != rep.String() {
+		return fmt.Errorf("containment: %s/%v report text changed across JSON round trip", name, mode)
+	}
+	return nil
 }
 
 // String renders the containment study as a table.

@@ -17,6 +17,7 @@ import (
 	"repro/internal/minic/driver"
 	"repro/internal/minic/interp"
 	"repro/internal/minic/ir"
+	"repro/internal/obs"
 	"repro/internal/runtimes"
 	"repro/internal/sim/cost"
 	"repro/internal/sim/kernel"
@@ -168,6 +169,24 @@ type Measurement struct {
 	// Diagnostics preserves the dangling-use reports, one per contained
 	// connection.
 	Diagnostics []string
+	// TrapReports preserves the full forensic reports of detected dangling
+	// uses, in connection order.
+	TrapReports []*obs.TrapReport
+	// Allocs and Frees count the shadow runtime's protected operations
+	// across all connections (zero for non-shadow configurations).
+	Allocs, Frees uint64
+	// Profile is the per-allocation-site cycle attribution merged across
+	// connections (nil for configurations that never charge through the
+	// kernel's attributed path — it still exists, holding only the
+	// untracked bucket, for any configuration that makes syscalls).
+	Profile *obs.SiteProfile
+	// Metrics is the additive merge of every connection's metric snapshot
+	// (kernel + remapper + pool series).
+	Metrics obs.Snapshot
+	// ChargedCycles sums each connection's kernel-charged cycles (syscalls
+	// + runtime-delivered traps) — the reference total the Profile must sum
+	// to exactly.
+	ChargedCycles uint64
 	// Output is the program output (first connection for servers).
 	Output string
 	// Err is a terminating program error (nil for clean workloads).
@@ -264,12 +283,30 @@ func Run(w workload.Workload, c Config, opts Options) (Measurement, error) {
 			m.DegradedFrees += st.DegradedFrees
 			m.UnprotectedFrees += st.UnprotectedFrees
 			m.TransientRetries += st.TransientRetries
+			m.Allocs += st.Allocs + st.ElidedAllocs
+			m.Frees += st.Frees + st.DegradedFrees
 			if opts.Audit {
 				if err := shadowRT.Remapper().HealthCheck(); err != nil {
 					return m, fmt.Errorf("experiment: %s/%s conn %d: %w", w.Name, c, i, err)
 				}
 			}
 		}
+		// Observability: merge this connection's site profile and metric
+		// snapshot into the per-workload aggregates. Registration is
+		// read-only (function-backed series), so it cannot perturb the
+		// deterministic cycle accounting.
+		if m.Profile == nil {
+			m.Profile = obs.NewSiteProfile()
+		}
+		m.Profile.Merge(res.Proc.Profile())
+		m.ChargedCycles += res.Proc.KernelChargedCycles()
+		reg := obs.NewRegistry()
+		res.Proc.RegisterMetrics(reg)
+		if shadowRT != nil {
+			shadowRT.Remapper().RegisterMetrics(reg)
+			shadowRT.Pools().RegisterMetrics(reg)
+		}
+		m.Metrics.Add(reg.Snapshot())
 		m.InjectedFaults += uint64(len(res.Proc.InjectedFaults()))
 		pages := res.Proc.Space().ReservedPages()
 		m.ReservedPages += pages
@@ -285,6 +322,9 @@ func Run(w workload.Workload, c Config, opts Options) (Measurement, error) {
 				// keeps accepting the rest.
 				m.ContainedConns++
 				m.Diagnostics = append(m.Diagnostics, de.Error())
+				if de.Report != nil {
+					m.TrapReports = append(m.TrapReports, de.Report)
+				}
 			}
 			if m.Err == nil {
 				m.Err = res.Err

@@ -1,0 +1,33 @@
+// Package obs is the observability layer of the PageGuard runtime: trap
+// forensics, a metrics registry, and a cycle-attribution profiler.
+//
+// A hardware trap is only half a detector. The paper's scheme turns every
+// dangling pointer use into a protection fault, but a production operator
+// needs to know *which* allocation, *which* free, and *what the detector is
+// costing them* — the §4 overhead tables attribute everything to the
+// mremap/mprotect system calls the scheme adds. This package provides the
+// three pieces that make the trap actionable, in the tradition of Electric
+// Fence and AddressSanitizer's allocation/free-site reports:
+//
+//   - TrapReport (report.go): an ASan-style forensic record of one detected
+//     dangling use — object identity and size, allocation site, free site,
+//     pool, lifetime state, byte offset, cycles-since-free, and the
+//     shadow/canonical virtual address pair — rendered as human-readable
+//     text and as JSON.
+//
+//   - Registry (registry.go): counters, gauges, and fixed-bucket histograms
+//     registered by every layer (kernel per-syscall cycle histograms, the
+//     remapper's degradation ladder, the pool runtime, the fault injector),
+//     with Prometheus text and JSON exposition plus a diffable, mergeable
+//     Snapshot.
+//
+//   - SiteProfile (profile.go): per-allocation-site attribution of
+//     remap/protect/map/trap cycles, recorded at the kernel charge points
+//     under a scoped site label, so the sum over sites equals the kernel's
+//     total charged syscall and trap cycles by construction. Rendered as a
+//     top-N table and a pprof-style flat profile.
+//
+// obs is a leaf package: it imports nothing from the simulator so that
+// every layer (kernel, core, pool, pageguard, trace, experiment) can depend
+// on it without cycles. Addresses are plain uint64 for the same reason.
+package obs

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(`ops_total{kind="a"}`, "ops")
+	c.Add(3)
+	c.Add(2)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	r.CounterFunc("live_reads_total", "reads", func() uint64 { return 9 })
+
+	g := r.Gauge("depth", "queue depth")
+	g.Set(4.5)
+
+	h := r.Histogram("lat", "latency", []uint64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	if h.Count() != 3 || h.Sum() != 555 {
+		t.Errorf("hist count=%d sum=%d", h.Count(), h.Sum())
+	}
+
+	s := r.Snapshot()
+	if s.Counters[`ops_total{kind="a"}`] != 5 || s.Counters["live_reads_total"] != 9 {
+		t.Errorf("snapshot counters: %+v", s.Counters)
+	}
+	if s.Gauges["depth"] != 4.5 {
+		t.Errorf("snapshot gauge: %v", s.Gauges["depth"])
+	}
+	hs := s.Histograms["lat"]
+	if want := []uint64{1, 1, 1}; len(hs.Counts) != 3 || hs.Counts[0] != want[0] || hs.Counts[1] != want[1] || hs.Counts[2] != want[2] {
+		t.Errorf("hist counts = %v", hs.Counts)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`pg_syscalls_total{call="mremap"}`, "syscalls by kind").Add(7)
+	r.Counter(`pg_syscalls_total{call="mprotect"}`, "syscalls by kind").Add(4)
+	h := r.Histogram(`pg_syscall_cycles{call="mremap"}`, "cycles per syscall", []uint64{1500, 3000})
+	h.Observe(1200)
+	h.Observe(2000)
+	h.Observe(9000)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b, `workload="treeadd"`); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP pg_syscalls_total syscalls by kind",
+		"# TYPE pg_syscalls_total counter",
+		`pg_syscalls_total{call="mremap",workload="treeadd"} 7`,
+		`pg_syscalls_total{call="mprotect",workload="treeadd"} 4`,
+		"# TYPE pg_syscall_cycles histogram",
+		`pg_syscall_cycles_bucket{call="mremap",le="1500",workload="treeadd"} 1`,
+		`pg_syscall_cycles_bucket{call="mremap",le="3000",workload="treeadd"} 2`,
+		`pg_syscall_cycles_bucket{call="mremap",le="+Inf",workload="treeadd"} 3`,
+		`pg_syscall_cycles_sum{call="mremap",workload="treeadd"} 12200`,
+		`pg_syscall_cycles_count{call="mremap",workload="treeadd"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Families must not repeat their TYPE line.
+	if strings.Count(out, "# TYPE pg_syscalls_total") != 1 {
+		t.Errorf("TYPE line repeated:\n%s", out)
+	}
+	// Deterministic: a second render is identical.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2, `workload="treeadd"`); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("exposition is nondeterministic")
+	}
+}
+
+func TestSnapshotAddSubJSON(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "")
+	h := r.Histogram("y", "", []uint64{10})
+	c.Add(2)
+	h.Observe(4)
+	before := r.Snapshot()
+	c.Add(3)
+	h.Observe(40)
+	after := r.Snapshot()
+
+	diff := after.Sub(before)
+	if diff.Counters["x_total"] != 3 {
+		t.Errorf("diff counter = %d, want 3", diff.Counters["x_total"])
+	}
+	dh := diff.Histograms["y"]
+	if dh.Count != 1 || dh.Sum != 40 || dh.Counts[0] != 0 || dh.Counts[1] != 1 {
+		t.Errorf("diff hist = %+v", dh)
+	}
+
+	sum := Snapshot{}
+	sum.Add(before)
+	sum.Add(diff)
+	if sum.Counters["x_total"] != after.Counters["x_total"] {
+		t.Errorf("add: %d != %d", sum.Counters["x_total"], after.Counters["x_total"])
+	}
+
+	var b strings.Builder
+	if err := after.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Counters["x_total"] != 5 {
+		t.Errorf("round-tripped counter = %d", back.Counters["x_total"])
+	}
+}
+
+func TestSiteProfile(t *testing.T) {
+	p := NewSiteProfile()
+	p.AddSyscall("f:3", CatRemap, 1200)
+	p.AddSyscall("f:3", CatProtect, 1240)
+	p.AddSyscall("g:9", CatMap, 1300)
+	p.AddSyscall("", CatMap, 500)
+	p.AddTrap("f:3", 3000)
+	p.CountAlloc("f:3")
+	p.CountFree("f:3")
+
+	if got, want := p.TotalCycles(), uint64(1200+1240+1300+500+3000); got != want {
+		t.Errorf("total = %d, want %d", got, want)
+	}
+	sites := p.Sites()
+	if sites[0].Site != "f:3" || sites[0].Total() != 5440 {
+		t.Errorf("top site = %+v", sites[0])
+	}
+	if sites[0].Allocs != 1 || sites[0].Frees != 1 || sites[0].Traps != 1 || sites[0].Syscalls != 2 {
+		t.Errorf("counts = %+v", sites[0])
+	}
+	found := false
+	for _, s := range sites {
+		if s.Site == UntrackedSite && s.MapCycles == 500 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("untracked bucket missing: %+v", sites)
+	}
+
+	q := NewSiteProfile()
+	q.AddSyscall("f:3", CatRemap, 100)
+	p.Merge(q)
+	if p.site("f:3").RemapCycles != 1300 {
+		t.Errorf("merge: remap = %d", p.site("f:3").RemapCycles)
+	}
+
+	table := p.TopTable(2)
+	if !strings.Contains(table, "f:3") || strings.Count(strings.TrimSpace(table), "\n") != 2 {
+		t.Errorf("top table:\n%s", table)
+	}
+	flat := p.FlatProfile()
+	if !strings.Contains(flat, "100.00%") || !strings.Contains(flat, "f:3") {
+		t.Errorf("flat profile:\n%s", flat)
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func sampleReport() *TrapReport {
+	return &TrapReport{
+		Kind:            TrapWrite,
+		UseSite:         "handle:42",
+		AllocSite:       "handle:37",
+		FreeSite:        "handle:41",
+		ObjectSeq:       17,
+		ObjectSize:      256,
+		Pool:            "P_buf",
+		PoolID:          3,
+		State:           "freed",
+		Offset:          8,
+		PageOffset:      2056,
+		FaultAddr:       0x14005008,
+		ShadowAddr:      0x14005000,
+		CanonAddr:       0x10002008,
+		FreeCycles:      120000,
+		TrapCycles:      135234,
+		CyclesSinceFree: 15234,
+	}
+}
+
+// The golden text locks the human-readable report format: every field the
+// ISSUE demands (object id/size, alloc site, free site, pool, state, byte
+// offset, cycles-since-free, shadow/canonical VA pair) appears on a stable
+// line.
+func TestTrapReportGoldenText(t *testing.T) {
+	want := `==PageGuard== dangling pointer write at handle:42
+  access:    va 0x14005008, offset +8 into object (byte 2056 of shadow page)
+  object:    #17, 256 bytes, state freed, pool "P_buf" (id 3)
+  allocated: at handle:37
+  freed:     at handle:41, 15234 cycles before this use
+  addresses: shadow va 0x14005000, canonical va 0x10002008
+`
+	if got := sampleReport().String(); got != want {
+		t.Errorf("report text:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestTrapReportGoldenTextDirectModeWithLines(t *testing.T) {
+	r := sampleReport()
+	r.Kind = TrapDoubleFree
+	r.Pool = ""
+	r.PoolID = 0
+	r.Offset = -8
+	r.AllocLine = 7
+	r.FreeLine = 9
+	want := `==PageGuard== dangling pointer double-free at handle:42
+  access:    va 0x14005008, offset -8 into object (byte 2056 of shadow page)
+  object:    #17, 256 bytes, state freed, (direct heap)
+  allocated: at handle:37 (trace line 7)
+  freed:     at handle:41 (trace line 9), 15234 cycles before this use
+  addresses: shadow va 0x14005000, canonical va 0x10002008
+`
+	if got := r.String(); got != want {
+		t.Errorf("report text:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestTrapReportJSONRoundTrip(t *testing.T) {
+	r := sampleReport()
+	r.AllocLine = 3
+	r.FreeLine = 5
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	back, err := ParseTrapReport(data)
+	if err != nil {
+		t.Fatalf("ParseTrapReport: %v", err)
+	}
+	if !reflect.DeepEqual(r, back) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", back, r)
+	}
+}
+
+func TestParseTrapReportRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseTrapReport([]byte(`{"kind":"read","bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}

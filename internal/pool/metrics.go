@@ -1,0 +1,21 @@
+package pool
+
+import "repro/internal/obs"
+
+// RegisterMetrics registers the pool runtime's counters on r: the shared
+// free list's size, page reuse vs. fresh mmap traffic, and pool lifecycle
+// totals. All series are function-backed reads of live state.
+func (rt *Runtime) RegisterMetrics(r *obs.Registry) {
+	r.GaugeFunc("pg_pool_free_pages", "pages on the shared free list",
+		func() float64 { return float64(rt.FreePages()) })
+	r.GaugeFunc("pg_pools_live", "pools currently live",
+		func() float64 { return float64(len(rt.pools)) })
+	r.CounterFunc("pg_pool_destroys_total", "pools destroyed",
+		func() uint64 { return rt.destroys })
+	r.CounterFunc("pg_pool_reused_pages_total", "pages recycled from the shared free list",
+		func() uint64 { return rt.reusedPages })
+	r.CounterFunc("pg_pool_mmapped_pages_total", "fresh pages obtained from the kernel",
+		func() uint64 { return rt.mmappedPages })
+	r.CounterFunc("pg_pool_released_pages_total", "pages released to the shared free list",
+		func() uint64 { return rt.releasedPages })
+}

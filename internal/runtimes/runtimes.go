@@ -209,13 +209,16 @@ func (s *Shadow) poolOf(handle uint64) (*pool.Pool, error) {
 }
 
 // PoolDestroy implements interp.Runtime: retire remapper records, then
-// release all canonical and shadow pages to the shared free list.
+// release all canonical and shadow pages to the shared free list. Kernel
+// charges during the teardown are attributed to a per-pool pseudo-site.
 func (s *Shadow) PoolDestroy(handle uint64) error {
 	p, err := s.poolOf(handle)
 	if err != nil {
 		return err
 	}
 	delete(s.handles, handle)
+	proc := s.remap.Proc()
+	defer proc.SetSite(proc.SetSite("pooldestroy:" + p.Name()))
 	s.remap.OnPoolDestroy(p)
 	return p.Destroy()
 }

@@ -34,6 +34,9 @@ const (
 	SysMprotect
 	// SysMprotectRuns is the batched multi-run protection call.
 	SysMprotectRuns
+	// numSyscallKinds counts the fallible kinds above (SysDummy, defined
+	// in metrics.go, extends the accounting range but is never fallible).
+	numSyscallKinds
 )
 
 // String implements fmt.Stringer.
@@ -49,6 +52,8 @@ func (k SyscallKind) String() string {
 		return "mprotect"
 	case SysMprotectRuns:
 		return "mprotect-runs"
+	case SysDummy:
+		return "dummy"
 	default:
 		return fmt.Sprintf("syscall(%d)", uint8(k))
 	}
@@ -447,6 +452,6 @@ func (p *Process) checkInject(call SyscallKind, pages uint64, freshVA, newFrames
 	if se == nil {
 		return nil
 	}
-	p.meter.ChargeSyscall(0)
+	p.chargeSyscall(call, 0)
 	return se
 }

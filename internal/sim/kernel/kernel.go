@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/sim/cost"
 	"repro/internal/sim/mmu"
 	"repro/internal/sim/phys"
@@ -82,6 +83,17 @@ type Process struct {
 	// inject is the per-process fault injector (nil = no injection).
 	inject *Injector
 
+	// Observability (metrics.go): per-kind syscall accounting, the trap
+	// cycle total, the per-site attribution profile, and the scoped site
+	// label the layers above set around their operations.
+	sysCounts  [numAccountedKinds]uint64
+	sysCycles  [numAccountedKinds]uint64
+	sysPages   [numAccountedKinds]uint64
+	sysHist    [numAccountedKinds]*obs.Histogram
+	trapCycles uint64
+	prof       *obs.SiteProfile
+	site       string
+
 	stackBase   vm.Addr
 	stackLimit  vm.Addr
 	globalBase  vm.Addr
@@ -108,6 +120,7 @@ func NewProcess(sys *System, cfg Config) (*Process, error) {
 		meter:     meter,
 		frameRefs: make(map[phys.FrameID]int),
 		inject:    cfg.Faults.NewInjector(sys.procSeq),
+		prof:      obs.NewSiteProfile(),
 	}
 	sys.procSeq++
 
@@ -173,8 +186,8 @@ func (p *Process) mapPage(v vm.VPN, f phys.FrameID, prot vm.Prot) {
 	p.frameRefs[f]++
 }
 
-// mapFresh reserves and maps n fresh pages RW, charging a syscall if charge
-// is set.
+// mapFresh reserves and maps n fresh pages RW, charging an mmap syscall if
+// charge is set.
 func (p *Process) mapFresh(n uint64, charge bool) (vm.Addr, error) {
 	vpn, err := p.space.ReservePages(n)
 	if err != nil {
@@ -188,7 +201,7 @@ func (p *Process) mapFresh(n uint64, charge bool) (vm.Addr, error) {
 		p.mapPage(vpn+vm.VPN(i), f, vm.ProtRW)
 	}
 	if charge {
-		p.meter.ChargeSyscall(n)
+		p.chargeSyscall(SysMmap, n)
 	}
 	return uint64(vpn) << vm.PageShift, nil
 }
@@ -230,7 +243,7 @@ func (p *Process) MmapFixed(addr vm.Addr, n uint64) error {
 		p.mapPage(v, f, vm.ProtRW)
 		p.mmu.FlushPage(v)
 	}
-	p.meter.ChargeSyscall(n)
+	p.chargeSyscall(SysMmap, n)
 	return nil
 }
 
@@ -268,7 +281,7 @@ func (p *Process) Munmap(addr vm.Addr, n uint64) error {
 		}
 		p.mmu.FlushPage(v)
 	}
-	p.meter.ChargeSyscall(n)
+	p.chargeSyscall(SysMmap, n)
 	return nil
 }
 
@@ -290,7 +303,7 @@ func (p *Process) Mprotect(addr vm.Addr, n uint64, prot vm.Prot) error {
 		}
 		p.mmu.FlushPage(v)
 	}
-	p.meter.ChargeSyscall(n)
+	p.chargeSyscall(SysMprotect, n)
 	return nil
 }
 
@@ -322,7 +335,7 @@ func (p *Process) MprotectRuns(runs [][2]uint64, prot vm.Prot) error {
 			p.mmu.FlushPage(v)
 		}
 	}
-	p.meter.ChargeSyscall(pages)
+	p.chargeSyscall(SysMprotectRuns, pages)
 	return nil
 }
 
@@ -349,7 +362,7 @@ func (p *Process) MremapAlias(oldAddr vm.Addr, n uint64) (vm.Addr, error) {
 		}
 		p.mapPage(newVPN+vm.VPN(i), frame, vm.ProtRW)
 	}
-	p.meter.ChargeSyscall(n)
+	p.chargeSyscall(SysMremap, n)
 	return uint64(newVPN) << vm.PageShift, nil
 }
 
@@ -377,7 +390,7 @@ func (p *Process) RemapFixedAlias(addr, srcAddr vm.Addr, n uint64) error {
 		p.mapPage(dst+vm.VPN(i), frame, vm.ProtRW)
 		p.mmu.FlushPage(dst + vm.VPN(i))
 	}
-	p.meter.ChargeSyscall(n)
+	p.chargeSyscall(SysMremap, n)
 	return nil
 }
 
@@ -409,5 +422,5 @@ func (p *Process) Exit() error {
 // overhead by issuing a dummy mremap per allocation and a dummy mprotect per
 // deallocation.
 func (p *Process) DummySyscall() {
-	p.meter.ChargeSyscall(0)
+	p.chargeSyscall(SysDummy, 0)
 }

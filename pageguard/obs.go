@@ -1,0 +1,56 @@
+package pageguard
+
+import "repro/internal/obs"
+
+// Observability surface of the public API: trap forensics, the metrics
+// registry, and the cycle-attribution profiler, re-exported from
+// internal/obs so library users never import internal packages.
+
+// TrapReport is the forensic record of one detected dangling pointer use:
+// object provenance (alloc/free sites, pool), the faulting access (kind,
+// offset, addresses), and timing (cycles since free). Render it with
+// String() (ASan-style text) or JSON().
+type TrapReport = obs.TrapReport
+
+// Trap kinds.
+const (
+	TrapRead       = obs.TrapRead
+	TrapWrite      = obs.TrapWrite
+	TrapDoubleFree = obs.TrapDoubleFree
+)
+
+// ParseTrapReport decodes a report from its JSON form.
+var ParseTrapReport = obs.ParseTrapReport
+
+// Registry collects the detector's metrics: counters, gauges, and
+// fixed-bucket histograms, renderable as Prometheus text or JSON.
+type Registry = obs.Registry
+
+// MetricsSnapshot is a point-in-time read of a Registry, diffable with Sub
+// and mergeable with Add.
+type MetricsSnapshot = obs.Snapshot
+
+// SiteProfile is the per-allocation-site breakdown of where the detector's
+// cycles went (remap, protect, trap).
+type SiteProfile = obs.SiteProfile
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// RegisterMetrics registers every metric the process's layers expose —
+// kernel syscall/cycle/trap series with per-call histograms, and the
+// detector's allocation, detection, and degradation counters — on r. All
+// series are function-backed, so register once and snapshot at any time.
+func (p *Process) RegisterMetrics(r *Registry) {
+	p.proc.RegisterMetrics(r)
+	p.remap.RegisterMetrics(r)
+}
+
+// Profile returns the process's per-allocation-site cycle attribution. The
+// profile's total equals the kernel's total charged cycles exactly (see
+// TopTable and FlatProfile for renderings).
+func (p *Process) Profile() *SiteProfile { return p.proc.Profile() }
+
+// ChargedCycles returns the total cycles the kernel charged this process
+// for syscalls and trap deliveries — the reference value Profile sums to.
+func (p *Process) ChargedCycles() uint64 { return p.proc.KernelChargedCycles() }

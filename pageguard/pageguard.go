@@ -224,17 +224,29 @@ func (p *Process) Read(ptr Ptr, off uint64, buf []byte) error {
 
 // WriteWord stores a little-endian word of the given size (1, 2, 4, or 8).
 func (p *Process) WriteWord(ptr Ptr, off uint64, size int, v uint64) error {
+	return p.WriteWordAt(ptr, off, size, v, "write")
+}
+
+// WriteWordAt is WriteWord with a diagnostic site label for the access, so
+// a trapped dangling write reports the caller's source position instead of
+// a generic "write".
+func (p *Process) WriteWordAt(ptr Ptr, off uint64, size int, v uint64, site string) error {
 	if err := p.proc.MMU().WriteWord(ptr+off, size, v); err != nil {
-		return p.explain(err, "write")
+		return p.explain(err, site)
 	}
 	return nil
 }
 
 // ReadWord loads a little-endian word of the given size (1, 2, 4, or 8).
 func (p *Process) ReadWord(ptr Ptr, off uint64, size int) (uint64, error) {
+	return p.ReadWordAt(ptr, off, size, "read")
+}
+
+// ReadWordAt is ReadWord with a diagnostic site label for the access.
+func (p *Process) ReadWordAt(ptr Ptr, off uint64, size int, site string) (uint64, error) {
 	v, err := p.proc.MMU().ReadWord(ptr+off, size)
 	if err != nil {
-		return 0, p.explain(err, "read")
+		return 0, p.explain(err, site)
 	}
 	return v, nil
 }
@@ -320,12 +332,16 @@ var ExhaustionTime = core.ExhaustionTime
 // PaperExhaustionScenario returns the paper's own example bound.
 var PaperExhaustionScenario = core.PaperExhaustionScenario
 
-// String renders stats compactly. Fault-injection counters appear only when
-// nonzero, so fault-free output is unchanged from the base scheme.
+// String renders stats compactly. Fault-related counters appear whenever any
+// of them is nonzero — not only when faults were injected, so degradation
+// reached some other way (e.g. a replayed schedule whose log was truncated)
+// is never silently dropped — and fault-free output is unchanged from the
+// base scheme.
 func (s Stats) String() string {
 	out := fmt.Sprintf("allocs=%d frees=%d dangling=%d cycles=%d syscalls=%d vpages=%d",
 		s.Allocs, s.Frees, s.DanglingDetected, s.Cycles, s.Syscalls, s.VirtualPages)
-	if s.InjectedFaults > 0 {
+	if s.InjectedFaults > 0 || s.TransientRetries > 0 || s.DegradedAllocs > 0 ||
+		s.DegradedFrees > 0 || s.UnprotectedFrees > 0 {
 		out += fmt.Sprintf(" faults=%d retries=%d degraded=%d degraded-frees=%d unprotected=%d",
 			s.InjectedFaults, s.TransientRetries, s.DegradedAllocs, s.DegradedFrees, s.UnprotectedFrees)
 	}

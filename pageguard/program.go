@@ -82,6 +82,11 @@ type Result struct {
 	Syscalls uint64
 	// VirtualPages is the virtual address space consumed, in pages.
 	VirtualPages uint64
+	// Report is the forensic trap report when Err is a *DanglingError
+	// (nil otherwise).
+	Report *TrapReport
+	// Profile is the run's per-allocation-site cycle attribution.
+	Profile *SiteProfile
 }
 
 // Run executes the program on the machine under the given mode, in a fresh
@@ -109,6 +114,10 @@ func (pr *Program) Run(m *Machine, mode Mode) (*Result, error) {
 		Cycles:       res.Proc.Meter().Cycles(),
 		Syscalls:     res.Proc.Meter().Syscalls(),
 		VirtualPages: res.Proc.Space().ReservedPages(),
+		Profile:      res.Proc.Profile(),
+	}
+	if de, ok := res.Err.(*core.DanglingError); ok {
+		out.Report = de.Report
 	}
 	if err := res.Proc.Exit(); err != nil {
 		return nil, err

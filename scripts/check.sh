@@ -41,6 +41,19 @@ echo "chaos soak: all workloads x all schedules clean"
 echo "== trap containment =="
 "$pgbench" -study containment
 
+echo "== bench artifact (BENCH_pr3.json) =="
+# Regenerate the committed machine-readable results and validate them: the
+# simulation is deterministic, so the artifact tracks the perf model.
+"$pgbench" -bench BENCH_pr3.json
+"$pgbench" -check-bench BENCH_pr3.json
+
+echo "== observability export (attribution exactness) =="
+metrics=$(mktemp -t pgmetrics.XXXXXX)
+trap 'rm -f "$pgbench" "$pglint" "$metrics" "$metrics.prom"' EXIT
+# -metrics fails unless every workload's per-site attribution sums exactly
+# to the kernel's charged cycles.
+"$pgbench" -metrics "$metrics"
+
 echo "== pglint over every workload =="
 go build -o "$pglint" ./cmd/pglint
 

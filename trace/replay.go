@@ -27,6 +27,9 @@ type Report struct {
 	Annotated []Event
 	// Stats is the process's final detector statistics.
 	Stats pageguard.Stats
+	// Profile is the replay's per-site cycle attribution (sites are
+	// "trace:N" labels, one per trace line).
+	Profile *pageguard.SiteProfile
 }
 
 // Detection is one detected memory error during replay.
@@ -35,6 +38,10 @@ type Detection struct {
 	Line int
 	// Err is the underlying *DanglingError or *OverflowError.
 	Err error
+	// Report is the forensic trap report for dangling detections, with
+	// AllocLine/FreeLine filled from the trace's event provenance (nil for
+	// overflow detections).
+	Report *pageguard.TrapReport
 }
 
 // ReplayError reports a trace-semantics error (not a memory error): an
@@ -64,6 +71,10 @@ func Replay(m *pageguard.Machine, events []Event) (*Report, error) {
 	// ptrs maps trace ids to their current (or last) pointer; freed ids
 	// stay mapped so stale accesses replay faithfully.
 	ptrs := make(map[uint64]pageguard.Ptr)
+	// allocLine/freeLine record each id's provenance (the trace lines that
+	// allocated and freed it) so detections carry source positions.
+	allocLine := make(map[uint64]int)
+	freeLine := make(map[uint64]int)
 	rep := &Report{}
 
 	verify := false
@@ -89,8 +100,16 @@ func Replay(m *pageguard.Machine, events []Event) (*Report, error) {
 			return nil
 		}
 		var de *pageguard.DanglingError
+		if errors.As(err, &de) {
+			if de.Report != nil {
+				de.Report.AllocLine = allocLine[ev.ID]
+				de.Report.FreeLine = freeLine[ev.ID]
+			}
+			rep.Detections = append(rep.Detections, Detection{Line: ev.Line, Err: err, Report: de.Report})
+			return nil
+		}
 		var oe *pageguard.OverflowError
-		if errors.As(err, &de) || errors.As(err, &oe) {
+		if errors.As(err, &oe) {
 			rep.Detections = append(rep.Detections, Detection{Line: ev.Line, Err: err})
 			return nil
 		}
@@ -129,13 +148,19 @@ func Replay(m *pageguard.Machine, events []Event) (*Report, error) {
 				return rep, fmt.Errorf("trace line %d: %w", ev.Line, err)
 			}
 			ptrs[ev.ID] = ptr
+			allocLine[ev.ID] = ev.Line
+			delete(freeLine, ev.ID)
 			rep.Allocs++
 		case EvFree:
 			ptr, ok := ptrs[ev.ID]
 			if !ok {
 				return rep, &ReplayError{ev.Line, fmt.Sprintf("free of unknown id %d", ev.ID)}
 			}
-			if err := note(ev, proc.Free(ptr, site)); err != nil {
+			err := proc.Free(ptr, site)
+			if err == nil {
+				freeLine[ev.ID] = ev.Line
+			}
+			if err := note(ev, err); err != nil {
 				return rep, err
 			}
 			rep.Frees++
@@ -144,7 +169,7 @@ func Replay(m *pageguard.Machine, events []Event) (*Report, error) {
 			if !ok {
 				return rep, &ReplayError{ev.Line, fmt.Sprintf("write to unknown id %d", ev.ID)}
 			}
-			if err := note(ev, proc.WriteWord(ptr, ev.Off, 8, uint64(ev.Line))); err != nil {
+			if err := note(ev, proc.WriteWordAt(ptr, ev.Off, 8, uint64(ev.Line), site)); err != nil {
 				return rep, err
 			}
 			rep.Writes++
@@ -153,7 +178,7 @@ func Replay(m *pageguard.Machine, events []Event) (*Report, error) {
 			if !ok {
 				return rep, &ReplayError{ev.Line, fmt.Sprintf("read of unknown id %d", ev.ID)}
 			}
-			if _, err := proc.ReadWord(ptr, ev.Off, 8); err != nil {
+			if _, err := proc.ReadWordAt(ptr, ev.Off, 8, site); err != nil {
 				if err := note(ev, err); err != nil {
 					return rep, err
 				}
@@ -168,5 +193,6 @@ func Replay(m *pageguard.Machine, events []Event) (*Report, error) {
 	}
 	rep.InjectedFaults = proc.InjectedFaults()
 	rep.Stats = proc.Stats()
+	rep.Profile = proc.Profile()
 	return rep, nil
 }

@@ -50,6 +50,23 @@ func BenchmarkTable1(b *testing.B) {
 	}
 }
 
+// BenchmarkTable1Parallel regenerates Table 1 with the harness fanning
+// (workload, configuration) cells across one worker per CPU — the pgbench -j
+// default. The simulated numbers are identical to BenchmarkTable1 (the -j
+// parity tests prove it); only the wall clock differs, by roughly the core
+// count on multi-core hosts.
+func BenchmarkTable1Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t1, err := experiment.GenTable1(experiment.Options{Parallelism: 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range t1.Rows {
+			b.ReportMetric(r.Ratio1, "ratio1:"+r.Name)
+		}
+	}
+}
+
 // BenchmarkTable2 regenerates Table 2 and reports the Valgrind slowdowns.
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {

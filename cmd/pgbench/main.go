@@ -20,10 +20,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"repro/internal/experiment"
 	"repro/internal/workload"
 )
+
+// defaultParallelism is the -j default: the PGBENCH_PARALLEL environment
+// variable if set, else 0 (one worker per CPU).
+func defaultParallelism() int {
+	if v := os.Getenv("PGBENCH_PARALLEL"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			return n
+		}
+	}
+	return 0
+}
 
 func main() {
 	table := flag.Int("table", 0, "regenerate one table (1, 2, or 3); 0 = all")
@@ -32,7 +44,10 @@ func main() {
 	faults := flag.String("faults", "", "kernel fault schedule for -probe/-table runs")
 	metrics := flag.String("metrics", "", "write metric snapshots + cycle attribution (JSON and .prom) to this path")
 	bench := flag.String("bench", "", "write machine-readable per-workload results (JSON) to this path")
-	checkBenchPath := flag.String("check-bench", "", "validate a -bench output file and exit")
+	checkBenchPath := flag.String("check-bench", "", "validate a -bench or -wallbench output file and exit")
+	wallbench := flag.String("wallbench", "", "run the wall-clock benchmark suite and write its JSON report to this path")
+	parallel := flag.Int("j", defaultParallelism(),
+		"worker goroutines for table/study cells (0 = one per CPU, 1 = sequential; default $PGBENCH_PARALLEL)")
 	list := flag.Bool("list", false, "list the workloads and exit")
 	flag.Parse()
 
@@ -42,14 +57,17 @@ func main() {
 		}
 		return
 	}
-	if err := run(*table, *study, *probe, *faults, *metrics, *bench, *checkBenchPath); err != nil {
+	if err := run(*table, *study, *probe, *faults, *metrics, *bench, *checkBenchPath, *wallbench, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "pgbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, study, probe, faults, metrics, bench, checkBenchPath string) error {
-	opts := experiment.Options{Faults: faults}
+func run(table int, study, probe, faults, metrics, bench, checkBenchPath, wallbench string, parallel int) error {
+	opts := experiment.Options{Faults: faults, Parallelism: parallel}
+	if wallbench != "" {
+		return runWallBench(wallbench, opts)
+	}
 	if checkBenchPath != "" {
 		return checkBench(checkBenchPath)
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,16 +25,16 @@ func TestProbe(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweeps every configuration")
 	}
-	if err := run(0, "", "jwhois", "", "", "", ""); err != nil {
+	if err := run(0, "", "jwhois", "", "", "", "", "", 1); err != nil {
 		t.Fatalf("probe: %v", err)
 	}
-	if err := run(0, "", "no-such-workload", "", "", "", ""); err == nil {
+	if err := run(0, "", "no-such-workload", "", "", "", "", "", 1); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 }
 
 func TestUnknownStudy(t *testing.T) {
-	if err := run(0, "bogus", "", "", "", "", ""); err == nil {
+	if err := run(0, "bogus", "", "", "", "", "", "", 1); err == nil {
 		t.Fatal("unknown study accepted")
 	}
 }
@@ -42,7 +43,7 @@ func TestSingleTable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full table sweep")
 	}
-	if err := run(2, "", "", "", "", "", ""); err != nil {
+	if err := run(2, "", "", "", "", "", "", "", 1); err != nil {
 		t.Fatalf("table 2: %v", err)
 	}
 }
@@ -54,7 +55,7 @@ func TestMetricsExport(t *testing.T) {
 		t.Skip("runs every Olden workload")
 	}
 	path := filepath.Join(t.TempDir(), "metrics.json")
-	if err := run(0, "", "", "", path, "", ""); err != nil {
+	if err := run(0, "", "", "", path, "", "", "", 1); err != nil {
 		t.Fatalf("metrics: %v", err)
 	}
 
@@ -104,10 +105,10 @@ func TestBenchExportAndCheck(t *testing.T) {
 		t.Skip("sweeps utilities + Olden under two configurations")
 	}
 	path := filepath.Join(t.TempDir(), "bench.json")
-	if err := run(0, "", "", "", "", path, ""); err != nil {
+	if err := run(0, "", "", "", "", path, "", "", 1); err != nil {
 		t.Fatalf("bench: %v", err)
 	}
-	if err := run(0, "", "", "", "", "", path); err != nil {
+	if err := run(0, "", "", "", "", "", path, "", 1); err != nil {
 		t.Fatalf("check-bench: %v", err)
 	}
 
@@ -144,6 +145,79 @@ func TestBenchExportAndCheck(t *testing.T) {
 	}
 	if base.NsPerOp >= ours.NsPerOp {
 		t.Errorf("baseline ns/op %v not below detection ns/op %v", base.NsPerOp, ours.NsPerOp)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns what
+// it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	runErr := fn()
+	os.Stdout = old
+	w.Close()
+	out, err := io.ReadAll(r)
+	r.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return string(out)
+}
+
+// TestParallelTableByteIdentical asserts the -j contract: the rendered table
+// is the same byte-for-byte whether the harness runs cells sequentially or
+// across 8 workers.
+func TestParallelTableByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates Table 3 twice")
+	}
+	seq := captureStdout(t, func() error { return run(3, "", "", "", "", "", "", "", 1) })
+	par := captureStdout(t, func() error { return run(3, "", "", "", "", "", "", "", 8) })
+	if seq != par {
+		t.Errorf("table 3 output differs between -j 1 and -j 8:\n-j 1:\n%s\n-j 8:\n%s", seq, par)
+	}
+}
+
+// TestParallelMetricsByteIdentical asserts the same contract for -metrics:
+// the merged per-workload snapshots (profiles, metric series, charged
+// cycles) are byte-identical across worker counts. Only the Harness section
+// — wall-clock observations about the host run itself — may differ.
+func TestParallelMetricsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every Olden workload twice")
+	}
+	workloadsJSON := func(parallel int) []byte {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "metrics.json")
+		if err := run(0, "", "", "", path, "", "", "", parallel); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc metricsDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.MarshalIndent(doc.Workloads, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq := workloadsJSON(1)
+	par := workloadsJSON(8)
+	if string(seq) != string(par) {
+		t.Errorf("-metrics workload sections differ between -j 1 and -j 8")
 	}
 }
 

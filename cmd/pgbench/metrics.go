@@ -19,6 +19,11 @@ type metricsDoc struct {
 	Config    string                     `json:"config"`
 	ClockHz   float64                    `json:"clock_hz"`
 	Workloads map[string]workloadMetrics `json:"workloads"`
+	// Harness holds the pg_harness_* series: wall-clock observations about
+	// the measurement harness itself (worker count, per-cell seconds).
+	// They live outside Workloads because they describe the host run, not
+	// the simulation — the Workloads section is identical for any -j.
+	Harness obs.Snapshot `json:"harness"`
 }
 
 type workloadMetrics struct {
@@ -50,11 +55,17 @@ func runMetrics(path string, opts experiment.Options) error {
 		Workloads: map[string]workloadMetrics{},
 	}
 	var prom strings.Builder
-	for _, w := range metricsWorkloads() {
-		m, err := experiment.Run(w, experiment.Ours, opts)
-		if err != nil {
-			return fmt.Errorf("metrics %s: %w", w.Name, err)
-		}
+	ws := metricsWorkloads()
+	cells := make([]experiment.Cell, len(ws))
+	for i, w := range ws {
+		cells[i] = experiment.Cell{Workload: w, Config: experiment.Ours}
+	}
+	ms, err := experiment.RunCells(cells, opts)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	for i, w := range ws {
+		m := ms[i]
 		if m.Profile == nil {
 			return fmt.Errorf("metrics %s: run carries no attribution profile", w.Name)
 		}
@@ -72,6 +83,12 @@ func runMetrics(path string, opts experiment.Options) error {
 		if err := m.Metrics.WritePrometheus(&prom, fmt.Sprintf("workload=%q", w.Name)); err != nil {
 			return err
 		}
+	}
+	hreg := obs.NewRegistry()
+	experiment.Harness().RegisterMetrics(hreg)
+	doc.Harness = hreg.Snapshot()
+	if err := doc.Harness.WritePrometheus(&prom, ""); err != nil {
+		return err
 	}
 
 	data, err := json.MarshalIndent(doc, "", "  ")
@@ -174,19 +191,34 @@ func runBench(path string, opts experiment.Options) error {
 	return nil
 }
 
-// checkBench validates a -bench output file: schema, completeness (every
-// bench workload under every bench configuration), and result sanity.
+// checkBench validates a -bench or -wallbench output file, dispatching on
+// the document's schema field. For -bench files it checks schema,
+// completeness (every bench workload under every bench configuration), and
+// result sanity.
 func checkBench(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
+	}
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if head.Schema == "pgbench-wallclock/v1" {
+		var wdoc wallBenchDoc
+		if err := json.Unmarshal(data, &wdoc); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		return checkWallBench(path, &wdoc)
 	}
 	var doc benchDoc
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
 	if doc.Schema != "pgbench/v1" {
-		return fmt.Errorf("%s: schema %q, want pgbench/v1", path, doc.Schema)
+		return fmt.Errorf("%s: schema %q, want pgbench/v1 or pgbench-wallclock/v1", path, doc.Schema)
 	}
 	if doc.ClockHz != experiment.ClockHz {
 		return fmt.Errorf("%s: clock_hz %g, want %g", path, doc.ClockHz, experiment.ClockHz)

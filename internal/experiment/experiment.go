@@ -209,6 +209,11 @@ type Options struct {
 	// failing the run on any bookkeeping invariant violation (chaos and
 	// containment studies).
 	Audit bool
+	// Parallelism is the number of worker goroutines RunCells fans
+	// (workload, configuration) cells out across: 0 = one per available
+	// CPU, 1 = sequential. The worker count never changes any simulated
+	// number — results are assembled in cell order.
+	Parallelism int
 }
 
 // Run measures one workload under one configuration.
@@ -339,15 +344,20 @@ func Run(w workload.Workload, c Config, opts Options) (Measurement, error) {
 	return m, nil
 }
 
-// Sweep measures one workload under several configurations.
+// Sweep measures one workload under several configurations, fanning the
+// cells out per opts.Parallelism.
 func Sweep(w workload.Workload, cfgs []Config, opts Options) (map[Config]Measurement, error) {
+	cells := make([]Cell, len(cfgs))
+	for i, c := range cfgs {
+		cells[i] = Cell{Workload: w, Config: c}
+	}
+	ms, err := RunCells(cells, opts)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[Config]Measurement, len(cfgs))
-	for _, c := range cfgs {
-		m, err := Run(w, c, opts)
-		if err != nil {
-			return nil, err
-		}
-		out[c] = m
+	for i, c := range cfgs {
+		out[c] = ms[i]
 	}
 	return out, nil
 }

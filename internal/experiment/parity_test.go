@@ -1,0 +1,154 @@
+package experiment
+
+// Golden parity tests for the wall-clock fast paths. The radix page table,
+// the MMU's one-entry translation cache, the interpreter predecoder, and the
+// parallel harness are all pure host-time optimizations: every simulated
+// number — cycles, instruction and syscall counts, TLB and cache behaviour,
+// page-table statistics, and the rendered tables — must be bit-identical to
+// the original map-based, sequential implementation. These tests enforce
+// that by running the same cells through the legacy map page table
+// (vm.NewLegacyMapSpace, selected via kernel.Config.LegacyPageTable) and the
+// radix table, and through worker counts 1 and 8, and requiring deep
+// equality of everything a Measurement carries.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim/kernel"
+	"repro/internal/workload"
+)
+
+// parityCells is the (workload, configuration) subset the cell-level parity
+// test sweeps: one workload per category, under configurations that exercise
+// every runtime family (plain, shadow-paged, statically elided, and the
+// Electric Fence baseline whose one-object-per-page layout stresses the page
+// table hardest).
+func parityCells(t *testing.T) []Cell {
+	t.Helper()
+	cells := []Cell{}
+	for _, pc := range []struct {
+		workload string
+		config   Config
+	}{
+		{"perimeter", Ours},
+		{"power", LLVMBase},
+		{"tsp", OursStatic},
+		{"power", EFence},
+		{"jwhois", Ours},
+		{"telnetd", Ours},
+	} {
+		w, err := workload.ByName(pc.workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells = append(cells, Cell{Workload: w, Config: pc.config})
+	}
+	return cells
+}
+
+// legacyOptions returns Options that force the map-based page table.
+func legacyOptions() Options {
+	cfg := kernel.DefaultConfig()
+	cfg.LegacyPageTable = true
+	return Options{Kernel: &cfg}
+}
+
+// TestPageTableParity runs each parity cell through the legacy map-based
+// page table and the radix page table and requires the two Measurements to
+// be deeply equal: same cycles, same counter snapshot (instructions, memory
+// accesses, syscalls, traps — the TLB and cache outcomes are folded into the
+// cycle total, so cycle equality is outcome equality), same page and frame
+// statistics, same metric snapshot, same attribution profile, same output.
+func TestPageTableParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs each parity cell twice")
+	}
+	for _, cell := range parityCells(t) {
+		name := cell.Workload.Name + "/" + cell.Config.String()
+		radix, err := Run(cell.Workload, cell.Config, Options{})
+		if err != nil {
+			t.Fatalf("%s (radix): %v", name, err)
+		}
+		legacy, err := Run(cell.Workload, cell.Config, legacyOptions())
+		if err != nil {
+			t.Fatalf("%s (legacy map): %v", name, err)
+		}
+		if radix.Cycles != legacy.Cycles {
+			t.Errorf("%s: cycles %d (radix) != %d (legacy map)", name, radix.Cycles, legacy.Cycles)
+		}
+		if radix.Counters != legacy.Counters {
+			t.Errorf("%s: counters %+v (radix) != %+v (legacy map)", name, radix.Counters, legacy.Counters)
+		}
+		if !reflect.DeepEqual(radix, legacy) {
+			t.Errorf("%s: measurements differ beyond cycles/counters:\nradix:  %+v\nlegacy: %+v",
+				name, radix, legacy)
+		}
+	}
+}
+
+// TestTable3PageTableParity renders Table 3 under both page tables and
+// requires byte-identical output — the whole-table version of the cell-level
+// check, covering every Olden workload under the table's configurations.
+func TestTable3PageTableParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates Table 3 twice")
+	}
+	radix, err := GenTable3(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := GenTable3(legacyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if radix.String() != legacy.String() {
+		t.Errorf("Table 3 differs across page tables:\nradix:\n%s\nlegacy map:\n%s",
+			radix, legacy)
+	}
+}
+
+// TestRunCellsParallelParity fans the parity cells out across 8 workers and
+// requires Measurements deeply equal to the sequential run — the simulated
+// numbers must be independent of scheduling and worker count.
+func TestRunCellsParallelParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs each parity cell twice")
+	}
+	cells := parityCells(t)
+	seq, err := RunCells(cells, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunCells(cells, Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		name := cells[i].Workload.Name + "/" + cells[i].Config.String()
+		if !reflect.DeepEqual(seq[i], par[i]) {
+			t.Errorf("%s: -j 1 and -j 8 measurements differ:\nseq: %+v\npar: %+v",
+				name, seq[i], par[i])
+		}
+	}
+}
+
+// TestTable2ParallelByteIdentical renders Table 2 sequentially and with 8
+// workers and requires byte-identical text — the property the pgbench -j
+// flag documents.
+func TestTable2ParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates Table 2 twice")
+	}
+	seq, err := GenTable2(Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := GenTable2(Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("Table 2 differs across worker counts:\n-j 1:\n%s\n-j 8:\n%s", seq, par)
+	}
+}

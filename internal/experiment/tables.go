@@ -30,15 +30,17 @@ type Table1 struct {
 	Rows []Table1Row
 }
 
-// GenTable1 measures the utilities and servers.
+// GenTable1 measures the utilities and servers. Every workload x
+// configuration cell fans out across opts.Parallelism workers.
 func GenTable1(opts Options) (*Table1, error) {
 	var t Table1
 	ws := append(workload.ByCategory(workload.Utility), workload.ByCategory(workload.Server)...)
-	for _, w := range ws {
-		ms, err := Sweep(w, []Config{Native, LLVMBase, PA, PADummy, Ours, OursStatic}, opts)
-		if err != nil {
-			return nil, err
-		}
+	grid, err := runGrid(ws, []Config{Native, LLVMBase, PA, PADummy, Ours, OursStatic}, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		ms := grid[i]
 		row := Table1Row{
 			Name:         w.Name,
 			Category:     w.Category,
@@ -92,14 +94,17 @@ type Table2 struct {
 	Rows []Table2Row
 }
 
-// GenTable2 measures the four utilities under ours vs valgrind.
+// GenTable2 measures the four utilities under ours vs valgrind, fanning the
+// cells out across opts.Parallelism workers.
 func GenTable2(opts Options) (*Table2, error) {
 	var t Table2
-	for _, w := range workload.ByCategory(workload.Utility) {
-		ms, err := Sweep(w, []Config{LLVMBase, Ours, Valgrind}, opts)
-		if err != nil {
-			return nil, err
-		}
+	ws := workload.ByCategory(workload.Utility)
+	grid, err := runGrid(ws, []Config{LLVMBase, Ours, Valgrind}, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		ms := grid[i]
 		t.Rows = append(t.Rows, Table2Row{
 			Name:             w.Name,
 			OursSeconds:      ms[Ours].Seconds(),
@@ -140,14 +145,17 @@ type Table3 struct {
 	Rows []Table3Row
 }
 
-// GenTable3 measures the nine Olden benchmarks.
+// GenTable3 measures the nine Olden benchmarks, fanning the cells out
+// across opts.Parallelism workers.
 func GenTable3(opts Options) (*Table3, error) {
 	var t Table3
-	for _, w := range workload.ByCategory(workload.Olden) {
-		ms, err := Sweep(w, []Config{Native, LLVMBase, PADummy, Ours, OursStatic}, opts)
-		if err != nil {
-			return nil, err
-		}
+	ws := workload.ByCategory(workload.Olden)
+	grid, err := runGrid(ws, []Config{Native, LLVMBase, PADummy, Ours, OursStatic}, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		ms := grid[i]
 		t.Rows = append(t.Rows, Table3Row{
 			Name:         w.Name,
 			Native:       ms[Native].Seconds(),
@@ -195,36 +203,30 @@ type MemStudy struct {
 	Rows []MemStudyRow
 }
 
-// GenMemStudy measures peak physical frames for representative workloads.
+// GenMemStudy measures peak physical frames for representative workloads,
+// fanning the cells out across opts.Parallelism workers.
 func GenMemStudy(opts Options) (*MemStudy, error) {
 	study := &MemStudy{}
+	var ws []workload.Workload
 	for _, name := range []string{"enscript", "gzip", "treeadd", "health"} {
 		w, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		base, err := Run(w, LLVMBase, opts)
-		if err != nil {
-			return nil, err
-		}
-		ours, err := Run(w, Ours, opts)
-		if err != nil {
-			return nil, err
-		}
-		ef, err := Run(w, EFence, opts)
-		if err != nil {
-			return nil, err
-		}
-		capab, err := Run(w, Capability, opts)
-		if err != nil {
-			return nil, err
-		}
+		ws = append(ws, w)
+	}
+	grid, err := runGrid(ws, []Config{LLVMBase, Ours, EFence, Capability}, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		ms := grid[i]
 		study.Rows = append(study.Rows, MemStudyRow{
-			Name:                    name,
-			Base:                    base.PeakFrames,
-			Ours:                    ours.PeakFrames,
-			EFence:                  ef.PeakFrames,
-			CapabilityMetadataBytes: capab.CapabilityMetadataBytes,
+			Name:                    w.Name,
+			Base:                    ms[LLVMBase].PeakFrames,
+			Ours:                    ms[Ours].PeakFrames,
+			EFence:                  ms[EFence].PeakFrames,
+			CapabilityMetadataBytes: ms[Capability].CapabilityMetadataBytes,
 		})
 	}
 	return study, nil
@@ -267,29 +269,29 @@ type VAStudy struct {
 	Exhaustion time.Duration
 }
 
-// GenVAStudy measures per-connection virtual address consumption.
+// GenVAStudy measures per-connection virtual address consumption, fanning
+// the cells out across opts.Parallelism workers.
 func GenVAStudy(opts Options) (*VAStudy, error) {
 	study := &VAStudy{Exhaustion: core.PaperExhaustionScenario()}
 
 	empty := workload.Workload{Name: "empty", Source: emptyProgram}
-	base, err := Run(empty, Ours, opts)
+	servers := workload.ByCategory(workload.Server)
+	cells := []Cell{{Workload: empty, Config: Ours}}
+	for _, w := range servers {
+		cells = append(cells,
+			Cell{Workload: w, Config: Ours},
+			Cell{Workload: w, Config: OursNoPA})
+	}
+	ms, err := RunCells(cells, opts)
 	if err != nil {
 		return nil, err
 	}
-	fixed := meanPages(base.PerConnPages)
+	fixed := meanPages(ms[0].PerConnPages)
 
-	for _, w := range workload.ByCategory(workload.Server) {
-		ours, err := Run(w, Ours, opts)
-		if err != nil {
-			return nil, err
-		}
-		noPA, err := Run(w, OursNoPA, opts)
-		if err != nil {
-			return nil, err
-		}
+	for i, w := range servers {
 		row := VAStudyRow{Name: w.Name, Connections: w.Connections}
-		row.PagesPerConn = meanPages(ours.PerConnPages) - fixed
-		row.PagesPerConnNoPA = meanPages(noPA.PerConnPages) - fixed
+		row.PagesPerConn = meanPages(ms[1+2*i].PerConnPages) - fixed
+		row.PagesPerConnNoPA = meanPages(ms[2+2*i].PerConnPages) - fixed
 		study.Rows = append(study.Rows, row)
 	}
 	sort.Slice(study.Rows, func(i, j int) bool { return study.Rows[i].Name < study.Rows[j].Name })

@@ -1,0 +1,280 @@
+package interp
+
+// Instruction predecoding. The interpreter originally dispatched on the IR's
+// instruction interface per step — an itab switch plus pointer chases into
+// per-instruction structs, with map lookups for globals and callees on every
+// execution. decodeFunc flattens a function's blocks once per machine into a
+// dense []dinstr with small-integer opcodes, absolute jump targets, and all
+// name resolution (globals, string literals, callees, the ElisionRuntime
+// capability) done at decode time. Resolution failures decode to opErr so
+// the error still fires only if the offending instruction is actually
+// executed, with the same message and the same one-instruction charge as the
+// interface interpreter.
+//
+// The decoded program is a per-Machine cache (globals and string addresses
+// are per-process), keyed by *ir.Func.
+
+import (
+	"fmt"
+
+	"repro/internal/minic/ir"
+)
+
+// Opcodes. The zero value is deliberately opErr so a mis-built dinstr fails
+// loudly rather than executing as something else.
+const (
+	opErr uint8 = iota // site holds the ExitError message
+	opConst
+	opCopy
+	opBinFloat // size holds the ir.BinKind; float ops are rare, so generic
+	opCvtIF
+	opCvtFI
+	// Integer binary ops get one opcode each: the per-kind dispatch joins
+	// the interpreter's main jump table instead of a second switch behind
+	// a function call.
+	opAdd
+	opSub
+	opMul
+	opDiv
+	opRem
+	opAnd
+	opOr
+	opXor
+	opShl
+	opShr
+	opCmpEq
+	opCmpNe
+	opCmpLt
+	opCmpLe
+	opCmpGt
+	opCmpGe
+	// Unary ops, likewise flattened (float negate is the only float case).
+	opNeg
+	opFNeg
+	opNot
+	opBitNot
+	opLoad
+	opStore
+	opFrameAddr
+	opMalloc
+	opMallocElided
+	opFree
+	opPoolAlloc
+	opPoolAllocElided
+	opPoolFree
+	opIntrinsic
+	opCall
+	opJmp
+	opCondBr
+	opRet
+)
+
+// dinstr is one decoded instruction. Operand meaning varies by opcode; dst/a/b
+// are register indices except for jumps, where they are absolute indices into
+// the flat code array.
+type dinstr struct {
+	op   uint8
+	size uint8 // load/store byte width, or Bin/Un kind
+	dst  int32
+	a    int32
+	b    int32
+	val  uint64
+	site string // load/store/alloc site, or the opErr message
+	aux  any    // *dcall, *ir.PoolAlloc, *ir.PoolFree, or *ir.Intrinsic
+}
+
+// dcall is a decoded call site: callee resolved once, its decoded body
+// filled in lazily on first execution.
+type dcall struct {
+	callee  *ir.Func
+	dcallee *dfunc
+	args    []ir.Reg
+	pools   []ir.PoolRef
+	dst     ir.Reg
+}
+
+// dfunc is one decoded function.
+type dfunc struct {
+	fn   *ir.Func
+	code []dinstr
+}
+
+// decoded returns fn's decoded body, decoding on first use.
+func (m *Machine) decoded(fn *ir.Func) *dfunc {
+	if df, ok := m.dcache[fn]; ok {
+		return df
+	}
+	df := m.decodeFunc(fn)
+	m.dcache[fn] = df
+	return df
+}
+
+// fallsThrough reports whether executing past in reaches the next slot.
+func fallsThrough(in ir.Instr) bool {
+	switch in.(type) {
+	case *ir.Br, *ir.CondBr, *ir.Ret:
+		return false
+	}
+	return true
+}
+
+func (m *Machine) decodeFunc(fn *ir.Func) *dfunc {
+	// Pass 1: lay out the flat code array. A block whose last instruction
+	// can fall through gets a sentinel carrying the interpreter's
+	// "fell off block" error.
+	starts := make([]int, len(fn.Blocks))
+	n := 0
+	for i, b := range fn.Blocks {
+		starts[i] = n
+		n += len(b.Instrs)
+		if len(b.Instrs) == 0 || fallsThrough(b.Instrs[len(b.Instrs)-1]) {
+			n++
+		}
+	}
+
+	code := make([]dinstr, 0, n)
+	for bi, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			code = append(code, m.decodeInstr(fn, in, starts))
+		}
+		if len(b.Instrs) == 0 || fallsThrough(b.Instrs[len(b.Instrs)-1]) {
+			code = append(code, dinstr{op: opErr, site: fmt.Sprintf("fell off block b%d", bi)})
+		}
+	}
+	return &dfunc{fn: fn, code: code}
+}
+
+func (m *Machine) decodeInstr(fn *ir.Func, in ir.Instr, starts []int) dinstr {
+	switch in := in.(type) {
+	case *ir.Const:
+		return dinstr{op: opConst, dst: int32(in.Dst), val: in.Val}
+	case *ir.Copy:
+		return dinstr{op: opCopy, dst: int32(in.Dst), a: int32(in.Src)}
+	case *ir.Bin:
+		d := dinstr{dst: int32(in.Dst), a: int32(in.A), b: int32(in.B)}
+		if in.Float {
+			switch in.Op {
+			case ir.Add, ir.Sub, ir.Mul, ir.Div,
+				ir.CmpEq, ir.CmpNe, ir.CmpLt, ir.CmpLe, ir.CmpGt, ir.CmpGe:
+				d.op, d.size = opBinFloat, uint8(in.Op)
+			default:
+				return dinstr{op: opErr, site: "bad float op " + in.Op.String()}
+			}
+			return d
+		}
+		switch in.Op {
+		case ir.Add:
+			d.op = opAdd
+		case ir.Sub:
+			d.op = opSub
+		case ir.Mul:
+			d.op = opMul
+		case ir.Div:
+			d.op = opDiv
+		case ir.Rem:
+			d.op = opRem
+		case ir.And:
+			d.op = opAnd
+		case ir.Or:
+			d.op = opOr
+		case ir.Xor:
+			d.op = opXor
+		case ir.Shl:
+			d.op = opShl
+		case ir.Shr:
+			d.op = opShr
+		case ir.CmpEq:
+			d.op = opCmpEq
+		case ir.CmpNe:
+			d.op = opCmpNe
+		case ir.CmpLt:
+			d.op = opCmpLt
+		case ir.CmpLe:
+			d.op = opCmpLe
+		case ir.CmpGt:
+			d.op = opCmpGt
+		case ir.CmpGe:
+			d.op = opCmpGe
+		default:
+			return dinstr{op: opErr, site: "bad int op " + in.Op.String()}
+		}
+		return d
+	case *ir.Un:
+		d := dinstr{dst: int32(in.Dst), a: int32(in.A)}
+		switch {
+		case in.Float && in.Op == ir.Neg:
+			d.op = opFNeg
+		case in.Op == ir.Neg:
+			d.op = opNeg
+		case in.Op == ir.Not:
+			d.op = opNot
+		case in.Op == ir.BitNot:
+			d.op = opBitNot
+		default:
+			// The interface interpreter evaluated unknown unary kinds to
+			// zero; a constant zero preserves that (and the one-instruction
+			// charge).
+			d.op, d.val = opConst, 0
+		}
+		return d
+	case *ir.Cvt:
+		if in.Kind == ir.IntToFloat {
+			return dinstr{op: opCvtIF, dst: int32(in.Dst), a: int32(in.A)}
+		}
+		return dinstr{op: opCvtFI, dst: int32(in.Dst), a: int32(in.A)}
+	case *ir.Load:
+		return dinstr{op: opLoad, size: uint8(in.Size), dst: int32(in.Dst), a: int32(in.Addr), site: in.Site}
+	case *ir.Store:
+		return dinstr{op: opStore, size: uint8(in.Size), a: int32(in.Addr), b: int32(in.Src), site: in.Site}
+	case *ir.FrameAddr:
+		return dinstr{op: opFrameAddr, dst: int32(in.Dst), val: in.Off}
+	case *ir.GlobalAddr:
+		a, ok := m.globals[in.Name]
+		if !ok {
+			return dinstr{op: opErr, site: "unknown global " + in.Name}
+		}
+		return dinstr{op: opConst, dst: int32(in.Dst), val: a}
+	case *ir.StrAddr:
+		if in.Index < 0 || in.Index >= len(m.strAddrs) {
+			return dinstr{op: opErr, site: fmt.Sprintf("bad string index %d", in.Index)}
+		}
+		return dinstr{op: opConst, dst: int32(in.Dst), val: m.strAddrs[in.Index]}
+	case *ir.Malloc:
+		op := opMalloc
+		if m.er != nil && in.Elidable {
+			op = opMallocElided
+		}
+		return dinstr{op: op, dst: int32(in.Dst), a: int32(in.Size), site: in.Site}
+	case *ir.Free:
+		return dinstr{op: opFree, a: int32(in.Ptr), site: in.Site}
+	case *ir.PoolAlloc:
+		op := opPoolAlloc
+		if m.er != nil && in.Elidable {
+			op = opPoolAllocElided
+		}
+		return dinstr{op: op, dst: int32(in.Dst), a: int32(in.Size), site: in.Site, aux: in}
+	case *ir.PoolFree:
+		return dinstr{op: opPoolFree, a: int32(in.Ptr), site: in.Site, aux: in}
+	case *ir.Intrinsic:
+		return dinstr{op: opIntrinsic, aux: in}
+	case *ir.Call:
+		callee, ok := m.prog.Funcs[in.Callee]
+		if !ok {
+			return dinstr{op: opErr, site: "unknown function " + in.Callee}
+		}
+		return dinstr{op: opCall, aux: &dcall{
+			callee: callee,
+			args:   in.Args,
+			pools:  in.PoolArgs,
+			dst:    in.Dst,
+		}}
+	case *ir.Br:
+		return dinstr{op: opJmp, dst: int32(starts[in.Target])}
+	case *ir.CondBr:
+		return dinstr{op: opCondBr, a: int32(in.Cond), dst: int32(starts[in.True]), b: int32(starts[in.False])}
+	case *ir.Ret:
+		return dinstr{op: opRet, a: int32(in.Val)}
+	default:
+		return dinstr{op: opErr, site: fmt.Sprintf("unknown instruction %T", in)}
+	}
+}

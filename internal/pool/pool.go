@@ -19,6 +19,7 @@ package pool
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sim/kernel"
 	"repro/internal/sim/vm"
@@ -41,16 +42,44 @@ type PageRun struct {
 	Pages uint64
 }
 
+// runQueue is a FIFO of same-sized page runs. Pops reuse runs in release
+// order, which is what the old single-list first-fit scan did whenever every
+// candidate run had the same size (the common 4-page-slab case).
+type runQueue struct {
+	runs []PageRun
+	head int
+}
+
+func (q *runQueue) empty() bool    { return q.head == len(q.runs) }
+func (q *runQueue) push(r PageRun) { q.runs = append(q.runs, r) }
+
+func (q *runQueue) pop() PageRun {
+	r := q.runs[q.head]
+	q.head++
+	if q.head == len(q.runs) {
+		q.runs = q.runs[:0]
+		q.head = 0
+	}
+	return r
+}
+
 // Runtime is the per-process pool-allocation runtime: the shared free list
 // of virtual pages and the registry of live pools. Not safe for concurrent
 // use.
 type Runtime struct {
 	proc *kernel.Process
 
-	// freeRuns is the shared free list of virtual page runs, shared
-	// across pools (§3.3: "we avoid the explicit munmap calls by
-	// maintaining a free list of virtual pages shared across pools").
-	freeRuns []PageRun
+	// The shared free list of virtual page runs, shared across pools
+	// (§3.3: "we avoid the explicit munmap calls by maintaining a free
+	// list of virtual pages shared across pools"). Runs are bucketed by
+	// exact size so TakeRun is a map hit in the common case; freeSizes
+	// keeps the distinct sizes with non-empty buckets sorted ascending so
+	// the fallback is a binary-searched best fit instead of an O(runs)
+	// scan. Invariant: s appears in freeSizes iff freeBySize[s] is
+	// non-empty.
+	freeBySize map[uint64]*runQueue
+	freeSizes  []uint64
+	freePages  uint64
 
 	pools map[*Pool]struct{}
 
@@ -66,8 +95,9 @@ type Runtime struct {
 // NewRuntime returns a Runtime on proc.
 func NewRuntime(proc *kernel.Process) *Runtime {
 	return &Runtime{
-		proc:  proc,
-		pools: make(map[*Pool]struct{}),
+		proc:       proc,
+		freeBySize: make(map[uint64]*runQueue),
+		pools:      make(map[*Pool]struct{}),
 	}
 }
 
@@ -75,13 +105,7 @@ func NewRuntime(proc *kernel.Process) *Runtime {
 func (rt *Runtime) Proc() *kernel.Process { return rt.proc }
 
 // FreePages returns the number of pages currently on the shared free list.
-func (rt *Runtime) FreePages() uint64 {
-	var n uint64
-	for _, r := range rt.freeRuns {
-		n += r.Pages
-	}
-	return n
-}
+func (rt *Runtime) FreePages() uint64 { return rt.freePages }
 
 // ReusedPages returns how many pages poolalloc recycled from the free list.
 func (rt *Runtime) ReusedPages() uint64 { return rt.reusedPages }
@@ -104,21 +128,63 @@ func (rt *Runtime) LivePools() []*Pool {
 // responsible for refreshing the pages: MmapFixed for canonical pool pages,
 // RemapFixedAlias for shadow pages. Returns ok=false when no run is big
 // enough.
+//
+// An exact-size run is always preferred (oldest first); only when none exists
+// is the smallest larger run split. Splitting a big run to serve a small
+// request when an exact fit was sitting on the list is pure fragmentation
+// churn: it leaves an odd-sized remainder behind and spends the big run that
+// a later large request will miss.
 func (rt *Runtime) TakeRun(n uint64) (vm.Addr, bool) {
-	for i, r := range rt.freeRuns {
-		if r.Pages < n {
-			continue
-		}
-		addr := r.Addr
-		if r.Pages == n {
-			rt.freeRuns = append(rt.freeRuns[:i], rt.freeRuns[i+1:]...)
-		} else {
-			rt.freeRuns[i] = PageRun{Addr: r.Addr + n*vm.PageSize, Pages: r.Pages - n}
-		}
-		rt.reusedPages += n
-		return addr, true
+	if n == 0 {
+		return 0, false
 	}
-	return 0, false
+	if q := rt.freeBySize[n]; q != nil && !q.empty() {
+		r := q.pop()
+		if q.empty() {
+			rt.removeFreeSize(n)
+		}
+		rt.freePages -= n
+		rt.reusedPages += n
+		return r.Addr, true
+	}
+	i := sort.Search(len(rt.freeSizes), func(i int) bool { return rt.freeSizes[i] > n })
+	if i == len(rt.freeSizes) {
+		return 0, false
+	}
+	s := rt.freeSizes[i]
+	q := rt.freeBySize[s]
+	r := q.pop()
+	if q.empty() {
+		rt.removeFreeSize(s)
+	}
+	rt.freePages -= s
+	rt.pushFreeRun(PageRun{Addr: r.Addr + n*vm.PageSize, Pages: s - n})
+	rt.reusedPages += n
+	return r.Addr, true
+}
+
+// pushFreeRun adds r to the size-bucketed free list, maintaining the
+// freeSizes index and the freePages counter.
+func (rt *Runtime) pushFreeRun(r PageRun) {
+	q := rt.freeBySize[r.Pages]
+	if q == nil {
+		q = &runQueue{}
+		rt.freeBySize[r.Pages] = q
+	}
+	if q.empty() {
+		i := sort.Search(len(rt.freeSizes), func(i int) bool { return rt.freeSizes[i] >= r.Pages })
+		rt.freeSizes = append(rt.freeSizes, 0)
+		copy(rt.freeSizes[i+1:], rt.freeSizes[i:])
+		rt.freeSizes[i] = r.Pages
+	}
+	q.push(r)
+	rt.freePages += r.Pages
+}
+
+// removeFreeSize drops a now-empty bucket's size from the sorted index.
+func (rt *Runtime) removeFreeSize(s uint64) {
+	i := sort.Search(len(rt.freeSizes), func(i int) bool { return rt.freeSizes[i] >= s })
+	rt.freeSizes = append(rt.freeSizes[:i], rt.freeSizes[i+1:]...)
 }
 
 // takeRun pops a run of at least n pages off the shared free list and
@@ -141,7 +207,7 @@ func (rt *Runtime) takeRun(n uint64) (vm.Addr, bool, error) {
 // in place (no munmap — that is the point of the shared list); takeRun
 // refreshes them on reuse.
 func (rt *Runtime) releaseRun(r PageRun) {
-	rt.freeRuns = append(rt.freeRuns, r)
+	rt.pushFreeRun(r)
 	rt.releasedPages += r.Pages
 }
 
@@ -176,10 +242,16 @@ type Pool struct {
 
 	slabs []PageRun
 	// attached are extra page runs owned by this pool but not allocated
-	// by it — the remapper's shadow pages.
-	attached []PageRun
+	// by it — the remapper's shadow pages. attachedIdx maps run start
+	// address to its slot so DetachRun is O(1); the slice order is
+	// unspecified (detach swap-removes).
+	attached    []PageRun
+	attachedIdx map[vm.Addr]int
 
-	bins  [numBins][]vm.Addr
+	bins [numBins][]vm.Addr
+	// large holds free chunks bigger than the largest bin, sorted by size
+	// ascending (insertion order among equal sizes), so takeChunk
+	// binary-searches a best fit instead of scanning.
 	large []chunkRef
 
 	wildAddr vm.Addr
@@ -286,11 +358,10 @@ func (p *Pool) takeChunk(payload uint64) (vm.Addr, uint64, error) {
 		}
 		return p.carve(want)
 	}
-	for i, c := range p.large {
-		if c.size >= payload {
-			p.large = append(p.large[:i], p.large[i+1:]...)
-			return c.addr, c.size, nil
-		}
+	if i := sort.Search(len(p.large), func(i int) bool { return p.large[i].size >= payload }); i < len(p.large) {
+		c := p.large[i]
+		p.large = append(p.large[:i], p.large[i+1:]...)
+		return c.addr, c.size, nil
 	}
 	return p.carve(payload)
 }
@@ -329,7 +400,10 @@ func (p *Pool) pushFree(addr vm.Addr, size uint64) {
 		p.bins[idx] = append(p.bins[idx], addr)
 		return
 	}
-	p.large = append(p.large, chunkRef{addr: addr, size: size})
+	i := sort.Search(len(p.large), func(i int) bool { return p.large[i].size > size })
+	p.large = append(p.large, chunkRef{})
+	copy(p.large[i+1:], p.large[i:])
+	p.large[i] = chunkRef{addr: addr, size: size}
 }
 
 func (p *Pool) writeHeader(payloadAddr vm.Addr, size uint64, inUse bool) error {
@@ -375,23 +449,33 @@ func (p *Pool) Free(payloadAddr vm.Addr) error {
 // AttachRun associates an externally created page run (a shadow-page block)
 // with the pool so Destroy releases it with the pool's own pages.
 func (p *Pool) AttachRun(r PageRun) {
+	if p.attachedIdx == nil {
+		p.attachedIdx = make(map[vm.Addr]int)
+	}
+	p.attachedIdx[r.Addr] = len(p.attached)
 	p.attached = append(p.attached, r)
 }
 
-// AttachedRuns returns the shadow page runs attached so far (GC hook).
+// AttachedRuns returns the shadow page runs attached so far (GC hook). The
+// order is unspecified.
 func (p *Pool) AttachedRuns() []PageRun { return p.attached }
 
 // DetachRun removes a previously attached run (used when the conservative
 // collector recycles a shadow block early). Returns false if r was not
 // attached.
 func (p *Pool) DetachRun(r PageRun) bool {
-	for i, a := range p.attached {
-		if a == r {
-			p.attached = append(p.attached[:i], p.attached[i+1:]...)
-			return true
-		}
+	i, ok := p.attachedIdx[r.Addr]
+	if !ok || p.attached[i] != r {
+		return false
 	}
-	return false
+	last := len(p.attached) - 1
+	if i != last {
+		p.attached[i] = p.attached[last]
+		p.attachedIdx[p.attached[i].Addr] = i
+	}
+	p.attached = p.attached[:last]
+	delete(p.attachedIdx, r.Addr)
+	return true
 }
 
 // Slabs returns the pool's canonical page runs (GC and stats hook).
@@ -443,6 +527,7 @@ func (p *Pool) Destroy() error {
 	}
 	p.slabs = nil
 	p.attached = nil
+	p.attachedIdx = nil
 	p.live = nil
 	delete(p.rt.pools, p)
 	p.rt.destroys++

@@ -246,6 +246,115 @@ func TestLivePools(t *testing.T) {
 	}
 }
 
+func TestTakeRunPrefersExactFit(t *testing.T) {
+	// Regression: the old first-fit scan split the 4-page run (released
+	// first) to serve a 1-page request even when an exact 1-page run was
+	// on the list, leaving fragmented remainders behind.
+	rt, _ := newRuntime(t)
+	rt.releaseRun(PageRun{Addr: 0x100000, Pages: 4})
+	rt.releaseRun(PageRun{Addr: 0x200000, Pages: 1})
+
+	addr, ok := rt.TakeRun(1)
+	if !ok {
+		t.Fatal("TakeRun(1) failed")
+	}
+	if addr != 0x200000 {
+		t.Fatalf("TakeRun(1) = %#x, want the exact-size run at %#x", addr, 0x200000)
+	}
+	if got := rt.ReusedPages(); got != 1 {
+		t.Fatalf("ReusedPages = %d, want 1", got)
+	}
+	// The 4-page run must still be intact for a 4-page request.
+	addr, ok = rt.TakeRun(4)
+	if !ok || addr != 0x100000 {
+		t.Fatalf("TakeRun(4) = %#x,%v; want intact run at %#x", addr, ok, 0x100000)
+	}
+	if got := rt.ReusedPages(); got != 5 {
+		t.Fatalf("ReusedPages = %d, want 5", got)
+	}
+	if got := rt.FreePages(); got != 0 {
+		t.Fatalf("FreePages = %d, want 0", got)
+	}
+}
+
+func TestTakeRunBestFitSplit(t *testing.T) {
+	// With no exact fit, the smallest sufficient run is split and its
+	// remainder goes back on the list.
+	rt, _ := newRuntime(t)
+	rt.releaseRun(PageRun{Addr: 0x100000, Pages: 8})
+	rt.releaseRun(PageRun{Addr: 0x300000, Pages: 4})
+
+	addr, ok := rt.TakeRun(2)
+	if !ok || addr != 0x300000 {
+		t.Fatalf("TakeRun(2) = %#x,%v; want split of the 4-page run at %#x", addr, ok, 0x300000)
+	}
+	if got := rt.FreePages(); got != 10 {
+		t.Fatalf("FreePages = %d, want 10 (8 + 2-page remainder)", got)
+	}
+	// The remainder is now an exact fit.
+	addr, ok = rt.TakeRun(2)
+	if !ok || addr != 0x300000+2*vm.PageSize {
+		t.Fatalf("TakeRun(2) = %#x,%v; want the remainder at %#x", addr, ok, 0x300000+2*vm.PageSize)
+	}
+	if _, ok := rt.TakeRun(16); ok {
+		t.Fatal("TakeRun(16) succeeded with only 8 pages free")
+	}
+}
+
+func TestTakeRunSameSizeFIFO(t *testing.T) {
+	// Equal-sized runs are reused in release order, matching the old
+	// single-list first-fit behaviour.
+	rt, _ := newRuntime(t)
+	rt.releaseRun(PageRun{Addr: 0x100000, Pages: 4})
+	rt.releaseRun(PageRun{Addr: 0x200000, Pages: 4})
+	addr, ok := rt.TakeRun(4)
+	if !ok || addr != 0x100000 {
+		t.Fatalf("TakeRun(4) = %#x,%v; want oldest run %#x first", addr, ok, 0x100000)
+	}
+	addr, ok = rt.TakeRun(4)
+	if !ok || addr != 0x200000 {
+		t.Fatalf("TakeRun(4) = %#x,%v; want %#x second", addr, ok, 0x200000)
+	}
+}
+
+func TestDetachRunMiddleOfMany(t *testing.T) {
+	// Detaching from the middle exercises the swap-remove index update.
+	rt, _ := newRuntime(t)
+	p := rt.Init("PP", 16)
+	runs := []PageRun{
+		{Addr: 0x10000, Pages: 1},
+		{Addr: 0x20000, Pages: 2},
+		{Addr: 0x30000, Pages: 3},
+	}
+	for _, r := range runs {
+		p.AttachRun(r)
+	}
+	if !p.DetachRun(runs[1]) {
+		t.Fatal("DetachRun of middle run failed")
+	}
+	left := p.AttachedRuns()
+	if len(left) != 2 {
+		t.Fatalf("AttachedRuns = %v, want 2 runs", left)
+	}
+	seen := map[vm.Addr]bool{}
+	for _, r := range left {
+		seen[r.Addr] = true
+	}
+	if !seen[0x10000] || !seen[0x30000] || seen[0x20000] {
+		t.Fatalf("AttachedRuns = %v after detaching middle", left)
+	}
+	// The moved run's index must have been fixed up.
+	if !p.DetachRun(runs[2]) {
+		t.Fatal("DetachRun of moved run failed")
+	}
+	if !p.DetachRun(runs[0]) {
+		t.Fatal("DetachRun of first run failed")
+	}
+	if p.DetachRun(runs[0]) {
+		t.Fatal("DetachRun of already-detached run succeeded")
+	}
+}
+
 func TestPoolPhysicalNeutralSteadyState(t *testing.T) {
 	// Steady-state churn within a pool must not grow memory: poolfree
 	// feeds the pool's own free lists.
@@ -272,5 +381,39 @@ func TestPoolPhysicalNeutralSteadyState(t *testing.T) {
 	}
 	if got := proc.System().PhysMemory().InUse(); got != frames {
 		t.Fatalf("steady-state pool churn grew memory: %d -> %d frames", frames, got)
+	}
+}
+
+// BenchmarkPoolAllocFree times the pool runtime's hot cycle — pool init,
+// size-class alloc, free, destroy — the path the size-bucketed free-run
+// lists and the run-address index optimize.
+func BenchmarkPoolAllocFree(b *testing.B) {
+	cfg := kernel.DefaultConfig()
+	proc, err := kernel.NewProcess(kernel.NewSystem(cfg), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := NewRuntime(proc)
+	const objs = 64
+	addrs := make([]vm.Addr, 0, objs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := rt.Init("bench", 48)
+		addrs = addrs[:0]
+		for j := 0; j < objs; j++ {
+			a, err := p.Alloc(48)
+			if err != nil {
+				b.Fatal(err)
+			}
+			addrs = append(addrs, a)
+		}
+		for _, a := range addrs {
+			if err := p.Free(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := p.Destroy(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -144,6 +144,10 @@ func (n *Native) CheckAccess(addr vm.Addr, size int, write bool, site string) (v
 	return addr, nil
 }
 
+// AccessCheckIsPassthrough implements interp.PassthroughChecker: CheckAccess
+// above is the identity, so the interpreter may skip the call.
+func (n *Native) AccessCheckIsPassthrough() {}
+
 // Shadow is "our approach": the shadow-page remapper over pools (and over
 // the plain heap for any untransformed malloc/free).
 type Shadow struct {
@@ -272,3 +276,7 @@ func (s *Shadow) Explain(fault *vm.Fault, site string) error {
 func (s *Shadow) CheckAccess(addr vm.Addr, size int, write bool, site string) (vm.Addr, error) {
 	return addr, nil
 }
+
+// AccessCheckIsPassthrough implements interp.PassthroughChecker: CheckAccess
+// above is the identity, so the interpreter may skip the call.
+func (s *Shadow) AccessCheckIsPassthrough() {}

@@ -142,8 +142,21 @@ func (m Model) MemCost() uint64 {
 
 // Meter accumulates cycles and event counts for one simulated execution.
 // It is not safe for concurrent use; each simulated process owns one.
+//
+// The Model's derived prices are precomputed at construction: ChargeInstr and
+// ChargeMem sit on the simulator's per-instruction hot path, and recomputing
+// instrCostNumerator/MemCost there costs a Model copy plus a multiply/divide
+// per charge. The precomputed fields are pure functions of the (immutable)
+// Model, so the charged cycles are bit-identical to the direct computation.
 type Meter struct {
 	model Model
+
+	// instrWhole/instrRem split instrCostNumerator into whole cycles and a
+	// sub-cycle remainder (in 1/10000ths) per instruction; memCost is
+	// MemCost()+CheckCost, the flat price of a TLB-hit cache-hit access.
+	instrWhole uint64
+	instrRem   uint64
+	memCost    uint64
 
 	cycles      uint64
 	instrFrac   uint64 // sub-cycle instruction cost remainder, in 1/10000ths
@@ -155,7 +168,13 @@ type Meter struct {
 
 // NewMeter returns a Meter charging prices from model.
 func NewMeter(model Model) *Meter {
-	return &Meter{model: model}
+	num := model.instrCostNumerator()
+	return &Meter{
+		model:      model,
+		instrWhole: num / 10000,
+		instrRem:   num % 10000,
+		memCost:    model.MemCost() + model.CheckCost,
+	}
 }
 
 // Model returns the price list this meter charges.
@@ -180,9 +199,12 @@ func (mt *Meter) Traps() uint64 { return mt.traps }
 // so fractional per-instruction models accumulate exactly.
 func (mt *Meter) ChargeInstr(n uint64) {
 	mt.instrs += n
-	mt.instrFrac += n * mt.model.instrCostNumerator()
-	mt.cycles += mt.instrFrac / 10000
-	mt.instrFrac %= 10000
+	mt.cycles += n * mt.instrWhole
+	if mt.instrRem != 0 {
+		mt.instrFrac += n * mt.instrRem
+		mt.cycles += mt.instrFrac / 10000
+		mt.instrFrac %= 10000
+	}
 }
 
 // TLBOutcome classifies a memory access's TLB behaviour.
@@ -203,7 +225,7 @@ const (
 // has one) is always added.
 func (mt *Meter) ChargeMem(tlb TLBOutcome, cacheMiss bool) {
 	mt.memAccesses++
-	c := mt.model.MemCost() + mt.model.CheckCost
+	c := mt.memCost
 	switch tlb {
 	case TLBL2Hit:
 		c += mt.model.TLBL1Miss

@@ -47,6 +47,10 @@ type Config struct {
 	// Faults optionally injects deterministic syscall failures into the
 	// fallible memory syscalls (nil = every syscall succeeds).
 	Faults *Schedule
+	// LegacyPageTable selects the map-backed page table instead of the
+	// radix one. Test-only: the golden parity test runs both and asserts
+	// identical simulated results.
+	LegacyPageTable bool
 }
 
 // DefaultConfig returns the reference machine.
@@ -111,6 +115,9 @@ func NewProcess(sys *System, cfg Config) (*Process, error) {
 		cfg.GlobalPages = 64
 	}
 	space := vm.NewSpace()
+	if cfg.LegacyPageTable {
+		space = vm.NewLegacyMapSpace()
+	}
 	meter := cost.NewMeter(cfg.Model)
 	m := mmu.New(space, sys.mem, meter, cfg.MMU)
 	p := &Process{

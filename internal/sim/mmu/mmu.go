@@ -63,10 +63,15 @@ func DefaultConfig() Config {
 	}
 }
 
+// invalidTag marks an empty cache line. No real line address can equal it
+// (line addresses are bounded far below 2^64), so the hit scan needs no
+// separate valid bit. The victim scan tests for it explicitly, preserving the
+// valid-bit representation's fill order exactly.
+const invalidTag = ^uint64(0)
+
 type cacheLine struct {
-	tag   uint64
-	valid bool
-	lru   uint64
+	tag uint64
+	lru uint64
 }
 
 // MMU is the per-process memory access path. Not safe for concurrent use.
@@ -77,13 +82,38 @@ type MMU struct {
 	tlb2  *tlb.TLB
 	meter *cost.Meter
 
-	sets       [][]cacheLine
+	// lines is the data cache, flattened to one slice of nsets*ways lines;
+	// set i occupies lines[i*ways : (i+1)*ways]. setMask is nsets-1 when
+	// nsets is a power of two (the index is then a mask instead of a
+	// modulo); otherwise setMask is 0 and the modulo path is used.
+	lines      []cacheLine
+	ways       int
 	lineShift  uint
 	nsets      uint64
+	setMask    uint64
 	cacheClock uint64
+
+	// One-entry MRU memo for the data cache: an access repeating the
+	// immediately previous line address is necessarily still resident (it
+	// was stamped most-recent and nothing has touched the cache since, and
+	// the data cache is never flushed), so the hit skips the set scan.
+	// Sequential word accesses within one 64-byte line make this the
+	// common case.
+	lastLine      uint64
+	lastLineEntry *cacheLine
 
 	cacheHits   uint64
 	cacheMisses uint64
+
+	// One-entry last-translation cache: the common case is a run of
+	// accesses to the page just translated, and revalidating against the
+	// space's mutation epoch costs two compares instead of a page-table
+	// walk. tcEpoch == 0 means empty (Space epochs start at 1 after any
+	// mutation; a fresh MMU has nothing cached anyway).
+	tcVPN   vm.VPN
+	tcFrame phys.FrameID
+	tcProt  vm.Prot
+	tcEpoch uint64
 }
 
 // New returns an MMU over the given space and physical memory, charging the
@@ -99,10 +129,6 @@ func New(space *vm.Space, mem *phys.Memory, meter *cost.Meter, cfg Config) *MMU 
 		shift++
 	}
 	nsets := cc.Lines / cc.Ways
-	sets := make([][]cacheLine, nsets)
-	for i := range sets {
-		sets[i] = make([]cacheLine, cc.Ways)
-	}
 	def := DefaultConfig()
 	if cfg.TLB1.Entries == 0 {
 		cfg.TLB1 = def.TLB1
@@ -110,16 +136,25 @@ func New(space *vm.Space, mem *phys.Memory, meter *cost.Meter, cfg Config) *MMU 
 	if cfg.TLB2.Entries == 0 {
 		cfg.TLB2 = def.TLB2
 	}
-	return &MMU{
+	m := &MMU{
 		space:     space,
 		mem:       mem,
 		tlb1:      tlb.New(cfg.TLB1),
 		tlb2:      tlb.New(cfg.TLB2),
 		meter:     meter,
-		sets:      sets,
+		lines:     make([]cacheLine, nsets*cc.Ways),
+		ways:      cc.Ways,
 		lineShift: shift,
 		nsets:     uint64(nsets),
 	}
+	for i := range m.lines {
+		m.lines[i].tag = invalidTag
+	}
+	m.lastLine = invalidTag
+	if n := uint64(nsets); n&(n-1) == 0 {
+		m.setMask = n - 1
+	}
+	return m
 }
 
 // Space returns the address space this MMU translates for.
@@ -131,16 +166,23 @@ func (m *MMU) TLB1() *tlb.TLB { return m.tlb1 }
 // TLB2 returns the second-level TLB (stats).
 func (m *MMU) TLB2() *tlb.TLB { return m.tlb2 }
 
-// FlushPage invalidates both TLB levels' entries for a page (shootdown).
+// FlushPage invalidates both TLB levels' entries for a page (shootdown) and
+// the last-translation cache when it holds that page. (The epoch check makes
+// the latter redundant for flushes that follow a page-table mutation, but a
+// shootdown must invalidate cached translations regardless of its cause.)
 func (m *MMU) FlushPage(v vm.VPN) {
 	m.tlb1.FlushPage(v)
 	m.tlb2.FlushPage(v)
+	if m.tcVPN == v {
+		m.tcEpoch = 0
+	}
 }
 
-// FlushAll invalidates both TLB levels.
+// FlushAll invalidates both TLB levels and the last-translation cache.
 func (m *MMU) FlushAll() {
 	m.tlb1.FlushAll()
 	m.tlb2.FlushAll()
+	m.tcEpoch = 0
 }
 
 // CacheHits returns the data-cache hit count.
@@ -154,18 +196,30 @@ func (m *MMU) CacheMisses() uint64 { return m.cacheMisses }
 func (m *MMU) cacheAccess(paddr uint64) bool {
 	m.cacheClock++
 	lineAddr := paddr >> m.lineShift
-	set := m.sets[lineAddr%m.nsets]
+	if lineAddr == m.lastLine {
+		m.lastLineEntry.lru = m.cacheClock
+		m.cacheHits++
+		return true
+	}
+	var idx uint64
+	if m.setMask != 0 {
+		idx = lineAddr & m.setMask
+	} else {
+		idx = lineAddr % m.nsets
+	}
+	set := m.lines[int(idx)*m.ways : (int(idx)+1)*m.ways]
 	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
+		if set[i].tag == lineAddr {
 			set[i].lru = m.cacheClock
 			m.cacheHits++
+			m.lastLine, m.lastLineEntry = lineAddr, &set[i]
 			return true
 		}
 	}
 	m.cacheMisses++
 	victim := 0
 	for i := 1; i < len(set); i++ {
-		if !set[i].valid {
+		if set[i].tag == invalidTag {
 			victim = i
 			break
 		}
@@ -173,7 +227,8 @@ func (m *MMU) cacheAccess(paddr uint64) bool {
 			victim = i
 		}
 	}
-	set[victim] = cacheLine{tag: lineAddr, valid: true, lru: m.cacheClock}
+	set[victim] = cacheLine{tag: lineAddr, lru: m.cacheClock}
+	m.lastLine, m.lastLineEntry = lineAddr, &set[victim]
 	return false
 }
 
@@ -189,12 +244,36 @@ func (m *MMU) tlbAccess(vpn vm.VPN) cost.TLBOutcome {
 }
 
 // access translates one page-confined access and charges the meter.
+//
+// Translation takes the one-entry last-translation cache when it holds the
+// accessed page at the current page-table epoch; the cached (frame, prot)
+// pair is by construction what Translate would return, so the outcome —
+// including the protection fault an mprotect'd page must raise — is
+// identical, and the TLB and data-cache charges are made either way.
 func (m *MMU) access(addr vm.Addr, kind vm.AccessKind) (phys.FrameID, error) {
 	vpn := vm.PageOf(addr)
 	outcome := m.tlbAccess(vpn)
-	frame, fault := m.space.Translate(addr, kind)
-	if fault != nil {
-		return 0, fault
+	need := vm.ProtRead
+	if kind == vm.AccessWrite {
+		need = vm.ProtWrite
+	}
+	var frame phys.FrameID
+	if m.tcEpoch != 0 && m.tcVPN == vpn && m.tcEpoch == m.space.Epoch() {
+		if m.tcProt&need == 0 {
+			return 0, &vm.Fault{Addr: addr, Access: kind, Reason: vm.FaultProtection}
+		}
+		frame = m.tcFrame
+	} else {
+		f, prot, ok := m.space.Lookup(vpn)
+		if !ok {
+			return 0, &vm.Fault{Addr: addr, Access: kind, Reason: vm.FaultUnmapped}
+		}
+		m.tcVPN, m.tcFrame, m.tcProt = vpn, f, prot
+		m.tcEpoch = m.space.Epoch()
+		if prot&need == 0 {
+			return 0, &vm.Fault{Addr: addr, Access: kind, Reason: vm.FaultProtection}
+		}
+		frame = f
 	}
 	paddr := uint64(frame)<<vm.PageShift | vm.Offset(addr)
 	cacheHit := m.cacheAccess(paddr)
@@ -235,11 +314,31 @@ func (m *MMU) WriteBytes(addr vm.Addr, buf []byte) error {
 }
 
 // ReadWord reads a size-byte little-endian unsigned value (size 1, 2, 4, 8).
+// A word contained in one page — the overwhelmingly common case — is decoded
+// straight out of the frame, skipping the page-crossing loop and its
+// intermediate buffer; the charge is one access either way.
 func (m *MMU) ReadWord(addr vm.Addr, size int) (uint64, error) {
-	var buf [8]byte
 	if size != 1 && size != 2 && size != 4 && size != 8 {
 		return 0, fmt.Errorf("mmu: bad word size %d", size)
 	}
+	if off := vm.Offset(addr); off+uint64(size) <= vm.PageSize {
+		frame, err := m.access(addr, vm.AccessRead)
+		if err != nil {
+			return 0, err
+		}
+		b := m.mem.Frame(frame)[off:]
+		switch size {
+		case 1:
+			return uint64(b[0]), nil
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(b)), nil
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(b)), nil
+		default:
+			return binary.LittleEndian.Uint64(b), nil
+		}
+	}
+	var buf [8]byte
 	if err := m.ReadBytes(addr, buf[:size]); err != nil {
 		return 0, err
 	}
@@ -247,11 +346,30 @@ func (m *MMU) ReadWord(addr vm.Addr, size int) (uint64, error) {
 }
 
 // WriteWord writes a size-byte little-endian unsigned value (size 1, 2, 4, 8).
+// Like ReadWord, a page-confined word takes a direct store into the frame.
 func (m *MMU) WriteWord(addr vm.Addr, size int, val uint64) error {
-	var buf [8]byte
 	if size != 1 && size != 2 && size != 4 && size != 8 {
 		return fmt.Errorf("mmu: bad word size %d", size)
 	}
+	if off := vm.Offset(addr); off+uint64(size) <= vm.PageSize {
+		frame, err := m.access(addr, vm.AccessWrite)
+		if err != nil {
+			return err
+		}
+		b := m.mem.Frame(frame)[off:]
+		switch size {
+		case 1:
+			b[0] = byte(val)
+		case 2:
+			binary.LittleEndian.PutUint16(b, uint16(val))
+		case 4:
+			binary.LittleEndian.PutUint32(b, uint32(val))
+		default:
+			binary.LittleEndian.PutUint64(b, val)
+		}
+		return nil
+	}
+	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], val)
 	return m.WriteBytes(addr, buf[:size])
 }

@@ -261,3 +261,149 @@ func TestInvalidConfigFallsBack(t *testing.T) {
 		t.Fatalf("fallback config broken: %v", err)
 	}
 }
+
+// TestTranslationCacheInvalidatedByProtNone is the dangling-pointer
+// correctness case for the one-entry translation cache: an access loads the
+// cache with (vpn, frame, rw); mprotect(PROT_NONE) on that same page — the
+// free path's poisoning step — must not let the next access ride the stale
+// cached protection. The epoch check forces a fresh page-table walk, which
+// faults.
+func TestTranslationCacheInvalidatedByProtNone(t *testing.T) {
+	m, space, mem, _ := newMMU(t)
+	a := mapPages(t, space, mem, 1)
+	vpn := vm.PageOf(a)
+
+	// Prime the translation cache with a successful access.
+	if err := m.WriteWord(a, 8, 0xdead); err != nil {
+		t.Fatal(err)
+	}
+	if err := space.Protect(vpn, vm.ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	m.FlushPage(vpn) // the kernel's shootdown after mprotect
+	var fault *vm.Fault
+	if _, err := m.ReadWord(a, 8); !errors.As(err, &fault) || fault.Reason != vm.FaultProtection {
+		t.Fatalf("read after PROT_NONE = %v, want protection fault", err)
+	}
+	if err := m.WriteWord(a, 8, 1); !errors.As(err, &fault) || fault.Reason != vm.FaultProtection {
+		t.Fatalf("write after PROT_NONE = %v, want protection fault", err)
+	}
+
+	// Restore read access: the next read must see the new bits, again
+	// without a shootdown race through the stale cache entry.
+	if err := space.Protect(vpn, vm.ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	m.FlushPage(vpn)
+	if v, err := m.ReadWord(a, 8); err != nil || v != 0xdead {
+		t.Fatalf("read after re-protect = %v, %v; want 0xdead", v, err)
+	}
+	if err := m.WriteWord(a, 8, 1); !errors.As(err, &fault) || fault.Reason != vm.FaultProtection {
+		t.Fatalf("write through r- page = %v, want protection fault", err)
+	}
+}
+
+// TestTranslationCacheSurvivesEpochOnOtherPage checks the cache is only as
+// conservative as it needs to be: a mutation on a *different* page bumps the
+// epoch and forces a re-walk, but the re-walk re-validates and the access
+// still succeeds with the same outcome.
+func TestTranslationCacheSurvivesEpochOnOtherPage(t *testing.T) {
+	m, space, mem, _ := newMMU(t)
+	a := mapPages(t, space, mem, 2)
+	other := vm.PageOf(a) + 1
+	if err := m.WriteWord(a, 8, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := space.Protect(other, vm.ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	m.FlushPage(other)
+	if v, err := m.ReadWord(a, 8); err != nil || v != 42 {
+		t.Fatalf("read after unrelated mprotect = %v, %v; want 42", v, err)
+	}
+}
+
+// TestTranslationCacheInvalidatedByUnmapRemap remaps the cached page to a
+// different frame and checks the next access reads through the new mapping —
+// the cached frame must not leak stale data.
+func TestTranslationCacheInvalidatedByUnmapRemap(t *testing.T) {
+	m, space, mem, _ := newMMU(t)
+	a := mapPages(t, space, mem, 1)
+	vpn := vm.PageOf(a)
+	if err := m.WriteWord(a, 8, 0x1111); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := mem.AllocFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(mem.Frame(f2)[:], []byte{0x22, 0x22, 0, 0, 0, 0, 0, 0})
+	space.Map(vpn, f2, vm.ProtRW)
+	m.FlushPage(vpn)
+	if v, err := m.ReadWord(a, 8); err != nil || v != 0x2222 {
+		t.Fatalf("read after remap = %#x, %v; want 0x2222", v, err)
+	}
+}
+
+// benchSpace builds an MMU over n mapped RW pages for the access benchmarks.
+func benchSpace(b *testing.B, legacy bool, pages uint64) (*MMU, vm.Addr) {
+	b.Helper()
+	var space *vm.Space
+	if legacy {
+		space = vm.NewLegacyMapSpace()
+	} else {
+		space = vm.NewSpace()
+	}
+	mem := phys.NewMemory(0)
+	meter := cost.NewMeter(cost.Default())
+	m := New(space, mem, meter, DefaultConfig())
+	vpn, err := space.ReservePages(pages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := uint64(0); i < pages; i++ {
+		f, err := mem.AllocFrame()
+		if err != nil {
+			b.Fatal(err)
+		}
+		space.Map(vpn+vm.VPN(i), f, vm.ProtRW)
+	}
+	return m, uint64(vpn) << vm.PageShift
+}
+
+// benchmarkAccess measures the full simulated load path — page table (radix
+// or legacy map), translation cache, TLB hierarchy, data cache, cycle meter.
+// Every access lands on a different page than the last (page stride plus a
+// small prime offset), so the one-entry translation cache never hits and
+// each iteration performs a real page-table lookup — the operation the radix
+// tree replaces the map hash in.
+func benchmarkAccess(b *testing.B, legacy bool) {
+	const pages = 512
+	m, base := benchSpace(b, legacy, pages)
+	// Pre-touch so the timed loop measures steady state.
+	for p := uint64(0); p < pages; p++ {
+		if _, err := m.ReadWord(base+p*vm.PageSize, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+	addr := base
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ReadWord(addr, 8); err != nil {
+			b.Fatal(err)
+		}
+		addr += vm.PageSize + 8*13
+		if addr >= base+pages*vm.PageSize {
+			addr = base + (addr-base)%vm.PageSize
+		}
+	}
+}
+
+// BenchmarkAccess compares the simulated-access fast path against the two
+// page-table implementations. The radix sub-benchmark is the production
+// configuration; the legacy map is the pre-optimization baseline the
+// BENCH_pr4.json speedup claim is made against.
+func BenchmarkAccess(b *testing.B) {
+	b.Run("radix", func(b *testing.B) { benchmarkAccess(b, false) })
+	b.Run("legacy-map", func(b *testing.B) { benchmarkAccess(b, true) })
+}

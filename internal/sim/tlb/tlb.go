@@ -24,21 +24,41 @@ func DefaultConfig() Config {
 	return Config{Entries: 64, Ways: 4}
 }
 
+// invalidVPN marks an empty entry. VPNs are bounded far below 2^64, so no
+// real translation can match it and the hit scan needs no valid bit. The
+// victim scan tests for it explicitly, and flushes preserve the entry's
+// stale lru, so replacement picks exactly the entry the valid-bit
+// representation picked.
+const invalidVPN = vm.VPN(^uint64(0))
+
 type entry struct {
-	vpn   vm.VPN
-	valid bool
-	// lru is a per-set sequence number; higher is more recent.
+	vpn vm.VPN
+	// lru is a per-set sequence number; higher is more recent. A flushed
+	// entry keeps its stale value (see invalidVPN).
 	lru uint64
 }
 
 // TLB is a set-associative TLB with LRU replacement. Not safe for concurrent
-// use.
+// use. Entries are stored flat (set i occupies entries[i*ways:(i+1)*ways])
+// and the set index is a mask when the set count is a power of two — this
+// lookup runs twice per simulated memory access, so the pointer chase and
+// 64-bit modulo of the obvious representation are measurable.
 type TLB struct {
-	sets   [][]entry
-	nsets  uint64
-	clock  uint64
-	hits   uint64
-	misses uint64
+	entries []entry
+	ways    int
+	nsets   uint64
+	setMask uint64 // nsets-1 when nsets is a power of two, else 0
+	clock   uint64
+	hits    uint64
+	misses  uint64
+
+	// One-entry MRU memo: when an access repeats the immediately previous
+	// VPN, its entry is necessarily still resident (it was stamped
+	// most-recent and nothing else has touched the TLB since), so the hit
+	// can skip the set scan. Any flush resets the memo, since flushes
+	// invalidate entries without going through Access.
+	lastVPN   vm.VPN
+	lastEntry *entry
 }
 
 // New returns a TLB with the given geometry. A zero or invalid config falls
@@ -48,29 +68,54 @@ func New(cfg Config) *TLB {
 		cfg = DefaultConfig()
 	}
 	nsets := cfg.Entries / cfg.Ways
-	sets := make([][]entry, nsets)
-	for i := range sets {
-		sets[i] = make([]entry, cfg.Ways)
+	t := &TLB{
+		entries: make([]entry, cfg.Entries),
+		ways:    cfg.Ways,
+		nsets:   uint64(nsets),
 	}
-	return &TLB{sets: sets, nsets: uint64(nsets)}
+	for i := range t.entries {
+		t.entries[i].vpn = invalidVPN
+	}
+	t.lastVPN = invalidVPN
+	if n := uint64(nsets); n&(n-1) == 0 {
+		t.setMask = n - 1
+	}
+	return t
+}
+
+// set returns the entry slice of vpn's set.
+func (t *TLB) set(vpn vm.VPN) []entry {
+	var idx uint64
+	if t.setMask != 0 {
+		idx = uint64(vpn) & t.setMask
+	} else {
+		idx = uint64(vpn) % t.nsets
+	}
+	return t.entries[int(idx)*t.ways : (int(idx)+1)*t.ways]
 }
 
 // Access looks up vpn, returning true on a hit. On a miss the translation is
 // filled in, evicting the set's LRU entry.
 func (t *TLB) Access(vpn vm.VPN) bool {
 	t.clock++
-	set := t.sets[uint64(vpn)%t.nsets]
+	if vpn == t.lastVPN {
+		t.lastEntry.lru = t.clock
+		t.hits++
+		return true
+	}
+	set := t.set(vpn)
 	for i := range set {
-		if set[i].valid && set[i].vpn == vpn {
+		if set[i].vpn == vpn {
 			set[i].lru = t.clock
 			t.hits++
+			t.lastVPN, t.lastEntry = vpn, &set[i]
 			return true
 		}
 	}
 	t.misses++
 	victim := 0
 	for i := 1; i < len(set); i++ {
-		if !set[i].valid {
+		if set[i].vpn == invalidVPN {
 			victim = i
 			break
 		}
@@ -78,28 +123,32 @@ func (t *TLB) Access(vpn vm.VPN) bool {
 			victim = i
 		}
 	}
-	set[victim] = entry{vpn: vpn, valid: true, lru: t.clock}
+	set[victim] = entry{vpn: vpn, lru: t.clock}
+	t.lastVPN, t.lastEntry = vpn, &set[victim]
 	return false
 }
 
 // FlushPage invalidates any entry for vpn (the shootdown performed by
 // mprotect/munmap on that page).
 func (t *TLB) FlushPage(vpn vm.VPN) {
-	set := t.sets[uint64(vpn)%t.nsets]
+	set := t.set(vpn)
 	for i := range set {
-		if set[i].valid && set[i].vpn == vpn {
-			set[i].valid = false
+		if set[i].vpn == vpn {
+			// Keep the stale lru: victim selection compares it when no
+			// empty slot is found past index 0, and replacement must pick
+			// the same entry the valid-bit representation picked.
+			set[i].vpn = invalidVPN
 		}
 	}
+	t.lastVPN, t.lastEntry = invalidVPN, nil
 }
 
 // FlushAll invalidates every entry (full context-switch flush).
 func (t *TLB) FlushAll() {
-	for _, set := range t.sets {
-		for i := range set {
-			set[i].valid = false
-		}
+	for i := range t.entries {
+		t.entries[i].vpn = invalidVPN
 	}
+	t.lastVPN, t.lastEntry = invalidVPN, nil
 }
 
 // Hits returns the hit count.

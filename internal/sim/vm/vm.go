@@ -138,17 +138,57 @@ func (f *Fault) Error() string {
 	return fmt.Sprintf("fault: %s of %#x (%s)", f.Access, f.Addr, f.Reason)
 }
 
-// pte is one page-table entry.
+// pte is one page-table entry. present distinguishes a live entry from an
+// absent one: ProtNone is a valid protection for a *mapped* page (that is how
+// freed shadow pages are poisoned), so the protection bits cannot double as a
+// presence flag.
 type pte struct {
-	frame phys.FrameID
-	prot  Prot
+	frame   phys.FrameID
+	prot    Prot
+	present bool
 }
+
+// Radix page-table geometry. A VPN has UserAddrBits-PageShift = 35
+// significant bits, split across three levels (11 + 12 + 12) exactly like a
+// hardware page-table walk: top-level directory of 2048 entries, mid-level
+// directories of 4096, and leaves of 4096 PTEs. The bump allocator hands out
+// VPNs densely from the bottom of the space, so leaves fill up before new
+// ones are needed and the tree stays shallow and compact.
+const (
+	radixLeafBits = 12
+	radixMidBits  = 12
+	radixTopBits  = UserAddrBits - PageShift - radixLeafBits - radixMidBits
+
+	radixLeafSize = 1 << radixLeafBits
+	radixMidSize  = 1 << radixMidBits
+	radixTopSize  = 1 << radixTopBits
+
+	radixLeafMask = radixLeafSize - 1
+	radixMidMask  = radixMidSize - 1
+)
+
+type radixLeaf [radixLeafSize]pte
+type radixMid [radixMidSize]*radixLeaf
 
 // Space is one process's virtual address space. It owns no physical memory;
 // frames are allocated and freed by the kernel layer, which also decides
 // frame lifetimes under aliasing. Not safe for concurrent use.
+//
+// The page table is a three-level radix tree (see the geometry constants
+// above): Translate is three array indexings instead of a map hash, which is
+// what keeps the simulated load/store fast path free of hashing. A map-backed
+// legacy mode (NewLegacyMapSpace) is kept solely so the parity tests can
+// prove the radix table changes no observable result.
 type Space struct {
-	pages map[VPN]pte
+	root [radixTopSize]*radixMid
+	// legacy, when non-nil, replaces the radix tree with the original
+	// map-based page table. Parity-test shim only.
+	legacy map[VPN]pte
+	// mapped is the live page-table entry count (len() of the former map).
+	mapped uint64
+	// epoch increments on every Map/Protect/Unmap so the MMU's one-entry
+	// translation cache can validate itself without a table walk.
+	epoch uint64
 	// next is the bump pointer for fresh virtual page allocation. Starting
 	// above zero keeps address 0 (NULL) permanently unmapped.
 	next VPN
@@ -161,12 +201,65 @@ type Space struct {
 	everMapped uint64
 }
 
-// NewSpace returns an empty address space.
+// NewSpace returns an empty address space backed by the radix page table.
 func NewSpace() *Space {
 	return &Space{
-		pages: make(map[VPN]pte),
-		next:  16, // leave the first 64 KB unmapped (NULL guard)
+		next: 16, // leave the first 64 KB unmapped (NULL guard)
 	}
+}
+
+// NewLegacyMapSpace returns an empty address space backed by the original
+// map[VPN]pte page table. It exists only for the golden parity tests, which
+// run workloads through both page-table implementations and require
+// bit-identical simulation results; production paths always use NewSpace.
+func NewLegacyMapSpace() *Space {
+	s := NewSpace()
+	s.legacy = make(map[VPN]pte)
+	return s
+}
+
+// Epoch returns the page-table mutation counter. Any cached translation made
+// at an earlier epoch may be stale.
+func (s *Space) Epoch() uint64 { return s.epoch }
+
+// lookupPTE returns a pointer to the live entry for vpn, or nil when the
+// page is unmapped (or the radix path is not populated).
+func (s *Space) lookupPTE(vpn VPN) *pte {
+	top := vpn >> (radixMidBits + radixLeafBits)
+	if top >= radixTopSize {
+		return nil // beyond the 47-bit user space: never mapped
+	}
+	mid := s.root[top]
+	if mid == nil {
+		return nil
+	}
+	leaf := mid[(vpn>>radixLeafBits)&radixMidMask]
+	if leaf == nil {
+		return nil
+	}
+	e := &leaf[vpn&radixLeafMask]
+	if !e.present {
+		return nil
+	}
+	return e
+}
+
+// ensurePTE returns a pointer to the (possibly absent) entry for vpn,
+// allocating radix nodes along the path as needed.
+func (s *Space) ensurePTE(vpn VPN) *pte {
+	top := vpn >> (radixMidBits + radixLeafBits)
+	mid := s.root[top]
+	if mid == nil {
+		mid = new(radixMid)
+		s.root[top] = mid
+	}
+	li := (vpn >> radixLeafBits) & radixMidMask
+	leaf := mid[li]
+	if leaf == nil {
+		leaf = new(radixLeaf)
+		mid[li] = leaf
+	}
+	return &leaf[vpn&radixLeafMask]
 }
 
 // ErrAddressSpaceExhausted is reported when ReservePages passes the 47-bit
@@ -189,48 +282,101 @@ func (s *Space) ReservePages(n uint64) (VPN, error) {
 }
 
 // Map installs a mapping from vpn to frame with protection prot, replacing
-// any existing entry.
+// any existing entry. vpn must lie inside the 47-bit user space (ReservePages
+// never hands out anything else).
 func (s *Space) Map(vpn VPN, frame phys.FrameID, prot Prot) {
-	if _, ok := s.pages[vpn]; !ok {
-		if m := uint64(len(s.pages)) + 1; m > s.peakMapped {
-			s.peakMapped = m
+	s.epoch++
+	if s.legacy != nil {
+		if _, ok := s.legacy[vpn]; !ok {
+			s.noteMapped()
 		}
+		s.legacy[vpn] = pte{frame: frame, prot: prot, present: true}
+		return
 	}
-	s.pages[vpn] = pte{frame: frame, prot: prot}
+	if uint64(vpn) >= UserAddrLimit>>PageShift {
+		panic(fmt.Sprintf("vm: map of page %#x beyond the %d-bit user space", uint64(vpn)<<PageShift, UserAddrBits))
+	}
+	e := s.ensurePTE(vpn)
+	if !e.present {
+		s.noteMapped()
+	}
+	*e = pte{frame: frame, prot: prot, present: true}
+}
+
+// noteMapped bumps the live-entry count and its high-water mark.
+func (s *Space) noteMapped() {
+	s.mapped++
+	if s.mapped > s.peakMapped {
+		s.peakMapped = s.mapped
+	}
 }
 
 // Unmap removes the mapping for vpn. Unmapping an unmapped page is an error
 // (the kernel layer never does it).
 func (s *Space) Unmap(vpn VPN) error {
-	if _, ok := s.pages[vpn]; !ok {
+	s.epoch++
+	if s.legacy != nil {
+		if _, ok := s.legacy[vpn]; !ok {
+			return fmt.Errorf("vm: unmap of unmapped page %#x", uint64(vpn)<<PageShift)
+		}
+		delete(s.legacy, vpn)
+		s.mapped--
+		return nil
+	}
+	e := s.lookupPTE(vpn)
+	if e == nil {
 		return fmt.Errorf("vm: unmap of unmapped page %#x", uint64(vpn)<<PageShift)
 	}
-	delete(s.pages, vpn)
+	*e = pte{}
+	s.mapped--
 	return nil
 }
 
 // Protect sets the protection bits of vpn.
 func (s *Space) Protect(vpn VPN, prot Prot) error {
-	e, ok := s.pages[vpn]
-	if !ok {
+	s.epoch++
+	if s.legacy != nil {
+		e, ok := s.legacy[vpn]
+		if !ok {
+			return fmt.Errorf("vm: protect of unmapped page %#x", uint64(vpn)<<PageShift)
+		}
+		e.prot = prot
+		s.legacy[vpn] = e
+		return nil
+	}
+	e := s.lookupPTE(vpn)
+	if e == nil {
 		return fmt.Errorf("vm: protect of unmapped page %#x", uint64(vpn)<<PageShift)
 	}
 	e.prot = prot
-	s.pages[vpn] = e
 	return nil
 }
 
 // Lookup returns the frame and protection of vpn.
 func (s *Space) Lookup(vpn VPN) (phys.FrameID, Prot, bool) {
-	e, ok := s.pages[vpn]
-	return e.frame, e.prot, ok
+	if s.legacy != nil {
+		e, ok := s.legacy[vpn]
+		return e.frame, e.prot, ok
+	}
+	e := s.lookupPTE(vpn)
+	if e == nil {
+		return 0, 0, false
+	}
+	return e.frame, e.prot, true
 }
 
 // Translate checks an access of the given kind to addr and returns the frame
 // backing it. On failure it returns a *Fault.
 func (s *Space) Translate(addr Addr, kind AccessKind) (phys.FrameID, *Fault) {
-	e, ok := s.pages[PageOf(addr)]
-	if !ok {
+	var e *pte
+	if s.legacy != nil {
+		if le, ok := s.legacy[PageOf(addr)]; ok {
+			e = &le
+		}
+	} else {
+		e = s.lookupPTE(PageOf(addr))
+	}
+	if e == nil {
 		return 0, &Fault{Addr: addr, Access: kind, Reason: FaultUnmapped}
 	}
 	need := ProtRead
@@ -244,15 +390,36 @@ func (s *Space) Translate(addr Addr, kind AccessKind) (phys.FrameID, *Fault) {
 }
 
 // ForEach calls fn for every live page-table entry. Iteration order is
-// unspecified. Used by the kernel's teardown and the conservative-GC study.
+// unspecified (the radix table happens to iterate in ascending VPN order; the
+// legacy map does not). Used by the kernel's teardown and the
+// conservative-GC study, both of which order their work independently.
 func (s *Space) ForEach(fn func(VPN, phys.FrameID, Prot)) {
-	for v, e := range s.pages {
-		fn(v, e.frame, e.prot)
+	if s.legacy != nil {
+		for v, e := range s.legacy {
+			fn(v, e.frame, e.prot)
+		}
+		return
+	}
+	for ti, mid := range s.root {
+		if mid == nil {
+			continue
+		}
+		for mi, leaf := range mid {
+			if leaf == nil {
+				continue
+			}
+			base := VPN(ti)<<(radixMidBits+radixLeafBits) | VPN(mi)<<radixLeafBits
+			for li := range leaf {
+				if e := &leaf[li]; e.present {
+					fn(base|VPN(li), e.frame, e.prot)
+				}
+			}
+		}
 	}
 }
 
 // MappedPages returns the number of live page-table entries.
-func (s *Space) MappedPages() uint64 { return uint64(len(s.pages)) }
+func (s *Space) MappedPages() uint64 { return s.mapped }
 
 // PeakMappedPages returns the high-water mark of live page-table entries.
 func (s *Space) PeakMappedPages() uint64 { return s.peakMapped }

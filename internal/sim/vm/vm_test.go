@@ -237,3 +237,230 @@ func TestPageSpanProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// forEachSpace runs a subtest against both page-table implementations: the
+// radix tree and the legacy map shim the parity tests keep alive. Edge-case
+// behaviour must be identical in both.
+func forEachSpace(t *testing.T, fn func(t *testing.T, s *Space)) {
+	t.Helper()
+	t.Run("radix", func(t *testing.T) { fn(t, NewSpace()) })
+	t.Run("legacy-map", func(t *testing.T) { fn(t, NewLegacyMapSpace()) })
+}
+
+// TestBoundaryVPN maps the very last page of the 47-bit user space and
+// checks that translation works right up to the final byte, that the first
+// address past the boundary is unmapped, and that the radix walk indexes its
+// top level in range.
+func TestBoundaryVPN(t *testing.T) {
+	forEachSpace(t, func(t *testing.T, s *Space) {
+		last := VPN(UserAddrLimit>>PageShift) - 1
+		s.Map(last, phys.FrameID(7), ProtRW)
+		if f, p, ok := s.Lookup(last); !ok || f != 7 || p != ProtRW {
+			t.Fatalf("Lookup(last) = %v %v %v", f, p, ok)
+		}
+		lastByte := UserAddrLimit - 1
+		if f, fault := s.Translate(lastByte, AccessWrite); fault != nil || f != 7 {
+			t.Fatalf("Translate(last byte) = %v %v", f, fault)
+		}
+		if _, fault := s.Translate(UserAddrLimit, AccessRead); fault == nil || fault.Reason != FaultUnmapped {
+			t.Fatalf("Translate(limit) = %v, want unmapped fault", fault)
+		}
+		if got := s.MappedPages(); got != 1 {
+			t.Fatalf("MappedPages = %d, want 1", got)
+		}
+		if err := s.Unmap(last); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := s.Lookup(last); ok {
+			t.Fatal("last page still mapped after Unmap")
+		}
+	})
+}
+
+// TestMapBeyondUserSpacePanics locks in the radix table's explicit guard: a
+// VPN past the 47-bit limit is a kernel bug, not a quiet extra mapping.
+func TestMapBeyondUserSpacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Map beyond the user space did not panic")
+		}
+	}()
+	NewSpace().Map(VPN(UserAddrLimit>>PageShift), phys.FrameID(1), ProtRW)
+}
+
+// TestAliasRemapOverExistingPTE re-maps a live VPN onto a different frame
+// with different protections — the mremap-style aliasing path — and checks
+// the entry is replaced, not duplicated: Lookup sees the new frame, the live
+// entry count stays flat, and the old protections are gone.
+func TestAliasRemapOverExistingPTE(t *testing.T) {
+	forEachSpace(t, func(t *testing.T, s *Space) {
+		vpn, err := s.ReservePages(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Map(vpn, phys.FrameID(1), ProtRW)
+		if got := s.MappedPages(); got != 1 {
+			t.Fatalf("MappedPages = %d, want 1", got)
+		}
+		s.Map(vpn, phys.FrameID(2), ProtRead)
+		if got := s.MappedPages(); got != 1 {
+			t.Fatalf("MappedPages after remap = %d, want 1 (remap must replace)", got)
+		}
+		f, p, ok := s.Lookup(vpn)
+		if !ok || f != 2 || p != ProtRead {
+			t.Fatalf("Lookup after remap = %v %v %v, want frame 2 r-", f, p, ok)
+		}
+		addr := Addr(vpn) << PageShift
+		if _, fault := s.Translate(addr, AccessWrite); fault == nil || fault.Reason != FaultProtection {
+			t.Fatalf("write through remapped r- alias = %v, want protection fault", fault)
+		}
+		if f, fault := s.Translate(addr, AccessRead); fault != nil || f != 2 {
+			t.Fatalf("read through remapped alias = %v %v, want frame 2", f, fault)
+		}
+	})
+}
+
+// TestProtectPartiallyMappedRange walks Protect across a range with a hole
+// in the middle, the way the kernel's mprotect loop would: pages before the
+// hole take the new protection, the hole reports an error, and pages after
+// the hole are untouched by the failed call.
+func TestProtectPartiallyMappedRange(t *testing.T) {
+	forEachSpace(t, func(t *testing.T, s *Space) {
+		base, err := s.ReservePages(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Map pages 0, 1, and 3; leave page 2 a hole.
+		for _, i := range []VPN{0, 1, 3} {
+			s.Map(base+i, phys.FrameID(10+uint64(i)), ProtRW)
+		}
+		var protErr error
+		for i := VPN(0); i < 4 && protErr == nil; i++ {
+			protErr = s.Protect(base+i, ProtNone)
+		}
+		if protErr == nil {
+			t.Fatal("Protect over the hole did not error")
+		}
+		for _, i := range []VPN{0, 1} {
+			if _, p, _ := s.Lookup(base + i); p != ProtNone {
+				t.Errorf("page %d prot = %v, want -- (protected before the hole)", i, p)
+			}
+		}
+		if _, p, _ := s.Lookup(base + 3); p != ProtRW {
+			t.Errorf("page 3 prot = %v, want rw (untouched after the hole)", p)
+		}
+	})
+}
+
+// TestRadixMatchesLegacyMap drives both page-table implementations through
+// the same pseudo-random mix of Map/Protect/Unmap/Translate traffic and
+// requires identical observable state throughout — the differential version
+// of the experiment-level golden parity test.
+func TestRadixMatchesLegacyMap(t *testing.T) {
+	radix := NewSpace()
+	legacy := NewLegacyMapSpace()
+	// Deterministic xorshift stream; no host randomness in tests.
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	const pages = 300
+	base, err := radix.ReservePages(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lbase, err := legacy.ReservePages(pages); err != nil || lbase != base {
+		t.Fatalf("legacy ReservePages = %v %v, want %v", lbase, err, base)
+	}
+	prots := []Prot{ProtNone, ProtRead, ProtRW}
+	for step := 0; step < 5000; step++ {
+		vpn := base + VPN(next()%pages)
+		switch next() % 4 {
+		case 0:
+			frame := phys.FrameID(next() % 64)
+			prot := prots[next()%uint64(len(prots))]
+			radix.Map(vpn, frame, prot)
+			legacy.Map(vpn, frame, prot)
+		case 1:
+			prot := prots[next()%uint64(len(prots))]
+			rErr := radix.Protect(vpn, prot)
+			lErr := legacy.Protect(vpn, prot)
+			if (rErr == nil) != (lErr == nil) {
+				t.Fatalf("step %d: Protect(%#x) radix err %v, legacy err %v", step, vpn, rErr, lErr)
+			}
+		case 2:
+			rErr := radix.Unmap(vpn)
+			lErr := legacy.Unmap(vpn)
+			if (rErr == nil) != (lErr == nil) {
+				t.Fatalf("step %d: Unmap(%#x) radix err %v, legacy err %v", step, vpn, rErr, lErr)
+			}
+		case 3:
+			addr := Addr(vpn)<<PageShift + next()%PageSize
+			kind := AccessRead
+			if next()%2 == 0 {
+				kind = AccessWrite
+			}
+			rf, rFault := radix.Translate(addr, kind)
+			lf, lFault := legacy.Translate(addr, kind)
+			if (rFault == nil) != (lFault == nil) || rf != lf {
+				t.Fatalf("step %d: Translate(%#x, %v) radix (%v, %v), legacy (%v, %v)",
+					step, addr, kind, rf, rFault, lf, lFault)
+			}
+			if rFault != nil && rFault.Reason != lFault.Reason {
+				t.Fatalf("step %d: fault reasons differ: %v vs %v", step, rFault.Reason, lFault.Reason)
+			}
+		}
+		if radix.MappedPages() != legacy.MappedPages() {
+			t.Fatalf("step %d: mapped %d (radix) vs %d (legacy)", step, radix.MappedPages(), legacy.MappedPages())
+		}
+	}
+	// Final sweep: every page's Lookup must agree.
+	for i := VPN(0); i < pages; i++ {
+		rf, rp, rok := radix.Lookup(base + i)
+		lf, lp, lok := legacy.Lookup(base + i)
+		if rf != lf || rp != lp || rok != lok {
+			t.Fatalf("page %d: radix (%v,%v,%v) vs legacy (%v,%v,%v)", i, rf, rp, rok, lf, lp, lok)
+		}
+	}
+}
+
+// benchmarkTranslate isolates the page-table walk itself: Lookup over a
+// 64Ki-page working set, the operation the radix tree replaces map hashing
+// in. Unlike the full MMU access path (where TLB/cache/meter work dilutes
+// the difference), this shows the table implementations' raw gap.
+func benchmarkTranslate(b *testing.B, legacy bool) {
+	var s *Space
+	if legacy {
+		s = NewLegacyMapSpace()
+	} else {
+		s = NewSpace()
+	}
+	const pages = 65536
+	vpn, err := s.ReservePages(pages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := uint64(0); i < pages; i++ {
+		s.Map(vpn+VPN(i), phys.FrameID(i%512), ProtRW)
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		f, _, ok := s.Lookup(vpn + VPN(uint64(i*13)%pages))
+		if !ok {
+			b.Fatal("lookup miss")
+		}
+		sink += uint64(f)
+	}
+	_ = sink
+}
+
+// BenchmarkTranslate compares raw page-table lookup between the radix tree
+// and the legacy map page table.
+func BenchmarkTranslate(b *testing.B) {
+	b.Run("radix", func(b *testing.B) { benchmarkTranslate(b, false) })
+	b.Run("legacy-map", func(b *testing.B) { benchmarkTranslate(b, true) })
+}

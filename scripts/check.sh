@@ -47,9 +47,27 @@ echo "== bench artifact (BENCH_pr3.json) =="
 "$pgbench" -bench BENCH_pr3.json
 "$pgbench" -check-bench BENCH_pr3.json
 
+echo "== page-table / parallel-harness parity =="
+# The wall-clock fast paths (radix page table, translation cache, parallel
+# cells) must not move a single simulated number: run the golden parity
+# tests against the legacy map shim and across worker counts.
+go test ./internal/experiment/ -run 'Parity|ParallelByteIdentical' -count=1
+go test ./cmd/pgbench/ -run 'Parallel' -count=1
+
+echo "== wall-clock bench artifact (BENCH_pr4.json) =="
+# Wall-clock timings are machine-dependent, so regenerate into a scratch
+# file and validate shape + ordering relations (radix translation faster
+# than the map, access path unregressed); the committed artifact documents
+# the reference container and is checked for validity as-is.
+wallbench=$(mktemp -t pgwallbench.XXXXXX)
+trap 'rm -f "$pgbench" "$pglint" "$wallbench"' EXIT
+"$pgbench" -j 1 -wallbench "$wallbench"
+"$pgbench" -check-bench "$wallbench"
+"$pgbench" -check-bench BENCH_pr4.json
+
 echo "== observability export (attribution exactness) =="
 metrics=$(mktemp -t pgmetrics.XXXXXX)
-trap 'rm -f "$pgbench" "$pglint" "$metrics" "$metrics.prom"' EXIT
+trap 'rm -f "$pgbench" "$pglint" "$wallbench" "$metrics" "$metrics.prom"' EXIT
 # -metrics fails unless every workload's per-site attribution sums exactly
 # to the kernel's charged cycles.
 "$pgbench" -metrics "$metrics"

@@ -1,0 +1,162 @@
+// Command pgserved serves the detector over HTTP: a production-shaped
+// trace-replay service. Clients POST allocation/access traces (the paper's
+// §1.1 interposition recording) and receive the replay's detections,
+// forensic trap reports, and detector statistics as NDJSON; each request
+// runs in an isolated simulated pageguard process on a bounded worker pool,
+// so replays are deterministic whatever the concurrency.
+//
+// Usage:
+//
+//	pgserved -addr :8080                        # serve
+//	pgserved -load -url URL -trace t.txt -n 64  # load-generate + verify
+//
+// Serving endpoints:
+//
+//	POST /replay               replay the trace in the body (NDJSON response);
+//	                           ?guards=1 adds overflow guard pages,
+//	                           ?faults=SPEC overrides the trace's schedule
+//	POST /workload/{name}      compile and run a bundled workload
+//	                           (?mode=native|pa|detect|detect-nopa)
+//	GET  /workloads            list bundled workload names
+//	GET  /metrics              Prometheus text: pgserved_* host series plus
+//	                           the merged pg_* series of finished replays
+//	GET  /metrics/replay.json  merged replay metrics only (deterministic)
+//	GET  /healthz              liveness
+//
+// Admission control: at most -workers replays execute concurrently and at
+// most -queue wait; past that, requests are shed with 429 and a Retry-After
+// hint rather than queueing unboundedly. Each request has a -timeout budget.
+// On SIGTERM/SIGINT the server stops accepting connections and drains
+// in-flight replays before exiting.
+//
+// The -load mode is pgload, the bundled load generator: it fires -n replays
+// of the trace from -c concurrent clients, retries sheds, and asserts every
+// response is byte-identical to the offline replay (what pgtrace -ndjson
+// prints) — exit status 1 on any divergence.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (serve mode)")
+	workers := flag.Int("workers", 0, "concurrent replay executors (0 = 8)")
+	queue := flag.Int("queue", 0, "waiting requests beyond the executing ones (0 = 64)")
+	timeout := flag.Duration("timeout", 0, "per-request replay budget (0 = 30s)")
+	maxBody := flag.Int64("max-body", 0, "request body limit in bytes (0 = 1 MiB)")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+
+	load := flag.Bool("load", false, "run as the pgload load generator instead of serving")
+	url := flag.String("url", "", "server base URL (load mode)")
+	traceFile := flag.String("trace", "", "trace file to replay (load mode)")
+	n := flag.Int("n", 64, "total replays to complete (load mode)")
+	c := flag.Int("c", 8, "concurrent clients (load mode)")
+	out := flag.String("out", "", "write one verified response body to this file (load mode)")
+	flag.Parse()
+
+	var err error
+	if *load {
+		err = runLoad(*url, *traceFile, *n, *c, *out)
+	} else {
+		err = runServe(*addr, serve.Config{
+			Workers: *workers, QueueDepth: *queue,
+			Timeout: *timeout, MaxBodyBytes: *maxBody,
+		}, *drain)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pgserved:", err)
+		os.Exit(1)
+	}
+}
+
+func runServe(addr string, cfg serve.Config, drain time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return serveOn(ln, serve.New(cfg), drain)
+}
+
+// serveOn serves until SIGTERM/SIGINT, then drains in-flight replays.
+func serveOn(ln net.Listener, s *serve.Server, drain time.Duration) error {
+	httpSrv := &http.Server{Handler: s.Handler()}
+	// The resolved address line is the startup handshake scripts wait for.
+	fmt.Printf("pgserved: listening on %s\n", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		return err
+	case got := <-sig:
+		fmt.Printf("pgserved: %s, draining in-flight replays\n", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := s.Drain(ctx); err != nil {
+		return fmt.Errorf("drain background replays: %w", err)
+	}
+	fmt.Println("pgserved: drained cleanly")
+	return nil
+}
+
+func runLoad(url, traceFile string, n, c int, out string) error {
+	if url == "" {
+		return errors.New("load mode needs -url")
+	}
+	if traceFile == "" {
+		return errors.New("load mode needs -trace")
+	}
+	traceText, err := os.ReadFile(traceFile)
+	if err != nil {
+		return err
+	}
+	rep, err := serve.RunLoad(serve.LoadOptions{
+		URL: url, Trace: traceText, Requests: n, Concurrency: c,
+	})
+	if rep != nil {
+		fmt.Println("pgload:", rep)
+	}
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		resp, err := http.Post(url+"/replay", "text/plain", bytes.NewReader(traceText))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("fetching -out body: %s", resp.Status)
+		}
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if _, err := f.ReadFrom(resp.Body); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestServeLoadAndGracefulDrain drives the binary's real code paths end to
+// end: serve on a loopback port, complete a -load run (64 replays, 8
+// clients, byte-identity asserted against the offline replay inside
+// RunLoad), scrape /metrics, then SIGTERM the process and require a clean
+// drain.
+func TestServeLoadAndGracefulDrain(t *testing.T) {
+	tr, err := os.ReadFile("../../trace/testdata/faulted.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(t.TempDir(), "faulted.trace")
+	if err := os.WriteFile(tracePath, tr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + ln.Addr().String()
+	done := make(chan error, 1)
+	go func() { done <- serveOn(ln, serve.New(serve.Config{}), 30*time.Second) }()
+
+	if err := runLoad(url, tracePath, 64, 8, ""); err != nil {
+		t.Fatalf("load run: %v", err)
+	}
+
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "pgserved_replays_total 64") {
+		t.Fatalf("/metrics missing the 64 completed replays:\n%s", body)
+	}
+
+	// SIGTERM to ourselves exercises the signal handler inside serveOn.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveOn returned %v, want clean drain", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serveOn did not drain after SIGTERM")
+	}
+}
+
+// TestLoadFlagsValidated: load mode refuses to run without its inputs.
+func TestLoadFlagsValidated(t *testing.T) {
+	if err := runLoad("", "x", 1, 1, ""); err == nil {
+		t.Fatal("missing -url accepted")
+	}
+	if err := runLoad("http://127.0.0.1:1", "", 1, 1, ""); err == nil {
+		t.Fatal("missing -trace accepted")
+	}
+}

@@ -11,6 +11,8 @@
 //	pgtrace -faults SPEC t.txt   # replay under a kernel fault schedule
 //	pgtrace -record out.txt t.txt # write the fault-annotated trace
 //	pgtrace -report trace.txt    # full forensic reports + cycle attribution
+//	pgtrace -ndjson trace.txt    # canonical NDJSON replay result (the exact
+//	                             # bytes pgserved streams for this trace)
 //	pgtrace -demo                # print a small demonstration trace
 //
 // A trace written by a fault-injection run carries its schedule in a
@@ -55,6 +57,7 @@ func main() {
 	faults := flag.String("faults", "", "kernel fault schedule (overrides the trace's !faults header)")
 	record := flag.String("record", "", "write the fault-annotated trace to this file")
 	report := flag.Bool("report", false, "print full forensic trap reports and the cycle-attribution profile")
+	ndjson := flag.Bool("ndjson", false, "print the canonical NDJSON replay result instead of text")
 	demo := flag.Bool("demo", false, "print a demonstration trace and exit")
 	flag.Parse()
 
@@ -62,7 +65,7 @@ func main() {
 		fmt.Print(demoTrace)
 		return
 	}
-	code, err := run(*guards, *report, *faults, *record, flag.Args())
+	code, err := run(*guards, *report, *ndjson, *faults, *record, flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pgtrace:", err)
 		os.Exit(1)
@@ -70,7 +73,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(guards, report bool, faults, record string, args []string) (int, error) {
+func run(guards, report, ndjson bool, faults, record string, args []string) (int, error) {
 	if len(args) != 1 {
 		return 0, errors.New("expected exactly one trace file (or \"-\" for stdin)")
 	}
@@ -104,6 +107,16 @@ func run(guards, report bool, faults, record string, args []string) (int, error)
 	rep, err := trace.Replay(pageguard.NewMachine(opts...), tf.Events)
 	if err != nil {
 		return 0, err
+	}
+
+	if ndjson {
+		if err := trace.WriteNDJSON(os.Stdout, rep); err != nil {
+			return 0, err
+		}
+		if len(rep.Detections) > 0 {
+			return 2, nil
+		}
+		return 0, nil
 	}
 
 	fmt.Printf("replayed %d events: %d allocs, %d frees, %d reads, %d writes\n",

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"bytes"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/pageguard"
+	"repro/trace"
 )
 
 func writeTrace(t *testing.T, content string) string {
@@ -39,7 +43,7 @@ func captureStdout(t *testing.T, f func()) string {
 
 func TestCleanTraceExitsZero(t *testing.T) {
 	path := writeTrace(t, "a 1 64\nw 1 0\nf 1\n")
-	code, err := run(false, false, "", "", []string{path})
+	code, err := run(false, false, false, "", "", []string{path})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -50,7 +54,7 @@ func TestCleanTraceExitsZero(t *testing.T) {
 
 func TestBuggyTraceExitsTwo(t *testing.T) {
 	path := writeTrace(t, "a 1 64\nf 1\nr 1 0\n")
-	code, err := run(false, false, "", "", []string{path})
+	code, err := run(false, false, false, "", "", []string{path})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -61,7 +65,7 @@ func TestBuggyTraceExitsTwo(t *testing.T) {
 
 func TestDemoTraceDetects(t *testing.T) {
 	path := writeTrace(t, demoTrace)
-	code, err := run(true, false, "", "", []string{path})
+	code, err := run(true, false, false, "", "", []string{path})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -79,7 +83,7 @@ func TestReportModePrintsForensics(t *testing.T) {
 	var code int
 	out := captureStdout(t, func() {
 		var err error
-		code, err = run(false, true, "", "", []string{path})
+		code, err = run(false, true, false, "", "", []string{path})
 		if err != nil {
 			t.Errorf("run: %v", err)
 		}
@@ -104,14 +108,14 @@ func TestReportModePrintsForensics(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, err := run(false, false, "", "", nil); err == nil {
+	if _, err := run(false, false, false, "", "", nil); err == nil {
 		t.Fatal("missing arg accepted")
 	}
-	if _, err := run(false, false, "", "", []string{"/nonexistent"}); err == nil {
+	if _, err := run(false, false, false, "", "", []string{"/nonexistent"}); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	path := writeTrace(t, "zz 1\n")
-	if _, err := run(false, false, "", "", []string{path}); err == nil {
+	if _, err := run(false, false, false, "", "", []string{path}); err == nil {
 		t.Fatal("malformed trace accepted")
 	}
 }
@@ -120,7 +124,7 @@ func TestFaultedRecordAndReplay(t *testing.T) {
 	path := writeTrace(t, demoTrace)
 	out := filepath.Join(t.TempDir(), "annotated.txt")
 	const spec = "seed=7;mprotect:after=0,times=2"
-	code, err := run(false, false, spec, out, []string{path})
+	code, err := run(false, false, false, spec, out, []string{path})
 	if err != nil {
 		t.Fatalf("record: %v", err)
 	}
@@ -138,7 +142,7 @@ func TestFaultedRecordAndReplay(t *testing.T) {
 		t.Fatalf("recorded trace missing fault events:\n%s", data)
 	}
 	// The recorded trace replays and self-verifies from its own header.
-	code, err = run(false, false, "", "", []string{out})
+	code, err = run(false, false, false, "", "", []string{out})
 	if err != nil {
 		t.Fatalf("verified replay: %v", err)
 	}
@@ -146,7 +150,42 @@ func TestFaultedRecordAndReplay(t *testing.T) {
 		t.Fatalf("verified replay exit = %d, want 2", code)
 	}
 	// Without the schedule the 'x' records cannot be satisfied.
-	if _, err := run(false, false, "seed=1;mremap:times=1", "", []string{out}); err == nil {
+	if _, err := run(false, false, false, "seed=1;mremap:times=1", "", []string{out}); err == nil {
 		t.Fatal("replay with wrong schedule accepted the recorded trace")
+	}
+}
+
+// TestNDJSONMatchesLibraryEncoder: -ndjson prints exactly what
+// trace.WriteNDJSON renders for the same replay — the byte-level contract
+// the pgserved smoke gate diffs HTTP responses against.
+func TestNDJSONMatchesLibraryEncoder(t *testing.T) {
+	const src = "a 1 64\nf 1\nr 1 0\n"
+	path := writeTrace(t, src)
+	var code int
+	out := captureStdout(t, func() {
+		var err error
+		code, err = run(false, false, true, "", "", []string{path})
+		if err != nil {
+			t.Errorf("run: %v", err)
+		}
+	})
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 (one detection)", code)
+	}
+
+	events, err := trace.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := trace.Replay(pageguard.NewMachine(), events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := trace.WriteNDJSON(&want, rep); err != nil {
+		t.Fatal(err)
+	}
+	if out != want.String() {
+		t.Fatalf("-ndjson output diverges from trace.WriteNDJSON:\n%s\nvs\n%s", out, want.String())
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"sort"
 
 	"repro/internal/pool"
@@ -71,15 +72,31 @@ func (r *Remapper) CollectGarbage() uint64 {
 
 	// Scan live objects of live pools. Live objects are the only heap
 	// words the program can still read, so they are the only heap roots.
+	//
+	// A conservative collector must over-approximate roots: every aligned
+	// word that overlaps [start, end) is visited, with the read clamped to
+	// the bytes inside the range. Clamping matters at both edges — the scan
+	// must not read memory below an unaligned start (those bytes belong to
+	// someone else), and it must not skip the final partial word of an
+	// odd-sized range (a pointer held in the last <8 bytes of an object is
+	// still a root; dropping it would recycle a still-referenced shadow run
+	// and silently miss the detection).
 	mmu := r.proc.MMU()
 	scanRange := func(start, end vm.Addr) {
-		for a := start &^ 7; a+8 <= end; a += 8 {
-			w, err := mmu.PeekWord(a, 8)
-			if err != nil {
+		for a := start &^ 7; a < end; a += 8 {
+			lo, hi := a, a+8
+			if lo < start {
+				lo = start
+			}
+			if hi > end {
+				hi = end
+			}
+			var buf [8]byte
+			if err := mmu.PeekBytes(lo, buf[:hi-lo]); err != nil {
 				continue
 			}
 			r.proc.Meter().ChargeRaw(gcWordCost)
-			mark(w)
+			mark(binary.LittleEndian.Uint64(buf[:]))
 		}
 	}
 	livePools := make([]*pool.Pool, 0, len(r.byPool))
@@ -156,7 +173,11 @@ func (r *Remapper) recycleObject(obj *Object) uint64 {
 	return obj.ShadowRun.Pages
 }
 
-// liveNoPoolObjects returns live direct-mode objects (not owned by a pool).
+// liveNoPoolObjects returns live direct-mode objects (not owned by a pool),
+// sorted by ShadowAddr. The map iteration order is nondeterministic; the
+// sort keeps the root-scan order — and with it cycle charging and any future
+// diagnostics — bit-for-bit reproducible, matching the
+// freedPoolsSorted/livePools treatment above.
 func (r *Remapper) liveNoPoolObjects() []*Object {
 	seen := make(map[*Object]struct{})
 	var out []*Object
@@ -168,6 +189,7 @@ func (r *Remapper) liveNoPoolObjects() []*Object {
 			}
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ShadowAddr < out[j].ShadowAddr })
 	return out
 }
 

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/pageguard"
+	"repro/trace"
+)
+
+// The load generator (pgserved -load): fire a trace at a running server from
+// many concurrent clients and assert every response is byte-identical to the
+// offline replay — the serving path's end-to-end parity check, and the tool
+// the smoke gate uses to prove the server sustains concurrent load while
+// shedding (not queueing unboundedly) past saturation.
+
+// LoadOptions configures a load run.
+type LoadOptions struct {
+	// URL is the server base, e.g. "http://127.0.0.1:8080".
+	URL string
+	// Trace is the trace text to replay.
+	Trace []byte
+	// Requests is the total number of replays to complete (default 64).
+	Requests int
+	// Concurrency is the number of client goroutines (default 8).
+	Concurrency int
+	// MaxRetries bounds per-request retries after 429 responses
+	// (default 50); each retry honours the server's Retry-After hint,
+	// capped at a second.
+	MaxRetries int
+	// Client overrides the HTTP client (default http.DefaultClient).
+	Client *http.Client
+}
+
+// LoadReport summarizes a load run.
+type LoadReport struct {
+	// Requests is the number of replays that completed with 200.
+	Requests int
+	// Shed counts 429 responses (each was retried).
+	Shed int
+	// Mismatches counts responses whose body differed from the offline
+	// replay (any nonzero count fails the run).
+	Mismatches int
+	// Elapsed is the wall-clock duration of the whole run.
+	Elapsed time.Duration
+}
+
+func (r *LoadReport) String() string {
+	return fmt.Sprintf("%d replays ok, %d shed+retried, %d mismatches in %s",
+		r.Requests, r.Shed, r.Mismatches, r.Elapsed.Round(time.Millisecond))
+}
+
+// offlineNDJSON computes the expected response body: the same replay pgtrace
+// performs, rendered through the same canonical NDJSON encoder.
+func offlineNDJSON(traceText []byte) ([]byte, error) {
+	tf, err := trace.ParseFile(bytes.NewReader(traceText))
+	if err != nil {
+		return nil, err
+	}
+	var opts []pageguard.Option
+	if tf.FaultSpec != "" {
+		opts = append(opts, pageguard.WithFaultSchedule(tf.FaultSpec))
+	}
+	rep, err := trace.Replay(pageguard.NewMachine(opts...), tf.Events)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteNDJSON(&buf, rep); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RunLoad executes a load run and fails if any response diverged from the
+// offline replay or any request exhausted its retries.
+func RunLoad(opts LoadOptions) (*LoadReport, error) {
+	if opts.Requests <= 0 {
+		opts.Requests = 64
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 50
+	}
+	client := opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	want, err := offlineNDJSON(opts.Trace)
+	if err != nil {
+		return nil, fmt.Errorf("offline replay: %w", err)
+	}
+	url := strings.TrimSuffix(opts.URL, "/") + "/replay"
+
+	start := time.Now()
+	rep := &LoadReport{}
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	one := func() error {
+		for attempt := 0; ; attempt++ {
+			resp, err := client.Post(url, "text/plain", bytes.NewReader(opts.Trace))
+			if err != nil {
+				return err
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			switch resp.StatusCode {
+			case http.StatusOK:
+				mu.Lock()
+				rep.Requests++
+				if !bytes.Equal(body, want) {
+					rep.Mismatches++
+				}
+				mu.Unlock()
+				return nil
+			case http.StatusTooManyRequests:
+				mu.Lock()
+				rep.Shed++
+				mu.Unlock()
+				if attempt >= opts.MaxRetries {
+					return fmt.Errorf("request still shed after %d retries", attempt)
+				}
+				time.Sleep(retryDelay(resp.Header.Get("Retry-After"), attempt))
+			default:
+				return fmt.Errorf("server returned %s: %s", resp.Status, bytes.TrimSpace(body))
+			}
+		}
+	}
+
+	jobs := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+				if err := one(); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < opts.Requests; i++ {
+		jobs <- struct{}{}
+	}
+	close(jobs)
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+
+	if firstErr != nil {
+		return rep, firstErr
+	}
+	if rep.Mismatches > 0 {
+		return rep, fmt.Errorf("%d of %d responses diverged from the offline replay", rep.Mismatches, rep.Requests)
+	}
+	return rep, nil
+}
+
+// retryDelay honours a Retry-After hint, backing off a little per attempt
+// and capping at one second so saturated-but-draining servers are retried
+// promptly.
+func retryDelay(header string, attempt int) time.Duration {
+	d := 10 * time.Millisecond * time.Duration(attempt+1)
+	if secs, err := strconv.Atoi(header); err == nil && secs > 0 {
+		hint := time.Duration(secs) * time.Second
+		if hint < d {
+			d = hint
+		}
+	}
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
+}

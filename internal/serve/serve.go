@@ -1,0 +1,448 @@
+// Package serve is the production-shaped face of the detector: an HTTP
+// service that accepts allocation/access traces (and named workloads) over
+// the network and replays each request in an isolated simulated pageguard
+// process — the fleet-facing deployment GWP-ASan-style systems use, built on
+// the paper's §1.1 "intercept all calls to malloc and free" adoption path.
+//
+// Every request gets a fresh pageguard.Machine, so replays are hermetic and
+// byte-for-bit deterministic whatever the concurrency: the NDJSON body of a
+// replay depends only on the trace, never on the worker count or
+// interleaving. The server's shared state is limited to admission control
+// (a bounded worker pool plus a bounded queue) and metrics aggregation
+// (per-process snapshots merged commutatively).
+//
+// The load-shedding ladder, outermost first:
+//
+//  1. request body over Config.MaxBodyBytes      -> 413
+//  2. admission queue full                       -> 429 + Retry-After
+//  3. Config.Timeout exceeded (queued or mid-replay) -> 503
+//  4. graceful drain: in-flight replays finish, new connections are refused
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+	"repro/pageguard"
+	"repro/trace"
+)
+
+// Config tunes the server's admission control.
+type Config struct {
+	// Workers bounds concurrently executing replays (0 = 8, matching the
+	// bounded-worker default of the experiment harness).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker beyond the executing
+	// ones; an arriving request past that is shed with 429 (0 = 64).
+	QueueDepth int
+	// MaxBodyBytes caps the request body (0 = 1 MiB).
+	MaxBodyBytes int64
+	// Timeout is the per-request budget, from admission to the replay
+	// result being ready (0 = 30s).
+	Timeout time.Duration
+	// RetryAfter is the hint returned with 429 responses (0 = 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server replays traces over HTTP. Create with New, serve with Handler, and
+// stop with http.Server.Shutdown (in-flight replays drain) followed by
+// Drain for abandoned ones.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	// workers holds one token per executing replay; queue admits at most
+	// Workers+QueueDepth requests into the building, so at most QueueDepth
+	// wait. Both are buffered channels used as counting semaphores.
+	workers chan struct{}
+	queue   chan struct{}
+
+	// background counts replay goroutines whose handler timed out and
+	// abandoned them; Drain waits these out on shutdown.
+	background sync.WaitGroup
+
+	mu     sync.Mutex
+	reg    *obs.Registry // host-side series: latency, queue, shed (wall clock)
+	merged obs.Snapshot  // per-process replay snapshots, summed (simulated)
+
+	latency  *obs.Histogram
+	requests map[string]*obs.Counter
+	replays  *obs.Counter
+	errs     *obs.Counter
+	shed     *obs.Counter
+	timeouts *obs.Counter
+}
+
+// New builds a server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		workers: make(chan struct{}, cfg.Workers),
+		queue:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		reg:     obs.NewRegistry(),
+	}
+	// Latency buckets in microseconds: 100us .. 10s.
+	s.latency = s.reg.Histogram("pgserved_request_micros",
+		"wall-clock replay request latency in microseconds",
+		[]uint64{100, 1000, 10000, 100000, 1000000, 10000000})
+	s.requests = map[string]*obs.Counter{}
+	for _, ep := range []string{"replay", "workload", "metrics"} {
+		s.requests[ep] = s.reg.Counter(
+			fmt.Sprintf("pgserved_requests_total{endpoint=%q}", ep),
+			"requests received, by endpoint")
+	}
+	s.replays = s.reg.Counter("pgserved_replays_total", "replays completed successfully")
+	s.errs = s.reg.Counter("pgserved_replay_errors_total", "requests rejected as malformed or failed mid-replay")
+	s.shed = s.reg.Counter("pgserved_shed_total", "requests shed with 429 because the queue was full")
+	s.timeouts = s.reg.Counter("pgserved_timeouts_total", "requests that exceeded the per-request budget")
+	s.reg.GaugeFunc("pgserved_queue_depth",
+		"admitted requests currently waiting for or holding a worker",
+		func() float64 { return float64(len(s.queue)) })
+	s.reg.GaugeFunc("pgserved_inflight",
+		"replays currently executing",
+		func() float64 { return float64(len(s.workers)) })
+	s.reg.GaugeFunc("pgserved_workers",
+		"size of the bounded worker pool",
+		func() float64 { return float64(cfg.Workers) })
+
+	s.mux.HandleFunc("POST /replay", s.handleReplay)
+	s.mux.HandleFunc("POST /workload/{name}", s.handleWorkload)
+	s.mux.HandleFunc("GET /workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics/replay.json", s.handleReplayMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain blocks until abandoned background replays finish (bounded by ctx).
+// Call after http.Server.Shutdown has drained the handlers themselves.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.background.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) count(c *obs.Counter) {
+	s.mu.Lock()
+	c.Add(1)
+	s.mu.Unlock()
+}
+
+func (s *Server) observeLatency(start time.Time) {
+	micros := uint64(time.Since(start).Microseconds())
+	s.mu.Lock()
+	s.latency.Observe(micros)
+	s.mu.Unlock()
+}
+
+// admit runs the first two rungs of the shedding ladder. It returns a
+// release function (nil when the request was rejected and responded to).
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		s.count(s.shed)
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		http.Error(w, "replay queue full", http.StatusTooManyRequests)
+		return nil, false
+	}
+	return func() { <-s.queue }, true
+}
+
+// runIsolated executes fn on a worker slot under the request budget. fn runs
+// in its own goroutine building a fresh machine; if the budget expires first
+// the goroutine is abandoned (it cannot be interrupted mid-simulation but
+// holds only its own memory plus one worker slot until it finishes) and the
+// handler reports 503.
+func (s *Server) runIsolated(ctx context.Context, fn func() (any, error)) (any, error) {
+	select {
+	case s.workers <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	type outcome struct {
+		v   any
+		err error
+	}
+	ch := make(chan outcome, 1)
+	s.background.Add(1)
+	go func() {
+		defer s.background.Done()
+		defer func() { <-s.workers }()
+		v, err := fn()
+		ch <- outcome{v, err}
+	}()
+	select {
+	case out := <-ch:
+		return out.v, out.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// mergeReplayMetrics folds one finished process's snapshot into the fleet
+// aggregate. Snapshot.Add is commutative over the integral pg_* series, so
+// the merged result is independent of request interleaving.
+func (s *Server) mergeReplayMetrics(snap obs.Snapshot) {
+	s.mu.Lock()
+	s.merged.Add(snap)
+	s.mu.Unlock()
+}
+
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.count(s.requests["replay"])
+	defer s.observeLatency(start)
+
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	tf, err := trace.ParseFile(body)
+	if err != nil {
+		s.count(s.errs)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("trace larger than the %d-byte request limit", s.cfg.MaxBodyBytes),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "bad trace: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec := tf.FaultSpec
+	if qs := r.URL.Query().Get("faults"); qs != "" {
+		spec = qs
+	}
+	guards := r.URL.Query().Get("guards") == "1"
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	// The merge and the completion count happen inside the worker
+	// goroutine, not the handler: a replay whose handler timed out still
+	// finishes in the background, and its process metrics must land in the
+	// fleet aggregate (no completed replay work is lost).
+	v, err := s.runIsolated(ctx, func() (any, error) {
+		var opts []pageguard.Option
+		if guards {
+			opts = append(opts, pageguard.WithOverflowGuards())
+		}
+		if spec != "" {
+			opts = append(opts, pageguard.WithFaultSchedule(spec))
+		}
+		rep, err := trace.Replay(pageguard.NewMachine(opts...), tf.Events)
+		if err != nil {
+			return nil, err
+		}
+		s.mergeReplayMetrics(rep.Metrics)
+		s.count(s.replays)
+		return rep, nil
+	})
+	if err != nil {
+		s.count(s.errs)
+		if ctx.Err() != nil {
+			s.count(s.timeouts)
+			http.Error(w, "replay exceeded the request budget", http.StatusServiceUnavailable)
+			return
+		}
+		var re *trace.ReplayError
+		if errors.As(err, &re) {
+			http.Error(w, "replay failed: "+err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		http.Error(w, "replay failed: "+err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	rep := v.(*trace.Report)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := trace.WriteNDJSON(w, rep); err != nil {
+		return // client went away mid-body; nothing more to do
+	}
+}
+
+// workloadResult is the NDJSON line for one workload execution.
+type workloadResult struct {
+	Type         string                `json:"type"` // "result"
+	Workload     string                `json:"workload"`
+	Mode         string                `json:"mode"`
+	Output       string                `json:"output"`
+	Err          string                `json:"error,omitempty"`
+	Cycles       uint64                `json:"cycles"`
+	Syscalls     uint64                `json:"syscalls"`
+	VirtualPages uint64                `json:"virtual_pages"`
+	Pools        int                   `json:"pools"`
+	Report       *pageguard.TrapReport `json:"report,omitempty"`
+}
+
+func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.count(s.requests["workload"])
+	defer s.observeLatency(start)
+
+	name := r.PathValue("name")
+	wl, err := workload.ByName(name)
+	if err != nil {
+		s.count(s.errs)
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	mode := pageguard.ModeDetect
+	switch q := r.URL.Query().Get("mode"); q {
+	case "", "detect":
+	case "native":
+		mode = pageguard.ModeNative
+	case "pa":
+		mode = pageguard.ModePA
+	case "detect-nopa":
+		mode = pageguard.ModeDetectNoPA
+	default:
+		s.count(s.errs)
+		http.Error(w, fmt.Sprintf("unknown mode %q (native, pa, detect, detect-nopa)", q), http.StatusBadRequest)
+		return
+	}
+
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	v, err := s.runIsolated(ctx, func() (any, error) {
+		prog, err := pageguard.Compile(wl.Source)
+		if err != nil {
+			return nil, err
+		}
+		res, err := prog.Run(pageguard.NewMachine(), mode)
+		if err != nil {
+			return nil, err
+		}
+		s.count(s.replays)
+		return &workloadResult{
+			Type: "result", Workload: wl.Name, Mode: mode.String(),
+			Output: res.Output, Err: errString(res.Err),
+			Cycles: res.Cycles, Syscalls: res.Syscalls,
+			VirtualPages: res.VirtualPages, Pools: prog.Pools,
+			Report: res.Report,
+		}, nil
+	})
+	if err != nil {
+		s.count(s.errs)
+		if ctx.Err() != nil {
+			s.count(s.timeouts)
+			http.Error(w, "workload run exceeded the request budget", http.StatusServiceUnavailable)
+			return
+		}
+		http.Error(w, "workload run failed: "+err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	w.Write(append(b, '\n'))
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	names := workload.Names()
+	sort.Strings(names)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(names)
+}
+
+// handleMetrics serves the full Prometheus exposition: the host-side
+// pgserved_* series (latency, queue depth, shed/timeout counters — wall
+// clock) plus the merged pg_* series of every finished replay process
+// (simulated, deterministic).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.count(s.requests["metrics"])
+	s.mu.Lock()
+	snap := s.reg.Snapshot()
+	snap.Add(s.merged)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	snap.WritePrometheus(w, "")
+}
+
+// handleReplayMetrics serves only the merged per-process snapshot as JSON.
+// Every series in it is simulated, so the body is byte-identical for the
+// same multiset of replayed traces regardless of concurrency — the
+// determinism probe the parity tests and the smoke gate scrape.
+func (s *Server) handleReplayMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	snap := s.ReplaySnapshot()
+	snap.WriteJSON(w)
+}
+
+// ReplaySnapshot returns a copy of the merged per-process replay metrics.
+func (s *Server) ReplaySnapshot() obs.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := obs.Snapshot{}
+	out.Add(s.merged)
+	return out
+}
+
+// HostSnapshot returns the host-side pgserved_* series (wall clock).
+func (s *Server) HostSnapshot() obs.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reg.Snapshot()
+}

@@ -72,6 +72,57 @@ trap 'rm -f "$pgbench" "$pglint" "$wallbench" "$metrics" "$metrics.prom"' EXIT
 # to the kernel's charged cycles.
 "$pgbench" -metrics "$metrics"
 
+echo "== pgserved smoke (HTTP replay parity + graceful drain) =="
+# Start pgserved, replay the bundled faulted trace over HTTP from 64
+# concurrent-capable clients (byte-identity to the offline replay is
+# asserted inside the load generator), diff one fetched body against
+# pgtrace -ndjson, then SIGTERM and require a clean drain.
+pgserved=$(mktemp -t pgserved.XXXXXX)
+pgtracebin=$(mktemp -t pgtrace.XXXXXX)
+servelog=$(mktemp -t pgservelog.XXXXXX)
+servebody=$(mktemp -t pgservebody.XXXXXX)
+offline=$(mktemp -t pgoffline.XXXXXX)
+trap 'rm -f "$pgbench" "$pglint" "$wallbench" "$metrics" "$metrics.prom" "$pgserved" "$pgtracebin" "$servelog" "$servebody" "$offline"' EXIT
+go build -o "$pgserved" ./cmd/pgserved
+go build -o "$pgtracebin" ./cmd/pgtrace
+
+"$pgserved" -addr 127.0.0.1:0 >"$servelog" &
+servepid=$!
+trap 'kill "$servepid" 2>/dev/null || true; rm -f "$pgbench" "$pglint" "$wallbench" "$metrics" "$metrics.prom" "$pgserved" "$pgtracebin" "$servelog" "$servebody" "$offline"' EXIT
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^pgserved: listening on //p' "$servelog")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "pgserved did not start" >&2
+    kill "$servepid" 2>/dev/null || true
+    exit 1
+fi
+
+"$pgserved" -load -url "http://$addr" -trace trace/testdata/faulted.trace \
+    -n 64 -c 16 -out "$servebody"
+"$pgtracebin" -ndjson trace/testdata/faulted.trace >"$offline" || [ $? -eq 2 ]
+if ! diff -q "$servebody" "$offline" >/dev/null; then
+    echo "pgserved HTTP replay diverges from pgtrace -ndjson:" >&2
+    diff "$servebody" "$offline" >&2 || true
+    kill "$servepid" 2>/dev/null || true
+    exit 1
+fi
+
+kill -TERM "$servepid"
+if ! wait "$servepid"; then
+    echo "pgserved did not drain cleanly on SIGTERM" >&2
+    exit 1
+fi
+if ! grep -q "drained cleanly" "$servelog"; then
+    echo "pgserved drain message missing:" >&2
+    cat "$servelog" >&2
+    exit 1
+fi
+echo "pgserved smoke: 64 replays byte-identical to offline, clean SIGTERM drain"
+
 echo "== pglint over every workload =="
 go build -o "$pglint" ./cmd/pglint
 

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/pageguard"
+)
+
+// TestWriteNDJSONDeterministic: the NDJSON rendering is the serving path's
+// parity currency, so two replays of the same trace must produce identical
+// bytes, every line must be valid JSON, and the line order must be
+// replay header, faults, detections, stats trailer.
+func TestWriteNDJSONDeterministic(t *testing.T) {
+	const spec = "seed=7;mprotect:after=0,times=2"
+	src := `
+a 1 64
+w 1 0
+f 1
+r 1 0
+f 1
+`
+	render := func() []byte {
+		t.Helper()
+		f, err := ParseFile(strings.NewReader(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := pageguard.NewMachine(pageguard.WithFaultSchedule(spec))
+		rep, err := Replay(m, f.Events)
+		if err != nil {
+			t.Fatalf("Replay: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteNDJSON(&buf, rep); err != nil {
+			t.Fatalf("WriteNDJSON: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("NDJSON not deterministic:\n%s\nvs\n%s", a, b)
+	}
+
+	lines := strings.Split(strings.TrimSuffix(string(a), "\n"), "\n")
+	var kinds []string
+	for _, line := range lines {
+		var obj struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		kinds = append(kinds, obj.Type)
+	}
+	if kinds[0] != "replay" || kinds[len(kinds)-1] != "stats" {
+		t.Fatalf("line kinds = %v, want replay first and stats last", kinds)
+	}
+	var faults, detections int
+	for _, k := range kinds[1 : len(kinds)-1] {
+		switch k {
+		case "fault":
+			faults++
+		case "detection":
+			detections++
+		default:
+			t.Fatalf("unexpected line kind %q in %v", k, kinds)
+		}
+	}
+	// The schedule injects 2 faults at the first free; the stale read and
+	// double free are 2 detections.
+	if faults != 2 || detections != 2 {
+		t.Fatalf("faults = %d, detections = %d, want 2 and 2", faults, detections)
+	}
+
+	// Detection lines carry full forensic reports that parse back.
+	for _, line := range lines {
+		if !strings.Contains(line, `"type":"detection"`) {
+			continue
+		}
+		var det struct {
+			Line   int                   `json:"line"`
+			Error  string                `json:"error"`
+			Report *pageguard.TrapReport `json:"report"`
+		}
+		if err := json.Unmarshal([]byte(line), &det); err != nil {
+			t.Fatal(err)
+		}
+		if det.Line == 0 || det.Error == "" {
+			t.Fatalf("detection line missing provenance: %s", line)
+		}
+	}
+}

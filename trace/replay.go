@@ -30,6 +30,11 @@ type Report struct {
 	// Profile is the replay's per-site cycle attribution (sites are
 	// "trace:N" labels, one per trace line).
 	Profile *pageguard.SiteProfile
+	// Metrics is the process's final metrics snapshot (every pg_* series
+	// the kernel and detector expose). Snapshots from concurrent replays
+	// merge with Add — that is how a serving deployment aggregates
+	// per-request processes into fleet metrics.
+	Metrics pageguard.MetricsSnapshot
 }
 
 // Detection is one detected memory error during replay.
@@ -194,5 +199,8 @@ func Replay(m *pageguard.Machine, events []Event) (*Report, error) {
 	rep.InjectedFaults = proc.InjectedFaults()
 	rep.Stats = proc.Stats()
 	rep.Profile = proc.Profile()
+	reg := pageguard.NewRegistry()
+	proc.RegisterMetrics(reg)
+	rep.Metrics = reg.Snapshot()
 	return rep, nil
 }

@@ -78,6 +78,9 @@ type File struct {
 	// FaultSpec is the kernel.ParseSchedule string of the producing run
 	// ("" when the run was fault-free).
 	FaultSpec string
+	// FaultLine is the 1-based source line of the '!faults' directive
+	// (0 when FaultSpec is empty).
+	FaultLine int
 	Events    []Event
 }
 
@@ -90,12 +93,19 @@ type ParseError struct {
 // Error implements error.
 func (e *ParseError) Error() string { return fmt.Sprintf("trace line %d: %s", e.Line, e.Msg) }
 
-// Parse reads a trace's events, discarding any fault-schedule directive
-// (use ParseFile to keep it).
+// Parse reads a fault-free trace's events. A trace carrying a '!faults'
+// schedule directive is an error: silently dropping the schedule would make
+// the events replay on a machine without the producing run's fault
+// injection, diverging from the recorded run (and tripping the 'x'
+// verification records). Callers that accept faulted traces must use
+// ParseFile and honour File.FaultSpec.
 func Parse(r io.Reader) ([]Event, error) {
 	f, err := ParseFile(r)
 	if err != nil {
 		return nil, err
+	}
+	if f.FaultSpec != "" {
+		return nil, &ParseError{f.FaultLine, "trace carries a !faults schedule; use ParseFile (Parse would drop the schedule and replay the trace wrong)"}
 	}
 	return f.Events, nil
 }
@@ -118,6 +128,7 @@ func ParseFile(r io.Reader) (*File, error) {
 				return nil, &ParseError{line, "!faults directive must precede all events"}
 			}
 			out.FaultSpec = strings.TrimSpace(spec)
+			out.FaultLine = line
 			if _, err := kernel.ParseSchedule(out.FaultSpec); err != nil {
 				return nil, &ParseError{line, "bad fault schedule: " + err.Error()}
 			}

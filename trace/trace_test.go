@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -48,6 +49,74 @@ f 2
 		if a.Kind != b.Kind || a.ID != b.ID || a.Size != b.Size || a.Off != b.Off {
 			t.Fatalf("event %d: %+v vs %+v", i, a, b)
 		}
+	}
+}
+
+// TestParseRejectsFaultSchedule: Parse used to silently drop the '!faults'
+// directive, so a faulted trace replayed through that entry point diverged
+// from the recorded run. It must now refuse and point callers at ParseFile.
+func TestParseRejectsFaultSchedule(t *testing.T) {
+	src := `
+!faults seed=7;mprotect:after=0,times=2
+a 1 64
+f 1
+`
+	_, err := Parse(strings.NewReader(src))
+	if err == nil {
+		t.Fatal("Parse accepted a trace with a !faults schedule")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) || pe.Line != 2 || !strings.Contains(pe.Msg, "ParseFile") {
+		t.Fatalf("Parse error = %v, want ParseError at the directive line pointing at ParseFile", err)
+	}
+	// The same trace through ParseFile keeps the schedule.
+	f, err := ParseFile(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	if f.FaultSpec == "" || f.FaultLine != 2 {
+		t.Fatalf("ParseFile = %+v, want schedule at line 2", f)
+	}
+}
+
+// TestParseFileFormatByteIdentity: ParseFile → Format → ParseFile → Format
+// must reproduce the formatted trace byte-for-byte, directive and 'x'
+// records included — the round-trip property the serving path's parity
+// checks build on.
+func TestParseFileFormatByteIdentity(t *testing.T) {
+	src := `
+# produced by a fault-injection run
+!faults seed=7;mprotect:after=0,times=2
+a 1 64
+w 1 0
+f 1
+x mprotect EAGAIN
+x mprotect EAGAIN
+a 2 32
+r 2 8
+f 2
+`
+	f1, err := ParseFile(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	var b1 bytes.Buffer
+	if err := f1.Format(&b1); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	f2, err := ParseFile(bytes.NewReader(b1.Bytes()))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	var b2 bytes.Buffer
+	if err := f2.Format(&b2); err != nil {
+		t.Fatalf("reformat: %v", err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("round trip not byte-identical:\n%q\nvs\n%q", b1.String(), b2.String())
+	}
+	if f2.FaultSpec != f1.FaultSpec {
+		t.Fatalf("FaultSpec diverged: %q vs %q", f2.FaultSpec, f1.FaultSpec)
 	}
 }
 

@@ -74,6 +74,14 @@ func runMetrics(path string, opts experiment.Options) error {
 			return fmt.Errorf("metrics %s: attribution drift: profile sums to %d cycles but the kernel charged %d",
 				w.Name, attributed, m.ChargedCycles)
 		}
+		// The static-analysis verdict gauges are compile-time facts about
+		// the workload, independent of the measured configuration; attach
+		// them so the export shows them next to the runtime pg_* series.
+		static, err := experiment.StaticMetricsSnapshot(w)
+		if err != nil {
+			return fmt.Errorf("metrics %s: static analysis: %w", w.Name, err)
+		}
+		m.Metrics.Add(static)
 		doc.Workloads[w.Name] = workloadMetrics{
 			ChargedCycles:    m.ChargedCycles,
 			AttributedCycles: attributed,

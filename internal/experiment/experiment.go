@@ -17,6 +17,7 @@ import (
 	"repro/internal/minic/driver"
 	"repro/internal/minic/interp"
 	"repro/internal/minic/ir"
+	"repro/internal/minic/safety"
 	"repro/internal/obs"
 	"repro/internal/runtimes"
 	"repro/internal/sim/cost"
@@ -221,10 +222,11 @@ func Run(w workload.Workload, c Config, opts Options) (Measurement, error) {
 	m := Measurement{Workload: w.Name, Config: c}
 
 	var prog *ir.Program
+	var staticRep *safety.Report
 	var err error
 	switch {
 	case c == OursStatic:
-		prog, _, _, err = driver.CompileStatic(w.Source)
+		prog, _, staticRep, err = driver.CompileStatic(w.Source)
 	case c.usesPools():
 		prog, _, err = driver.CompileWithPools(w.Source)
 	default:
@@ -341,7 +343,29 @@ func Run(w workload.Workload, c Config, opts Options) (Measurement, error) {
 		}
 	}
 	m.PeakFrames = sys.PhysMemory().PeakInUse()
+	// Static-analysis gauges are per-workload compile-time facts: register
+	// them once, after the connection loop, so the additive per-connection
+	// snapshot merge cannot inflate them.
+	if staticRep != nil {
+		reg := obs.NewRegistry()
+		staticRep.RegisterMetrics(reg)
+		m.Metrics.Add(reg.Snapshot())
+	}
 	return m, nil
+}
+
+// StaticMetricsSnapshot compiles w and returns a snapshot holding only the
+// static safety analysis's gauges (pg_static_sites_total by verdict and
+// pg_static_elided_total) — compile-time facts attachable to any
+// configuration's runtime metrics.
+func StaticMetricsSnapshot(w workload.Workload) (obs.Snapshot, error) {
+	_, _, rep, err := driver.CompileStatic(w.Source)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	reg := obs.NewRegistry()
+	rep.RegisterMetrics(reg)
+	return reg.Snapshot(), nil
 }
 
 // Sweep measures one workload under several configurations, fanning the

@@ -1,0 +1,145 @@
+package experiment
+
+// The machine-checked soundness gate: every workload and every corpus
+// program is analyzed by both static engines and then run fully guarded,
+// and the run is held to the analysis's claims.
+//
+//	(a) no use the v2 engine classified PROVEN-SAFE ever traps;
+//	(b) the elision-miss counter stays zero (an elided — proven
+//	    never-freed — object was never actually freed);
+//	(c) v2 refines v1: verdicts never weaken, POSSIBLE findings carry
+//	    free→…→use witnesses, elidable sites only grow
+//	    (safety.RefinementViolations);
+//	(d) v2 proves strictly more elidable sites than v1 on at least two
+//	    programs — the precision win the engine exists for.
+//
+// CI runs this under -race (scripts/check.sh, ci.yml). The driver package's
+// TestDifferentialV1V2Refinement fuzzes the same contract on random
+// programs.
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/minic/driver"
+	"repro/internal/minic/interp"
+	"repro/internal/minic/safety"
+	"repro/internal/runtimes"
+	"repro/internal/sim/kernel"
+	"repro/internal/workload"
+)
+
+// gateSource is one program the gate covers.
+type gateSource struct {
+	name string
+	src  string
+}
+
+// gateSources returns every workload plus every corpus program under
+// examples/minic.
+func gateSources(t *testing.T) []gateSource {
+	t.Helper()
+	var out []gateSource
+	for _, w := range workload.All() {
+		out = append(out, gateSource{"workload/" + w.Name, w.Source})
+	}
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "minic", "*.c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no corpus programs under examples/minic")
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(f), ".c")
+		out = append(out, gateSource{"corpus/" + name, string(b)})
+	}
+	return out
+}
+
+// runGuardedStatic compiles src through the static pipeline (v2 analysis,
+// elision marking, APA) and runs it once under the shadow runtime with
+// never-reuse — full guarding. It returns the program's terminating error
+// (nil, or the detected *core.DanglingError) and the remapper's counters.
+func runGuardedStatic(t *testing.T, src string) (error, core.Stats) {
+	t.Helper()
+	prog, _, _, err := driver.CompileStatic(src)
+	if err != nil {
+		t.Fatalf("compile static: %v", err)
+	}
+	var shadow *runtimes.Shadow
+	mkRT := func(p *kernel.Process) interp.Runtime {
+		shadow = runtimes.NewShadow(p, core.NeverReuse())
+		return shadow
+	}
+	cfg := kernel.DefaultConfig()
+	res, err := driver.Run(prog, kernel.NewSystem(cfg), cfg, mkRT, interp.Config{StepLimit: 1 << 26})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res.Err, shadow.Remapper().Stats()
+}
+
+func TestSoundnessGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	strictlyMore := 0
+	for _, gs := range gateSources(t) {
+		gs := gs
+		t.Run(gs.name, func(t *testing.T) {
+			prog, err := driver.Compile(gs.src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			repV1, err := safety.Analyze(prog)
+			if err != nil {
+				t.Fatalf("analyze v1: %v", err)
+			}
+			repV2, err := safety.AnalyzeV2(prog)
+			if err != nil {
+				t.Fatalf("analyze v2: %v", err)
+			}
+
+			// (c) the refinement contract.
+			for _, viol := range safety.RefinementViolations(repV1, repV2) {
+				t.Errorf("refinement: %s", viol)
+			}
+			if len(repV2.ElidableSites()) > len(repV1.ElidableSites()) {
+				strictlyMore++
+			}
+
+			// (a) + (b): run fully guarded under the proofs.
+			progErr, stats := runGuardedStatic(t, gs.src)
+			if stats.ElisionMisses != 0 {
+				t.Errorf("%d elision misses — a statically elided object was freed",
+					stats.ElisionMisses)
+			}
+			if de, ok := progErr.(*core.DanglingError); ok {
+				for _, rep := range []*safety.Report{repV2, repV1} {
+					for _, site := range rep.ProvenUseSites() {
+						if site == de.UseSite {
+							t.Errorf("trap at %s, which %s classified PROVEN-SAFE", de.UseSite, rep.Engine)
+						}
+					}
+				}
+			} else if progErr != nil {
+				t.Errorf("guarded run failed: %v", progErr)
+			}
+		})
+	}
+
+	// (d) the precision win: strictly more elidable sites on >= 2 programs.
+	if strictlyMore < 2 {
+		t.Errorf("v2 elides strictly more than v1 on %d programs, want >= 2", strictlyMore)
+	}
+}

@@ -12,6 +12,7 @@ package dfa
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/minic/ir"
 )
@@ -400,6 +401,51 @@ func (s BitSet) Clone() BitSet {
 	c := make(BitSet, len(s))
 	copy(c, s)
 	return c
+}
+
+// OrChanged unions o into s, reporting whether s changed — the primitive
+// worklist solvers use to decide whether to requeue a node.
+func (s BitSet) OrChanged(o BitSet) bool {
+	changed := false
+	for i := range s {
+		if next := s[i] | o[i]; next != s[i] {
+			s[i] = next
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Empty reports whether the set has no members.
+func (s BitSet) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and o share at least one member.
+func (s BitSet) Intersects(o BitSet) bool {
+	for i := range s {
+		if s[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Elems returns the set's members in ascending order.
+func (s BitSet) Elems() []int {
+	var out []int
+	for i, w := range s {
+		for w != 0 {
+			out = append(out, i*64+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return out
 }
 
 func (s BitSet) join(o BitSet, j Join) {

@@ -247,11 +247,14 @@ type StrAddr struct {
 }
 
 // Call invokes a user function. PoolArgs supply the callee's PoolParams.
+// Site is the "func:line" callsite label, used by the static analysis's
+// interprocedural witness paths.
 type Call struct {
 	Dst      Reg // None for void
 	Callee   string
 	Args     []Reg
 	PoolArgs []PoolRef
+	Site     string
 }
 
 // Malloc is the pre-APA allocation operation.

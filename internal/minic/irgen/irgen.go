@@ -598,7 +598,7 @@ func (g *generator) genCall(e *ast.CallExpr) (ir.Reg, error) {
 	if e.Type().Kind != types.KindVoid {
 		dst = g.newReg()
 	}
-	g.emit(&ir.Call{Dst: dst, Callee: e.Name, Args: args})
+	g.emit(&ir.Call{Dst: dst, Callee: e.Name, Args: args, Site: g.site(e)})
 	return dst, nil
 }
 

@@ -1,0 +1,272 @@
+package pta2_test
+
+// The external test package lets these tests compile fixtures through the
+// driver (which transitively imports the analyses) without an import cycle.
+
+import (
+	"testing"
+
+	"repro/internal/minic/driver"
+	"repro/internal/minic/ir"
+	"repro/internal/minic/pta"
+	"repro/internal/minic/pta2"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := driver.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+func mallocsBySite(prog *ir.Program) map[string]*ir.Malloc {
+	out := make(map[string]*ir.Malloc)
+	for _, fn := range prog.Funcs {
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if m, ok := in.(*ir.Malloc); ok {
+					out[m.Site] = m
+				}
+			}
+		}
+	}
+	return out
+}
+
+func allFrees(prog *ir.Program) []*ir.Free {
+	var out []*ir.Free
+	for _, fn := range prog.Funcs {
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if f, ok := in.(*ir.Free); ok {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func heapLabels(objs []*pta2.Object) []string {
+	var out []string
+	for _, o := range objs {
+		if o.Kind == pta2.ObjHeap {
+			out = append(out, o.Label)
+		}
+	}
+	return out
+}
+
+// TestSharedIndexKeepsSitesDistinct is the precision win over the
+// unification analysis: two unrelated arrays subscripted through a shared
+// counter variable. Steensgaard merges both heap classes through the
+// counter's pointee chain; the inclusion-based solver keeps them apart, so
+// the free reaches only the freed array's site.
+func TestSharedIndexKeepsSitesDistinct(t *testing.T) {
+	src := `
+void main() {
+  int *bodies = (int*)malloc(8 * sizeof(int));
+  int *cells = (int*)malloc(8 * sizeof(int));
+  int c;
+  for (c = 0; c < 8; c = c + 1) {
+    bodies[c] = c;
+    cells[c] = 2 * c;
+  }
+  int s = 0;
+  for (c = 0; c < 8; c = c + 1) s = s + bodies[c] + cells[c];
+  print_int(s);
+  free(cells);
+}
+`
+	prog := compile(t, src)
+	g1, err := pta.Analyze(prog)
+	if err != nil {
+		t.Fatalf("pta v1: %v", err)
+	}
+	ms := mallocsBySite(prog)
+	if len(ms) != 2 {
+		t.Fatalf("expected 2 malloc sites, got %d", len(ms))
+	}
+	var sites []*ir.Malloc
+	for _, m := range ms {
+		sites = append(sites, m)
+	}
+	// Premise: v1 really does merge the two classes here (otherwise this
+	// fixture no longer demonstrates anything).
+	if g1.SiteNode(sites[0]) != g1.SiteNode(sites[1]) {
+		t.Fatalf("expected the unification analysis to merge both sites")
+	}
+
+	g2, err := pta2.Analyze(prog)
+	if err != nil {
+		t.Fatalf("pta2: %v", err)
+	}
+	fs := allFrees(prog)
+	if len(fs) != 1 {
+		t.Fatalf("expected 1 free, got %d", len(fs))
+	}
+	freed := heapLabels(g2.FreePointsTo(fs[0]))
+	if len(freed) != 1 {
+		t.Fatalf("free should reach exactly the freed site, got %v", freed)
+	}
+	cells := ms[freed[0]]
+	if cells == nil {
+		t.Fatalf("freed label %q is not a malloc site", freed[0])
+	}
+	// The other site must not be in the free's points-to set.
+	for _, m := range ms {
+		if m == cells {
+			continue
+		}
+		for _, o := range g2.FreePointsTo(fs[0]) {
+			if o.Site == m {
+				t.Fatalf("free reaches unrelated site %s", m.Site)
+			}
+		}
+	}
+}
+
+// TestFieldFlowThroughHeap checks the load/store complex constraints: a
+// pointer stored into a heap object's field and loaded back points exactly
+// to the stored site.
+func TestFieldFlowThroughHeap(t *testing.T) {
+	src := `
+struct node { int v; struct node *next; };
+void main() {
+  struct node *a = (struct node*)malloc(sizeof(struct node));
+  struct node *b = (struct node*)malloc(sizeof(struct node));
+  b->v = 7;
+  b->next = NULL;
+  a->v = 1;
+  a->next = b;
+  struct node *c = a->next;
+  print_int(c->v);
+  free(c);
+  free(a);
+}
+`
+	prog := compile(t, src)
+	g, err := pta2.Analyze(prog)
+	if err != nil {
+		t.Fatalf("pta2: %v", err)
+	}
+	fs := allFrees(prog)
+	if len(fs) != 2 {
+		t.Fatalf("expected 2 frees, got %d", len(fs))
+	}
+	for _, f := range fs {
+		freed := heapLabels(g.FreePointsTo(f))
+		if len(freed) != 1 {
+			t.Fatalf("free at %s should reach exactly one site, got %v", f.Site, freed)
+		}
+	}
+}
+
+// TestInterproceduralReturnFlow checks param/return copy constraints: a
+// site allocated in a callee is visible at the caller's free.
+func TestInterproceduralReturnFlow(t *testing.T) {
+	src := `
+struct node { int v; struct node *next; };
+struct node *mk() {
+  struct node *n = (struct node*)malloc(sizeof(struct node));
+  n->v = 1;
+  n->next = NULL;
+  return n;
+}
+void main() {
+  struct node *p = mk();
+  print_int(p->v);
+  free(p);
+}
+`
+	prog := compile(t, src)
+	g, err := pta2.Analyze(prog)
+	if err != nil {
+		t.Fatalf("pta2: %v", err)
+	}
+	fs := allFrees(prog)
+	if len(fs) != 1 {
+		t.Fatalf("expected 1 free, got %d", len(fs))
+	}
+	freed := heapLabels(g.FreePointsTo(fs[0]))
+	if len(freed) != 1 || freed[0] != "mk:4" {
+		t.Fatalf("free should reach the callee's site, got %v", freed)
+	}
+}
+
+// TestGlobalPointsTo checks flow through a global variable's contents.
+func TestGlobalPointsTo(t *testing.T) {
+	src := `
+int *gp;
+void main() {
+  gp = (int*)malloc(4 * sizeof(int));
+  int *q = gp;
+  q[0] = 5;
+  print_int(q[0]);
+}
+`
+	prog := compile(t, src)
+	g, err := pta2.Analyze(prog)
+	if err != nil {
+		t.Fatalf("pta2: %v", err)
+	}
+	pts := heapLabels(g.GlobalPointsTo("gp"))
+	if len(pts) != 1 {
+		t.Fatalf("global should point to the one site, got %v", pts)
+	}
+	if len(g.HeapObjects()) != 1 {
+		t.Fatalf("expected 1 heap object, got %d", len(g.HeapObjects()))
+	}
+}
+
+// TestSubsetOfV1Classes spot-checks the structural relationship the
+// differential fuzz harness enforces at scale: every site in a v2 points-to
+// set lies in the v1 class of the same location.
+func TestSubsetOfV1Classes(t *testing.T) {
+	src := `
+struct node { int v; struct node *next; };
+struct node *build(int n) {
+  struct node *head = NULL;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    struct node *e = (struct node*)malloc(sizeof(struct node));
+    e->v = i;
+    e->next = head;
+    head = e;
+  }
+  return head;
+}
+void main() {
+  struct node *l = build(10);
+  int s = 0;
+  struct node *p = l;
+  while (p != NULL) {
+    s = s + p->v;
+    p = p->next;
+  }
+  print_int(s);
+}
+`
+	prog := compile(t, src)
+	g1, err := pta.Analyze(prog)
+	if err != nil {
+		t.Fatalf("pta v1: %v", err)
+	}
+	g2, err := pta2.Analyze(prog)
+	if err != nil {
+		t.Fatalf("pta2: %v", err)
+	}
+	for _, k := range g2.RegKeys() {
+		class := g1.RegPointsTo(k.Fn, k.Reg)
+		for _, o := range g2.RegPointsTo(k.Fn, k.Reg) {
+			if o.Kind != pta2.ObjHeap {
+				continue
+			}
+			if class == nil || g1.SiteNode(o.Site) != class {
+				t.Fatalf("%s r%d: v2 site %s outside v1 class", k.Fn, k.Reg, o.Label)
+			}
+		}
+	}
+}

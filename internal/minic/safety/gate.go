@@ -1,0 +1,105 @@
+package safety
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the library half of the soundness gate: a machine-checkable
+// statement of the contract between the two engines. The v2 (site-granular,
+// inclusion-based) analysis must be a *refinement* of v1 (class-granular,
+// unification): it may split classes, prove more, and explain more, but it
+// must never report a weaker verdict for a use both engines classify, never
+// retract an elision proof v1 already made, and never claim a POSSIBLE
+// use-after-free without an interprocedural free→…→use witness. The driver
+// fuzz harness checks this on random programs, the experiment harness on
+// every workload and example.
+
+// worstVerdicts reduces a report to the worst verdict per (use site, kind)
+// key. A use site can carry several findings (one per points-to class or
+// allocation-site set); the worst one is what the engine effectively claims
+// about the use.
+func worstVerdicts(rep *Report) map[string]Verdict {
+	out := map[string]Verdict{}
+	for _, f := range rep.Findings {
+		key := f.Site + "/" + f.Kind.String()
+		if cur, ok := out[key]; !ok || f.Verdict > cur {
+			out[key] = f.Verdict
+		}
+	}
+	return out
+}
+
+// ProvenUseSites returns the use sites the report classifies as safe and
+// nothing else — every finding at the site, of every kind, is PROVEN-SAFE.
+// These are the sites the runtime gate asserts can never trap.
+func (r *Report) ProvenUseSites() []string {
+	worst := map[string]Verdict{}
+	for _, f := range r.Findings {
+		if f.Verdict > worst[f.Site] {
+			worst[f.Site] = f.Verdict
+		}
+	}
+	var out []string
+	for site, v := range worst {
+		if v == ProvenSafe {
+			out = append(out, site)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RefinementViolations compares a v1 and a v2 report for the same program
+// and returns every violation of the refinement contract, empty when the
+// gate holds:
+//
+//   - verdict monotonicity: for every (use site, kind) both engines
+//     classify, v2's worst verdict is no more severe than v1's (DEFINITE
+//     may shrink to POSSIBLE or PROVEN-SAFE, never the reverse);
+//   - witness obligation: every POSSIBLE v2 finding carries a witness path
+//     of the shape free → call* → use;
+//   - elision monotonicity: every allocation site v1 proves elidable, v2
+//     proves elidable too.
+func RefinementViolations(repV1, repV2 *Report) []string {
+	var out []string
+	v1 := worstVerdicts(repV1)
+	for key, w2 := range worstVerdicts(repV2) {
+		w1, ok := v1[key]
+		if !ok {
+			continue // v2 classifies uses v1 missed; extra coverage is fine
+		}
+		if w2 > w1 {
+			out = append(out, fmt.Sprintf("%s: v2 verdict %v weaker than v1 %v", key, w2, w1))
+		}
+	}
+	for _, f := range repV2.Findings {
+		if f.Verdict != PossibleUAF {
+			continue
+		}
+		if len(f.Witness) < 2 {
+			out = append(out, fmt.Sprintf("%s: POSSIBLE finding has no witness", f.Site))
+			continue
+		}
+		if f.Witness[0].Role != "free" || f.Witness[len(f.Witness)-1].Role != "use" {
+			out = append(out, fmt.Sprintf("%s: witness runs %s..%s, want free..use",
+				f.Site, f.Witness[0].Role, f.Witness[len(f.Witness)-1].Role))
+		}
+		for _, s := range f.Witness[1 : len(f.Witness)-1] {
+			if s.Role != "call" {
+				out = append(out, fmt.Sprintf("%s: witness has interior role %q, want call", f.Site, s.Role))
+			}
+		}
+	}
+	elidV2 := map[string]bool{}
+	for _, s := range repV2.ElidableSites() {
+		elidV2[s] = true
+	}
+	for _, s := range repV1.ElidableSites() {
+		if !elidV2[s] {
+			out = append(out, fmt.Sprintf("site %s elidable under v1 but not v2", s))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

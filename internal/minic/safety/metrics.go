@@ -1,0 +1,25 @@
+package safety
+
+import "repro/internal/obs"
+
+// RegisterMetrics publishes the report's aggregate counts as function-backed
+// gauges, next to the runtime's pg_* series:
+//
+//	pg_static_sites_total{verdict="proven-safe"|"possible"|"definite"}
+//	pg_static_elided_total
+//
+// These are compile-time facts, so they are gauges (absolute values), not
+// counters: merging per-connection snapshots must not inflate them —
+// register a report once per workload, not once per process.
+func (r *Report) RegisterMetrics(reg *obs.Registry) {
+	st := r.Stats()
+	help := "classified heap uses by static verdict"
+	reg.GaugeFunc(`pg_static_sites_total{verdict="proven-safe"}`, help,
+		func() float64 { return float64(st.Proven) })
+	reg.GaugeFunc(`pg_static_sites_total{verdict="possible"}`, help,
+		func() float64 { return float64(st.Possible) })
+	reg.GaugeFunc(`pg_static_sites_total{verdict="definite"}`, help,
+		func() float64 { return float64(st.Definite) })
+	reg.GaugeFunc("pg_static_elided_total", "allocation sites proven elidable by the static analysis",
+		func() float64 { return float64(st.Elidable) })
+}

@@ -97,7 +97,18 @@ func (k UseKind) String() string {
 	}
 }
 
-// Finding is one classified use of a heap class.
+// WitnessStep is one hop of an interprocedural witness path.
+type WitnessStep struct {
+	// Site is the "func:line" label of the step's statement.
+	Site string
+	// Role is "free" (the originating freeing statement), "call" (a call
+	// edge the freed state propagates through, innermost first), or "use"
+	// (the classified use itself, always last).
+	Role string
+}
+
+// Finding is one classified use of a heap class (v1) or allocation site set
+// (v2).
 type Finding struct {
 	// Func and Line locate the use; Site is the "func:line" label.
 	Func string
@@ -106,12 +117,17 @@ type Finding struct {
 	Kind UseKind
 	// Verdict is the classification tier.
 	Verdict Verdict
-	// ClassID identifies the points-to class (pta.Node.ID).
+	// ClassID identifies the points-to class (pta.Node.ID) under the v1
+	// engine, or the primary allocation-site object (pta2.Object.ID) under
+	// v2.
 	ClassID int
-	// AllocSites and FreeSites are the class's allocation and free
-	// provenance, deduplicated and sorted.
+	// AllocSites and FreeSites are the allocation and free provenance,
+	// deduplicated and sorted.
 	AllocSites []string
 	FreeSites  []string
+	// Witness, on non-PROVEN findings from the v2 engine, is the
+	// interprocedural path from a freeing statement to the use.
+	Witness []WitnessStep
 }
 
 // ClassInfo summarizes one heap points-to class.
@@ -129,16 +145,21 @@ type ClassInfo struct {
 
 // Report is the analysis result for one program.
 type Report struct {
-	// Findings are every classified use, sorted by (func, line, kind,
-	// class) so output is deterministic across runs.
+	// Findings are every classified use, sorted by (func, line, verdict,
+	// kind, class) so output is deterministic across runs.
 	Findings []Finding
-	// Classes are the heap classes, ordered by ID.
+	// Classes are the heap classes (v1) or allocation sites (v2), ordered
+	// by ID.
 	Classes []ClassInfo
+	// Engine names the analysis that produced the report: "v1" (the
+	// class-granular unification analysis) or "v2" (the site-granular
+	// inclusion analysis).
+	Engine string
 
-	prog     *ir.Program
-	elidable map[*pta.Node]bool
-	// mallocsByClass lists the reachable malloc instructions per class.
-	mallocsByClass map[*pta.Node][]*ir.Malloc
+	prog *ir.Program
+	// elidableMallocs are the reachable malloc instructions of proven
+	// elidable allocations, in deterministic order.
+	elidableMallocs []*ir.Malloc
 }
 
 // analysis carries the per-program state.
@@ -193,11 +214,7 @@ func Analyze(prog *ir.Program) (*Report, error) {
 	}
 	a.computeSummaries()
 
-	rep := &Report{
-		prog:           prog,
-		elidable:       make(map[*pta.Node]bool),
-		mallocsByClass: a.mallocs,
-	}
+	rep := &Report{prog: prog, Engine: "v1"}
 	for _, fname := range a.order {
 		if err := a.analyzeFunc(fname, rep); err != nil {
 			return nil, err
@@ -210,45 +227,53 @@ func Analyze(prog *ir.Program) (*Report, error) {
 
 // computeReach marks functions reachable from main (all, if no main).
 func (a *analysis) computeReach() {
-	a.reach = make(map[string]bool)
-	a.callees = make(map[string][]string)
-	for name, fn := range a.prog.Funcs {
+	a.order, a.reach, a.callees = callGraph(a.prog)
+}
+
+// callGraph computes the deterministic per-function callee lists and the
+// set of functions reachable from main (every function when there is no
+// main, so library fragments still lint), shared by both analysis engines.
+func callGraph(prog *ir.Program) (order []string, reach map[string]bool, callees map[string][]string) {
+	reach = make(map[string]bool)
+	callees = make(map[string][]string)
+	for name, fn := range prog.Funcs {
 		seen := make(map[string]bool)
 		for _, b := range fn.Blocks {
 			for _, in := range b.Instrs {
 				if c, ok := in.(*ir.Call); ok && !seen[c.Callee] {
 					seen[c.Callee] = true
-					a.callees[name] = append(a.callees[name], c.Callee)
+					callees[name] = append(callees[name], c.Callee)
 				}
 			}
 		}
-		sort.Strings(a.callees[name])
+		sort.Strings(callees[name])
 	}
-	if _, ok := a.prog.Funcs["main"]; ok {
+	if _, ok := prog.Funcs["main"]; ok {
 		var dfs func(string)
 		dfs = func(f string) {
-			if a.reach[f] {
+			if reach[f] {
 				return
 			}
-			a.reach[f] = true
-			for _, c := range a.callees[f] {
-				if _, exists := a.prog.Funcs[c]; exists {
+			reach[f] = true
+			for _, c := range callees[f] {
+				if _, exists := prog.Funcs[c]; exists {
 					dfs(c)
 				}
 			}
 		}
 		dfs("main")
 	} else {
-		for name := range a.prog.Funcs {
-			a.reach[name] = true
+		for name := range prog.Funcs {
+			reach[name] = true
 		}
 	}
-	for name := range a.prog.Funcs {
-		if a.reach[name] {
-			a.order = append(a.order, name)
+	for name := range prog.Funcs {
+		if reach[name] {
+			order = append(order, name)
 		}
 	}
-	sort.Strings(a.order)
+	sort.Strings(order)
+	return order, reach, callees
 }
 
 // collectClasses enumerates the heap classes touched by reachable code and
@@ -430,11 +455,32 @@ func (a *analysis) newFuncState(fname string, fn *ir.Func, cfg *dfa.CFG) *funcSt
 		add(loc{global: g.Name})
 	}
 
-	// A slot is "address-taken" when a register holding its address is
-	// used anywhere other than directly as a load/store address — passed
-	// to a call, stored, returned, or fed into arithmetic. Such slots can
-	// be rewritten behind the analysis's back, so they are callee-writable
-	// and unknown stores may hit them.
+	addrTaken := addrTakenSlots(fn, frameRegs)
+
+	fs.locClass = make([]int, len(fs.locs))
+	fs.locNode = make([]*pta.Node, len(fs.locs))
+	fs.writable = make([]bool, len(fs.locs))
+	for i, l := range fs.locs {
+		if l.global != "" {
+			fs.locClass[i] = a.classIdx(a.graph.GlobalPointsTo(l.global))
+			fs.locNode[i] = a.graph.GlobalNode(l.global).Find()
+			fs.writable[i] = true
+		} else {
+			fs.locClass[i] = a.classIdx(a.graph.SlotPointsTo(fname, l.off))
+			fs.locNode[i] = a.graph.SlotNode(fname, l.off)
+			fs.writable[i] = addrTaken[l.off]
+		}
+	}
+	return fs
+}
+
+// addrTakenSlots returns the frame-slot offsets that are "address-taken" in
+// fn: a register holding the slot's address is used anywhere other than
+// directly as a load/store address — passed to a call, stored, returned, or
+// fed into arithmetic. Such slots can be rewritten behind the analysis's
+// back, so they are callee-writable and unknown stores may hit them.
+// frameRegs maps registers to the slot offset whose address they hold.
+func addrTakenSlots(fn *ir.Func, frameRegs map[ir.Reg]uint64) map[uint64]bool {
 	addrTaken := make(map[uint64]bool)
 	taken := func(r ir.Reg) {
 		if off, ok := frameRegs[r]; ok {
@@ -476,22 +522,7 @@ func (a *analysis) newFuncState(fname string, fn *ir.Func, cfg *dfa.CFG) *funcSt
 			}
 		}
 	}
-
-	fs.locClass = make([]int, len(fs.locs))
-	fs.locNode = make([]*pta.Node, len(fs.locs))
-	fs.writable = make([]bool, len(fs.locs))
-	for i, l := range fs.locs {
-		if l.global != "" {
-			fs.locClass[i] = a.classIdx(a.graph.GlobalPointsTo(l.global))
-			fs.locNode[i] = a.graph.GlobalNode(l.global).Find()
-			fs.writable[i] = true
-		} else {
-			fs.locClass[i] = a.classIdx(a.graph.SlotPointsTo(fname, l.off))
-			fs.locNode[i] = a.graph.SlotNode(fname, l.off)
-			fs.writable[i] = addrTaken[l.off]
-		}
-	}
-	return fs
+	return addrTaken
 }
 
 // symState is the abstract machine state the definite analysis executes
@@ -828,7 +859,7 @@ func (a *analysis) computeElision(rep *Report) {
 			info.ElideBlocked = "a use is not dominated by an allocation of the class"
 		default:
 			info.Elidable = true
-			rep.elidable[c] = true
+			rep.elidableMallocs = append(rep.elidableMallocs, a.mallocs[c]...)
 		}
 		rep.Classes = append(rep.Classes, info)
 	}
@@ -843,11 +874,11 @@ type domInfo struct {
 	pos map[ir.Instr][2]int
 }
 
-func (a *analysis) domFor(fname string, cache map[string]*domInfo) *domInfo {
+func domFor(prog *ir.Program, fname string, cache map[string]*domInfo) *domInfo {
 	if d, ok := cache[fname]; ok {
 		return d
 	}
-	fn := a.prog.Funcs[fname]
+	fn := prog.Funcs[fname]
 	cfg, err := dfa.BuildCFG(fn)
 	if err != nil {
 		cache[fname] = nil
@@ -880,7 +911,7 @@ func (a *analysis) usesDominatedByAllocs(c *pta.Node, cache map[string]*domInfo)
 		}
 	}
 	for fname, ms := range byFunc {
-		d := a.domFor(fname, cache)
+		d := domFor(a.prog, fname, cache)
 		if d == nil {
 			return false
 		}
@@ -939,15 +970,10 @@ func dominatedByAny(d *domInfo, ms []*ir.Malloc, bu, iu int) bool {
 // poolalloc.Transform so the flag survives the PoolAlloc rewrite.
 func (r *Report) MarkElidable() int {
 	marked := 0
-	for c, ok := range r.elidable {
-		if !ok {
-			continue
-		}
-		for _, m := range r.mallocsByClass[c] {
-			if !m.Elidable {
-				m.Elidable = true
-				marked++
-			}
+	for _, m := range r.elidableMallocs {
+		if !m.Elidable {
+			m.Elidable = true
+			marked++
 		}
 	}
 	return marked
@@ -957,19 +983,45 @@ func (r *Report) MarkElidable() int {
 func (r *Report) ElidableSites() []string {
 	seen := make(map[string]bool)
 	var out []string
-	for c, ok := range r.elidable {
-		if !ok {
-			continue
-		}
-		for _, m := range r.mallocsByClass[c] {
-			if !seen[m.Site] {
-				seen[m.Site] = true
-				out = append(out, m.Site)
-			}
+	for _, m := range r.elidableMallocs {
+		if !seen[m.Site] {
+			seen[m.Site] = true
+			out = append(out, m.Site)
 		}
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Stats are the aggregate counts consumers (the pglint CLI, the obs metrics
+// gauges) publish about a report.
+type Stats struct {
+	// Definite, Possible, and Proven count classified uses per verdict.
+	Definite, Possible, Proven int
+	// Classes counts heap classes (v1) or allocation sites (v2); Elidable
+	// counts those proven safe to leave unprotected.
+	Classes, Elidable int
+}
+
+// Stats summarizes the report.
+func (r *Report) Stats() Stats {
+	s := Stats{Classes: len(r.Classes)}
+	for _, f := range r.Findings {
+		switch f.Verdict {
+		case DefiniteUAF:
+			s.Definite++
+		case PossibleUAF:
+			s.Possible++
+		case ProvenSafe:
+			s.Proven++
+		}
+	}
+	for _, c := range r.Classes {
+		if c.Elidable {
+			s.Elidable++
+		}
+	}
+	return s
 }
 
 // ByVerdict returns the findings with the given verdict, in report order.
@@ -983,8 +1035,10 @@ func (r *Report) ByVerdict(v Verdict) []Finding {
 	return out
 }
 
-// sortFindings orders findings by (file/func, line, kind, class): the
-// deterministic diagnostic order every consumer relies on.
+// sortFindings orders findings by (file/func, line, verdict, kind, class):
+// the deterministic diagnostic order every consumer relies on. Verdict
+// outranks kind so findings sharing a line group by severity tier instead of
+// by whichever operation happened to come first.
 func sortFindings(fs []Finding) {
 	sort.Slice(fs, func(i, j int) bool {
 		a, b := fs[i], fs[j]
@@ -993,6 +1047,9 @@ func sortFindings(fs []Finding) {
 		}
 		if a.Line != b.Line {
 			return a.Line < b.Line
+		}
+		if a.Verdict != b.Verdict {
+			return a.Verdict < b.Verdict
 		}
 		if a.Kind != b.Kind {
 			return a.Kind < b.Kind

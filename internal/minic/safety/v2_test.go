@@ -1,0 +1,287 @@
+package safety_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minic/driver"
+	"repro/internal/minic/ir"
+	"repro/internal/minic/safety"
+)
+
+func compileV2(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := driver.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+func analyzeBoth(t *testing.T, src string) (*safety.Report, *safety.Report) {
+	t.Helper()
+	prog := compileV2(t, src)
+	r1, err := safety.Analyze(prog)
+	if err != nil {
+		t.Fatalf("v1: %v", err)
+	}
+	r2, err := safety.AnalyzeV2(compileV2(t, src))
+	if err != nil {
+		t.Fatalf("v2: %v", err)
+	}
+	return r1, r2
+}
+
+func roles(w []safety.WitnessStep) string {
+	var rs []string
+	for _, s := range w {
+		rs = append(rs, s.Role)
+	}
+	return strings.Join(rs, ",")
+}
+
+// The paper's running example: free in a callee, use after return. v2 must
+// keep the DEFINITE verdict and attach an interprocedural witness to the
+// POSSIBLE/DEFINITE findings it can explain.
+func TestV2RunningExample(t *testing.T) {
+	src := `
+void g(int *q) {
+  free(q);
+}
+void main() {
+  int *p = (int*)malloc(4 * sizeof(int));
+  p[0] = 7;
+  g(p);
+  print_int(p[0]);
+}
+`
+	_, r2 := analyzeBoth(t, src)
+	if r2.Engine != "v2" {
+		t.Fatalf("engine = %q, want v2", r2.Engine)
+	}
+	var def []safety.Finding
+	for _, f := range r2.Findings {
+		if f.Verdict == safety.DefiniteUAF {
+			def = append(def, f)
+		}
+	}
+	if len(def) == 0 {
+		t.Fatalf("expected a DEFINITE finding, got %+v", r2.Findings)
+	}
+	use := def[0]
+	if use.Func != "main" {
+		t.Fatalf("definite finding in %s, want main", use.Func)
+	}
+	if len(use.Witness) == 0 {
+		t.Fatalf("definite finding lacks a witness: %+v", use)
+	}
+	got := roles(use.Witness)
+	if got != "free,call,use" {
+		t.Fatalf("witness roles = %s, want free,call,use", got)
+	}
+	if use.Witness[0].Site != "g:3" {
+		t.Fatalf("witness free step = %s, want g:3", use.Witness[0].Site)
+	}
+	if use.Witness[len(use.Witness)-1].Site != use.Site {
+		t.Fatalf("witness must end at the use site")
+	}
+}
+
+// Two arrays subscripted through a shared counter: v1 merges their classes,
+// so the un-freed array's uses are only POSSIBLE and its site cannot elide.
+// v2 keeps the sites apart: the un-freed array's uses are PROVEN-SAFE and
+// its malloc site elides.
+func TestV2SharedIndexPrecision(t *testing.T) {
+	src := `
+void main() {
+  int *bodies = (int*)malloc(8 * sizeof(int));
+  int *cells = (int*)malloc(8 * sizeof(int));
+  int c;
+  for (c = 0; c < 8; c = c + 1) {
+    bodies[c] = c;
+    cells[c] = 2 * c;
+  }
+  int s = 0;
+  for (c = 0; c < 8; c = c + 1) s = s + bodies[c] + cells[c];
+  print_int(s);
+  free(cells);
+}
+`
+	r1, r2 := analyzeBoth(t, src)
+	if n := len(r1.ElidableSites()); n != 0 {
+		t.Fatalf("v1 unexpectedly elides %d sites (fixture premise broken)", n)
+	}
+	el2 := r2.ElidableSites()
+	if len(el2) != 1 || el2[0] != "main:3" {
+		t.Fatalf("v2 elidable = %v, want [main:3]", el2)
+	}
+	// The never-freed array's uses must be proven safe under v2.
+	sawProven := false
+	for _, f := range r2.Findings {
+		for _, as := range f.AllocSites {
+			if as == "main:3" && len(f.AllocSites) == 1 {
+				if f.Verdict != safety.ProvenSafe {
+					t.Fatalf("use %s of main:3 is %v, want PROVEN-SAFE", f.Site, f.Verdict)
+				}
+				sawProven = true
+			}
+		}
+	}
+	if !sawProven {
+		t.Fatalf("no finding attributes only main:3")
+	}
+	// And the freed array keeps a POSSIBLE (loop: use and free alternate
+	// orders are not distinguished intraprocedurally) or better verdict
+	// with witnesses where non-proven.
+	for _, f := range r2.Findings {
+		if f.Verdict != safety.ProvenSafe && len(f.Witness) == 0 {
+			t.Fatalf("non-proven finding without witness: %+v", f)
+		}
+	}
+}
+
+// The interprocedural boundary: v1 assumes every non-main function starts
+// with all frees done, so a helper that only runs before any free still
+// reports POSSIBLE. v2's entryMay fixpoint proves it safe.
+func TestV2EntryBoundaryPrecision(t *testing.T) {
+	src := `
+int use(int *q) {
+  return q[0];
+}
+void main() {
+  int *p = (int*)malloc(4 * sizeof(int));
+  p[0] = 9;
+  print_int(use(p));
+  free(p);
+}
+`
+	r1, r2 := analyzeBoth(t, src)
+	v1Possible := false
+	for _, f := range r1.Findings {
+		if f.Func == "use" && f.Verdict == safety.PossibleUAF {
+			v1Possible = true
+		}
+	}
+	if !v1Possible {
+		t.Fatalf("fixture premise broken: v1 should report POSSIBLE in use()")
+	}
+	for _, f := range r2.Findings {
+		if f.Func == "use" && f.Verdict != safety.ProvenSafe {
+			t.Fatalf("v2 verdict in use() = %v, want PROVEN-SAFE", f.Verdict)
+		}
+	}
+}
+
+// Free-before-call through the entry boundary: the callee's use must be
+// POSSIBLE with a witness that crosses the callsite.
+func TestV2EntryWitness(t *testing.T) {
+	src := `
+int *gp;
+int peek() {
+  return gp[0];
+}
+void main() {
+  gp = (int*)malloc(4 * sizeof(int));
+  gp[0] = 3;
+  free(gp);
+  print_int(peek());
+}
+`
+	_, r2 := analyzeBoth(t, src)
+	found := false
+	for _, f := range r2.Findings {
+		if f.Func != "peek" || f.Verdict == safety.ProvenSafe {
+			continue
+		}
+		found = true
+		got := roles(f.Witness)
+		if got != "free,call,use" {
+			t.Fatalf("witness roles = %s (steps %+v), want free,call,use", got, f.Witness)
+		}
+		if f.Witness[0].Site != "main:9" {
+			t.Fatalf("free step = %s, want main:9", f.Witness[0].Site)
+		}
+		if f.Witness[1].Site != "main:10" {
+			t.Fatalf("call step = %s, want main:10", f.Witness[1].Site)
+		}
+	}
+	if !found {
+		t.Fatalf("expected a non-proven finding in peek(): %+v", r2.Findings)
+	}
+}
+
+// Monotonicity on a mixed program: per (site, kind), the v2 verdict never
+// exceeds v1's, and every v1 PROVEN-SAFE use stays PROVEN-SAFE (or vanishes
+// when its pointer provably touches no heap site).
+func TestV2NeverWeakerThanV1(t *testing.T) {
+	srcs := []string{
+		`
+void g(int *q) { free(q); }
+void main() {
+  int *p = (int*)malloc(4 * sizeof(int));
+  p[0] = 7;
+  g(p);
+  print_int(p[0]);
+}
+`,
+		`
+int sum(int *a, int n) {
+  int s = 0;
+  int i;
+  for (i = 0; i < n; i = i + 1) s = s + a[i];
+  return s;
+}
+void main() {
+  int *x = (int*)malloc(8 * sizeof(int));
+  int *y = (int*)malloc(8 * sizeof(int));
+  int i;
+  for (i = 0; i < 8; i = i + 1) { x[i] = i; y[i] = i * i; }
+  print_int(sum(x, 8));
+  free(x);
+  print_int(sum(y, 8));
+}
+`,
+	}
+	for _, src := range srcs {
+		r1, r2 := analyzeBoth(t, src)
+		checkMonotone(t, r1, r2)
+	}
+}
+
+func checkMonotone(t *testing.T, r1, r2 *safety.Report) {
+	t.Helper()
+	type key struct {
+		site string
+		kind safety.UseKind
+	}
+	worst := func(fs []safety.Finding) map[key]safety.Verdict {
+		m := make(map[key]safety.Verdict)
+		for _, f := range fs {
+			k := key{f.Site, f.Kind}
+			if f.Verdict > m[k] {
+				m[k] = f.Verdict
+			}
+		}
+		return m
+	}
+	w1, w2 := worst(r1.Findings), worst(r2.Findings)
+	for k, v2 := range w2 {
+		v1, ok := w1[k]
+		if !ok {
+			t.Fatalf("v2 classifies %v which v1 does not", k)
+		}
+		if v2 > v1 {
+			t.Fatalf("v2 verdict %v > v1 verdict %v at %v", v2, v1, k)
+		}
+	}
+	// v1 elidable sites must remain elidable under v2.
+	el2 := make(map[string]bool)
+	for _, s := range r2.ElidableSites() {
+		el2[s] = true
+	}
+	for _, s := range r1.ElidableSites() {
+		if !el2[s] {
+			t.Fatalf("site %s elidable under v1 but not v2", s)
+		}
+	}
+}

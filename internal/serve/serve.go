@@ -28,9 +28,11 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/minic/safety"
 	"repro/internal/obs"
 	"repro/internal/workload"
 	"repro/pageguard"
@@ -93,6 +95,10 @@ type Server struct {
 	mu     sync.Mutex
 	reg    *obs.Registry // host-side series: latency, queue, shed (wall clock)
 	merged obs.Snapshot  // per-process replay snapshots, summed (simulated)
+	// staticSeen guards the per-workload static-analysis gauges: they are
+	// compile-time absolutes, merged into the exposition once per workload
+	// (repeat mode=static runs must not inflate them).
+	staticSeen map[string]bool
 
 	latency  *obs.Histogram
 	requests map[string]*obs.Counter
@@ -106,11 +112,12 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		workers: make(chan struct{}, cfg.Workers),
-		queue:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
-		reg:     obs.NewRegistry(),
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		workers:    make(chan struct{}, cfg.Workers),
+		queue:      make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		reg:        obs.NewRegistry(),
+		staticSeen: make(map[string]bool),
 	}
 	// Latency buckets in microseconds: 100us .. 10s.
 	s.latency = s.reg.Histogram("pgserved_request_micros",
@@ -233,6 +240,39 @@ func (s *Server) mergeReplayMetrics(snap obs.Snapshot) {
 	s.mu.Unlock()
 }
 
+// mergeStaticMetrics folds one workload's static-analysis gauges
+// (pg_static_sites_total by verdict, pg_static_elided_total) into the
+// exposition, labeled by workload. The gauges are compile-time absolutes,
+// so each workload merges at most once — repeat mode=static requests must
+// not inflate them.
+func (s *Server) mergeStaticMetrics(wl string, rep *safety.Report) {
+	if rep == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.staticSeen[wl] {
+		return
+	}
+	s.staticSeen[wl] = true
+	reg := obs.NewRegistry()
+	rep.RegisterMetrics(reg)
+	snap := reg.Snapshot()
+	labeled := obs.Snapshot{Gauges: make(map[string]float64, len(snap.Gauges)), Help: snap.Help}
+	for name, v := range snap.Gauges {
+		labeled.Gauges[addSeriesLabel(name, fmt.Sprintf("workload=%q", wl))] = v
+	}
+	s.merged.Add(labeled)
+}
+
+// addSeriesLabel inserts one label into a series name's label block.
+func addSeriesLabel(series, label string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i+1] + label + "," + series[i+1:]
+	}
+	return series + "{" + label + "}"
+}
+
 func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.count(s.requests["replay"])
@@ -342,9 +382,11 @@ func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 		mode = pageguard.ModePA
 	case "detect-nopa":
 		mode = pageguard.ModeDetectNoPA
+	case "static":
+		mode = pageguard.ModeDetectStatic
 	default:
 		s.count(s.errs)
-		http.Error(w, fmt.Sprintf("unknown mode %q (native, pa, detect, detect-nopa)", q), http.StatusBadRequest)
+		http.Error(w, fmt.Sprintf("unknown mode %q (native, pa, detect, detect-nopa, static)", q), http.StatusBadRequest)
 		return
 	}
 
@@ -364,6 +406,9 @@ func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 		res, err := prog.Run(pageguard.NewMachine(), mode)
 		if err != nil {
 			return nil, err
+		}
+		if mode == pageguard.ModeDetectStatic {
+			s.mergeStaticMetrics(wl.Name, prog.StaticReport())
 		}
 		s.count(s.replays)
 		return &workloadResult{

@@ -306,6 +306,51 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestStaticModeMetrics: mode=static runs under the proof-guided
+// configuration and publishes the workload's static-analysis gauges on
+// /metrics — once, however many times the workload is re-run.
+func TestStaticModeMetrics(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/workload/treeadd?mode=static", "text/plain", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %s: %s", resp.Status, body)
+		}
+		if !strings.Contains(string(body), `"mode":"static"`) {
+			t.Fatalf("response missing static mode:\n%s", body)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`pg_static_elided_total{workload="treeadd"} 1`,
+		`pg_static_sites_total{verdict="proven-safe",workload="treeadd"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+	// Exactly one series line for the elided gauge: re-runs must not
+	// duplicate or inflate it.
+	if n := strings.Count(text, `pg_static_elided_total{workload="treeadd"}`); n != 1 {
+		t.Fatalf("elided gauge appears %d times, want 1", n)
+	}
+}
+
 // TestOversizedBodyRejected: rung 1 of the shedding ladder.
 func TestOversizedBodyRejected(t *testing.T) {
 	s := New(Config{MaxBodyBytes: 64})

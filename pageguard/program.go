@@ -7,6 +7,7 @@ import (
 	"repro/internal/minic/driver"
 	"repro/internal/minic/interp"
 	"repro/internal/minic/ir"
+	"repro/internal/minic/safety"
 	"repro/internal/runtimes"
 	"repro/internal/sim/kernel"
 )
@@ -28,6 +29,10 @@ const (
 	// ModeDetectNoPA is detection without pool allocation (binary
 	// interposition): full detection, no virtual-address reuse.
 	ModeDetectNoPA
+	// ModeDetectStatic is detection guided by the static safety analysis:
+	// allocation sites the analysis proves never freed skip shadow-page
+	// setup (the "ours+static" configuration).
+	ModeDetectStatic
 )
 
 // String implements fmt.Stringer.
@@ -41,6 +46,8 @@ func (m Mode) String() string {
 		return "detect"
 	case ModeDetectNoPA:
 		return "detect-nopa"
+	case ModeDetectStatic:
+		return "static"
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
@@ -50,13 +57,19 @@ func (m Mode) String() string {
 type Program struct {
 	plain  *ir.Program
 	pooled *ir.Program
+	// static is the pooled program with elision flags from the static
+	// safety analysis (ModeDetectStatic); staticRep is that analysis's
+	// report.
+	static    *ir.Program
+	staticRep *safety.Report
 	// Pools is the number of static pools the APA transformation
 	// created (local + global).
 	Pools int
 }
 
 // Compile parses, type-checks, and lowers a mini-C program, and applies the
-// Automatic Pool Allocation transformation for the pool-based modes.
+// Automatic Pool Allocation transformation for the pool-based modes (with
+// the static safety analysis's elision marking for ModeDetectStatic).
 func Compile(src string) (*Program, error) {
 	plain, err := driver.Compile(src)
 	if err != nil {
@@ -66,8 +79,16 @@ func Compile(src string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Program{plain: plain, pooled: pooled, Pools: res.PoolCount}, nil
+	static, _, rep, err := driver.CompileStatic(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{plain: plain, pooled: pooled, static: static, staticRep: rep, Pools: res.PoolCount}, nil
 }
+
+// StaticReport exposes the static safety analysis report (verdicts, elision
+// proofs) computed at Compile time.
+func (pr *Program) StaticReport() *safety.Report { return pr.staticRep }
 
 // Result is one program execution's outcome.
 type Result struct {
@@ -93,12 +114,15 @@ type Result struct {
 // process.
 func (pr *Program) Run(m *Machine, mode Mode) (*Result, error) {
 	prog := pr.plain
-	if mode == ModePA || mode == ModeDetect {
+	switch mode {
+	case ModePA, ModeDetect:
 		prog = pr.pooled
+	case ModeDetectStatic:
+		prog = pr.static
 	}
 	makeRT := func(p *kernel.Process) interp.Runtime {
 		switch mode {
-		case ModeDetect, ModeDetectNoPA:
+		case ModeDetect, ModeDetectNoPA, ModeDetectStatic:
 			return runtimes.NewShadow(p, m.cfg.policy)
 		default:
 			return runtimes.NewNative(p)

@@ -1,10 +1,12 @@
 #!/bin/sh
 # check.sh — the repo's full verification gate:
 #   formatting, vet, build, tests, a pglint pass over every bundled
-#   workload (the running example must fail the lint; everything else must
-#   pass it cleanly), and the production-hardening soaks: the chaos matrix
-#   (every workload under fixed-seed fault schedules) and the trap
-#   containment experiment.
+#   workload (the running example must fail the v1 lint and carry a
+#   free→use witness under v2; everything else must pass cleanly), a
+#   byte-for-byte golden diff of pglint -json over the examples/minic
+#   corpus, the v1-vs-v2 soundness gate under -race, and the
+#   production-hardening soaks: the chaos matrix (every workload under
+#   fixed-seed fault schedules) and the trap containment experiment.
 #
 # Usage: scripts/check.sh   (from the repo root)
 set -eu
@@ -135,11 +137,21 @@ for w in $("$pglint" -list); do
     fi
     case "$w" in
     running-example)
-        if [ "$status" -eq 0 ]; then
-            echo "pglint: $w: expected DEFINITE-UAF findings, lint passed" >&2
+        # Under the default v2 engine the Figure 1 bug is a witnessed
+        # POSSIBLE (the never-freed head is separated and proven
+        # elidable), so the lint exits 0; the class-granular v1 engine
+        # still flags it DEFINITE and must fail.
+        if [ "$status" -ne 0 ]; then
+            echo "pglint: $w: v2 lint failed (exit $status)" >&2
+            fail=1
+        elif ! "$pglint" -workload "$w" | grep -q 'witness: free\['; then
+            echo "pglint: $w: expected a free->use witness under v2" >&2
+            fail=1
+        elif "$pglint" -engine v1 -workload "$w" >/dev/null 2>&1; then
+            echo "pglint: $w: expected DEFINITE-UAF findings under v1, lint passed" >&2
             fail=1
         else
-            echo "pglint: $w: flagged (expected)"
+            echo "pglint: $w: v2 witnessed POSSIBLE, v1 DEFINITE (expected)"
         fi
         ;;
     *)
@@ -153,4 +165,40 @@ for w in $("$pglint" -list); do
         ;;
     esac
 done
+
+echo "== pglint corpus goldens (examples/minic) =="
+lintout=$(mktemp -t pglintout.XXXXXX)
+trap 'kill "$servepid" 2>/dev/null || true; rm -f "$pgbench" "$pglint" "$wallbench" "$metrics" "$metrics.prom" "$pgserved" "$pgtracebin" "$servelog" "$servebody" "$offline" "$lintout"' EXIT
+for f in examples/minic/*.c; do
+    name=$(basename "$f" .c)
+    for engine in v1 v2; do
+        # Exit 1 just means DEFINITE findings (part of the report); only
+        # exit 2 is a lint failure.
+        if "$pglint" -json -engine "$engine" "$f" >"$lintout" 2>&1; then
+            status=0
+        else
+            status=$?
+        fi
+        if [ "$status" -eq 2 ]; then
+            echo "pglint: $name ($engine): lint error" >&2
+            cat "$lintout" >&2
+            fail=1
+            continue
+        fi
+        if diff -u "examples/minic/golden/$engine/$name.json" "$lintout"; then
+            echo "pglint: $name ($engine): matches golden"
+        else
+            echo "pglint: $name ($engine): report diverged from golden" >&2
+            echo "  (regenerate deliberately: go test ./cmd/pglint -run TestGoldenCorpus -update)" >&2
+            fail=1
+        fi
+    done
+done
+
+echo "== soundness gate (-race) =="
+# PROVEN-SAFE uses never trap, elision-miss stays 0, v2 refines v1 on every
+# workload/example, and the differential fuzz holds on random programs.
+go test -race ./internal/experiment -run TestSoundnessGate -count=1
+go test -race ./internal/minic/driver -run TestDifferentialV1V2Refinement -count=1
+
 exit $fail

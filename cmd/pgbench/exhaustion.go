@@ -1,0 +1,192 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/cliff"
+	"repro/internal/experiment"
+)
+
+// printExhaustionStudy renders the §3.4 exhaustion ladder (cliff workloads
+// under compressed fresh-VA budgets) followed by the adversarial-corpus
+// chaos soak — the two halves of the 47-bit-cliff study.
+func printExhaustionStudy() error {
+	s, err := cliff.GenExhaustionStudy(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(s)
+	cs, err := cliff.GenCorpusChaos()
+	if err != nil {
+		return err
+	}
+	fmt.Println(cs)
+	return nil
+}
+
+// exhaustBenchDoc is the -exhaustbench export: the machine-readable
+// exhaustion ladder plus the adversarial corpus's planted ground truth,
+// both re-verified at generation time.
+type exhaustBenchDoc struct {
+	Schema  string              `json:"schema"`
+	ClockHz float64             `json:"clock_hz"`
+	Cells   []exhaustBenchCell  `json:"cells"`
+	Corpus  []exhaustBenchTrace `json:"corpus"`
+}
+
+type exhaustBenchCell struct {
+	Workload         string  `json:"workload"`
+	Rung             string  `json:"rung"`
+	Policy           string  `json:"policy"`
+	BudgetPages      uint64  `json:"budget_pages,omitempty"`
+	Survived         bool    `json:"survived"`
+	ExhaustedAtEvent int     `json:"exhausted_at_event,omitempty"`
+	Cycles           uint64  `json:"cycles"`
+	GCRuns           uint64  `json:"gc_runs"`
+	GCCycleCost      uint64  `json:"gc_cycle_cost_cycles"`
+	RecycledPages    uint64  `json:"recycled_pages"`
+	PeakPages        uint64  `json:"peak_va_pages"`
+	Detected         uint64  `json:"detected"`
+	Missed           uint64  `json:"missed"`
+	Overhead         float64 `json:"gc_overhead"`
+	Triggers         string  `json:"triggers"`
+}
+
+type exhaustBenchTrace struct {
+	Name        string `json:"name"`
+	Dangling    int    `json:"dangling"`
+	Overflows   int    `json:"overflows,omitempty"`
+	DoubleFrees uint64 `json:"double_frees,omitempty"`
+	Missed      uint64 `json:"missed,omitempty"`
+}
+
+// runExhaustBench regenerates the exhaustion ladder and the corpus soak
+// (both self-checking) and writes the combined artifact as JSON to path.
+func runExhaustBench(path string) error {
+	s, err := cliff.GenExhaustionStudy(nil)
+	if err != nil {
+		return err
+	}
+	// The corpus soak re-verifies the planted ground truth before the
+	// expectations are written out as the artifact's corpus section.
+	if _, err := cliff.GenCorpusChaos(); err != nil {
+		return err
+	}
+	doc := exhaustBenchDoc{Schema: "pgbench-exhaustion/v1", ClockHz: experiment.ClockHz}
+	for _, c := range s.Cells {
+		doc.Cells = append(doc.Cells, exhaustBenchCell{
+			Workload:         c.Workload,
+			Rung:             c.Rung,
+			Policy:           c.Policy,
+			BudgetPages:      c.BudgetPages,
+			Survived:         c.Survived,
+			ExhaustedAtEvent: c.ExhaustedAtEvent,
+			Cycles:           c.Cycles,
+			GCRuns:           c.GCRuns,
+			GCCycleCost:      c.GCCycleCost,
+			RecycledPages:    c.RecycledPages,
+			PeakPages:        c.PeakPages,
+			Detected:         c.Detected,
+			Missed:           c.Missed,
+			Overhead:         c.Overhead(),
+			Triggers:         c.Triggers,
+		})
+	}
+	for _, c := range cliff.Corpus() {
+		doc.Corpus = append(doc.Corpus, exhaustBenchTrace{
+			Name:        c.Name,
+			Dangling:    c.Expect.Dangling,
+			Overflows:   c.Expect.Overflows,
+			DoubleFrees: c.Expect.DoubleFrees,
+			Missed:      c.Expect.Missed,
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d ladder cells, %d corpus traces\n", path, len(doc.Cells), len(doc.Corpus))
+	return nil
+}
+
+// checkExhaustBench validates a -exhaustbench output file: completeness
+// (every cliff workload under every ladder rung, every corpus trace) and
+// the ladder's structural claims — the never-reuse rung died at the cliff,
+// every mitigation survived, zero misses at the default interval, a real
+// missed-detection window under gc@64, and conservation of planted errors.
+func checkExhaustBench(path string, doc *exhaustBenchDoc) error {
+	if doc.ClockHz != experiment.ClockHz {
+		return fmt.Errorf("%s: clock_hz %g, want %g", path, doc.ClockHz, experiment.ClockHz)
+	}
+	cells := map[string]map[string]exhaustBenchCell{}
+	for _, c := range doc.Cells {
+		if cells[c.Workload] == nil {
+			cells[c.Workload] = map[string]exhaustBenchCell{}
+		}
+		if _, dup := cells[c.Workload][c.Rung]; dup {
+			return fmt.Errorf("%s: duplicate cell %s/%s", path, c.Workload, c.Rung)
+		}
+		cells[c.Workload][c.Rung] = c
+	}
+	rungs := cliff.ExhaustionRungNames()
+	for _, w := range cliff.CliffWorkloads() {
+		byRung := cells[w.Name]
+		if byRung == nil {
+			return fmt.Errorf("%s: missing workload %s", path, w.Name)
+		}
+		for _, r := range rungs {
+			if _, ok := byRung[r]; !ok {
+				return fmt.Errorf("%s: missing cell %s/%s", path, w.Name, r)
+			}
+		}
+		planted := byRung["never/inf"].Detected
+		for _, r := range rungs {
+			c := byRung[r]
+			if r == "never" {
+				if c.Survived {
+					return fmt.Errorf("%s: %s/never survived its compressed budget — no cliff", path, w.Name)
+				}
+				continue
+			}
+			if !c.Survived {
+				return fmt.Errorf("%s: %s/%s died", path, w.Name, r)
+			}
+			if c.Detected+c.Missed != planted {
+				return fmt.Errorf("%s: %s/%s detected %d + missed %d != planted %d",
+					path, w.Name, r, c.Detected, c.Missed, planted)
+			}
+			if c.BudgetPages > 0 && c.PeakPages > c.BudgetPages {
+				return fmt.Errorf("%s: %s/%s peak %d exceeds budget %d",
+					path, w.Name, r, c.PeakPages, c.BudgetPages)
+			}
+			if c.Overhead < 0 || c.Overhead >= 1 || math.IsNaN(c.Overhead) {
+				return fmt.Errorf("%s: %s/%s gc_overhead = %v", path, w.Name, r, c.Overhead)
+			}
+		}
+		if c := byRung["gc@256"]; c.Missed != 0 || c.GCRuns == 0 {
+			return fmt.Errorf("%s: %s/gc@256 missed=%d gcruns=%d, want 0 misses from a live schedule",
+				path, w.Name, c.Missed, c.GCRuns)
+		}
+		if c := byRung["gc@64"]; c.Missed == 0 {
+			return fmt.Errorf("%s: %s/gc@64 reports no missed-detection window", path, w.Name)
+		}
+	}
+	seen := map[string]bool{}
+	for _, c := range doc.Corpus {
+		seen[c.Name] = true
+	}
+	for _, c := range cliff.Corpus() {
+		if !seen[c.Name] {
+			return fmt.Errorf("%s: missing corpus trace %s", path, c.Name)
+		}
+	}
+	fmt.Printf("%s: ok (%d ladder cells across %d workloads x %d rungs, %d corpus traces)\n",
+		path, len(doc.Cells), len(cliff.CliffWorkloads()), len(rungs), len(doc.Corpus))
+	return nil
+}

@@ -7,13 +7,15 @@
 //	pgbench                     # everything
 //	pgbench -table 1            # one table (1, 2, or 3)
 //	pgbench -study vaspace      # the §4.3/§3.4 studies
-//	pgbench -study chaos        # soak every workload under fault schedules
+//	pgbench -study chaos        # soak workloads + adversarial corpus under fault schedules
+//	pgbench -study exhaustion   # the §3.4 exhaustion ladder over the cliff workloads
 //	pgbench -study containment  # one trapped connection, servers keep serving
 //	pgbench -probe treeadd      # raw counters for one workload across configs
 //	pgbench -faults SPEC ...    # inject a kernel fault schedule into runs
 //	pgbench -metrics out.json   # export metric snapshots + cycle attribution
 //	pgbench -bench out.json     # machine-readable per-workload results
-//	pgbench -check-bench f.json # validate a -bench output file
+//	pgbench -exhaustbench f.json   # machine-readable exhaustion ladder + corpus
+//	pgbench -check-bench a.json,b.json  # validate artifacts, cross-checking the set
 package main
 
 import (
@@ -21,7 +23,9 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
+	"repro/internal/cliff"
 	"repro/internal/experiment"
 	"repro/internal/workload"
 )
@@ -39,12 +43,14 @@ func defaultParallelism() int {
 
 func main() {
 	table := flag.Int("table", 0, "regenerate one table (1, 2, or 3); 0 = all")
-	study := flag.String("study", "", `regenerate a study ("vaspace", "memory", "chaos", or "containment")`)
+	study := flag.String("study", "", `regenerate a study ("vaspace", "memory", "chaos", "exhaustion", or "containment")`)
 	probe := flag.String("probe", "", "print raw counters for one workload")
 	faults := flag.String("faults", "", "kernel fault schedule for -probe/-table runs")
 	metrics := flag.String("metrics", "", "write metric snapshots + cycle attribution (JSON and .prom) to this path")
 	bench := flag.String("bench", "", "write machine-readable per-workload results (JSON) to this path")
-	checkBenchPath := flag.String("check-bench", "", "validate a -bench or -wallbench output file and exit")
+	checkBenchPath := flag.String("check-bench", "",
+		"validate benchmark artifacts (comma-separated and/or positional paths) and exit, cross-checking the set")
+	exhaustbench := flag.String("exhaustbench", "", "write the machine-readable exhaustion ladder + corpus (JSON) to this path")
 	wallbench := flag.String("wallbench", "", "run the wall-clock benchmark suite and write its JSON report to this path")
 	parallel := flag.Int("j", defaultParallelism(),
 		"worker goroutines for table/study cells (0 = one per CPU, 1 = sequential; default $PGBENCH_PARALLEL)")
@@ -57,19 +63,28 @@ func main() {
 		}
 		return
 	}
-	if err := run(*table, *study, *probe, *faults, *metrics, *bench, *checkBenchPath, *wallbench, *parallel); err != nil {
+	if *checkBenchPath != "" {
+		paths := strings.Split(*checkBenchPath, ",")
+		paths = append(paths, flag.Args()...)
+		if err := checkBench(paths); err != nil {
+			fmt.Fprintln(os.Stderr, "pgbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*table, *study, *probe, *faults, *metrics, *bench, *exhaustbench, *wallbench, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "pgbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, study, probe, faults, metrics, bench, checkBenchPath, wallbench string, parallel int) error {
+func run(table int, study, probe, faults, metrics, bench, exhaustbench, wallbench string, parallel int) error {
 	opts := experiment.Options{Faults: faults, Parallelism: parallel}
 	if wallbench != "" {
 		return runWallBench(wallbench, opts)
 	}
-	if checkBenchPath != "" {
-		return checkBench(checkBenchPath)
+	if exhaustbench != "" {
+		return runExhaustBench(exhaustbench)
 	}
 	if metrics != "" {
 		return runMetrics(metrics, opts)
@@ -88,10 +103,12 @@ func run(table int, study, probe, faults, metrics, bench, checkBenchPath, wallbe
 			return printMemStudy(opts)
 		case "chaos":
 			return printChaosStudy(opts)
+		case "exhaustion":
+			return printExhaustionStudy()
 		case "containment":
 			return printContainmentStudy(opts)
 		default:
-			return fmt.Errorf("unknown study %q (want vaspace, memory, chaos, or containment)", study)
+			return fmt.Errorf("unknown study %q (want vaspace, memory, chaos, exhaustion, or containment)", study)
 		}
 	}
 	all := table == 0
@@ -158,6 +175,14 @@ func printChaosStudy(opts experiment.Options) error {
 		return err
 	}
 	fmt.Println(s)
+	// The adversarial corpus soaks under the same schedule matrix: fault
+	// injection composed with exhaustion pressure, double-free storms, and
+	// guard-straddling objects.
+	cs, err := cliff.GenCorpusChaos()
+	if err != nil {
+		return err
+	}
+	fmt.Println(cs)
 	return nil
 }
 

@@ -108,7 +108,7 @@ func TestBenchExportAndCheck(t *testing.T) {
 	if err := run(0, "", "", "", "", path, "", "", 1); err != nil {
 		t.Fatalf("bench: %v", err)
 	}
-	if err := run(0, "", "", "", "", "", path, "", 1); err != nil {
+	if err := checkBench([]string{path}); err != nil {
 		t.Fatalf("check-bench: %v", err)
 	}
 
@@ -232,17 +232,17 @@ func TestCheckBenchRejectsCorruptFiles(t *testing.T) {
 		}
 		return p
 	}
-	if err := checkBench(filepath.Join(dir, "missing.json")); err == nil {
+	if err := checkBench([]string{filepath.Join(dir, "missing.json")}); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := checkBench(write("junk.json", "{")); err == nil {
+	if err := checkBench([]string{write("junk.json", "{")}); err == nil {
 		t.Error("malformed JSON accepted")
 	}
-	if err := checkBench(write("schema.json", `{"schema":"other/v9"}`)); err == nil {
+	if err := checkBench([]string{write("schema.json", `{"schema":"other/v9"}`)}); err == nil {
 		t.Error("wrong schema accepted")
 	}
-	if err := checkBench(write("empty.json",
-		`{"schema":"pgbench/v1","clock_hz":3e9,"results":[]}`)); err == nil {
+	if err := checkBench([]string{write("empty.json",
+		`{"schema":"pgbench/v1","clock_hz":3e9,"results":[]}`)}); err == nil {
 		t.Error("empty results accepted")
 	}
 }

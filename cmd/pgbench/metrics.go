@@ -199,35 +199,88 @@ func runBench(path string, opts experiment.Options) error {
 	return nil
 }
 
-// checkBench validates a -bench or -wallbench output file, dispatching on
-// the document's schema field. For -bench files it checks schema,
-// completeness (every bench workload under every bench configuration), and
-// result sanity.
-func checkBench(path string) error {
+// checkBench validates one or more benchmark artifacts in a single
+// invocation, dispatching each on its schema field, then cross-validates
+// the set: no two files may carry the same schema (two artifacts claiming
+// to be the same report is an error, not a merge), and every
+// simulated-cycle document must agree on the clock.
+func checkBench(paths []string) error {
+	bySchema := map[string]string{} // schema -> first path carrying it
+	clocks := map[string]float64{}  // path -> clock_hz (sim-cycle docs only)
+	for _, path := range paths {
+		schema, clockHz, err := checkBenchFile(path)
+		if err != nil {
+			return err
+		}
+		if prev, dup := bySchema[schema]; dup {
+			return fmt.Errorf("%s and %s both carry schema %q — one invocation takes one artifact per schema",
+				prev, path, schema)
+		}
+		bySchema[schema] = path
+		if clockHz != 0 {
+			clocks[path] = clockHz
+		}
+	}
+	var refPath string
+	for path, hz := range clocks {
+		if refPath == "" {
+			refPath = path
+			continue
+		}
+		if hz != clocks[refPath] {
+			return fmt.Errorf("clock mismatch: %s says %g Hz, %s says %g Hz",
+				refPath, clocks[refPath], path, hz)
+		}
+	}
+	if len(paths) > 1 {
+		fmt.Printf("cross-validated %d artifacts (%d schemas, clocks consistent)\n",
+			len(paths), len(bySchema))
+	}
+	return nil
+}
+
+// checkBenchFile validates one artifact and returns its schema and, for
+// simulated-cycle documents, its clock (0 for wall-clock documents, whose
+// timings are host-dependent).
+func checkBenchFile(path string) (string, float64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return "", 0, err
 	}
 	var head struct {
 		Schema string `json:"schema"`
 	}
 	if err := json.Unmarshal(data, &head); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+		return "", 0, fmt.Errorf("%s: %w", path, err)
 	}
-	if head.Schema == "pgbench-wallclock/v1" {
+	switch head.Schema {
+	case "pgbench-wallclock/v1":
 		var wdoc wallBenchDoc
 		if err := json.Unmarshal(data, &wdoc); err != nil {
-			return fmt.Errorf("%s: %w", path, err)
+			return "", 0, fmt.Errorf("%s: %w", path, err)
 		}
-		return checkWallBench(path, &wdoc)
+		return head.Schema, 0, checkWallBench(path, &wdoc)
+	case "pgbench-exhaustion/v1":
+		var edoc exhaustBenchDoc
+		if err := json.Unmarshal(data, &edoc); err != nil {
+			return "", 0, fmt.Errorf("%s: %w", path, err)
+		}
+		return head.Schema, edoc.ClockHz, checkExhaustBench(path, &edoc)
 	}
 	var doc benchDoc
 	if err := json.Unmarshal(data, &doc); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+		return "", 0, fmt.Errorf("%s: %w", path, err)
 	}
 	if doc.Schema != "pgbench/v1" {
-		return fmt.Errorf("%s: schema %q, want pgbench/v1 or pgbench-wallclock/v1", path, doc.Schema)
+		return "", 0, fmt.Errorf("%s: schema %q, want pgbench/v1, pgbench-wallclock/v1, or pgbench-exhaustion/v1",
+			path, doc.Schema)
 	}
+	return doc.Schema, doc.ClockHz, checkBenchV1(path, &doc)
+}
+
+// checkBenchV1 validates a -bench document: schema, completeness (every
+// bench workload under every bench configuration), and result sanity.
+func checkBenchV1(path string, doc *benchDoc) error {
 	if doc.ClockHz != experiment.ClockHz {
 		return fmt.Errorf("%s: clock_hz %g, want %g", path, doc.ClockHz, experiment.ClockHz)
 	}

@@ -22,6 +22,12 @@
 // -record writes the replay back out with the schedule header and fault
 // annotations, producing a self-verifying trace.
 //
+// Traces may also carry '!policy' (shadow-page reuse / GC schedule),
+// '!vabudget' (fresh-VA cap), and '!guards' directives; replay honours all
+// of them and -record preserves them, so an adversarial exhaustion trace
+// reproduces its recorded run — including missed-detection counts —
+// bit-for-bit.
+//
 // Exit status: 0 clean, 2 when memory errors were detected.
 package main
 
@@ -32,7 +38,6 @@ import (
 	"io"
 	"os"
 
-	"repro/pageguard"
 	"repro/trace"
 )
 
@@ -92,19 +97,14 @@ func run(guards, report, ndjson bool, faults, record string, args []string) (int
 	if err != nil {
 		return 0, err
 	}
-	spec := tf.FaultSpec
 	if faults != "" {
-		spec = faults
+		tf.FaultSpec = faults
+	}
+	if guards {
+		tf.Guards = true
 	}
 
-	var opts []pageguard.Option
-	if guards {
-		opts = append(opts, pageguard.WithOverflowGuards())
-	}
-	if spec != "" {
-		opts = append(opts, pageguard.WithFaultSchedule(spec))
-	}
-	rep, err := trace.Replay(pageguard.NewMachine(opts...), tf.Events)
+	rep, err := trace.Replay(trace.NewMachine(tf), tf.Events)
 	if err != nil {
 		return 0, err
 	}
@@ -119,8 +119,12 @@ func run(guards, report, ndjson bool, faults, record string, args []string) (int
 		return 0, nil
 	}
 
-	fmt.Printf("replayed %d events: %d allocs, %d frees, %d reads, %d writes\n",
+	fmt.Printf("replayed %d events: %d allocs, %d frees, %d reads, %d writes",
 		rep.Events, rep.Allocs, rep.Frees, rep.Reads, rep.Writes)
+	if rep.Forgets > 0 {
+		fmt.Printf(", %d forgets", rep.Forgets)
+	}
+	fmt.Println()
 	fmt.Printf("detector: %s\n", rep.Stats)
 	for _, f := range rep.InjectedFaults {
 		fmt.Printf("injected: %s\n", f)
@@ -144,7 +148,8 @@ func run(guards, report, ndjson bool, faults, record string, args []string) (int
 		if err != nil {
 			return 0, err
 		}
-		ann := &trace.File{FaultSpec: spec, Events: rep.Annotated}
+		ann := *tf // preserve every directive, not just the fault schedule
+		ann.Events = rep.Annotated
 		if err := ann.Format(out); err != nil {
 			out.Close()
 			return 0, err

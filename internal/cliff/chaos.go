@@ -1,0 +1,140 @@
+package cliff
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/pageguard"
+	"repro/trace"
+)
+
+// The adversarial corpus folded into the chaos soak: every corpus trace
+// replays under the same kernel fault-schedule matrix the workload soak
+// uses, so syscall-fault injection composes with the exhaustion pressure,
+// double-free storms, and guard-straddling objects the corpus plants. The
+// soak's law is conservation of planted errors: injection may degrade
+// protection and move a stale use from detected to missed, but the ledger
+// must still account for every one, and the bookkeeping must stay clean.
+
+// CorpusChaosCell is one (corpus trace, fault schedule) soak result.
+type CorpusChaosCell struct {
+	Trace    string
+	Schedule string
+	// Injected counts faults the schedule actually delivered.
+	Injected int
+	// Dangling / Overflows / DoubleFrees classify the detections.
+	Dangling    int
+	Overflows   int
+	DoubleFrees uint64
+	// Missed is the ground-truth ledger's count of silently lost stale
+	// uses; Degraded counts allocations that fell back to unprotected
+	// canonical addresses.
+	Missed   uint64
+	Degraded uint64
+}
+
+// CorpusChaosStudy is the rendered corpus soak.
+type CorpusChaosStudy struct {
+	Cells []CorpusChaosCell
+}
+
+// GenCorpusChaos soaks every adversarial corpus trace under the chaos
+// schedule matrix, enforcing:
+//
+//   - the fault-free replay reproduces each trace's planted ground truth
+//     exactly (detections, double frees, misses);
+//   - a schedule that injects nothing is bit-identical to the fault-free
+//     replay (NDJSON bytes);
+//   - under injection, detected + missed stale uses still equals the
+//     planted total (degradation narrows coverage, it never loses the
+//     account), and overflow/double-free detections never exceed the
+//     planted counts;
+//   - every replay finishes with a clean health check.
+func GenCorpusChaos() (*CorpusChaosStudy, error) {
+	study := &CorpusChaosStudy{}
+	for _, c := range Corpus() {
+		clean, cleanBytes, err := replayCorpusChaos(c, "")
+		if err != nil {
+			return nil, err
+		}
+		if clean.Dangling != c.Expect.Dangling || clean.Overflows != c.Expect.Overflows ||
+			clean.DoubleFrees != c.Expect.DoubleFrees || clean.Missed != c.Expect.Missed {
+			return nil, fmt.Errorf("chaos corpus %s: clean replay %+v diverges from planted %+v",
+				c.Name, clean, c.Expect)
+		}
+		for _, sched := range experiment.ChaosSchedules() {
+			cell, got, err := replayCorpusChaos(c, sched.Spec)
+			if err != nil {
+				return nil, fmt.Errorf("chaos corpus %s/%s: %w", c.Name, sched.Name, err)
+			}
+			cell.Schedule = sched.Name
+			if cell.Injected == 0 && !bytes.Equal(got, cleanBytes) {
+				return nil, fmt.Errorf("chaos corpus %s/%s: fault-free replay diverges from clean replay",
+					c.Name, sched.Name)
+			}
+			planted := uint64(c.Expect.Dangling) + c.Expect.Missed
+			if uint64(cell.Dangling)+cell.Missed != planted {
+				return nil, fmt.Errorf("chaos corpus %s/%s: detected %d + missed %d != planted %d",
+					c.Name, sched.Name, cell.Dangling, cell.Missed, planted)
+			}
+			if cell.Overflows > c.Expect.Overflows || cell.DoubleFrees > c.Expect.DoubleFrees {
+				return nil, fmt.Errorf("chaos corpus %s/%s: injection invented detections: %+v vs planted %+v",
+					c.Name, sched.Name, cell, c.Expect)
+			}
+			study.Cells = append(study.Cells, cell)
+		}
+	}
+	return study, nil
+}
+
+// replayCorpusChaos replays one corpus trace with an extra fault schedule
+// composed over the trace's own directives, classifies the outcome, and
+// returns the cell plus the replay's NDJSON bytes.
+func replayCorpusChaos(c CorpusEntry, faultSpec string) (CorpusChaosCell, []byte, error) {
+	cell := CorpusChaosCell{Trace: c.Name, Schedule: "clean"}
+	tf := c.File()
+	tf.FaultSpec = faultSpec
+	rep, err := trace.Replay(trace.NewMachine(tf), tf.Events)
+	if err != nil {
+		return cell, nil, err
+	}
+	if rep.Health != nil {
+		return cell, nil, fmt.Errorf("health: %w", rep.Health)
+	}
+	cell.Injected = len(rep.InjectedFaults)
+	cell.Missed = rep.Stats.MissedDetections
+	cell.DoubleFrees = rep.Stats.DoubleFrees
+	cell.Degraded = rep.Stats.DegradedAllocs
+	for _, d := range rep.Detections {
+		var de *pageguard.DanglingError
+		var oe *pageguard.OverflowError
+		switch {
+		case errors.As(d.Err, &de):
+			cell.Dangling++
+		case errors.As(d.Err, &oe):
+			cell.Overflows++
+		}
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteNDJSON(&buf, rep); err != nil {
+		return cell, nil, err
+	}
+	return cell, buf.Bytes(), nil
+}
+
+// String renders the corpus soak as a table.
+func (s *CorpusChaosStudy) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos soak: adversarial corpus under injected syscall-fault schedules\n")
+	fmt.Fprintf(&b, "%-18s %-8s %7s %8s %9s %7s %7s %8s\n",
+		"trace", "faults", "inject", "dangling", "overflows", "dblfree", "missed", "degraded")
+	for _, c := range s.Cells {
+		fmt.Fprintf(&b, "%-18s %-8s %7d %8d %9d %7d %7d %8d\n",
+			c.Trace, c.Schedule, c.Injected, c.Dangling, c.Overflows,
+			c.DoubleFrees, c.Missed, c.Degraded)
+	}
+	return b.String()
+}

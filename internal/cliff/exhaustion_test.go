@@ -1,0 +1,54 @@
+package cliff
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExhaustionStudy runs the full ladder. Every invariant — the cliff
+// death, survival of each mitigation, cost reconciliation against the
+// kernel charge point and the cycle log, conservation of planted errors,
+// zero misses at the default interval and a real window under gc@64 — is
+// enforced inside GenExhaustionStudy; this test asserts the study builds
+// and has the expected shape.
+func TestExhaustionStudy(t *testing.T) {
+	s, err := GenExhaustionStudy(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := len(CliffWorkloads()) * len(exhaustionRungs(0))
+	if len(s.Cells) != wantCells {
+		t.Fatalf("study has %d cells, want %d", len(s.Cells), wantCells)
+	}
+	// At least 3 GC intervals per workload, per the acceptance criteria.
+	intervals := map[string]bool{}
+	for _, c := range s.Cells {
+		if strings.HasPrefix(c.Rung, "gc@") {
+			intervals[c.Rung] = true
+		}
+	}
+	if len(intervals) < 3 {
+		t.Fatalf("study covers %d GC rungs, want >= 3: %v", len(intervals), intervals)
+	}
+	table := s.String()
+	for _, want := range []string{"DIED", "watermark", "gc@64+tuned"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestExhaustionStudyDeterministic renders the ladder twice; the tables
+// must be byte-identical (the whole point of trace-driven measurement).
+func TestExhaustionStudyDeterministic(t *testing.T) {
+	render := func() string {
+		s, err := GenExhaustionStudy([]string{"churn"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("ladder is not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}

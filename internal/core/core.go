@@ -102,6 +102,9 @@ type Object struct {
 	AllocSeq uint64
 	// Guarded marks objects followed by an overflow guard page.
 	Guarded bool
+	// RecycledBy records which path retired a StateRecycled object — the
+	// missed-detection ledger classifies stale uses by it.
+	RecycledBy RecycleReason
 }
 
 // Stats summarizes remapper activity.
@@ -137,6 +140,22 @@ type Stats struct {
 	// UnprotectedFrees counts freed objects whose PROT_NONE mprotect
 	// failed persistently, leaving their shadow pages unprotected.
 	UnprotectedFrees uint64
+	// DoubleFrees counts detected frees of already-freed objects (a
+	// subset of DanglingDetected, reported first-class).
+	DoubleFrees uint64
+	// MissedDetections counts stale uses that went undetected because the
+	// object's shadow pages were recycled before the trap could fire —
+	// the §3.4 reuse policies' exact cost, counted by the ground-truth
+	// ledger (NoteStaleUse).
+	MissedDetections uint64
+	// GCScheduled counts conservative-GC cycles run by the scheduler
+	// (subset of GCRuns).
+	GCScheduled uint64
+	// GCScannedWords counts words visited by conservative-GC scans.
+	GCScannedWords uint64
+	// GCCycleCost is the total cycles charged for conservative-GC scans
+	// (equals the kernel's GCChargedCycles by construction).
+	GCCycleCost uint64
 }
 
 // Remapper is the per-process shadow-page engine. Not safe for concurrent
@@ -177,6 +196,21 @@ type Remapper struct {
 	policy   ReusePolicy
 	allocSeq uint64
 	stats    Stats
+
+	// sched, when non-nil, owns GC triggering (gcsched.go); the policy's
+	// own interval clock is disabled so cycles never double-fire.
+	sched *GCSchedule
+	// gcLog records every collector cycle's accounting.
+	gcLog []GCCycle
+	// lastCycleAlloc / lastCycleReserved are the scheduler's clocks: the
+	// allocSeq and fresh-VA readings at the last scheduled cycle.
+	lastCycleAlloc    uint64
+	lastCycleReserved uint64
+	// schedErr is the first HealthCheck violation found after a scheduled
+	// cycle (nil = all cycles audited clean).
+	schedErr error
+	// ledger is the ground-truth missed-detection meter (ledger.go).
+	ledger MissLedger
 
 	// guardPages enables the overflow-guard extension (guard.go).
 	guardPages bool
@@ -414,18 +448,19 @@ func (r *Remapper) Free(al Allocator, f vm.Addr, site string) error {
 		// A double free whose mprotect is still queued (batched mode):
 		// the page did not trap, but the bookkeeping knows.
 		r.stats.DanglingDetected++
+		r.stats.DoubleFrees++
 		fault := &vm.Fault{
 			Addr:   f - remapHeaderSize,
 			Access: vm.AccessRead,
 			Reason: vm.FaultProtection,
 		}
-		return &DanglingError{
+		return newDoubleFreeError(DanglingError{
 			Fault:   fault,
 			Object:  obj,
 			UseSite: site,
 			Offset:  -remapHeaderSize,
 			Report:  r.buildReport(obj, fault, site, -remapHeaderSize),
-		}
+		})
 	}
 	if obj == nil || obj.State != StateLive || obj.ShadowAddr != f {
 		return fmt.Errorf("core: free of non-heap or misaligned pointer %#x at %s", f, site)
@@ -502,13 +537,20 @@ func (r *Remapper) Explain(fault *vm.Fault, site string) error {
 	}
 	r.stats.DanglingDetected++
 	offset := int64(fault.Addr) - int64(obj.ShadowAddr)
-	return &DanglingError{
+	de := DanglingError{
 		Fault:   fault,
 		Object:  obj,
 		UseSite: site,
 		Offset:  offset,
 		Report:  r.buildReport(obj, fault, site, offset),
 	}
+	if offset < 0 {
+		// The only negative-offset access is Free's header read: a free of
+		// an already-freed object, reported first-class.
+		r.stats.DoubleFrees++
+		return newDoubleFreeError(de)
+	}
+	return &de
 }
 
 // ObjectAt returns the remapper's record covering the shadow page of addr,
@@ -532,6 +574,7 @@ func (r *Remapper) OnPoolDestroy(p *pool.Pool) {
 			r.stats.ShadowPagesFreed -= obj.ShadowRun.Pages
 		}
 		obj.State = StateRecycled
+		obj.RecycledBy = RecycledByPoolDestroy
 		for i := uint64(0); i < obj.ShadowRun.Pages; i++ {
 			vpn := vm.PageOf(obj.ShadowRun.Addr) + vm.VPN(i)
 			if r.objects[vpn] == obj {
@@ -554,4 +597,11 @@ func (r *Remapper) OnPoolDestroy(p *pool.Pool) {
 		delete(r.degraded, addr)
 	}
 	delete(r.degradedByPool, p)
+
+	// Pool destruction is the §3.3 mass-recycling event: a scheduled
+	// collector configured for it runs a cycle now, while the other pools'
+	// freed runs are still candidates.
+	if r.sched != nil && r.sched.OnPoolDestroy {
+		r.runScheduledCycle(GCTriggerPoolDestroy)
+	}
 }

@@ -78,6 +78,7 @@ func (r *Remapper) degradeAlloc(owner *pool.Pool, canon vm.Addr) vm.Addr {
 // pool — pool destroy releases the pages as usual.
 func (r *Remapper) dropUnprotected(obj *Object) {
 	obj.State = StateRecycled
+	obj.RecycledBy = RecycledByUnprotected
 	for i := uint64(0); i < obj.ShadowRun.Pages; i++ {
 		vpn := pageOfRun(obj, i)
 		if r.objects[vpn] == obj {
@@ -145,6 +146,27 @@ func (r *Remapper) HealthCheck() error {
 		if obj.State == StateLive {
 			return fmt.Errorf("core: health: live object (alloc %s) in protect queue", obj.AllocSite)
 		}
+	}
+	// (6) The missed-detection ledger is consistent: an undetected stale
+	// use of a still-protected object is a protection failure, not a
+	// reuse-policy cost, and must never be counted (the ledger's
+	// "never goes negative" direction).
+	if r.ledger.Inconsistent != 0 {
+		return fmt.Errorf("core: health: %d stale uses of still-protected objects went undetected", r.ledger.Inconsistent)
+	}
+	// (7) Counters derived from the ledger and the cycle log agree.
+	if r.stats.MissedDetections != r.ledger.Missed {
+		return fmt.Errorf("core: health: missed-detection counter %d, ledger says %d", r.stats.MissedDetections, r.ledger.Missed)
+	}
+	var logCycles uint64
+	for i := range r.gcLog {
+		logCycles += r.gcLog[i].Cycles
+	}
+	if logCycles != r.stats.GCCycleCost {
+		return fmt.Errorf("core: health: GC cycle log sums to %d cycles, counter says %d", logCycles, r.stats.GCCycleCost)
+	}
+	if kern := r.proc.GCChargedCycles(); kern != r.stats.GCCycleCost {
+		return fmt.Errorf("core: health: kernel charged %d GC cycles, remapper counted %d", kern, r.stats.GCCycleCost)
 	}
 	return nil
 }

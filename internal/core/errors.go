@@ -45,3 +45,31 @@ func (e *DanglingError) Error() string {
 
 // IsDouble reports whether the use was a free of an already-freed object.
 func (e *DanglingError) IsDouble() bool { return e.Offset < 0 }
+
+// DoubleFreeError is the first-class report of a double free: a free of an
+// object that was already freed. It embeds the DanglingError that the
+// header-read trap (or the batched-mode bookkeeping check) produced, so
+// errors.As(err, **DanglingError) keeps matching at every existing call
+// site, and names both free sites explicitly: the original free recorded on
+// the object, and the offending second free.
+type DoubleFreeError struct {
+	DanglingError
+	// FirstFreeSite labels the free that legitimately retired the object.
+	FirstFreeSite string
+	// SecondFreeSite labels the offending repeated free.
+	SecondFreeSite string
+}
+
+// Unwrap exposes the embedded DanglingError to errors.As/errors.Is chains.
+func (e *DoubleFreeError) Unwrap() error { return &e.DanglingError }
+
+// newDoubleFreeError wraps a detected double free. The embedded
+// DanglingError's message is kept verbatim (golden-tested downstream); the
+// wrapper only adds the typed forensics.
+func newDoubleFreeError(de DanglingError) *DoubleFreeError {
+	return &DoubleFreeError{
+		DanglingError:  de,
+		FirstFreeSite:  de.Object.FreeSite,
+		SecondFreeSite: de.UseSite,
+	}
+}

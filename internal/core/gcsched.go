@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// GC scheduling (§3.4, second and third mitigations). The paper proposes
+// running the conservative collector "infrequently" over the long-lived
+// pools, and letting developers tune when; this file supplies the policy
+// machinery: trigger rules (allocation interval, fresh-VA watermark, pool
+// destroy), per-cycle cost accounting, and the ManualTuning knob that gates
+// cycles that would not pay for themselves.
+
+// DefaultGCInterval is the allocation interval a zero-valued schedule uses.
+const DefaultGCInterval = 256
+
+// GCTrigger records why a collector cycle ran.
+type GCTrigger uint8
+
+// Triggers.
+const (
+	// GCTriggerManual is an explicit CollectGarbage call (tests, the
+	// policy's own interval clock).
+	GCTriggerManual GCTrigger = iota + 1
+	// GCTriggerInterval fired because Interval allocations elapsed since
+	// the last scheduled cycle.
+	GCTriggerInterval
+	// GCTriggerWatermark fired because fresh VA reservations grew by
+	// WatermarkPages since the last scheduled cycle.
+	GCTriggerWatermark
+	// GCTriggerPoolDestroy fired from OnPoolDestroy.
+	GCTriggerPoolDestroy
+)
+
+// String implements fmt.Stringer.
+func (t GCTrigger) String() string {
+	switch t {
+	case GCTriggerManual:
+		return "manual"
+	case GCTriggerInterval:
+		return "interval"
+	case GCTriggerWatermark:
+		return "watermark"
+	case GCTriggerPoolDestroy:
+		return "pooldestroy"
+	default:
+		return fmt.Sprintf("trigger(%d)", uint8(t))
+	}
+}
+
+// ManualTuning is the paper's third §3.4 mitigation: application-specific
+// knobs that skip scheduled cycles which would not pay for themselves.
+type ManualTuning struct {
+	// MinFreedPages skips a scheduled cycle while fewer freed shadow
+	// pages than this await reclamation (0 = no gate).
+	MinFreedPages uint64
+	// CooldownAllocs is the minimum number of allocations between two
+	// scheduled cycles, regardless of trigger (0 = no gate).
+	CooldownAllocs uint64
+}
+
+// GCSchedule configures the scheduler. A zero value means: collect every
+// DefaultGCInterval allocations, no watermark, no pool-destroy trigger, no
+// tuning gates.
+type GCSchedule struct {
+	// Interval triggers a cycle every this many allocations
+	// (0 = DefaultGCInterval).
+	Interval uint64
+	// WatermarkPages triggers a cycle when fresh VA reservations have
+	// grown by this many pages since the last scheduled cycle
+	// (0 = disabled). Reservations are monotone, so the trigger is a
+	// growth delta, not an absolute level.
+	WatermarkPages uint64
+	// OnPoolDestroy runs a cycle right after each pool destroy, while the
+	// surviving pools' freed runs are candidates.
+	OnPoolDestroy bool
+	// Tuning gates scheduled cycles.
+	Tuning ManualTuning
+}
+
+// EnableGCSchedule installs a scheduler on the remapper. The schedule owns
+// all GC triggering from here on: the reuse policy's own interval clock is
+// disabled (maybeIntervalReclaim defers to the scheduler). Typically
+// combined with PolicyGC or PolicyOnExhaustion so the exhaustion ladder in
+// shadowBlock stays armed.
+func (r *Remapper) EnableGCSchedule(s GCSchedule) {
+	if s.Interval == 0 {
+		s.Interval = DefaultGCInterval
+	}
+	r.sched = &s
+	r.lastCycleAlloc = r.allocSeq
+	r.lastCycleReserved = r.proc.Space().ReservedPages()
+}
+
+// Schedule returns the installed GC schedule, or nil.
+func (r *Remapper) Schedule() *GCSchedule { return r.sched }
+
+// GCCycle is one collector cycle's accounting record.
+type GCCycle struct {
+	// Seq is the cycle's ordinal (1-based, equals Stats.GCRuns after it).
+	Seq uint64
+	// Trigger is why the cycle ran.
+	Trigger GCTrigger
+	// AllocSeq is the allocation counter when the cycle started.
+	AllocSeq uint64
+	// ScannedWords is the number of root/heap words visited.
+	ScannedWords uint64
+	// Cycles is the scan cost charged through the kernel (ScannedWords x
+	// the per-word price); summing the log equals GCChargedCycles.
+	Cycles uint64
+	// PagesRecycled and ObjectsRecycled count what the cycle reclaimed.
+	PagesRecycled   uint64
+	ObjectsRecycled uint64
+	// ReservedPages is the fresh-VA watermark when the cycle finished.
+	ReservedPages uint64
+}
+
+// GCCycleLog returns a copy of every collector cycle's accounting record,
+// scheduled and manual alike, in execution order.
+func (r *Remapper) GCCycleLog() []GCCycle {
+	out := make([]GCCycle, len(r.gcLog))
+	copy(out, r.gcLog)
+	return out
+}
+
+// SchedulerHealthErr returns the first HealthCheck violation observed after
+// a scheduled cycle, or nil. A scheduler that corrupts bookkeeping must not
+// fail silently between explicit audits.
+func (r *Remapper) SchedulerHealthErr() error { return r.schedErr }
+
+// maybeScheduledGC checks the interval and watermark triggers. Called from
+// the same spots as the policy clock (Alloc and Free entry).
+func (r *Remapper) maybeScheduledGC() {
+	s := r.sched
+	var trigger GCTrigger
+	switch {
+	case r.allocSeq-r.lastCycleAlloc >= s.Interval && r.allocSeq > 0:
+		trigger = GCTriggerInterval
+	case s.WatermarkPages > 0 && r.proc.Space().ReservedPages()-r.lastCycleReserved >= s.WatermarkPages:
+		trigger = GCTriggerWatermark
+	default:
+		return
+	}
+	r.runScheduledCycle(trigger)
+}
+
+// runScheduledCycle applies the tuning gates, runs one collector cycle, and
+// audits the invariants. Returns whether a cycle actually ran. The trigger
+// clocks reset either way, so a gated trigger re-arms rather than retrying
+// on every allocation.
+func (r *Remapper) runScheduledCycle(trigger GCTrigger) bool {
+	t := r.sched.Tuning
+	gated := r.stats.ShadowPagesFreed < t.MinFreedPages ||
+		(t.CooldownAllocs > 0 && len(r.gcLog) > 0 && r.allocSeq-r.lastCycleAlloc < t.CooldownAllocs)
+	r.lastCycleAlloc = r.allocSeq
+	r.lastCycleReserved = r.proc.Space().ReservedPages()
+	if gated {
+		return false
+	}
+	r.collect(trigger)
+	r.stats.GCScheduled++
+	if r.schedErr == nil {
+		if err := r.HealthCheck(); err != nil {
+			r.schedErr = err
+		}
+	}
+	return true
+}
+
+// ParsePolicySpec parses a reuse-policy/GC-schedule spec string:
+//
+//	never
+//	on-exhaustion
+//	interval=N
+//	gc[=N][,watermark=P][,pooldestroy][,minfreed=F][,cooldown=C]
+//
+// The gc form returns a non-nil schedule (interval N, default 256) to be
+// installed with EnableGCSchedule; the other forms configure only the
+// policy. The grammar round-trips through PolicySpecString.
+func ParsePolicySpec(spec string) (ReusePolicy, *GCSchedule, error) {
+	bad := func(f string, args ...any) (ReusePolicy, *GCSchedule, error) {
+		return ReusePolicy{}, nil, fmt.Errorf("core: bad policy spec %q: %s", spec, fmt.Sprintf(f, args...))
+	}
+	switch {
+	case spec == "never":
+		return ReusePolicy{Kind: PolicyNever}, nil, nil
+	case spec == "on-exhaustion":
+		return ReusePolicy{Kind: PolicyOnExhaustion}, nil, nil
+	case strings.HasPrefix(spec, "interval="):
+		n, err := strconv.ParseUint(spec[len("interval="):], 10, 64)
+		if err != nil || n == 0 {
+			return bad("interval must be a positive integer")
+		}
+		return ReusePolicy{Kind: PolicyInterval, Interval: n}, nil, nil
+	case spec == "gc" || strings.HasPrefix(spec, "gc=") || strings.HasPrefix(spec, "gc,"):
+		sched := &GCSchedule{Interval: DefaultGCInterval}
+		for i, part := range strings.Split(spec, ",") {
+			key, val, hasVal := strings.Cut(part, "=")
+			uval := func() (uint64, error) { return strconv.ParseUint(val, 10, 64) }
+			switch {
+			case i == 0 && key == "gc":
+				if hasVal {
+					n, err := uval()
+					if err != nil || n == 0 {
+						return bad("gc interval must be a positive integer")
+					}
+					sched.Interval = n
+				}
+			case i == 0:
+				return bad("must start with gc")
+			case key == "watermark" && hasVal:
+				n, err := uval()
+				if err != nil || n == 0 {
+					return bad("watermark must be a positive page count")
+				}
+				sched.WatermarkPages = n
+			case key == "pooldestroy" && !hasVal:
+				sched.OnPoolDestroy = true
+			case key == "minfreed" && hasVal:
+				n, err := uval()
+				if err != nil {
+					return bad("minfreed must be a page count")
+				}
+				sched.Tuning.MinFreedPages = n
+			case key == "cooldown" && hasVal:
+				n, err := uval()
+				if err != nil {
+					return bad("cooldown must be an allocation count")
+				}
+				sched.Tuning.CooldownAllocs = n
+			default:
+				return bad("unknown option %q", part)
+			}
+		}
+		return ReusePolicy{Kind: PolicyGC, Interval: sched.Interval}, sched, nil
+	default:
+		return bad("want never, on-exhaustion, interval=N, or gc[=N][,watermark=P][,pooldestroy][,minfreed=F][,cooldown=C]")
+	}
+}
+
+// PolicySpecString renders a policy (and optional schedule) in the
+// ParsePolicySpec grammar, canonically.
+func PolicySpecString(p ReusePolicy, s *GCSchedule) string {
+	if s != nil {
+		var b strings.Builder
+		interval := s.Interval
+		if interval == 0 {
+			interval = DefaultGCInterval
+		}
+		fmt.Fprintf(&b, "gc=%d", interval)
+		if s.WatermarkPages > 0 {
+			fmt.Fprintf(&b, ",watermark=%d", s.WatermarkPages)
+		}
+		if s.OnPoolDestroy {
+			b.WriteString(",pooldestroy")
+		}
+		if s.Tuning.MinFreedPages > 0 {
+			fmt.Fprintf(&b, ",minfreed=%d", s.Tuning.MinFreedPages)
+		}
+		if s.Tuning.CooldownAllocs > 0 {
+			fmt.Fprintf(&b, ",cooldown=%d", s.Tuning.CooldownAllocs)
+		}
+		return b.String()
+	}
+	switch p.Kind {
+	case PolicyOnExhaustion:
+		return "on-exhaustion"
+	case PolicyInterval:
+		interval := p.Interval
+		if interval == 0 {
+			interval = 1 << 20
+		}
+		return fmt.Sprintf("interval=%d", interval)
+	case PolicyGC:
+		interval := p.Interval
+		if interval == 0 {
+			interval = 1 << 20
+		}
+		return fmt.Sprintf("gc=%d", interval)
+	default:
+		return "never"
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+// The missed-detection ledger: ground truth for what the §3.4 reuse
+// policies cost in detection coverage. Every reuse policy trades shadow-VA
+// for a window in which a stale pointer use no longer traps — the object's
+// shadow pages were recycled (or re-aliased to a new object) before the use
+// happened. Harnesses that know the ground truth (the trace replayer, which
+// sees every free in the input) report each stale use here together with
+// whether the detector actually caught it; the ledger counts the exact
+// misses, and HealthCheck holds the counts to their invariants.
+
+// RecycleReason records which path retired a recycled object.
+type RecycleReason uint8
+
+// Recycle reasons.
+const (
+	// RecycledByGC: the conservative collector proved no live memory
+	// still pointed into the object's shadow run.
+	RecycledByGC RecycleReason = iota + 1
+	// RecycledByReclaim: an unconditional reclaim (on-exhaustion or
+	// interval policy) recycled the run with no liveness proof.
+	RecycledByReclaim
+	// RecycledByPoolDestroy: the owning pool was destroyed (§3.3 reuse).
+	RecycledByPoolDestroy
+	// RecycledByUnprotected: free-time mprotect failed persistently and
+	// the object left tracking with its pages still accessible.
+	RecycledByUnprotected
+)
+
+// String implements fmt.Stringer.
+func (k RecycleReason) String() string {
+	switch k {
+	case RecycledByGC:
+		return "gc"
+	case RecycledByReclaim:
+		return "reclaim"
+	case RecycledByPoolDestroy:
+		return "pooldestroy"
+	case RecycledByUnprotected:
+		return "unprotected"
+	default:
+		return "none"
+	}
+}
+
+// MissLedger is the ground-truth missed-detection meter.
+type MissLedger struct {
+	// Detected counts stale uses the detector caught (trap fired and was
+	// attributed to the right object).
+	Detected uint64
+	// Missed counts stale uses of recycled objects that went undetected —
+	// the exact missed-detection window.
+	Missed uint64
+	// Inconsistent counts undetected stale uses of objects whose shadow
+	// pages are supposedly still protected (StateFreed) — impossible if
+	// protection works; HealthCheck reports any nonzero value.
+	Inconsistent uint64
+}
+
+// Ledger returns a copy of the missed-detection ledger.
+func (r *Remapper) Ledger() MissLedger { return r.ledger }
+
+// NoteStaleUse reports one ground-truth stale use: the program accessed obj
+// (a previously captured record of an allocation the harness knows was
+// freed), and the detector either caught it (detected, meaning the
+// resulting DanglingError named this very object) or it went through
+// silently. obj may be nil when the harness could not capture a record
+// (page reused and re-indexed); an undetected use is then a miss by
+// definition.
+func (r *Remapper) NoteStaleUse(obj *Object, detected bool) {
+	if detected {
+		r.ledger.Detected++
+		return
+	}
+	if obj != nil && obj.State == StateFreed {
+		// Still protected, yet no trap: protection is broken, not traded.
+		r.ledger.Inconsistent++
+		return
+	}
+	r.ledger.Missed++
+	r.stats.MissedDetections++
+}

@@ -74,6 +74,16 @@ func (r *Remapper) RegisterMetrics(reg *obs.Registry) {
 		func() uint64 { return s.RecycledPages })
 	reg.CounterFunc("pg_gc_runs_total", "conservative-GC reclamation runs",
 		func() uint64 { return s.GCRuns })
+	reg.CounterFunc("pg_gc_scheduled_total", "conservative-GC cycles run by the scheduler",
+		func() uint64 { return s.GCScheduled })
+	reg.CounterFunc("pg_gc_scanned_words_total", "words visited by conservative-GC scans",
+		func() uint64 { return s.GCScannedWords })
+	reg.CounterFunc("pg_gc_cycle_cost_cycles_total", "cycles charged for conservative-GC scans",
+		func() uint64 { return s.GCCycleCost })
+	reg.CounterFunc("pg_double_frees_total", "detected frees of already-freed objects",
+		func() uint64 { return s.DoubleFrees })
+	reg.CounterFunc("pg_missed_detections_total", "ground-truth stale uses the detector missed",
+		func() uint64 { return s.MissedDetections })
 	reg.CounterFunc("pg_elided_allocs_total", "allocations elided by static proof",
 		func() uint64 { return s.ElidedAllocs })
 	reg.CounterFunc("pg_elision_misses_total", "frees contradicting an elision proof",

@@ -61,8 +61,14 @@ type ReusePolicy struct {
 // NeverReuse is the paper's measured configuration.
 func NeverReuse() ReusePolicy { return ReusePolicy{Kind: PolicyNever} }
 
-// maybeIntervalReclaim triggers interval-based policies.
+// maybeIntervalReclaim triggers interval-based policies. When a GC schedule
+// is installed it owns all triggering (interval, watermark, pool destroy),
+// so the policy's own clock is disabled — a cycle must never double-fire.
 func (r *Remapper) maybeIntervalReclaim() {
+	if r.sched != nil {
+		r.maybeScheduledGC()
+		return
+	}
 	if r.policy.Kind != PolicyInterval && r.policy.Kind != PolicyGC {
 		return
 	}
@@ -93,6 +99,7 @@ func (r *Remapper) reclaimFreed() uint64 {
 			return
 		}
 		obj.State = StateRecycled
+		obj.RecycledBy = RecycledByReclaim
 		for i := uint64(0); i < obj.ShadowRun.Pages; i++ {
 			vpn := pageOfRun(obj, i)
 			if r.objects[vpn] == obj {

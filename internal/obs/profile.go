@@ -27,6 +27,9 @@ const (
 	CatDummy
 	// CatTrap is protection-fault delivery.
 	CatTrap
+	// CatGC is conservative-collection scan work (the §3.4 mitigation's
+	// runtime cost), charged once per cycle by the kernel.
+	CatGC
 	numCategories
 )
 
@@ -43,6 +46,8 @@ func (c Category) String() string {
 		return "dummy"
 	case CatTrap:
 		return "trap"
+	case CatGC:
+		return "gc"
 	default:
 		return fmt.Sprintf("category(%d)", uint8(c))
 	}
@@ -63,6 +68,7 @@ type SiteCost struct {
 	ProtectCycles uint64 `json:"protect_cycles"`
 	DummyCycles   uint64 `json:"dummy_cycles"`
 	TrapCycles    uint64 `json:"trap_cycles"`
+	GCCycles      uint64 `json:"gc_cycles,omitempty"`
 	// Event counts.
 	Syscalls uint64 `json:"syscalls"`
 	Traps    uint64 `json:"traps"`
@@ -72,7 +78,7 @@ type SiteCost struct {
 
 // Total returns the site's total attributed cycles across all categories.
 func (c *SiteCost) Total() uint64 {
-	return c.MapCycles + c.RemapCycles + c.ProtectCycles + c.DummyCycles + c.TrapCycles
+	return c.MapCycles + c.RemapCycles + c.ProtectCycles + c.DummyCycles + c.TrapCycles + c.GCCycles
 }
 
 // add accumulates cycles into the category's field.
@@ -88,6 +94,8 @@ func (c *SiteCost) add(cat Category, cycles uint64) {
 		c.DummyCycles += cycles
 	case CatTrap:
 		c.TrapCycles += cycles
+	case CatGC:
+		c.GCCycles += cycles
 	}
 }
 
@@ -130,6 +138,12 @@ func (p *SiteProfile) AddTrap(site string, cycles uint64) {
 	c.Traps++
 }
 
+// AddGC attributes one conservative-GC cycle's scan cost to site. GC work
+// is neither a syscall nor a trap, so only the cycle total moves.
+func (p *SiteProfile) AddGC(site string, cycles uint64) {
+	p.site(site).GCCycles += cycles
+}
+
 // CountAlloc and CountFree record operation counts per site (no cycles).
 func (p *SiteProfile) CountAlloc(site string) { p.site(site).Allocs++ }
 func (p *SiteProfile) CountFree(site string)  { p.site(site).Frees++ }
@@ -146,6 +160,7 @@ func (p *SiteProfile) Merge(other *SiteProfile) {
 		c.ProtectCycles += oc.ProtectCycles
 		c.DummyCycles += oc.DummyCycles
 		c.TrapCycles += oc.TrapCycles
+		c.GCCycles += oc.GCCycles
 		c.Syscalls += oc.Syscalls
 		c.Traps += oc.Traps
 		c.Allocs += oc.Allocs

@@ -10,7 +10,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/pageguard"
 	"repro/trace"
 )
 
@@ -57,17 +56,15 @@ func (r *LoadReport) String() string {
 }
 
 // offlineNDJSON computes the expected response body: the same replay pgtrace
-// performs, rendered through the same canonical NDJSON encoder.
+// performs, rendered through the same canonical NDJSON encoder. Every trace
+// directive (faults, policy, vabudget, guards) is honoured, matching the
+// server's replay machine.
 func offlineNDJSON(traceText []byte) ([]byte, error) {
 	tf, err := trace.ParseFile(bytes.NewReader(traceText))
 	if err != nil {
 		return nil, err
 	}
-	var opts []pageguard.Option
-	if tf.FaultSpec != "" {
-		opts = append(opts, pageguard.WithFaultSchedule(tf.FaultSpec))
-	}
-	rep, err := trace.Replay(pageguard.NewMachine(opts...), tf.Events)
+	rep, err := trace.Replay(trace.NewMachine(tf), tf.Events)
 	if err != nil {
 		return nil, err
 	}

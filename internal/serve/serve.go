@@ -20,6 +20,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -32,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cliff"
 	"repro/internal/minic/safety"
 	"repro/internal/obs"
 	"repro/internal/workload"
@@ -146,6 +148,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /replay", s.handleReplay)
 	s.mux.HandleFunc("POST /workload/{name}", s.handleWorkload)
 	s.mux.HandleFunc("GET /workloads", s.handleWorkloads)
+	s.mux.HandleFunc("POST /corpus/{name}", s.handleCorpus)
+	s.mux.HandleFunc("GET /corpus", s.handleCorpusList)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics/replay.json", s.handleReplayMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -193,8 +197,9 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 	case s.queue <- struct{}{}:
 	default:
 		s.count(s.shed)
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-		http.Error(w, "replay queue full", http.StatusTooManyRequests)
+		retry := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		writeError(w, http.StatusTooManyRequests, ErrCodeQueueFull,
+			"replay queue full", retry)
 		return nil, false
 	}
 	return func() { <-s.queue }, true
@@ -273,6 +278,57 @@ func addSeriesLabel(series, label string) string {
 	return series + "{" + label + "}"
 }
 
+// Machine-readable error causes. Every shedding or rejection response
+// carries exactly one of these in its JSON body, so clients branch on a
+// stable code instead of parsing prose (which may change) or relying on the
+// HTTP status alone (429 and 503 are ambiguous between rungs of the ladder
+// in richer deployments).
+const (
+	ErrCodeQueueFull       = "queue-full"       // 429: admission queue full, retry after Retry-After
+	ErrCodeBodyTooLarge    = "body-too-large"   // 413: request body over Config.MaxBodyBytes
+	ErrCodeBadTrace        = "bad-trace"        // 400: the trace failed to parse
+	ErrCodeTimeout         = "timeout"          // 503: request exceeded Config.Timeout
+	ErrCodeReplayFailed    = "replay-failed"    // 422: trace semantics error or workload failure mid-run
+	ErrCodeUnknownWorkload = "unknown-workload" // 404: no workload with that name
+	ErrCodeUnknownTrace    = "unknown-trace"    // 404: no corpus trace with that name
+	ErrCodeUnknownMode     = "unknown-mode"     // 400: unrecognized ?mode= value
+)
+
+// ErrorBody is the JSON schema of every non-2xx pgserved response:
+//
+//	{"type":"error","code":"<cause>","status":<http status>,
+//	 "error":"<human-readable detail>","retry_after_seconds":<n, 429 only>}
+//
+// The "type" discriminator matches the NDJSON replay stream's convention, so
+// a client reading line-delimited JSON can dispatch errors and results with
+// one switch.
+type ErrorBody struct {
+	Type       string `json:"type"` // always "error"
+	Code       string `json:"code"`
+	Status     int    `json:"status"`
+	Error      string `json:"error"`
+	RetryAfter int    `json:"retry_after_seconds,omitempty"`
+}
+
+// writeError emits the structured JSON error body (plus the Retry-After
+// header when retryAfter is set). It replaces http.Error on every rung of
+// the shedding ladder.
+func writeError(w http.ResponseWriter, status int, code, detail string, retryAfter int) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(status)
+	b, err := json.Marshal(ErrorBody{
+		Type: "error", Code: code, Status: status, Error: detail, RetryAfter: retryAfter,
+	})
+	if err != nil {
+		return
+	}
+	w.Write(append(b, '\n'))
+}
+
 func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.count(s.requests["replay"])
@@ -290,19 +346,26 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		s.count(s.errs)
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			http.Error(w, fmt.Sprintf("trace larger than the %d-byte request limit", s.cfg.MaxBodyBytes),
-				http.StatusRequestEntityTooLarge)
+			writeError(w, http.StatusRequestEntityTooLarge, ErrCodeBodyTooLarge,
+				fmt.Sprintf("trace larger than the %d-byte request limit", s.cfg.MaxBodyBytes), 0)
 			return
 		}
-		http.Error(w, "bad trace: "+err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, ErrCodeBadTrace, "bad trace: "+err.Error(), 0)
 		return
 	}
-	spec := tf.FaultSpec
+	// Query parameters override the trace's own directives.
 	if qs := r.URL.Query().Get("faults"); qs != "" {
-		spec = qs
+		tf.FaultSpec = qs
 	}
-	guards := r.URL.Query().Get("guards") == "1"
+	if r.URL.Query().Get("guards") == "1" {
+		tf.Guards = true
+	}
+	s.replayFile(w, r, tf)
+}
 
+// replayFile runs the trace (directives honoured) on a worker slot and
+// streams the canonical NDJSON result.
+func (s *Server) replayFile(w http.ResponseWriter, r *http.Request, tf *trace.File) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
 	// The merge and the completion count happen inside the worker
@@ -310,14 +373,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	// finishes in the background, and its process metrics must land in the
 	// fleet aggregate (no completed replay work is lost).
 	v, err := s.runIsolated(ctx, func() (any, error) {
-		var opts []pageguard.Option
-		if guards {
-			opts = append(opts, pageguard.WithOverflowGuards())
-		}
-		if spec != "" {
-			opts = append(opts, pageguard.WithFaultSchedule(spec))
-		}
-		rep, err := trace.Replay(pageguard.NewMachine(opts...), tf.Events)
+		rep, err := trace.Replay(trace.NewMachine(tf), tf.Events)
 		if err != nil {
 			return nil, err
 		}
@@ -329,15 +385,12 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		s.count(s.errs)
 		if ctx.Err() != nil {
 			s.count(s.timeouts)
-			http.Error(w, "replay exceeded the request budget", http.StatusServiceUnavailable)
+			writeError(w, http.StatusServiceUnavailable, ErrCodeTimeout,
+				"replay exceeded the request budget", 0)
 			return
 		}
-		var re *trace.ReplayError
-		if errors.As(err, &re) {
-			http.Error(w, "replay failed: "+err.Error(), http.StatusUnprocessableEntity)
-			return
-		}
-		http.Error(w, "replay failed: "+err.Error(), http.StatusUnprocessableEntity)
+		writeError(w, http.StatusUnprocessableEntity, ErrCodeReplayFailed,
+			"replay failed: "+err.Error(), 0)
 		return
 	}
 	rep := v.(*trace.Report)
@@ -370,7 +423,7 @@ func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 	wl, err := workload.ByName(name)
 	if err != nil {
 		s.count(s.errs)
-		http.Error(w, err.Error(), http.StatusNotFound)
+		writeError(w, http.StatusNotFound, ErrCodeUnknownWorkload, err.Error(), 0)
 		return
 	}
 	mode := pageguard.ModeDetect
@@ -386,7 +439,8 @@ func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 		mode = pageguard.ModeDetectStatic
 	default:
 		s.count(s.errs)
-		http.Error(w, fmt.Sprintf("unknown mode %q (native, pa, detect, detect-nopa, static)", q), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, ErrCodeUnknownMode,
+			fmt.Sprintf("unknown mode %q (native, pa, detect, detect-nopa, static)", q), 0)
 		return
 	}
 
@@ -423,10 +477,12 @@ func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 		s.count(s.errs)
 		if ctx.Err() != nil {
 			s.count(s.timeouts)
-			http.Error(w, "workload run exceeded the request budget", http.StatusServiceUnavailable)
+			writeError(w, http.StatusServiceUnavailable, ErrCodeTimeout,
+				"workload run exceeded the request budget", 0)
 			return
 		}
-		http.Error(w, "workload run failed: "+err.Error(), http.StatusUnprocessableEntity)
+		writeError(w, http.StatusUnprocessableEntity, ErrCodeReplayFailed,
+			"workload run failed: "+err.Error(), 0)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -442,6 +498,60 @@ func errString(err error) string {
 		return ""
 	}
 	return err.Error()
+}
+
+// handleCorpus replays one adversarial corpus trace by name, directives
+// honoured, streaming the same canonical NDJSON a POST of the committed
+// trace bytes to /replay would produce — the corpus gate uses exactly that
+// equivalence.
+func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.count(s.requests["replay"])
+	defer s.observeLatency(start)
+
+	c, err := cliff.CorpusByName(r.PathValue("name"))
+	if err != nil {
+		s.count(s.errs)
+		writeError(w, http.StatusNotFound, ErrCodeUnknownTrace, err.Error(), 0)
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	// Parse the canonical bytes rather than using the generator's events
+	// directly: detection line numbers must match a /replay POST of the
+	// committed file byte-for-byte.
+	raw, err := cliff.CorpusBytes(c)
+	if err != nil {
+		s.count(s.errs)
+		writeError(w, http.StatusUnprocessableEntity, ErrCodeReplayFailed, err.Error(), 0)
+		return
+	}
+	tf, err := trace.ParseFile(bytes.NewReader(raw))
+	if err != nil {
+		s.count(s.errs)
+		writeError(w, http.StatusUnprocessableEntity, ErrCodeReplayFailed, err.Error(), 0)
+		return
+	}
+	s.replayFile(w, r, tf)
+}
+
+// corpusEntry is one line of the GET /corpus listing.
+type corpusEntry struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleCorpusList(w http.ResponseWriter, r *http.Request) {
+	out := []corpusEntry{}
+	for _, c := range cliff.Corpus() {
+		out = append(out, corpusEntry{Name: c.Name, Description: c.Description})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(out)
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {

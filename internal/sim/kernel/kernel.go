@@ -44,6 +44,12 @@ type Config struct {
 	// GlobalPages is the size of the globals/data segment mapping
 	// (default 64 pages).
 	GlobalPages uint64
+	// VABudgetPages, when nonzero, caps the total fresh virtual pages the
+	// process may ever reserve — a compressed model of the paper's §3.4
+	// 47-bit exhaustion cliff. The budget must cover the fixed stack and
+	// globals mappings; once spent, only recycled (already-reserved)
+	// address space remains usable.
+	VABudgetPages uint64
 	// Faults optionally injects deterministic syscall failures into the
 	// fallible memory syscalls (nil = every syscall succeeds).
 	Faults *Schedule
@@ -95,6 +101,7 @@ type Process struct {
 	sysPages   [numAccountedKinds]uint64
 	sysHist    [numAccountedKinds]*obs.Histogram
 	trapCycles uint64
+	gcCycles   uint64
 	prof       *obs.SiteProfile
 	site       string
 
@@ -117,6 +124,12 @@ func NewProcess(sys *System, cfg Config) (*Process, error) {
 	space := vm.NewSpace()
 	if cfg.LegacyPageTable {
 		space = vm.NewLegacyMapSpace()
+	}
+	if cfg.VABudgetPages != 0 {
+		if need := cfg.StackPages + cfg.GlobalPages; cfg.VABudgetPages < need {
+			return nil, fmt.Errorf("kernel: VA budget of %d pages cannot cover the %d fixed stack+globals pages", cfg.VABudgetPages, need)
+		}
+		space.SetBudget(cfg.VABudgetPages)
 	}
 	meter := cost.NewMeter(cfg.Model)
 	m := mmu.New(space, sys.mem, meter, cfg.MMU)

@@ -100,6 +100,20 @@ func (p *Process) ChargeTrap() {
 	p.prof.AddTrap(p.site, cycles)
 }
 
+// ChargeGC charges the scan cost of one conservative-GC cycle through the
+// kernel's accounting (meter, GC-cycle total, site attribution). The
+// collector batches its per-word scan cost into one charge per cycle; like
+// chargeSyscall, having the meter price and the attribution recorded at the
+// same point keeps Profile.TotalCycles() == KernelChargedCycles() exact.
+func (p *Process) ChargeGC(cycles uint64) {
+	if cycles == 0 {
+		return
+	}
+	p.meter.ChargeRaw(cycles)
+	p.gcCycles += cycles
+	p.prof.AddGC(p.site, cycles)
+}
+
 // SyscallStat is one syscall kind's accounting totals.
 type SyscallStat struct {
 	Call   SyscallKind
@@ -129,11 +143,14 @@ func (p *Process) KernelChargedCycles() uint64 {
 	for _, c := range p.sysCycles {
 		n += c
 	}
-	return n + p.trapCycles
+	return n + p.trapCycles + p.gcCycles
 }
 
 // TrapCycles returns the cycles charged for runtime-delivered traps.
 func (p *Process) TrapCycles() uint64 { return p.trapCycles }
+
+// GCChargedCycles returns the cycles charged for conservative-GC scan work.
+func (p *Process) GCChargedCycles() uint64 { return p.gcCycles }
 
 // RegisterMetrics registers the kernel layer's metrics on r: per-syscall
 // counters, page and cycle totals, per-syscall cycle histograms, meter
@@ -170,8 +187,12 @@ func (p *Process) RegisterMetrics(r *obs.Registry) {
 		func() uint64 { return p.meter.Traps() })
 	r.CounterFunc("pg_trap_cycles_total", "cycles charged to trap delivery",
 		func() uint64 { return p.trapCycles })
+	r.CounterFunc("pg_gc_charged_cycles_total", "cycles charged to conservative-GC scan work",
+		func() uint64 { return p.gcCycles })
 	r.GaugeFunc("pg_reserved_vpages", "virtual pages reserved",
 		func() float64 { return float64(p.space.ReservedPages()) })
+	r.GaugeFunc("pg_va_budget_pages", "configured fresh-VA budget (0 = architectural limit only)",
+		func() float64 { return float64(p.space.BudgetPages()) })
 
 	for _, k := range []SyscallKind{SysMmap, SysMremap, SysMprotect, SysMprotectRuns} {
 		kind := k

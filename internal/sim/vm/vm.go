@@ -199,6 +199,14 @@ type Space struct {
 	// everMapped counts distinct fresh VPNs handed out by ReservePages,
 	// i.e. total virtual address space consumed.
 	everMapped uint64
+	// budget, when nonzero, caps everMapped below the architectural
+	// 47-bit limit: ReservePages fails with ErrAddressSpaceExhausted once
+	// cumulative fresh reservations would exceed it. This compresses the
+	// §3.4 exhaustion cliff into simulatable runs. Pages recycled by
+	// aliasing (MmapFixed/RemapFixedAlias over already-reserved VPNs) do
+	// not count against the budget, matching the mitigation model: once
+	// reserved, address space can be reused forever.
+	budget uint64
 }
 
 // NewSpace returns an empty address space backed by the radix page table.
@@ -273,6 +281,9 @@ func (s *Space) ReservePages(n uint64) (VPN, error) {
 		return 0, fmt.Errorf("vm: reserve of zero pages")
 	}
 	if uint64(s.next)+n > UserAddrLimit>>PageShift {
+		return 0, ErrAddressSpaceExhausted
+	}
+	if s.budget != 0 && s.everMapped+n > s.budget {
 		return 0, ErrAddressSpaceExhausted
 	}
 	v := s.next
@@ -431,3 +442,13 @@ func (s *Space) ReservedPages() uint64 { return s.everMapped }
 // NextFreshPage returns the VPN the next ReservePages call would hand out.
 // Exposed for the exhaustion study.
 func (s *Space) NextFreshPage() VPN { return s.next }
+
+// SetBudget caps the total number of fresh virtual pages ReservePages may
+// ever hand out. Zero removes the cap (the architectural 47-bit limit still
+// applies). Reservations already made are never revoked; a budget below
+// ReservedPages() simply makes every further fresh reservation fail.
+func (s *Space) SetBudget(pages uint64) { s.budget = pages }
+
+// BudgetPages returns the configured fresh-reservation cap, or 0 when only
+// the architectural limit applies.
+func (s *Space) BudgetPages() uint64 { return s.budget }

@@ -45,9 +45,41 @@ type DanglingError = core.DanglingError
 // overflow guard page (see WithOverflowGuards).
 type OverflowError = core.OverflowError
 
+// DoubleFreeError is the first-class report of a free of an already-freed
+// object, carrying both free sites; it unwraps to its DanglingError.
+type DoubleFreeError = core.DoubleFreeError
+
+// ErrAddressSpaceExhausted is the sentinel the simulated VM reports once
+// fresh virtual address space runs out — at the architectural 47-bit limit
+// or at an injected WithVABudget cap. Under the never-reuse policy it
+// propagates out of Malloc: that failure is the cliff the §3.4 mitigations
+// exist to survive.
+var ErrAddressSpaceExhausted = vm.ErrAddressSpaceExhausted
+
 // ReusePolicy selects a §3.4 strategy for recycling the shadow pages of
 // long-lived allocations.
 type ReusePolicy = core.ReusePolicy
+
+// GCSchedule configures the §3.4 GC scheduler (see WithGCSchedule);
+// ManualTuning is its cycle-gating knob, and GCCycle one cycle's accounting
+// record.
+type GCSchedule = core.GCSchedule
+
+// ManualTuning gates scheduled GC cycles (the paper's third mitigation).
+type ManualTuning = core.ManualTuning
+
+// GCCycle is one collector cycle's accounting record.
+type GCCycle = core.GCCycle
+
+// GCTrigger records why a collector cycle ran.
+type GCTrigger = core.GCTrigger
+
+// MissLedger is the ground-truth missed-detection meter.
+type MissLedger = core.MissLedger
+
+// ObjectRecord is the detector's record of one allocation (diagnostics and
+// ground-truth harnesses).
+type ObjectRecord = core.Object
 
 // Reuse policy constructors.
 var (
@@ -71,6 +103,7 @@ type Option func(*machineConfig)
 type machineConfig struct {
 	kernel   kernel.Config
 	policy   core.ReusePolicy
+	gcSched  *core.GCSchedule
 	guards   bool
 	schedErr error
 }
@@ -98,6 +131,40 @@ func WithOverflowGuards() Option {
 // WithStackPages sets the per-process stack size in pages.
 func WithStackPages(pages uint64) Option {
 	return func(c *machineConfig) { c.kernel.StackPages = pages }
+}
+
+// WithGCSchedule installs the §3.4 GC scheduler on every process created on
+// the machine: policy-driven collector triggers (allocation interval, VA
+// watermark, pool destroy) with per-cycle accounting and post-cycle
+// invariant audits. Usually combined with WithReusePolicy(PolicyGC or
+// PolicyOnExhaustion) so exhaustion recovery stays armed.
+func WithGCSchedule(s GCSchedule) Option {
+	return func(c *machineConfig) { c.gcSched = &s }
+}
+
+// WithVABudget caps the fresh virtual address space each process may ever
+// reserve, in pages — a compressed model of the paper's §3.4 47-bit
+// exhaustion cliff (0 = architectural limit only). The budget must cover
+// the fixed stack and globals mappings.
+func WithVABudget(pages uint64) Option {
+	return func(c *machineConfig) { c.kernel.VABudgetPages = pages }
+}
+
+// WithPolicySpec configures the reuse policy — and, for gc specs, the GC
+// scheduler — from a core.ParsePolicySpec string: "never", "on-exhaustion",
+// "interval=N", or "gc[=N][,watermark=P][,pooldestroy][,minfreed=F]
+// [,cooldown=C]". A malformed spec surfaces as an error from the next
+// NewProcess call.
+func WithPolicySpec(spec string) Option {
+	return func(c *machineConfig) {
+		policy, sched, err := core.ParsePolicySpec(spec)
+		if err != nil {
+			c.schedErr = err
+			return
+		}
+		c.policy = policy
+		c.gcSched = sched
+	}
 }
 
 // FaultEvent is one injected syscall failure, in per-process order.
@@ -170,6 +237,9 @@ func (m *Machine) NewProcess() (*Process, error) {
 	remap := core.New(proc, m.cfg.policy)
 	if m.cfg.guards {
 		remap.EnableOverflowGuards()
+	}
+	if m.cfg.gcSched != nil {
+		remap.EnableGCSchedule(*m.cfg.gcSched)
 	}
 	return &Process{
 		proc:  proc,
@@ -276,6 +346,18 @@ type Stats struct {
 	// UnprotectedFrees counts frees whose protection syscall failed
 	// persistently.
 	UnprotectedFrees uint64
+	// DoubleFrees counts detected frees of already-freed objects (a
+	// subset of DanglingDetected).
+	DoubleFrees uint64
+	// RecycledPages counts shadow pages recycled under a reuse policy.
+	RecycledPages uint64
+	// GCRuns counts conservative-GC cycles (scheduled and manual).
+	GCRuns uint64
+	// GCCycleCost is the cycles charged for conservative-GC scans.
+	GCCycleCost uint64
+	// MissedDetections counts ground-truth stale uses the detector missed
+	// because shadow pages were recycled first.
+	MissedDetections uint64
 }
 
 // Stats returns the process's counters.
@@ -293,6 +375,11 @@ func (p *Process) Stats() Stats {
 		DegradedAllocs:   rs.DegradedAllocs,
 		DegradedFrees:    rs.DegradedFrees,
 		UnprotectedFrees: rs.UnprotectedFrees,
+		DoubleFrees:      rs.DoubleFrees,
+		RecycledPages:    rs.RecycledPages,
+		GCRuns:           rs.GCRuns,
+		GCCycleCost:      rs.GCCycleCost,
+		MissedDetections: rs.MissedDetections,
 	}
 }
 
@@ -321,6 +408,37 @@ func (p *Process) FlushProtection() error { return p.remap.Flush() }
 // of pages recycled.
 func (p *Process) CollectGarbage() uint64 { return p.remap.CollectGarbage() }
 
+// GCCycleLog returns every collector cycle's accounting record, in
+// execution order.
+func (p *Process) GCCycleLog() []GCCycle { return p.remap.GCCycleLog() }
+
+// SchedulerHealthErr returns the first invariant violation a post-cycle
+// audit found, or nil.
+func (p *Process) SchedulerHealthErr() error { return p.remap.SchedulerHealthErr() }
+
+// ObjectAt returns the detector's record covering the shadow page of ptr,
+// or nil. Ground-truth harnesses capture the record at allocation time so a
+// later stale use can be classified exactly (NoteStaleUse).
+func (p *Process) ObjectAt(ptr Ptr) *ObjectRecord { return p.remap.ObjectAt(ptr) }
+
+// NoteStaleUse reports one ground-truth stale use to the missed-detection
+// ledger: obj is the record captured at allocation time (nil if
+// unavailable) and detected says whether the detector caught the use.
+func (p *Process) NoteStaleUse(obj *ObjectRecord, detected bool) {
+	p.remap.NoteStaleUse(obj, detected)
+}
+
+// Ledger returns the process's missed-detection ledger.
+func (p *Process) Ledger() MissLedger { return p.remap.Ledger() }
+
+// AllocGlobal carves size bytes (8-byte aligned) out of the process's
+// globals segment and returns its address. The segment is a conservative-GC
+// root, so harnesses use it to hold pointers the simulated collector must
+// see (a Go-side map is invisible to it).
+func (p *Process) AllocGlobal(size uint64) (Ptr, error) {
+	return p.proc.AllocGlobal(size)
+}
+
 // Exit tears the process down, returning its physical memory to the machine.
 func (p *Process) Exit() error { return p.proc.Exit() }
 
@@ -344,6 +462,12 @@ func (s Stats) String() string {
 		s.DegradedFrees > 0 || s.UnprotectedFrees > 0 {
 		out += fmt.Sprintf(" faults=%d retries=%d degraded=%d degraded-frees=%d unprotected=%d",
 			s.InjectedFaults, s.TransientRetries, s.DegradedAllocs, s.DegradedFrees, s.UnprotectedFrees)
+	}
+	// Reuse/GC counters appear only when a reuse policy did work, so the
+	// base scheme's output is unchanged.
+	if s.RecycledPages > 0 || s.GCRuns > 0 || s.MissedDetections > 0 {
+		out += fmt.Sprintf(" recycled=%d gc-runs=%d gc-cycles=%d missed=%d",
+			s.RecycledPages, s.GCRuns, s.GCCycleCost, s.MissedDetections)
 	}
 	return out
 }

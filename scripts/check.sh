@@ -6,7 +6,9 @@
 #   byte-for-byte golden diff of pglint -json over the examples/minic
 #   corpus, the v1-vs-v2 soundness gate under -race, and the
 #   production-hardening soaks: the chaos matrix (every workload under
-#   fixed-seed fault schedules) and the trap containment experiment.
+#   fixed-seed fault schedules), the trap containment experiment, and the
+#   exhaustion gate (regenerate + cross-validate BENCH_pr7.json, replay
+#   the adversarial corpus bit-for-bit through pgtrace and pgserved).
 #
 # Usage: scripts/check.sh   (from the repo root)
 set -eu
@@ -67,6 +69,14 @@ trap 'rm -f "$pgbench" "$pglint" "$wallbench"' EXIT
 "$pgbench" -check-bench "$wallbench"
 "$pgbench" -check-bench BENCH_pr4.json
 
+echo "== exhaustion ladder + corpus artifact (BENCH_pr7.json) =="
+# Regenerate the committed exhaustion ladder (the generator self-checks the
+# cliff: never-reuse dies, every mitigation survives, planted errors are
+# conserved, zero misses at the default gc=256 interval) and cross-validate
+# all three bench artifacts in one invocation.
+"$pgbench" -exhaustbench BENCH_pr7.json
+"$pgbench" -check-bench BENCH_pr3.json,BENCH_pr4.json,BENCH_pr7.json
+
 echo "== observability export (attribution exactness) =="
 metrics=$(mktemp -t pgmetrics.XXXXXX)
 trap 'rm -f "$pgbench" "$pglint" "$wallbench" "$metrics" "$metrics.prom"' EXIT
@@ -112,6 +122,20 @@ if ! diff -q "$servebody" "$offline" >/dev/null; then
     kill "$servepid" 2>/dev/null || true
     exit 1
 fi
+
+# Every adversarial corpus trace must replay bit-for-bit through pgserved
+# too: same NDJSON bytes over HTTP as pgtrace produces offline.
+for t in trace/testdata/adversarial/*.trace; do
+    "$pgserved" -load -url "http://$addr" -trace "$t" -n 4 -c 2 -out "$servebody"
+    "$pgtracebin" -ndjson "$t" >"$offline" || [ $? -eq 2 ]
+    if ! diff -q "$servebody" "$offline" >/dev/null; then
+        echo "pgserved replay of $t diverges from pgtrace -ndjson:" >&2
+        diff "$servebody" "$offline" >&2 || true
+        kill "$servepid" 2>/dev/null || true
+        exit 1
+    fi
+done
+echo "adversarial corpus: 4 traces byte-identical through pgserved"
 
 kill -TERM "$servepid"
 if ! wait "$servepid"; then

@@ -1,0 +1,31 @@
+package trace
+
+import "repro/pageguard"
+
+// MachineOptions returns the pageguard options that honour every directive
+// of f, followed by extra. Building the replay machine through this (or
+// NewMachine) is what makes a directive-carrying trace reproduce its
+// producing run bit-for-bit.
+func (f *File) MachineOptions(extra ...pageguard.Option) []pageguard.Option {
+	var opts []pageguard.Option
+	if f.FaultSpec != "" {
+		opts = append(opts, pageguard.WithFaultSchedule(f.FaultSpec))
+	}
+	if f.PolicySpec != "" {
+		opts = append(opts, pageguard.WithPolicySpec(f.PolicySpec))
+	}
+	if f.VABudgetPages != 0 {
+		opts = append(opts, pageguard.WithVABudget(f.VABudgetPages))
+	}
+	if f.Guards {
+		opts = append(opts, pageguard.WithOverflowGuards())
+	}
+	return append(opts, extra...)
+}
+
+// NewMachine boots a machine configured by f's directives plus extra
+// options. Malformed directive specs surface as an error from the machine's
+// next NewProcess call (and therefore from Replay).
+func NewMachine(f *File, extra ...pageguard.Option) *pageguard.Machine {
+	return pageguard.NewMachine(f.MachineOptions(extra...)...)
+}

@@ -22,12 +22,13 @@ import (
 
 // ndjsonReplay is the header line: event counts of the replay.
 type ndjsonReplay struct {
-	Type   string `json:"type"` // "replay"
-	Events int    `json:"events"`
-	Allocs int    `json:"allocs"`
-	Frees  int    `json:"frees"`
-	Reads  int    `json:"reads"`
-	Writes int    `json:"writes"`
+	Type    string `json:"type"` // "replay"
+	Events  int    `json:"events"`
+	Allocs  int    `json:"allocs"`
+	Frees   int    `json:"frees"`
+	Reads   int    `json:"reads"`
+	Writes  int    `json:"writes"`
+	Forgets int    `json:"forgets,omitempty"`
 }
 
 // ndjsonFault is one injected syscall fault.
@@ -52,6 +53,7 @@ type ndjsonStats struct {
 	Allocs           uint64 `json:"allocs"`
 	Frees            uint64 `json:"frees"`
 	DanglingDetected uint64 `json:"dangling_detected"`
+	DoubleFrees      uint64 `json:"double_frees,omitempty"`
 	Cycles           uint64 `json:"cycles"`
 	Syscalls         uint64 `json:"syscalls"`
 	VirtualPages     uint64 `json:"virtual_pages"`
@@ -60,6 +62,10 @@ type ndjsonStats struct {
 	DegradedAllocs   uint64 `json:"degraded_allocs"`
 	DegradedFrees    uint64 `json:"degraded_frees"`
 	UnprotectedFrees uint64 `json:"unprotected_frees"`
+	RecycledPages    uint64 `json:"recycled_pages,omitempty"`
+	GCRuns           uint64 `json:"gc_runs,omitempty"`
+	GCCycleCost      uint64 `json:"gc_cycle_cycles,omitempty"`
+	MissedDetections uint64 `json:"missed_detections,omitempty"`
 }
 
 // WriteNDJSON renders rep in the canonical NDJSON form.
@@ -78,6 +84,7 @@ func WriteNDJSON(w io.Writer, rep *Report) error {
 	if err := emit(ndjsonReplay{
 		Type: "replay", Events: rep.Events,
 		Allocs: rep.Allocs, Frees: rep.Frees, Reads: rep.Reads, Writes: rep.Writes,
+		Forgets: rep.Forgets,
 	}); err != nil {
 		return err
 	}
@@ -96,10 +103,13 @@ func WriteNDJSON(w io.Writer, rep *Report) error {
 	s := rep.Stats
 	if err := emit(ndjsonStats{
 		Type: "stats", Allocs: s.Allocs, Frees: s.Frees,
-		DanglingDetected: s.DanglingDetected, Cycles: s.Cycles, Syscalls: s.Syscalls,
+		DanglingDetected: s.DanglingDetected, DoubleFrees: s.DoubleFrees,
+		Cycles: s.Cycles, Syscalls: s.Syscalls,
 		VirtualPages: s.VirtualPages, InjectedFaults: s.InjectedFaults,
 		TransientRetries: s.TransientRetries, DegradedAllocs: s.DegradedAllocs,
 		DegradedFrees: s.DegradedFrees, UnprotectedFrees: s.UnprotectedFrees,
+		RecycledPages: s.RecycledPages, GCRuns: s.GCRuns,
+		GCCycleCost: s.GCCycleCost, MissedDetections: s.MissedDetections,
 	}); err != nil {
 		return err
 	}

@@ -14,6 +14,12 @@ type Report struct {
 	Events int
 	// Allocs, Frees, Reads, Writes count successful operations.
 	Allocs, Frees, Reads, Writes int
+	// Forgets counts executed 'z' events (dropped simulated roots).
+	Forgets int
+	// StaleOps counts ground-truth stale uses the replayer settled with
+	// the ledger: every touch of an id the trace had already freed. The
+	// ledger's Detected+Missed+Inconsistent must sum to exactly this.
+	StaleOps int
 	// Detections collects every dangling/overflow report, in order.
 	// Replay continues past detections (a monitoring deployment logs and
 	// keeps serving), mirroring how the run-time handler could resume.
@@ -35,6 +41,18 @@ type Report struct {
 	// merge with Add — that is how a serving deployment aggregates
 	// per-request processes into fleet metrics.
 	Metrics pageguard.MetricsSnapshot
+	// GCLog is the collector's per-cycle accounting log (scheduled and
+	// manual cycles, in execution order); summing its Cycles fields must
+	// equal Stats.GCCycleCost.
+	GCLog []pageguard.GCCycle
+	// Health is the first bookkeeping-invariant violation observed — by
+	// the scheduler's post-cycle audit or the end-of-replay health check —
+	// or nil. A replay that finishes with a non-nil Health produced
+	// numbers that cannot be trusted.
+	Health error
+	// Ledger is the detector's ground-truth missed-detection meter after
+	// the replay.
+	Ledger pageguard.MissLedger
 }
 
 // Detection is one detected memory error during replay.
@@ -82,6 +100,40 @@ func Replay(m *pageguard.Machine, events []Event) (*Report, error) {
 	freeLine := make(map[uint64]int)
 	rep := &Report{}
 
+	// Ground truth for the missed-detection ledger. The replayer knows
+	// exactly which ids the trace freed, so every later touch of such an
+	// id is a stale use by construction; handles capture the detector's
+	// own object records at allocation time so a detection can be checked
+	// for correct attribution (the DanglingError must name that very
+	// object).
+	handles := make(map[uint64]*pageguard.ObjectRecord)
+	stale := make(map[uint64]bool)
+
+	// The replayer's pointer copies live in Go maps, which the simulated
+	// conservative collector cannot see. Each id therefore gets an 8-byte
+	// root slot in the simulated globals segment (a GC root range)
+	// holding the object's pointer: while the root is live, a correct
+	// collector must not recycle the object's shadow pages. The 'z'
+	// (forget) event zeroes and releases the slot, modelling a program
+	// that lost its last copy of the pointer.
+	rootSlots := make(map[uint64]pageguard.Ptr)
+	var freeSlots []pageguard.Ptr
+	setRoot := func(id uint64, ptr pageguard.Ptr, line int) error {
+		slot, ok := rootSlots[id]
+		if !ok {
+			if n := len(freeSlots); n > 0 {
+				slot, freeSlots = freeSlots[n-1], freeSlots[:n-1]
+			} else {
+				var err error
+				if slot, err = proc.AllocGlobal(8); err != nil {
+					return &ReplayError{line, "root table: " + err.Error()}
+				}
+			}
+			rootSlots[id] = slot
+		}
+		return proc.WriteWordAt(slot, 0, 8, uint64(ptr), "root")
+	}
+
 	verify := false
 	for _, ev := range events {
 		if ev.Kind == EvFault {
@@ -121,6 +173,29 @@ func Replay(m *pageguard.Machine, events []Event) (*Report, error) {
 		return fmt.Errorf("trace line %d: %w", ev.Line, err)
 	}
 
+	// classifyStale settles one ground-truth stale use with the ledger and
+	// never fails the replay: under a reuse policy the detector may
+	// legitimately return a raw fault (shadow pages recycled, attribution
+	// gone) or nothing at all (pages re-aliased to a new object) — those
+	// are exactly the missed detections being measured.
+	classifyStale := func(ev Event, err error) {
+		rep.StaleOps++
+		obj := handles[ev.ID]
+		var de *pageguard.DanglingError
+		detected := errors.As(err, &de) && obj != nil && de.Object == obj
+		proc.NoteStaleUse(obj, detected)
+		if err == nil {
+			return
+		}
+		if errors.As(err, &de) {
+			if de.Report != nil {
+				de.Report.AllocLine = allocLine[ev.ID]
+				de.Report.FreeLine = freeLine[ev.ID]
+			}
+			rep.Detections = append(rep.Detections, Detection{Line: ev.Line, Err: err, Report: de.Report})
+		}
+	}
+
 	for _, ev := range events {
 		if ev.Kind == EvFault {
 			faults := proc.InjectedFaults()
@@ -155,18 +230,31 @@ func Replay(m *pageguard.Machine, events []Event) (*Report, error) {
 			ptrs[ev.ID] = ptr
 			allocLine[ev.ID] = ev.Line
 			delete(freeLine, ev.ID)
+			handles[ev.ID] = proc.ObjectAt(ptr)
+			delete(stale, ev.ID)
+			if err := setRoot(ev.ID, ptr, ev.Line); err != nil {
+				return rep, err
+			}
 			rep.Allocs++
 		case EvFree:
 			ptr, ok := ptrs[ev.ID]
 			if !ok {
 				return rep, &ReplayError{ev.Line, fmt.Sprintf("free of unknown id %d", ev.ID)}
 			}
+			wasStale := stale[ev.ID]
 			err := proc.Free(ptr, site)
-			if err == nil {
-				freeLine[ev.ID] = ev.Line
-			}
-			if err := note(ev, err); err != nil {
-				return rep, err
+			if wasStale {
+				// A second free of an id the trace already freed: ground
+				// truth says double-free, whatever the detector returned.
+				classifyStale(ev, err)
+			} else {
+				if err == nil {
+					freeLine[ev.ID] = ev.Line
+					stale[ev.ID] = true
+				}
+				if err := note(ev, err); err != nil {
+					return rep, err
+				}
 			}
 			rep.Frees++
 		case EvWrite:
@@ -174,7 +262,10 @@ func Replay(m *pageguard.Machine, events []Event) (*Report, error) {
 			if !ok {
 				return rep, &ReplayError{ev.Line, fmt.Sprintf("write to unknown id %d", ev.ID)}
 			}
-			if err := note(ev, proc.WriteWordAt(ptr, ev.Off, 8, uint64(ev.Line), site)); err != nil {
+			err := proc.WriteWordAt(ptr, ev.Off, 8, uint64(ev.Line), site)
+			if stale[ev.ID] {
+				classifyStale(ev, err)
+			} else if err := note(ev, err); err != nil {
 				return rep, err
 			}
 			rep.Writes++
@@ -183,12 +274,26 @@ func Replay(m *pageguard.Machine, events []Event) (*Report, error) {
 			if !ok {
 				return rep, &ReplayError{ev.Line, fmt.Sprintf("read of unknown id %d", ev.ID)}
 			}
-			if _, err := proc.ReadWordAt(ptr, ev.Off, 8, site); err != nil {
+			_, err := proc.ReadWordAt(ptr, ev.Off, 8, site)
+			if stale[ev.ID] {
+				classifyStale(ev, err)
+			} else if err != nil {
 				if err := note(ev, err); err != nil {
 					return rep, err
 				}
 			}
 			rep.Reads++
+		case EvForget:
+			slot, ok := rootSlots[ev.ID]
+			if !ok {
+				return rep, &ReplayError{ev.Line, fmt.Sprintf("forget of unknown id %d", ev.ID)}
+			}
+			if err := proc.WriteWordAt(slot, 0, 8, 0, "root"); err != nil {
+				return rep, fmt.Errorf("trace line %d: %w", ev.Line, err)
+			}
+			delete(rootSlots, ev.ID)
+			freeSlots = append(freeSlots, slot)
+			rep.Forgets++
 		}
 		drainFaults()
 	}
@@ -199,6 +304,12 @@ func Replay(m *pageguard.Machine, events []Event) (*Report, error) {
 	rep.InjectedFaults = proc.InjectedFaults()
 	rep.Stats = proc.Stats()
 	rep.Profile = proc.Profile()
+	rep.GCLog = proc.GCCycleLog()
+	rep.Ledger = proc.Ledger()
+	rep.Health = proc.SchedulerHealthErr()
+	if rep.Health == nil {
+		rep.Health = proc.HealthCheck()
+	}
 	reg := pageguard.NewRegistry()
 	proc.RegisterMetrics(reg)
 	rep.Metrics = reg.Snapshot()

@@ -13,16 +13,28 @@
 //	f <id>            free object <id>
 //	w <id> <off>      write 8 bytes at byte offset <off> of object <id>
 //	r <id> <off>      read 8 bytes at byte offset <off> of object <id>
+//	z <id>            forget object <id>: drop the replayer's simulated
+//	                  root for it, modelling a program that loses its last
+//	                  (stale) copy of the pointer — after this, a reuse
+//	                  policy may recycle the object's shadow pages
 //	x <call> <errno>  an injected syscall fault absorbed by the previous
 //	                  event (recorded by fault-injection runs; verified,
 //	                  not executed, on replay)
 //
-// A trace may carry one '!faults <spec>' directive (kernel.ParseSchedule
-// format) before any event: the fault-injection schedule of the run that
-// produced it. Replaying the trace on a machine with that schedule
-// reproduces the faulted run bit-for-bit, and the 'x' events double-check
-// that every injected fault recurs at the same position with the same call
-// and errno.
+// A trace may carry directives before any event, in this fixed order:
+//
+//	!faults <spec>    the producing run's fault-injection schedule
+//	                  (kernel.ParseSchedule format)
+//	!policy <spec>    the shadow-page reuse policy / GC schedule
+//	                  (core.ParsePolicySpec format, e.g. "gc=256,pooldestroy")
+//	!vabudget <pages> a fresh-VA budget compressing the §3.4 exhaustion
+//	                  cliff into the replay
+//	!guards           enable overflow guard pages
+//
+// Replaying the trace on a machine honouring its directives (NewMachine)
+// reproduces the recorded run bit-for-bit; the 'x' events double-check that
+// every injected fault recurs at the same position with the same call and
+// errno.
 //
 // Object ids are arbitrary non-negative integers chosen by the trace; ids
 // may be reused after a free (real allocators reuse addresses). Accesses to
@@ -37,6 +49,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/sim/kernel"
 )
 
@@ -49,6 +62,10 @@ const (
 	EvFree  EventKind = 'f'
 	EvWrite EventKind = 'w'
 	EvRead  EventKind = 'r'
+	// EvForget drops the replayer's simulated root for an object: the
+	// traced program lost its last copy of the pointer, so a conservative
+	// GC is allowed to recycle the shadow pages from here on.
+	EvForget EventKind = 'z'
 	// EvFault records an injected syscall fault absorbed by the preceding
 	// event. On replay it is verified against the live injector log
 	// rather than executed.
@@ -72,8 +89,8 @@ type Event struct {
 	Line int
 }
 
-// File is a complete trace: an optional fault-injection schedule plus the
-// event stream.
+// File is a complete trace: the optional machine directives plus the event
+// stream.
 type File struct {
 	// FaultSpec is the kernel.ParseSchedule string of the producing run
 	// ("" when the run was fault-free).
@@ -81,7 +98,25 @@ type File struct {
 	// FaultLine is the 1-based source line of the '!faults' directive
 	// (0 when FaultSpec is empty).
 	FaultLine int
-	Events    []Event
+	// PolicySpec is the core.ParsePolicySpec string of the '!policy'
+	// directive ("" = the default never-reuse policy).
+	PolicySpec string
+	// PolicyLine is the source line of '!policy' (0 when absent).
+	PolicyLine int
+	// VABudgetPages is the '!vabudget' fresh-VA cap (0 = none).
+	VABudgetPages uint64
+	// VABudgetLine is the source line of '!vabudget' (0 when absent).
+	VABudgetLine int
+	// Guards reports a '!guards' directive (overflow guard pages).
+	Guards bool
+	// GuardsLine is the source line of '!guards' (0 when absent).
+	GuardsLine int
+	Events     []Event
+}
+
+// Directives reports whether the trace carries any machine directive.
+func (f *File) Directives() bool {
+	return f.FaultSpec != "" || f.PolicySpec != "" || f.VABudgetPages != 0 || f.Guards
 }
 
 // ParseError reports a malformed trace line.
@@ -93,19 +128,26 @@ type ParseError struct {
 // Error implements error.
 func (e *ParseError) Error() string { return fmt.Sprintf("trace line %d: %s", e.Line, e.Msg) }
 
-// Parse reads a fault-free trace's events. A trace carrying a '!faults'
-// schedule directive is an error: silently dropping the schedule would make
-// the events replay on a machine without the producing run's fault
-// injection, diverging from the recorded run (and tripping the 'x'
-// verification records). Callers that accept faulted traces must use
-// ParseFile and honour File.FaultSpec.
+// Parse reads a directive-free trace's events. A trace carrying any
+// directive is an error: silently dropping it would make the events replay
+// on a machine configured differently from the producing run, diverging
+// from the recorded behaviour (and, for '!faults', tripping the 'x'
+// verification records). Callers that accept directive-carrying traces must
+// use ParseFile and honour every File directive field (NewMachine does).
 func Parse(r io.Reader) ([]Event, error) {
 	f, err := ParseFile(r)
 	if err != nil {
 		return nil, err
 	}
-	if f.FaultSpec != "" {
+	switch {
+	case f.FaultSpec != "":
 		return nil, &ParseError{f.FaultLine, "trace carries a !faults schedule; use ParseFile (Parse would drop the schedule and replay the trace wrong)"}
+	case f.PolicySpec != "":
+		return nil, &ParseError{f.PolicyLine, "trace carries a !policy directive; use ParseFile (Parse would drop the reuse policy and replay the trace wrong)"}
+	case f.VABudgetPages != 0:
+		return nil, &ParseError{f.VABudgetLine, "trace carries a !vabudget directive; use ParseFile (Parse would drop the VA budget and replay the trace wrong)"}
+	case f.Guards:
+		return nil, &ParseError{f.GuardsLine, "trace carries a !guards directive; use ParseFile (Parse would drop the guard pages and replay the trace wrong)"}
 	}
 	return f.Events, nil
 }
@@ -132,6 +174,37 @@ func ParseFile(r io.Reader) (*File, error) {
 			if _, err := kernel.ParseSchedule(out.FaultSpec); err != nil {
 				return nil, &ParseError{line, "bad fault schedule: " + err.Error()}
 			}
+			continue
+		}
+		if spec, ok := strings.CutPrefix(text, "!policy"); ok {
+			if len(out.Events) > 0 {
+				return nil, &ParseError{line, "!policy directive must precede all events"}
+			}
+			out.PolicySpec = strings.TrimSpace(spec)
+			out.PolicyLine = line
+			if _, _, err := core.ParsePolicySpec(out.PolicySpec); err != nil {
+				return nil, &ParseError{line, "bad policy spec: " + err.Error()}
+			}
+			continue
+		}
+		if spec, ok := strings.CutPrefix(text, "!vabudget"); ok {
+			if len(out.Events) > 0 {
+				return nil, &ParseError{line, "!vabudget directive must precede all events"}
+			}
+			n, err := strconv.ParseUint(strings.TrimSpace(spec), 10, 64)
+			if err != nil || n == 0 {
+				return nil, &ParseError{line, "want: !vabudget <pages> (positive integer)"}
+			}
+			out.VABudgetPages = n
+			out.VABudgetLine = line
+			continue
+		}
+		if text == "!guards" {
+			if len(out.Events) > 0 {
+				return nil, &ParseError{line, "!guards directive must precede all events"}
+			}
+			out.Guards = true
+			out.GuardsLine = line
 			continue
 		}
 		if strings.HasPrefix(text, "!") {
@@ -165,6 +238,11 @@ func ParseFile(r io.Reader) (*File, error) {
 				return nil, &ParseError{line, "want: f <id>"}
 			}
 			ev.Kind = EvFree
+		case "z":
+			if len(fields) != 2 {
+				return nil, &ParseError{line, "want: z <id>"}
+			}
+			ev.Kind = EvForget
 		case "w", "r":
 			if len(fields) != 3 {
 				return nil, &ParseError{line, "want: r|w <id> <off>"}
@@ -210,6 +288,8 @@ func Format(w io.Writer, events []Event) error {
 			_, err = fmt.Fprintf(bw, "a %d %d\n", ev.ID, ev.Size)
 		case EvFree:
 			_, err = fmt.Fprintf(bw, "f %d\n", ev.ID)
+		case EvForget:
+			_, err = fmt.Fprintf(bw, "z %d\n", ev.ID)
 		case EvWrite:
 			_, err = fmt.Fprintf(bw, "w %d %d\n", ev.ID, ev.Off)
 		case EvRead:
@@ -226,10 +306,26 @@ func Format(w io.Writer, events []Event) error {
 	return bw.Flush()
 }
 
-// Format renders the complete trace, schedule directive included.
+// Format renders the complete trace, directives included, in the canonical
+// order (!faults, !policy, !vabudget, !guards).
 func (f *File) Format(w io.Writer) error {
 	if f.FaultSpec != "" {
 		if _, err := fmt.Fprintf(w, "!faults %s\n", f.FaultSpec); err != nil {
+			return err
+		}
+	}
+	if f.PolicySpec != "" {
+		if _, err := fmt.Fprintf(w, "!policy %s\n", f.PolicySpec); err != nil {
+			return err
+		}
+	}
+	if f.VABudgetPages != 0 {
+		if _, err := fmt.Fprintf(w, "!vabudget %d\n", f.VABudgetPages); err != nil {
+			return err
+		}
+	}
+	if f.Guards {
+		if _, err := fmt.Fprintln(w, "!guards"); err != nil {
 			return err
 		}
 	}

@@ -15,6 +15,7 @@
 //	pgbench -metrics out.json   # export metric snapshots + cycle attribution
 //	pgbench -bench out.json     # machine-readable per-workload results
 //	pgbench -exhaustbench f.json   # machine-readable exhaustion ladder + corpus
+//	pgbench -tracebench f.json     # span-tracing overhead + reconciliation report
 //	pgbench -check-bench a.json,b.json  # validate artifacts, cross-checking the set
 package main
 
@@ -24,11 +25,15 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cliff"
 	"repro/internal/experiment"
 	"repro/internal/workload"
 )
+
+// harnessStart anchors the pg_uptime_seconds series in the -metrics export.
+var harnessStart = time.Now()
 
 // defaultParallelism is the -j default: the PGBENCH_PARALLEL environment
 // variable if set, else 0 (one worker per CPU).
@@ -52,6 +57,7 @@ func main() {
 		"validate benchmark artifacts (comma-separated and/or positional paths) and exit, cross-checking the set")
 	exhaustbench := flag.String("exhaustbench", "", "write the machine-readable exhaustion ladder + corpus (JSON) to this path")
 	wallbench := flag.String("wallbench", "", "run the wall-clock benchmark suite and write its JSON report to this path")
+	tracebench := flag.String("tracebench", "", "run the span-tracing overhead benchmark and write its JSON report to this path")
 	parallel := flag.Int("j", defaultParallelism(),
 		"worker goroutines for table/study cells (0 = one per CPU, 1 = sequential; default $PGBENCH_PARALLEL)")
 	list := flag.Bool("list", false, "list the workloads and exit")
@@ -72,16 +78,19 @@ func main() {
 		}
 		return
 	}
-	if err := run(*table, *study, *probe, *faults, *metrics, *bench, *exhaustbench, *wallbench, *parallel); err != nil {
+	if err := run(*table, *study, *probe, *faults, *metrics, *bench, *exhaustbench, *wallbench, *tracebench, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "pgbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, study, probe, faults, metrics, bench, exhaustbench, wallbench string, parallel int) error {
+func run(table int, study, probe, faults, metrics, bench, exhaustbench, wallbench, tracebench string, parallel int) error {
 	opts := experiment.Options{Faults: faults, Parallelism: parallel}
 	if wallbench != "" {
 		return runWallBench(wallbench, opts)
+	}
+	if tracebench != "" {
+		return runTraceBench(tracebench, opts)
 	}
 	if exhaustbench != "" {
 		return runExhaustBench(exhaustbench)

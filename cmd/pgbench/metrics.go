@@ -94,6 +94,7 @@ func runMetrics(path string, opts experiment.Options) error {
 	}
 	hreg := obs.NewRegistry()
 	experiment.Harness().RegisterMetrics(hreg)
+	obs.RegisterBuildInfo(hreg, harnessStart)
 	doc.Harness = hreg.Snapshot()
 	if err := doc.Harness.WritePrometheus(&prom, ""); err != nil {
 		return err
@@ -266,13 +267,19 @@ func checkBenchFile(path string) (string, float64, error) {
 			return "", 0, fmt.Errorf("%s: %w", path, err)
 		}
 		return head.Schema, edoc.ClockHz, checkExhaustBench(path, &edoc)
+	case "pgbench-tracing/v1":
+		var tdoc traceBenchDoc
+		if err := json.Unmarshal(data, &tdoc); err != nil {
+			return "", 0, fmt.Errorf("%s: %w", path, err)
+		}
+		return head.Schema, tdoc.ClockHz, checkTraceBench(path, &tdoc)
 	}
 	var doc benchDoc
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return "", 0, fmt.Errorf("%s: %w", path, err)
 	}
 	if doc.Schema != "pgbench/v1" {
-		return "", 0, fmt.Errorf("%s: schema %q, want pgbench/v1, pgbench-wallclock/v1, or pgbench-exhaustion/v1",
+		return "", 0, fmt.Errorf("%s: schema %q, want pgbench/v1, pgbench-wallclock/v1, pgbench-exhaustion/v1, or pgbench-tracing/v1",
 			path, doc.Schema)
 	}
 	return doc.Schema, doc.ClockHz, checkBenchV1(path, &doc)

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/pageguard"
+	"repro/trace"
+)
+
+// The -tracebench report: the span tracer's two contracts, measured.
+//
+//  1. Zero simulated cost: a traced replay charges exactly the cycles an
+//     untraced replay charges — tracing observes the simulation, it never
+//     perturbs it. Validated as a hard equality.
+//  2. Conservation: the traced replay's leaf-span durations sum to the
+//     kernel's charged cycles exactly. Validated as a hard equality.
+//
+// The host wall-clock cost of tracing is also measured (best-of-N over a
+// dense synthetic trace, disabled vs enabled) — those numbers are
+// machine-dependent, so -check-bench gates only the relation that the
+// disabled path doesn't somehow pay for the instrumentation it skipped
+// (disabled ≤ enabled, with 2% headroom for scheduler noise; the wallbench
+// precedent). A Table 1 regeneration timing rides along informationally:
+// the whole evaluation runs on the always-untraced path, so this is the
+// "production" number the ≤2%-overhead claim is about.
+
+// traceBenchRuns is the best-of-N repetition count for each wall timing.
+const traceBenchRuns = 5
+
+// traceBenchDoc is the -tracebench export (schema pgbench-tracing/v1).
+type traceBenchDoc struct {
+	Schema  string  `json:"schema"`
+	ClockHz float64 `json:"clock_hz"`
+	// Events is the synthetic trace's event count.
+	Events int `json:"events"`
+	// Runs is the best-of-N repetition count behind every *_secs field.
+	Runs     int           `json:"runs"`
+	Disabled traceBenchRun `json:"disabled"`
+	Enabled  traceBenchRun `json:"enabled"`
+	// OverheadRatio is enabled_secs / disabled_secs: what turning tracing
+	// on costs. Informational — it moves with the host.
+	OverheadRatio float64 `json:"overhead_ratio"`
+	// Table1Secs times one Table 1 regeneration on the untraced path,
+	// informational evidence that the instrumented build still regenerates
+	// the evaluation at full speed.
+	Table1Secs float64 `json:"table1_secs"`
+}
+
+// traceBenchRun is one side (tracing disabled or enabled) of the benchmark.
+type traceBenchRun struct {
+	// Secs is the best-of-N wall time of one full replay.
+	Secs float64 `json:"secs"`
+	// ChargedCycles is the kernel's simulated total — identical on both
+	// sides by the zero-simulated-cost contract.
+	ChargedCycles uint64 `json:"charged_cycles"`
+	// Spans and LeafCycles are zero on the disabled side; on the enabled
+	// side LeafCycles must equal ChargedCycles exactly.
+	Spans      int    `json:"spans,omitempty"`
+	LeafCycles uint64 `json:"leaf_cycles,omitempty"`
+}
+
+// traceBenchTrace synthesizes the dense workload: n live objects cycled
+// through alloc/write/read/free with interleaved lifetimes, so the replay
+// exercises the remapper, the pool layer, and the shadow-page pipeline at
+// every op.
+func traceBenchTrace(n int) []byte {
+	var b bytes.Buffer
+	b.WriteString("# tracebench synthetic workload\n")
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "a %d %d\nw %d 0\nr %d %d\nf %d\n", i, 16+(i%7)*48, i, i, (i%3)*8, i)
+		// Every 16th object overlaps the next one's lifetime so shadow
+		// pages cannot all be recycled in allocation order.
+		if i%16 == 0 && i+1 <= n {
+			fmt.Fprintf(&b, "a %d 64\nw %d 0\n", n+i, n+i)
+			fmt.Fprintf(&b, "f %d\n", n+i)
+		}
+	}
+	return b.Bytes()
+}
+
+// timeReplay parses and replays the trace text once per run (fresh machine
+// and file each time, like one server request) and returns the best wall
+// time plus the last run's report.
+func timeReplay(traceText []byte, traced bool) (float64, *trace.Report, error) {
+	best := math.Inf(1)
+	var rep *trace.Report
+	for i := 0; i < traceBenchRuns; i++ {
+		tf, err := trace.ParseFile(bytes.NewReader(traceText))
+		if err != nil {
+			return 0, nil, err
+		}
+		var extra []pageguard.Option
+		if traced {
+			extra = append(extra, pageguard.WithSpanTracing())
+		}
+		start := time.Now()
+		r, err := trace.Replay(trace.NewMachine(tf, extra...), tf.Events)
+		if err != nil {
+			return 0, nil, err
+		}
+		if secs := time.Since(start).Seconds(); secs < best {
+			best = secs
+		}
+		rep = r
+	}
+	return best, rep, nil
+}
+
+// runTraceBench measures the tracing contracts and writes the report to
+// path. The two equalities are enforced here as well as in -check-bench, so
+// a broken tracer fails the regeneration, not just the validation.
+func runTraceBench(path string, opts experiment.Options) error {
+	traceText := traceBenchTrace(4000)
+
+	fmt.Println("tracebench: replaying untraced...")
+	dSecs, dRep, err := timeReplay(traceText, false)
+	if err != nil {
+		return fmt.Errorf("tracebench untraced: %w", err)
+	}
+	fmt.Println("tracebench: replaying traced...")
+	eSecs, eRep, err := timeReplay(traceText, true)
+	if err != nil {
+		return fmt.Errorf("tracebench traced: %w", err)
+	}
+
+	if dRep.ChargedCycles != eRep.ChargedCycles {
+		return fmt.Errorf("tracebench: tracing moved the simulation: %d cycles untraced, %d traced",
+			dRep.ChargedCycles, eRep.ChargedCycles)
+	}
+	leaf := pageguard.LeafSpanCycleSum(eRep.Spans)
+	if leaf != eRep.ChargedCycles {
+		return fmt.Errorf("tracebench: leaf spans sum to %d cycles but the kernel charged %d",
+			leaf, eRep.ChargedCycles)
+	}
+
+	fmt.Println("tracebench: regenerating Table 1 (untraced path)...")
+	t1Start := time.Now()
+	if _, err := experiment.GenTable1(opts); err != nil {
+		return fmt.Errorf("tracebench table1: %w", err)
+	}
+
+	doc := traceBenchDoc{
+		Schema:  "pgbench-tracing/v1",
+		ClockHz: experiment.ClockHz,
+		Events:  dRep.Events,
+		Runs:    traceBenchRuns,
+		Disabled: traceBenchRun{
+			Secs:          dSecs,
+			ChargedCycles: dRep.ChargedCycles,
+		},
+		Enabled: traceBenchRun{
+			Secs:          eSecs,
+			ChargedCycles: eRep.ChargedCycles,
+			Spans:         len(eRep.Spans),
+			LeafCycles:    leaf,
+		},
+		OverheadRatio: eSecs / dSecs,
+		Table1Secs:    time.Since(t1Start).Seconds(),
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d events, %d spans, leaf==charged (%d cycles), tracing %.2fx wall\n",
+		path, doc.Events, doc.Enabled.Spans, leaf, doc.OverheadRatio)
+	return nil
+}
+
+// checkTraceBench validates a -tracebench artifact: the two hard equalities
+// (simulated cycles unmoved by tracing, leaf sum == charged) plus wall-time
+// sanity and the disabled≤enabled relation with 2% noise headroom.
+func checkTraceBench(path string, doc *traceBenchDoc) error {
+	if doc.ClockHz != experiment.ClockHz {
+		return fmt.Errorf("%s: clock_hz %g, want %g", path, doc.ClockHz, experiment.ClockHz)
+	}
+	if doc.Events <= 0 || doc.Runs <= 0 {
+		return fmt.Errorf("%s: malformed run shape (events=%d runs=%d)", path, doc.Events, doc.Runs)
+	}
+	for side, r := range map[string]traceBenchRun{"disabled": doc.Disabled, "enabled": doc.Enabled} {
+		if r.Secs <= 0 || math.IsInf(r.Secs, 0) || math.IsNaN(r.Secs) {
+			return fmt.Errorf("%s: %s secs = %v", path, side, r.Secs)
+		}
+		if r.ChargedCycles == 0 {
+			return fmt.Errorf("%s: %s replay charged zero cycles", path, side)
+		}
+	}
+	if doc.Disabled.ChargedCycles != doc.Enabled.ChargedCycles {
+		return fmt.Errorf("%s: tracing moved the simulation (%d vs %d cycles)",
+			path, doc.Disabled.ChargedCycles, doc.Enabled.ChargedCycles)
+	}
+	if doc.Disabled.Spans != 0 || doc.Disabled.LeafCycles != 0 {
+		return fmt.Errorf("%s: disabled side recorded spans", path)
+	}
+	if doc.Enabled.Spans == 0 {
+		return fmt.Errorf("%s: enabled side recorded no spans", path)
+	}
+	if doc.Enabled.LeafCycles != doc.Enabled.ChargedCycles {
+		return fmt.Errorf("%s: reconciliation failed: leaf %d != charged %d",
+			path, doc.Enabled.LeafCycles, doc.Enabled.ChargedCycles)
+	}
+	if doc.Disabled.Secs > doc.Enabled.Secs*1.02 {
+		return fmt.Errorf("%s: disabled tracing slower than enabled (%.6fs vs %.6fs) — the nil-tracer path is paying for instrumentation",
+			path, doc.Disabled.Secs, doc.Enabled.Secs)
+	}
+	if doc.Table1Secs <= 0 || math.IsInf(doc.Table1Secs, 0) || math.IsNaN(doc.Table1Secs) {
+		return fmt.Errorf("%s: table1_secs = %v", path, doc.Table1Secs)
+	}
+	fmt.Printf("%s: ok (%d spans reconcile to %d cycles, tracing %.2fx wall, table1 %.1fs)\n",
+		path, doc.Enabled.Spans, doc.Enabled.ChargedCycles, doc.OverheadRatio, doc.Table1Secs)
+	return nil
+}

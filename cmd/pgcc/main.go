@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/minic/driver"
 	"repro/internal/minic/ir"
+	"repro/internal/obs"
 	"repro/pageguard"
 )
 
@@ -26,8 +27,13 @@ func main() {
 	pools := flag.Bool("pools", false, "apply Automatic Pool Allocation before dumping")
 	pta := flag.Bool("pta", false, "dump the points-to and pool-placement summary")
 	wl := flag.String("workload", "", "compile a bundled workload by name")
+	version := flag.Bool("version", false, "print build and Go toolchain versions and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Printf("pgcc %s (%s)\n", obs.BuildVersion(), obs.GoVersion())
+		return
+	}
 	if err := run(*pools, *pta, *wl, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "pgcc:", err)
 		os.Exit(1)

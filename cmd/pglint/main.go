@@ -31,6 +31,7 @@ import (
 	"repro/internal/minic/driver"
 	"repro/internal/minic/ir"
 	"repro/internal/minic/safety"
+	"repro/internal/obs"
 	"repro/pageguard"
 )
 
@@ -48,6 +49,7 @@ type options struct {
 func main() {
 	wl := flag.String("workload", "", "lint a bundled workload by name")
 	safe := flag.Bool("safe", false, "also list PROVEN-SAFE uses")
+	version := flag.Bool("version", false, "print build and Go toolchain versions and exit")
 	list := flag.Bool("list", false, "list bundled workload names and exit")
 	jsonF := flag.Bool("json", false, "emit the machine-readable JSON report (schema "+Schema+")")
 	stats := flag.Bool("stats", false, "print only the summary lines")
@@ -64,6 +66,10 @@ exit status:
 	}
 	flag.Parse()
 
+	if *version {
+		fmt.Printf("pglint %s (%s)\n", obs.BuildVersion(), obs.GoVersion())
+		return
+	}
 	if *list {
 		for _, w := range pageguard.Workloads() {
 			fmt.Println(w.Name)

@@ -92,6 +92,15 @@ func run(modeName, wl string, stats bool, args []string) (int, error) {
 		if de, ok := res.Dangling(); ok {
 			if res.Report != nil {
 				fmt.Fprint(os.Stderr, res.Report.String())
+				if n := len(res.Report.Flight); n > 0 {
+					const tail = 8
+					evs := res.Report.Flight
+					if n > tail {
+						evs = evs[n-tail:]
+					}
+					fmt.Fprintf(os.Stderr, "[pgrun] flight recorder (last %d of %d events):\n%s",
+						len(evs), n, pageguard.FormatFlight(evs))
+				}
 			}
 			fmt.Fprintf(os.Stderr, "[pgrun] DETECTED: %v\n", de)
 			return 2, nil

@@ -21,7 +21,13 @@
 //	GET  /metrics              Prometheus text: pgserved_* host series plus
 //	                           the merged pg_* series of finished replays
 //	GET  /metrics/replay.json  merged replay metrics only (deterministic)
-//	GET  /healthz              liveness
+//	GET  /healthz              liveness JSON: status, drain state, queue depth
+//	GET  /debug/spans          last-N request records (trace id, wall/exec
+//	                           timings, span count, cycle reconciliation)
+//
+// Every replay response carries an X-Pg-Trace-Id header (client-supplied ids
+// are echoed); POST /replay?spans=1 appends the deterministic span stream —
+// the exact bytes pgtrace -ndjson -spans prints for the same trace.
 //
 // Admission control: at most -workers replays execute concurrently and at
 // most -queue wait; past that, requests are shed with 429 and a Retry-After
@@ -65,11 +71,12 @@ func main() {
 	n := flag.Int("n", 64, "total replays to complete (load mode)")
 	c := flag.Int("c", 8, "concurrent clients (load mode)")
 	out := flag.String("out", "", "write one verified response body to this file (load mode)")
+	spans := flag.Bool("spans", false, "request ?spans=1 and verify the span stream against the offline traced replay (load mode)")
 	flag.Parse()
 
 	var err error
 	if *load {
-		err = runLoad(*url, *traceFile, *n, *c, *out)
+		err = runLoad(*url, *traceFile, *n, *c, *out, *spans)
 	} else {
 		err = runServe(*addr, serve.Config{
 			Workers: *workers, QueueDepth: *queue,
@@ -105,6 +112,9 @@ func serveOn(ln net.Listener, s *serve.Server, drain time.Duration) error {
 	case err := <-errCh:
 		return err
 	case got := <-sig:
+		// Flip /healthz to draining before Shutdown so load balancers see
+		// the state change while the listener is still answering.
+		s.SetDraining(true)
 		fmt.Printf("pgserved: %s, draining in-flight replays\n", got)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
@@ -119,7 +129,7 @@ func serveOn(ln net.Listener, s *serve.Server, drain time.Duration) error {
 	return nil
 }
 
-func runLoad(url, traceFile string, n, c int, out string) error {
+func runLoad(url, traceFile string, n, c int, out string, spans bool) error {
 	if url == "" {
 		return errors.New("load mode needs -url")
 	}
@@ -131,16 +141,29 @@ func runLoad(url, traceFile string, n, c int, out string) error {
 		return err
 	}
 	rep, err := serve.RunLoad(serve.LoadOptions{
-		URL: url, Trace: traceText, Requests: n, Concurrency: c,
+		URL: url, Trace: traceText, Requests: n, Concurrency: c, Spans: spans,
 	})
 	if rep != nil {
 		fmt.Println("pgload:", rep)
+		for _, cs := range rep.Clients {
+			if cs.Requests == 0 && cs.Shed == 0 {
+				continue
+			}
+			fmt.Printf("pgload: client %d: %d ok, %d shed, p50=%s p95=%s p99=%s\n",
+				cs.Client, cs.Requests, cs.Shed,
+				cs.P50.Round(time.Microsecond), cs.P95.Round(time.Microsecond),
+				cs.P99.Round(time.Microsecond))
+		}
 	}
 	if err != nil {
 		return err
 	}
 	if out != "" {
-		resp, err := http.Post(url+"/replay", "text/plain", bytes.NewReader(traceText))
+		replayURL := url + "/replay"
+		if spans {
+			replayURL += "?spans=1"
+		}
+		resp, err := http.Post(replayURL, "text/plain", bytes.NewReader(traceText))
 		if err != nil {
 			return err
 		}

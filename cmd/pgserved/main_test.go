@@ -37,7 +37,7 @@ func TestServeLoadAndGracefulDrain(t *testing.T) {
 	done := make(chan error, 1)
 	go func() { done <- serveOn(ln, serve.New(serve.Config{}), 30*time.Second) }()
 
-	if err := runLoad(url, tracePath, 64, 8, ""); err != nil {
+	if err := runLoad(url, tracePath, 64, 8, "", false); err != nil {
 		t.Fatalf("load run: %v", err)
 	}
 
@@ -70,10 +70,10 @@ func TestServeLoadAndGracefulDrain(t *testing.T) {
 
 // TestLoadFlagsValidated: load mode refuses to run without its inputs.
 func TestLoadFlagsValidated(t *testing.T) {
-	if err := runLoad("", "x", 1, 1, ""); err == nil {
+	if err := runLoad("", "x", 1, 1, "", false); err == nil {
 		t.Fatal("missing -url accepted")
 	}
-	if err := runLoad("http://127.0.0.1:1", "", 1, 1, ""); err == nil {
+	if err := runLoad("http://127.0.0.1:1", "", 1, 1, "", false); err == nil {
 		t.Fatal("missing -trace accepted")
 	}
 }

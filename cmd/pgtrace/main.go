@@ -13,6 +13,9 @@
 //	pgtrace -report trace.txt    # full forensic reports + cycle attribution
 //	pgtrace -ndjson trace.txt    # canonical NDJSON replay result (the exact
 //	                             # bytes pgserved streams for this trace)
+//	pgtrace -ndjson -spans t.txt # ...plus the span stream and reconciliation
+//	                             # trailer (the bytes of /replay?spans=1)
+//	pgtrace -report -spans t.txt # ...plus the flight-recorder dump
 //	pgtrace -demo                # print a small demonstration trace
 //
 // A trace written by a fault-injection run carries its schedule in a
@@ -38,6 +41,7 @@ import (
 	"io"
 	"os"
 
+	"repro/pageguard"
 	"repro/trace"
 )
 
@@ -63,6 +67,7 @@ func main() {
 	record := flag.String("record", "", "write the fault-annotated trace to this file")
 	report := flag.Bool("report", false, "print full forensic trap reports and the cycle-attribution profile")
 	ndjson := flag.Bool("ndjson", false, "print the canonical NDJSON replay result instead of text")
+	spans := flag.Bool("spans", false, "trace spans: with -ndjson append the span stream and reconciliation trailer; with -report print the flight-recorder dump")
 	demo := flag.Bool("demo", false, "print a demonstration trace and exit")
 	flag.Parse()
 
@@ -70,7 +75,7 @@ func main() {
 		fmt.Print(demoTrace)
 		return
 	}
-	code, err := run(*guards, *report, *ndjson, *faults, *record, flag.Args())
+	code, err := run(*guards, *report, *ndjson, *spans, *faults, *record, flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pgtrace:", err)
 		os.Exit(1)
@@ -78,7 +83,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(guards, report, ndjson bool, faults, record string, args []string) (int, error) {
+func run(guards, report, ndjson, spans bool, faults, record string, args []string) (int, error) {
 	if len(args) != 1 {
 		return 0, errors.New("expected exactly one trace file (or \"-\" for stdin)")
 	}
@@ -104,7 +109,11 @@ func run(guards, report, ndjson bool, faults, record string, args []string) (int
 		tf.Guards = true
 	}
 
-	rep, err := trace.Replay(trace.NewMachine(tf), tf.Events)
+	var extra []pageguard.Option
+	if spans {
+		extra = append(extra, pageguard.WithSpanTracing())
+	}
+	rep, err := trace.Replay(trace.NewMachine(tf, extra...), tf.Events)
 	if err != nil {
 		return 0, err
 	}
@@ -112,6 +121,11 @@ func run(guards, report, ndjson bool, faults, record string, args []string) (int
 	if ndjson {
 		if err := trace.WriteNDJSON(os.Stdout, rep); err != nil {
 			return 0, err
+		}
+		if spans {
+			if err := trace.WriteSpansNDJSON(os.Stdout, rep); err != nil {
+				return 0, err
+			}
 		}
 		if len(rep.Detections) > 0 {
 			return 2, nil
@@ -136,11 +150,19 @@ func run(guards, report, ndjson bool, faults, record string, args []string) (int
 		for _, d := range rep.Detections {
 			if d.Report != nil {
 				fmt.Print(d.Report.String())
+				if spans && len(d.Report.Flight) > 0 {
+					fmt.Printf("flight recorder (last %d events before the trap):\n%s",
+						len(d.Report.Flight), pageguard.FormatFlight(d.Report.Flight))
+				}
 			}
 		}
 		if rep.Profile != nil && rep.Profile.TotalCycles() > 0 {
 			fmt.Printf("cycle attribution (top sites):\n%s", rep.Profile.TopTable(10))
 		}
+	}
+	if spans {
+		fmt.Printf("spans: %d recorded, leaf cycles %d, kernel charged %d\n",
+			len(rep.Spans), pageguard.LeafSpanCycleSum(rep.Spans), rep.ChargedCycles)
 	}
 
 	if record != "" {

@@ -43,7 +43,7 @@ func captureStdout(t *testing.T, f func()) string {
 
 func TestCleanTraceExitsZero(t *testing.T) {
 	path := writeTrace(t, "a 1 64\nw 1 0\nf 1\n")
-	code, err := run(false, false, false, "", "", []string{path})
+	code, err := run(false, false, false, false, "", "", []string{path})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -54,7 +54,7 @@ func TestCleanTraceExitsZero(t *testing.T) {
 
 func TestBuggyTraceExitsTwo(t *testing.T) {
 	path := writeTrace(t, "a 1 64\nf 1\nr 1 0\n")
-	code, err := run(false, false, false, "", "", []string{path})
+	code, err := run(false, false, false, false, "", "", []string{path})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -65,7 +65,7 @@ func TestBuggyTraceExitsTwo(t *testing.T) {
 
 func TestDemoTraceDetects(t *testing.T) {
 	path := writeTrace(t, demoTrace)
-	code, err := run(true, false, false, "", "", []string{path})
+	code, err := run(true, false, false, false, "", "", []string{path})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -83,7 +83,7 @@ func TestReportModePrintsForensics(t *testing.T) {
 	var code int
 	out := captureStdout(t, func() {
 		var err error
-		code, err = run(false, true, false, "", "", []string{path})
+		code, err = run(false, true, false, false, "", "", []string{path})
 		if err != nil {
 			t.Errorf("run: %v", err)
 		}
@@ -108,14 +108,14 @@ func TestReportModePrintsForensics(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, err := run(false, false, false, "", "", nil); err == nil {
+	if _, err := run(false, false, false, false, "", "", nil); err == nil {
 		t.Fatal("missing arg accepted")
 	}
-	if _, err := run(false, false, false, "", "", []string{"/nonexistent"}); err == nil {
+	if _, err := run(false, false, false, false, "", "", []string{"/nonexistent"}); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	path := writeTrace(t, "zz 1\n")
-	if _, err := run(false, false, false, "", "", []string{path}); err == nil {
+	if _, err := run(false, false, false, false, "", "", []string{path}); err == nil {
 		t.Fatal("malformed trace accepted")
 	}
 }
@@ -124,7 +124,7 @@ func TestFaultedRecordAndReplay(t *testing.T) {
 	path := writeTrace(t, demoTrace)
 	out := filepath.Join(t.TempDir(), "annotated.txt")
 	const spec = "seed=7;mprotect:after=0,times=2"
-	code, err := run(false, false, false, spec, out, []string{path})
+	code, err := run(false, false, false, false, spec, out, []string{path})
 	if err != nil {
 		t.Fatalf("record: %v", err)
 	}
@@ -142,7 +142,7 @@ func TestFaultedRecordAndReplay(t *testing.T) {
 		t.Fatalf("recorded trace missing fault events:\n%s", data)
 	}
 	// The recorded trace replays and self-verifies from its own header.
-	code, err = run(false, false, false, "", "", []string{out})
+	code, err = run(false, false, false, false, "", "", []string{out})
 	if err != nil {
 		t.Fatalf("verified replay: %v", err)
 	}
@@ -150,7 +150,7 @@ func TestFaultedRecordAndReplay(t *testing.T) {
 		t.Fatalf("verified replay exit = %d, want 2", code)
 	}
 	// Without the schedule the 'x' records cannot be satisfied.
-	if _, err := run(false, false, false, "seed=1;mremap:times=1", "", []string{out}); err == nil {
+	if _, err := run(false, false, false, false, "seed=1;mremap:times=1", "", []string{out}); err == nil {
 		t.Fatal("replay with wrong schedule accepted the recorded trace")
 	}
 }
@@ -164,7 +164,7 @@ func TestNDJSONMatchesLibraryEncoder(t *testing.T) {
 	var code int
 	out := captureStdout(t, func() {
 		var err error
-		code, err = run(false, false, true, "", "", []string{path})
+		code, err = run(false, false, true, false, "", "", []string{path})
 		if err != nil {
 			t.Errorf("run: %v", err)
 		}
@@ -187,5 +187,75 @@ func TestNDJSONMatchesLibraryEncoder(t *testing.T) {
 	}
 	if out != want.String() {
 		t.Fatalf("-ndjson output diverges from trace.WriteNDJSON:\n%s\nvs\n%s", out, want.String())
+	}
+}
+
+// TestSpansNDJSONReconciles: -ndjson -spans appends the span stream and a
+// trailer whose leaf-cycle sum equals the kernel's charged cycles — and the
+// whole body matches the library encoders byte-for-byte (the pgserved
+// ?spans=1 parity contract).
+func TestSpansNDJSONReconciles(t *testing.T) {
+	const src = "a 1 64\nw 1 0\nf 1\nr 1 0\n"
+	path := writeTrace(t, src)
+	var code int
+	out := captureStdout(t, func() {
+		var err error
+		code, err = run(false, false, true, true, "", "", []string{path})
+		if err != nil {
+			t.Errorf("run: %v", err)
+		}
+	})
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(out, `"type":"span"`) {
+		t.Fatalf("-spans output missing span lines:\n%s", out)
+	}
+	events, err := trace.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := trace.Replay(pageguard.NewMachine(pageguard.WithSpanTracing()), events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := trace.WriteNDJSON(&want, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteSpansNDJSON(&want, rep); err != nil {
+		t.Fatal(err)
+	}
+	if out != want.String() {
+		t.Fatalf("-ndjson -spans diverges from library encoders:\n%s\nvs\n%s", out, want.String())
+	}
+	if pageguard.LeafSpanCycleSum(rep.Spans) != rep.ChargedCycles {
+		t.Fatalf("leaf cycles %d != charged %d", pageguard.LeafSpanCycleSum(rep.Spans), rep.ChargedCycles)
+	}
+}
+
+// TestReportSpansPrintsFlightDump: -report -spans attaches the flight
+// recorder dump under each trap report, and it names the object's alloc and
+// free events.
+func TestReportSpansPrintsFlightDump(t *testing.T) {
+	path := writeTrace(t, demoTrace)
+	var code int
+	out := captureStdout(t, func() {
+		var err error
+		code, err = run(false, true, false, true, "", "", []string{path})
+		if err != nil {
+			t.Errorf("run: %v", err)
+		}
+	})
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(out, "flight recorder (last ") {
+		t.Fatalf("-report -spans missing flight dump:\n%s", out)
+	}
+	for _, want := range []string{"alloc", "free", "syscall", "spans: "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("flight dump missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/sim/kernel"
 	"repro/internal/sim/vm"
@@ -311,8 +312,11 @@ func (r *Remapper) shadowBlock(owner *pool.Pool, canonBase vm.Addr, n uint64) (v
 // the allocation site.
 func (r *Remapper) Alloc(al Allocator, owner *pool.Pool, size uint64, site string) (vm.Addr, error) {
 	// Scope kernel charges (the allocator's mmaps, the shadow mremap) to
-	// the allocation site for cycle attribution.
+	// the allocation site for cycle attribution, and group them under one
+	// alloc span when tracing.
 	defer r.proc.SetSite(r.proc.SetSite(site))
+	tr := r.proc.Tracer()
+	defer tr.End(tr.Begin("alloc", site))
 	r.maybeIntervalReclaim()
 
 	var canon vm.Addr
@@ -379,6 +383,10 @@ func (r *Remapper) Alloc(al Allocator, owner *pool.Pool, size uint64, site strin
 	r.stats.Allocs++
 	r.stats.ShadowPagesLive += span
 	r.proc.Profile().CountAlloc(site)
+	r.proc.Flight().Record(obs.FlightEvent{
+		Cycles: r.proc.Meter().Cycles(), Kind: obs.FlightAlloc, Site: site,
+		Obj: obj.AllocSeq, Addr: uint64(userPtr), Pages: span,
+	})
 	return userPtr, nil
 }
 
@@ -390,6 +398,8 @@ func (r *Remapper) Alloc(al Allocator, owner *pool.Pool, size uint64, site strin
 // counted in Stats.ElisionMisses instead of corrupting the header protocol.
 func (r *Remapper) AllocElided(al Allocator, owner *pool.Pool, size uint64, site string) (vm.Addr, error) {
 	defer r.proc.SetSite(r.proc.SetSite(site))
+	tr := r.proc.Tracer()
+	defer tr.End(tr.Begin("alloc-elided", site))
 	canon, err := al.Alloc(size)
 	if err != nil {
 		return 0, err
@@ -413,6 +423,8 @@ func (r *Remapper) Free(al Allocator, f vm.Addr, site string) error {
 	// scope narrows to its allocation site so the per-site profile breaks
 	// each site's cost into its alloc-side and free-side syscalls.
 	defer r.proc.SetSite(r.proc.SetSite(site))
+	tr := r.proc.Tracer()
+	defer tr.End(tr.Begin("free", site))
 	r.maybeIntervalReclaim()
 
 	// A degraded allocation was handed out at its canonical address with
@@ -488,6 +500,10 @@ func (r *Remapper) Free(al Allocator, f vm.Addr, site string) error {
 	obj.FreeCycles = r.proc.Meter().Cycles()
 	r.proc.SetSite(obj.AllocSite)
 	r.proc.Profile().CountFree(obj.AllocSite)
+	r.proc.Flight().Record(obs.FlightEvent{
+		Cycles: obj.FreeCycles, Kind: obs.FlightFree, Site: site,
+		Obj: obj.AllocSeq, Addr: uint64(f), Pages: obj.ShadowRun.Pages,
+	})
 	r.stats.Frees++
 	r.stats.ShadowPagesLive -= obj.ShadowRun.Pages
 	r.stats.ShadowPagesFreed += obj.ShadowRun.Pages

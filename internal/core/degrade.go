@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/sim/kernel"
 	"repro/internal/sim/vm"
@@ -53,6 +54,10 @@ func (r *Remapper) retryTransient(op func() error) error {
 			return err
 		}
 		r.stats.TransientRetries++
+		r.proc.Flight().Record(obs.FlightEvent{
+			Cycles: r.proc.Meter().Cycles(), Kind: obs.FlightDegrade,
+			What: "retry", Site: r.proc.Site(),
+		})
 		r.proc.Meter().ChargeRaw(r.retry.BackoffCycles << uint(attempt))
 		err = op()
 	}
@@ -68,6 +73,10 @@ func (r *Remapper) degradeAlloc(owner *pool.Pool, canon vm.Addr) vm.Addr {
 		r.degradedByPool[owner] = append(r.degradedByPool[owner], canon)
 	}
 	r.stats.DegradedAllocs++
+	r.proc.Flight().Record(obs.FlightEvent{
+		Cycles: r.proc.Meter().Cycles(), Kind: obs.FlightDegrade,
+		What: "degraded-alloc", Site: r.proc.Site(), Addr: uint64(canon),
+	})
 	return canon
 }
 
@@ -86,12 +95,41 @@ func (r *Remapper) dropUnprotected(obj *Object) {
 		}
 	}
 	r.stats.UnprotectedFrees++
+	r.proc.Flight().Record(obs.FlightEvent{
+		Cycles: r.proc.Meter().Cycles(), Kind: obs.FlightDegrade,
+		What: "unprotected-free", Site: r.proc.Site(),
+		Obj: obj.AllocSeq, Addr: uint64(obj.ShadowAddr), Pages: obj.ShadowRun.Pages,
+	})
 }
 
+// HealthError wraps a health-check violation together with the process's
+// flight-recorder snapshot at audit time, so a corrupted-bookkeeping report
+// ships with the event history that led to it. Error() returns the
+// underlying violation's text unchanged.
+type HealthError struct {
+	Err    error
+	Flight []obs.FlightEvent
+}
+
+// Error implements error.
+func (e *HealthError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying violation to errors.Is/As.
+func (e *HealthError) Unwrap() error { return e.Err }
+
 // HealthCheck audits the remapper's internal invariants, returning the first
-// violation found. The chaos harness runs it after every faulted connection:
+// violation found (as a *HealthError carrying the flight-recorder snapshot)
+// or nil. The chaos harness runs it after every faulted connection:
 // degradation must narrow coverage, never corrupt bookkeeping.
 func (r *Remapper) HealthCheck() error {
+	if err := r.healthCheck(); err != nil {
+		return &HealthError{Err: err, Flight: r.proc.Flight().Snapshot()}
+	}
+	return nil
+}
+
+// healthCheck is the bare invariant audit.
+func (r *Remapper) healthCheck() error {
 	// (1) The page index only holds live and freed objects, and every
 	// object's pages agree on their owner.
 	seen := make(map[*Object]bool)

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/sim/vm"
 )
@@ -50,9 +51,16 @@ func (r *Remapper) collect(trigger GCTrigger) GCCycle {
 		Trigger:  trigger,
 		AllocSeq: r.allocSeq,
 	}
+	tr := r.proc.Tracer()
+	gcSpan := tr.Begin("gc-cycle", "gc:"+trigger.String())
 	defer func() {
+		tr.End(gcSpan)
 		rec.ReservedPages = r.proc.Space().ReservedPages()
 		r.gcLog = append(r.gcLog, rec)
+		r.proc.Flight().Record(obs.FlightEvent{
+			Cycles: r.proc.Meter().Cycles(), Kind: obs.FlightGC,
+			What: trigger.String(), Site: r.proc.Site(), Pages: rec.PagesRecycled,
+		})
 	}()
 
 	// Gather the freed-object set, indexed by shadow VPN.

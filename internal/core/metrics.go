@@ -50,6 +50,10 @@ func (r *Remapper) buildReport(obj *Object, fault *vm.Fault, useSite string, off
 		rep.Pool = obj.Pool.Name()
 		rep.PoolID = obj.Pool.ID()
 	}
+	// Ship the event history that led to the trap: the flight recorder
+	// holds the last-N allocs/frees/syscalls/faults/GC/degradations, so
+	// the report's reader can see what happened just before the use.
+	rep.Flight = r.proc.Flight().Snapshot()
 	return rep
 }
 

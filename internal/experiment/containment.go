@@ -297,6 +297,28 @@ func checkTrapReport(name string, mode ContainmentMode, rep *obs.TrapReport) err
 		return fmt.Errorf("containment: %s/%v dangle duration broken: free=%d trap=%d",
 			name, mode, rep.FreeCycles, rep.TrapCycles)
 	}
+	// The flight recorder must have ridden along: every trap report carries
+	// the last-N event snapshot, and it must include the trapped object's
+	// own alloc and free (the planted bug uses the object soon after the
+	// free, well inside the ring's horizon).
+	if len(rep.Flight) == 0 {
+		return fmt.Errorf("containment: %s/%v trap report carries no flight snapshot", name, mode)
+	}
+	var sawAlloc, sawFree, sawTrap bool
+	for _, ev := range rep.Flight {
+		switch ev.Kind {
+		case obs.FlightAlloc:
+			sawAlloc = sawAlloc || ev.Obj == rep.ObjectSeq
+		case obs.FlightFree:
+			sawFree = sawFree || ev.Obj == rep.ObjectSeq
+		case obs.FlightTrap:
+			sawTrap = true
+		}
+	}
+	if !sawAlloc || !sawFree || !sawTrap {
+		return fmt.Errorf("containment: %s/%v flight snapshot missing the object's history (alloc=%v free=%v trap=%v, %d events)",
+			name, mode, sawAlloc, sawFree, sawTrap, len(rep.Flight))
+	}
 	data, err := rep.JSON()
 	if err != nil {
 		return fmt.Errorf("containment: %s/%v report JSON: %w", name, mode, err)

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// BuildVersion returns the main module's version from the embedded build
+// info, or "(devel)" when none is recorded (go run, test binaries).
+func BuildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "(devel)"
+}
+
+// GoVersion returns the Go toolchain version the binary was built with.
+func GoVersion() string { return runtime.Version() }
+
+// RegisterBuildInfo registers the conventional build-information series on
+// r: pg_build_info (a constant-1 gauge whose version/go_version labels
+// carry the identity) and pg_uptime_seconds (seconds since start). These
+// are host-side series — wall-clock, not simulated — so they belong on
+// harness/serving registries, never on per-replay deterministic snapshots.
+func RegisterBuildInfo(r *Registry, start time.Time) {
+	r.Gauge(fmt.Sprintf("pg_build_info{go_version=%q,version=%q}", GoVersion(), BuildVersion()),
+		"build identity; the value is always 1, the labels carry the information").Set(1)
+	r.GaugeFunc("pg_uptime_seconds", "seconds since process start",
+		func() float64 { return time.Since(start).Seconds() })
+}

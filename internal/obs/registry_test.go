@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -168,5 +170,73 @@ func TestSiteProfile(t *testing.T) {
 	flat := p.FlatProfile()
 	if !strings.Contains(flat, "100.00%") || !strings.Contains(flat, "f:3") {
 		t.Errorf("flat profile:\n%s", flat)
+	}
+}
+
+// TestSnapshotAddCommutativeConcurrent is the satellite-4 gate: merging the
+// same set of snapshots in any order — and from many goroutines sharing the
+// read-only sources — produces the identical aggregate, byte-for-byte in
+// the Prometheus exposition. This is the property the serving fleet relies
+// on when per-request snapshots land in the aggregate in scheduler order.
+// Run under -race: concurrent Add calls against distinct accumulators with
+// shared sources must be clean.
+func TestSnapshotAddCommutativeConcurrent(t *testing.T) {
+	// Build K distinct source snapshots with overlapping and disjoint
+	// series, including histograms with matching bounds.
+	const sources = 7
+	bounds := []uint64{10, 100, 1000}
+	snaps := make([]Snapshot, sources)
+	for i := range snaps {
+		r := NewRegistry()
+		r.Counter("pg_test_total", "test counter").Add(uint64(i + 1))
+		if i%2 == 0 {
+			r.Counter("pg_test_even_total", "even-only counter").Add(uint64(i + 1))
+		}
+		r.Gauge("pg_test_gauge", "test gauge").Set(float64(i) * 1.5)
+		h := r.Histogram("pg_test_hist", "test histogram", bounds)
+		for j := 0; j < i*3+1; j++ {
+			h.Observe(uint64(j * 40))
+		}
+		snaps[i] = r.Snapshot()
+	}
+
+	render := func(s Snapshot) string {
+		var buf bytes.Buffer
+		if err := s.WritePrometheus(&buf, ""); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	// goroutine g merges the sources in a rotated order into its own
+	// accumulator; all orders must agree exactly.
+	const goroutines = 8
+	results := make([]string, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var acc Snapshot
+			for k := 0; k < sources; k++ {
+				acc.Add(snaps[(g+k)%sources])
+			}
+			results[g] = render(acc)
+		}(g)
+	}
+	wg.Wait()
+
+	for g := 1; g < goroutines; g++ {
+		if results[g] != results[0] {
+			t.Fatalf("merge order %d diverged:\n%s\nvs\n%s", g, results[g], results[0])
+		}
+	}
+	if !strings.Contains(results[0], "pg_test_total") ||
+		!strings.Contains(results[0], "pg_test_hist_bucket") {
+		t.Fatalf("aggregate missing expected series:\n%s", results[0])
+	}
+	// Spot-check the counter sum: 1+2+...+7 = 28.
+	if !strings.Contains(results[0], "pg_test_total 28") {
+		t.Fatalf("counter sum wrong:\n%s", results[0])
 	}
 }

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// Span is one timed region of a simulated execution. Timestamps are
+// simulated cycles read from the process meter, never wall-clock time, so
+// span streams are byte-deterministic: the same trace replayed on any
+// machine, at any parallelism, produces the same spans.
+//
+// Leaf spans are emitted at the kernel's single charge point and their
+// duration IS the charged cycles: the sum of leaf-span durations over a
+// replay reconciles exactly with KernelChargedCycles(). Non-leaf spans
+// (ops, replay roots) group leaves for attribution and carry no cycle
+// weight of their own.
+type Span struct {
+	// ID is the span's sequential identifier, starting at 1 per tracer.
+	ID uint64 `json:"id"`
+	// Parent is the enclosing span's ID, or 0 for a root span.
+	Parent uint64 `json:"parent,omitempty"`
+	// Name labels the region: "replay", "op:alloc", "sys:mremap",
+	// "trap", "gc", ...
+	Name string `json:"name"`
+	// Site is the active attribution site, when one was set.
+	Site string `json:"site,omitempty"`
+	// Start and End are simulated cycle timestamps.
+	Start uint64 `json:"start"`
+	End   uint64 `json:"end"`
+	// Leaf marks spans emitted at a charge point; End-Start equals the
+	// cycles charged there.
+	Leaf bool `json:"leaf,omitempty"`
+}
+
+// Tracer records spans against a simulated-cycle clock. The zero value of
+// the *pointer* (nil) is a disabled tracer: every method is nil-receiver
+// safe and free, so instrumented code calls unconditionally.
+type Tracer struct {
+	clock  func() uint64
+	spans  []Span
+	nextID uint64
+	// stack holds indices into spans of the currently open (nested)
+	// non-leaf spans; the top is the parent for new spans.
+	stack []int
+}
+
+// NewTracer returns a tracer stamping spans with clock (typically the
+// process meter's Cycles method).
+func NewTracer(clock func() uint64) *Tracer {
+	return &Tracer{clock: clock}
+}
+
+// Begin opens a span and returns its ID (0 when the tracer is disabled).
+// Spans close LIFO via End.
+func (t *Tracer) Begin(name, site string) uint64 {
+	if t == nil {
+		return 0
+	}
+	t.nextID++
+	var parent uint64
+	if n := len(t.stack); n > 0 {
+		parent = t.spans[t.stack[n-1]].ID
+	}
+	t.spans = append(t.spans, Span{
+		ID: t.nextID, Parent: parent, Name: name, Site: site, Start: t.clock(),
+	})
+	t.stack = append(t.stack, len(t.spans)-1)
+	return t.nextID
+}
+
+// End closes the open span with the given ID, stamping its end cycle. IDs
+// not on the open stack (including 0, the disabled-tracer ID) are ignored.
+func (t *Tracer) End(id uint64) {
+	if t == nil || id == 0 {
+		return
+	}
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		idx := t.stack[i]
+		if t.spans[idx].ID != id {
+			continue
+		}
+		t.spans[idx].End = t.clock()
+		t.stack = append(t.stack[:i], t.stack[i+1:]...)
+		return
+	}
+}
+
+// Leaf emits a closed leaf span with explicit start/end cycles, parented
+// under the innermost open span. The kernel's charge points call this with
+// the meter reading taken immediately before and after the charge, so the
+// span's duration is exactly the charged cycles.
+func (t *Tracer) Leaf(name, site string, start, end uint64) {
+	if t == nil {
+		return
+	}
+	t.nextID++
+	var parent uint64
+	if n := len(t.stack); n > 0 {
+		parent = t.spans[t.stack[n-1]].ID
+	}
+	t.spans = append(t.spans, Span{
+		ID: t.nextID, Parent: parent, Name: name, Site: site,
+		Start: start, End: end, Leaf: true,
+	})
+}
+
+// Spans returns the recorded spans in emission order. The slice is the
+// tracer's own backing store; callers must not mutate it.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// LeafCycleSum sums End-Start over the leaf spans — the quantity that must
+// reconcile exactly with KernelChargedCycles() for a traced replay.
+func LeafCycleSum(spans []Span) uint64 {
+	var sum uint64
+	for _, s := range spans {
+		if s.Leaf {
+			sum += s.End - s.Start
+		}
+	}
+	return sum
+}
+
+// WriteSpansNDJSON writes one {"type":"span",...} line per span. Field
+// order is fixed by the struct, so output is byte-deterministic.
+func WriteSpansNDJSON(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range spans {
+		line := struct {
+			Type string `json:"type"`
+			Span
+		}{Type: "span", Span: s}
+		data, err := json.Marshal(line)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(append(data, '\n')); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

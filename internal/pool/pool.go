@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/sim/kernel"
 	"repro/internal/sim/vm"
 )
@@ -291,6 +292,10 @@ func (rt *Runtime) Init(name string, elemSize uint64) *Pool {
 		pointsTo: make(map[*Pool]struct{}),
 	}
 	rt.pools[p] = struct{}{}
+	rt.proc.Flight().Record(obs.FlightEvent{
+		Cycles: rt.proc.Meter().Cycles(), Kind: obs.FlightPool,
+		What: "init " + name, Site: rt.proc.Site(), Obj: p.id,
+	})
 	return p
 }
 
@@ -531,5 +536,9 @@ func (p *Pool) Destroy() error {
 	p.live = nil
 	delete(p.rt.pools, p)
 	p.rt.destroys++
+	p.rt.proc.Flight().Record(obs.FlightEvent{
+		Cycles: p.rt.proc.Meter().Cycles(), Kind: obs.FlightPool,
+		What: "destroy " + p.name, Site: p.rt.proc.Site(), Obj: p.id,
+	})
 	return nil
 }

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/pageguard"
 	"repro/trace"
 )
 
@@ -33,8 +35,26 @@ type LoadOptions struct {
 	// (default 50); each retry honours the server's Retry-After hint,
 	// capped at a second.
 	MaxRetries int
+	// Spans requests the span stream (?spans=1) and checks parity against
+	// an offline span-traced replay — the body then carries the replay
+	// NDJSON, one line per span, and the reconciliation trailer.
+	Spans bool
 	// Client overrides the HTTP client (default http.DefaultClient).
 	Client *http.Client
+}
+
+// ClientStats is one load client's latency and shedding breakdown.
+type ClientStats struct {
+	// Client is the goroutine index (0-based).
+	Client int
+	// Requests is the number of replays this client completed with 200.
+	Requests int
+	// Shed counts the 429 responses this client absorbed and retried.
+	Shed int
+	// P50, P95, P99 are request-latency percentiles over this client's
+	// completed replays (time from first attempt to the 200, retries
+	// included — the latency a caller actually experiences).
+	P50, P95, P99 time.Duration
 }
 
 // LoadReport summarizes a load run.
@@ -48,6 +68,9 @@ type LoadReport struct {
 	Mismatches int
 	// Elapsed is the wall-clock duration of the whole run.
 	Elapsed time.Duration
+	// Clients holds the per-client latency/shed breakdown, indexed by
+	// goroutine.
+	Clients []ClientStats
 }
 
 func (r *LoadReport) String() string {
@@ -55,22 +78,45 @@ func (r *LoadReport) String() string {
 		r.Requests, r.Shed, r.Mismatches, r.Elapsed.Round(time.Millisecond))
 }
 
+// percentile returns the p-th percentile (0 < p <= 100) of sorted durations
+// using the nearest-rank method; zero when the sample is empty.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n)
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
 // offlineNDJSON computes the expected response body: the same replay pgtrace
 // performs, rendered through the same canonical NDJSON encoder. Every trace
 // directive (faults, policy, vabudget, guards) is honoured, matching the
-// server's replay machine.
-func offlineNDJSON(traceText []byte) ([]byte, error) {
+// server's replay machine. With spans on, the machine is span-traced and the
+// expectation includes the span stream and reconciliation trailer.
+func offlineNDJSON(traceText []byte, spans bool) ([]byte, error) {
 	tf, err := trace.ParseFile(bytes.NewReader(traceText))
 	if err != nil {
 		return nil, err
 	}
-	rep, err := trace.Replay(trace.NewMachine(tf), tf.Events)
+	var extra []pageguard.Option
+	if spans {
+		extra = append(extra, pageguard.WithSpanTracing())
+	}
+	rep, err := trace.Replay(trace.NewMachine(tf, extra...), tf.Events)
 	if err != nil {
 		return nil, err
 	}
 	var buf bytes.Buffer
 	if err := trace.WriteNDJSON(&buf, rep); err != nil {
 		return nil, err
+	}
+	if spans {
+		if err := trace.WriteSpansNDJSON(&buf, rep); err != nil {
+			return nil, err
+		}
 	}
 	return buf.Bytes(), nil
 }
@@ -91,11 +137,14 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	want, err := offlineNDJSON(opts.Trace)
+	want, err := offlineNDJSON(opts.Trace, opts.Spans)
 	if err != nil {
 		return nil, fmt.Errorf("offline replay: %w", err)
 	}
 	url := strings.TrimSuffix(opts.URL, "/") + "/replay"
+	if opts.Spans {
+		url += "?spans=1"
+	}
 
 	start := time.Now()
 	rep := &LoadReport{}
@@ -109,7 +158,16 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		mu.Unlock()
 	}
 
-	one := func() error {
+	// perClient[i] collects client i's stats and latency samples; each slot
+	// is touched only by its own goroutine until wg.Wait.
+	type clientAcc struct {
+		stats     ClientStats
+		latencies []time.Duration
+	}
+	perClient := make([]clientAcc, opts.Concurrency)
+
+	one := func(acc *clientAcc) error {
+		reqStart := time.Now()
 		for attempt := 0; ; attempt++ {
 			resp, err := client.Post(url, "text/plain", bytes.NewReader(opts.Trace))
 			if err != nil {
@@ -122,6 +180,8 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 			}
 			switch resp.StatusCode {
 			case http.StatusOK:
+				acc.stats.Requests++
+				acc.latencies = append(acc.latencies, time.Since(reqStart))
 				mu.Lock()
 				rep.Requests++
 				if !bytes.Equal(body, want) {
@@ -130,6 +190,7 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 				mu.Unlock()
 				return nil
 			case http.StatusTooManyRequests:
+				acc.stats.Shed++
 				mu.Lock()
 				rep.Shed++
 				mu.Unlock()
@@ -147,14 +208,14 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	var wg sync.WaitGroup
 	for i := 0; i < opts.Concurrency; i++ {
 		wg.Add(1)
-		go func() {
+		go func(acc *clientAcc) {
 			defer wg.Done()
 			for range jobs {
-				if err := one(); err != nil {
+				if err := one(acc); err != nil {
 					fail(err)
 				}
 			}
-		}()
+		}(&perClient[i])
 	}
 	for i := 0; i < opts.Requests; i++ {
 		jobs <- struct{}{}
@@ -162,6 +223,17 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	close(jobs)
 	wg.Wait()
 	rep.Elapsed = time.Since(start)
+
+	rep.Clients = make([]ClientStats, opts.Concurrency)
+	for i := range perClient {
+		acc := &perClient[i]
+		sort.Slice(acc.latencies, func(a, b int) bool { return acc.latencies[a] < acc.latencies[b] })
+		acc.stats.Client = i
+		acc.stats.P50 = percentile(acc.latencies, 50)
+		acc.stats.P95 = percentile(acc.latencies, 95)
+		acc.stats.P99 = percentile(acc.latencies, 99)
+		rep.Clients[i] = acc.stats
+	}
 
 	if firstErr != nil {
 		return rep, firstErr

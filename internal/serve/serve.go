@@ -25,12 +25,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cliff"
@@ -108,6 +108,35 @@ type Server struct {
 	errs     *obs.Counter
 	shed     *obs.Counter
 	timeouts *obs.Counter
+
+	// draining flips when the operator starts a graceful shutdown;
+	// /healthz reports it so load balancers stop routing here.
+	draining atomic.Bool
+	// traceSeq numbers requests for X-Pg-Trace-Id correlation.
+	traceSeq atomic.Uint64
+	// debug is the last-N per-request records served by GET /debug/spans:
+	// trace id, host wall/exec timings, and the replay's span summary.
+	// Wall-clock numbers live ONLY here — never in replay bodies, which
+	// must stay byte-deterministic.
+	debugMu sync.Mutex
+	debug   []debugEntry
+}
+
+// debugRingCap bounds the GET /debug/spans request ring.
+const debugRingCap = 32
+
+// debugEntry is one line of GET /debug/spans: the host-side view of a
+// finished replay request, correlated to its deterministic span stream by
+// trace id.
+type debugEntry struct {
+	Type          string `json:"type"` // "request"
+	TraceID       string `json:"trace_id"`
+	Path          string `json:"path"`
+	WallMicros    int64  `json:"wall_micros"`
+	ExecMicros    int64  `json:"exec_micros"`
+	Spans         int    `json:"spans"`
+	LeafCycles    uint64 `json:"leaf_cycles,omitempty"`
+	ChargedCycles uint64 `json:"charged_cycles"`
 }
 
 // New builds a server.
@@ -144,6 +173,7 @@ func New(cfg Config) *Server {
 	s.reg.GaugeFunc("pgserved_workers",
 		"size of the bounded worker pool",
 		func() float64 { return float64(cfg.Workers) })
+	obs.RegisterBuildInfo(s.reg, time.Now())
 
 	s.mux.HandleFunc("POST /replay", s.handleReplay)
 	s.mux.HandleFunc("POST /workload/{name}", s.handleWorkload)
@@ -152,10 +182,90 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /corpus", s.handleCorpusList)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics/replay.json", s.handleReplayMetrics)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "ok\n")
-	})
+	s.mux.HandleFunc("GET /debug/spans", s.handleDebugSpans)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
+}
+
+// SetDraining marks the server as draining (or not); /healthz reports the
+// state so load balancers stop routing to an instance that is shutting
+// down. pgserved flips it on SIGTERM before http.Server.Shutdown.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// healthBody is the GET /healthz JSON schema. The status stays 200 even
+// while draining — the process is still healthy, just not accepting a
+// future — so orchestrators distinguish "remove from rotation" (draining
+// field) from "restart me" (non-200).
+type healthBody struct {
+	Type       string `json:"type"` // "health"
+	Status     string `json:"status"`
+	Draining   bool   `json:"draining"`
+	QueueDepth int    `json:"queue_depth"`
+	Inflight   int    `json:"inflight"`
+	Workers    int    `json:"workers"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	b := healthBody{
+		Type:       "health",
+		Status:     "ok",
+		Draining:   s.draining.Load(),
+		QueueDepth: len(s.queue),
+		Inflight:   len(s.workers),
+		Workers:    s.cfg.Workers,
+	}
+	if b.Draining {
+		b.Status = "draining"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.Marshal(b)
+	if err != nil {
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+// traceID returns the request's correlation id: the client's X-Pg-Trace-Id
+// when it sent one, else a fresh server-assigned id. The id is echoed on
+// the response and keys the GET /debug/spans ring.
+func (s *Server) traceID(r *http.Request) string {
+	if id := r.Header.Get("X-Pg-Trace-Id"); id != "" {
+		return id
+	}
+	return fmt.Sprintf("pg-%08x", s.traceSeq.Add(1))
+}
+
+// recordDebug appends one finished request to the /debug/spans ring.
+func (s *Server) recordDebug(e debugEntry) {
+	e.Type = "request"
+	s.debugMu.Lock()
+	s.debug = append(s.debug, e)
+	if len(s.debug) > debugRingCap {
+		s.debug = s.debug[len(s.debug)-debugRingCap:]
+	}
+	s.debugMu.Unlock()
+}
+
+// handleDebugSpans streams the last-N request records as NDJSON, oldest
+// first. This is the one endpoint where host wall-clock timings appear:
+// correlate a line's trace_id with the deterministic span stream fetched
+// via POST /replay?spans=1 to see where inside the request the simulated
+// cycles went.
+func (s *Server) handleDebugSpans(w http.ResponseWriter, r *http.Request) {
+	s.debugMu.Lock()
+	entries := make([]debugEntry, len(s.debug))
+	copy(entries, s.debug)
+	s.debugMu.Unlock()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for _, e := range entries {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return
+		}
+		if _, err := w.Write(append(data, '\n')); err != nil {
+			return
+		}
+	}
 }
 
 // Handler returns the server's HTTP handler.
@@ -333,6 +443,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.count(s.requests["replay"])
 	defer s.observeLatency(start)
+	w.Header().Set("X-Pg-Trace-Id", s.traceID(r))
 
 	release, ok := s.admit(w, r)
 	if !ok {
@@ -360,20 +471,30 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("guards") == "1" {
 		tf.Guards = true
 	}
-	s.replayFile(w, r, tf)
+	s.replayFile(w, r, tf, start)
 }
 
 // replayFile runs the trace (directives honoured) on a worker slot and
-// streams the canonical NDJSON result.
-func (s *Server) replayFile(w http.ResponseWriter, r *http.Request, tf *trace.File) {
+// streams the canonical NDJSON result. With ?spans=1 the machine is built
+// with span tracing and the body carries the span stream (plus the
+// leaf-vs-charged reconciliation trailer) after the replay lines — the
+// same bytes pgtrace -ndjson -spans produces offline. start is the
+// handler's arrival time, used only for the /debug/spans host-side record.
+func (s *Server) replayFile(w http.ResponseWriter, r *http.Request, tf *trace.File, start time.Time) {
+	withSpans := r.URL.Query().Get("spans") == "1"
+	var extra []pageguard.Option
+	if withSpans {
+		extra = append(extra, pageguard.WithSpanTracing())
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
 	// The merge and the completion count happen inside the worker
 	// goroutine, not the handler: a replay whose handler timed out still
 	// finishes in the background, and its process metrics must land in the
 	// fleet aggregate (no completed replay work is lost).
+	execStart := time.Now()
 	v, err := s.runIsolated(ctx, func() (any, error) {
-		rep, err := trace.Replay(trace.NewMachine(tf), tf.Events)
+		rep, err := trace.Replay(trace.NewMachine(tf, extra...), tf.Events)
 		if err != nil {
 			return nil, err
 		}
@@ -393,11 +514,26 @@ func (s *Server) replayFile(w http.ResponseWriter, r *http.Request, tf *trace.Fi
 			"replay failed: "+err.Error(), 0)
 		return
 	}
+	execMicros := time.Since(execStart).Microseconds()
 	rep := v.(*trace.Report)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	if err := trace.WriteNDJSON(w, rep); err != nil {
 		return // client went away mid-body; nothing more to do
 	}
+	if withSpans {
+		if err := trace.WriteSpansNDJSON(w, rep); err != nil {
+			return
+		}
+	}
+	s.recordDebug(debugEntry{
+		TraceID:       w.Header().Get("X-Pg-Trace-Id"),
+		Path:          r.URL.Path,
+		WallMicros:    time.Since(start).Microseconds(),
+		ExecMicros:    execMicros,
+		Spans:         len(rep.Spans),
+		LeafCycles:    pageguard.LeafSpanCycleSum(rep.Spans),
+		ChargedCycles: rep.ChargedCycles,
+	})
 }
 
 // workloadResult is the NDJSON line for one workload execution.
@@ -418,6 +554,7 @@ func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.count(s.requests["workload"])
 	defer s.observeLatency(start)
+	w.Header().Set("X-Pg-Trace-Id", s.traceID(r))
 
 	name := r.PathValue("name")
 	wl, err := workload.ByName(name)
@@ -509,6 +646,7 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 	s.count(s.requests["replay"])
 	defer s.observeLatency(start)
 
+	w.Header().Set("X-Pg-Trace-Id", s.traceID(r))
 	c, err := cliff.CorpusByName(r.PathValue("name"))
 	if err != nil {
 		s.count(s.errs)
@@ -535,7 +673,7 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, ErrCodeReplayFailed, err.Error(), 0)
 		return
 	}
-	s.replayFile(w, r, tf)
+	s.replayFile(w, r, tf, start)
 }
 
 // corpusEntry is one line of the GET /corpus listing.

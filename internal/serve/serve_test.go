@@ -62,7 +62,7 @@ func TestReplayEndpointMatchesOffline(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %s: %s", resp.Status, body)
 	}
-	want, err := offlineNDJSON(tr)
+	want, err := offlineNDJSON(tr, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // SyscallKind names a fallible memory-management syscall for rule matching.
@@ -453,5 +455,9 @@ func (p *Process) checkInject(call SyscallKind, pages uint64, freshVA, newFrames
 		return nil
 	}
 	p.chargeSyscall(call, 0)
+	p.flight.Record(obs.FlightEvent{
+		Cycles: p.meter.Cycles(), Kind: obs.FlightFault,
+		What: call.String() + " " + se.Errno.String(), Site: p.site, Pages: pages,
+	})
 	return se
 }

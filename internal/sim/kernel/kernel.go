@@ -105,6 +105,13 @@ type Process struct {
 	prof       *obs.SiteProfile
 	site       string
 
+	// tracer records cycle-exact spans when span tracing is enabled (nil
+	// otherwise — every call site is nil-safe, so the disabled path costs
+	// a single pointer check). flight is the always-on last-N event ring
+	// snapshotted into trap reports; it charges no simulated cycles.
+	tracer *obs.Tracer
+	flight *obs.FlightRecorder
+
 	stackBase   vm.Addr
 	stackLimit  vm.Addr
 	globalBase  vm.Addr
@@ -141,6 +148,7 @@ func NewProcess(sys *System, cfg Config) (*Process, error) {
 		frameRefs: make(map[phys.FrameID]int),
 		inject:    cfg.Faults.NewInjector(sys.procSeq),
 		prof:      obs.NewSiteProfile(),
+		flight:    obs.NewFlightRecorder(obs.DefaultFlightCap),
 	}
 	sys.procSeq++
 

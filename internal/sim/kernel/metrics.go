@@ -72,10 +72,24 @@ func (p *Process) Site() string { return p.site }
 // Profile returns the process's per-site cycle attribution profile.
 func (p *Process) Profile() *obs.SiteProfile { return p.prof }
 
+// SetTracer installs (or, with nil, removes) the span tracer. Installing a
+// tracer changes no simulated number: spans only observe the cycles the
+// charge points were recording anyway.
+func (p *Process) SetTracer(t *obs.Tracer) { p.tracer = t }
+
+// Tracer returns the installed span tracer, or nil when tracing is
+// disabled.
+func (p *Process) Tracer() *obs.Tracer { return p.tracer }
+
+// Flight returns the process's always-on flight recorder.
+func (p *Process) Flight() *obs.FlightRecorder { return p.flight }
+
 // chargeSyscall charges one syscall of the given kind touching pages pages:
-// the meter price, the per-kind accounting, and the site attribution all
-// happen here so they can never disagree.
+// the meter price, the per-kind accounting, the site attribution — and the
+// leaf span, whose duration is by construction exactly the cycles charged
+// here — all happen here so they can never disagree.
 func (p *Process) chargeSyscall(kind SyscallKind, pages uint64) {
+	start := p.meter.Cycles()
 	p.meter.ChargeSyscall(pages)
 	cycles := p.meter.Model().Syscall + pages*p.meter.Model().SyscallPage
 	i := int(kind)
@@ -87,6 +101,11 @@ func (p *Process) chargeSyscall(kind SyscallKind, pages uint64) {
 	}
 	p.sysHist[i].Observe(cycles)
 	p.prof.AddSyscall(p.site, kind.category(), cycles)
+	p.tracer.Leaf("sys:"+kind.String(), p.site, start, start+cycles)
+	p.flight.Record(obs.FlightEvent{
+		Cycles: start + cycles, Kind: obs.FlightSyscall, What: kind.String(),
+		Site: p.site, Pages: pages,
+	})
 }
 
 // ChargeTrap charges one protection-fault delivery through the kernel's
@@ -94,10 +113,15 @@ func (p *Process) chargeSyscall(kind SyscallKind, pages uint64) {
 // system's fault handler calls this instead of the bare meter so traps
 // appear in the per-site profile.
 func (p *Process) ChargeTrap() {
+	start := p.meter.Cycles()
 	p.meter.ChargeTrap()
 	cycles := p.meter.Model().Trap
 	p.trapCycles += cycles
 	p.prof.AddTrap(p.site, cycles)
+	p.tracer.Leaf("trap", p.site, start, start+cycles)
+	p.flight.Record(obs.FlightEvent{
+		Cycles: start + cycles, Kind: obs.FlightTrap, Site: p.site,
+	})
 }
 
 // ChargeGC charges the scan cost of one conservative-GC cycle through the
@@ -109,9 +133,11 @@ func (p *Process) ChargeGC(cycles uint64) {
 	if cycles == 0 {
 		return
 	}
+	start := p.meter.Cycles()
 	p.meter.ChargeRaw(cycles)
 	p.gcCycles += cycles
 	p.prof.AddGC(p.site, cycles)
+	p.tracer.Leaf("gc", p.site, start, start+cycles)
 }
 
 // SyscallStat is one syscall kind's accounting totals.

@@ -1,6 +1,9 @@
 package pageguard
 
-import "repro/internal/obs"
+import (
+	"repro/internal/core"
+	"repro/internal/obs"
+)
 
 // Observability surface of the public API: trap forensics, the metrics
 // registry, and the cycle-attribution profiler, re-exported from
@@ -54,3 +57,48 @@ func (p *Process) Profile() *SiteProfile { return p.proc.Profile() }
 // ChargedCycles returns the total cycles the kernel charged this process
 // for syscalls and trap deliveries — the reference value Profile sums to.
 func (p *Process) ChargedCycles() uint64 { return p.proc.KernelChargedCycles() }
+
+// Span is one cycle-stamped region of a traced execution. Leaf spans are
+// emitted at the kernel's single charge point; the sum of their durations
+// over a process equals ChargedCycles exactly.
+type Span = obs.Span
+
+// FlightEvent is one entry in the always-on flight recorder: the last-N
+// allocator, syscall, fault, GC, and degradation events, snapshotted into
+// every TrapReport and HealthCheck failure.
+type FlightEvent = obs.FlightEvent
+
+// HealthError is a HealthCheck violation carrying the flight-recorder
+// snapshot taken at audit time.
+type HealthError = core.HealthError
+
+// WriteSpansNDJSON writes spans as NDJSON {"type":"span",...} lines, one
+// per span, byte-deterministically.
+var WriteSpansNDJSON = obs.WriteSpansNDJSON
+
+// FormatFlight renders a flight-recorder snapshot as indented text lines —
+// the dump pgrun and pgtrace attach below trap reports.
+var FormatFlight = obs.FormatFlight
+
+// LeafSpanCycleSum sums the durations of the leaf spans — the quantity
+// that must reconcile exactly with ChargedCycles for a traced process.
+var LeafSpanCycleSum = obs.LeafCycleSum
+
+// SpanTracingEnabled reports whether the process was created on a machine
+// with WithSpanTracing.
+func (p *Process) SpanTracingEnabled() bool { return p.proc.Tracer() != nil }
+
+// Spans returns the spans recorded so far (nil when tracing is disabled).
+func (p *Process) Spans() []Span { return p.proc.Tracer().Spans() }
+
+// BeginSpan opens a named grouping span (a request, a replay, one traced
+// operation); close it with EndSpan. A disabled tracer returns 0, which
+// EndSpan ignores — callers never need to test SpanTracingEnabled.
+func (p *Process) BeginSpan(name, site string) uint64 { return p.proc.Tracer().Begin(name, site) }
+
+// EndSpan closes a span opened by BeginSpan.
+func (p *Process) EndSpan(id uint64) { p.proc.Tracer().End(id) }
+
+// FlightEvents returns the flight recorder's current snapshot, oldest
+// first.
+func (p *Process) FlightEvents() []FlightEvent { return p.proc.Flight().Snapshot() }

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/heap"
+	"repro/internal/obs"
 	"repro/internal/sim/kernel"
 	"repro/internal/sim/vm"
 )
@@ -105,6 +106,7 @@ type machineConfig struct {
 	policy   core.ReusePolicy
 	gcSched  *core.GCSchedule
 	guards   bool
+	spans    bool
 	schedErr error
 }
 
@@ -165,6 +167,17 @@ func WithPolicySpec(spec string) Option {
 		c.policy = policy
 		c.gcSched = sched
 	}
+}
+
+// WithSpanTracing installs the deterministic span tracer on every process
+// created on the machine: cycle-exact spans emitted at the kernel's single
+// charge point (leaf spans whose summed durations reconcile exactly with
+// ChargedCycles) grouped under alloc/free/GC operation spans. Tracing
+// changes no simulated number — span timestamps only observe the cycles
+// the charge points were recording anyway — and costs nothing when not
+// enabled (the tracer pointer stays nil).
+func WithSpanTracing() Option {
+	return func(c *machineConfig) { c.spans = true }
 }
 
 // FaultEvent is one injected syscall failure, in per-process order.
@@ -235,6 +248,9 @@ func (m *Machine) NewProcess() (*Process, error) {
 		return nil, err
 	}
 	remap := core.New(proc, m.cfg.policy)
+	if m.cfg.spans {
+		proc.SetTracer(obs.NewTracer(proc.Meter().Cycles))
+	}
 	if m.cfg.guards {
 		remap.EnableOverflowGuards()
 	}

@@ -6,9 +6,12 @@
 #   byte-for-byte golden diff of pglint -json over the examples/minic
 #   corpus, the v1-vs-v2 soundness gate under -race, and the
 #   production-hardening soaks: the chaos matrix (every workload under
-#   fixed-seed fault schedules), the trap containment experiment, and the
+#   fixed-seed fault schedules), the trap containment experiment, the
 #   exhaustion gate (regenerate + cross-validate BENCH_pr7.json, replay
-#   the adversarial corpus bit-for-bit through pgtrace and pgserved).
+#   the adversarial corpus bit-for-bit through pgtrace and pgserved), and
+#   the span-tracing gate (regenerate BENCH_pr8.json; the ?spans=1 stream
+#   must match pgtrace -ndjson -spans byte-for-byte and its trailer must
+#   reconcile leaf-span cycles against kernel-charged cycles exactly).
 #
 # Usage: scripts/check.sh   (from the repo root)
 set -eu
@@ -72,14 +75,25 @@ trap 'rm -f "$pgbench" "$pglint" "$wallbench"' EXIT
 echo "== exhaustion ladder + corpus artifact (BENCH_pr7.json) =="
 # Regenerate the committed exhaustion ladder (the generator self-checks the
 # cliff: never-reuse dies, every mitigation survives, planted errors are
-# conserved, zero misses at the default gc=256 interval) and cross-validate
-# all three bench artifacts in one invocation.
+# conserved, zero misses at the default gc=256 interval); all four bench
+# artifacts are cross-validated in one invocation after the next step.
 "$pgbench" -exhaustbench BENCH_pr7.json
-"$pgbench" -check-bench BENCH_pr3.json,BENCH_pr4.json,BENCH_pr7.json
+
+echo "== span-tracing bench artifact (BENCH_pr8.json) =="
+# Regenerate into a scratch file: the two hard equalities (tracing moves no
+# simulated number; leaf-span cycles == kernel-charged cycles) are enforced
+# by the generator and re-checked by -check-bench. Wall timings are
+# machine-dependent, so the committed artifact is validated as-is (shape +
+# relations) like BENCH_pr4.
+tracebench=$(mktemp -t pgtracebench.XXXXXX)
+trap 'rm -f "$pgbench" "$pglint" "$wallbench" "$tracebench"' EXIT
+"$pgbench" -j 1 -tracebench "$tracebench"
+"$pgbench" -check-bench "$tracebench"
+"$pgbench" -check-bench BENCH_pr3.json,BENCH_pr4.json,BENCH_pr7.json,BENCH_pr8.json
 
 echo "== observability export (attribution exactness) =="
 metrics=$(mktemp -t pgmetrics.XXXXXX)
-trap 'rm -f "$pgbench" "$pglint" "$wallbench" "$metrics" "$metrics.prom"' EXIT
+trap 'rm -f "$pgbench" "$pglint" "$wallbench" "$tracebench" "$metrics" "$metrics.prom"' EXIT
 # -metrics fails unless every workload's per-site attribution sums exactly
 # to the kernel's charged cycles.
 "$pgbench" -metrics "$metrics"
@@ -94,13 +108,13 @@ pgtracebin=$(mktemp -t pgtrace.XXXXXX)
 servelog=$(mktemp -t pgservelog.XXXXXX)
 servebody=$(mktemp -t pgservebody.XXXXXX)
 offline=$(mktemp -t pgoffline.XXXXXX)
-trap 'rm -f "$pgbench" "$pglint" "$wallbench" "$metrics" "$metrics.prom" "$pgserved" "$pgtracebin" "$servelog" "$servebody" "$offline"' EXIT
+trap 'rm -f "$pgbench" "$pglint" "$wallbench" "$tracebench" "$metrics" "$metrics.prom" "$pgserved" "$pgtracebin" "$servelog" "$servebody" "$offline"' EXIT
 go build -o "$pgserved" ./cmd/pgserved
 go build -o "$pgtracebin" ./cmd/pgtrace
 
 "$pgserved" -addr 127.0.0.1:0 >"$servelog" &
 servepid=$!
-trap 'kill "$servepid" 2>/dev/null || true; rm -f "$pgbench" "$pglint" "$wallbench" "$metrics" "$metrics.prom" "$pgserved" "$pgtracebin" "$servelog" "$servebody" "$offline"' EXIT
+trap 'kill "$servepid" 2>/dev/null || true; rm -f "$pgbench" "$pglint" "$wallbench" "$tracebench" "$metrics" "$metrics.prom" "$pgserved" "$pgtracebin" "$servelog" "$servebody" "$offline"' EXIT
 addr=""
 for _ in $(seq 1 50); do
     addr=$(sed -n 's/^pgserved: listening on //p' "$servelog")
@@ -122,6 +136,31 @@ if ! diff -q "$servebody" "$offline" >/dev/null; then
     kill "$servepid" 2>/dev/null || true
     exit 1
 fi
+
+# Span-stream parity + cycle reconciliation: the ?spans=1 body (replay
+# NDJSON + span lines + trailer) must match pgtrace -ndjson -spans
+# byte-for-byte, and the trailer must reconcile the leaf-span cycle sum
+# against the kernel's charged cycles exactly — the tracer's conservation
+# law, asserted end to end over HTTP.
+"$pgserved" -load -spans -url "http://$addr" -trace trace/testdata/faulted.trace \
+    -n 8 -c 4 -out "$servebody"
+"$pgtracebin" -ndjson -spans trace/testdata/faulted.trace >"$offline" || [ $? -eq 2 ]
+if ! diff -q "$servebody" "$offline" >/dev/null; then
+    echo "pgserved ?spans=1 body diverges from pgtrace -ndjson -spans:" >&2
+    diff "$servebody" "$offline" >&2 || true
+    kill "$servepid" 2>/dev/null || true
+    exit 1
+fi
+trailer=$(grep '"type":"spans"' "$servebody")
+leaf=${trailer#*\"leaf_cycles\":}; leaf=${leaf%%,*}
+charged=${trailer#*\"charged_cycles\":}; charged=${charged%\}}
+if [ -z "$leaf" ] || [ -z "$charged" ] || [ "$leaf" != "$charged" ]; then
+    echo "span reconciliation failed: leaf_cycles=$leaf charged_cycles=$charged" >&2
+    echo "$trailer" >&2
+    kill "$servepid" 2>/dev/null || true
+    exit 1
+fi
+echo "span stream: byte-identical via HTTP, $leaf leaf cycles == charged exactly"
 
 # Every adversarial corpus trace must replay bit-for-bit through pgserved
 # too: same NDJSON bytes over HTTP as pgtrace produces offline.
@@ -192,7 +231,7 @@ done
 
 echo "== pglint corpus goldens (examples/minic) =="
 lintout=$(mktemp -t pglintout.XXXXXX)
-trap 'kill "$servepid" 2>/dev/null || true; rm -f "$pgbench" "$pglint" "$wallbench" "$metrics" "$metrics.prom" "$pgserved" "$pgtracebin" "$servelog" "$servebody" "$offline" "$lintout"' EXIT
+trap 'kill "$servepid" 2>/dev/null || true; rm -f "$pgbench" "$pglint" "$wallbench" "$tracebench" "$metrics" "$metrics.prom" "$pgserved" "$pgtracebin" "$servelog" "$servebody" "$offline" "$lintout"' EXIT
 for f in examples/minic/*.c; do
     name=$(basename "$f" .c)
     for engine in v1 v2; do

@@ -53,6 +53,16 @@ type Report struct {
 	// Ledger is the detector's ground-truth missed-detection meter after
 	// the replay.
 	Ledger pageguard.MissLedger
+	// Spans is the replay's cycle-exact span tree when the machine was
+	// built with pageguard.WithSpanTracing (nil otherwise): a "replay"
+	// root, one "op:*" span per trace event, and under them the leaf
+	// spans the kernel emitted at its charge point. The sum of leaf-span
+	// durations equals ChargedCycles exactly.
+	Spans []pageguard.Span
+	// ChargedCycles is the kernel's total charged cycles for the replay —
+	// the reconciliation reference for Spans (always filled, traced or
+	// not).
+	ChargedCycles uint64
 }
 
 // Detection is one detected memory error during replay.
@@ -196,6 +206,11 @@ func Replay(m *pageguard.Machine, events []Event) (*Report, error) {
 		}
 	}
 
+	// The replay root span: every op span (and, through them, every leaf
+	// the kernel emits) nests under it. With tracing disabled BeginSpan
+	// returns 0 and EndSpan ignores it.
+	replaySpan := proc.BeginSpan("replay", "")
+
 	for _, ev := range events {
 		if ev.Kind == EvFault {
 			faults := proc.InjectedFaults()
@@ -221,6 +236,7 @@ func Replay(m *pageguard.Machine, events []Event) (*Report, error) {
 		rep.Events++
 		rep.Annotated = append(rep.Annotated, ev)
 		site := fmt.Sprintf("trace:%d", ev.Line)
+		opSpan := proc.BeginSpan(opSpanName(ev.Kind), site)
 		switch ev.Kind {
 		case EvAlloc:
 			ptr, err := proc.Malloc(ev.Size, site)
@@ -295,8 +311,10 @@ func Replay(m *pageguard.Machine, events []Event) (*Report, error) {
 			freeSlots = append(freeSlots, slot)
 			rep.Forgets++
 		}
+		proc.EndSpan(opSpan)
 		drainFaults()
 	}
+	proc.EndSpan(replaySpan)
 	if faults := proc.InjectedFaults(); verify && verified != len(faults) {
 		return rep, &ReplayError{0, fmt.Sprintf(
 			"replay injected %d faults but the trace records %d", len(faults), verified)}
@@ -313,5 +331,24 @@ func Replay(m *pageguard.Machine, events []Event) (*Report, error) {
 	reg := pageguard.NewRegistry()
 	proc.RegisterMetrics(reg)
 	rep.Metrics = reg.Snapshot()
+	rep.Spans = proc.Spans()
+	rep.ChargedCycles = proc.ChargedCycles()
 	return rep, nil
+}
+
+// opSpanName names the grouping span for one trace event.
+func opSpanName(k EventKind) string {
+	switch k {
+	case EvAlloc:
+		return "op:alloc"
+	case EvFree:
+		return "op:free"
+	case EvWrite:
+		return "op:write"
+	case EvRead:
+		return "op:read"
+	case EvForget:
+		return "op:forget"
+	}
+	return "op:?"
 }

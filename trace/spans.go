@@ -1,0 +1,56 @@
+// Span NDJSON export: the byte-deterministic wire form of a traced
+// replay's span tree, shared by pgtrace -spans and pgserved's
+// POST /replay?spans=1 — both must produce identical bytes for the same
+// trace, which check.sh asserts.
+//
+// The stream is the replay NDJSON (ndjson.go) followed by one
+// {"type":"span",...} line per span, in emission order, and a final
+// {"type":"spans",...} reconciliation trailer carrying the leaf-span cycle
+// sum next to the kernel's charged cycles. The two numbers must be equal —
+// the conservation law the span tracer is held to.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/pageguard"
+)
+
+// ndjsonSpanTrailer is the reconciliation trailer closing a span stream.
+type ndjsonSpanTrailer struct {
+	Type          string `json:"type"`
+	Count         int    `json:"count"`
+	LeafCycles    uint64 `json:"leaf_cycles"`
+	ChargedCycles uint64 `json:"charged_cycles"`
+}
+
+// WriteSpansNDJSON writes rep's span lines and reconciliation trailer. The
+// replay must have run on a machine built with pageguard.WithSpanTracing;
+// it is an error to export spans from an untraced replay (the trailer
+// would vacuously "reconcile" 0 against 0 only on empty traces, and
+// silently lie otherwise).
+func WriteSpansNDJSON(w io.Writer, rep *Report) error {
+	if len(rep.Spans) == 0 && rep.ChargedCycles != 0 {
+		return fmt.Errorf("trace: replay charged %d cycles but recorded no spans (machine missing WithSpanTracing?)", rep.ChargedCycles)
+	}
+	if err := pageguard.WriteSpansNDJSON(w, rep.Spans); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	data, err := json.Marshal(ndjsonSpanTrailer{
+		Type:          "spans",
+		Count:         len(rep.Spans),
+		LeafCycles:    pageguard.LeafSpanCycleSum(rep.Spans),
+		ChargedCycles: rep.ChargedCycles,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := bw.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

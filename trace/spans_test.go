@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/pageguard"
+)
+
+// replayTraced replays the trace file at path on a span-traced machine.
+func replayTraced(t *testing.T, path string) *Report {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tf, err := ParseFile(f)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	rep, err := Replay(NewMachine(tf, pageguard.WithSpanTracing()), tf.Events)
+	if err != nil {
+		t.Fatalf("%s: replay: %v", path, err)
+	}
+	return rep
+}
+
+func spanTestTraces(t *testing.T) []string {
+	t.Helper()
+	paths := []string{filepath.Join("testdata", "faulted.trace")}
+	adv, err := filepath.Glob(filepath.Join("testdata", "adversarial", "*.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(paths, adv...)
+}
+
+// TestSpanReconciliation is the conservation law: the sum of leaf-span
+// durations over a traced replay equals the kernel's charged cycles
+// exactly, on every bundled trace (faulted + the adversarial corpus).
+func TestSpanReconciliation(t *testing.T) {
+	for _, path := range spanTestTraces(t) {
+		rep := replayTraced(t, path)
+		if rep.ChargedCycles == 0 {
+			t.Fatalf("%s: replay charged no cycles", path)
+		}
+		if len(rep.Spans) == 0 {
+			t.Fatalf("%s: traced replay recorded no spans", path)
+		}
+		if sum := pageguard.LeafSpanCycleSum(rep.Spans); sum != rep.ChargedCycles {
+			t.Errorf("%s: leaf spans sum to %d cycles, kernel charged %d", path, sum, rep.ChargedCycles)
+		}
+	}
+}
+
+// TestSpanTreeShape: IDs are sequential from 1, parents always precede
+// children, and the replay root encloses everything.
+func TestSpanTreeShape(t *testing.T) {
+	rep := replayTraced(t, filepath.Join("testdata", "faulted.trace"))
+	seen := map[uint64]bool{}
+	var root uint64
+	for i, s := range rep.Spans {
+		if s.ID == 0 || seen[s.ID] {
+			t.Fatalf("span %d has bad/duplicate ID %d", i, s.ID)
+		}
+		seen[s.ID] = true
+		if s.Parent != 0 && !seen[s.Parent] {
+			t.Fatalf("span %d (%s) has unseen parent %d", i, s.Name, s.Parent)
+		}
+		if s.Name == "replay" {
+			root = s.ID
+		}
+		if s.End < s.Start {
+			t.Fatalf("span %d (%s) ends before it starts: %d < %d", i, s.Name, s.End, s.Start)
+		}
+	}
+	if root == 0 {
+		t.Fatal("no replay root span")
+	}
+	var ops, leaves int
+	for _, s := range rep.Spans {
+		if strings.HasPrefix(s.Name, "op:") {
+			if s.Parent != root {
+				t.Fatalf("op span %q not parented under the replay root", s.Name)
+			}
+			ops++
+		}
+		if s.Leaf {
+			leaves++
+		}
+	}
+	if ops != rep.Events {
+		t.Fatalf("%d op spans for %d events", ops, rep.Events)
+	}
+	if leaves == 0 {
+		t.Fatal("no leaf spans")
+	}
+}
+
+// TestSpanNDJSONDeterministic: two independent traced replays of the same
+// trace produce byte-identical span NDJSON.
+func TestSpanNDJSONDeterministic(t *testing.T) {
+	for _, path := range spanTestTraces(t) {
+		var bufs [2]bytes.Buffer
+		for i := range bufs {
+			rep := replayTraced(t, path)
+			if err := WriteSpansNDJSON(&bufs[i], rep); err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+		}
+		if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+			t.Errorf("%s: span NDJSON differs between identical replays", path)
+		}
+		trailer := `"type":"spans"`
+		if !strings.Contains(bufs[0].String(), trailer) {
+			t.Errorf("%s: span stream missing reconciliation trailer", path)
+		}
+	}
+}
+
+// TestUntracedReplayHasNoSpans: without WithSpanTracing the replay records
+// nothing, ChargedCycles is still filled, and exporting spans errors
+// instead of writing a vacuous trailer.
+func TestUntracedReplayHasNoSpans(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "faulted.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tf, err := ParseFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(NewMachine(tf), tf.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spans != nil {
+		t.Fatalf("untraced replay recorded %d spans", len(rep.Spans))
+	}
+	if rep.ChargedCycles == 0 {
+		t.Fatal("ChargedCycles not filled on untraced replay")
+	}
+	if err := WriteSpansNDJSON(&bytes.Buffer{}, rep); err == nil {
+		t.Fatal("WriteSpansNDJSON accepted an untraced replay")
+	}
+}
+
+// TestTracingChangesNoSimulatedNumber: the traced and untraced replays of
+// the same trace agree on every simulated quantity (stats, charged cycles,
+// detections) — the zero-simulated-cost guarantee.
+func TestTracingChangesNoSimulatedNumber(t *testing.T) {
+	for _, path := range spanTestTraces(t) {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tf, err := ParseFile(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := Replay(NewMachine(tf), tf.Events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traced := replayTraced(t, path)
+		if plain.ChargedCycles != traced.ChargedCycles {
+			t.Errorf("%s: charged cycles moved under tracing: %d vs %d",
+				path, plain.ChargedCycles, traced.ChargedCycles)
+		}
+		if plain.Stats != traced.Stats {
+			t.Errorf("%s: stats moved under tracing:\n%+v\nvs\n%+v", path, plain.Stats, traced.Stats)
+		}
+		if len(plain.Detections) != len(traced.Detections) {
+			t.Errorf("%s: detection count moved under tracing", path)
+		}
+	}
+}

@@ -16,6 +16,7 @@
 //	pgbench -bench out.json     # machine-readable per-workload results
 //	pgbench -exhaustbench f.json   # machine-readable exhaustion ladder + corpus
 //	pgbench -tracebench f.json     # span-tracing overhead + reconciliation report
+//	pgbench -servebench f.json     # serving throughput: fresh vs snapshot vs cache
 //	pgbench -check-bench a.json,b.json  # validate artifacts, cross-checking the set
 package main
 
@@ -58,6 +59,11 @@ func main() {
 	exhaustbench := flag.String("exhaustbench", "", "write the machine-readable exhaustion ladder + corpus (JSON) to this path")
 	wallbench := flag.String("wallbench", "", "run the wall-clock benchmark suite and write its JSON report to this path")
 	tracebench := flag.String("tracebench", "", "run the span-tracing overhead benchmark and write its JSON report to this path")
+	servebench := flag.String("servebench", "", "run the serving benchmark (fresh vs snapshot vs cache) and write its JSON report to this path")
+	serveRequests := flag.Int("serve-requests", 0, "warm-side soak length for -servebench (0 = 200000)")
+	serveFreshRequests := flag.Int("serve-fresh-requests", 0, "fresh-baseline request count for -servebench (0 = 20000)")
+	serveClients := flag.Int("serve-clients", 0, "concurrent load clients for -servebench (0 = 16)")
+	serveDistinct := flag.Int("serve-distinct", 0, "distinct trace variants in the -servebench mix (0 = 32)")
 	parallel := flag.Int("j", defaultParallelism(),
 		"worker goroutines for table/study cells (0 = one per CPU, 1 = sequential; default $PGBENCH_PARALLEL)")
 	list := flag.Bool("list", false, "list the workloads and exit")
@@ -73,6 +79,16 @@ func main() {
 		paths := strings.Split(*checkBenchPath, ",")
 		paths = append(paths, flag.Args()...)
 		if err := checkBench(paths); err != nil {
+			fmt.Fprintln(os.Stderr, "pgbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *servebench != "" {
+		if err := runServeBench(*servebench, serveBenchOpts{
+			requests: *serveRequests, freshRequests: *serveFreshRequests,
+			clients: *serveClients, distinct: *serveDistinct,
+		}); err != nil {
 			fmt.Fprintln(os.Stderr, "pgbench:", err)
 			os.Exit(1)
 		}

@@ -273,13 +273,19 @@ func checkBenchFile(path string) (string, float64, error) {
 			return "", 0, fmt.Errorf("%s: %w", path, err)
 		}
 		return head.Schema, tdoc.ClockHz, checkTraceBench(path, &tdoc)
+	case "pgbench-serving/v1":
+		var sdoc serveBenchDoc
+		if err := json.Unmarshal(data, &sdoc); err != nil {
+			return "", 0, fmt.Errorf("%s: %w", path, err)
+		}
+		return head.Schema, 0, checkServeBench(path, &sdoc)
 	}
 	var doc benchDoc
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return "", 0, fmt.Errorf("%s: %w", path, err)
 	}
 	if doc.Schema != "pgbench/v1" {
-		return "", 0, fmt.Errorf("%s: schema %q, want pgbench/v1, pgbench-wallclock/v1, pgbench-exhaustion/v1, or pgbench-tracing/v1",
+		return "", 0, fmt.Errorf("%s: schema %q, want pgbench/v1, pgbench-wallclock/v1, pgbench-exhaustion/v1, pgbench-tracing/v1, or pgbench-serving/v1",
 			path, doc.Schema)
 	}
 	return doc.Schema, doc.ClockHz, checkBenchV1(path, &doc)

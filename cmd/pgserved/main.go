@@ -8,6 +8,7 @@
 // Usage:
 //
 //	pgserved -addr :8080                        # serve
+//	pgserved -route -backends URL,URL ...       # route across backends
 //	pgserved -load -url URL -trace t.txt -n 64  # load-generate + verify
 //
 // Serving endpoints:
@@ -35,10 +36,27 @@
 // On SIGTERM/SIGINT the server stops accepting connections and drains
 // in-flight replays before exiting.
 //
+// Serving performance: the server pre-warms one machine snapshot at boot and
+// copy-on-write forks it per request (-snapshots, on by default), and
+// memoizes full response bodies in a bounded content-hash LRU keyed by the
+// canonical trace rendering (-cache N entries; 0 disables). Both are pure
+// accelerations — byte-identical responses and identical merged metrics,
+// enforced by parity tests. With either off, behaviour matches the original
+// fresh-machine path exactly.
+//
+// The -route mode runs pgserved as a sharded router: requests are consistent-
+// hashed by trace content across -backends, so each backend's replay cache
+// sees a stable shard of the key space. Backends are health-checked every
+// -health-interval; draining or unreachable backends leave the ring and their
+// keys fail over to the next backend on the ring.
+//
 // The -load mode is pgload, the bundled load generator: it fires -n replays
 // of the trace from -c concurrent clients, retries sheds, and asserts every
 // response is byte-identical to the offline replay (what pgtrace -ndjson
-// prints) — exit status 1 on any divergence.
+// prints) — exit status 1 on any divergence. -distinct K derives K trace
+// variants from the base trace and -load-dist zipf draws them from a seeded
+// Zipf(-zipf-s) distribution, modelling the skewed request mixes a cache
+// serves in production.
 package main
 
 import (
@@ -51,6 +69,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -64,6 +83,12 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-request replay budget (0 = 30s)")
 	maxBody := flag.Int64("max-body", 0, "request body limit in bytes (0 = 1 MiB)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+	snapshots := flag.Bool("snapshots", true, "fork each replay machine from a pre-warmed copy-on-write snapshot")
+	cache := flag.Int("cache", 1024, "content-hash replay cache entries (0 disables)")
+
+	route := flag.Bool("route", false, "run as a sharded router over -backends instead of serving replays directly")
+	backends := flag.String("backends", "", "comma-separated backend base URLs (route mode)")
+	healthInterval := flag.Duration("health-interval", time.Second, "backend health-check period (route mode)")
 
 	load := flag.Bool("load", false, "run as the pgload load generator instead of serving")
 	url := flag.String("url", "", "server base URL (load mode)")
@@ -72,15 +97,26 @@ func main() {
 	c := flag.Int("c", 8, "concurrent clients (load mode)")
 	out := flag.String("out", "", "write one verified response body to this file (load mode)")
 	spans := flag.Bool("spans", false, "request ?spans=1 and verify the span stream against the offline traced replay (load mode)")
+	loadDist := flag.String("load-dist", "uniform", "trace-mix distribution: uniform or zipf (load mode)")
+	distinct := flag.Int("distinct", 1, "number of distinct trace variants derived from -trace (load mode)")
+	zipfS := flag.Float64("zipf-s", 1.2, "Zipf skew exponent for -load-dist zipf (load mode)")
+	seed := flag.Int64("seed", 1, "trace-mix draw seed (load mode)")
 	flag.Parse()
 
 	var err error
-	if *load {
-		err = runLoad(*url, *traceFile, *n, *c, *out, *spans)
-	} else {
+	switch {
+	case *load:
+		err = runLoad(loadArgs{
+			url: *url, traceFile: *traceFile, n: *n, c: *c, out: *out, spans: *spans,
+			dist: *loadDist, distinct: *distinct, zipfS: *zipfS, seed: *seed,
+		})
+	case *route:
+		err = runRoute(*addr, *backends, *healthInterval, *drain)
+	default:
 		err = runServe(*addr, serve.Config{
 			Workers: *workers, QueueDepth: *queue,
 			Timeout: *timeout, MaxBodyBytes: *maxBody,
+			Snapshots: *snapshots, CacheEntries: *cache,
 		}, *drain)
 	}
 	if err != nil {
@@ -97,8 +133,37 @@ func runServe(addr string, cfg serve.Config, drain time.Duration) error {
 	return serveOn(ln, serve.New(cfg), drain)
 }
 
+func runRoute(addr, backends string, healthInterval, drain time.Duration) error {
+	var urls []string
+	for _, b := range strings.Split(backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			urls = append(urls, b)
+		}
+	}
+	rt, err := serve.NewRouter(serve.RouterConfig{
+		Backends:       urls,
+		HealthInterval: healthInterval,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return serveOn(ln, rt, drain)
+}
+
+// drainable is what serveOn needs from either role: the replay server and
+// the router both expose a handler, a drain flag, and a drain wait.
+type drainable interface {
+	Handler() http.Handler
+	SetDraining(bool)
+	Drain(context.Context) error
+}
+
 // serveOn serves until SIGTERM/SIGINT, then drains in-flight replays.
-func serveOn(ln net.Listener, s *serve.Server, drain time.Duration) error {
+func serveOn(ln net.Listener, s drainable, drain time.Duration) error {
 	httpSrv := &http.Server{Handler: s.Handler()}
 	// The resolved address line is the startup handshake scripts wait for.
 	fmt.Printf("pgserved: listening on %s\n", ln.Addr())
@@ -129,7 +194,16 @@ func serveOn(ln net.Listener, s *serve.Server, drain time.Duration) error {
 	return nil
 }
 
-func runLoad(url, traceFile string, n, c int, out string, spans bool) error {
+type loadArgs struct {
+	url, traceFile, out, dist string
+	n, c, distinct            int
+	zipfS                     float64
+	seed                      int64
+	spans                     bool
+}
+
+func runLoad(a loadArgs) error {
+	url, traceFile, n, c, out, spans := a.url, a.traceFile, a.n, a.c, a.out, a.spans
 	if url == "" {
 		return errors.New("load mode needs -url")
 	}
@@ -140,11 +214,24 @@ func runLoad(url, traceFile string, n, c int, out string, spans bool) error {
 	if err != nil {
 		return err
 	}
-	rep, err := serve.RunLoad(serve.LoadOptions{
+	opts := serve.LoadOptions{
 		URL: url, Trace: traceText, Requests: n, Concurrency: c, Spans: spans,
-	})
+		Dist: a.dist, ZipfS: a.zipfS, Seed: a.seed,
+	}
+	if a.distinct > 1 {
+		opts.Traces, err = serve.TraceVariants(traceText, a.distinct)
+		if err != nil {
+			return err
+		}
+	}
+	rep, err := serve.RunLoad(opts)
 	if rep != nil {
 		fmt.Println("pgload:", rep)
+		if rep.CacheHits > 0 {
+			fmt.Printf("pgload: %d cache hits (%.1f%%), aggregate p50=%s p99=%s\n",
+				rep.CacheHits, 100*float64(rep.CacheHits)/float64(max(rep.Requests, 1)),
+				rep.P50.Round(time.Microsecond), rep.P99.Round(time.Microsecond))
+		}
 		for _, cs := range rep.Clients {
 			if cs.Requests == 0 && cs.Shed == 0 {
 				continue

@@ -37,7 +37,7 @@ func TestServeLoadAndGracefulDrain(t *testing.T) {
 	done := make(chan error, 1)
 	go func() { done <- serveOn(ln, serve.New(serve.Config{}), 30*time.Second) }()
 
-	if err := runLoad(url, tracePath, 64, 8, "", false); err != nil {
+	if err := runLoad(loadArgs{url: url, traceFile: tracePath, n: 64, c: 8}); err != nil {
 		t.Fatalf("load run: %v", err)
 	}
 
@@ -70,10 +70,10 @@ func TestServeLoadAndGracefulDrain(t *testing.T) {
 
 // TestLoadFlagsValidated: load mode refuses to run without its inputs.
 func TestLoadFlagsValidated(t *testing.T) {
-	if err := runLoad("", "x", 1, 1, "", false); err == nil {
+	if err := runLoad(loadArgs{traceFile: "x", n: 1, c: 1}); err == nil {
 		t.Fatal("missing -url accepted")
 	}
-	if err := runLoad("http://127.0.0.1:1", "", 1, 1, "", false); err == nil {
+	if err := runLoad(loadArgs{url: "http://127.0.0.1:1", n: 1, c: 1}); err == nil {
 		t.Fatal("missing -trace accepted")
 	}
 }

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/trace"
+)
+
+// replayKey is the content hash that identifies one replay result: the
+// SHA-256 of the canonical trace rendering (File.Format — every
+// semantics-affecting directive included: faults, policy, VA budget, guards,
+// after query-parameter overrides were applied) plus the spans flag. Two
+// requests with the same key are guaranteed the same response bytes by the
+// replayer's determinism, which is what makes memoizing them sound.
+type replayKey [sha256.Size]byte
+
+func keyForReplay(tf *trace.File, spans bool) replayKey {
+	var b bytes.Buffer
+	if spans {
+		b.WriteString("!spans\n") // not a trace directive; just a key discriminator
+	}
+	tf.Format(&b)
+	return sha256.Sum256(b.Bytes())
+}
+
+// replayEntry is one memoized replay result: the full response body plus the
+// per-process metrics snapshot that must merge into the fleet aggregate on
+// every serve (hit or miss), and the span/cycle summary for /debug/spans.
+type replayEntry struct {
+	body    []byte
+	metrics obs.Snapshot
+	spans   int
+	leaf    uint64
+	charged uint64
+}
+
+// inflightReplay is the single-flight rendezvous for one key: the first
+// request (the leader) simulates; concurrent identical requests wait on done
+// and read ent/err instead of simulating the same trace again.
+type inflightReplay struct {
+	done chan struct{}
+	ent  *replayEntry
+	err  error
+}
+
+// replayCache is a bounded LRU of memoized replay results with single-flight
+// dedup of concurrent identical requests. Safe for concurrent use.
+type replayCache struct {
+	mu       sync.Mutex
+	max      int
+	entries  map[replayKey]*list.Element
+	lru      *list.List // front = most recently used
+	inflight map[replayKey]*inflightReplay
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// lruItem is the LRU list payload.
+type lruItem struct {
+	key replayKey
+	ent *replayEntry
+}
+
+// newReplayCache builds a cache bounded to max entries and registers its
+// counters on reg.
+func newReplayCache(max int, reg *obs.Registry) *replayCache {
+	c := &replayCache{
+		max:      max,
+		entries:  make(map[replayKey]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[replayKey]*inflightReplay),
+	}
+	reg.CounterFunc("pg_cache_hits_total",
+		"replay requests served from the content-hash cache (including single-flight waiters)",
+		c.hits.Load)
+	reg.CounterFunc("pg_cache_misses_total",
+		"replay requests that simulated because no cache entry existed",
+		c.misses.Load)
+	reg.CounterFunc("pg_cache_evictions_total",
+		"cache entries evicted by the LRU bound",
+		c.evictions.Load)
+	reg.GaugeFunc("pg_cache_entries",
+		"live entries in the content-hash replay cache",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.entries))
+		})
+	return c
+}
+
+// begin resolves a key against the cache. Exactly one of the returns is
+// taken:
+//
+//   - ent != nil: cache hit, serve it.
+//   - call != nil, leader false: another request is simulating this key; wait
+//     on call.done then read call.ent/call.err.
+//   - call != nil, leader true: the caller must simulate and finish with
+//     complete(key, ent, err).
+func (c *replayCache) begin(key replayKey) (ent *replayEntry, call *inflightReplay, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*lruItem).ent, nil, false
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.hits.Add(1)
+		return nil, f, false
+	}
+	f := &inflightReplay{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses.Add(1)
+	return nil, f, true
+}
+
+// complete finishes a leader's flight: stores the entry on success (err ==
+// nil) and wakes every waiter. Calling it twice for one key is safe — the
+// handler may release waiters with a timeout error while the abandoned
+// worker goroutine later completes with the real result, which still caches.
+func (c *replayCache) complete(key replayKey, ent *replayEntry, err error) {
+	c.mu.Lock()
+	f := c.inflight[key]
+	delete(c.inflight, key)
+	if err == nil && ent != nil {
+		if _, exists := c.entries[key]; !exists {
+			c.entries[key] = c.lru.PushFront(&lruItem{key: key, ent: ent})
+			for c.lru.Len() > c.max {
+				last := c.lru.Back()
+				c.lru.Remove(last)
+				delete(c.entries, last.Value.(*lruItem).key)
+				c.evictions.Add(1)
+			}
+		}
+	}
+	c.mu.Unlock()
+	if f != nil {
+		f.ent, f.err = ent, err
+		close(f.done)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strconv"
@@ -27,6 +28,20 @@ type LoadOptions struct {
 	URL string
 	// Trace is the trace text to replay.
 	Trace []byte
+	// Traces, when non-empty, is a mix of distinct traces to draw from per
+	// request (Trace is then ignored). Combined with Dist this models a
+	// realistic request population instead of one trace repeated.
+	Traces [][]byte
+	// Dist selects how requests are drawn from Traces: "uniform" (default)
+	// or "zipf" — a Zipf(s) rank distribution over the trace list, so a few
+	// hot traces dominate the way production request mixes do. The draw
+	// sequence is seeded and deterministic.
+	Dist string
+	// ZipfS is the Zipf skew exponent (> 1; default 1.2). Larger values
+	// concentrate more of the load on the hottest traces.
+	ZipfS float64
+	// Seed seeds the trace-mix draw sequence (default 1).
+	Seed int64
 	// Requests is the total number of replays to complete (default 64).
 	Requests int
 	// Concurrency is the number of client goroutines (default 8).
@@ -66,8 +81,14 @@ type LoadReport struct {
 	// Mismatches counts responses whose body differed from the offline
 	// replay (any nonzero count fails the run).
 	Mismatches int
+	// CacheHits counts 200 responses the server marked X-Pg-Cache: hit —
+	// zero when the server runs without the replay cache.
+	CacheHits int
 	// Elapsed is the wall-clock duration of the whole run.
 	Elapsed time.Duration
+	// P50, P99 are request-latency percentiles over every completed replay
+	// across all clients (retries included).
+	P50, P99 time.Duration
 	// Clients holds the per-client latency/shed breakdown, indexed by
 	// goroutine.
 	Clients []ClientStats
@@ -135,11 +156,29 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	}
 	client := opts.Client
 	if client == nil {
-		client = http.DefaultClient
+		// The default transport keeps only two idle connections per host,
+		// which under Concurrency clients means constant reconnect churn —
+		// the generator would measure its own TCP handshakes, not the server.
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        opts.Concurrency,
+			MaxIdleConnsPerHost: opts.Concurrency,
+		}}
 	}
-	want, err := offlineNDJSON(opts.Trace, opts.Spans)
+	traces := opts.Traces
+	if len(traces) == 0 {
+		traces = [][]byte{opts.Trace}
+	}
+	wants := make([][]byte, len(traces))
+	for i, tr := range traces {
+		w, err := offlineNDJSON(tr, opts.Spans)
+		if err != nil {
+			return nil, fmt.Errorf("offline replay of trace %d: %w", i, err)
+		}
+		wants[i] = w
+	}
+	pick, err := tracePicker(opts, len(traces))
 	if err != nil {
-		return nil, fmt.Errorf("offline replay: %w", err)
+		return nil, err
 	}
 	url := strings.TrimSuffix(opts.URL, "/") + "/replay"
 	if opts.Spans {
@@ -166,10 +205,10 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	}
 	perClient := make([]clientAcc, opts.Concurrency)
 
-	one := func(acc *clientAcc) error {
+	one := func(acc *clientAcc, idx int) error {
 		reqStart := time.Now()
 		for attempt := 0; ; attempt++ {
-			resp, err := client.Post(url, "text/plain", bytes.NewReader(opts.Trace))
+			resp, err := client.Post(url, "text/plain", bytes.NewReader(traces[idx]))
 			if err != nil {
 				return err
 			}
@@ -184,8 +223,11 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 				acc.latencies = append(acc.latencies, time.Since(reqStart))
 				mu.Lock()
 				rep.Requests++
-				if !bytes.Equal(body, want) {
+				if !bytes.Equal(body, wants[idx]) {
 					rep.Mismatches++
+				}
+				if resp.Header.Get("X-Pg-Cache") == "hit" {
+					rep.CacheHits++
 				}
 				mu.Unlock()
 				return nil
@@ -204,29 +246,31 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		}
 	}
 
-	jobs := make(chan struct{})
+	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for i := 0; i < opts.Concurrency; i++ {
 		wg.Add(1)
 		go func(acc *clientAcc) {
 			defer wg.Done()
-			for range jobs {
-				if err := one(acc); err != nil {
+			for idx := range jobs {
+				if err := one(acc, idx); err != nil {
 					fail(err)
 				}
 			}
 		}(&perClient[i])
 	}
 	for i := 0; i < opts.Requests; i++ {
-		jobs <- struct{}{}
+		jobs <- pick()
 	}
 	close(jobs)
 	wg.Wait()
 	rep.Elapsed = time.Since(start)
 
 	rep.Clients = make([]ClientStats, opts.Concurrency)
+	var all []time.Duration
 	for i := range perClient {
 		acc := &perClient[i]
+		all = append(all, acc.latencies...)
 		sort.Slice(acc.latencies, func(a, b int) bool { return acc.latencies[a] < acc.latencies[b] })
 		acc.stats.Client = i
 		acc.stats.P50 = percentile(acc.latencies, 50)
@@ -234,6 +278,9 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		acc.stats.P99 = percentile(acc.latencies, 99)
 		rep.Clients[i] = acc.stats
 	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	rep.P50 = percentile(all, 50)
+	rep.P99 = percentile(all, 99)
 
 	if firstErr != nil {
 		return rep, firstErr
@@ -242,6 +289,69 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		return rep, fmt.Errorf("%d of %d responses diverged from the offline replay", rep.Mismatches, rep.Requests)
 	}
 	return rep, nil
+}
+
+// tracePicker builds the seeded draw sequence over n traces for the
+// configured distribution. The picker is called only from the dispatch loop,
+// so it needs no locking.
+func tracePicker(opts LoadOptions, n int) (func() int, error) {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch opts.Dist {
+	case "", "uniform":
+		if n == 1 {
+			return func() int { return 0 }, nil
+		}
+		return func() int { return rng.Intn(n) }, nil
+	case "zipf":
+		s := opts.ZipfS
+		if s == 0 {
+			s = 1.2
+		}
+		if s <= 1 {
+			return nil, fmt.Errorf("zipf skew must be > 1, got %g", s)
+		}
+		z := rand.NewZipf(rng, s, 1, uint64(n-1))
+		return func() int { return int(z.Uint64()) }, nil
+	default:
+		return nil, fmt.Errorf("unknown load distribution %q (want uniform or zipf)", opts.Dist)
+	}
+}
+
+// TraceVariants derives k distinct traces from one base trace by appending a
+// short, variant-specific alloc/write/free tail with fresh object IDs. Each
+// variant has a different canonical rendering (and so a different cache key)
+// while exercising the same directives as the base — the shape a load mix
+// needs to measure cache skew honestly.
+func TraceVariants(base []byte, k int) ([][]byte, error) {
+	tf, err := trace.ParseFile(bytes.NewReader(base))
+	if err != nil {
+		return nil, fmt.Errorf("parse base trace: %w", err)
+	}
+	var maxID uint64
+	for _, ev := range tf.Events {
+		if ev.ID > maxID {
+			maxID = ev.ID
+		}
+	}
+	out := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		var b bytes.Buffer
+		b.Write(base)
+		if n := len(base); n > 0 && base[n-1] != '\n' {
+			b.WriteByte('\n')
+		}
+		// Two objects per variant, with variant-dependent sizes and offsets
+		// so the simulated numbers differ too, not just the text.
+		id := maxID + 1 + uint64(2*i)
+		fmt.Fprintf(&b, "a %d %d\nw %d %d\nf %d\n", id, 64+16*uint64(i%32), id, uint64(i%8)*8, id)
+		fmt.Fprintf(&b, "a %d %d\nr %d 0\nf %d\n", id+1, 4096+uint64(i), id+1, id+1)
+		out[i] = b.Bytes()
+	}
+	return out, nil
 }
 
 // retryDelay honours a Retry-After hint, backing off a little per attempt

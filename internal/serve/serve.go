@@ -56,6 +56,17 @@ type Config struct {
 	Timeout time.Duration
 	// RetryAfter is the hint returned with 429 responses (0 = 1s).
 	RetryAfter time.Duration
+	// Snapshots enables the pre-warmed copy-on-write machine snapshot:
+	// replay machines are forked from one frozen image instead of built
+	// from scratch per request. Responses are byte-identical either way
+	// (the parity tests enforce it); off preserves the fresh-machine path
+	// exactly.
+	Snapshots bool
+	// CacheEntries bounds the content-hash replay cache (0 = disabled).
+	// Identical requests (canonical trace + semantics knobs) are served
+	// from the cache without simulating, with single-flight dedup of
+	// concurrent misses.
+	CacheEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +119,17 @@ type Server struct {
 	errs     *obs.Counter
 	shed     *obs.Counter
 	timeouts *obs.Counter
+
+	// snap, when non-nil, is the pre-warmed frozen machine image every
+	// replay machine is forked from (Config.Snapshots). forks/forkFallbacks
+	// count fork successes and structural-mismatch fallbacks to the fresh
+	// path.
+	snap          *pageguard.Snapshot
+	forks         atomic.Uint64
+	forkFallbacks atomic.Uint64
+	// cache, when non-nil, memoizes replay responses by content hash
+	// (Config.CacheEntries).
+	cache *replayCache
 
 	// draining flips when the operator starts a graceful shutdown;
 	// /healthz reports it so load balancers stop routing here.
@@ -174,6 +196,25 @@ func New(cfg Config) *Server {
 		"size of the bounded worker pool",
 		func() float64 { return float64(cfg.Workers) })
 	obs.RegisterBuildInfo(s.reg, time.Now())
+
+	if cfg.Snapshots {
+		// A default-shape snapshot serves every request: trace directives
+		// and query overrides are all fork-compatible per-request knobs.
+		// If snapshot creation somehow fails, the fresh-machine path still
+		// serves correctly.
+		if snap, err := pageguard.NewSnapshot(); err == nil {
+			s.snap = snap
+		}
+		s.reg.CounterFunc("pgserved_snapshot_forks_total",
+			"replay machines forked from the pre-warmed snapshot",
+			s.forks.Load)
+		s.reg.CounterFunc("pgserved_snapshot_fallbacks_total",
+			"replay machines built fresh because fork options were structurally incompatible",
+			s.forkFallbacks.Load)
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = newReplayCache(cfg.CacheEntries, s.reg)
+	}
 
 	s.mux.HandleFunc("POST /replay", s.handleReplay)
 	s.mux.HandleFunc("POST /workload/{name}", s.handleWorkload)
@@ -474,12 +515,33 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	s.replayFile(w, r, tf, start)
 }
 
+// buildMachine returns the machine for one replay: a fork of the pre-warmed
+// snapshot when enabled and the trace's directives are fork-compatible
+// (they always are today — the fallback guards future structural options),
+// else a fresh machine exactly as before.
+func (s *Server) buildMachine(tf *trace.File, extra ...pageguard.Option) *pageguard.Machine {
+	if s.snap != nil {
+		if m, err := s.snap.Fork(tf.MachineOptions(extra...)...); err == nil {
+			s.forks.Add(1)
+			return m
+		}
+		s.forkFallbacks.Add(1)
+	}
+	return trace.NewMachine(tf, extra...)
+}
+
 // replayFile runs the trace (directives honoured) on a worker slot and
 // streams the canonical NDJSON result. With ?spans=1 the machine is built
 // with span tracing and the body carries the span stream (plus the
 // leaf-vs-charged reconciliation trailer) after the replay lines — the
 // same bytes pgtrace -ndjson -spans produces offline. start is the
 // handler's arrival time, used only for the /debug/spans host-side record.
+//
+// With the content-hash cache enabled, identical requests are served from
+// the memoized body without simulating; concurrent identical misses simulate
+// once (single-flight). Every 200 response — simulated or cached — merges
+// the replay's process metrics into the fleet aggregate, so the merged
+// snapshot stays a function of the served request multiset alone.
 func (s *Server) replayFile(w http.ResponseWriter, r *http.Request, tf *trace.File, start time.Time) {
 	withSpans := r.URL.Query().Get("spans") == "1"
 	var extra []pageguard.Option
@@ -488,13 +550,134 @@ func (s *Server) replayFile(w http.ResponseWriter, r *http.Request, tf *trace.Fi
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
+	execStart := time.Now()
+
+	if s.cache == nil {
+		s.replayUncached(ctx, w, r, tf, extra, withSpans, start, execStart)
+		return
+	}
+
+	key := keyForReplay(tf, withSpans)
+	ent, call, leader := s.cache.begin(key)
+	switch {
+	case ent != nil:
+		// Cache hit: serve without simulating.
+	case leader:
+		// First request for this key: simulate on a worker slot. The
+		// flight completes inside the worker goroutine, so a replay whose
+		// handler timed out still publishes its result to the cache and to
+		// any waiters (no completed replay work is lost).
+		v, err := s.runIsolated(ctx, func() (any, error) {
+			e, rerr := s.renderReplay(tf, extra, withSpans)
+			s.cache.complete(key, e, rerr)
+			return e, rerr
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				// If the worker goroutine never started (no slot before
+				// the deadline), release the waiters; complete is a no-op
+				// when the background goroutine later finishes the flight
+				// itself, and the finished entry still caches.
+				s.cache.complete(key, nil, err)
+			}
+			s.replayError(w, ctx, err)
+			return
+		}
+		s.writeEntry(w, r, v.(*replayEntry), "miss", start, execStart)
+		return
+	default:
+		// Another request is simulating this exact key: wait for it.
+		select {
+		case <-call.done:
+		case <-ctx.Done():
+			s.replayError(w, ctx, ctx.Err())
+			return
+		}
+		if call.err != nil {
+			s.replayError(w, ctx, call.err)
+			return
+		}
+		ent = call.ent
+	}
+	s.mergeReplayMetrics(ent.metrics)
+	s.count(s.replays)
+	s.writeEntry(w, r, ent, "hit", start, execStart)
+}
+
+// renderReplay simulates one trace and renders its full response body,
+// merging the process metrics and counting the completion. Runs on a worker
+// goroutine.
+func (s *Server) renderReplay(tf *trace.File, extra []pageguard.Option, withSpans bool) (*replayEntry, error) {
+	rep, err := trace.Replay(s.buildMachine(tf, extra...), tf.Events)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteNDJSON(&buf, rep); err != nil {
+		return nil, err
+	}
+	if withSpans {
+		if err := trace.WriteSpansNDJSON(&buf, rep); err != nil {
+			return nil, err
+		}
+	}
+	s.mergeReplayMetrics(rep.Metrics)
+	s.count(s.replays)
+	return &replayEntry{
+		body:    buf.Bytes(),
+		metrics: rep.Metrics,
+		spans:   len(rep.Spans),
+		leaf:    pageguard.LeafSpanCycleSum(rep.Spans),
+		charged: rep.ChargedCycles,
+	}, nil
+}
+
+// replayError maps a replay failure onto the shedding ladder's error codes.
+func (s *Server) replayError(w http.ResponseWriter, ctx context.Context, err error) {
+	s.count(s.errs)
+	if ctx.Err() != nil || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.count(s.timeouts)
+		writeError(w, http.StatusServiceUnavailable, ErrCodeTimeout,
+			"replay exceeded the request budget", 0)
+		return
+	}
+	writeError(w, http.StatusUnprocessableEntity, ErrCodeReplayFailed,
+		"replay failed: "+err.Error(), 0)
+}
+
+// writeEntry serves a rendered replay body and records the /debug/spans
+// line. cacheState stamps the X-Pg-Cache header ("hit" or "miss"; empty for
+// the uncached path, whose response headers are unchanged from before the
+// cache existed).
+func (s *Server) writeEntry(w http.ResponseWriter, r *http.Request, ent *replayEntry, cacheState string, start, execStart time.Time) {
+	execMicros := time.Since(execStart).Microseconds()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if cacheState != "" {
+		w.Header().Set("X-Pg-Cache", cacheState)
+	}
+	if _, err := w.Write(ent.body); err != nil {
+		return // client went away mid-body; nothing more to do
+	}
+	s.recordDebug(debugEntry{
+		TraceID:       w.Header().Get("X-Pg-Trace-Id"),
+		Path:          r.URL.Path,
+		WallMicros:    time.Since(start).Microseconds(),
+		ExecMicros:    execMicros,
+		Spans:         ent.spans,
+		LeafCycles:    ent.leaf,
+		ChargedCycles: ent.charged,
+	})
+}
+
+// replayUncached is the original streaming path, byte-for-byte: used when
+// the cache is disabled.
+func (s *Server) replayUncached(ctx context.Context, w http.ResponseWriter, r *http.Request, tf *trace.File, extra []pageguard.Option, withSpans bool, start, execStart time.Time) {
 	// The merge and the completion count happen inside the worker
 	// goroutine, not the handler: a replay whose handler timed out still
 	// finishes in the background, and its process metrics must land in the
 	// fleet aggregate (no completed replay work is lost).
-	execStart := time.Now()
 	v, err := s.runIsolated(ctx, func() (any, error) {
-		rep, err := trace.Replay(trace.NewMachine(tf, extra...), tf.Events)
+		rep, err := trace.Replay(s.buildMachine(tf, extra...), tf.Events)
 		if err != nil {
 			return nil, err
 		}

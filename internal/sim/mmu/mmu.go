@@ -306,7 +306,7 @@ func (m *MMU) WriteBytes(addr vm.Addr, buf []byte) error {
 			return err
 		}
 		off := vm.Offset(addr)
-		n := copy(m.mem.Frame(frame)[off:], buf)
+		n := copy(m.mem.FrameForWrite(frame)[off:], buf)
 		buf = buf[n:]
 		addr += uint64(n)
 	}
@@ -356,7 +356,7 @@ func (m *MMU) WriteWord(addr vm.Addr, size int, val uint64) error {
 		if err != nil {
 			return err
 		}
-		b := m.mem.Frame(frame)[off:]
+		b := m.mem.FrameForWrite(frame)[off:]
 		switch size {
 		case 1:
 			b[0] = byte(val)
@@ -402,7 +402,7 @@ func (m *MMU) PokeBytes(addr vm.Addr, buf []byte) error {
 			return &vm.Fault{Addr: addr, Access: vm.AccessWrite, Reason: vm.FaultUnmapped}
 		}
 		off := vm.Offset(addr)
-		n := copy(m.mem.Frame(frame)[off:], buf)
+		n := copy(m.mem.FrameForWrite(frame)[off:], buf)
 		buf = buf[n:]
 		addr += uint64(n)
 	}

@@ -167,8 +167,22 @@ const (
 	radixMidMask  = radixMidSize - 1
 )
 
-type radixLeaf [radixLeafSize]pte
-type radixMid [radixMidSize]*radixLeaf
+// spaceToken identifies the Space that owns a radix node. Nodes reached from
+// a Space whose token differs from the node's owner are shared with a frozen
+// snapshot parent and must be path-copied before mutation (persistent-tree
+// copy-on-write, the same aliasing idea the shadow pages use, applied to the
+// page table itself).
+type spaceToken struct{ _ byte }
+
+type radixLeaf struct {
+	owner *spaceToken
+	ptes  [radixLeafSize]pte
+}
+
+type radixMid struct {
+	owner  *spaceToken
+	leaves [radixMidSize]*radixLeaf
+}
 
 // Space is one process's virtual address space. It owns no physical memory;
 // frames are allocated and freed by the kernel layer, which also decides
@@ -181,6 +195,12 @@ type radixMid [radixMidSize]*radixLeaf
 // prove the radix table changes no observable result.
 type Space struct {
 	root [radixTopSize]*radixMid
+	// self is this Space's node-ownership token: radix nodes whose owner
+	// field equals self may be mutated in place; any other node is shared
+	// with a snapshot parent and is copied on first write.
+	self *spaceToken
+	// frozen marks a snapshot parent: all mutation panics, Fork is legal.
+	frozen bool
 	// legacy, when non-nil, replaces the radix tree with the original
 	// map-based page table. Parity-test shim only.
 	legacy map[VPN]pte
@@ -212,6 +232,7 @@ type Space struct {
 // NewSpace returns an empty address space backed by the radix page table.
 func NewSpace() *Space {
 	return &Space{
+		self: new(spaceToken),
 		next: 16, // leave the first 64 KB unmapped (NULL guard)
 	}
 }
@@ -241,11 +262,11 @@ func (s *Space) lookupPTE(vpn VPN) *pte {
 	if mid == nil {
 		return nil
 	}
-	leaf := mid[(vpn>>radixLeafBits)&radixMidMask]
+	leaf := mid.leaves[(vpn>>radixLeafBits)&radixMidMask]
 	if leaf == nil {
 		return nil
 	}
-	e := &leaf[vpn&radixLeafMask]
+	e := &leaf.ptes[vpn&radixLeafMask]
 	if !e.present {
 		return nil
 	}
@@ -253,21 +274,61 @@ func (s *Space) lookupPTE(vpn VPN) *pte {
 }
 
 // ensurePTE returns a pointer to the (possibly absent) entry for vpn,
-// allocating radix nodes along the path as needed.
+// allocating radix nodes along the path as needed and path-copying any node
+// still shared with a snapshot parent.
 func (s *Space) ensurePTE(vpn VPN) *pte {
 	top := vpn >> (radixMidBits + radixLeafBits)
 	mid := s.root[top]
 	if mid == nil {
-		mid = new(radixMid)
+		mid = &radixMid{owner: s.self}
 		s.root[top] = mid
+	} else if mid.owner != s.self {
+		cp := &radixMid{owner: s.self, leaves: mid.leaves}
+		mid = cp
+		s.root[top] = cp
 	}
 	li := (vpn >> radixLeafBits) & radixMidMask
-	leaf := mid[li]
+	leaf := mid.leaves[li]
 	if leaf == nil {
-		leaf = new(radixLeaf)
-		mid[li] = leaf
+		leaf = &radixLeaf{owner: s.self}
+		mid.leaves[li] = leaf
+	} else if leaf.owner != s.self {
+		cp := &radixLeaf{owner: s.self, ptes: leaf.ptes}
+		leaf = cp
+		mid.leaves[li] = leaf
 	}
-	return &leaf[vpn&radixLeafMask]
+	return &leaf.ptes[vpn&radixLeafMask]
+}
+
+// mutablePTE returns a writable pointer to the live entry for vpn, or nil
+// when the page is unmapped. Unlike lookupPTE it path-copies shared radix
+// nodes, so the returned entry is always safe to mutate; unlike ensurePTE it
+// never allocates nodes for absent paths.
+func (s *Space) mutablePTE(vpn VPN) *pte {
+	top := vpn >> (radixMidBits + radixLeafBits)
+	if top >= radixTopSize {
+		return nil
+	}
+	mid := s.root[top]
+	if mid == nil {
+		return nil
+	}
+	li := (vpn >> radixLeafBits) & radixMidMask
+	leaf := mid.leaves[li]
+	if leaf == nil || !leaf.ptes[vpn&radixLeafMask].present {
+		return nil
+	}
+	if mid.owner != s.self {
+		cp := &radixMid{owner: s.self, leaves: mid.leaves}
+		mid = cp
+		s.root[top] = cp
+	}
+	if leaf.owner != s.self {
+		cp := &radixLeaf{owner: s.self, ptes: leaf.ptes}
+		leaf = cp
+		mid.leaves[li] = leaf
+	}
+	return &leaf.ptes[vpn&radixLeafMask]
 }
 
 // ErrAddressSpaceExhausted is reported when ReservePages passes the 47-bit
@@ -277,6 +338,9 @@ var ErrAddressSpaceExhausted = fmt.Errorf("vm: virtual address space exhausted (
 // ReservePages hands out n fresh, never-before-used consecutive virtual
 // pages and returns the first VPN. The pages are not mapped yet.
 func (s *Space) ReservePages(n uint64) (VPN, error) {
+	if s.frozen {
+		panic("vm: ReservePages on a frozen snapshot")
+	}
 	if n == 0 {
 		return 0, fmt.Errorf("vm: reserve of zero pages")
 	}
@@ -296,6 +360,9 @@ func (s *Space) ReservePages(n uint64) (VPN, error) {
 // any existing entry. vpn must lie inside the 47-bit user space (ReservePages
 // never hands out anything else).
 func (s *Space) Map(vpn VPN, frame phys.FrameID, prot Prot) {
+	if s.frozen {
+		panic("vm: Map on a frozen snapshot")
+	}
 	s.epoch++
 	if s.legacy != nil {
 		if _, ok := s.legacy[vpn]; !ok {
@@ -325,6 +392,9 @@ func (s *Space) noteMapped() {
 // Unmap removes the mapping for vpn. Unmapping an unmapped page is an error
 // (the kernel layer never does it).
 func (s *Space) Unmap(vpn VPN) error {
+	if s.frozen {
+		panic("vm: Unmap on a frozen snapshot")
+	}
 	s.epoch++
 	if s.legacy != nil {
 		if _, ok := s.legacy[vpn]; !ok {
@@ -334,7 +404,7 @@ func (s *Space) Unmap(vpn VPN) error {
 		s.mapped--
 		return nil
 	}
-	e := s.lookupPTE(vpn)
+	e := s.mutablePTE(vpn)
 	if e == nil {
 		return fmt.Errorf("vm: unmap of unmapped page %#x", uint64(vpn)<<PageShift)
 	}
@@ -345,6 +415,9 @@ func (s *Space) Unmap(vpn VPN) error {
 
 // Protect sets the protection bits of vpn.
 func (s *Space) Protect(vpn VPN, prot Prot) error {
+	if s.frozen {
+		panic("vm: Protect on a frozen snapshot")
+	}
 	s.epoch++
 	if s.legacy != nil {
 		e, ok := s.legacy[vpn]
@@ -355,7 +428,7 @@ func (s *Space) Protect(vpn VPN, prot Prot) error {
 		s.legacy[vpn] = e
 		return nil
 	}
-	e := s.lookupPTE(vpn)
+	e := s.mutablePTE(vpn)
 	if e == nil {
 		return fmt.Errorf("vm: protect of unmapped page %#x", uint64(vpn)<<PageShift)
 	}
@@ -415,13 +488,13 @@ func (s *Space) ForEach(fn func(VPN, phys.FrameID, Prot)) {
 		if mid == nil {
 			continue
 		}
-		for mi, leaf := range mid {
+		for mi, leaf := range mid.leaves {
 			if leaf == nil {
 				continue
 			}
 			base := VPN(ti)<<(radixMidBits+radixLeafBits) | VPN(mi)<<radixLeafBits
-			for li := range leaf {
-				if e := &leaf[li]; e.present {
+			for li := range leaf.ptes {
+				if e := &leaf.ptes[li]; e.present {
 					fn(base|VPN(li), e.frame, e.prot)
 				}
 			}
@@ -452,3 +525,40 @@ func (s *Space) SetBudget(pages uint64) { s.budget = pages }
 // BudgetPages returns the configured fresh-reservation cap, or 0 when only
 // the architectural limit applies.
 func (s *Space) BudgetPages() uint64 { return s.budget }
+
+// Freeze marks the Space as an immutable snapshot parent. All further
+// mutation panics; Fork becomes legal. Freeze is idempotent and must be
+// called before the Space is shared across goroutines.
+func (s *Space) Freeze() { s.frozen = true }
+
+// Frozen reports whether Freeze has been called.
+func (s *Space) Frozen() bool { return s.frozen }
+
+// Fork returns a mutable copy-on-write clone of a frozen Space. The clone
+// shares every radix node with the parent; a node is path-copied the first
+// time the clone mutates a page inside it, so an N-fork fleet pays for page
+// tables proportional to what it changes, not to what it inherited. Fork is
+// safe to call from many goroutines at once because it only reads the frozen
+// parent.
+func (s *Space) Fork() *Space {
+	if !s.frozen {
+		panic("vm: Fork of an unfrozen Space")
+	}
+	n := &Space{
+		root:       s.root, // shallow: nodes stay owned by the parent's token
+		self:       new(spaceToken),
+		mapped:     s.mapped,
+		epoch:      s.epoch,
+		next:       s.next,
+		peakMapped: s.peakMapped,
+		everMapped: s.everMapped,
+		budget:     s.budget,
+	}
+	if s.legacy != nil {
+		n.legacy = make(map[VPN]pte, len(s.legacy))
+		for v, e := range s.legacy {
+			n.legacy[v] = e
+		}
+	}
+	return n
+}

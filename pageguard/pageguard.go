@@ -209,6 +209,10 @@ func WithFaultSchedule(spec string) Option {
 type Machine struct {
 	cfg machineConfig
 	sys *kernel.System
+	// prepared, when non-nil, is a pre-warmed kernel process (forked from a
+	// Snapshot) consumed by the next NewProcess call in place of a fresh
+	// kernel.NewProcess. See snapshot.go.
+	prepared *kernel.Process
 }
 
 // NewMachine boots a machine.
@@ -243,9 +247,15 @@ func (m *Machine) NewProcess() (*Process, error) {
 	if m.cfg.schedErr != nil {
 		return nil, m.cfg.schedErr
 	}
-	proc, err := kernel.NewProcess(m.sys, m.cfg.kernel)
-	if err != nil {
-		return nil, err
+	var proc *kernel.Process
+	if m.prepared != nil {
+		proc, m.prepared = m.prepared, nil
+	} else {
+		var err error
+		proc, err = kernel.NewProcess(m.sys, m.cfg.kernel)
+		if err != nil {
+			return nil, err
+		}
 	}
 	remap := core.New(proc, m.cfg.policy)
 	if m.cfg.spans {

@@ -1,0 +1,87 @@
+package pageguard
+
+import (
+	"fmt"
+
+	"repro/internal/sim/kernel"
+)
+
+// Snapshot is a pre-warmed, frozen machine+process image that can be forked
+// into runnable Machines in microseconds. The expensive part of serving one
+// replay request — booting a machine and setting up a process (stack and
+// globals mappings, frame zeroing, page-table population) — is paid once at
+// snapshot time; each Fork shares the snapshot's physical frames and radix
+// page-table nodes copy-on-write, exactly the aliasing idea the detector
+// itself plays with shadow pages, applied one level up.
+//
+// A Snapshot is immutable after NewSnapshot returns and is safe for
+// concurrent Fork calls from many goroutines.
+type Snapshot struct {
+	base machineConfig
+	sys  *kernel.System
+	proc *kernel.Process
+}
+
+// NewSnapshot boots a machine with the given options, creates and fully sets
+// up one process on it, and freezes the pair as a fork source.
+//
+// Options that reconfigure the machine's structure (MaxFrames, StackPages,
+// the MMU/cost model, the legacy page table) are baked into the snapshot and
+// must match at Fork time; per-request knobs (fault schedule, VA budget,
+// reuse policy, GC schedule, overflow guards, span tracing) may be changed
+// freely by Fork's extra options.
+func NewSnapshot(opts ...Option) (*Snapshot, error) {
+	m := NewMachine(opts...)
+	if m.cfg.schedErr != nil {
+		return nil, m.cfg.schedErr
+	}
+	proc, err := kernel.NewProcess(m.sys, m.cfg.kernel)
+	if err != nil {
+		return nil, err
+	}
+	m.sys.Freeze()
+	proc.Space().Freeze()
+	return &Snapshot{base: m.cfg, sys: m.sys, proc: proc}, nil
+}
+
+// structural returns cfg's kernel configuration with the fork-compatible
+// per-request knobs (fault schedule, VA budget) cleared, for comparison.
+func structural(cfg machineConfig) kernel.Config {
+	k := cfg.kernel
+	k.Faults = nil
+	k.VABudgetPages = 0
+	return k
+}
+
+// Fork clones the snapshot into an independent, mutable Machine whose first
+// NewProcess call returns the pre-warmed process clone instead of building
+// one from scratch. The result is observationally byte-identical to a fresh
+// NewMachine(baseOpts + extra...) followed by NewProcess: same simulated
+// numbers, same deterministic fault streams, same trap reports.
+//
+// extra options may adjust per-request knobs (WithFaultSchedule,
+// WithVABudget, WithPolicySpec, WithReusePolicy, WithGCSchedule,
+// WithOverflowGuards, WithSpanTracing); an option that would change the
+// machine's structure away from the snapshot's returns an error, so callers
+// can fall back to a fresh machine.
+func (s *Snapshot) Fork(extra ...Option) (*Machine, error) {
+	cfg := s.base
+	for _, o := range extra {
+		o(&cfg)
+	}
+	if cfg.schedErr != nil {
+		// Surface the malformed-spec error from NewProcess exactly like a
+		// fresh machine would; no fork work is needed.
+		return &Machine{cfg: cfg, sys: kernel.NewSystem(cfg.kernel)}, nil
+	}
+	if structural(cfg) != structural(s.base) {
+		return nil, fmt.Errorf("pageguard: fork options change the machine structure (snapshot %+v, fork %+v)",
+			structural(s.base), structural(cfg))
+	}
+	sys := s.sys.Fork()
+	proc, err := s.proc.Fork(sys, cfg.kernel)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{cfg: cfg, sys: sys, prepared: proc}, nil
+}

@@ -11,7 +11,10 @@
 #   the adversarial corpus bit-for-bit through pgtrace and pgserved), and
 #   the span-tracing gate (regenerate BENCH_pr8.json; the ?spans=1 stream
 #   must match pgtrace -ndjson -spans byte-for-byte and its trailer must
-#   reconcile leaf-span cycles against kernel-charged cycles exactly).
+#   reconcile leaf-span cycles against kernel-charged cycles exactly), and
+#   the fleet-serving gate (router smoke over two snapshot+cache backends
+#   with routed bytes diffed against pgtrace -ndjson, plus the serving
+#   benchmark regenerated into scratch and BENCH_pr9.json cross-validated).
 #
 # Usage: scripts/check.sh   (from the repo root)
 set -eu
@@ -187,6 +190,81 @@ if ! grep -q "drained cleanly" "$servelog"; then
     exit 1
 fi
 echo "pgserved smoke: 64 replays byte-identical to offline, clean SIGTERM drain"
+
+echo "== pgserved router smoke (2 backends, consistent hashing, clean drain) =="
+# Two snapshot+cache backends behind a -route front: load through the router
+# (byte-identity per response asserted inside the generator, including a
+# Zipf-distributed variant mix), diff one routed body against pgtrace
+# -ndjson, then SIGTERM all three and require clean drains.
+b1log=$(mktemp -t pgb1log.XXXXXX)
+b2log=$(mktemp -t pgb2log.XXXXXX)
+routerlog=$(mktemp -t pgrouterlog.XXXXXX)
+b1pid=""
+b2pid=""
+routerpid=""
+trap 'kill "$servepid" "$b1pid" "$b2pid" "$routerpid" 2>/dev/null || true; rm -f "$pgbench" "$pglint" "$wallbench" "$tracebench" "$metrics" "$metrics.prom" "$pgserved" "$pgtracebin" "$servelog" "$servebody" "$offline" "$b1log" "$b2log" "$routerlog"' EXIT
+
+wait_addr() {
+    for _ in $(seq 1 50); do
+        a=$(sed -n 's/^pgserved: listening on //p' "$1")
+        if [ -n "$a" ]; then
+            echo "$a"
+            return 0
+        fi
+        sleep 0.1
+    done
+    return 1
+}
+
+"$pgserved" -addr 127.0.0.1:0 >"$b1log" &
+b1pid=$!
+"$pgserved" -addr 127.0.0.1:0 >"$b2log" &
+b2pid=$!
+b1addr=$(wait_addr "$b1log") || { echo "backend 1 did not start" >&2; exit 1; }
+b2addr=$(wait_addr "$b2log") || { echo "backend 2 did not start" >&2; exit 1; }
+"$pgserved" -route -addr 127.0.0.1:0 \
+    -backends "http://$b1addr,http://$b2addr" >"$routerlog" &
+routerpid=$!
+raddr=$(wait_addr "$routerlog") || { echo "router did not start" >&2; exit 1; }
+
+"$pgserved" -load -url "http://$raddr" -trace trace/testdata/faulted.trace \
+    -n 32 -c 8 -out "$servebody"
+"$pgtracebin" -ndjson trace/testdata/faulted.trace >"$offline" || [ $? -eq 2 ]
+if ! diff -q "$servebody" "$offline" >/dev/null; then
+    echo "routed replay diverges from pgtrace -ndjson:" >&2
+    diff "$servebody" "$offline" >&2 || true
+    exit 1
+fi
+"$pgserved" -load -url "http://$raddr" -trace trace/testdata/faulted.trace \
+    -n 64 -c 8 -distinct 8 -load-dist zipf
+
+for pid in "$routerpid" "$b1pid" "$b2pid"; do
+    kill -TERM "$pid"
+    if ! wait "$pid"; then
+        echo "router smoke: pid $pid did not drain cleanly on SIGTERM" >&2
+        exit 1
+    fi
+done
+for log in "$routerlog" "$b1log" "$b2log"; do
+    if ! grep -q "drained cleanly" "$log"; then
+        echo "router smoke: drain message missing in $log:" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+done
+echo "router smoke: routed bytes identical to offline, zipf mix verified, 3 clean drains"
+
+echo "== serving bench artifact (BENCH_pr9.json) =="
+# Wall timings are machine-dependent: regenerate into a scratch file (the
+# generator enforces the 5x warm+cache floor and per-request byte-parity
+# itself) and validate the committed artifact as-is, cross-checked with the
+# other four.
+servebench=$(mktemp -t pgservebench.XXXXXX)
+trap 'kill "$servepid" "$b1pid" "$b2pid" "$routerpid" 2>/dev/null || true; rm -f "$pgbench" "$pglint" "$wallbench" "$tracebench" "$metrics" "$metrics.prom" "$pgserved" "$pgtracebin" "$servelog" "$servebody" "$offline" "$b1log" "$b2log" "$routerlog" "$servebench"' EXIT
+"$pgbench" -servebench "$servebench" \
+    -serve-requests 4000 -serve-fresh-requests 800 -serve-clients 8 -serve-distinct 16
+"$pgbench" -check-bench "$servebench"
+"$pgbench" -check-bench BENCH_pr3.json,BENCH_pr4.json,BENCH_pr7.json,BENCH_pr8.json,BENCH_pr9.json
 
 echo "== pglint over every workload =="
 go build -o "$pglint" ./cmd/pglint

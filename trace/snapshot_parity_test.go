@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/pageguard"
+)
+
+// parityTrace builds a trace with live allocations, dangling reads and
+// writes (so TrapReports with flight-recorder context are emitted), a double
+// free, and interleaved lifetimes.
+func parityTrace(n int) string {
+	var b strings.Builder
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "a %d %d\nw %d 0\n", i, 16+(i%5)*96, i)
+		if i%3 == 0 {
+			fmt.Fprintf(&b, "f %d\nr %d 0\nw %d 8\n", i, i, i) // dangling read+write
+		}
+		if i%7 == 0 {
+			fmt.Fprintf(&b, "a %d 4000\nf %d\nf %d\n", n+i, n+i, n+i) // double free
+		}
+	}
+	return b.String()
+}
+
+// replayBytes renders a full replay (NDJSON body + spans stream when traced)
+// through the given machine.
+func replayBytes(t *testing.T, m *pageguard.Machine, f *File, spans bool) []byte {
+	t.Helper()
+	rep, err := Replay(m, f.Events)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, rep); err != nil {
+		t.Fatalf("WriteNDJSON: %v", err)
+	}
+	if spans {
+		if err := WriteSpansNDJSON(&buf, rep); err != nil {
+			t.Fatalf("WriteSpansNDJSON: %v", err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotReplayParity: replaying any directive-carrying trace on a
+// Snapshot fork must produce the same bytes — NDJSON body, TrapReports with
+// their flight-recorder context, spans — as a fresh machine.
+func TestSnapshotReplayParity(t *testing.T) {
+	snap, err := pageguard.NewSnapshot()
+	if err != nil {
+		t.Fatalf("NewSnapshot: %v", err)
+	}
+	headers := []struct {
+		name   string
+		header string
+		spans  bool
+	}{
+		{"plain", "", false},
+		{"guards", "!guards\n", false},
+		{"policy", "!policy interval=16\n", false},
+		{"faults", "!faults seed=11;mremap:prob=0.04;mprotect:prob=0.04\n", false},
+		{"vabudget", "!vabudget 6000\n", false},
+		{"spans", "", true},
+		{"everything", "!faults seed=3;mprotect:prob=0.02\n!policy interval=32\n!vabudget 8000\n!guards\n", true},
+	}
+	body := parityTrace(120)
+	for _, tc := range headers {
+		t.Run(tc.name, func(t *testing.T) {
+			src := tc.header + body
+			var extra []pageguard.Option
+			if tc.spans {
+				extra = append(extra, pageguard.WithSpanTracing())
+			}
+
+			ff, err := ParseFile(strings.NewReader(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := replayBytes(t, NewMachine(ff, extra...), ff, tc.spans)
+
+			ff2, err := ParseFile(strings.NewReader(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := snap.Fork(ff2.MachineOptions(extra...)...)
+			if err != nil {
+				t.Fatalf("Fork: %v", err)
+			}
+			got := replayBytes(t, m, ff2, tc.spans)
+			if !bytes.Equal(got, want) {
+				t.Errorf("forked replay diverged from fresh machine\nfresh:  %d bytes\nforked: %d bytes\nfirst diff at %d",
+					len(want), len(got), firstDiff(want, got))
+			}
+		})
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestSnapshotReplayParityConcurrent: concurrent forks replaying different
+// traces must each match their fresh-machine bytes (run under -race).
+func TestSnapshotReplayParityConcurrent(t *testing.T) {
+	snap, err := pageguard.NewSnapshot()
+	if err != nil {
+		t.Fatalf("NewSnapshot: %v", err)
+	}
+	const workers = 8
+	srcs := make([]string, workers)
+	want := make([][]byte, workers)
+	for i := range srcs {
+		srcs[i] = parityTrace(60 + 15*i)
+		ff, err := ParseFile(strings.NewReader(srcs[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = replayBytes(t, NewMachine(ff), ff, false)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ff, err := ParseFile(strings.NewReader(srcs[i]))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			m, err := snap.Fork(ff.MachineOptions()...)
+			if err != nil {
+				t.Errorf("Fork: %v", err)
+				return
+			}
+			if got := replayBytes(t, m, ff, false); !bytes.Equal(got, want[i]) {
+				t.Errorf("worker %d: forked replay diverged from fresh machine", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -60,6 +60,7 @@ func main() {
 	wallbench := flag.String("wallbench", "", "run the wall-clock benchmark suite and write its JSON report to this path")
 	tracebench := flag.String("tracebench", "", "run the span-tracing overhead benchmark and write its JSON report to this path")
 	servebench := flag.String("servebench", "", "run the serving benchmark (fresh vs snapshot vs cache) and write its JSON report to this path")
+	samplebench := flag.String("samplebench", "", "run the sampled-tier study (detection probability vs rate vs overhead) and write its JSON report to this path")
 	serveRequests := flag.Int("serve-requests", 0, "warm-side soak length for -servebench (0 = 200000)")
 	serveFreshRequests := flag.Int("serve-fresh-requests", 0, "fresh-baseline request count for -servebench (0 = 20000)")
 	serveClients := flag.Int("serve-clients", 0, "concurrent load clients for -servebench (0 = 16)")
@@ -79,6 +80,13 @@ func main() {
 		paths := strings.Split(*checkBenchPath, ",")
 		paths = append(paths, flag.Args()...)
 		if err := checkBench(paths); err != nil {
+			fmt.Fprintln(os.Stderr, "pgbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *samplebench != "" {
+		if err := runSampleBench(*samplebench); err != nil {
 			fmt.Fprintln(os.Stderr, "pgbench:", err)
 			os.Exit(1)
 		}

@@ -279,13 +279,19 @@ func checkBenchFile(path string) (string, float64, error) {
 			return "", 0, fmt.Errorf("%s: %w", path, err)
 		}
 		return head.Schema, 0, checkServeBench(path, &sdoc)
+	case "pgbench-sampling/v1":
+		var pdoc sampleBenchDoc
+		if err := json.Unmarshal(data, &pdoc); err != nil {
+			return "", 0, fmt.Errorf("%s: %w", path, err)
+		}
+		return head.Schema, pdoc.ClockHz, checkSampleBench(path, &pdoc)
 	}
 	var doc benchDoc
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return "", 0, fmt.Errorf("%s: %w", path, err)
 	}
 	if doc.Schema != "pgbench/v1" {
-		return "", 0, fmt.Errorf("%s: schema %q, want pgbench/v1, pgbench-wallclock/v1, pgbench-exhaustion/v1, pgbench-tracing/v1, or pgbench-serving/v1",
+		return "", 0, fmt.Errorf("%s: schema %q, want pgbench/v1, pgbench-wallclock/v1, pgbench-exhaustion/v1, pgbench-tracing/v1, pgbench-serving/v1, or pgbench-sampling/v1",
 			path, doc.Schema)
 	}
 	return doc.Schema, doc.ClockHz, checkBenchV1(path, &doc)

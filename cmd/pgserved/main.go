@@ -15,13 +15,21 @@
 //
 //	POST /replay               replay the trace in the body (NDJSON response);
 //	                           ?guards=1 adds overflow guard pages,
-//	                           ?faults=SPEC overrides the trace's schedule
+//	                           ?faults=SPEC overrides the trace's schedule,
+//	                           ?sampling=rate=N[,seed=S][,quarantine=Q][,cool=C]
+//	                           replays under the sampled detection tier
 //	POST /workload/{name}      compile and run a bundled workload
 //	                           (?mode=native|pa|detect|detect-nopa)
 //	GET  /workloads            list bundled workload names
 //	GET  /metrics              Prometheus text: pgserved_* host series plus
 //	                           the merged pg_* series of finished replays
 //	GET  /metrics/replay.json  merged replay metrics only (deterministic)
+//	GET  /buckets              crash-bucket database: every served detection
+//	                           deduplicated by (alloc site, free site) with
+//	                           counts, first/last trace ids, and one
+//	                           representative forensic report per bucket; in
+//	                           -route mode the router fans the GET out to all
+//	                           backends and returns the merged fleet view
 //	GET  /healthz              liveness JSON: status, drain state, queue depth
 //	GET  /debug/spans          last-N request records (trace id, wall/exec
 //	                           timings, span count, cycle reconciliation)

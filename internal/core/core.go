@@ -103,6 +103,10 @@ type Object struct {
 	AllocSeq uint64
 	// Guarded marks objects followed by an overflow guard page.
 	Guarded bool
+	// Quarantined marks sampled freed objects currently held by the
+	// sampling tier's bounded quarantine: reuse policies must not recycle
+	// their shadow pages until eviction (sampling.go).
+	Quarantined bool
 	// RecycledBy records which path retired a StateRecycled object — the
 	// missed-detection ledger classifies stale uses by it.
 	RecycledBy RecycleReason
@@ -157,6 +161,24 @@ type Stats struct {
 	// GCCycleCost is the total cycles charged for conservative-GC scans
 	// (equals the kernel's GCChargedCycles by construction).
 	GCCycleCost uint64
+	// SampledAllocs counts allocations the sampling tier guarded with
+	// shadow pages (zero unless sampling is enabled).
+	SampledAllocs uint64
+	// UnsampledAllocs counts allocations the sampling tier handed out at
+	// their canonical address without protection.
+	UnsampledAllocs uint64
+	// UnsampledFrees counts frees of unsampled allocations (forwarded
+	// straight to the underlying allocator).
+	UnsampledFrees uint64
+	// SamplingQuarantineEvictions counts sampled freed objects evicted from
+	// the bounded quarantine (their shadow pages become recyclable again).
+	SamplingQuarantineEvictions uint64
+	// SamplingSiteHeats counts adaptive-rate resets: a trap on a cooled
+	// site restored every-allocation sampling there.
+	SamplingSiteHeats uint64
+	// SamplingSiteCools counts adaptive-rate interval doublings on sites
+	// whose sampled objects kept not trapping.
+	SamplingSiteCools uint64
 }
 
 // Remapper is the per-process shadow-page engine. Not safe for concurrent
@@ -191,6 +213,14 @@ type Remapper struct {
 	// degradedByPool lets pool destroys retire those records.
 	degraded       map[vm.Addr]bool
 	degradedByPool map[*pool.Pool][]vm.Addr
+
+	// sampling, when non-nil, is the GWP-ASan-style sampled tier
+	// (sampling.go); unsampled records its canonical-address allocations so
+	// Free forwards them untouched, and unsampledByPool lets pool destroys
+	// retire those records.
+	sampling        *sampler
+	unsampled       map[vm.Addr]bool
+	unsampledByPool map[*pool.Pool][]vm.Addr
 	// retry bounds the transient-failure retry ladder.
 	retry RetryConfig
 
@@ -225,16 +255,18 @@ type Remapper struct {
 // reproduces the paper's base scheme).
 func New(proc *kernel.Process, policy ReusePolicy) *Remapper {
 	return &Remapper{
-		proc:           proc,
-		objects:        make(map[vm.VPN]*Object),
-		byPool:         make(map[*pool.Pool][]*Object),
-		freedInPool:    make(map[*pool.Pool][]*Object),
-		elided:         make(map[vm.Addr]bool),
-		elidedByPool:   make(map[*pool.Pool][]vm.Addr),
-		degraded:       make(map[vm.Addr]bool),
-		degradedByPool: make(map[*pool.Pool][]vm.Addr),
-		retry:          DefaultRetryConfig(),
-		policy:         policy,
+		proc:            proc,
+		objects:         make(map[vm.VPN]*Object),
+		byPool:          make(map[*pool.Pool][]*Object),
+		freedInPool:     make(map[*pool.Pool][]*Object),
+		elided:          make(map[vm.Addr]bool),
+		elidedByPool:    make(map[*pool.Pool][]vm.Addr),
+		degraded:        make(map[vm.Addr]bool),
+		degradedByPool:  make(map[*pool.Pool][]vm.Addr),
+		unsampled:       make(map[vm.Addr]bool),
+		unsampledByPool: make(map[*pool.Pool][]vm.Addr),
+		retry:           DefaultRetryConfig(),
+		policy:          policy,
 	}
 }
 
@@ -311,6 +343,13 @@ func (r *Remapper) shadowBlock(owner *pool.Pool, canonBase vm.Addr, n uint64) (v
 // and does not require source code", §1.1). site is a diagnostic label for
 // the allocation site.
 func (r *Remapper) Alloc(al Allocator, owner *pool.Pool, size uint64, site string) (vm.Addr, error) {
+	// The sampling tier decides first: an unsampled allocation takes the
+	// canonical-address path and never touches the shadow machinery. The
+	// decision is pure Go bookkeeping (no simulated cycles), so a rate-1
+	// run charges exactly what an unsampled-tier run does.
+	if r.sampling != nil && !r.sampling.shouldSample(site) {
+		return r.allocUnsampled(al, owner, size, site)
+	}
 	// Scope kernel charges (the allocator's mmaps, the shadow mremap) to
 	// the allocation site for cycle attribution, and group them under one
 	// alloc span when tracing.
@@ -382,6 +421,9 @@ func (r *Remapper) Alloc(al Allocator, owner *pool.Pool, size uint64, site strin
 	}
 	r.stats.Allocs++
 	r.stats.ShadowPagesLive += span
+	if r.sampling != nil {
+		r.stats.SampledAllocs++
+	}
 	r.proc.Profile().CountAlloc(site)
 	r.proc.Flight().Record(obs.FlightEvent{
 		Cycles: r.proc.Meter().Cycles(), Kind: obs.FlightAlloc, Site: site,
@@ -435,6 +477,16 @@ func (r *Remapper) Free(al Allocator, f vm.Addr, site string) error {
 		return al.Free(f)
 	}
 
+	// An unsampled allocation was handed out at its canonical address with
+	// no shadow pages or remap header: forward the free untouched. (Its
+	// later stale uses go undetected — that is the sampling tier's traded
+	// coverage, measured by the ground-truth ledger.)
+	if r.unsampled[f] {
+		r.stats.UnsampledFrees++
+		delete(r.unsampled, f)
+		return al.Free(f)
+	}
+
 	// An elided object being freed means the static never-freed proof was
 	// wrong. Count the miss and forward the plain free — the address IS
 	// the canonical address, so the header protocol does not apply.
@@ -461,6 +513,9 @@ func (r *Remapper) Free(al Allocator, f vm.Addr, site string) error {
 		// the page did not trap, but the bookkeeping knows.
 		r.stats.DanglingDetected++
 		r.stats.DoubleFrees++
+		if r.sampling != nil && r.sampling.onTrap(obj.AllocSite) {
+			r.stats.SamplingSiteHeats++
+		}
 		fault := &vm.Fault{
 			Addr:   f - remapHeaderSize,
 			Access: vm.AccessRead,
@@ -512,6 +567,14 @@ func (r *Remapper) Free(al Allocator, f vm.Addr, site string) error {
 	} else {
 		r.freedNoPool = append(r.freedNoPool, obj)
 	}
+	if r.sampling != nil {
+		// A trap-free sampled free: cool the site's adaptive rate and
+		// quarantine the object so late stale uses still trap.
+		if r.sampling.onSampledFree(obj) {
+			r.stats.SamplingSiteCools++
+		}
+		r.quarantineAdd(obj)
+	}
 	if r.batchSize > 0 {
 		return r.queueProtect(obj)
 	}
@@ -552,6 +615,9 @@ func (r *Remapper) Explain(fault *vm.Fault, site string) error {
 		return fault
 	}
 	r.stats.DanglingDetected++
+	if r.sampling != nil && r.sampling.onTrap(obj.AllocSite) {
+		r.stats.SamplingSiteHeats++
+	}
 	offset := int64(fault.Addr) - int64(obj.ShadowAddr)
 	de := DanglingError{
 		Fault:   fault,
@@ -591,6 +657,10 @@ func (r *Remapper) OnPoolDestroy(p *pool.Pool) {
 		}
 		obj.State = StateRecycled
 		obj.RecycledBy = RecycledByPoolDestroy
+		// A quarantined object retired by its pool's destroy no longer
+		// delays anything; clearing the flag keeps the quarantine
+		// eviction counter honest.
+		obj.Quarantined = false
 		for i := uint64(0); i < obj.ShadowRun.Pages; i++ {
 			vpn := vm.PageOf(obj.ShadowRun.Addr) + vm.VPN(i)
 			if r.objects[vpn] == obj {
@@ -613,6 +683,11 @@ func (r *Remapper) OnPoolDestroy(p *pool.Pool) {
 		delete(r.degraded, addr)
 	}
 	delete(r.degradedByPool, p)
+	// Unsampled-allocation records are canonical pool addresses too.
+	for _, addr := range r.unsampledByPool[p] {
+		delete(r.unsampled, addr)
+	}
+	delete(r.unsampledByPool, p)
 
 	// Pool destruction is the §3.3 mass-recycling event: a scheduled
 	// collector configured for it runs a cycle now, while the other pools'

@@ -178,6 +178,16 @@ func (r *Remapper) healthCheck() error {
 			return fmt.Errorf("core: health: %#x is both elided and degraded", addr)
 		}
 	}
+	// (4b) Likewise for unsampled addresses: each canonical-address record
+	// must belong to exactly one fallback free path.
+	for addr := range r.unsampled {
+		if r.elided[addr] {
+			return fmt.Errorf("core: health: %#x is both elided and unsampled", addr)
+		}
+		if r.degraded[addr] {
+			return fmt.Errorf("core: health: %#x is both degraded and unsampled", addr)
+		}
+	}
 	// (5) Queued batch entries are freed (awaiting protection) or recycled
 	// (retired while queued; Flush skips them) — never live.
 	for _, obj := range r.pending {

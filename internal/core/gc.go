@@ -174,7 +174,9 @@ func (r *Remapper) collect(trigger GCTrigger) GCCycle {
 	var pages, objects uint64
 	keepNoPool := r.freedNoPool[:0]
 	for _, obj := range r.freedNoPool {
-		if byVPN[vm.PageOf(obj.ShadowRun.Addr)].marked {
+		// Quarantined sampled objects are exempt even when unreferenced:
+		// the sampling tier's quarantine delays their release by policy.
+		if byVPN[vm.PageOf(obj.ShadowRun.Addr)].marked || obj.Quarantined {
 			keepNoPool = append(keepNoPool, obj)
 			continue
 		}
@@ -186,7 +188,7 @@ func (r *Remapper) collect(trigger GCTrigger) GCCycle {
 		objs := r.freedInPool[p]
 		keep := objs[:0]
 		for _, obj := range objs {
-			if byVPN[vm.PageOf(obj.ShadowRun.Addr)].marked {
+			if byVPN[vm.PageOf(obj.ShadowRun.Addr)].marked || obj.Quarantined {
 				keep = append(keep, obj)
 				continue
 			}

@@ -102,4 +102,23 @@ func (r *Remapper) RegisterMetrics(reg *obs.Registry) {
 		func() uint64 { return s.UnprotectedFrees })
 	reg.GaugeFunc("pg_pending_protect", "freed objects awaiting batched protection",
 		func() float64 { return float64(len(r.pending)) })
+	// The sampling tier's series exist only when sampling is enabled, so an
+	// unsampled process's metrics output — and everything derived from it —
+	// is byte-identical to what it was before the tier existed.
+	if r.sampling != nil {
+		reg.CounterFunc("pg_sampling_sampled_allocs_total", "allocations the sampling tier guarded",
+			func() uint64 { return s.SampledAllocs })
+		reg.CounterFunc("pg_sampling_unsampled_allocs_total", "allocations handed out unguarded by the sampling tier",
+			func() uint64 { return s.UnsampledAllocs })
+		reg.CounterFunc("pg_sampling_unsampled_frees_total", "frees of unsampled allocations",
+			func() uint64 { return s.UnsampledFrees })
+		reg.GaugeFunc("pg_sampling_quarantine_live", "sampled freed objects currently quarantined",
+			func() float64 { return float64(len(r.sampling.quarantine)) })
+		reg.CounterFunc("pg_sampling_quarantine_evictions_total", "sampled freed objects evicted from the quarantine",
+			func() uint64 { return s.SamplingQuarantineEvictions })
+		reg.CounterFunc("pg_sampling_site_heats_total", "adaptive-rate resets after traps",
+			func() uint64 { return s.SamplingSiteHeats })
+		reg.CounterFunc("pg_sampling_site_cools_total", "adaptive-rate interval doublings on trap-free sites",
+			func() uint64 { return s.SamplingSiteCools })
+	}
 }

@@ -113,15 +113,37 @@ func (r *Remapper) reclaimFreed() uint64 {
 		pages += obj.ShadowRun.Pages
 		r.stats.ShadowPagesFreed -= obj.ShadowRun.Pages
 	}
+	// Quarantined sampled objects survive the reclaim (and stay on the
+	// freed lists for a later one): the sampling tier's bounded quarantine
+	// exists precisely to keep their PROT_NONE pages trapping a little
+	// longer than the reuse policy otherwise would.
+	keepNoPool := r.freedNoPool[:0]
 	for _, obj := range r.freedNoPool {
+		if obj.Quarantined && obj.State == StateFreed {
+			keepNoPool = append(keepNoPool, obj)
+			continue
+		}
 		recycle(obj)
 	}
-	r.freedNoPool = nil
+	r.freedNoPool = keepNoPool
+	if len(r.freedNoPool) == 0 {
+		r.freedNoPool = nil
+	}
 	for _, p := range r.freedPoolsSorted() {
-		for _, obj := range r.freedInPool[p] {
+		objs := r.freedInPool[p]
+		keep := objs[:0]
+		for _, obj := range objs {
+			if obj.Quarantined && obj.State == StateFreed {
+				keep = append(keep, obj)
+				continue
+			}
 			recycle(obj)
 		}
-		delete(r.freedInPool, p)
+		if len(keep) == 0 {
+			delete(r.freedInPool, p)
+		} else {
+			r.freedInPool[p] = keep
+		}
 	}
 	return pages
 }

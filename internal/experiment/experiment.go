@@ -59,12 +59,28 @@ const (
 	// (internal/minic/safety): allocations proven never freed before use
 	// skip shadow-page aliasing and free-time mprotect entirely.
 	OursStatic
+	// OursSampled is the sampled always-on tier (GWP-ASan mode): Ours with
+	// only a seeded 1-in-SampledRate subset of allocation sites guarded, the
+	// configuration a production fleet runs continuously.
+	OursSampled
 )
+
+// SampledRate is the canonical production sampling rate the tables' "sampled"
+// column measures (1-in-64 allocation sites guarded).
+const SampledRate = 64
+
+// SampledTierSpec is the sampling policy behind OursSampled. The fixed seed
+// keeps the guarded site subset — and therefore every simulated number —
+// deterministic across runs.
+func SampledTierSpec() core.SamplingSpec {
+	return core.SamplingSpec{Rate: SampledRate, Seed: 1}
+}
 
 var configNames = map[Config]string{
 	Native: "native", LLVMBase: "llvm-base", PA: "pa", PADummy: "pa+dummy",
 	Ours: "ours", OursNoPA: "ours-nopa", Valgrind: "valgrind",
 	EFence: "efence", Capability: "capability", OursStatic: "ours+static",
+	OursSampled: "ours-sampled",
 }
 
 // String implements fmt.Stringer.
@@ -77,13 +93,13 @@ func (c Config) String() string {
 
 // AllConfigs returns every configuration.
 func AllConfigs() []Config {
-	return []Config{Native, LLVMBase, PA, PADummy, Ours, OursNoPA, Valgrind, EFence, Capability, OursStatic}
+	return []Config{Native, LLVMBase, PA, PADummy, Ours, OursNoPA, Valgrind, EFence, Capability, OursStatic, OursSampled}
 }
 
 // usesPools reports whether the configuration runs APA-transformed code.
 func (c Config) usesPools() bool {
 	switch c {
-	case PA, PADummy, Ours, OursStatic:
+	case PA, PADummy, Ours, OursStatic, OursSampled:
 		return true
 	}
 	return false
@@ -112,6 +128,8 @@ func (c Config) runtimeFor(proc *kernel.Process) interp.Runtime {
 		return runtimes.NewPADummy(proc)
 	case Ours, OursNoPA, OursStatic:
 		return runtimes.NewShadow(proc, core.NeverReuse())
+	case OursSampled:
+		return runtimes.NewShadowSampled(proc, core.NeverReuse(), SampledTierSpec())
 	case Valgrind:
 		return valgrind.New(proc)
 	case EFence:
@@ -176,6 +194,10 @@ type Measurement struct {
 	// Allocs and Frees count the shadow runtime's protected operations
 	// across all connections (zero for non-shadow configurations).
 	Allocs, Frees uint64
+	// SampledAllocs and UnsampledAllocs split allocations between the
+	// guarded and unguarded paths under the sampled tier (OursSampled);
+	// both are zero when sampling is off.
+	SampledAllocs, UnsampledAllocs uint64
 	// Profile is the per-allocation-site cycle attribution merged across
 	// connections (nil for configurations that never charge through the
 	// kernel's attributed path — it still exists, holding only the
@@ -292,6 +314,8 @@ func Run(w workload.Workload, c Config, opts Options) (Measurement, error) {
 			m.TransientRetries += st.TransientRetries
 			m.Allocs += st.Allocs + st.ElidedAllocs
 			m.Frees += st.Frees + st.DegradedFrees
+			m.SampledAllocs += st.SampledAllocs
+			m.UnsampledAllocs += st.UnsampledAllocs
 			if opts.Audit {
 				if err := shadowRT.Remapper().HealthCheck(); err != nil {
 					return m, fmt.Errorf("experiment: %s/%s conn %d: %w", w.Name, c, i, err)

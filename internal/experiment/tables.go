@@ -14,10 +14,13 @@ import (
 type Table1Row struct {
 	Name     string
 	Category workload.Category
-	// Seconds per configuration.
-	Native, LLVMBase, PA, PADummy, Ours, OursStatic float64
-	// Ratio1 is Ours/LLVMBase; Ratio2 is Ours/Native.
-	Ratio1, Ratio2 float64
+	// Seconds per configuration. Sampled is the always-on tier at
+	// 1-in-SampledRate site guarding.
+	Native, LLVMBase, PA, PADummy, Ours, OursStatic, Sampled float64
+	// Ratio1 is Ours/LLVMBase; Ratio2 is Ours/Native; RatioSampled is
+	// Sampled/LLVMBase — the overhead a fleet pays to run detection
+	// continuously.
+	Ratio1, Ratio2, RatioSampled float64
 	// ElidedAllocs counts shadow-page setups skipped under ours+static.
 	ElidedAllocs uint64
 	// SyscallShare is (PADummy-PA)/Ours: the fraction attributable to
@@ -35,7 +38,7 @@ type Table1 struct {
 func GenTable1(opts Options) (*Table1, error) {
 	var t Table1
 	ws := append(workload.ByCategory(workload.Utility), workload.ByCategory(workload.Server)...)
-	grid, err := runGrid(ws, []Config{Native, LLVMBase, PA, PADummy, Ours, OursStatic}, opts)
+	grid, err := runGrid(ws, []Config{Native, LLVMBase, PA, PADummy, Ours, OursStatic, OursSampled}, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -50,8 +53,10 @@ func GenTable1(opts Options) (*Table1, error) {
 			PADummy:      ms[PADummy].Seconds(),
 			Ours:         ms[Ours].Seconds(),
 			OursStatic:   ms[OursStatic].Seconds(),
+			Sampled:      ms[OursSampled].Seconds(),
 			Ratio1:       Ratio(ms[Ours], ms[LLVMBase]),
 			Ratio2:       Ratio(ms[Ours], ms[Native]),
+			RatioSampled: Ratio(ms[OursSampled], ms[LLVMBase]),
 			ElidedAllocs: ms[OursStatic].ElidedAllocs,
 		}
 		if ms[Ours].Cycles > 0 {
@@ -66,16 +71,16 @@ func GenTable1(opts Options) (*Table1, error) {
 func (t *Table1) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 1. Runtime overheads of our approach.\n")
-	fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s %10s %10s %8s %8s %7s\n",
-		"Benchmark", "native(s)", "llvm(s)", "PA(s)", "PA+dummy", "ours(s)", "ours+st(s)", "Ratio1", "Ratio2", "elided")
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s %10s %10s %10s %8s %8s %8s %7s\n",
+		"Benchmark", "native(s)", "llvm(s)", "PA(s)", "PA+dummy", "ours(s)", "ours+st(s)", "sampled(s)", "Ratio1", "Ratio2", "RatioS", "elided")
 	cat := workload.Category(0)
 	for _, r := range t.Rows {
 		if r.Category != cat {
 			cat = r.Category
 			fmt.Fprintf(&b, "-- %s --\n", strings.ToUpper(cat.String()))
 		}
-		fmt.Fprintf(&b, "%-12s %10.5f %10.5f %10.5f %10.5f %10.5f %10.5f %8.2f %8.2f %7d\n",
-			r.Name, r.Native, r.LLVMBase, r.PA, r.PADummy, r.Ours, r.OursStatic, r.Ratio1, r.Ratio2, r.ElidedAllocs)
+		fmt.Fprintf(&b, "%-12s %10.5f %10.5f %10.5f %10.5f %10.5f %10.5f %10.5f %8.2f %8.2f %8.2f %7d\n",
+			r.Name, r.Native, r.LLVMBase, r.PA, r.PADummy, r.Ours, r.OursStatic, r.Sampled, r.Ratio1, r.Ratio2, r.RatioSampled, r.ElidedAllocs)
 	}
 	return b.String()
 }
@@ -131,10 +136,12 @@ func (t *Table2) String() string {
 
 // Table3Row is one line of the paper's Table 3 (Olden).
 type Table3Row struct {
-	Name                                        string
-	Native, LLVMBase, PADummy, Ours, OursStatic float64
-	// Ratio3 is Ours/LLVMBase.
-	Ratio3 float64
+	Name string
+	// Seconds per configuration. Sampled is the always-on tier at
+	// 1-in-SampledRate site guarding.
+	Native, LLVMBase, PADummy, Ours, OursStatic, Sampled float64
+	// Ratio3 is Ours/LLVMBase; RatioSampled is Sampled/LLVMBase.
+	Ratio3, RatioSampled float64
 	// ElidedAllocs counts shadow-page setups skipped under ours+static.
 	ElidedAllocs uint64
 }
@@ -150,7 +157,7 @@ type Table3 struct {
 func GenTable3(opts Options) (*Table3, error) {
 	var t Table3
 	ws := workload.ByCategory(workload.Olden)
-	grid, err := runGrid(ws, []Config{Native, LLVMBase, PADummy, Ours, OursStatic}, opts)
+	grid, err := runGrid(ws, []Config{Native, LLVMBase, PADummy, Ours, OursStatic, OursSampled}, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -163,7 +170,9 @@ func GenTable3(opts Options) (*Table3, error) {
 			PADummy:      ms[PADummy].Seconds(),
 			Ours:         ms[Ours].Seconds(),
 			OursStatic:   ms[OursStatic].Seconds(),
+			Sampled:      ms[OursSampled].Seconds(),
 			Ratio3:       Ratio(ms[Ours], ms[LLVMBase]),
+			RatioSampled: Ratio(ms[OursSampled], ms[LLVMBase]),
 			ElidedAllocs: ms[OursStatic].ElidedAllocs,
 		})
 	}
@@ -174,11 +183,11 @@ func GenTable3(opts Options) (*Table3, error) {
 func (t *Table3) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 3. Overheads for allocation intensive Olden benchmarks.\n")
-	fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s %10s %8s %7s\n",
-		"Benchmark", "native(s)", "llvm(s)", "PA+dummy", "ours(s)", "ours+st(s)", "Ratio3", "elided")
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s %10s %10s %8s %8s %7s\n",
+		"Benchmark", "native(s)", "llvm(s)", "PA+dummy", "ours(s)", "ours+st(s)", "sampled(s)", "Ratio3", "RatioS", "elided")
 	for _, r := range t.Rows {
-		fmt.Fprintf(&b, "%-12s %10.5f %10.5f %10.5f %10.5f %10.5f %8.2f %7d\n",
-			r.Name, r.Native, r.LLVMBase, r.PADummy, r.Ours, r.OursStatic, r.Ratio3, r.ElidedAllocs)
+		fmt.Fprintf(&b, "%-12s %10.5f %10.5f %10.5f %10.5f %10.5f %10.5f %8.2f %8.2f %7d\n",
+			r.Name, r.Native, r.LLVMBase, r.PADummy, r.Ours, r.OursStatic, r.Sampled, r.Ratio3, r.RatioSampled, r.ElidedAllocs)
 	}
 	return b.String()
 }

@@ -173,6 +173,17 @@ func NewShadow(proc *kernel.Process, policy core.ReusePolicy) *Shadow {
 	}
 }
 
+// NewShadowSampled returns the sampled always-on tier (GWP-ASan mode): the
+// full detection runtime with only a seeded, deterministic 1-in-N subset of
+// allocation sites guarded. Unsampled sites pay no mremap alias and no
+// free-time mprotect — the production configuration that trades detection
+// probability for near-zero overhead.
+func NewShadowSampled(proc *kernel.Process, policy core.ReusePolicy, spec core.SamplingSpec) *Shadow {
+	s := NewShadow(proc, policy)
+	s.remap.EnableSampling(spec)
+	return s
+}
+
 // Remapper exposes the detection engine for stats and GC control.
 func (s *Shadow) Remapper() *core.Remapper { return s.remap }
 

@@ -1,0 +1,118 @@
+// Package samplestudy measures the sampled always-on tier (GWP-ASan mode):
+// detection probability versus sampling rate versus overhead, replayed over
+// the adversarial trace corpus. It is the quantitative case for running
+// detection continuously in production — a fleet that guards 1-in-64 sites
+// per process still converges on every planted bug fleet-wide (different
+// seeds sample different site subsets), while each process pays a small
+// fraction of the full-guarding overhead.
+//
+// The study lives outside internal/experiment because it replays traces:
+// experiment is imported by pageguard, which the trace machinery builds on,
+// so experiment itself cannot import package trace.
+package samplestudy
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cliff"
+	"repro/trace"
+)
+
+// Rates is the swept site-sampling denominator: 0 guards nothing (the
+// overhead baseline through the identical code path), 1 guards everything
+// (full detection), and the coarser tiers are production candidates.
+var Rates = []uint64{0, 1, 4, 16, 64}
+
+// Seed is the site-selection seed every row uses, so the guarded subsets —
+// and every simulated number — are fixed across runs.
+const Seed = 1
+
+// Row is one sampling rate's aggregate over the whole corpus.
+type Row struct {
+	// Rate is the 1-in-N site guarding denominator (0 = none guarded).
+	Rate uint64
+	// StaleOps is the planted ground truth: stale uses the corpus performs.
+	StaleOps uint64
+	// Detected / Missed are the detector's ledger against that ground truth.
+	Detected, Missed uint64
+	// DetectionProb is Detected/StaleOps — the probability one process at
+	// this rate catches a given planted dangling use.
+	DetectionProb float64
+	// Cycles is the total kernel-charged cycles across the corpus replays.
+	Cycles uint64
+	// OverheadCycles is Cycles minus the rate=0 baseline: the price of the
+	// guarding performed at this rate.
+	OverheadCycles uint64
+	// OverheadShare is OverheadCycles as a fraction of the full-guarding
+	// (rate=1) overhead.
+	OverheadShare float64
+}
+
+// Study is the detection-probability/overhead trade-off table.
+type Study struct {
+	Rows []Row
+}
+
+// Gen replays the adversarial corpus once per rate and assembles the table.
+func Gen() (*Study, error) {
+	corpus := cliff.Corpus()
+	rows := make([]Row, 0, len(Rates))
+	for _, rate := range Rates {
+		row := Row{Rate: rate}
+		for _, c := range corpus {
+			tf := c.File()
+			tf.SamplingSpec = fmt.Sprintf("rate=%d,seed=%d", rate, Seed)
+			rep, err := trace.Replay(trace.NewMachine(tf), tf.Events)
+			if err != nil {
+				return nil, fmt.Errorf("samplestudy: %s at rate=%d: %w", c.Name, rate, err)
+			}
+			if lg := rep.Ledger; lg.Detected+lg.Missed+lg.Inconsistent != uint64(rep.StaleOps) {
+				return nil, fmt.Errorf("samplestudy: %s at rate=%d: ledger %d+%d+%d != %d stale ops",
+					c.Name, rate, lg.Detected, lg.Missed, lg.Inconsistent, rep.StaleOps)
+			}
+			row.StaleOps += uint64(rep.StaleOps)
+			row.Detected += rep.Ledger.Detected
+			row.Missed += rep.Ledger.Missed
+			row.Cycles += rep.ChargedCycles
+		}
+		if row.StaleOps > 0 {
+			row.DetectionProb = float64(row.Detected) / float64(row.StaleOps)
+		}
+		rows = append(rows, row)
+	}
+	// Overheads are relative to the unguarded rate=0 row (always Rates[0]).
+	base := rows[0].Cycles
+	var full uint64
+	for i := range rows {
+		if rows[i].Cycles > base {
+			rows[i].OverheadCycles = rows[i].Cycles - base
+		}
+		if rows[i].Rate == 1 {
+			full = rows[i].OverheadCycles
+		}
+	}
+	for i := range rows {
+		if full > 0 {
+			rows[i].OverheadShare = float64(rows[i].OverheadCycles) / float64(full)
+		}
+	}
+	return &Study{Rows: rows}, nil
+}
+
+// String renders the table.
+func (s *Study) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sampled detection tier: detection probability vs sampling rate vs overhead (adversarial corpus, seed=%d).\n", Seed)
+	fmt.Fprintf(&b, "%-8s %10s %10s %8s %10s %14s %14s %10s\n",
+		"rate", "stale ops", "detected", "missed", "P(detect)", "cycles", "overhead(cyc)", "ovh share")
+	for _, r := range s.Rows {
+		name := "none"
+		if r.Rate > 0 {
+			name = fmt.Sprintf("1/%d", r.Rate)
+		}
+		fmt.Fprintf(&b, "%-8s %10d %10d %8d %10.3f %14d %14d %10.4f\n",
+			name, r.StaleOps, r.Detected, r.Missed, r.DetectionProb, r.Cycles, r.OverheadCycles, r.OverheadShare)
+	}
+	return b.String()
+}

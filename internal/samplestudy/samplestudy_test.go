@@ -1,0 +1,88 @@
+package samplestudy
+
+import (
+	"strings"
+	"testing"
+)
+
+func study(t *testing.T) *Study {
+	t.Helper()
+	s, err := Gen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestStudyShape: one row per swept rate, identical ground truth in every
+// row (sampling changes what is caught, never what the corpus does), and the
+// rate=0 row detects nothing while charging the least.
+func TestStudyShape(t *testing.T) {
+	s := study(t)
+	if len(s.Rows) != len(Rates) {
+		t.Fatalf("rows = %d, want %d", len(s.Rows), len(Rates))
+	}
+	base := s.Rows[0]
+	if base.Rate != 0 || base.Detected != 0 || base.OverheadCycles != 0 {
+		t.Fatalf("rate=0 row = %+v, want zero detections and zero overhead", base)
+	}
+	for _, r := range s.Rows {
+		if r.StaleOps != base.StaleOps {
+			t.Errorf("rate=%d stale ops %d != baseline %d — sampling changed the workload", r.Rate, r.StaleOps, base.StaleOps)
+		}
+		if r.Detected+r.Missed != r.StaleOps {
+			t.Errorf("rate=%d ledger does not conserve: %d+%d != %d", r.Rate, r.Detected, r.Missed, r.StaleOps)
+		}
+		if r.Cycles < base.Cycles {
+			t.Errorf("rate=%d charged fewer cycles than guarding nothing", r.Rate)
+		}
+	}
+}
+
+// TestStudyTradeoff pins the acceptance criteria: detection probability is
+// maximal at full guarding and falls with coarser rates while staying
+// nonzero, and the 1-in-64 tier costs under 10%% of the full-guarding
+// overhead.
+func TestStudyTradeoff(t *testing.T) {
+	s := study(t)
+	byRate := map[uint64]Row{}
+	for _, r := range s.Rows {
+		byRate[r.Rate] = r
+	}
+	full := byRate[1]
+	if full.DetectionProb == 0 {
+		t.Fatal("full guarding detected nothing")
+	}
+	prev := full
+	for _, rate := range []uint64{4, 16, 64} {
+		r := byRate[rate]
+		if r.DetectionProb > prev.DetectionProb {
+			t.Errorf("P(detect) rose from 1/%d (%.3f) to 1/%d (%.3f)", prev.Rate, prev.DetectionProb, rate, r.DetectionProb)
+		}
+		if r.DetectionProb == 0 {
+			t.Errorf("rate=1/%d detected nothing across the corpus", rate)
+		}
+		prev = r
+	}
+	if full.OverheadCycles == 0 {
+		t.Fatal("full guarding charged no overhead over the unguarded baseline")
+	}
+	r64 := byRate[64]
+	if share := r64.OverheadShare; share >= 0.10 {
+		t.Errorf("1/64 overhead share = %.4f, acceptance bound is < 0.10", share)
+	}
+	if full.OverheadShare != 1.0 {
+		t.Errorf("full-guarding overhead share = %.4f, want 1.0 by definition", full.OverheadShare)
+	}
+}
+
+// TestStudyDeterministic: the study is a pure function of (corpus, seed).
+func TestStudyDeterministic(t *testing.T) {
+	a, b := study(t), study(t)
+	if a.String() != b.String() {
+		t.Fatal("two generations diverged")
+	}
+	if !strings.Contains(a.String(), "P(detect)") {
+		t.Fatalf("rendering missing header:\n%s", a)
+	}
+}

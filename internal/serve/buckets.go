@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/pageguard"
+)
+
+// The fleet crash-bucket database. A sampled always-on deployment surfaces
+// dangling-pointer detections as TrapReports scattered across thousands of
+// replay requests; what an oncall actually triages is the deduplicated
+// (alloc site, free site) signature — the bug, not its occurrences. Every
+// 200 replay response (simulated, cached, or corpus-served) folds its
+// detections' TrapReports into the server's bucketDB; GET /buckets serves
+// the database as deterministic JSON, and the router merges the databases of
+// all its backends into the fleet view.
+
+// CrashBucket is one deduplicated crash signature.
+type CrashBucket struct {
+	// AllocSite and FreeSite form the bucket key: a dangling-pointer bug is
+	// identified by where the object was allocated and where it was freed.
+	AllocSite string `json:"alloc_site"`
+	FreeSite  string `json:"free_site"`
+	// Count is the number of TrapReports folded into this bucket.
+	Count uint64 `json:"count"`
+	// FirstTraceID and LastTraceID are the X-Pg-Trace-Id values of the
+	// earliest and latest requests that hit the bucket, for log correlation.
+	FirstTraceID string `json:"first_trace_id"`
+	LastTraceID  string `json:"last_trace_id"`
+	// Representative is the first TrapReport folded in — one full forensic
+	// record per bucket is enough to debug the signature.
+	Representative *pageguard.TrapReport `json:"representative,omitempty"`
+}
+
+// bucketKey identifies a CrashBucket.
+type bucketKey struct {
+	allocSite, freeSite string
+}
+
+// bucketDB aggregates TrapReports into crash buckets. Safe for concurrent
+// use.
+type bucketDB struct {
+	mu      sync.Mutex
+	buckets map[bucketKey]*CrashBucket
+}
+
+func newBucketDB() *bucketDB {
+	return &bucketDB{buckets: make(map[bucketKey]*CrashBucket)}
+}
+
+// record folds one request's TrapReports into the database. traceID is the
+// request's correlation id.
+func (db *bucketDB) record(traceID string, reports []*pageguard.TrapReport) {
+	if len(reports) == 0 {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, rep := range reports {
+		if rep == nil {
+			continue
+		}
+		k := bucketKey{allocSite: rep.AllocSite, freeSite: rep.FreeSite}
+		b := db.buckets[k]
+		if b == nil {
+			cp := *rep
+			b = &CrashBucket{
+				AllocSite:      rep.AllocSite,
+				FreeSite:       rep.FreeSite,
+				FirstTraceID:   traceID,
+				Representative: &cp,
+			}
+			db.buckets[k] = b
+		}
+		b.Count++
+		b.LastTraceID = traceID
+	}
+}
+
+// snapshot returns the buckets sorted by (alloc site, free site) — a
+// deterministic order for diffing two servers' databases.
+func (db *bucketDB) snapshot() []CrashBucket {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]CrashBucket, 0, len(db.buckets))
+	for _, b := range db.buckets {
+		out = append(out, *b)
+	}
+	sortBuckets(out)
+	return out
+}
+
+func sortBuckets(bs []CrashBucket) {
+	sort.Slice(bs, func(i, j int) bool {
+		if bs[i].AllocSite != bs[j].AllocSite {
+			return bs[i].AllocSite < bs[j].AllocSite
+		}
+		return bs[i].FreeSite < bs[j].FreeSite
+	})
+}
+
+// bucketsBody is the GET /buckets JSON schema, shared by backend and router.
+type bucketsBody struct {
+	Type    string        `json:"type"` // "buckets"
+	Buckets []CrashBucket `json:"buckets"`
+}
+
+// handleBuckets serves the server's crash-bucket database.
+func (s *Server) handleBuckets(w http.ResponseWriter, r *http.Request) {
+	writeBuckets(w, s.buckets.snapshot())
+}
+
+func writeBuckets(w http.ResponseWriter, bs []CrashBucket) {
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.Marshal(bucketsBody{Type: "buckets", Buckets: bs})
+	if err != nil {
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+// Buckets returns a copy of the server's crash-bucket database (tests and
+// embedding callers).
+func (s *Server) Buckets() []CrashBucket { return s.buckets.snapshot() }
+
+// mergeBuckets folds the bucket lists of several backends (in a fixed
+// backend order) into one fleet view: counts sum; the first backend to have
+// seen a bucket contributes its first-seen id and representative; the last
+// contributes its last-seen id. With backends visited in configuration
+// order, the merge is deterministic for a given set of backend databases.
+func mergeBuckets(lists [][]CrashBucket) []CrashBucket {
+	merged := make(map[bucketKey]*CrashBucket)
+	for _, list := range lists {
+		for i := range list {
+			b := &list[i]
+			k := bucketKey{allocSite: b.AllocSite, freeSite: b.FreeSite}
+			m := merged[k]
+			if m == nil {
+				cp := *b
+				merged[k] = &cp
+				continue
+			}
+			m.Count += b.Count
+			m.LastTraceID = b.LastTraceID
+		}
+	}
+	out := make([]CrashBucket, 0, len(merged))
+	for _, b := range merged {
+		out = append(out, *b)
+	}
+	sortBuckets(out)
+	return out
+}

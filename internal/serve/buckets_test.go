@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/cliff"
+)
+
+// uafTrace is a minimal trace with one planted use-after-free: object 1 is
+// allocated on line 1, freed on line 2, and read on line 3.
+const uafTrace = "a 1 64\nf 1\nr 1 0\n"
+
+func getBuckets(t *testing.T, url string) []CrashBucket {
+	t.Helper()
+	resp, err := http.Get(url + "/buckets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /buckets: %s", resp.Status)
+	}
+	var body bucketsBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode buckets: %v", err)
+	}
+	if body.Type != "buckets" {
+		t.Fatalf("buckets type = %q", body.Type)
+	}
+	return body.Buckets
+}
+
+// TestBucketsAggregateAcrossRequests: every served replay's detections fold
+// into the crash-bucket database, deduplicated by (alloc site, free site),
+// with counts accumulating across repeats (cache hits included) and
+// first/last trace ids tracking the requests.
+func TestBucketsAggregateAcrossRequests(t *testing.T) {
+	s, ts := cachedServer(t, 16)
+
+	if bs := getBuckets(t, ts.URL); len(bs) != 0 {
+		t.Fatalf("fresh server has %d buckets", len(bs))
+	}
+	for i := 0; i < 3; i++ {
+		resp, body := postReplay(t, ts.URL, []byte(uafTrace))
+		if resp.StatusCode != 200 {
+			t.Fatalf("replay %d: %s: %s", i, resp.Status, body)
+		}
+	}
+	bs := getBuckets(t, ts.URL)
+	if len(bs) != 1 {
+		t.Fatalf("got %d buckets, want 1: %+v", len(bs), bs)
+	}
+	b := bs[0]
+	if b.AllocSite != "trace:1" || b.FreeSite != "trace:2" {
+		t.Errorf("bucket sites = (%q, %q), want (trace:1, trace:2)", b.AllocSite, b.FreeSite)
+	}
+	if b.Count != 3 {
+		t.Errorf("bucket count = %d, want 3 (cache hits must count)", b.Count)
+	}
+	if b.FirstTraceID == "" || b.LastTraceID == "" || b.FirstTraceID == b.LastTraceID {
+		t.Errorf("trace ids not tracked: first=%q last=%q", b.FirstTraceID, b.LastTraceID)
+	}
+	if b.Representative == nil {
+		t.Fatal("bucket has no representative TrapReport")
+	}
+	if b.Representative.AllocSite != "trace:1" || b.Representative.FreeSite != "trace:2" {
+		t.Errorf("representative forensics = (%q, %q)", b.Representative.AllocSite, b.Representative.FreeSite)
+	}
+	// The same Server handle sees the same database.
+	if got := s.Buckets(); len(got) != 1 || got[0].Count != 3 {
+		t.Errorf("Server.Buckets() = %+v", got)
+	}
+}
+
+// TestBucketsSampledCorpusForensics: every corpus trace replayed under the
+// sampled tier at rate=1 produces crash buckets whose forensics exactly
+// match the detections in the replay body — the sampled always-on
+// deployment's bug reports carry full provenance.
+func TestBucketsSampledCorpusForensics(t *testing.T) {
+	_, ts := cachedServer(t, 16)
+	for _, c := range cliff.Corpus() {
+		if c.Expect.Dangling == 0 {
+			continue
+		}
+		resp, err := http.Post(ts.URL+"/corpus/"+c.Name+"?sampling=rate=1,seed=3", "text/plain", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readAll(t, resp)
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: %s: %s", c.Name, resp.Status, body)
+		}
+		// Collect the detections' (alloc, free) site pairs from the body.
+		type detLine struct {
+			Type   string `json:"type"`
+			Report *struct {
+				AllocSite string `json:"alloc_site"`
+				FreeSite  string `json:"free_site"`
+			} `json:"report"`
+		}
+		wantPairs := map[[2]string]bool{}
+		for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+			var d detLine
+			if err := json.Unmarshal([]byte(line), &d); err != nil {
+				continue
+			}
+			if d.Type == "detection" && d.Report != nil {
+				wantPairs[[2]string{d.Report.AllocSite, d.Report.FreeSite}] = true
+			}
+		}
+		if len(wantPairs) == 0 {
+			t.Fatalf("%s: no dangling detections under rate=1 sampling", c.Name)
+		}
+		got := map[[2]string]bool{}
+		for _, b := range getBuckets(t, ts.URL) {
+			got[[2]string{b.AllocSite, b.FreeSite}] = true
+		}
+		for pair := range wantPairs {
+			if !got[pair] {
+				t.Errorf("%s: detection (%s, %s) missing from /buckets", c.Name, pair[0], pair[1])
+			}
+		}
+	}
+}
+
+// TestRouterBucketsMerge: the router's GET /buckets fans out to every
+// backend and merges the databases — shared signatures sum their counts,
+// disjoint ones all appear.
+func TestRouterBucketsMerge(t *testing.T) {
+	_, front, _, backends := routerFixture(t, 2)
+
+	// Seed each backend directly (bypassing the ring) so the test controls
+	// exactly which database holds what: the shared signature lands on both
+	// backends; the disjoint one only on backend 1.
+	shared := []byte(uafTrace)
+	disjoint := []byte("a 1 64\na 2 128\nf 2\nr 2 0\nf 1\n")
+	for _, ts := range backends {
+		if resp, body := postReplay(t, ts.URL, shared); resp.StatusCode != 200 {
+			t.Fatalf("seed shared: %s: %s", resp.Status, body)
+		}
+	}
+	if resp, body := postReplay(t, backends[1].URL, disjoint); resp.StatusCode != 200 {
+		t.Fatalf("seed disjoint: %s: %s", resp.Status, body)
+	}
+
+	merged := getBuckets(t, front.URL)
+	if len(merged) != 2 {
+		t.Fatalf("merged buckets = %d, want 2: %+v", len(merged), merged)
+	}
+	// Deterministic order: sorted by (alloc site, free site).
+	if merged[0].AllocSite != "trace:1" || merged[0].FreeSite != "trace:2" {
+		t.Fatalf("merged[0] = (%q, %q)", merged[0].AllocSite, merged[0].FreeSite)
+	}
+	if merged[0].Count != 2 {
+		t.Errorf("shared signature count = %d, want 2 (one per backend)", merged[0].Count)
+	}
+	if merged[1].AllocSite != "trace:2" || merged[1].FreeSite != "trace:3" || merged[1].Count != 1 {
+		t.Errorf("disjoint bucket = %+v", merged[1])
+	}
+	if merged[0].Representative == nil || merged[1].Representative == nil {
+		t.Error("merged buckets lost their representative reports")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/pageguard"
 	"repro/trace"
 )
 
@@ -30,10 +31,13 @@ func keyForReplay(tf *trace.File, spans bool) replayKey {
 
 // replayEntry is one memoized replay result: the full response body plus the
 // per-process metrics snapshot that must merge into the fleet aggregate on
-// every serve (hit or miss), and the span/cycle summary for /debug/spans.
+// every serve (hit or miss), the detections' TrapReports for the crash-bucket
+// database (cached serves still represent served requests and must count),
+// and the span/cycle summary for /debug/spans.
 type replayEntry struct {
 	body    []byte
 	metrics obs.Snapshot
+	reports []*pageguard.TrapReport
 	spans   int
 	leaf    uint64
 	charged uint64
@@ -46,6 +50,10 @@ type inflightReplay struct {
 	done chan struct{}
 	ent  *replayEntry
 	err  error
+	// settled flips (under the cache mutex) when the flight's outcome is
+	// published and done closed; later complete calls for the same flight
+	// may still store an entry but must not touch ent/err/done again.
+	settled bool
 }
 
 // replayCache is a bounded LRU of memoized replay results with single-flight
@@ -122,14 +130,24 @@ func (c *replayCache) begin(key replayKey) (ent *replayEntry, call *inflightRepl
 	return nil, f, true
 }
 
-// complete finishes a leader's flight: stores the entry on success (err ==
-// nil) and wakes every waiter. Calling it twice for one key is safe — the
+// complete finishes the flight f: stores the entry on success (err == nil)
+// and wakes every waiter. Calling it twice for one flight is safe — the
 // handler may release waiters with a timeout error while the abandoned
 // worker goroutine later completes with the real result, which still caches.
-func (c *replayCache) complete(key replayKey, ent *replayEntry, err error) {
+//
+// f scopes the completion to the flight the caller owns: only the flight
+// still registered under key is deregistered, so a late completion of an
+// abandoned flight can never deregister — or worse, close with a stale
+// error — a successor flight that a newer leader opened for the same key
+// after the first one was released. A failed miss therefore leaves neither a
+// poisoned successor flight nor any cache entry behind, and the eviction
+// loop runs only when an entry is actually inserted, so
+// pg_cache_evictions_total counts real LRU evictions exactly once each.
+func (c *replayCache) complete(key replayKey, f *inflightReplay, ent *replayEntry, err error) {
 	c.mu.Lock()
-	f := c.inflight[key]
-	delete(c.inflight, key)
+	if c.inflight[key] == f {
+		delete(c.inflight, key)
+	}
 	if err == nil && ent != nil {
 		if _, exists := c.entries[key]; !exists {
 			c.entries[key] = c.lru.PushFront(&lruItem{key: key, ent: ent})
@@ -141,9 +159,13 @@ func (c *replayCache) complete(key replayKey, ent *replayEntry, err error) {
 			}
 		}
 	}
-	c.mu.Unlock()
-	if f != nil {
+	settle := !f.settled
+	f.settled = true
+	if settle {
 		f.ent, f.err = ent, err
+	}
+	c.mu.Unlock()
+	if settle {
 		close(f.done)
 	}
 }

@@ -46,9 +46,12 @@ type LoadOptions struct {
 	Requests int
 	// Concurrency is the number of client goroutines (default 8).
 	Concurrency int
-	// MaxRetries bounds per-request retries after 429 responses
-	// (default 50); each retry honours the server's Retry-After hint,
-	// capped at a second.
+	// MaxRetries bounds per-request retries after 429 and 503 responses
+	// (default 50); each retry honours the server's Retry-After hint when
+	// one is sent, capped at a second, and falls back to a seeded jittered
+	// backoff when the hint is absent or unparsable (503s from a saturated
+	// server or a router with an empty ring carry no hint — retrying them
+	// in lockstep would just re-synchronize the thundering herd).
 	MaxRetries int
 	// Spans requests the span stream (?spans=1) and checks parity against
 	// an offline span-traced replay — the body then carries the replay
@@ -64,7 +67,8 @@ type ClientStats struct {
 	Client int
 	// Requests is the number of replays this client completed with 200.
 	Requests int
-	// Shed counts the 429 responses this client absorbed and retried.
+	// Shed counts the shedding responses (429 queue-full, 503 overload)
+	// this client absorbed and retried.
 	Shed int
 	// P50, P95, P99 are request-latency percentiles over this client's
 	// completed replays (time from first attempt to the 200, retries
@@ -76,7 +80,7 @@ type ClientStats struct {
 type LoadReport struct {
 	// Requests is the number of replays that completed with 200.
 	Requests int
-	// Shed counts 429 responses (each was retried).
+	// Shed counts shedding responses — 429 and 503 (each was retried).
 	Shed int
 	// Mismatches counts responses whose body differed from the offline
 	// replay (any nonzero count fails the run).
@@ -99,15 +103,24 @@ func (r *LoadReport) String() string {
 		r.Requests, r.Shed, r.Mismatches, r.Elapsed.Round(time.Millisecond))
 }
 
-// percentile returns the p-th percentile (0 < p <= 100) of sorted durations
-// using the nearest-rank method; zero when the sample is empty.
+// percentile returns the p-th percentile of sorted durations using the
+// nearest-rank method: the smallest sample with at least p percent of the
+// samples at or below it, so p=100 is the maximum and a single-sample slice
+// answers every p with that sample. Zero when the sample is empty; p is
+// clamped to (0, 100] so a caller bug cannot index out of range.
 func percentile(sorted []time.Duration, p int) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
+	if p > 100 {
+		p = 100
+	}
 	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n)
 	if rank < 1 {
 		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
 	}
 	return sorted[rank-1]
 }
@@ -198,12 +211,22 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	}
 
 	// perClient[i] collects client i's stats and latency samples; each slot
-	// is touched only by its own goroutine until wg.Wait.
+	// is touched only by its own goroutine until wg.Wait. The per-client rng
+	// (seeded from the run seed and the client index) jitters hintless
+	// retry backoffs deterministically per client.
 	type clientAcc struct {
 		stats     ClientStats
 		latencies []time.Duration
+		rng       *rand.Rand
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
 	}
 	perClient := make([]clientAcc, opts.Concurrency)
+	for i := range perClient {
+		perClient[i].rng = rand.New(rand.NewSource(seed + int64(i)*7919))
+	}
 
 	one := func(acc *clientAcc, idx int) error {
 		reqStart := time.Now()
@@ -231,7 +254,11 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 				}
 				mu.Unlock()
 				return nil
-			case http.StatusTooManyRequests:
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				// Both shedding rungs are transient: 429 queue-full (with a
+				// Retry-After hint) and 503 overload/empty-ring (usually
+				// without one). Retry either, with the client's seeded
+				// jittered backoff desynchronizing hintless retries.
 				acc.stats.Shed++
 				mu.Lock()
 				rep.Shed++
@@ -239,7 +266,7 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 				if attempt >= opts.MaxRetries {
 					return fmt.Errorf("request still shed after %d retries", attempt)
 				}
-				time.Sleep(retryDelay(resp.Header.Get("Retry-After"), attempt))
+				time.Sleep(retryDelay(resp.Header.Get("Retry-After"), attempt, acc.rng))
 			default:
 				return fmt.Errorf("server returned %s: %s", resp.Status, bytes.TrimSpace(body))
 			}
@@ -354,16 +381,23 @@ func TraceVariants(base []byte, k int) ([][]byte, error) {
 	return out, nil
 }
 
-// retryDelay honours a Retry-After hint, backing off a little per attempt
-// and capping at one second so saturated-but-draining servers are retried
-// promptly.
-func retryDelay(header string, attempt int) time.Duration {
+// retryDelay computes the sleep before one retry. With a parsable positive
+// Retry-After hint the server's word wins (when shorter than the linear
+// backoff). Without one — 503s carry no hint, and a proxy may strip or
+// mangle the header — the linear backoff alone would put every shed client
+// on the same retry clock, re-saturating the server in synchronized waves;
+// instead the client's seeded rng spreads the backoff over [d/2, 3d/2),
+// deterministic per (seed, client, attempt sequence). Capped at one second
+// so saturated-but-draining servers are retried promptly.
+func retryDelay(header string, attempt int, rng *rand.Rand) time.Duration {
 	d := 10 * time.Millisecond * time.Duration(attempt+1)
 	if secs, err := strconv.Atoi(header); err == nil && secs > 0 {
 		hint := time.Duration(secs) * time.Second
 		if hint < d {
 			d = hint
 		}
+	} else if rng != nil {
+		d = d/2 + time.Duration(rng.Int63n(int64(d)))
 	}
 	if d > time.Second {
 		d = time.Second

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPercentileEdgeCases is the table-driven regression for the percentile
+// edge cases: every rank over samples of size 1..5 at the percentiles the
+// load report publishes, plus empty input, p=100 (the maximum, never an
+// out-of-range index), and out-of-range p clamping.
+func TestPercentileEdgeCases(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	// nearest-rank index for n samples: clamp(ceil(p*n/100), 1, n).
+	want := func(n, p int) time.Duration {
+		if p > 100 {
+			p = 100
+		}
+		rank := (p*n + 99) / 100
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > n {
+			rank = n
+		}
+		return ms(rank)
+	}
+	for n := 1; n <= 5; n++ {
+		sorted := make([]time.Duration, n)
+		for i := range sorted {
+			sorted[i] = ms(i + 1)
+		}
+		for _, p := range []int{50, 95, 99, 100} {
+			if got := percentile(sorted, p); got != want(n, p) {
+				t.Errorf("percentile(n=%d, p=%d) = %v, want %v", n, p, got, want(n, p))
+			}
+		}
+		// p=100 is the max, and over-range p clamps to it rather than
+		// indexing past the slice.
+		if got := percentile(sorted, 100); got != ms(n) {
+			t.Errorf("percentile(n=%d, p=100) = %v, want max %v", n, got, ms(n))
+		}
+		if got := percentile(sorted, 150); got != ms(n) {
+			t.Errorf("percentile(n=%d, p=150) = %v, want clamped max %v", n, got, ms(n))
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(empty) = %v, want 0", got)
+	}
+	if got := percentile([]time.Duration{}, 100); got != 0 {
+		t.Errorf("percentile(empty, 100) = %v, want 0", got)
+	}
+}
+
+// TestRetryDelayFallback pins the retry-backoff contract: a parsable
+// Retry-After hint wins when shorter than the linear backoff, an absent or
+// unparsable hint falls back to a seeded jitter over [d/2, 3d/2), the jitter
+// sequence is deterministic per seed, and everything caps at one second.
+func TestRetryDelayFallback(t *testing.T) {
+	// Parsable hint shorter than the backoff: the server's word wins.
+	if got := retryDelay("1", 200, nil); got != time.Second {
+		t.Errorf("hinted delay = %v, want 1s", got)
+	}
+	// Hint longer than the linear backoff: keep the (smaller) backoff.
+	if got := retryDelay("30", 0, nil); got != 10*time.Millisecond {
+		t.Errorf("long hint overrode the smaller backoff: %v", got)
+	}
+	// No rng and no hint: plain linear backoff (legacy callers).
+	if got := retryDelay("", 2, nil); got != 30*time.Millisecond {
+		t.Errorf("hintless no-rng delay = %v, want 30ms", got)
+	}
+	// Unparsable hints take the jitter path and stay inside [d/2, 3d/2).
+	for _, header := range []string{"", "soon", "-1", "0", "Wed, 21 Oct 2015 07:28:00 GMT"} {
+		rng := rand.New(rand.NewSource(7))
+		for attempt := 0; attempt < 8; attempt++ {
+			d := 10 * time.Millisecond * time.Duration(attempt+1)
+			got := retryDelay(header, attempt, rng)
+			if got < d/2 || got >= d/2+d {
+				t.Errorf("jittered delay %v for header %q attempt %d outside [%v, %v)",
+					got, header, attempt, d/2, d/2+d)
+			}
+		}
+	}
+	// Determinism: same seed, same jitter sequence.
+	a, b := rand.New(rand.NewSource(3)), rand.New(rand.NewSource(3))
+	for attempt := 0; attempt < 16; attempt++ {
+		if da, db := retryDelay("", attempt, a), retryDelay("", attempt, b); da != db {
+			t.Fatalf("attempt %d: same-seed delays diverged: %v vs %v", attempt, da, db)
+		}
+	}
+	// The cap holds on the jitter path too.
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 195; attempt < 200; attempt++ {
+		if got := retryDelay("", attempt, rng); got > time.Second {
+			t.Fatalf("attempt %d delay %v exceeds the 1s cap", attempt, got)
+		}
+	}
+}
+
+// TestLoadRetriesHintlessShedding is the regression test for the -load retry
+// path when shedding responses carry no parsable Retry-After: a stub server
+// sheds the first attempts with bare 503 and 429 responses, and the load run
+// must retry through them (jittered fallback, not an error) and still verify
+// byte parity on the eventual 200.
+func TestLoadRetriesHintlessShedding(t *testing.T) {
+	traceText := []byte(uafTrace)
+	want, err := offlineNDJSON(traceText, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			// 503 with no Retry-After at all (overloaded router).
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case 2:
+			// 429 with an unparsable hint (mangled by a proxy).
+			w.Header().Set("Retry-After", "soon")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 3:
+			// 503 with an HTTP-date hint the client does not parse.
+			w.Header().Set("Retry-After", "Wed, 21 Oct 2015 07:28:00 GMT")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			w.Write(want)
+		}
+	}))
+	defer stub.Close()
+
+	rep, err := RunLoad(LoadOptions{
+		URL:         stub.URL,
+		Trace:       traceText,
+		Requests:    2,
+		Concurrency: 1,
+		MaxRetries:  10,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatalf("load run failed through hintless shedding: %v", err)
+	}
+	if rep.Requests != 2 || rep.Mismatches != 0 {
+		t.Fatalf("report = %+v, want 2 ok / 0 mismatches", rep)
+	}
+	if rep.Shed != 3 {
+		t.Errorf("shed = %d, want 3 (each hintless shed retried)", rep.Shed)
+	}
+
+	// Exhausting retries against a permanently shedding server is still an
+	// error, not a hang.
+	always := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer always.Close()
+	if _, err := RunLoad(LoadOptions{
+		URL: always.URL, Trace: traceText, Requests: 1, Concurrency: 1, MaxRetries: 2,
+	}); err == nil {
+		t.Fatal("permanent 503 did not surface a retry-exhaustion error")
+	}
+}

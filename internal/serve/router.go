@@ -143,6 +143,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	rt.mux.HandleFunc("POST /workload/{name}", rt.handleByPath)
 	rt.mux.HandleFunc("GET /workloads", rt.handleAnyBackend)
 	rt.mux.HandleFunc("GET /corpus", rt.handleAnyBackend)
+	rt.mux.HandleFunc("GET /buckets", rt.handleBuckets)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	return rt, nil
@@ -331,6 +332,37 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, b *routerBackend
 	w.Header().Set("X-Pg-Backend", b.url)
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
+}
+
+// handleBuckets is the fleet crash-bucket view: unlike the unkeyed GETs that
+// any one backend can answer, every backend holds buckets only for the keys
+// the ring routed to it, so the router fans out to all reachable backends and
+// merges their databases (counts summed, first-seen/representative from the
+// earliest backend in configuration order). A backend that is down or
+// draining still contributes if it answers — its buckets describe detections
+// already served and must not vanish from the fleet view mid-drain.
+func (rt *Router) handleBuckets(w http.ResponseWriter, r *http.Request) {
+	rt.inflight.Add(1)
+	defer rt.inflight.Done()
+	var lists [][]CrashBucket
+	for _, b := range rt.backends {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, b.url+"/buckets", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := rt.cfg.Client.Do(req)
+		if err != nil {
+			continue
+		}
+		var body bucketsBody
+		err = json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		lists = append(lists, body.Buckets)
+	}
+	writeBuckets(w, mergeBuckets(lists))
 }
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -329,5 +330,109 @@ func TestTraceVariantsDistinct(t *testing.T) {
 			t.Errorf("variants %d and %d share a canonical rendering", prev, i)
 		}
 		seen[b.String()] = i
+	}
+}
+
+// TestRouterDrainFlipRace: a backend flips draining→healthy within one sweep
+// interval while health sweeps run concurrently with live traffic. The
+// invariant under the race: with backend 0 healthy throughout, no request is
+// ever shed with no-backend — whichever side of the flip a sweep observes,
+// the ring always holds at least one member. Once the flapping stops and a
+// final sweep lands, the recovered backend's keys return to it.
+func TestRouterDrainFlipRace(t *testing.T) {
+	rt, front, servers, backends := routerFixture(t, 2)
+
+	// Find a trace that routes to backend 1, so recovery is observable.
+	var probe []byte
+	for _, tr := range distinctTraces(16) {
+		resp, body := postReplay(t, front.URL, tr)
+		if resp.StatusCode != 200 {
+			t.Fatalf("probe: %s: %s", resp.Status, body)
+		}
+		if resp.Header.Get("X-Pg-Backend") == backends[1].URL {
+			probe = tr
+			break
+		}
+	}
+	if probe == nil {
+		t.Fatal("no trace hashed to backend 1 across 16 candidates")
+	}
+
+	// Drain backend 1 and sweep: the probe's key slides to backend 0.
+	servers[1].SetDraining(true)
+	rt.sweepHealth()
+	if resp, body := postReplay(t, front.URL, probe); resp.StatusCode != 200 {
+		t.Fatalf("during drain: %s: %s", resp.Status, body)
+	} else if got := resp.Header.Get("X-Pg-Backend"); got != backends[0].URL {
+		t.Fatalf("drained key routed to %s, want survivor %s", got, backends[0].URL)
+	}
+
+	// Race: one goroutine flaps backend 1's draining state, one sweeps
+	// continuously, and client goroutines hammer the router. Every response
+	// must be a 200 — never a no-backend shed — because backend 0 stays in
+	// the ring no matter which flap state a sweep captures.
+	shedBefore := rt.noBackend.Load()
+	stop := make(chan struct{})
+	var race sync.WaitGroup
+	race.Add(2)
+	go func() {
+		defer race.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				servers[1].SetDraining(i%2 == 0)
+			}
+		}
+	}()
+	go func() {
+		defer race.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				rt.sweepHealth()
+			}
+		}
+	}()
+	var clients sync.WaitGroup
+	errs := make(chan error, 4)
+	for c := 0; c < 4; c++ {
+		clients.Add(1)
+		go func() {
+			defer clients.Done()
+			for i := 0; i < 25; i++ {
+				resp, body := postReplay(t, front.URL, probe)
+				if resp.StatusCode != 200 {
+					errs <- fmt.Errorf("mid-flap request: %s: %s", resp.Status, body)
+					return
+				}
+			}
+		}()
+	}
+	clients.Wait()
+	close(stop)
+	race.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if shed := rt.noBackend.Load(); shed != shedBefore {
+		t.Errorf("no-backend sheds grew %d→%d during the flap with a healthy backend in the ring",
+			shedBefore, shed)
+	}
+
+	// Flapping over: backend 1 settles healthy, and after one clean sweep its
+	// keys come home.
+	servers[1].SetDraining(false)
+	rt.sweepHealth()
+	resp, body := postReplay(t, front.URL, probe)
+	if resp.StatusCode != 200 {
+		t.Fatalf("after recovery: %s: %s", resp.Status, body)
+	}
+	if got := resp.Header.Get("X-Pg-Backend"); got != backends[1].URL {
+		t.Errorf("recovered key routed to %s, want %s back in the ring", got, backends[1].URL)
 	}
 }

@@ -130,6 +130,9 @@ type Server struct {
 	// cache, when non-nil, memoizes replay responses by content hash
 	// (Config.CacheEntries).
 	cache *replayCache
+	// buckets is the crash-bucket database: every served replay's
+	// TrapReports deduplicated by (alloc site, free site), GET /buckets.
+	buckets *bucketDB
 
 	// draining flips when the operator starts a graceful shutdown;
 	// /healthz reports it so load balancers stop routing here.
@@ -171,6 +174,7 @@ func New(cfg Config) *Server {
 		queue:      make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		reg:        obs.NewRegistry(),
 		staticSeen: make(map[string]bool),
+		buckets:    newBucketDB(),
 	}
 	// Latency buckets in microseconds: 100us .. 10s.
 	s.latency = s.reg.Histogram("pgserved_request_micros",
@@ -221,6 +225,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /workloads", s.handleWorkloads)
 	s.mux.HandleFunc("POST /corpus/{name}", s.handleCorpus)
 	s.mux.HandleFunc("GET /corpus", s.handleCorpusList)
+	s.mux.HandleFunc("GET /buckets", s.handleBuckets)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics/replay.json", s.handleReplayMetrics)
 	s.mux.HandleFunc("GET /debug/spans", s.handleDebugSpans)
@@ -512,6 +517,9 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("guards") == "1" {
 		tf.Guards = true
 	}
+	if qs := r.URL.Query().Get("sampling"); qs != "" {
+		tf.SamplingSpec = qs
+	}
 	s.replayFile(w, r, tf, start)
 }
 
@@ -569,16 +577,17 @@ func (s *Server) replayFile(w http.ResponseWriter, r *http.Request, tf *trace.Fi
 		// any waiters (no completed replay work is lost).
 		v, err := s.runIsolated(ctx, func() (any, error) {
 			e, rerr := s.renderReplay(tf, extra, withSpans)
-			s.cache.complete(key, e, rerr)
+			s.cache.complete(key, call, e, rerr)
 			return e, rerr
 		})
 		if err != nil {
 			if ctx.Err() != nil {
 				// If the worker goroutine never started (no slot before
-				// the deadline), release the waiters; complete is a no-op
-				// when the background goroutine later finishes the flight
-				// itself, and the finished entry still caches.
-				s.cache.complete(key, nil, err)
+				// the deadline), release the waiters; the flight-scoped
+				// complete is settle-once, so when the background goroutine
+				// later finishes the flight itself the finished entry still
+				// caches without touching any successor flight.
+				s.cache.complete(key, call, nil, err)
 			}
 			s.replayError(w, ctx, err)
 			return
@@ -626,10 +635,23 @@ func (s *Server) renderReplay(tf *trace.File, extra []pageguard.Option, withSpan
 	return &replayEntry{
 		body:    buf.Bytes(),
 		metrics: rep.Metrics,
+		reports: detectionReports(rep),
 		spans:   len(rep.Spans),
 		leaf:    pageguard.LeafSpanCycleSum(rep.Spans),
 		charged: rep.ChargedCycles,
 	}, nil
+}
+
+// detectionReports extracts the replay's TrapReports (dangling detections
+// only — overflow detections carry no report) for the crash-bucket database.
+func detectionReports(rep *trace.Report) []*pageguard.TrapReport {
+	var out []*pageguard.TrapReport
+	for _, d := range rep.Detections {
+		if d.Report != nil {
+			out = append(out, d.Report)
+		}
+	}
+	return out
 }
 
 // replayError maps a replay failure onto the shedding ladder's error codes.
@@ -651,6 +673,7 @@ func (s *Server) replayError(w http.ResponseWriter, ctx context.Context, err err
 // cache existed).
 func (s *Server) writeEntry(w http.ResponseWriter, r *http.Request, ent *replayEntry, cacheState string, start, execStart time.Time) {
 	execMicros := time.Since(execStart).Microseconds()
+	s.buckets.record(w.Header().Get("X-Pg-Trace-Id"), ent.reports)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	if cacheState != "" {
 		w.Header().Set("X-Pg-Cache", cacheState)
@@ -699,6 +722,7 @@ func (s *Server) replayUncached(ctx context.Context, w http.ResponseWriter, r *h
 	}
 	execMicros := time.Since(execStart).Microseconds()
 	rep := v.(*trace.Report)
+	s.buckets.record(w.Header().Get("X-Pg-Trace-Id"), detectionReports(rep))
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	if err := trace.WriteNDJSON(w, rep); err != nil {
 		return // client went away mid-body; nothing more to do
@@ -855,6 +879,11 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 		s.count(s.errs)
 		writeError(w, http.StatusUnprocessableEntity, ErrCodeReplayFailed, err.Error(), 0)
 		return
+	}
+	// ?sampling=rate=N[,...] replays the corpus trace under the sampled
+	// detection tier — the crash-bucket smoke drives exactly this.
+	if qs := r.URL.Query().Get("sampling"); qs != "" {
+		tf.SamplingSpec = qs
 	}
 	s.replayFile(w, r, tf, start)
 }

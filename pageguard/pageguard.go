@@ -105,6 +105,7 @@ type machineConfig struct {
 	kernel   kernel.Config
 	policy   core.ReusePolicy
 	gcSched  *core.GCSchedule
+	sampling *core.SamplingSpec
 	guards   bool
 	spans    bool
 	schedErr error
@@ -166,6 +167,32 @@ func WithPolicySpec(spec string) Option {
 		}
 		c.policy = policy
 		c.gcSched = sched
+	}
+}
+
+// SamplingSpec configures the GWP-ASan-style sampled detection tier (see
+// WithSampling).
+type SamplingSpec = core.SamplingSpec
+
+// ParseSamplingSpec parses a WithSampling spec string.
+var ParseSamplingSpec = core.ParseSamplingSpec
+
+// WithSampling enables the sampled detection tier from a
+// core.ParseSamplingSpec string: "rate=N[,seed=S][,quarantine=Q][,cool=C]".
+// 1-in-rate allocation sites are guarded (selected by a seeded site hash, so
+// replays sample identically on every machine), sites that never trap cool
+// down when cool is set, and the last quarantine sampled freed objects are
+// exempt from shadow-page recycling. rate=1 guards every site and is
+// bit-identical to the unsampled detector; rate=0 guards nothing. A
+// malformed spec surfaces as an error from the next NewProcess call.
+func WithSampling(spec string) Option {
+	return func(c *machineConfig) {
+		s, err := core.ParseSamplingSpec(spec)
+		if err != nil {
+			c.schedErr = err
+			return
+		}
+		c.sampling = &s
 	}
 }
 
@@ -266,6 +293,9 @@ func (m *Machine) NewProcess() (*Process, error) {
 	}
 	if m.cfg.gcSched != nil {
 		remap.EnableGCSchedule(*m.cfg.gcSched)
+	}
+	if m.cfg.sampling != nil {
+		remap.EnableSampling(*m.cfg.sampling)
 	}
 	return &Process{
 		proc:  proc,

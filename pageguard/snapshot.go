@@ -61,7 +61,7 @@ func structural(cfg machineConfig) kernel.Config {
 //
 // extra options may adjust per-request knobs (WithFaultSchedule,
 // WithVABudget, WithPolicySpec, WithReusePolicy, WithGCSchedule,
-// WithOverflowGuards, WithSpanTracing); an option that would change the
+// WithOverflowGuards, WithSampling, WithSpanTracing); an option that would change the
 // machine's structure away from the snapshot's returns an error, so callers
 // can fall back to a fresh machine.
 func (s *Snapshot) Fork(extra ...Option) (*Machine, error) {

@@ -14,7 +14,10 @@
 #   reconcile leaf-span cycles against kernel-charged cycles exactly), and
 #   the fleet-serving gate (router smoke over two snapshot+cache backends
 #   with routed bytes diffed against pgtrace -ndjson, plus the serving
-#   benchmark regenerated into scratch and BENCH_pr9.json cross-validated).
+#   benchmark regenerated into scratch and BENCH_pr9.json cross-validated),
+#   and the sampled-tier gate (the router's merged crash buckets checked as
+#   the per-bucket sum of both backend databases, the sampling table
+#   regenerated into BENCH_pr10.json, and all six artifacts cross-validated).
 #
 # Usage: scripts/check.sh   (from the repo root)
 set -eu
@@ -238,6 +241,40 @@ fi
 "$pgserved" -load -url "http://$raddr" -trace trace/testdata/faulted.trace \
     -n 64 -c 8 -distinct 8 -load-dist zipf
 
+# Fleet crash buckets: replay a planted-UAF corpus trace through the router,
+# then require the router's merged GET /buckets to be exactly the per-bucket
+# sum of the two backend databases (counts add, keys union) and to carry a
+# full forensic representative for the planted trace.
+"$pgserved" -load -url "http://$raddr" -trace trace/testdata/adversarial/uaf_gc_race.trace \
+    -n 4 -c 2
+rbuckets=$(curl -sf "http://$raddr/buckets")
+b1buckets=$(curl -sf "http://$b1addr/buckets")
+b2buckets=$(curl -sf "http://$b2addr/buckets")
+counts() {
+    printf '%s' "$1" | jq -S '[.buckets[] | {key: "\(.alloc_site)|\(.free_site)", count}]
+        | group_by(.key) | map({(.[0].key): (map(.count) | add)}) | add'
+}
+rsum=$(counts "$rbuckets")
+bsum=$(printf '%s\n%s' "$b1buckets" "$b2buckets" | jq -s -S '[.[].buckets[]
+    | {key: "\(.alloc_site)|\(.free_site)", count}]
+    | group_by(.key) | map({(.[0].key): (map(.count) | add)}) | add')
+if [ -z "$rsum" ] || [ "$rsum" = "null" ]; then
+    echo "router /buckets empty after a planted-UAF replay: $rbuckets" >&2
+    exit 1
+fi
+if [ "$rsum" != "$bsum" ]; then
+    echo "router /buckets merge is not the per-bucket sum of the backends" >&2
+    printf 'router sum:  %s\nbackend sum: %s\n' "$rsum" "$bsum" >&2
+    exit 1
+fi
+if ! printf '%s' "$rbuckets" | jq -e \
+    '.buckets[] | select(.representative.free_site != null and .representative.fault_addr != null)' \
+    >/dev/null; then
+    echo "router /buckets lacks a forensic representative report" >&2
+    exit 1
+fi
+echo "crash buckets: planted UAF bucketed with forensics, router merge sums the backends"
+
 for pid in "$routerpid" "$b1pid" "$b2pid"; do
     kill -TERM "$pid"
     if ! wait "$pid"; then
@@ -264,7 +301,14 @@ trap 'kill "$servepid" "$b1pid" "$b2pid" "$routerpid" 2>/dev/null || true; rm -f
 "$pgbench" -servebench "$servebench" \
     -serve-requests 4000 -serve-fresh-requests 800 -serve-clients 8 -serve-distinct 16
 "$pgbench" -check-bench "$servebench"
-"$pgbench" -check-bench BENCH_pr3.json,BENCH_pr4.json,BENCH_pr7.json,BENCH_pr8.json,BENCH_pr9.json
+
+echo "== sampled-tier artifact (BENCH_pr10.json) =="
+# The sampling study is pure simulated cycles, so regenerate the committed
+# artifact in place (drift means the detection/overhead trade-off moved —
+# that must be a deliberate commit) and cross-validate all six artifacts in
+# one invocation.
+"$pgbench" -samplebench BENCH_pr10.json >/dev/null
+"$pgbench" -check-bench BENCH_pr3.json,BENCH_pr4.json,BENCH_pr7.json,BENCH_pr8.json,BENCH_pr9.json,BENCH_pr10.json
 
 echo "== pglint over every workload =="
 go build -o "$pglint" ./cmd/pglint

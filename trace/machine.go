@@ -20,6 +20,9 @@ func (f *File) MachineOptions(extra ...pageguard.Option) []pageguard.Option {
 	if f.Guards {
 		opts = append(opts, pageguard.WithOverflowGuards())
 	}
+	if f.SamplingSpec != "" {
+		opts = append(opts, pageguard.WithSampling(f.SamplingSpec))
+	}
 	return append(opts, extra...)
 }
 

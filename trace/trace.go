@@ -30,6 +30,8 @@
 //	!vabudget <pages> a fresh-VA budget compressing the §3.4 exhaustion
 //	                  cliff into the replay
 //	!guards           enable overflow guard pages
+//	!sampling <spec>  the GWP-ASan-style sampled detection tier
+//	                  (core.ParseSamplingSpec format, e.g. "rate=64,seed=7")
 //
 // Replaying the trace on a machine honouring its directives (NewMachine)
 // reproduces the recorded run bit-for-bit; the 'x' events double-check that
@@ -111,12 +113,18 @@ type File struct {
 	Guards bool
 	// GuardsLine is the source line of '!guards' (0 when absent).
 	GuardsLine int
-	Events     []Event
+	// SamplingSpec is the core.ParseSamplingSpec string of the '!sampling'
+	// directive ("" = full guarding, no sampled tier).
+	SamplingSpec string
+	// SamplingLine is the source line of '!sampling' (0 when absent).
+	SamplingLine int
+	Events       []Event
 }
 
 // Directives reports whether the trace carries any machine directive.
 func (f *File) Directives() bool {
-	return f.FaultSpec != "" || f.PolicySpec != "" || f.VABudgetPages != 0 || f.Guards
+	return f.FaultSpec != "" || f.PolicySpec != "" || f.VABudgetPages != 0 || f.Guards ||
+		f.SamplingSpec != ""
 }
 
 // ParseError reports a malformed trace line.
@@ -148,6 +156,8 @@ func Parse(r io.Reader) ([]Event, error) {
 		return nil, &ParseError{f.VABudgetLine, "trace carries a !vabudget directive; use ParseFile (Parse would drop the VA budget and replay the trace wrong)"}
 	case f.Guards:
 		return nil, &ParseError{f.GuardsLine, "trace carries a !guards directive; use ParseFile (Parse would drop the guard pages and replay the trace wrong)"}
+	case f.SamplingSpec != "":
+		return nil, &ParseError{f.SamplingLine, "trace carries a !sampling directive; use ParseFile (Parse would drop the sampling tier and replay the trace wrong)"}
 	}
 	return f.Events, nil
 }
@@ -205,6 +215,17 @@ func ParseFile(r io.Reader) (*File, error) {
 			}
 			out.Guards = true
 			out.GuardsLine = line
+			continue
+		}
+		if spec, ok := strings.CutPrefix(text, "!sampling"); ok {
+			if len(out.Events) > 0 {
+				return nil, &ParseError{line, "!sampling directive must precede all events"}
+			}
+			out.SamplingSpec = strings.TrimSpace(spec)
+			out.SamplingLine = line
+			if _, err := core.ParseSamplingSpec(out.SamplingSpec); err != nil {
+				return nil, &ParseError{line, "bad sampling spec: " + err.Error()}
+			}
 			continue
 		}
 		if strings.HasPrefix(text, "!") {
@@ -307,7 +328,7 @@ func Format(w io.Writer, events []Event) error {
 }
 
 // Format renders the complete trace, directives included, in the canonical
-// order (!faults, !policy, !vabudget, !guards).
+// order (!faults, !policy, !vabudget, !guards, !sampling).
 func (f *File) Format(w io.Writer) error {
 	if f.FaultSpec != "" {
 		if _, err := fmt.Fprintf(w, "!faults %s\n", f.FaultSpec); err != nil {
@@ -326,6 +347,11 @@ func (f *File) Format(w io.Writer) error {
 	}
 	if f.Guards {
 		if _, err := fmt.Fprintln(w, "!guards"); err != nil {
+			return err
+		}
+	}
+	if f.SamplingSpec != "" {
+		if _, err := fmt.Fprintf(w, "!sampling %s\n", f.SamplingSpec); err != nil {
 			return err
 		}
 	}
